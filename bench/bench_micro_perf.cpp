@@ -1,0 +1,112 @@
+// E12 — infrastructure micro-benchmarks (google-benchmark): simulator event
+// throughput, graph generation, sequential baselines, and full engine runs.
+// These guard the harness itself: the paper-shape experiments above are only
+// trustworthy if the substrate scales predictably.
+#include <benchmark/benchmark.h>
+
+#include "analysis/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/exact.hpp"
+#include "mdst/furer_raghavachari.hpp"
+#include "spanning/flood_st.hpp"
+#include "spanning/ghs_mst.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mdst;
+
+void BM_GraphGenGnp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1);
+  for (auto _ : state) {
+    graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GraphGenGnp)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_WilsonTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    auto t = graph::random_spanning_tree(g, 0, rng);
+    benchmark::DoNotOptimize(t.max_degree());
+  }
+}
+BENCHMARK(BM_WilsonTree)->Arg(256)->Arg(1024);
+
+void BM_SimulatorFloodSt(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  graph::Graph g = graph::make_grid(side, side);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const spanning::SpanningRun run = spanning::run_flood_st(g, 0);
+    messages += run.metrics.total_messages();
+    benchmark::DoNotOptimize(run.tree.root());
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorFloodSt)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GhsMst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const spanning::SpanningRun run = spanning::run_ghs_mst(g, seed++);
+    benchmark::DoNotOptimize(run.tree.max_degree());
+  }
+}
+BENCHMARK(BM_GhsMst)->Arg(64)->Arg(256);
+
+void BM_FurerRaghavachari(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(4);
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  for (auto _ : state) {
+    const core::FrResult r =
+        core::furer_raghavachari(g, start, core::FrVariant::kFull);
+    benchmark::DoNotOptimize(r.final_degree);
+  }
+}
+BENCHMARK(BM_FurerRaghavachari)->Arg(64)->Arg(128);
+
+void BM_DistributedMdst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(5);
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const core::RunResult run = core::run_mdst(g, start, {}, {});
+    messages += run.metrics.total_messages();
+    benchmark::DoNotOptimize(run.final_degree);
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistributedMdst)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExactSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(6);
+  graph::Graph g = graph::make_gnp_connected(n, 0.3, rng);
+  for (auto _ : state) {
+    const core::ExactResult r = core::exact_mdst_degree(g);
+    benchmark::DoNotOptimize(r.optimal_degree);
+  }
+}
+BENCHMARK(BM_ExactSolver)->Arg(10)->Arg(14)->Arg(18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

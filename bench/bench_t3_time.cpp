@@ -1,0 +1,74 @@
+// E5 / Claim C3 — time complexity O((k - k*) * n).
+//
+// "Time" is the paper's measure: the longest causal dependency chain, with
+// every hop costing at most one unit. The runtime tracks it as a Lamport
+// depth, which is delay-model independent; under unit delays it coincides
+// with the simulated completion time (both shown).
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench/bench_util.hpp"
+#include "graph/generators.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdst;
+  bench::CommonFlags flags;
+  support::CliParser cli("E5: causal time vs (k-k*+1)*n");
+  flags.register_flags(cli);
+  int exit_code = 0;
+  if (!bench::parse_or_exit(cli, argc, argv, exit_code)) return exit_code;
+
+  support::Table table({"mode", "family", "n", "mean k-k*",
+                        "mean causal time", "budget (k-k*+1)n", "ratio",
+                        "ratio max", "rounds"});
+  const std::vector<std::size_t> sizes =
+      flags.quick ? std::vector<std::size_t>{32, 64}
+                  : std::vector<std::size_t>{32, 64, 128, 256};
+
+  std::vector<double> xs, ys;
+  for (const core::EngineMode mode :
+       {core::EngineMode::kConcurrent, core::EngineMode::kSingleImprovement})
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    for (const std::size_t n : sizes) {
+      support::Accumulator drop, time, budget, ratio, rounds;
+      for (std::uint64_t rep = 0; rep < flags.reps; ++rep) {
+        analysis::TrialSpec spec;
+        spec.family = family.name;
+        spec.n = n;
+        spec.base_seed = flags.seed;
+        spec.repetition = rep;
+        spec.initial_tree = graph::InitialTreeKind::kStarBiased;
+        spec.options.mode = mode;
+        const analysis::TrialRecord r = analysis::run_trial(spec);
+        const double b = analysis::time_budget(r);
+        drop.add(r.k_init - r.k_final);
+        time.add(static_cast<double>(r.causal_time));
+        budget.add(b);
+        ratio.add(static_cast<double>(r.causal_time) / b);
+        rounds.add(static_cast<double>(r.rounds));
+        xs.push_back(b);
+        ys.push_back(static_cast<double>(r.causal_time));
+      }
+      table.start_row();
+      table.cell(to_string(mode));
+      table.cell(family.name);
+      table.cell(static_cast<std::uint64_t>(n));
+      table.cell(drop.mean(), 1);
+      table.cell(time.mean(), 0);
+      table.cell(budget.mean(), 0);
+      table.cell(ratio.mean(), 2);
+      table.cell(ratio.max(), 2);
+      table.cell(rounds.mean(), 1);
+    }
+  }
+  bench::emit(table, "E5: causal time / ((k-k*+1) * n)", flags);
+
+  const support::LinearFit fit = support::fit_linear(xs, ys);
+  std::cout << "global fit  time = " << support::format_double(fit.intercept, 0)
+            << " + " << support::format_double(fit.slope, 2)
+            << " * (k-k*+1)n   (R^2 = " << support::format_double(fit.r_squared, 3)
+            << ")\n";
+  return 0;
+}

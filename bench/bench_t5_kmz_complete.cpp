@@ -1,0 +1,73 @@
+// E7 / Claim C6 — comparison against the Korach–Moran–Zaks lower bound.
+//
+// KMZ: any algorithm building a spanning tree of maximum degree at most k
+// on a complete network of n processors needs Omega(n^2 / k) messages in the
+// worst case. The paper argues its O((k-k*) m) algorithm is "not far from
+// the optimal": on K_n, m = n(n-1)/2 and the run ends at k* = 2, so the
+// end-to-end message count should track n^2 within moderate factors.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench/bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/bounds.hpp"
+#include "mdst/engine.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdst;
+  bench::CommonFlags flags;
+  support::CliParser cli("E7: messages on complete graphs vs KMZ n^2/k");
+  flags.register_flags(cli);
+  int exit_code = 0;
+  if (!bench::parse_or_exit(cli, argc, argv, exit_code)) return exit_code;
+
+  support::Table table({"n", "m", "k_init", "k_final", "rounds", "messages",
+                        "KMZ bound n^2/k", "messages / KMZ",
+                        "msgs / (k-k*+1)m"});
+  const std::vector<std::size_t> sizes =
+      flags.quick ? std::vector<std::size_t>{8, 16, 32}
+                  : std::vector<std::size_t>{8, 16, 32, 64, 96, 128};
+  for (const std::size_t n : sizes) {
+    // Worst-case start: the hub star (k = n-1), as in the KMZ adversary
+    // intuition. Average over seeds only for the schedule.
+    support::Accumulator msgs, rounds;
+    int k_init = 0, k_final = 0;
+    for (std::uint64_t rep = 0; rep < flags.reps; ++rep) {
+      graph::Graph g = graph::make_complete(n);
+      support::Rng rng(support::derive_seed(flags.seed, n, rep));
+      graph::assign_random_names(g, rng);
+      const graph::RootedTree start = graph::star_biased_tree(g);
+      sim::SimConfig cfg;
+      cfg.seed = support::derive_seed(flags.seed, n, rep, 99);
+      const core::RunResult run = core::run_mdst(g, start, {}, cfg);
+      msgs.add(static_cast<double>(run.metrics.total_messages()));
+      rounds.add(static_cast<double>(run.rounds));
+      k_init = run.initial_degree;
+      k_final = run.final_degree;
+    }
+    const double kmz =
+        core::kmz_message_bound(n, static_cast<std::size_t>(k_final));
+    const double m = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2;
+    const double budget = (k_init - k_final + 1) * m;
+    table.start_row();
+    table.cell(static_cast<std::uint64_t>(n));
+    table.cell(m, 0);
+    table.cell(static_cast<std::int64_t>(k_init));
+    table.cell(static_cast<std::int64_t>(k_final));
+    table.cell(rounds.mean(), 1);
+    table.cell(msgs.mean(), 0);
+    table.cell(kmz, 0);
+    table.cell(msgs.mean() / kmz, 2);
+    table.cell(msgs.mean() / budget, 2);
+  }
+  bench::emit(table, "E7: complete graphs, star start -> Hamiltonian path",
+              flags);
+  std::cout << "messages/KMZ grows roughly like n (the algorithm pays\n"
+               "(k-k*+1) ~ n rounds of O(n^2) wave messages from a star start,\n"
+               "vs the Omega(n^2/k) floor with k = 2) — the 'reasonable'\n"
+               "distance from optimal the paper's conclusion concedes.\n";
+  return 0;
+}

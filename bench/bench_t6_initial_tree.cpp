@@ -1,0 +1,68 @@
+// E8 — the conclusion's remark: "we can hope to change a bit the algorithm
+// of ST construction in order to obtain a not so bad k."
+//
+// The initial tree's degree k drives the round count (k - k* + 1) and hence
+// the total cost. This ablation runs the same instances from five startup
+// trees — the adversarial hub star, a uniformly random tree, DFS, BFS and a
+// (GHS-equivalent) random MST — and shows how much a good startup tree
+// saves end to end.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench/bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdst;
+  bench::CommonFlags flags;
+  support::CliParser cli("E8: initial-tree ablation (conclusion remark)");
+  flags.register_flags(cli);
+  int exit_code = 0;
+  if (!bench::parse_or_exit(cli, argc, argv, exit_code)) return exit_code;
+
+  support::Table table({"family", "initial tree", "mean k_init",
+                        "mean k_final", "mean rounds", "mean messages",
+                        "mean causal time"});
+  const std::size_t n = flags.quick ? 48 : 96;
+  const graph::InitialTreeKind kinds[] = {
+      graph::InitialTreeKind::kStarBiased, graph::InitialTreeKind::kRandom,
+      graph::InitialTreeKind::kDfs, graph::InitialTreeKind::kBfs,
+      graph::InitialTreeKind::kMst};
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    for (const graph::InitialTreeKind kind : kinds) {
+      support::Accumulator k_init, k_final, rounds, messages, time;
+      for (std::uint64_t rep = 0; rep < flags.reps; ++rep) {
+        analysis::TrialSpec spec;
+        spec.family = family.name;
+        spec.n = n;
+        spec.base_seed = flags.seed;
+        spec.repetition = rep;
+        spec.initial_tree = kind;
+        const analysis::TrialRecord r = analysis::run_trial(spec);
+        k_init.add(r.k_init);
+        k_final.add(r.k_final);
+        rounds.add(static_cast<double>(r.rounds));
+        messages.add(static_cast<double>(r.messages));
+        time.add(static_cast<double>(r.causal_time));
+      }
+      table.start_row();
+      table.cell(family.name);
+      table.cell(to_string(kind));
+      table.cell(k_init.mean(), 1);
+      table.cell(k_final.mean(), 1);
+      table.cell(rounds.mean(), 1);
+      table.cell(messages.mean(), 0);
+      table.cell(time.mean(), 0);
+    }
+  }
+  bench::emit(table, "E8: startup tree choice vs cost (n = " +
+                         std::to_string(n) + ")",
+              flags);
+  std::cout << "DFS/BFS/MST starts give small k and correspondingly few\n"
+               "rounds; the star start exercises the worst case k ~ max\n"
+               "graph degree. Final quality is unchanged — only cost moves.\n";
+  return 0;
+}

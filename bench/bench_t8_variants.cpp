@@ -1,0 +1,66 @@
+// E10 — engine-mode ablation (paper §3.2.6 and DESIGN D2):
+//   single      — one improvement per round (analysed core of the paper)
+//   concurrent  — every degree-k node met by the wave improves its subtree
+//                 in the same round (§3.2.6)
+//   strict_lot  — extension: run until every max-degree node is blocked
+// Concurrency should cut rounds (and time) when many nodes share the
+// maximum degree; strict LOT may trade extra rounds for equal-or-better
+// degrees and a stronger stop certificate.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench/bench_util.hpp"
+#include "graph/generators.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdst;
+  bench::CommonFlags flags;
+  support::CliParser cli("E10: engine mode ablation");
+  flags.register_flags(cli);
+  int exit_code = 0;
+  if (!bench::parse_or_exit(cli, argc, argv, exit_code)) return exit_code;
+
+  support::Table table({"family", "mode", "mean k_init", "mean k_final",
+                        "mean rounds", "mean improvements", "mean messages",
+                        "mean causal time"});
+  const std::size_t n = flags.quick ? 40 : 80;
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    for (const core::EngineMode mode :
+         {core::EngineMode::kSingleImprovement, core::EngineMode::kConcurrent,
+          core::EngineMode::kStrictLot}) {
+      support::Accumulator k_init, k_final, rounds, improvements, messages,
+          time;
+      for (std::uint64_t rep = 0; rep < flags.reps; ++rep) {
+        analysis::TrialSpec spec;
+        spec.family = family.name;
+        spec.n = n;
+        spec.base_seed = flags.seed;
+        spec.repetition = rep;
+        spec.initial_tree = graph::InitialTreeKind::kStarBiased;
+        spec.options.mode = mode;
+        const analysis::TrialRecord r = analysis::run_trial(spec);
+        k_init.add(r.k_init);
+        k_final.add(r.k_final);
+        rounds.add(static_cast<double>(r.rounds));
+        improvements.add(static_cast<double>(r.improvements));
+        messages.add(static_cast<double>(r.messages));
+        time.add(static_cast<double>(r.causal_time));
+      }
+      table.start_row();
+      table.cell(family.name);
+      table.cell(to_string(mode));
+      table.cell(k_init.mean(), 1);
+      table.cell(k_final.mean(), 1);
+      table.cell(rounds.mean(), 1);
+      table.cell(improvements.mean(), 1);
+      table.cell(messages.mean(), 0);
+      table.cell(time.mean(), 0);
+    }
+  }
+  bench::emit(table, "E10: single vs concurrent vs strict LOT (n = " +
+                         std::to_string(n) + ", star start)",
+              flags);
+  return 0;
+}

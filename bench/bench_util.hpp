@@ -1,0 +1,59 @@
+// Shared helpers for the experiment binaries. Each bench regenerates one
+// artefact of EXPERIMENTS.md (a figure scenario or a claim table); they all
+// print a fixed-width table to stdout and accept --csv=<path> to mirror it.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace mdst::bench {
+
+/// Standard flags shared by every bench binary.
+struct CommonFlags {
+  std::uint64_t seed = 0x5eed;
+  std::uint64_t reps = 5;
+  std::string csv;
+  bool quick = false;  // trims the sweep for smoke runs
+
+  void register_flags(support::CliParser& cli) {
+    cli.add_uint("seed", &seed, "base seed for all instances");
+    cli.add_uint("reps", &reps, "repetitions (seeds) per configuration");
+    cli.add_string("csv", &csv, "also write the table as CSV to this path");
+    cli.add_bool("quick", &quick, "reduced sweep for smoke testing");
+  }
+};
+
+/// Print the table and mirror to CSV when requested.
+inline void emit(const support::Table& table, const std::string& title,
+                 const CommonFlags& flags) {
+  table.print(std::cout, title);
+  if (!flags.csv.empty()) {
+    std::ofstream out(flags.csv);
+    table.write_csv(out);
+    std::cout << "(csv written to " << flags.csv << ")\n";
+  }
+  std::cout << '\n';
+}
+
+/// Boilerplate main()-helper: parse flags, bail politely on --help/errors.
+inline bool parse_or_exit(support::CliParser& cli, int argc, char** argv,
+                          int& exit_code) {
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    exit_code = 0;
+    return false;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    exit_code = 1;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mdst::bench

@@ -1,0 +1,150 @@
+// The paper's motivating scenario (§1): broadcasting over a spanning tree
+// loads each node proportionally to its tree degree; a minimum-degree
+// spanning tree minimises the worst per-node communication work.
+//
+// This example actually runs a broadcast protocol over several spanning
+// trees of the same network and measures (a) the maximum number of sends
+// any single node performs and (b) the completion time, showing the
+// load/latency trade-off the introduction describes.
+//
+//   ./broadcast_load --n=96 --family=barabasi_albert --seed=3
+#include <cstdint>
+#include <iostream>
+#include <variant>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace mdst;
+
+// --- A tiny broadcast protocol over a fixed rooted tree ---------------------
+
+struct Payload {
+  static constexpr const char* kName = "Payload";
+  std::size_t ids_carried() const { return 1; }
+};
+
+struct BroadcastProto {
+  using Message = std::variant<Payload>;
+  class Node {
+   public:
+    Node(const sim::NodeEnv& env, std::vector<sim::NodeId> children, bool root)
+        : env_(env), children_(std::move(children)), is_root_(root) {}
+    void on_start(sim::IContext<Message>& ctx) {
+      if (is_root_) forward(ctx);
+    }
+    void on_message(sim::IContext<Message>& ctx, sim::NodeId, const Message&) {
+      forward(ctx);
+    }
+    std::uint64_t sends = 0;
+
+   private:
+    void forward(sim::IContext<Message>& ctx) {
+      for (const sim::NodeId child : children_) {
+        ctx.send(child, Payload{});
+        ++sends;
+      }
+    }
+    sim::NodeEnv env_;
+    std::vector<sim::NodeId> children_;
+    bool is_root_;
+  };
+};
+
+struct BroadcastOutcome {
+  std::uint64_t max_node_sends = 0;
+  sim::Time completion_time = 0;
+  std::size_t tree_degree = 0;
+  std::size_t tree_height = 0;
+};
+
+BroadcastOutcome measure_broadcast(const graph::Graph& g,
+                                   const graph::RootedTree& tree,
+                                   std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.delay = sim::DelayModel::uniform(1, 3);  // mildly asynchronous links
+  cfg.seed = seed;
+  sim::Simulator<BroadcastProto> sim(
+      g,
+      [&tree](const sim::NodeEnv& env) {
+        return BroadcastProto::Node(env, tree.children(env.id),
+                                    env.id == tree.root());
+      },
+      cfg);
+  sim.run();
+  BroadcastOutcome out;
+  for (std::size_t v = 0; v < sim.node_count(); ++v) {
+    out.max_node_sends =
+        std::max(out.max_node_sends, sim.node(static_cast<sim::NodeId>(v)).sends);
+  }
+  out.completion_time = sim.metrics().last_delivery_time();
+  out.tree_degree = tree.max_degree();
+  out.tree_height = tree.height();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 96;
+  std::string family = "barabasi_albert";
+  std::uint64_t seed = 3;
+  support::CliParser cli("Broadcast load across spanning-tree choices");
+  cli.add_uint("n", &n, "network size");
+  cli.add_string("family", &family, "graph family");
+  cli.add_uint("seed", &seed, "instance seed");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+
+  support::Rng rng(seed);
+  graph::Graph g = graph::family_by_name(family).make(n, rng);
+  std::cout << "network: " << g.summary() << " (" << family << ")\n\n";
+
+  // Candidate trees.
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  const graph::RootedTree bfs = graph::bfs_tree(g, 0);
+  const graph::RootedTree mst = graph::random_mst(g, 0, rng);
+  core::Options options;  // defaults: single-improvement mode
+  const core::RunResult improved = core::run_mdst(g, star, options, {});
+
+  support::Table table({"spanning tree", "max degree", "height",
+                        "max sends/node", "broadcast completion time"});
+  const struct {
+    const char* name;
+    const graph::RootedTree* tree;
+  } rows[] = {
+      {"hub star (worst case)", &star},
+      {"BFS tree", &bfs},
+      {"random MST", &mst},
+      {"MDegST (this paper)", &improved.tree},
+  };
+  for (const auto& row : rows) {
+    const BroadcastOutcome out = measure_broadcast(g, *row.tree, seed + 17);
+    table.start_row();
+    table.cell(row.name);
+    table.cell(static_cast<std::uint64_t>(out.tree_degree));
+    table.cell(static_cast<std::uint64_t>(out.tree_height));
+    table.cell(out.max_node_sends);
+    table.cell(static_cast<std::uint64_t>(out.completion_time));
+  }
+  table.print(std::cout, "per-node broadcast work");
+
+  std::cout << "\nThe MDegST tree bounds every node's forwarding work by its"
+               " max degree\n(one send per tree edge at the busiest node),"
+               " trading a taller tree for a\nflatter load profile — the"
+               " motivation in the paper's introduction.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Network synchronization over a minimum-degree spanning tree — the first
+// application the paper's introduction names.
+//
+// Awerbuch's β synchronizer detects round completion with a convergecast +
+// broadcast over a spanning tree, so every node handles tree-degree control
+// messages per round. On a high-degree tree the busiest node becomes a
+// hotspot; on the MDegST it does O(Δ*) work. This example runs the same
+// synchronous BFS computation under:
+//   * the α synchronizer (no tree; 2m Safe messages per round),
+//   * the β synchronizer over a hub-star spanning tree,
+//   * the β synchronizer over the distributed MDegST result,
+// and reports total traffic and the busiest node's per-round load.
+//
+//   ./network_sync --n=80 --family=barabasi_albert --rounds=12
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/sync_protocols.hpp"
+#include "runtime/synchronizer.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace mdst;
+
+struct SyncOutcome {
+  std::uint64_t total_messages = 0;
+  std::uint64_t busiest_node_sends = 0;
+  bool bfs_correct = true;
+};
+
+template <typename Sim>
+SyncOutcome finish(const graph::Graph& g, Sim& sim, sim::NodeId source) {
+  sim.run();
+  SyncOutcome out;
+  out.total_messages = sim.metrics().total_messages();
+  std::map<sim::NodeId, std::uint64_t> sends;
+  for (const sim::TraceRow& row : sim.trace().rows()) {
+    ++sends[row.from];
+  }
+  for (const auto& [node, count] : sends) {
+    out.busiest_node_sends = std::max(out.busiest_node_sends, count);
+  }
+  const graph::BfsResult reference = graph::bfs(g, source);
+  for (std::size_t v = 0; v < sim.node_count(); ++v) {
+    if (sim.node(static_cast<sim::NodeId>(v)).sync_node().distance() !=
+        reference.distance[v]) {
+      out.bfs_correct = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 80;
+  std::string family = "barabasi_albert";
+  std::uint64_t seed = 4;
+  std::uint64_t rounds = 0;  // 0 = diameter + 2
+  support::CliParser cli("Synchronizers over spanning trees (paper §1 use case)");
+  cli.add_uint("n", &n, "network size");
+  cli.add_string("family", &family, "graph family");
+  cli.add_uint("seed", &seed, "instance seed");
+  cli.add_uint("rounds", &rounds, "synchronous rounds (0 = diameter + 2)");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+
+  support::Rng rng(seed);
+  graph::Graph g = graph::family_by_name(family).make(n, rng);
+  if (rounds == 0) rounds = graph::diameter(g) + 2;
+  std::cout << "network: " << g.summary() << ", running " << rounds
+            << " synchronous BFS rounds\n\n";
+
+  // Trees for the beta variants.
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  const core::RunResult improved = core::run_mdst(g, star, {}, {});
+  const graph::RootedTree& mdst_tree = improved.tree;
+
+  sim::SimConfig cfg;
+  cfg.delay = sim::DelayModel::uniform(1, 4);
+  cfg.seed = seed;
+  cfg.trace_cap = 5'000'000;
+
+  auto source_factory = [](const sim::NodeEnv& env) {
+    return sim::SyncBfs::Node(env, env.id == 0);
+  };
+
+  support::Table table({"synchronizer", "tree degree", "total messages",
+                        "busiest node sends", "BFS result"});
+  {
+    auto sim = sim::make_alpha_synchronizer<sim::SyncBfs>(g, source_factory,
+                                                          rounds, cfg);
+    const SyncOutcome out = finish(g, sim, 0);
+    table.start_row();
+    table.cell("alpha (no tree)");
+    table.cell("-");
+    table.cell(out.total_messages);
+    table.cell(out.busiest_node_sends);
+    table.cell(out.bfs_correct ? "correct" : "WRONG");
+  }
+  {
+    auto sim = sim::make_beta_synchronizer<sim::SyncBfs>(g, star,
+                                                         source_factory,
+                                                         rounds, cfg);
+    const SyncOutcome out = finish(g, sim, 0);
+    table.start_row();
+    table.cell("beta over hub star");
+    table.cell(static_cast<std::uint64_t>(star.max_degree()));
+    table.cell(out.total_messages);
+    table.cell(out.busiest_node_sends);
+    table.cell(out.bfs_correct ? "correct" : "WRONG");
+  }
+  {
+    auto sim = sim::make_beta_synchronizer<sim::SyncBfs>(g, mdst_tree,
+                                                         source_factory,
+                                                         rounds, cfg);
+    const SyncOutcome out = finish(g, sim, 0);
+    table.start_row();
+    table.cell("beta over MDegST");
+    table.cell(static_cast<std::uint64_t>(mdst_tree.max_degree()));
+    table.cell(out.total_messages);
+    table.cell(out.busiest_node_sends);
+    table.cell(out.bfs_correct ? "correct" : "WRONG");
+  }
+  table.print(std::cout, "synchronizing " + std::to_string(rounds) + " rounds");
+
+  std::cout << "\nBoth beta variants send far fewer control messages than\n"
+               "alpha; the MDegST tree additionally keeps the *busiest*\n"
+               "node's load near the optimum degree — the hotspot argument\n"
+               "the paper's introduction makes for minimum-degree trees.\n";
+  return 0;
+}

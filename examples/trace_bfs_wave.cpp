@@ -1,0 +1,97 @@
+// Walkthrough of one improvement round — the paper's Figure 2 scenario.
+//
+// Builds a small network whose startup tree has a clear maximum-degree node,
+// runs a single round with tracing enabled, and prints the message timeline
+// grouped by phase so the Cut / BFS wave / cousin replies / BFSBack
+// convergecast / Update..Child exchange described in §3.2 can be followed
+// message by message.
+//
+//   ./trace_bfs_wave [--n=18] [--seed=2]
+#include <cstdint>
+#include <iostream>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 18;
+  std::uint64_t seed = 2;
+  bool full_trace = false;
+  mdst::support::CliParser cli("Fig. 2 walkthrough: one BFS wave, traced");
+  cli.add_uint("n", &n, "network size");
+  cli.add_uint("seed", &seed, "instance seed");
+  cli.add_bool("full-trace", &full_trace, "print every message row");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+
+  using namespace mdst;
+  support::Rng rng(seed);
+  graph::Graph g = graph::make_gnp_connected(n, 0.22, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  std::cout << "network " << g.summary() << "; startup tree max degree "
+            << start.max_degree() << " at node " << start.root() << "\n\n";
+
+  core::Options options;  // single-improvement mode: the paper's §3.2 core
+  sim::SimConfig cfg;
+  cfg.trace_cap = 100'000;
+  cfg.seed = seed;
+  const core::RunResult run = core::run_mdst(g, start, options, cfg);
+
+  // Group the trace per round using the annotation timestamps.
+  std::cout << "round markers:\n";
+  for (const core::RoundMark& mark : run.marks) {
+    std::cout << "  t=" << mark.time << "  msgs=" << mark.total_messages
+              << "  " << mark.label << "\n";
+  }
+
+  std::cout << "\nmessage census (whole run):\n";
+  std::map<std::string, std::uint64_t> census;
+  // (Trace rows live in run.metrics? No: the engine owns them via the
+  // simulator; we re-run with identical seed to collect rows — determinism
+  // makes the two runs identical.)
+  sim::Simulator<core::Protocol> replay(
+      g,
+      [&](const sim::NodeEnv& env) {
+        return core::Node(env, start.parent(env.id), start.children(env.id),
+                          options);
+      },
+      cfg);
+  replay.run();
+  for (const sim::TraceRow& row : replay.trace().rows()) {
+    ++census[row.type_name];
+  }
+  support::Table table({"message type", "count"});
+  for (const auto& [type, count] : census) {
+    table.start_row();
+    table.cell(type);
+    table.cell(count);
+  }
+  table.print(std::cout);
+
+  if (full_trace) {
+    std::cout << "\nfull timeline:\n";
+    for (const sim::TraceRow& row : replay.trace().rows()) {
+      std::cout << "  t=" << row.deliver_time << "  " << row.from << " -> "
+                << row.to << "  " << row.type_name << "  (causal depth "
+                << row.causal_depth << ")\n";
+    }
+  } else {
+    std::cout << "\n(re-run with --full-trace to see every message)\n";
+  }
+
+  std::cout << "\nfinal max degree " << run.final_degree << " after "
+            << run.rounds << " rounds, " << run.improvements
+            << " edge exchanges; stop: " << to_string(run.stop_reason) << "\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/experiment.hpp"
+
+#include "support/assert.hpp"
+
+namespace mdst::analysis {
+
+graph::Graph build_instance(const TrialSpec& spec) {
+  const graph::FamilySpec& family = graph::family_by_name(spec.family);
+  support::Rng rng(support::derive_seed(
+      spec.base_seed, std::hash<std::string>{}(spec.family), spec.n,
+      spec.repetition));
+  graph::Graph g = family.make(spec.n, rng);
+  if (spec.shuffle_names) {
+    graph::assign_random_names(g, rng);
+  }
+  return g;
+}
+
+TrialRecord run_trial(const TrialSpec& spec) {
+  TrialRecord record;
+  record.graph = build_instance(spec);
+  const graph::Graph& g = record.graph;
+  support::Rng tree_rng(support::derive_seed(
+      spec.base_seed ^ 0xabcdef, std::hash<std::string>{}(spec.family),
+      spec.n, spec.repetition));
+  record.initial_tree = graph::build_initial_tree(g, spec.initial_tree, tree_rng);
+
+  sim::SimConfig sim_config;
+  sim_config.delay = spec.delay;
+  sim_config.seed = support::derive_seed(spec.base_seed ^ 0x51u, spec.n,
+                                         spec.repetition);
+
+  record.run = core::run_mdst(g, record.initial_tree, spec.options, sim_config);
+
+  record.n = g.vertex_count();
+  record.m = g.edge_count();
+  record.graph_max_degree = static_cast<int>(g.max_degree());
+  record.k_init = record.run.initial_degree;
+  record.k_final = record.run.final_degree;
+  record.messages = record.run.metrics.total_messages();
+  record.causal_time = record.run.metrics.max_causal_depth();
+  record.max_message_bits = record.run.metrics.max_message_bits();
+  record.max_ids = record.run.metrics.max_ids_carried();
+  record.rounds = record.run.rounds;
+  record.improvements = record.run.improvements;
+  record.stop_reason = record.run.stop_reason;
+  return record;
+}
+
+double message_budget(const TrialRecord& r) {
+  const double delta = static_cast<double>(r.k_init - r.k_final) + 1.0;
+  return delta * static_cast<double>(r.m);
+}
+
+double time_budget(const TrialRecord& r) {
+  const double delta = static_cast<double>(r.k_init - r.k_final) + 1.0;
+  return delta * static_cast<double>(r.n);
+}
+
+}  // namespace mdst::analysis

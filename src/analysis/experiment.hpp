@@ -1,0 +1,66 @@
+// Experiment harness shared by every bench binary: builds an instance,
+// constructs the initial tree, runs the distributed algorithm, and returns
+// one flat record per trial. All stochastic choices derive from
+// (base_seed, family, n, repetition) so any table row can be reproduced in
+// isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/options.hpp"
+#include "runtime/simulator.hpp"
+
+namespace mdst::analysis {
+
+struct TrialSpec {
+  std::string family = "gnp_sparse";
+  std::size_t n = 64;
+  std::uint64_t base_seed = 0x5eed;
+  std::uint64_t repetition = 0;
+  graph::InitialTreeKind initial_tree = graph::InitialTreeKind::kRandom;
+  core::Options options;
+  sim::DelayModel delay = sim::DelayModel::unit();
+  /// Shuffle node names so identities differ from storage indices.
+  bool shuffle_names = true;
+};
+
+struct TrialRecord {
+  // Instance shape.
+  std::size_t n = 0;
+  std::size_t m = 0;
+  int graph_max_degree = 0;
+  // Degrees.
+  int k_init = 0;
+  int k_final = 0;
+  // Paper cost measures.
+  std::uint64_t messages = 0;
+  std::uint64_t causal_time = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint64_t max_ids = 0;
+  // Round structure.
+  std::uint32_t rounds = 0;
+  std::uint64_t improvements = 0;
+  core::StopReason stop_reason = core::StopReason::kNotStopped;
+  // Full engine output for callers that need more.
+  core::RunResult run;
+  graph::Graph graph;
+  graph::RootedTree initial_tree;
+};
+
+/// Build the instance for a spec (same graph for the same coordinates).
+graph::Graph build_instance(const TrialSpec& spec);
+
+/// Run one full trial (instance + initial tree + distributed MDegST).
+TrialRecord run_trial(const TrialSpec& spec);
+
+/// The paper's per-run message budget (k - k* + 1) * m and time budget
+/// (k - k* + 1) * n; callers divide measurements by these.
+double message_budget(const TrialRecord& r);
+double time_budget(const TrialRecord& r);
+
+}  // namespace mdst::analysis

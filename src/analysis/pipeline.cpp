@@ -1,0 +1,71 @@
+#include "analysis/pipeline.hpp"
+
+#include "spanning/dfs_st.hpp"
+#include "spanning/flood_st.hpp"
+#include "spanning/ghs_mst.hpp"
+#include "spanning/leader_elect.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::analysis {
+
+const char* to_string(StartupProtocol protocol) {
+  switch (protocol) {
+    case StartupProtocol::kFloodSt: return "flood_st";
+    case StartupProtocol::kDfsSt: return "dfs_st";
+    case StartupProtocol::kGhsMst: return "ghs_mst";
+    case StartupProtocol::kLeaderElect: return "leader_elect";
+  }
+  return "?";
+}
+
+PipelineResult run_pipeline(const graph::Graph& g, StartupProtocol protocol,
+                            const core::Options& options,
+                            const sim::SimConfig& sim_config,
+                            bool elect_initiator) {
+  PipelineResult result;
+  std::uint64_t election_messages = 0;
+  std::uint64_t election_time = 0;
+
+  sim::NodeId initiator = g.vertex_by_name(0);
+  if (initiator == sim::kNoNode) initiator = 0;  // names need not include 0
+  if (elect_initiator && (protocol == StartupProtocol::kFloodSt ||
+                          protocol == StartupProtocol::kDfsSt)) {
+    const spanning::LeaderRun election = spanning::run_leader_elect(g, sim_config);
+    initiator = election.tree.root();
+    election_messages = election.metrics.total_messages();
+    election_time = election.metrics.max_causal_depth();
+  }
+
+  spanning::SpanningRun startup;
+  switch (protocol) {
+    case StartupProtocol::kFloodSt:
+      startup = spanning::run_flood_st(g, initiator, sim_config);
+      break;
+    case StartupProtocol::kDfsSt:
+      startup = spanning::run_dfs_st(g, initiator, sim_config);
+      break;
+    case StartupProtocol::kGhsMst:
+      startup = spanning::run_ghs_mst(g, sim_config.seed ^ 0x6057, sim_config);
+      break;
+    case StartupProtocol::kLeaderElect: {
+      const spanning::LeaderRun election =
+          spanning::run_leader_elect(g, sim_config);
+      startup.tree = election.tree;
+      startup.metrics = election.metrics;
+      break;
+    }
+  }
+  result.startup_tree = startup.tree;
+  result.startup_messages = startup.metrics.total_messages() + election_messages;
+  result.startup_causal_time =
+      startup.metrics.max_causal_depth() + election_time;
+
+  result.mdst = core::run_mdst(g, startup.tree, options, sim_config);
+  result.total_messages =
+      result.startup_messages + result.mdst.metrics.total_messages();
+  result.total_causal_time =
+      result.startup_causal_time + result.mdst.metrics.max_causal_depth();
+  return result;
+}
+
+}  // namespace mdst::analysis

@@ -1,0 +1,249 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+BfsResult bfs(const Graph& g, VertexId source) {
+  MDST_REQUIRE(g.valid_vertex(source), "bfs: bad source");
+  const std::size_t n = g.vertex_count();
+  BfsResult result;
+  result.parents.assign(n, kInvalidVertex);
+  result.distance.assign(n, -1);
+  result.order.reserve(n);
+  std::deque<VertexId> queue;
+  queue.push_back(source);
+  result.distance[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    result.order.push_back(v);
+    for (const Incidence& inc : g.neighbors(v)) {
+      auto& dist = result.distance[static_cast<std::size_t>(inc.neighbor)];
+      if (dist == -1) {
+        dist = result.distance[static_cast<std::size_t>(v)] + 1;
+        result.parents[static_cast<std::size_t>(inc.neighbor)] = v;
+        queue.push_back(inc.neighbor);
+      }
+    }
+  }
+  return result;
+}
+
+DfsResult dfs(const Graph& g, VertexId source) {
+  MDST_REQUIRE(g.valid_vertex(source), "dfs: bad source");
+  const std::size_t n = g.vertex_count();
+  DfsResult result;
+  result.parents.assign(n, kInvalidVertex);
+  result.order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<std::pair<VertexId, VertexId>> stack;  // (vertex, parent)
+  stack.emplace_back(source, kInvalidVertex);
+  while (!stack.empty()) {
+    const auto [v, parent] = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(v)]) continue;
+    visited[static_cast<std::size_t>(v)] = 1;
+    result.parents[static_cast<std::size_t>(v)] = parent;
+    result.order.push_back(v);
+    const auto neigh = g.neighbors(v);
+    // Reverse push so the first-listed neighbour is explored first.
+    for (auto it = neigh.rbegin(); it != neigh.rend(); ++it) {
+      if (!visited[static_cast<std::size_t>(it->neighbor)]) {
+        stack.emplace_back(it->neighbor, v);
+      }
+    }
+  }
+  return result;
+}
+
+Components connected_components(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Components result;
+  result.component.assign(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (result.component[v] != -1) continue;
+    const int id = static_cast<int>(result.count++);
+    std::vector<VertexId> stack{static_cast<VertexId>(v)};
+    result.component[v] = id;
+    while (!stack.empty()) {
+      const VertexId cur = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.neighbors(cur)) {
+        auto& c = result.component[static_cast<std::size_t>(inc.neighbor)];
+        if (c == -1) {
+          c = id;
+          stack.push_back(inc.neighbor);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.vertex_count() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::size_t components_without_vertex(const Graph& g, VertexId v) {
+  MDST_REQUIRE(g.valid_vertex(v), "components_without_vertex: bad vertex");
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return 0;
+  std::vector<char> visited(n, 0);
+  visited[static_cast<std::size_t>(v)] = 1;
+  std::size_t components = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ++components;
+    std::vector<VertexId> stack{static_cast<VertexId>(s)};
+    visited[s] = 1;
+    while (!stack.empty()) {
+      const VertexId cur = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.neighbors(cur)) {
+        if (!visited[static_cast<std::size_t>(inc.neighbor)]) {
+          visited[static_cast<std::size_t>(inc.neighbor)] = 1;
+          stack.push_back(inc.neighbor);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+namespace {
+
+// Shared iterative Tarjan for bridges + articulation points.
+struct LowLink {
+  std::vector<int> disc;
+  std::vector<int> low;
+  std::vector<EdgeId> bridge_edges;
+  std::vector<VertexId> articulation;
+};
+
+LowLink tarjan(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  LowLink out;
+  out.disc.assign(n, -1);
+  out.low.assign(n, -1);
+  std::vector<char> is_artic(n, 0);
+  int timer = 0;
+
+  struct Frame {
+    VertexId v;
+    EdgeId in_edge;        // edge taken to reach v (kInvalidEdge at root)
+    std::size_t next = 0;  // neighbour cursor
+    std::size_t root_children = 0;
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (out.disc[start] != -1) continue;
+    std::vector<Frame> stack;
+    stack.push_back({static_cast<VertexId>(start), kInvalidEdge});
+    out.disc[start] = out.low[start] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto neigh = g.neighbors(frame.v);
+      if (frame.next < neigh.size()) {
+        const Incidence inc = neigh[frame.next++];
+        if (inc.edge == frame.in_edge) continue;  // don't re-use entry edge
+        const auto w = static_cast<std::size_t>(inc.neighbor);
+        if (out.disc[w] == -1) {
+          out.disc[w] = out.low[w] = timer++;
+          if (frame.in_edge == kInvalidEdge) ++frame.root_children;
+          stack.push_back({inc.neighbor, inc.edge});
+        } else {
+          out.low[static_cast<std::size_t>(frame.v)] =
+              std::min(out.low[static_cast<std::size_t>(frame.v)], out.disc[w]);
+        }
+      } else {
+        // Pop: propagate low-link to parent and classify.
+        const Frame done = frame;
+        stack.pop_back();
+        if (stack.empty()) {
+          if (done.root_children >= 2) is_artic[static_cast<std::size_t>(done.v)] = 1;
+          continue;
+        }
+        Frame& up = stack.back();
+        const auto v = static_cast<std::size_t>(done.v);
+        const auto u = static_cast<std::size_t>(up.v);
+        out.low[u] = std::min(out.low[u], out.low[v]);
+        if (out.low[v] > out.disc[u]) out.bridge_edges.push_back(done.in_edge);
+        if (up.in_edge != kInvalidEdge && out.low[v] >= out.disc[u]) {
+          is_artic[u] = 1;
+        }
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_artic[v]) out.articulation.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EdgeId> bridges(const Graph& g) { return tarjan(g).bridge_edges; }
+
+std::vector<VertexId> articulation_points(const Graph& g) {
+  return tarjan(g).articulation;
+}
+
+std::size_t diameter(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return 0;
+  MDST_REQUIRE(is_connected(g), "diameter: graph must be connected");
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const BfsResult r = bfs(g, static_cast<VertexId>(v));
+    for (int d : r.distance) best = std::max(best, static_cast<std::size_t>(d));
+  }
+  return best;
+}
+
+bool is_tree(const Graph& g) {
+  return g.edge_count() + 1 == g.vertex_count() && is_connected(g);
+}
+
+namespace {
+
+bool ham_path_extend(const Graph& g, VertexId cur, std::vector<char>& used,
+                     std::size_t placed) {
+  if (placed == g.vertex_count()) return true;
+  for (const Incidence& inc : g.neighbors(cur)) {
+    const auto w = static_cast<std::size_t>(inc.neighbor);
+    if (used[w]) continue;
+    used[w] = 1;
+    if (ham_path_extend(g, inc.neighbor, used, placed + 1)) return true;
+    used[w] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool has_hamiltonian_path(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return true;
+  if (!is_connected(g)) return false;
+  // Quick necessary condition: at most 2 vertices of degree 1... not true in
+  // general graphs (degree-1 vertices must be path endpoints), so:
+  std::size_t degree_one = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g.degree(static_cast<VertexId>(v)) == 1) ++degree_one;
+  }
+  if (degree_one > 2) return false;
+  std::vector<char> used(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::fill(used.begin(), used.end(), 0);
+    used[s] = 1;
+    if (ham_path_extend(g, static_cast<VertexId>(s), used, 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace mdst::graph

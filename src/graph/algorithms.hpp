@@ -1,0 +1,58 @@
+// Classic sequential graph algorithms used by generators, baselines,
+// the exact solver, and the invariant checker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace mdst::graph {
+
+/// BFS from `source`: returns parent vector (kInvalidVertex for source and
+/// unreachable vertices) in `parents` and BFS distance (-1 if unreachable).
+struct BfsResult {
+  std::vector<VertexId> parents;
+  std::vector<int> distance;
+  std::vector<VertexId> order;  // visit order, source first
+};
+BfsResult bfs(const Graph& g, VertexId source);
+
+/// Iterative DFS preorder from `source` with parent pointers.
+struct DfsResult {
+  std::vector<VertexId> parents;
+  std::vector<VertexId> order;
+};
+DfsResult dfs(const Graph& g, VertexId source);
+
+/// Component id per vertex (0-based, by discovery) and component count.
+struct Components {
+  std::vector<int> component;
+  std::size_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Number of connected components of G - v (v removed).
+std::size_t components_without_vertex(const Graph& g, VertexId v);
+
+/// Bridges (cut edges) via Tarjan low-link. Returned as edge ids.
+std::vector<EdgeId> bridges(const Graph& g);
+
+/// Articulation points (cut vertices).
+std::vector<VertexId> articulation_points(const Graph& g);
+
+/// Exact diameter by BFS from every vertex (fine for experiment sizes);
+/// returns 0 for n <= 1. Precondition: connected graph.
+std::size_t diameter(const Graph& g);
+
+/// True iff g is a tree (connected with n-1 edges).
+bool is_tree(const Graph& g);
+
+/// True iff g contains a Hamiltonian path (exponential search with degree
+/// pruning; only intended for the exact MDegST solver on small graphs).
+bool has_hamiltonian_path(const Graph& g);
+
+}  // namespace mdst::graph

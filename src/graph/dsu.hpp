@@ -1,0 +1,50 @@
+// Disjoint-set union (union-find) with path halving and union by size.
+// Shared by generators, Kruskal, the exact solver and the checker.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    MDST_REQUIRE(x < parent_.size(), "dsu: index out of range");
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if a merge happened (the two were in different sets).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t component_count() const { return components_; }
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace mdst::graph

@@ -1,0 +1,473 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+Graph make_path(std::size_t n) {
+  MDST_REQUIRE(n >= 1, "path: n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return g;
+}
+
+Graph make_cycle(std::size_t n) {
+  MDST_REQUIRE(n >= 3, "cycle: n >= 3");
+  Graph g = make_path(n);
+  g.add_edge(static_cast<VertexId>(n - 1), 0);
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  MDST_REQUIRE(n >= 2, "star: n >= 2");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(0, static_cast<VertexId>(i));
+  }
+  return g;
+}
+
+Graph make_wheel(std::size_t n) {
+  MDST_REQUIRE(n >= 4, "wheel: n >= 4");
+  Graph g(n);  // vertex 0 is the hub
+  const std::size_t ring = n - 1;
+  for (std::size_t i = 0; i < ring; ++i) {
+    g.add_edge(0, static_cast<VertexId>(1 + i));
+    g.add_edge(static_cast<VertexId>(1 + i),
+               static_cast<VertexId>(1 + (i + 1) % ring));
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  MDST_REQUIRE(rows >= 1 && cols >= 1, "grid: positive dims");
+  Graph g(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  MDST_REQUIRE(rows >= 3 && cols >= 3, "torus: dims >= 3");
+  Graph g(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(at(r, c), at(r, (c + 1) % cols));
+      g.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(std::size_t dimensions) {
+  MDST_REQUIRE(dimensions <= 20, "hypercube: dimension too large");
+  const std::size_t n = std::size_t{1} << dimensions;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < dimensions; ++bit) {
+      const std::size_t w = v ^ (std::size_t{1} << bit);
+      if (v < w) g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return g;
+}
+
+Graph make_complete_bipartite(std::size_t a, std::size_t b) {
+  MDST_REQUIRE(a >= 1 && b >= 1, "bipartite: positive sides");
+  Graph g(a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(a + j));
+    }
+  }
+  return g;
+}
+
+Graph make_binary_tree(std::size_t n) {
+  MDST_REQUIRE(n >= 1, "binary tree: n >= 1");
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>((v - 1) / 2));
+  }
+  return g;
+}
+
+Graph make_caterpillar(std::size_t spine, std::size_t legs) {
+  MDST_REQUIRE(spine >= 1, "caterpillar: spine >= 1");
+  Graph g(spine * (1 + legs));
+  for (std::size_t i = 0; i + 1 < spine; ++i) {
+    g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  std::size_t next = spine;
+  for (std::size_t i = 0; i < spine; ++i) {
+    for (std::size_t leg = 0; leg < legs; ++leg) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+    }
+  }
+  return g;
+}
+
+Graph make_lollipop(std::size_t clique, std::size_t path) {
+  MDST_REQUIRE(clique >= 2, "lollipop: clique >= 2");
+  Graph g(clique + path);
+  for (std::size_t i = 0; i < clique; ++i) {
+    for (std::size_t j = i + 1; j < clique; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < path; ++i) {
+    const auto v = static_cast<VertexId>(clique + i);
+    g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+Graph make_gnp(std::size_t n, double p, support::Rng& rng) {
+  MDST_REQUIRE(p >= 0.0 && p <= 1.0, "gnp: p in [0,1]");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p)) {
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_gnp_connected(std::size_t n, double p, support::Rng& rng) {
+  MDST_REQUIRE(n >= 1, "gnp_connected: n >= 1");
+  // Uniform random tree skeleton first, then independent coin flips on the
+  // remaining pairs. Slight upward bias in edge count vs pure G(n,p), which
+  // is irrelevant for our sweeps (documented here for honesty).
+  Graph g = make_random_tree(n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto a = static_cast<VertexId>(i);
+      const auto b = static_cast<VertexId>(j);
+      if (!g.has_edge(a, b) && rng.next_bool(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph make_gnm(std::size_t n, std::size_t m, support::Rng& rng) {
+  const std::size_t max_edges = n * (n - 1) / 2;
+  MDST_REQUIRE(m <= max_edges, "gnm: too many edges");
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < m) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a == b || g.has_edge(a, b)) continue;
+    g.add_edge(a, b);
+    ++added;
+  }
+  return g;
+}
+
+Graph make_gnm_connected(std::size_t n, std::size_t m, support::Rng& rng) {
+  MDST_REQUIRE(n >= 1, "gnm_connected: n >= 1");
+  MDST_REQUIRE(m + 1 >= n, "gnm_connected: m >= n-1 required");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  MDST_REQUIRE(m <= max_edges, "gnm_connected: too many edges");
+  Graph g = make_random_tree(n, rng);
+  std::size_t added = g.edge_count();
+  while (added < m) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a == b || g.has_edge(a, b)) continue;
+    g.add_edge(a, b);
+    ++added;
+  }
+  return g;
+}
+
+Graph make_geometric_connected(std::size_t n, double radius, support::Rng& rng) {
+  MDST_REQUIRE(n >= 1, "geometric: n >= 1");
+  MDST_REQUIRE(radius > 0.0, "geometric: radius > 0");
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx * dx + dy * dy <= r2) {
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  // Connect components through their geometrically closest pair — mimics
+  // adding the minimal number of long-range radio links to a sensor field.
+  while (true) {
+    const Components comps = connected_components(g);
+    if (comps.count <= 1) break;
+    double best = 0.0;
+    VertexId bu = kInvalidVertex, bv = kInvalidVertex;
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (comps.component[i] == comps.component[j]) continue;
+        const double dx = x[i] - x[j];
+        const double dy = y[i] - y[j];
+        const double d2 = dx * dx + dy * dy;
+        if (!found || d2 < best) {
+          best = d2;
+          bu = static_cast<VertexId>(i);
+          bv = static_cast<VertexId>(j);
+          found = true;
+        }
+      }
+    }
+    MDST_ASSERT(found, "geometric: no inter-component pair");
+    g.add_edge(bu, bv);
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t k, support::Rng& rng) {
+  MDST_REQUIRE(k >= 1 && n > k, "barabasi_albert: n > k >= 1");
+  Graph g(n);
+  // Seed clique of k+1 vertices so every new vertex can find k targets.
+  std::vector<VertexId> attachment;  // vertex repeated per degree
+  for (std::size_t i = 0; i <= k; ++i) {
+    for (std::size_t j = i + 1; j <= k; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      attachment.push_back(static_cast<VertexId>(i));
+      attachment.push_back(static_cast<VertexId>(j));
+    }
+  }
+  for (std::size_t v = k + 1; v < n; ++v) {
+    std::vector<VertexId> targets;
+    while (targets.size() < k) {
+      const VertexId t = attachment[rng.pick_index(attachment)];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (VertexId t : targets) {
+      g.add_edge(static_cast<VertexId>(v), t);
+      attachment.push_back(static_cast<VertexId>(v));
+      attachment.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                          support::Rng& rng) {
+  MDST_REQUIRE(k >= 2 && k % 2 == 0, "watts_strogatz: k even and >= 2");
+  MDST_REQUIRE(n > k, "watts_strogatz: n > k");
+  MDST_REQUIRE(beta >= 0.0 && beta <= 1.0, "watts_strogatz: beta in [0,1]");
+  Graph g(n);
+  // Ring lattice: each vertex connects to k/2 clockwise neighbours.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t hop = 1; hop <= k / 2; ++hop) {
+      g.add_edge(static_cast<VertexId>(v),
+                 static_cast<VertexId>((v + hop) % n));
+    }
+  }
+  // Rewire: since Graph has no edge removal (kept deliberately minimal), we
+  // rebuild the edge set and construct a fresh graph.
+  std::vector<Edge> edge_list(g.edges().begin(), g.edges().end());
+  Graph out(n);
+  auto exists_in = [&out](VertexId a, VertexId b) { return out.has_edge(a, b); };
+  // First pass: decide rewiring; add kept edges.
+  std::vector<std::size_t> to_rewire;
+  for (std::size_t e = 0; e < edge_list.size(); ++e) {
+    if (rng.next_bool(beta)) {
+      to_rewire.push_back(e);
+    } else {
+      out.add_edge(edge_list[e].u, edge_list[e].v);
+    }
+  }
+  for (std::size_t e : to_rewire) {
+    const VertexId keep = edge_list[e].u;
+    // Try a handful of random endpoints; fall back to the original edge when
+    // the vertex neighbourhood is saturated.
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      const auto w = static_cast<VertexId>(rng.next_below(n));
+      if (w != keep && !exists_in(keep, w)) {
+        out.add_edge(keep, w);
+        placed = true;
+      }
+    }
+    if (!placed && !exists_in(edge_list[e].u, edge_list[e].v)) {
+      out.add_edge(edge_list[e].u, edge_list[e].v);
+    }
+  }
+  // Guarantee connectivity (rare breakage at high beta): link components.
+  while (!is_connected(out)) {
+    const Components comps = connected_components(out);
+    VertexId a = kInvalidVertex, b = kInvalidVertex;
+    for (std::size_t v = 0; v < n && b == kInvalidVertex; ++v) {
+      if (comps.component[v] != 0) {
+        b = static_cast<VertexId>(v);
+      } else if (a == kInvalidVertex) {
+        a = static_cast<VertexId>(v);
+      }
+    }
+    if (a == kInvalidVertex) a = 0;
+    out.add_edge(a, b);
+  }
+  return out;
+}
+
+Graph make_random_tree(std::size_t n, support::Rng& rng) {
+  MDST_REQUIRE(n >= 1, "random_tree: n >= 1");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding: uniform over all n^(n-2) labelled trees.
+  std::vector<std::size_t> prufer(n - 2);
+  for (auto& x : prufer) x = rng.next_below(n);
+  std::vector<std::size_t> degree(n, 1);
+  for (std::size_t x : prufer) ++degree[x];
+  // Min-heap of current leaves.
+  std::vector<std::size_t> leaves;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.push_back(v);
+  }
+  std::make_heap(leaves.begin(), leaves.end(), std::greater<>());
+  for (std::size_t x : prufer) {
+    std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+    const std::size_t leaf = leaves.back();
+    leaves.pop_back();
+    g.add_edge(static_cast<VertexId>(leaf), static_cast<VertexId>(x));
+    if (--degree[x] == 1) {
+      leaves.push_back(x);
+      std::push_heap(leaves.begin(), leaves.end(), std::greater<>());
+    }
+  }
+  std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+  const std::size_t a = leaves.back();
+  leaves.pop_back();
+  const std::size_t b = leaves.front();
+  g.add_edge(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  return g;
+}
+
+void assign_random_names(Graph& g, support::Rng& rng) {
+  std::vector<NodeName> names(g.vertex_count());
+  std::iota(names.begin(), names.end(), NodeName{0});
+  rng.shuffle(names);
+  g.set_names(std::move(names));
+}
+
+namespace {
+
+std::size_t isqrt(std::size_t n) {
+  auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  while ((r + 1) * (r + 1) <= n) ++r;
+  while (r * r > n) --r;
+  return r;
+}
+
+Graph family_gnp_sparse(std::size_t n, support::Rng& rng) {
+  // Expected degree ~6; above the connectivity threshold for our sizes.
+  const double p = std::min(1.0, 6.0 / static_cast<double>(std::max<std::size_t>(n, 2) - 1));
+  return make_gnp_connected(n, p, rng);
+}
+
+Graph family_gnp_dense(std::size_t n, support::Rng& rng) {
+  return make_gnp_connected(n, 0.3, rng);
+}
+
+Graph family_gnm(std::size_t n, support::Rng& rng) {
+  const std::size_t m = std::min(3 * n, n * (n - 1) / 2);
+  return make_gnm_connected(n, m, rng);
+}
+
+Graph family_geometric(std::size_t n, support::Rng& rng) {
+  // Radius ~ sqrt(8/(pi n)) gives expected degree ~8.
+  const double r =
+      std::sqrt(8.0 / (3.14159265358979323846 * static_cast<double>(n)));
+  return make_geometric_connected(n, std::min(1.5, r), rng);
+}
+
+Graph family_barabasi(std::size_t n, support::Rng& rng) {
+  return make_barabasi_albert(std::max<std::size_t>(n, 4), 3, rng);
+}
+
+Graph family_smallworld(std::size_t n, support::Rng& rng) {
+  return make_watts_strogatz(std::max<std::size_t>(n, 8), 4, 0.2, rng);
+}
+
+Graph family_hypercube(std::size_t n, support::Rng& rng) {
+  (void)rng;
+  std::size_t d = 1;
+  while ((std::size_t{1} << (d + 1)) <= n) ++d;
+  return make_hypercube(d);
+}
+
+Graph family_grid(std::size_t n, support::Rng& rng) {
+  (void)rng;
+  const std::size_t side = std::max<std::size_t>(isqrt(n), 2);
+  return make_grid(side, side);
+}
+
+Graph family_complete(std::size_t n, support::Rng& rng) {
+  (void)rng;
+  return make_complete(n);
+}
+
+const std::vector<FamilySpec> kFamilies = {
+    {"gnp_sparse", family_gnp_sparse}, {"gnp_dense", family_gnp_dense},
+    {"gnm", family_gnm},               {"geometric", family_geometric},
+    {"barabasi_albert", family_barabasi},
+    {"small_world", family_smallworld}, {"hypercube", family_hypercube},
+    {"grid", family_grid},             {"complete", family_complete},
+};
+
+}  // namespace
+
+const std::vector<FamilySpec>& standard_families() { return kFamilies; }
+
+const FamilySpec& family_by_name(const std::string& name) {
+  for (const FamilySpec& family : kFamilies) {
+    if (family.name == name) return family;
+  }
+  MDST_REQUIRE(false, "unknown family: " + name);
+  MDST_UNREACHABLE("unknown family");
+}
+
+}  // namespace mdst::graph

@@ -1,0 +1,93 @@
+// Graph generators: the workload families used by the experiment suite.
+//
+// Deterministic generators take no RNG; stochastic ones take an explicit
+// support::Rng so each experiment row is reproducible from its seed.
+// Stochastic families that can produce disconnected graphs come in a
+// `*_connected` variant that augments with a random spanning skeleton —
+// the paper's model assumes a connected network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+
+// --- Deterministic families -------------------------------------------------
+
+/// Path P_n: 0-1-2-...-(n-1).
+Graph make_path(std::size_t n);
+/// Cycle C_n. Precondition: n >= 3.
+Graph make_cycle(std::size_t n);
+/// Complete graph K_n.
+Graph make_complete(std::size_t n);
+/// Star S_n: vertex 0 adjacent to all others. Precondition: n >= 2.
+Graph make_star(std::size_t n);
+/// Wheel W_n: cycle of n-1 vertices plus a hub. Precondition: n >= 4.
+Graph make_wheel(std::size_t n);
+/// Grid rows x cols (4-neighbour).
+Graph make_grid(std::size_t rows, std::size_t cols);
+/// Torus rows x cols (grid with wraparound). Preconditions: rows, cols >= 3.
+Graph make_torus(std::size_t rows, std::size_t cols);
+/// Hypercube Q_d with 2^d vertices.
+Graph make_hypercube(std::size_t dimensions);
+/// Complete bipartite K_{a,b}.
+Graph make_complete_bipartite(std::size_t a, std::size_t b);
+/// Full binary tree with n vertices (heap ordering).
+Graph make_binary_tree(std::size_t n);
+/// Caterpillar: spine of `spine` vertices, each with `legs` pendant leaves.
+Graph make_caterpillar(std::size_t spine, std::size_t legs);
+/// Lollipop: K_c clique attached to a path of p vertices.
+Graph make_lollipop(std::size_t clique, std::size_t path);
+
+// --- Stochastic families ----------------------------------------------------
+
+/// Erdős–Rényi G(n, p).
+Graph make_gnp(std::size_t n, double p, support::Rng& rng);
+/// G(n, p) made connected by first inserting a uniform random spanning tree.
+Graph make_gnp_connected(std::size_t n, double p, support::Rng& rng);
+/// Erdős–Rényi G(n, m): exactly m distinct edges.
+Graph make_gnm(std::size_t n, std::size_t m, support::Rng& rng);
+/// Connected G(n, m): random spanning tree + (m - n + 1) random extra edges.
+/// Precondition: m >= n-1 and m <= n(n-1)/2.
+Graph make_gnm_connected(std::size_t n, std::size_t m, support::Rng& rng);
+/// Random geometric graph on the unit square with connection radius r;
+/// augmented to connectivity with nearest-component links.
+Graph make_geometric_connected(std::size_t n, double radius, support::Rng& rng);
+/// Barabási–Albert preferential attachment, each new vertex adds `k` edges.
+/// Precondition: n > k >= 1.
+Graph make_barabasi_albert(std::size_t n, std::size_t k, support::Rng& rng);
+/// Watts–Strogatz small world: ring lattice degree `k` (even), rewiring
+/// probability beta; rewiring keeps the graph simple and connected.
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                          support::Rng& rng);
+/// Uniformly random tree via Prüfer sequence decoding.
+Graph make_random_tree(std::size_t n, support::Rng& rng);
+
+// --- Naming -------------------------------------------------------------
+
+/// Replace node names with a random permutation of [0, n); exercises the
+/// minimum-identity tie-breaks of the distributed algorithms.
+void assign_random_names(Graph& g, support::Rng& rng);
+
+// --- Family registry (used by sweeps/benches) -----------------------------
+
+/// A named family with a single size knob; density parameters are fixed to
+/// representative values documented in DESIGN.md §6.
+struct FamilySpec {
+  std::string name;
+  /// Generate an instance with ~n vertices (exact n whenever the family
+  /// permits; hypercube/grid round to the nearest legal size).
+  Graph (*make)(std::size_t n, support::Rng& rng);
+};
+
+/// Families used in the standard experiment sweep.
+const std::vector<FamilySpec>& standard_families();
+
+/// Lookup by name. Throws ContractViolation if unknown.
+const FamilySpec& family_by_name(const std::string& name);
+
+}  // namespace mdst::graph

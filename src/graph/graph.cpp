@@ -1,0 +1,115 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+Graph::Graph(std::size_t n) : adjacency_(n), names_(n) {
+  for (std::size_t i = 0; i < n; ++i) names_[i] = static_cast<NodeName>(i);
+}
+
+VertexId Graph::add_vertex() {
+  adjacency_.emplace_back();
+  names_.push_back(static_cast<NodeName>(adjacency_.size() - 1));
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+EdgeId Graph::add_edge(VertexId a, VertexId b) {
+  MDST_REQUIRE(valid_vertex(a) && valid_vertex(b), "add_edge: bad endpoint");
+  MDST_REQUIRE(a != b, "add_edge: self-loop rejected");
+  const Edge e = normalized(a, b);
+  MDST_REQUIRE(edge_set_.emplace(e.u, e.v).second,
+               "add_edge: parallel edge rejected");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(e);
+  adjacency_[static_cast<std::size_t>(a)].push_back({b, id});
+  adjacency_[static_cast<std::size_t>(b)].push_back({a, id});
+  return id;
+}
+
+bool Graph::has_edge(VertexId a, VertexId b) const {
+  if (!valid_vertex(a) || !valid_vertex(b) || a == b) return false;
+  const Edge e = normalized(a, b);
+  return edge_set_.count({e.u, e.v}) > 0;
+}
+
+EdgeId Graph::find_edge(VertexId a, VertexId b) const {
+  if (!has_edge(a, b)) return kInvalidEdge;
+  // Scan the smaller incidence list.
+  const VertexId probe =
+      degree(a) <= degree(b) ? a : b;
+  const VertexId want = probe == a ? b : a;
+  for (const Incidence& inc : neighbors(probe)) {
+    if (inc.neighbor == want) return inc.edge;
+  }
+  MDST_UNREACHABLE("edge present in set but absent from adjacency");
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  MDST_REQUIRE(e >= 0 && static_cast<std::size_t>(e) < edges_.size(),
+               "edge id out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+std::span<const Incidence> Graph::neighbors(VertexId v) const {
+  MDST_REQUIRE(valid_vertex(v), "neighbors: bad vertex");
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+std::size_t Graph::degree(VertexId v) const {
+  MDST_REQUIRE(valid_vertex(v), "degree: bad vertex");
+  return adjacency_[static_cast<std::size_t>(v)].size();
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& row : adjacency_) best = std::max(best, row.size());
+  return best;
+}
+
+std::size_t Graph::min_degree() const {
+  if (adjacency_.empty()) return 0;
+  std::size_t best = adjacency_.front().size();
+  for (const auto& row : adjacency_) best = std::min(best, row.size());
+  return best;
+}
+
+NodeName Graph::name(VertexId v) const {
+  MDST_REQUIRE(valid_vertex(v), "name: bad vertex");
+  return names_[static_cast<std::size_t>(v)];
+}
+
+void Graph::set_names(std::vector<NodeName> names) {
+  MDST_REQUIRE(names.size() == adjacency_.size(), "names size mismatch");
+  std::vector<NodeName> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  MDST_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+               "names must be distinct");
+  names_ = std::move(names);
+}
+
+VertexId Graph::vertex_by_name(NodeName name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VertexId>(i);
+  }
+  return kInvalidVertex;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << vertex_count() << ", m=" << edge_count() << ")";
+  return os.str();
+}
+
+std::size_t degree_sum(const Graph& g) {
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    total += g.degree(static_cast<VertexId>(v));
+  }
+  return total;
+}
+
+}  // namespace mdst::graph

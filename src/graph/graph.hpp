@@ -1,0 +1,90 @@
+// Simple undirected graph with stable edge ids and per-vertex adjacency.
+//
+// The representation favours the access patterns of the simulator and the
+// tree-improvement algorithms: O(deg) neighbour iteration, O(1) edge-id
+// lookup on an incident list, O(1) degree, and an O(1) average `has_edge`
+// via a hash set of normalised endpoint pairs. Graphs are simple (no
+// self-loops, no parallel edges) — both are rejected with contracts, since
+// neither occurs in the paper's model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mdst::graph {
+
+/// (neighbour, id of the connecting edge) entry of an adjacency list.
+struct Incidence {
+  VertexId neighbor = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Create n isolated vertices named 0..n-1.
+  explicit Graph(std::size_t n);
+
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Append a vertex; returns its index (also its default name).
+  VertexId add_vertex();
+
+  /// Add undirected edge {a,b}. Precondition: a != b, both valid, edge absent.
+  EdgeId add_edge(VertexId a, VertexId b);
+
+  /// True iff {a,b} is an edge (order-insensitive).
+  bool has_edge(VertexId a, VertexId b) const;
+
+  /// Edge id of {a,b} or kInvalidEdge.
+  EdgeId find_edge(VertexId a, VertexId b) const;
+
+  const Edge& edge(EdgeId e) const;
+  std::span<const Edge> edges() const { return edges_; }
+
+  std::span<const Incidence> neighbors(VertexId v) const;
+  std::size_t degree(VertexId v) const;
+  std::size_t max_degree() const;
+  std::size_t min_degree() const;
+
+  bool valid_vertex(VertexId v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < adjacency_.size();
+  }
+
+  /// Distinct node identity used by distributed tie-breaks. Defaults to the
+  /// index; `set_names` installs a permutation (must be unique values).
+  NodeName name(VertexId v) const;
+  void set_names(std::vector<NodeName> names);
+  const std::vector<NodeName>& names() const { return names_; }
+
+  /// Vertex with the given name, or kInvalidVertex.
+  VertexId vertex_by_name(NodeName name) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=16, m=32)".
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<Incidence>> adjacency_;
+  std::vector<Edge> edges_;
+  std::vector<NodeName> names_;
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<VertexId, VertexId>& p) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first)) << 32) |
+          static_cast<std::uint32_t>(p.second));
+    }
+  };
+  std::unordered_set<std::pair<VertexId, VertexId>, PairHash> edge_set_;
+};
+
+/// Total handshake count = 2m; used in sanity checks.
+std::size_t degree_sum(const Graph& g);
+
+}  // namespace mdst::graph

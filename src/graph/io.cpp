@@ -1,0 +1,81 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace mdst::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# libmdst edge list\n";
+  out << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      const auto trimmed = support::trim(line);
+      if (!trimmed.empty() && trimmed[0] != '#') {
+        line = std::string(trimmed);
+        return true;
+      }
+    }
+    return false;
+  };
+  MDST_REQUIRE(next_data_line(), "edge list: missing header");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  MDST_REQUIRE(static_cast<bool>(header >> n >> m), "edge list: bad header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    MDST_REQUIRE(next_data_line(), "edge list: truncated");
+    std::istringstream row(line);
+    long long u = 0, v = 0;
+    MDST_REQUIRE(static_cast<bool>(row >> u >> v), "edge list: bad edge row");
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  MDST_REQUIRE(out.good(), "cannot open for write: " + path);
+  write_edge_list(out, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  MDST_REQUIRE(in.good(), "cannot open for read: " + path);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& out, const Graph& g, const RootedTree* tree) {
+  out << "graph G {\n  node [shape=circle];\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    out << "  " << v;
+    if (tree != nullptr && tree->root() == static_cast<VertexId>(v)) {
+      out << " [style=filled, fillcolor=gold]";
+    }
+    out << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    const bool in_tree =
+        tree != nullptr && tree->has_tree_edge(e.u, e.v);
+    out << "  " << e.u << " -- " << e.v;
+    if (in_tree) {
+      out << " [penwidth=2.5]";
+    } else {
+      out << " [color=grey70]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace mdst::graph

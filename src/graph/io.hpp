@@ -1,0 +1,32 @@
+// Graph serialisation: simple edge-list text format and Graphviz DOT export
+// (used by the examples to visualise before/after trees).
+//
+// Edge-list format:
+//   # comment lines allowed
+//   n m
+//   u v      (m lines, 0-based vertex indices)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace mdst::graph {
+
+/// Write the edge-list format.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parse the edge-list format. Throws ContractViolation on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Round-trip helpers for files.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+/// DOT export; tree edges (if a tree is given) are drawn bold, others grey.
+void write_dot(std::ostream& out, const Graph& g,
+               const RootedTree* tree = nullptr);
+
+}  // namespace mdst::graph

@@ -1,0 +1,146 @@
+#include "graph/spanning_builders.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+RootedTree bfs_tree(const Graph& g, VertexId root) {
+  MDST_REQUIRE(is_connected(g), "bfs_tree: graph must be connected");
+  BfsResult r = bfs(g, root);
+  return RootedTree::from_parents(root, std::move(r.parents));
+}
+
+RootedTree dfs_tree(const Graph& g, VertexId root) {
+  MDST_REQUIRE(is_connected(g), "dfs_tree: graph must be connected");
+  DfsResult r = dfs(g, root);
+  return RootedTree::from_parents(root, std::move(r.parents));
+}
+
+RootedTree random_spanning_tree(const Graph& g, VertexId root,
+                                support::Rng& rng) {
+  MDST_REQUIRE(is_connected(g), "random_spanning_tree: must be connected");
+  const std::size_t n = g.vertex_count();
+  std::vector<VertexId> parents(n, kInvalidVertex);
+  std::vector<char> in_tree(n, 0);
+  in_tree[static_cast<std::size_t>(root)] = 1;
+  // Wilson's algorithm: loop-erased random walks from each vertex until the
+  // current tree is hit; yields the uniform distribution over spanning trees.
+  std::vector<VertexId> next(n, kInvalidVertex);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (in_tree[start]) continue;
+    // Random walk recording the last exit edge of each visited vertex.
+    VertexId cur = static_cast<VertexId>(start);
+    while (!in_tree[static_cast<std::size_t>(cur)]) {
+      const auto neigh = g.neighbors(cur);
+      const Incidence& step = neigh[rng.pick_index(neigh)];
+      next[static_cast<std::size_t>(cur)] = step.neighbor;
+      cur = step.neighbor;
+    }
+    // Retrace the loop-erased path and add it to the tree.
+    cur = static_cast<VertexId>(start);
+    while (!in_tree[static_cast<std::size_t>(cur)]) {
+      const VertexId to = next[static_cast<std::size_t>(cur)];
+      parents[static_cast<std::size_t>(cur)] = to;
+      in_tree[static_cast<std::size_t>(cur)] = 1;
+      cur = to;
+    }
+  }
+  return RootedTree::from_parents(root, std::move(parents));
+}
+
+RootedTree kruskal_mst(const Graph& g, const std::vector<Weight>& weights,
+                       VertexId root) {
+  MDST_REQUIRE(weights.size() == g.edge_count(), "kruskal: weight size");
+  MDST_REQUIRE(is_connected(g), "kruskal: must be connected");
+  const std::size_t n = g.vertex_count();
+  std::vector<EdgeId> ids(g.edge_count());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+    const Weight wa = weights[static_cast<std::size_t>(a)];
+    const Weight wb = weights[static_cast<std::size_t>(b)];
+    return wa != wb ? wa < wb : a < b;
+  });
+  Dsu dsu(n);
+  Graph tree_graph(n);
+  for (EdgeId id : ids) {
+    const Edge& e = g.edge(id);
+    if (dsu.unite(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v))) {
+      tree_graph.add_edge(e.u, e.v);
+      if (tree_graph.edge_count() + 1 == n) break;
+    }
+  }
+  MDST_ASSERT(tree_graph.edge_count() + 1 == n, "kruskal: tree incomplete");
+  BfsResult r = bfs(tree_graph, root);
+  return RootedTree::from_parents(root, std::move(r.parents));
+}
+
+RootedTree random_mst(const Graph& g, VertexId root, support::Rng& rng) {
+  std::vector<Weight> weights(g.edge_count());
+  for (auto& w : weights) w = rng.next_double();
+  return kruskal_mst(g, weights, root);
+}
+
+RootedTree star_biased_tree(const Graph& g) {
+  MDST_REQUIRE(is_connected(g), "star_biased_tree: must be connected");
+  const std::size_t n = g.vertex_count();
+  // Hub = max-degree vertex (ties by index).
+  VertexId hub = 0;
+  for (std::size_t v = 1; v < n; ++v) {
+    if (g.degree(static_cast<VertexId>(v)) > g.degree(hub)) {
+      hub = static_cast<VertexId>(v);
+    }
+  }
+  std::vector<VertexId> parents(n, kInvalidVertex);
+  std::vector<char> attached(n, 0);
+  attached[static_cast<std::size_t>(hub)] = 1;
+  std::vector<VertexId> frontier;
+  for (const Incidence& inc : g.neighbors(hub)) {
+    parents[static_cast<std::size_t>(inc.neighbor)] = hub;
+    attached[static_cast<std::size_t>(inc.neighbor)] = 1;
+    frontier.push_back(inc.neighbor);
+  }
+  // Grow the remainder by BFS from the hub's neighbours.
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const VertexId v = frontier[head++];
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (!attached[static_cast<std::size_t>(inc.neighbor)]) {
+        attached[static_cast<std::size_t>(inc.neighbor)] = 1;
+        parents[static_cast<std::size_t>(inc.neighbor)] = v;
+        frontier.push_back(inc.neighbor);
+      }
+    }
+  }
+  return RootedTree::from_parents(hub, std::move(parents));
+}
+
+const char* to_string(InitialTreeKind kind) {
+  switch (kind) {
+    case InitialTreeKind::kBfs: return "bfs";
+    case InitialTreeKind::kDfs: return "dfs";
+    case InitialTreeKind::kRandom: return "random";
+    case InitialTreeKind::kMst: return "mst";
+    case InitialTreeKind::kStarBiased: return "star";
+  }
+  return "?";
+}
+
+RootedTree build_initial_tree(const Graph& g, InitialTreeKind kind,
+                              support::Rng& rng) {
+  const auto root = static_cast<VertexId>(rng.next_below(g.vertex_count()));
+  switch (kind) {
+    case InitialTreeKind::kBfs: return bfs_tree(g, root);
+    case InitialTreeKind::kDfs: return dfs_tree(g, root);
+    case InitialTreeKind::kRandom: return random_spanning_tree(g, root, rng);
+    case InitialTreeKind::kMst: return random_mst(g, root, rng);
+    case InitialTreeKind::kStarBiased: return star_biased_tree(g);
+  }
+  MDST_UNREACHABLE("bad InitialTreeKind");
+}
+
+}  // namespace mdst::graph

@@ -1,0 +1,60 @@
+// Sequential spanning-tree constructions.
+//
+// The paper's algorithm takes *any* rooted spanning tree as input. These
+// builders provide controlled starting points for experiments:
+//   * bfs_tree / dfs_tree   — the classic cheap constructions;
+//   * random_spanning_tree  — uniformly random via Wilson's loop-erased walk;
+//   * kruskal_mst           — minimum weight (random or supplied weights),
+//                             the stand-in for a distributed GHS result;
+//   * star_biased_tree      — adversarial start: attaches as many vertices
+//                             as possible to a single hub, manufacturing an
+//                             initial degree k near the graph max degree to
+//                             exercise the worst-case round count k - k* + 1.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+
+/// BFS tree rooted at `root`. Precondition: g connected.
+RootedTree bfs_tree(const Graph& g, VertexId root);
+
+/// DFS tree rooted at `root`. Precondition: g connected.
+RootedTree dfs_tree(const Graph& g, VertexId root);
+
+/// Uniformly random spanning tree (Wilson's algorithm), rooted at `root`.
+RootedTree random_spanning_tree(const Graph& g, VertexId root, support::Rng& rng);
+
+/// Kruskal MST under the given edge weights (size = edge_count). Ties broken
+/// by edge id. Rooted at `root`.
+RootedTree kruskal_mst(const Graph& g, const std::vector<Weight>& weights,
+                       VertexId root);
+
+/// Kruskal MST under uniform random weights.
+RootedTree random_mst(const Graph& g, VertexId root, support::Rng& rng);
+
+/// Adversarial high-degree start: greedily attach every neighbour of the
+/// highest-degree vertex (the hub), then grow the rest by BFS. The hub is
+/// the root.
+RootedTree star_biased_tree(const Graph& g);
+
+/// Initial-tree kinds used by experiment sweeps.
+enum class InitialTreeKind {
+  kBfs,
+  kDfs,
+  kRandom,
+  kMst,
+  kStarBiased,
+};
+
+const char* to_string(InitialTreeKind kind);
+
+/// Build the requested initial tree; `rng` is used by the stochastic kinds.
+RootedTree build_initial_tree(const Graph& g, InitialTreeKind kind,
+                              support::Rng& rng);
+
+}  // namespace mdst::graph

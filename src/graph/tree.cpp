@@ -1,0 +1,270 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+
+RootedTree RootedTree::from_parents(VertexId root, std::vector<VertexId> parents) {
+  const std::size_t n = parents.size();
+  MDST_REQUIRE(n > 0, "empty tree");
+  MDST_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n, "bad root");
+  MDST_REQUIRE(parents[static_cast<std::size_t>(root)] == kInvalidVertex,
+               "root must have no parent");
+
+  RootedTree tree;
+  tree.root_ = root;
+  tree.parents_ = std::move(parents);
+  tree.children_.assign(n, {});
+  std::size_t rootless = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId p = tree.parents_[v];
+    if (p == kInvalidVertex) {
+      ++rootless;
+      continue;
+    }
+    MDST_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < n,
+                 "parent out of range");
+    MDST_REQUIRE(p != static_cast<VertexId>(v), "self parent");
+    tree.children_[static_cast<std::size_t>(p)].push_back(
+        static_cast<VertexId>(v));
+  }
+  MDST_REQUIRE(rootless == 1, "exactly one root expected");
+  // Cycle check: walk up from every vertex with a step budget of n.
+  for (std::size_t v = 0; v < n; ++v) {
+    VertexId cur = static_cast<VertexId>(v);
+    std::size_t steps = 0;
+    while (cur != root) {
+      cur = tree.parents_[static_cast<std::size_t>(cur)];
+      MDST_REQUIRE(cur != kInvalidVertex, "disconnected parent structure");
+      MDST_REQUIRE(++steps <= n, "cycle in parent structure");
+    }
+  }
+  return tree;
+}
+
+void RootedTree::check_vertex(VertexId v) const {
+  MDST_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < parents_.size(),
+               "tree: vertex out of range");
+}
+
+VertexId RootedTree::parent(VertexId v) const {
+  check_vertex(v);
+  return parents_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<VertexId>& RootedTree::children(VertexId v) const {
+  check_vertex(v);
+  return children_[static_cast<std::size_t>(v)];
+}
+
+std::size_t RootedTree::degree(VertexId v) const {
+  check_vertex(v);
+  return children_[static_cast<std::size_t>(v)].size() +
+         (parents_[static_cast<std::size_t>(v)] == kInvalidVertex ? 0 : 1);
+}
+
+std::size_t RootedTree::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    best = std::max(best, degree(static_cast<VertexId>(v)));
+  }
+  return best;
+}
+
+std::vector<VertexId> RootedTree::max_degree_vertices() const {
+  const std::size_t k = max_degree();
+  std::vector<VertexId> out;
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    if (degree(static_cast<VertexId>(v)) == k) {
+      out.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return out;
+}
+
+bool RootedTree::has_tree_edge(VertexId a, VertexId b) const {
+  check_vertex(a);
+  check_vertex(b);
+  return parents_[static_cast<std::size_t>(a)] == b ||
+         parents_[static_cast<std::size_t>(b)] == a;
+}
+
+std::vector<VertexId> RootedTree::subtree(VertexId v) const {
+  check_vertex(v);
+  std::vector<VertexId> out;
+  std::vector<VertexId> stack{v};
+  while (!stack.empty()) {
+    const VertexId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children_[static_cast<std::size_t>(cur)];
+    // Push in reverse so preorder matches children order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::size_t RootedTree::subtree_size(VertexId v) const {
+  return subtree(v).size();
+}
+
+std::vector<VertexId> RootedTree::path(VertexId a, VertexId b) const {
+  check_vertex(a);
+  check_vertex(b);
+  // Collect ancestors of a (inclusive), then walk up from b to the first
+  // common one.
+  std::vector<VertexId> up_a;
+  std::vector<char> on_a(parents_.size(), 0);
+  for (VertexId cur = a;; cur = parents_[static_cast<std::size_t>(cur)]) {
+    up_a.push_back(cur);
+    on_a[static_cast<std::size_t>(cur)] = 1;
+    if (cur == root_) break;
+  }
+  std::vector<VertexId> up_b;
+  VertexId meet = b;
+  while (!on_a[static_cast<std::size_t>(meet)]) {
+    up_b.push_back(meet);
+    meet = parents_[static_cast<std::size_t>(meet)];
+  }
+  std::vector<VertexId> out;
+  for (VertexId cur : up_a) {
+    out.push_back(cur);
+    if (cur == meet) break;
+  }
+  for (auto it = up_b.rbegin(); it != up_b.rend(); ++it) out.push_back(*it);
+  return out;
+}
+
+std::size_t RootedTree::depth(VertexId v) const {
+  check_vertex(v);
+  std::size_t d = 0;
+  for (VertexId cur = v; cur != root_;
+       cur = parents_[static_cast<std::size_t>(cur)]) {
+    ++d;
+    MDST_ASSERT(d <= parents_.size(), "depth exceeded n — corrupt tree");
+  }
+  return d;
+}
+
+std::size_t RootedTree::height() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    best = std::max(best, depth(static_cast<VertexId>(v)));
+  }
+  return best;
+}
+
+void RootedTree::remove_child(VertexId parent, VertexId child) {
+  auto& kids = children_[static_cast<std::size_t>(parent)];
+  const auto it = std::find(kids.begin(), kids.end(), child);
+  MDST_ASSERT(it != kids.end(), "remove_child: not a child");
+  kids.erase(it);
+}
+
+void RootedTree::reroot(VertexId new_root) {
+  check_vertex(new_root);
+  if (new_root == root_) return;
+  // Reverse parent pointers along the path root_ .. new_root ("path
+  // reversal" as in the MoveRoot step).
+  std::vector<VertexId> chain;  // new_root up to old root
+  for (VertexId cur = new_root; cur != kInvalidVertex;
+       cur = parents_[static_cast<std::size_t>(cur)]) {
+    chain.push_back(cur);
+  }
+  MDST_ASSERT(chain.back() == root_, "reroot: walk did not reach root");
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const VertexId upper = chain[i];      // closer to old root
+    const VertexId lower = chain[i - 1];  // closer to new root
+    remove_child(upper, lower);
+    parents_[static_cast<std::size_t>(upper)] = lower;
+    children_[static_cast<std::size_t>(lower)].push_back(upper);
+  }
+  parents_[static_cast<std::size_t>(new_root)] = kInvalidVertex;
+  root_ = new_root;
+}
+
+void RootedTree::cut_and_link(VertexId child, VertexId new_parent) {
+  check_vertex(child);
+  check_vertex(new_parent);
+  const VertexId old_parent = parents_[static_cast<std::size_t>(child)];
+  MDST_REQUIRE(old_parent != kInvalidVertex, "cut_and_link: child is root");
+  MDST_REQUIRE(new_parent != child, "cut_and_link: self attach");
+  // Guard against creating a cycle: new_parent must not be in child's
+  // subtree.
+  const auto sub = subtree(child);
+  MDST_REQUIRE(std::find(sub.begin(), sub.end(), new_parent) == sub.end(),
+               "cut_and_link: new parent inside moved subtree");
+  remove_child(old_parent, child);
+  parents_[static_cast<std::size_t>(child)] = new_parent;
+  children_[static_cast<std::size_t>(new_parent)].push_back(child);
+}
+
+std::vector<Edge> RootedTree::edges() const {
+  std::vector<Edge> out;
+  out.reserve(parents_.size() - 1);
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    const VertexId p = parents_[v];
+    if (p != kInvalidVertex) out.push_back(normalized(static_cast<VertexId>(v), p));
+  }
+  return out;
+}
+
+std::vector<std::size_t> RootedTree::degree_histogram() const {
+  std::vector<std::size_t> hist(max_degree() + 1, 0);
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    ++hist[degree(static_cast<VertexId>(v))];
+  }
+  return hist;
+}
+
+bool RootedTree::spans(const Graph& g) const {
+  if (g.vertex_count() != parents_.size()) return false;
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    const VertexId p = parents_[v];
+    if (p == kInvalidVertex) continue;
+    if (!g.has_edge(static_cast<VertexId>(v), p)) return false;
+  }
+  // from_parents/cut_and_link maintain acyclicity + connectivity, but verify
+  // independently so the checker can trust this predicate.
+  std::vector<char> seen(parents_.size(), 0);
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < parents_.size(); ++v) {
+    VertexId cur = static_cast<VertexId>(v);
+    std::size_t steps = 0;
+    while (cur != root_ && !seen[static_cast<std::size_t>(cur)]) {
+      if (++steps > parents_.size()) return false;
+      cur = parents_[static_cast<std::size_t>(cur)];
+      if (cur == kInvalidVertex) return false;
+    }
+    if (!seen[v]) {
+      seen[v] = 1;
+      ++count;
+    }
+  }
+  return count == parents_.size();
+}
+
+VertexId fragment_root(const RootedTree& tree, VertexId p, VertexId x) {
+  MDST_REQUIRE(x != p || tree.vertex_count() == 1, "fragment_root: x == p");
+  if (x == p) return kInvalidVertex;
+  // Works for any rooted orientation: walk from x toward the root until the
+  // next hop would be p; if p is not an ancestor of x, the fragment is the
+  // one containing the root side, identified by p's parent-side neighbour.
+  VertexId cur = x;
+  while (true) {
+    const VertexId up = tree.parent(cur);
+    if (up == p) return cur;
+    if (up == kInvalidVertex) {
+      // x is above p (or in another branch): the fragment containing x is
+      // reached from p through p's parent.
+      const VertexId pp = tree.parent(p);
+      MDST_ASSERT(pp != kInvalidVertex, "fragment_root: p is root yet x above");
+      return pp;
+    }
+    cur = up;
+  }
+}
+
+}  // namespace mdst::graph

@@ -1,0 +1,90 @@
+// Rooted spanning tree representation.
+//
+// The MDegST algorithm manipulates a rooted tree: every node has a parent
+// (except the root), an ordered children list, and a *tree degree* (number
+// of incident tree edges — parent plus children). RootedTree is the global
+// "bird's eye" structure used by sequential baselines, the checker and
+// metrics; the distributed nodes hold only their local slice of it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace mdst::graph {
+
+class RootedTree {
+ public:
+  RootedTree() = default;
+
+  /// Build from a parent vector; parent[root] must be kInvalidVertex.
+  /// Validates that the structure is a tree on n vertices (single root,
+  /// no cycles).
+  static RootedTree from_parents(VertexId root, std::vector<VertexId> parents);
+
+  std::size_t vertex_count() const { return parents_.size(); }
+  VertexId root() const { return root_; }
+
+  VertexId parent(VertexId v) const;
+  const std::vector<VertexId>& children(VertexId v) const;
+
+  /// Degree of v in the tree (parent edge + child edges).
+  std::size_t degree(VertexId v) const;
+  std::size_t max_degree() const;
+  /// All vertices attaining max_degree().
+  std::vector<VertexId> max_degree_vertices() const;
+
+  bool is_leaf(VertexId v) const { return degree(v) <= 1; }
+  bool has_tree_edge(VertexId a, VertexId b) const;
+
+  /// Vertices of the subtree rooted at v (v first, preorder).
+  std::vector<VertexId> subtree(VertexId v) const;
+  std::size_t subtree_size(VertexId v) const;
+
+  /// Path from a to b through the tree (inclusive of both endpoints).
+  std::vector<VertexId> path(VertexId a, VertexId b) const;
+
+  /// Depth of v (root has depth 0).
+  std::size_t depth(VertexId v) const;
+  /// Height of the tree = max depth.
+  std::size_t height() const;
+
+  /// Re-root at `new_root` by reversing parent pointers along the path.
+  void reroot(VertexId new_root);
+
+  /// Structural edit used by the improvement step: detach the subtree of
+  /// `child` from its current parent and attach it below `new_parent` via
+  /// the tree edge (new_parent, child). The caller guarantees this keeps the
+  /// structure a tree (new_parent must not be inside child's subtree);
+  /// violated guarantees are caught by contracts.
+  void cut_and_link(VertexId child, VertexId new_parent);
+
+  /// Tree edges as (parent, child) pairs, n-1 of them.
+  std::vector<Edge> edges() const;
+
+  /// Degree histogram indexed by degree.
+  std::vector<std::size_t> degree_histogram() const;
+
+  /// True iff this is a spanning tree of g (every tree edge is a g-edge and
+  /// the structure spans all vertices).
+  bool spans(const Graph& g) const;
+
+ private:
+  VertexId root_ = kInvalidVertex;
+  std::vector<VertexId> parents_;
+  std::vector<std::vector<VertexId>> children_;
+
+  void check_vertex(VertexId v) const;
+  void remove_child(VertexId parent, VertexId child);
+};
+
+/// The *fragment* of vertex x relative to cutting vertex p: the connected
+/// component of T - p containing x. For the rooted tree with root p this is
+/// the subtree of p's child leading to x. Returns p's child identifying the
+/// fragment, or kInvalidVertex if x == p.
+VertexId fragment_root(const RootedTree& tree, VertexId p, VertexId x);
+
+}  // namespace mdst::graph

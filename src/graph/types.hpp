@@ -1,0 +1,42 @@
+// Fundamental identifier types for the graph layer.
+//
+// A vertex has two distinct notions of identity:
+//   * its *index* (VertexId) — dense [0, n) handle used by data structures;
+//   * its *name* (NodeName)  — the distinct identity the distributed model
+//     assumes ("named asynchronous network"). Protocol tie-breaks (minimum
+//     identity) compare names, never indices, so experiments can permute
+//     names to check that the algorithm does not secretly depend on the
+//     storage order.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace mdst::graph {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+using NodeName = std::int64_t;
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Undirected edge; stored with u < v after normalisation.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// The endpoint that is not `from`. Precondition: from is an endpoint.
+  VertexId other(VertexId from) const { return from == u ? v : u; }
+};
+
+/// Normalise so that u <= v; self-loops are rejected upstream.
+inline Edge normalized(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return Edge{a, b};
+}
+
+}  // namespace mdst::graph

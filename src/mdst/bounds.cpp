@@ -1,0 +1,85 @@
+#include "mdst/bounds.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+
+int vertex_cut_bound(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return 0;
+  int best = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    best = std::max(
+        best, static_cast<int>(graph::components_without_vertex(
+                  g, static_cast<graph::VertexId>(v))));
+  }
+  return best;
+}
+
+namespace {
+
+std::size_t components_without_pair(const graph::Graph& g, graph::VertexId a,
+                                    graph::VertexId b) {
+  const std::size_t n = g.vertex_count();
+  graph::Dsu dsu(n);
+  std::vector<char> removed(n, 0);
+  removed[static_cast<std::size_t>(a)] = 1;
+  removed[static_cast<std::size_t>(b)] = 1;
+  std::size_t present = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!removed[v]) ++present;
+  }
+  if (present == 0) return 0;
+  std::size_t merges = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (removed[static_cast<std::size_t>(e.u)] ||
+        removed[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    if (dsu.unite(static_cast<std::size_t>(e.u),
+                  static_cast<std::size_t>(e.v))) {
+      ++merges;
+    }
+  }
+  return present - merges;
+}
+
+}  // namespace
+
+int pair_cut_bound(const graph::Graph& g, std::size_t pair_limit) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 2 || n > pair_limit) return 0;
+  int best = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const std::size_t comps = components_without_pair(
+          g, static_cast<graph::VertexId>(a), static_cast<graph::VertexId>(b));
+      // Σ deg_T over {a,b} >= comps + 1  =>  max >= ceil((comps + 1) / 2).
+      const int bound = static_cast<int>((comps + 1 + 1) / 2);
+      best = std::max(best, bound);
+    }
+  }
+  return best;
+}
+
+int degree_lower_bound(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return 0;
+  if (n == 2) return 1;
+  int best = 2;  // every spanning tree on n >= 3 vertices has a degree-2 node
+  best = std::max(best, vertex_cut_bound(g));
+  best = std::max(best, pair_cut_bound(g));
+  return best;
+}
+
+double kmz_message_bound(std::size_t n, std::size_t k) {
+  MDST_REQUIRE(k >= 1, "kmz bound: k >= 1");
+  return static_cast<double>(n) * static_cast<double>(n) /
+         static_cast<double>(k);
+}
+
+}  // namespace mdst::core

@@ -1,0 +1,34 @@
+// Lower bounds on the optimal spanning-tree degree Δ*.
+//
+// Used to certify exactness on mid-size instances where the exact solver is
+// too slow, and as the reference line of the approximation experiment:
+//
+//   * vertex-cut bound: any spanning tree must connect the components of
+//     G - v through v, so deg_T(v) >= #components(G - v) for every tree;
+//   * set bound (pairs): for X ⊆ V the tree edges leaving X must connect
+//     all components of G - X to X, so Σ_{x∈X} deg_T(x) >=
+//     #components(G - X) + |X| - 1, giving a ceil-average bound;
+//   * trivial bound: 2 for n >= 3 unless the graph is a simple path-like
+//     structure (Δ* = 1 only for n <= 2).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace mdst::core {
+
+/// max_v #components(G - v).
+int vertex_cut_bound(const graph::Graph& g);
+
+/// Pairwise set bound; O(n^2 (n+m)), only evaluated when n <= pair_limit.
+int pair_cut_bound(const graph::Graph& g, std::size_t pair_limit = 48);
+
+/// Best available lower bound on Δ*.
+int degree_lower_bound(const graph::Graph& g);
+
+/// Korach–Moran–Zaks message lower bound Ω(n²/k) for degree-k-restricted
+/// spanning tree construction on a complete network (reference curve).
+double kmz_message_bound(std::size_t n, std::size_t k);
+
+}  // namespace mdst::core

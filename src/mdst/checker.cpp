@@ -1,0 +1,94 @@
+#include "mdst/checker.hpp"
+
+#include <algorithm>
+
+#include "graph/dsu.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Component labels of the forest obtained by deleting `removed` vertices
+/// from the tree. Removed vertices get label -1.
+std::vector<int> forest_components(const graph::RootedTree& tree,
+                                   const std::vector<char>& removed) {
+  const std::size_t n = tree.vertex_count();
+  graph::Dsu dsu(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    const graph::VertexId p = tree.parent(static_cast<graph::VertexId>(v));
+    if (p == graph::kInvalidVertex || removed[static_cast<std::size_t>(p)]) {
+      continue;
+    }
+    dsu.unite(v, static_cast<std::size_t>(p));
+  }
+  std::vector<int> label(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!removed[v]) label[v] = static_cast<int>(dsu.find(v));
+  }
+  return label;
+}
+
+}  // namespace
+
+bool vertex_improvable(const graph::Graph& g, const graph::RootedTree& tree,
+                       graph::VertexId p) {
+  MDST_REQUIRE(g.valid_vertex(p), "vertex_improvable: bad vertex");
+  const std::size_t n = g.vertex_count();
+  const int k = static_cast<int>(tree.degree(p));
+  std::vector<char> removed(n, 0);
+  removed[static_cast<std::size_t>(p)] = 1;
+  const std::vector<int> comp = forest_components(tree, removed);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.u == p || e.v == p) continue;
+    if (comp[static_cast<std::size_t>(e.u)] ==
+        comp[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    const int du = static_cast<int>(tree.degree(e.u));
+    const int dv = static_cast<int>(tree.degree(e.v));
+    if (du <= k - 2 && dv <= k - 2) return true;
+  }
+  return false;
+}
+
+LocalOptReport local_optimality(const graph::Graph& g,
+                                const graph::RootedTree& tree) {
+  LocalOptReport report;
+  report.max_degree = static_cast<int>(tree.max_degree());
+  for (const graph::VertexId p : tree.max_degree_vertices()) {
+    if (vertex_improvable(g, tree, p)) {
+      report.improvable.push_back(p);
+    } else {
+      report.blocked.push_back(p);
+    }
+  }
+  return report;
+}
+
+std::size_t crossing_edges_all_b(const graph::Graph& g,
+                                 const graph::RootedTree& tree) {
+  const std::size_t n = g.vertex_count();
+  const std::size_t k = tree.max_degree();
+  std::vector<char> removed(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t d = tree.degree(static_cast<graph::VertexId>(v));
+    if (d >= k - 1 && k >= 1) removed[v] = 1;
+  }
+  const std::vector<int> comp = forest_components(tree, removed);
+  std::size_t crossing = 0;
+  for (const graph::Edge& e : g.edges()) {
+    const int cu = comp[static_cast<std::size_t>(e.u)];
+    const int cv = comp[static_cast<std::size_t>(e.v)];
+    if (cu == -1 || cv == -1) continue;
+    if (cu != cv) ++crossing;
+  }
+  return crossing;
+}
+
+bool theorem_witness_all_b(const graph::Graph& g,
+                           const graph::RootedTree& tree) {
+  return crossing_edges_all_b(g, tree) == 0;
+}
+
+}  // namespace mdst::core

@@ -1,0 +1,50 @@
+// Global invariant checker — the oracle used by tests and benches.
+//
+// The distributed nodes only ever see local state; this module owns the
+// "bird's eye" validation that the union of their views has the properties
+// the paper claims:
+//   * the structure is a spanning tree of g;
+//   * local optimality: a vertex p is *blocked* if no graph edge joins two
+//     different components of T - p with both endpoint tree-degrees
+//     <= deg(p) - 2 (the improvement precondition of §3.2.4/§3.2.5);
+//   * the Fürer–Raghavachari Theorem-1 witness: removing S (all max-degree
+//     vertices) together with a choice of B ⊆ {degree k-1} leaves a forest
+//     with no crossing edges.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace mdst::core {
+
+struct LocalOptReport {
+  int max_degree = 0;
+  /// Max-degree vertices that still admit an improving exchange.
+  std::vector<graph::VertexId> improvable;
+  /// Max-degree vertices with no improving exchange.
+  std::vector<graph::VertexId> blocked;
+
+  bool all_blocked() const { return improvable.empty(); }
+  bool any_blocked() const { return !blocked.empty(); }
+};
+
+/// True iff `p` admits an improving exchange in `tree` (see above).
+bool vertex_improvable(const graph::Graph& g, const graph::RootedTree& tree,
+                       graph::VertexId p);
+
+/// Classify every max-degree vertex of `tree`.
+LocalOptReport local_optimality(const graph::Graph& g,
+                                const graph::RootedTree& tree);
+
+/// Theorem-1 witness check with B = all degree-(k-1) vertices: returns true
+/// iff no graph edge connects two different components of
+/// T - (S ∪ B). When true, k <= Δ* + 1 is guaranteed.
+bool theorem_witness_all_b(const graph::Graph& g, const graph::RootedTree& tree);
+
+/// Count of edges crossing components of T - S - B for reporting.
+std::size_t crossing_edges_all_b(const graph::Graph& g,
+                                 const graph::RootedTree& tree);
+
+}  // namespace mdst::core

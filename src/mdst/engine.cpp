@@ -1,0 +1,193 @@
+#include "mdst/engine.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace mdst::core {
+namespace {
+
+using Sim = sim::Simulator<Protocol>;
+
+graph::RootedTree extract_tree(const Sim& simulation) {
+  const std::size_t n = simulation.node_count();
+  std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  sim::NodeId root = sim::kNoNode;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    MDST_ASSERT(node.done(), "protocol ended with an undone node");
+    if (node.parent() == sim::kNoNode) {
+      MDST_ASSERT(root == sim::kNoNode, "two roots after termination");
+      root = static_cast<sim::NodeId>(v);
+    } else {
+      parents[v] = node.parent();
+    }
+  }
+  MDST_ASSERT(root != sim::kNoNode, "no root after termination");
+  graph::RootedTree tree =
+      graph::RootedTree::from_parents(root, std::move(parents));
+  for (std::size_t v = 0; v < n; ++v) {
+    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    auto kids = node.children();
+    std::sort(kids.begin(), kids.end());
+    auto expected = tree.children(static_cast<sim::NodeId>(v));
+    std::sort(expected.begin(), expected.end());
+    MDST_ASSERT(kids == expected, "child/parent views disagree");
+  }
+  return tree;
+}
+
+/// Mid-run consistency probe used by check_each_round: right after a Detach
+/// delivery no structural operation is in flight, so the union of local
+/// views must form a spanning tree of g.
+void validate_midrun(const Sim& simulation, const graph::Graph& g) {
+  const std::size_t n = simulation.node_count();
+  std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  sim::NodeId root = sim::kNoNode;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    if (node.parent() == sim::kNoNode) {
+      MDST_ASSERT(root == sim::kNoNode, "mid-run: two roots");
+      root = static_cast<sim::NodeId>(v);
+    } else {
+      parents[v] = node.parent();
+    }
+  }
+  MDST_ASSERT(root != sim::kNoNode, "mid-run: no root");
+  const graph::RootedTree tree =
+      graph::RootedTree::from_parents(root, std::move(parents));
+  MDST_ASSERT(tree.spans(g), "mid-run: not a spanning tree of g");
+}
+
+std::vector<RoundStats> derive_round_stats(const std::vector<RoundMark>& marks) {
+  // Annotation sequence per round:
+  //   round=R | decide ... | cut ... | wave_done ... | improve ... (opt)
+  // Message counters at each mark let us diff the phases. The "cut" mark is
+  // missing when the root did not move and had no MoveRoot... (it is always
+  // emitted by begin_cut); "decide" is always emitted; terminal rounds stop
+  // after "decide" or "wave_done".
+  std::vector<RoundStats> rounds;
+  RoundStats current;
+  std::uint64_t at_round_start = 0;
+  std::uint64_t at_decide = 0;
+  std::uint64_t at_cut = 0;
+  std::uint64_t at_wave = 0;
+  bool in_round = false;
+  auto flush = [&](std::uint64_t end_messages) {
+    if (!in_round) return;
+    if (at_decide >= at_round_start) {
+      current.search_msgs = at_decide - at_round_start;
+    }
+    if (at_cut > 0) {
+      current.move_msgs = at_cut - at_decide;
+      if (at_wave > 0) {
+        current.wave_msgs = at_wave - at_cut;
+        current.choose_msgs = end_messages - at_wave;
+      }
+    }
+    rounds.push_back(current);
+    in_round = false;
+  };
+  for (const RoundMark& mark : marks) {
+    const auto fields = support::split_whitespace(mark.label);
+    if (fields.empty()) continue;
+    if (support::starts_with(fields[0], "round=")) {
+      flush(mark.total_messages);
+      current = RoundStats{};
+      current.round =
+          static_cast<std::uint32_t>(std::stoul(fields[0].substr(6)));
+      at_round_start = mark.total_messages;
+      at_decide = at_cut = at_wave = 0;
+      in_round = true;
+    } else if (fields[0] == "decide") {
+      at_decide = mark.total_messages;
+      for (const std::string& f : fields) {
+        if (support::starts_with(f, "k_all=")) {
+          current.k = std::stoi(f.substr(6));
+        }
+      }
+    } else if (fields[0] == "cut") {
+      at_cut = mark.total_messages;
+    } else if (fields[0] == "wave_done") {
+      at_wave = mark.total_messages;
+    } else if (fields[0] == "improve") {
+      current.improved = true;
+    } else if (fields[0] == "terminate") {
+      flush(mark.total_messages);
+    }
+  }
+  // A run always ends with a terminate mark, which flushed the last round.
+  return rounds;
+}
+
+}  // namespace
+
+RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
+                   const Options& options, const sim::SimConfig& sim_config) {
+  MDST_REQUIRE(initial.spans(g), "initial tree must span g");
+  MDST_REQUIRE(graph::is_connected(g), "graph must be connected");
+
+  Sim simulation(
+      g,
+      [&](const sim::NodeEnv& env) {
+        const graph::VertexId v = env.id;
+        const graph::VertexId parent = initial.parent(v);
+        return Node(env, parent, initial.children(v), options);
+      },
+      sim_config);
+
+  if (options.check_each_round) {
+    const std::size_t detach_index =
+        static_cast<std::size_t>(MessageType::kDetach);
+    std::uint64_t detaches_seen = 0;
+    while (simulation.step()) {
+      const std::uint64_t detaches =
+          simulation.metrics().messages_of_type(detach_index);
+      if (detaches != detaches_seen) {
+        detaches_seen = detaches;
+        validate_midrun(simulation, g);
+      }
+    }
+  } else {
+    simulation.run();
+  }
+
+  RunResult result;
+  result.tree = extract_tree(simulation);
+  result.metrics = simulation.metrics();
+  result.initial_degree = static_cast<int>(initial.max_degree());
+  result.final_degree = static_cast<int>(result.tree.max_degree());
+  MDST_ASSERT(result.tree.spans(g), "final structure must span g");
+
+  std::uint32_t rounds = 0;
+  std::uint64_t improvements = 0;
+  for (std::size_t v = 0; v < simulation.node_count(); ++v) {
+    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    rounds = std::max(rounds, node.rounds_started());
+    improvements += node.improvements_applied();
+    if (node.stop_reason() != StopReason::kNotStopped) {
+      MDST_ASSERT(result.stop_reason == StopReason::kNotStopped,
+                  "two nodes claim to have stopped the run");
+      result.stop_reason = node.stop_reason();
+    }
+  }
+  MDST_ASSERT(result.stop_reason != StopReason::kNotStopped,
+              "no stop reason recorded");
+  result.rounds = rounds;
+  result.improvements = improvements;
+  if (options.max_rounds != 0) {
+    MDST_ASSERT(result.rounds <= options.max_rounds,
+                "round budget exceeded");
+  }
+
+  for (const sim::Annotation& a : result.metrics.annotations()) {
+    result.marks.push_back({a.time, a.total_messages, a.max_causal_depth,
+                            a.label});
+  }
+  result.round_stats = derive_round_stats(result.marks);
+  return result;
+}
+
+}  // namespace mdst::core

@@ -1,0 +1,66 @@
+// Engine: runs the distributed MDegST protocol on a graph from a given
+// initial rooted spanning tree, and packages the result for experiments.
+//
+// This is the main entry point of the library:
+//
+//   auto g    = mdst::graph::make_gnp_connected(64, 0.2, rng);
+//   auto st   = mdst::spanning::run_flood_st(g, 0).tree;   // distributed
+//   auto run  = mdst::core::run_mdst(g, st, {}, {});
+//   // run.tree.max_degree() <= st.max_degree(), locally optimal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "mdst/node.hpp"
+#include "mdst/options.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/simulator.hpp"
+
+namespace mdst::core {
+
+/// One parsed root-side annotation ("round=3", "decide ...", "improve ...").
+struct RoundMark {
+  sim::Time time = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t max_causal_depth = 0;
+  std::string label;
+};
+
+/// Per-round phase message census derived from the annotations; used by the
+/// per-round budget experiment (E9).
+struct RoundStats {
+  std::uint32_t round = 0;
+  int k = -1;                       // max degree this round (from "decide")
+  std::uint64_t search_msgs = 0;    // StartRound broadcast + SearchReply
+  std::uint64_t move_msgs = 0;      // MoveRoot hops
+  std::uint64_t wave_msgs = 0;      // Cut + Bfs + CousinReply + BfsBack
+  std::uint64_t choose_msgs = 0;    // Update .. Detach/Abort
+  bool improved = false;
+};
+
+struct RunResult {
+  graph::RootedTree tree;  // final spanning tree
+  sim::Metrics metrics{static_cast<std::size_t>(
+                           std::variant_size_v<core::Message>),
+                       1};
+  StopReason stop_reason = StopReason::kNotStopped;
+  std::uint32_t rounds = 0;
+  std::uint64_t improvements = 0;
+  int initial_degree = 0;
+  int final_degree = 0;
+  std::vector<RoundMark> marks;
+  std::vector<RoundStats> round_stats;
+};
+
+/// Run the protocol to termination. Preconditions: `initial` spans `g`.
+/// With options.check_each_round, the engine validates the global tree
+/// after every committed improvement (slow; for tests).
+RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
+                   const Options& options = {},
+                   const sim::SimConfig& sim_config = {});
+
+}  // namespace mdst::core

@@ -1,0 +1,199 @@
+#include "mdst/exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/bounds.hpp"
+#include "mdst/furer_raghavachari.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Union-find with an explicit undo stack (no path compression) so the
+/// branch-and-bound can backtrack in O(1) per operation.
+class RollbackDsu {
+ public:
+  explicit RollbackDsu(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    undo_.push_back(b);
+    return true;
+  }
+
+  void rollback_one() {
+    MDST_ASSERT(!undo_.empty(), "rollback with empty undo stack");
+    const std::size_t b = undo_.back();
+    undo_.pop_back();
+    const std::size_t a = parent_[b];
+    size_[a] -= size_[b];
+    parent_[b] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::vector<std::size_t> undo_;
+};
+
+class DecisionSearch {
+ public:
+  DecisionSearch(const graph::Graph& g, int d, std::uint64_t budget)
+      : g_(g), d_(d), budget_(budget), dsu_(g.vertex_count()),
+        degree_(g.vertex_count(), 0) {}
+
+  Feasibility run() {
+    Feasibility result;
+    if (g_.vertex_count() <= 1) {
+      result.feasible = true;
+      return result;
+    }
+    ok_ = true;
+    result.feasible = recurse(0);
+    result.proven = ok_;
+    result.nodes_explored = nodes_;
+    if (!ok_) result.feasible = false;
+    return result;
+  }
+
+ private:
+  bool usable(const graph::Edge& e) const {
+    return degree_[static_cast<std::size_t>(e.u)] < d_ &&
+           degree_[static_cast<std::size_t>(e.v)] < d_;
+  }
+
+  /// Look-ahead: can the picked forest plus the still-usable suffix edges
+  /// connect everything? (Upper-bound relaxation: ignores that picking one
+  /// suffix edge may saturate another's endpoint.)
+  bool connectable(std::size_t idx) {
+    RollbackDsu probe = dsu_;  // cheap: vectors copy, undo stack empty
+    std::size_t merges = 0;
+    const auto edges = g_.edges();
+    std::size_t components = count_components();
+    if (components == 1) return true;
+    for (std::size_t i = idx; i < edges.size(); ++i) {
+      if (!usable(edges[i])) continue;
+      if (probe.unite(static_cast<std::size_t>(edges[i].u),
+                      static_cast<std::size_t>(edges[i].v))) {
+        ++merges;
+        if (components - merges == 1) return true;
+      }
+    }
+    return components - merges == 1;
+  }
+
+  std::size_t count_components() const {
+    // picked_ edges form a forest on n vertices.
+    return g_.vertex_count() - picked_;
+  }
+
+  bool recurse(std::size_t idx) {
+    if (!ok_) return false;
+    if (++nodes_ > budget_) {
+      ok_ = false;
+      return false;
+    }
+    if (picked_ + 1 == g_.vertex_count()) return true;
+    const auto edges = g_.edges();
+    if (idx >= edges.size()) return false;
+    // Not enough edges left even ignoring every constraint?
+    if (edges.size() - idx < g_.vertex_count() - 1 - picked_) return false;
+    if (!connectable(idx)) return false;
+    const graph::Edge& e = edges[idx];
+    const auto u = static_cast<std::size_t>(e.u);
+    const auto v = static_cast<std::size_t>(e.v);
+    const bool can_pick =
+        usable(e) && dsu_.find(u) != dsu_.find(v);
+    if (can_pick) {
+      dsu_.unite(u, v);
+      ++degree_[u];
+      ++degree_[v];
+      ++picked_;
+      if (recurse(idx + 1)) return true;
+      --picked_;
+      --degree_[u];
+      --degree_[v];
+      dsu_.rollback_one();
+    }
+    return recurse(idx + 1);
+  }
+
+  const graph::Graph& g_;
+  int d_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool ok_ = true;
+  RollbackDsu dsu_;
+  std::vector<int> degree_;
+  std::size_t picked_ = 0;
+};
+
+}  // namespace
+
+Feasibility spanning_tree_with_degree(const graph::Graph& g, int d,
+                                      std::uint64_t budget) {
+  MDST_REQUIRE(d >= 0, "spanning_tree_with_degree: d >= 0");
+  if (g.vertex_count() > 1) {
+    MDST_REQUIRE(graph::is_connected(g), "graph must be connected");
+  }
+  if (d == 0) {
+    Feasibility r;
+    r.feasible = g.vertex_count() <= 1;
+    return r;
+  }
+  DecisionSearch search(g, d, budget);
+  return search.run();
+}
+
+ExactResult exact_mdst_degree(const graph::Graph& g, std::uint64_t budget) {
+  ExactResult result;
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) {
+    result.optimal_degree = 0;
+    return result;
+  }
+  if (n == 2) {
+    result.optimal_degree = 1;
+    return result;
+  }
+  MDST_REQUIRE(graph::is_connected(g), "exact: graph must be connected");
+  // Upper bound from the FR(kFull) heuristic: Δ* ∈ {fr - 1, fr} when the
+  // theorem applies; the linear scan below does not rely on that, it only
+  // uses fr as a feasible upper bound.
+  graph::RootedTree start = graph::bfs_tree(g, 0);
+  const FrResult fr = furer_raghavachari(g, start, FrVariant::kFull);
+  const int upper = fr.final_degree;
+  const int lower = degree_lower_bound(g);
+  for (int d = lower; d < upper; ++d) {
+    const Feasibility f = spanning_tree_with_degree(g, d, budget);
+    result.nodes_explored += f.nodes_explored;
+    if (!f.proven) {
+      result.proven = false;
+      result.optimal_degree = upper;  // best known
+      return result;
+    }
+    if (f.feasible) {
+      result.optimal_degree = d;
+      return result;
+    }
+  }
+  result.optimal_degree = upper;
+  return result;
+}
+
+}  // namespace mdst::core

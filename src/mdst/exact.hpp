@@ -1,0 +1,44 @@
+// Exact minimum-degree spanning tree via branch-and-bound.
+//
+// MDegST is NP-hard, so this solver is meant for instances up to roughly
+// n = 24 — enough to certify the Δ* + 1 guarantee of the distributed
+// algorithm on thousands of sampled instances (experiment E3).
+//
+// Strategy: binary-free linear scan over the decision problem "does a
+// spanning tree with max degree <= d exist?" from the best lower bound
+// upward. The decision search branches over edges with two prunings:
+//   * degree caps (never pick an edge at a saturated endpoint);
+//   * connectivity look-ahead: if the currently picked forest plus all
+//     still-usable edges cannot connect the graph, backtrack.
+// The Fürer–Raghavachari (kFull) tree caps the scan from above: Δ* is
+// either its degree or one less, so at most two decision searches run.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace mdst::core {
+
+struct ExactResult {
+  int optimal_degree = 0;
+  bool proven = true;            // false iff the node budget was exhausted
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Decide whether a spanning tree with maximum degree <= d exists.
+/// `budget` caps the number of search nodes; returns unproven=false result
+/// via ExactResult when exceeded.
+struct Feasibility {
+  bool feasible = false;
+  bool proven = true;
+  std::uint64_t nodes_explored = 0;
+};
+Feasibility spanning_tree_with_degree(const graph::Graph& g, int d,
+                                      std::uint64_t budget = 50'000'000);
+
+/// Compute Δ* exactly (within the node budget).
+ExactResult exact_mdst_degree(const graph::Graph& g,
+                              std::uint64_t budget = 50'000'000);
+
+}  // namespace mdst::core

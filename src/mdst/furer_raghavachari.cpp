@@ -1,0 +1,227 @@
+#include "mdst/furer_raghavachari.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "mdst/checker.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Rebuild the rooted tree after exchanging edges: remove tree edge
+/// (cut_a, cut_b), add graph edge (add_u, add_w). O(n); obviously correct,
+/// which is what a baseline should optimise for.
+graph::RootedTree apply_swap(const graph::RootedTree& tree,
+                             graph::VertexId add_u, graph::VertexId add_w,
+                             graph::VertexId cut_a, graph::VertexId cut_b) {
+  const std::size_t n = tree.vertex_count();
+  std::vector<std::vector<graph::VertexId>> adj(n);
+  for (const graph::Edge& e : tree.edges()) {
+    if ((e.u == std::min(cut_a, cut_b)) && (e.v == std::max(cut_a, cut_b))) {
+      continue;
+    }
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  adj[static_cast<std::size_t>(add_u)].push_back(add_w);
+  adj[static_cast<std::size_t>(add_w)].push_back(add_u);
+  const graph::VertexId root = tree.root();
+  std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  std::vector<char> seen(n, 0);
+  std::vector<graph::VertexId> queue{root};
+  seen[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const graph::VertexId v = queue[head];
+    for (const graph::VertexId w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        parents[static_cast<std::size_t>(w)] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  MDST_ASSERT(queue.size() == n, "swap disconnected the tree");
+  return graph::RootedTree::from_parents(root, std::move(parents));
+}
+
+struct SwapPlan {
+  graph::VertexId add_u, add_w;  // non-tree edge to insert
+  graph::VertexId cut_a, cut_b;  // tree edge to delete (incident to target)
+  graph::VertexId target;        // vertex whose degree drops
+  int target_degree = 0;
+  int end_degree = 0;            // max(deg add_u, deg add_w)
+};
+
+/// Best direct exchange: a non-tree edge (u,w) whose fundamental cycle
+/// contains a vertex v with deg(v) >= max(deg u, deg w) + 2 — the paper's
+/// local-optimality rule. Every such exchange strictly decreases Σ 3^deg.
+/// Preference: highest target degree, then lowest endpoint degree.
+std::optional<SwapPlan> find_direct_swap(const graph::Graph& g,
+                                         const graph::RootedTree& tree) {
+  std::optional<SwapPlan> best;
+  for (const graph::Edge& e : g.edges()) {
+    if (tree.has_tree_edge(e.u, e.v)) continue;
+    const int du = static_cast<int>(tree.degree(e.u));
+    const int dw = static_cast<int>(tree.degree(e.v));
+    const int end_degree = std::max(du, dw);
+    const std::vector<graph::VertexId> path = tree.path(e.u, e.v);
+    graph::VertexId target = graph::kInvalidVertex;
+    int target_degree = -1;
+    std::size_t target_pos = 0;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const int d = static_cast<int>(tree.degree(path[i]));
+      if (d > target_degree) {
+        target_degree = d;
+        target = path[i];
+        target_pos = i;
+      }
+    }
+    if (target == graph::kInvalidVertex || target_degree < end_degree + 2) {
+      continue;
+    }
+    const SwapPlan plan{e.u,    e.v,           target,    path[target_pos - 1],
+                        target, target_degree, end_degree};
+    if (!best || plan.target_degree > best->target_degree ||
+        (plan.target_degree == best->target_degree &&
+         plan.end_degree < best->end_degree)) {
+      best = plan;
+    }
+  }
+  return best;
+}
+
+/// All exchanges that reduce a blocking degree-(k-1) vertex on the cycle of
+/// an edge crossing two components of T - (S ∪ B), B = all degree-(k-1)
+/// vertices. `safe_only` restricts to endpoint degrees <= k-3 (then the
+/// exchange is itself Σ 3^deg-decreasing).
+std::vector<SwapPlan> propagation_swaps(const graph::Graph& g,
+                                        const graph::RootedTree& tree,
+                                        bool safe_only) {
+  std::vector<SwapPlan> out;
+  const std::size_t n = tree.vertex_count();
+  const int k = static_cast<int>(tree.max_degree());
+  graph::Dsu dsu(n);
+  std::vector<char> removed(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<int>(tree.degree(static_cast<graph::VertexId>(v))) >=
+        k - 1) {
+      removed[v] = 1;
+    }
+  }
+  for (const graph::Edge& e : tree.edges()) {
+    if (removed[static_cast<std::size_t>(e.u)] ||
+        removed[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    dsu.unite(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (removed[static_cast<std::size_t>(e.u)] ||
+        removed[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    if (dsu.same(static_cast<std::size_t>(e.u),
+                 static_cast<std::size_t>(e.v))) {
+      continue;
+    }
+    if (tree.has_tree_edge(e.u, e.v)) continue;
+    const int du = static_cast<int>(tree.degree(e.u));
+    const int dw = static_cast<int>(tree.degree(e.v));
+    if (safe_only && std::max(du, dw) > k - 3) continue;
+    const std::vector<graph::VertexId> path = tree.path(e.u, e.v);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const int d = static_cast<int>(tree.degree(path[i]));
+      if (d < k - 1) continue;
+      // Degree-k vertices on such a cycle would have been direct swaps.
+      out.push_back(SwapPlan{e.u, e.v, path[i], path[i - 1], path[i], d,
+                             std::max(du, dw)});
+    }
+  }
+  return out;
+}
+
+/// Incremental tree fingerprint for cycle detection: XOR of per-edge hashes.
+std::uint64_t tree_hash(const graph::RootedTree& tree) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const graph::Edge& e : tree.edges()) {
+    std::uint64_t s = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           e.u))
+                       << 32) |
+                      static_cast<std::uint32_t>(e.v);
+    h ^= support::splitmix64(s);
+  }
+  return h;
+}
+
+}  // namespace
+
+FrResult furer_raghavachari(const graph::Graph& g,
+                            const graph::RootedTree& initial,
+                            FrVariant variant) {
+  MDST_REQUIRE(initial.spans(g), "furer_raghavachari: tree must span g");
+  FrResult result{initial,
+                  0,
+                  0,
+                  static_cast<int>(initial.max_degree()),
+                  static_cast<int>(initial.max_degree()),
+                  false};
+  // Hard cap as a last-resort guard: the Σ 3^deg argument bounds the
+  // Φ-decreasing swaps and the visited-set guard bounds the rest; the cap
+  // exists so a logic bug degrades to a truthful (witness=false) result.
+  const std::uint64_t budget =
+      1024 + 64 * static_cast<std::uint64_t>(g.vertex_count()) *
+                 static_cast<std::uint64_t>(g.edge_count() + 1);
+  std::uint64_t steps = 0;
+  std::unordered_set<std::uint64_t> visited;
+  visited.insert(tree_hash(result.tree));
+
+  while (result.tree.max_degree() > 2 && ++steps <= budget) {
+    if (auto plan = find_direct_swap(g, result.tree)) {
+      result.tree = apply_swap(result.tree, plan->add_u, plan->add_w,
+                               plan->cut_a, plan->cut_b);
+      visited.insert(tree_hash(result.tree));
+      ++result.exchanges;
+      continue;
+    }
+    if (variant == FrVariant::kPure) break;
+    // Propagation through blocking degree-(k-1) vertices. Φ-decreasing ones
+    // first; otherwise any exchange leading to a never-visited tree.
+    bool applied = false;
+    for (const bool safe_only : {true, false}) {
+      auto plans = propagation_swaps(g, result.tree, safe_only);
+      for (const SwapPlan& plan : plans) {
+        graph::RootedTree next = apply_swap(result.tree, plan.add_u,
+                                            plan.add_w, plan.cut_a, plan.cut_b);
+        const std::uint64_t h = tree_hash(next);
+        if (!safe_only && visited.count(h) > 0) continue;  // avoid cycles
+        visited.insert(h);
+        result.tree = std::move(next);
+        ++result.propagations;
+        applied = true;
+        break;
+      }
+      if (applied) break;
+    }
+    if (!applied) {
+      // No crossing edge at all (witness), or only cycle-inducing swaps.
+      result.witness = propagation_swaps(g, result.tree, false).empty();
+      break;
+    }
+  }
+  if (result.tree.max_degree() <= 2) {
+    result.witness = true;  // a Hamiltonian path is globally optimal
+  } else if (variant == FrVariant::kFull && !result.witness) {
+    // Loop may also exit on budget; recheck the stop certificate.
+    result.witness = propagation_swaps(g, result.tree, false).empty() &&
+                     !find_direct_swap(g, result.tree).has_value();
+  }
+  result.final_degree = static_cast<int>(result.tree.max_degree());
+  return result;
+}
+
+}  // namespace mdst::core

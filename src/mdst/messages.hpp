@@ -1,0 +1,236 @@
+// Message set of the distributed MDegST protocol.
+//
+// Mapping to the paper's vocabulary (§3.2):
+//   paper                      here
+//   ------------------------   ------------------------------------------
+//   degree convergecast        StartRound (down) + SearchReply (up)
+//   "Move Root"                MoveRoot
+//   <cut, k, p>                Cut
+//   <BFS, k, p, p'>            Bfs
+//   <BFSBack, r, r', deg, ()>  CousinReply   (answer across a non-tree edge)
+//   "BFSBack" up the fragment  BfsBack       (convergecast of candidates)
+//   <update, e>                Update, then ChildRequest/ChildAccept/
+//                              ChildReject + Reverse + Detach (the paper's
+//                              single "update/child" exchange, split into a
+//                              two-phase commit so a stale improvement can
+//                              abort without ever breaking the tree; see
+//                              node.cpp header comment)
+//   "stop"                     stuck flag carried by BfsBack, plus Abort
+//   termination by process     Terminate broadcast
+//
+// The paper's rounds 1..R are explicit here: the root triggers each round's
+// degree search with a StartRound broadcast (the paper lets leaves start
+// spontaneously, which only works for the first round; we meter the extra
+// n-1 messages honestly — see EXPERIMENTS.md E9).
+//
+// Every message reports how many identity-sized fields it carries
+// (ids_carried) so the bit-width claim C5 can be measured. In
+// kSingleImprovement mode all messages carry at most 4 identity fields,
+// matching the paper; kConcurrent needs up to 8 (sub-fragment tags), still
+// O(log n) bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+
+#include "graph/types.hpp"
+
+namespace mdst::core {
+
+using graph::NodeName;
+
+/// Sentinel for "no name".
+inline constexpr NodeName kNoName = -1;
+
+/// A fragment identity (root name, fragment name) ordered lexicographically
+/// — the paper's (p, p') pairs.
+struct FragTag {
+  NodeName root = kNoName;
+  NodeName frag = kNoName;
+
+  friend bool operator==(const FragTag&, const FragTag&) = default;
+  friend auto operator<=>(const FragTag& a, const FragTag& b) = default;
+
+  bool valid() const { return root != kNoName; }
+};
+
+/// An outgoing-edge candidate (u, w): u is the node that discovered the
+/// edge, w the far endpoint; end_degree = max(deg_T(u), deg_T(w)) is the
+/// paper's choice key. w_top/w_sub record the far endpoint's fragment tags
+/// used for usability filtering at the round root / sub-root.
+struct Candidate {
+  NodeName u = kNoName;
+  NodeName w = kNoName;
+  int end_degree = 0;
+  FragTag w_top;
+  FragTag w_sub;
+
+  bool valid() const { return u != kNoName; }
+
+  /// The paper's selection order: minimal endpoint max-degree, then names
+  /// for determinism.
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.end_degree != b.end_degree) return a.end_degree < b.end_degree;
+    if (a.u != b.u) return a.u < b.u;
+    return a.w < b.w;
+  }
+};
+
+// --- Messages ---------------------------------------------------------------
+
+/// Root -> leaves: begin round `round`; clear stuck flags if an improvement
+/// happened last round (kStrictLot bookkeeping).
+struct StartRound {
+  static constexpr const char* kName = "StartRound";
+  std::uint32_t round = 0;
+  bool clear_stuck = false;
+  std::size_t ids_carried() const { return 1; }
+};
+
+/// Leaves -> root: maximum tree degree in my subtree and the minimum name
+/// attaining it. `deg_all` additionally reports the maximum including
+/// stuck nodes (identical to `degree` outside kStrictLot) so the root can
+/// detect that every maximum-degree node is stuck.
+struct SearchReply {
+  static constexpr const char* kName = "SearchReply";
+  int degree = 0;
+  NodeName who = kNoName;
+  int deg_all = 0;
+  std::size_t ids_carried() const { return 3; }
+};
+
+/// Walks from the old root to the new one, reversing parents hop by hop.
+struct MoveRoot {
+  static constexpr const char* kName = "MoveRoot";
+  int k = 0;
+  NodeName target = kNoName;
+  std::size_t ids_carried() const { return 2; }
+};
+
+/// Round root p (or sub-root q) -> its children: you are a fragment root.
+/// For the main cut, encl_top is invalid (receiver derives top = (root, own
+/// name)); a sub-root forwards its enclosing top tag.
+struct Cut {
+  static constexpr const char* kName = "Cut";
+  int k = 0;
+  NodeName sub_root = kNoName;  // who cut (p, or a sub-root q)
+  FragTag encl_top;             // invalid for the main cut
+  std::size_t ids_carried() const { return encl_top.valid() ? 4 : 2; }
+};
+
+/// The BFS wave: down tree edges and across non-tree (cousin) edges.
+struct Bfs {
+  static constexpr const char* kName = "Bfs";
+  int k = 0;
+  FragTag top;
+  FragTag sub;
+  std::size_t ids_carried() const { return top == sub ? 3 : 5; }
+};
+
+/// Answer to a cousin probe: the replier's tree degree and tags.
+struct CousinReply {
+  static constexpr const char* kName = "CousinReply";
+  int degree = 0;
+  FragTag top;
+  FragTag sub;
+  std::size_t ids_carried() const { return top == sub ? 3 : 5; }
+};
+
+/// Convergecast up a fragment: best candidates seen below, per scope.
+/// `stuck` reports a sub-root that found no internal improvement (§3.2.6
+/// "stop" path); `improved` reports that a sub-round applied an exchange
+/// (the root only honours a stuck report in a round where nothing changed,
+/// because an exchange elsewhere can invalidate the stuck certificate —
+/// DESIGN D2/D4).
+struct BfsBack {
+  static constexpr const char* kName = "BfsBack";
+  Candidate best_top;  // usable at the round root p
+  Candidate best_sub;  // usable at the enclosing sub-root q (concurrent mode)
+  bool stuck = false;
+  bool improved = false;
+  std::size_t ids_carried() const {
+    return (best_top.valid() ? 4u : 1u) + (best_sub.valid() ? 4u : 0u);
+  }
+};
+
+/// Routed down the recorded provenance path toward the candidate owner u.
+struct Update {
+  static constexpr const char* kName = "Update";
+  NodeName u = kNoName;
+  NodeName w = kNoName;
+  int k = 0;
+  std::size_t ids_carried() const { return 3; }
+};
+
+/// u -> w across the chosen outgoing edge: may I become your child?
+struct ChildRequest {
+  static constexpr const char* kName = "ChildRequest";
+  int k = 0;
+  FragTag u_top;  // w re-checks the endpoints are in different fragments
+  std::size_t ids_carried() const { return 3; }
+};
+
+struct ChildAccept {
+  static constexpr const char* kName = "ChildAccept";
+  std::size_t ids_carried() const { return 0; }
+};
+
+struct ChildReject {
+  static constexpr const char* kName = "ChildReject";
+  std::size_t ids_carried() const { return 0; }
+};
+
+/// Reverses parent pointers from the attach point u back to the fragment
+/// root; terminates with Detach at the node whose parent is `stop_at`.
+struct Reverse {
+  static constexpr const char* kName = "Reverse";
+  NodeName stop_at = kNoName;
+  std::size_t ids_carried() const { return 1; }
+};
+
+/// Final hop of an improvement: tells the (sub-)root to drop the moved
+/// child. Receipt is the paper's "round is terminated" event.
+struct Detach {
+  static constexpr const char* kName = "Detach";
+  std::size_t ids_carried() const { return 0; }
+};
+
+/// An improvement was found stale at apply time and abandoned with no
+/// structural change (two-phase commit failure path; DESIGN D2).
+struct Abort {
+  static constexpr const char* kName = "Abort";
+  std::size_t ids_carried() const { return 0; }
+};
+
+/// Broadcast down the final tree: algorithm over, local views final.
+struct Terminate {
+  static constexpr const char* kName = "Terminate";
+  std::size_t ids_carried() const { return 0; }
+};
+
+using Message =
+    std::variant<StartRound, SearchReply, MoveRoot, Cut, Bfs, CousinReply,
+                 BfsBack, Update, ChildRequest, ChildAccept, ChildReject,
+                 Reverse, Detach, Abort, Terminate>;
+
+/// Indices for metrics queries (kept in sync with the variant order).
+enum class MessageType : std::size_t {
+  kStartRound = 0,
+  kSearchReply,
+  kMoveRoot,
+  kCut,
+  kBfs,
+  kCousinReply,
+  kBfsBack,
+  kUpdate,
+  kChildRequest,
+  kChildAccept,
+  kChildReject,
+  kReverse,
+  kDetach,
+  kAbort,
+  kTerminate,
+};
+
+}  // namespace mdst::core

@@ -1,0 +1,734 @@
+#include "mdst/node.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace mdst::core {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNotStopped: return "not_stopped";
+    case StopReason::kChain: return "chain";
+    case StopReason::kLocallyOptimal: return "locally_optimal";
+    case StopReason::kAllMaxStuck: return "all_max_stuck";
+    case StopReason::kTargetReached: return "target_reached";
+  }
+  return "?";
+}
+
+const char* to_string(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kSingleImprovement: return "single";
+    case EngineMode::kConcurrent: return "concurrent";
+    case EngineMode::kStrictLot: return "strict_lot";
+  }
+  return "?";
+}
+
+Node::Node(const sim::NodeEnv& env, sim::NodeId parent,
+           std::vector<sim::NodeId> children, Options options)
+    : env_(env), opts_(options), parent_(parent), children_(std::move(children)) {
+  MDST_REQUIRE(parent_ == sim::kNoNode || env_.is_neighbor(parent_),
+               "initial parent must be a neighbor");
+  for (const sim::NodeId child : children_) {
+    MDST_REQUIRE(env_.is_neighbor(child), "initial child must be a neighbor");
+  }
+}
+
+int Node::tree_degree() const {
+  return static_cast<int>(children_.size()) + (parent_ != sim::kNoNode ? 1 : 0);
+}
+
+bool Node::has_child(sim::NodeId node) const {
+  return std::find(children_.begin(), children_.end(), node) != children_.end();
+}
+
+void Node::add_child(sim::NodeId node) {
+  MDST_ASSERT(!has_child(node), "add_child: already a child");
+  MDST_ASSERT(node != parent_, "add_child: is parent");
+  children_.push_back(node);
+}
+
+void Node::remove_child(sim::NodeId node) {
+  const auto it = std::find(children_.begin(), children_.end(), node);
+  MDST_ASSERT(it != children_.end(), "remove_child: not a child");
+  children_.erase(it);
+}
+
+sim::NodeId Node::neighbor_by_name(graph::NodeName name) const {
+  for (const sim::NeighborInfo& nb : env_.neighbors) {
+    if (nb.name == name) return nb.id;
+  }
+  MDST_UNREACHABLE("neighbor_by_name: no neighbor with that name");
+}
+
+std::size_t Node::neighbor_index(sim::NodeId node) const {
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (env_.neighbors[i].id == node) return i;
+  }
+  MDST_UNREACHABLE("neighbor_index: not a neighbor");
+}
+
+bool Node::node_is_stuck() const {
+  // A stuck mark is only meaningful while the node's degree is unchanged
+  // since the mark was taken (lazy invalidation).
+  return stuck_ && stuck_degree_ == tree_degree();
+}
+
+void Node::reset_round_state() {
+  role_ = Role::kIdle;
+  have_tags_ = false;
+  top_ = FragTag{};
+  sub_ = FragTag{};
+  wave_children_.clear();
+  wave_waiting_ = 0;
+  cross_closed_.clear();
+  queued_probes_.clear();
+  reported_up_ = false;
+  best_top_ = Candidate{};
+  prov_top_ = sim::kNoNode;
+  best_sub_ = Candidate{};
+  prov_sub_ = sim::kNoNode;
+  subtree_stuck_ = false;
+  subtree_improved_ = false;
+  improving_ = false;
+  round_aborted_ = false;
+  sub_internal_done_ = false;
+  sub_stuck_ = false;
+  sub_improved_ = false;
+  update_from_ = sim::kNoNode;
+  pending_candidate_ = Candidate{};
+  pending_new_parent_ = sim::kNoNode;
+  if (stuck_ && stuck_degree_ != tree_degree()) stuck_ = false;
+  // Seed the SearchDegree aggregation with this node's own entry.
+  search_waiting_ = children_.size();
+  const int deg = tree_degree();
+  if (node_is_stuck()) {
+    search_best_deg_ = -1;
+    search_best_who_ = kNoName;
+  } else {
+    search_best_deg_ = deg;
+    search_best_who_ = env_.name;
+  }
+  search_deg_all_ = deg;
+  via_ = sim::kNoNode;  // kNoNode = the winner is this node itself
+}
+
+// ---------------------------------------------------------------------------
+// Round orchestration (root side)
+// ---------------------------------------------------------------------------
+
+void Node::on_start(Ctx& ctx) {
+  if (parent_ != sim::kNoNode || done_) return;
+  begin_round(ctx);
+}
+
+void Node::begin_round(Ctx& ctx) {
+  MDST_ASSERT(parent_ == sim::kNoNode, "begin_round on non-root");
+  ++round_;
+  const bool clear = clear_stuck_next_;
+  clear_stuck_next_ = false;
+  if (clear) stuck_ = false;
+  reset_round_state();
+  {
+    std::ostringstream os;
+    os << "round=" << round_;
+    ctx.annotate(os.str());
+  }
+  for (const sim::NodeId child : children_) {
+    ctx.send(child, StartRound{round_, clear});
+  }
+  if (children_.empty()) root_decide_after_search(ctx);  // n == 1
+}
+
+void Node::root_decide_after_search(Ctx& ctx) {
+  round_root_duty_ = true;
+  const int k_all = search_deg_all_;
+  {
+    std::ostringstream os;
+    os << "decide round=" << round_ << " k_all=" << k_all
+       << " best=" << search_best_deg_ << " target=" << search_best_who_;
+    ctx.annotate(os.str());
+  }
+  if (k_all <= 2) {
+    terminate(ctx, StopReason::kChain);
+    return;
+  }
+  if (opts_.target_degree > 0 && k_all <= opts_.target_degree) {
+    terminate(ctx, StopReason::kTargetReached);
+    return;
+  }
+  if (opts_.mode == EngineMode::kStrictLot && search_best_deg_ < k_all) {
+    terminate(ctx, StopReason::kAllMaxStuck);
+    return;
+  }
+  MDST_ASSERT(search_best_deg_ == k_all,
+              "non-stuck maximum must equal the overall maximum here");
+  k_ = k_all;
+  if (search_best_who_ == env_.name) {
+    begin_cut(ctx);
+    return;
+  }
+  // MoveRoot: hand the root role to the child that reported the target.
+  MDST_ASSERT(via_ != sim::kNoNode, "target elsewhere but via is self");
+  const sim::NodeId next = via_;
+  ctx.send(next, MoveRoot{k_, search_best_who_});
+  parent_ = next;
+  remove_child(next);
+}
+
+void Node::begin_cut(Ctx& ctx) {
+  MDST_ASSERT(parent_ == sim::kNoNode, "begin_cut on non-root");
+  MDST_ASSERT(tree_degree() == k_, "round root must have degree k");
+  role_ = Role::kRoot;
+  top_ = FragTag{env_.name, env_.name};
+  sub_ = top_;
+  have_tags_ = true;
+  wave_children_ = children_;
+  wave_waiting_ = wave_children_.size();
+  {
+    std::ostringstream os;
+    os << "cut round=" << round_ << " k=" << k_;
+    ctx.annotate(os.str());
+  }
+  for (const sim::NodeId child : wave_children_) {
+    ctx.send(child, Cut{k_, env_.name, FragTag{}});
+  }
+  // Probes queued before we became the round root (only possible for
+  // sub-roots in practice, but harmless to drain here too).
+  for (const auto& [from, probe] : queued_probes_) {
+    (void)probe;
+    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+  }
+  queued_probes_.clear();
+}
+
+void Node::root_choose(Ctx& ctx) {
+  {
+    std::ostringstream os;
+    os << "wave_done round=" << round_ << " has_candidate="
+       << (best_top_.valid() ? 1 : 0);
+    ctx.annotate(os.str());
+  }
+  if (best_top_.valid()) {
+    start_improvement(ctx, Scope::kTop, best_top_, prov_top_);
+    return;
+  }
+  root_finish_round(ctx, /*improved=*/false);
+}
+
+void Node::start_improvement(Ctx& ctx, Scope scope, const Candidate& chosen,
+                             sim::NodeId provenance) {
+  MDST_ASSERT(provenance != sim::kNoNode,
+              "root-side candidates always come from a child");
+  improving_ = true;
+  improving_scope_ = scope;
+  ctx.send(provenance, Update{chosen.u, chosen.w, k_});
+}
+
+void Node::root_finish_round(Ctx& ctx, bool improved) {
+  MDST_ASSERT(role_ == Role::kRoot, "finish_round outside root role");
+  const bool any_change = improved || subtree_improved_;
+  if (opts_.mode == EngineMode::kConcurrent && subtree_stuck_ && !any_change) {
+    // §3.2.6: a degree-k node could not be improved, and since nothing in
+    // the tree changed this round its certificate is still valid: the
+    // maximum degree cannot drop below k. Rounds that did change the tree
+    // re-evaluate instead (every continued round strictly decreases the
+    // degree potential Σ 3^deg, so this terminates).
+    terminate(ctx, StopReason::kLocallyOptimal);
+    return;
+  }
+  if (any_change) {
+    clear_stuck_next_ = true;
+    begin_round(ctx);
+    return;
+  }
+  if (round_aborted_) {
+    // kConcurrent: our candidate went stale because sub-round swaps changed
+    // degrees; the candidate pool was non-empty, so retry with a fresh round.
+    clear_stuck_next_ = true;
+    begin_round(ctx);
+    return;
+  }
+  // Genuinely no usable outgoing edge for this round's target (= me).
+  if (opts_.mode == EngineMode::kStrictLot) {
+    stuck_ = true;
+    stuck_degree_ = tree_degree();
+    begin_round(ctx);
+    return;
+  }
+  terminate(ctx, StopReason::kLocallyOptimal);
+}
+
+void Node::terminate(Ctx& ctx, StopReason reason) {
+  stop_reason_ = reason;
+  {
+    std::ostringstream os;
+    os << "terminate round=" << round_ << " reason=" << to_string(reason)
+       << " k_all=" << search_deg_all_;
+    ctx.annotate(os.str());
+  }
+  done_ = true;
+  for (const sim::NodeId child : children_) ctx.send(child, Terminate{});
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void Node::on_message(Ctx& ctx, sim::NodeId from, const Message& message) {
+  std::visit(
+      sim::Overloaded{
+          [&](const StartRound& m) { handle_start_round(ctx, from, m); },
+          [&](const SearchReply& m) { handle_search_reply(ctx, from, m); },
+          [&](const MoveRoot& m) { handle_move_root(ctx, from, m); },
+          [&](const Cut& m) { handle_cut(ctx, from, m); },
+          [&](const Bfs& m) { handle_bfs(ctx, from, m); },
+          [&](const CousinReply& m) { handle_cousin_reply(ctx, from, m); },
+          [&](const BfsBack& m) { handle_bfs_back(ctx, from, m); },
+          [&](const Update& m) { handle_update(ctx, from, m); },
+          [&](const ChildRequest& m) { handle_child_request(ctx, from, m); },
+          [&](const ChildAccept&) { handle_child_accept(ctx, from); },
+          [&](const ChildReject&) { handle_child_reject(ctx, from); },
+          [&](const Reverse& m) { handle_reverse(ctx, from, m); },
+          [&](const Detach&) { handle_detach(ctx, from); },
+          [&](const Abort&) { handle_abort(ctx, from); },
+          [&](const Terminate&) { handle_terminate(ctx, from); },
+      },
+      message);
+}
+
+// ---------------------------------------------------------------------------
+// SearchDegree
+// ---------------------------------------------------------------------------
+
+void Node::handle_start_round(Ctx& ctx, sim::NodeId from, const StartRound& msg) {
+  MDST_ASSERT(from == parent_, "StartRound from non-parent");
+  MDST_ASSERT(!done_, "StartRound after Terminate");
+  round_ = msg.round;
+  if (msg.clear_stuck) stuck_ = false;
+  reset_round_state();
+  for (const sim::NodeId child : children_) {
+    ctx.send(child, StartRound{msg.round, msg.clear_stuck});
+  }
+  if (children_.empty()) send_search_reply_up(ctx);
+}
+
+void Node::send_search_reply_up(Ctx& ctx) {
+  MDST_ASSERT(parent_ != sim::kNoNode, "reply up from root");
+  ctx.send(parent_, SearchReply{search_best_deg_, search_best_who_,
+                                search_deg_all_});
+}
+
+void Node::handle_search_reply(Ctx& ctx, sim::NodeId from, const SearchReply& msg) {
+  MDST_ASSERT(has_child(from), "SearchReply from non-child");
+  MDST_ASSERT(search_waiting_ > 0, "unexpected SearchReply");
+  if (msg.degree > search_best_deg_ ||
+      (msg.degree == search_best_deg_ && msg.who != kNoName &&
+       (search_best_who_ == kNoName || msg.who < search_best_who_))) {
+    search_best_deg_ = msg.degree;
+    search_best_who_ = msg.who;
+    via_ = from;
+  }
+  search_deg_all_ = std::max(search_deg_all_, msg.deg_all);
+  --search_waiting_;
+  if (search_waiting_ != 0) return;
+  if (parent_ == sim::kNoNode) {
+    root_decide_after_search(ctx);
+  } else {
+    send_search_reply_up(ctx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MoveRoot
+// ---------------------------------------------------------------------------
+
+void Node::handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg) {
+  MDST_ASSERT(from == parent_, "MoveRoot from non-parent");
+  // Path reversal: the sender already made us its parent.
+  parent_ = sim::kNoNode;
+  add_child(from);
+  k_ = msg.k;
+  if (env_.name == msg.target) {
+    MDST_ASSERT(tree_degree() == msg.k, "MoveRoot target degree mismatch");
+    round_root_duty_ = true;
+    begin_cut(ctx);
+    return;
+  }
+  MDST_ASSERT(via_ != sim::kNoNode, "MoveRoot: no via toward target");
+  const sim::NodeId next = via_;
+  ctx.send(next, MoveRoot{msg.k, msg.target});
+  parent_ = next;
+  remove_child(next);
+}
+
+// ---------------------------------------------------------------------------
+// Cut / BFS wave
+// ---------------------------------------------------------------------------
+
+void Node::handle_cut(Ctx& ctx, sim::NodeId from, const Cut& msg) {
+  MDST_ASSERT(from == parent_, "Cut from non-parent");
+  if (!msg.encl_top.valid()) {
+    // Main cut: I am a fragment root; my fragment is (p, my name).
+    const FragTag top{msg.sub_root, env_.name};
+    if (opts_.mode == EngineMode::kConcurrent && tree_degree() == msg.k) {
+      become_sub_root(ctx, top, msg.k);
+    } else {
+      become_member(ctx, top, top, msg.k);
+    }
+    return;
+  }
+  // Sub cut from a sub-root q: I am a sub-fragment root (q, my name).
+  become_member(ctx, msg.encl_top, FragTag{msg.sub_root, env_.name}, msg.k);
+}
+
+void Node::handle_bfs(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
+  if (from != parent_) {
+    on_cross_probe(ctx, from, msg);
+    return;
+  }
+  // The wave reaches me through my tree parent.
+  const bool main_wave = msg.sub == msg.top;
+  if (main_wave && opts_.mode == EngineMode::kConcurrent &&
+      tree_degree() == msg.k) {
+    become_sub_root(ctx, msg.top, msg.k);
+    return;
+  }
+  become_member(ctx, msg.top, msg.sub, msg.k);
+}
+
+void Node::become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k) {
+  MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
+  role_ = Role::kMember;
+  k_ = k;
+  top_ = top;
+  sub_ = sub;
+  have_tags_ = true;
+  wave_children_ = children_;
+  cross_closed_.assign(env_.neighbors.size(), false);
+  std::size_t cross = 0;
+  for (const sim::NeighborInfo& nb : env_.neighbors) {
+    if (nb.id == parent_ || has_child(nb.id)) continue;
+    ++cross;
+  }
+  wave_waiting_ = wave_children_.size() + cross;
+  for (const sim::NodeId child : wave_children_) {
+    ctx.send(child, Bfs{k_, top_, sub_});
+  }
+  for (const sim::NeighborInfo& nb : env_.neighbors) {
+    if (nb.id == parent_ || has_child(nb.id)) continue;
+    ctx.send(nb.id, Bfs{k_, top_, sub_});  // cousin probe
+  }
+  auto queued = std::move(queued_probes_);
+  queued_probes_.clear();
+  for (const auto& [probe_from, probe] : queued) {
+    on_cross_probe(ctx, probe_from, probe);
+  }
+  member_maybe_report(ctx);
+}
+
+void Node::become_sub_root(Ctx& ctx, const FragTag& encl_top, int k) {
+  MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
+  role_ = Role::kSubRoot;
+  k_ = k;
+  top_ = encl_top;
+  sub_ = FragTag{env_.name, env_.name};
+  have_tags_ = true;
+  wave_children_ = children_;
+  wave_waiting_ = wave_children_.size();
+  MDST_ASSERT(!wave_children_.empty(), "degree-k non-root node has children");
+  for (const sim::NodeId child : wave_children_) {
+    ctx.send(child, Cut{k_, env_.name, top_});
+  }
+  auto queued = std::move(queued_probes_);
+  queued_probes_.clear();
+  for (const auto& [probe_from, probe] : queued) {
+    (void)probe;
+    ctx.send(probe_from, CousinReply{tree_degree(), top_, sub_});
+  }
+}
+
+void Node::on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
+  if (!have_tags_) {
+    queued_probes_.emplace_back(from, msg);
+    return;
+  }
+  if (role_ == Role::kRoot || role_ == Role::kSubRoot) {
+    // Roots never probe, so their reply is the prober's closure for this
+    // edge. The degree they report (k) disqualifies the edge anyway.
+    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+    return;
+  }
+  // Member: the closure protocol (see header). Exactly one closing event
+  // happens per cross edge:
+  //   probe.sub == mine  -> same (sub-)fragment; the probe closes the edge.
+  //   probe.sub <  mine  -> I answer (CousinReply) and their probe closes
+  //                         my edge; my own probe will be ignored by them.
+  //   probe.sub >  mine  -> they will answer my probe; that reply closes.
+  if (msg.sub == sub_) {
+    close_cross_edge(ctx, from);
+  } else if (msg.sub < sub_) {
+    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+    close_cross_edge(ctx, from);
+  }
+}
+
+void Node::close_cross_edge(Ctx& ctx, sim::NodeId neighbor) {
+  const std::size_t idx = neighbor_index(neighbor);
+  MDST_ASSERT(!cross_closed_[idx], "cross edge closed twice");
+  cross_closed_[idx] = true;
+  MDST_ASSERT(wave_waiting_ > 0, "closure with nothing pending");
+  --wave_waiting_;
+  member_maybe_report(ctx);
+}
+
+void Node::handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& msg) {
+  MDST_ASSERT(role_ == Role::kMember, "CousinReply at a non-member");
+  const int my_deg = tree_degree();
+  const int end_deg = std::max(my_deg, msg.degree);
+  const graph::NodeName w_name = env_.neighbor_name(from);
+  if (end_deg <= k_ - 2) {
+    if (msg.top != top_) {
+      // Outgoing edge between two fragments of the round root.
+      const Candidate cand{env_.name, w_name, end_deg, msg.top, msg.sub};
+      if (!best_top_.valid() || cand < best_top_) {
+        best_top_ = cand;
+        prov_top_ = sim::kNoNode;  // formed here
+      }
+    } else if (msg.sub.root == sub_.root && msg.sub != sub_ && sub_ != top_) {
+      // Outgoing edge between two sub-fragments of our sub-root.
+      const Candidate cand{env_.name, w_name, end_deg, msg.top, msg.sub};
+      if (!best_sub_.valid() || cand < best_sub_) {
+        best_sub_ = cand;
+        prov_sub_ = sim::kNoNode;
+      }
+    }
+  }
+  close_cross_edge(ctx, from);
+}
+
+void Node::member_maybe_report(Ctx& ctx) {
+  if (role_ != Role::kMember || reported_up_ || wave_waiting_ != 0) return;
+  reported_up_ = true;
+  const Candidate sub_cand = (sub_ != top_) ? best_sub_ : Candidate{};
+  ctx.send(parent_, BfsBack{best_top_, sub_cand, subtree_stuck_,
+                            subtree_improved_});
+}
+
+void Node::handle_bfs_back(Ctx& ctx, sim::NodeId from, const BfsBack& msg) {
+  MDST_ASSERT(std::find(wave_children_.begin(), wave_children_.end(), from) !=
+                  wave_children_.end(),
+              "BfsBack from non-wave-child");
+  if (msg.best_top.valid() &&
+      (!best_top_.valid() || msg.best_top < best_top_)) {
+    best_top_ = msg.best_top;
+    prov_top_ = from;
+  }
+  if (msg.best_sub.valid() &&
+      (!best_sub_.valid() || msg.best_sub < best_sub_)) {
+    best_sub_ = msg.best_sub;
+    prov_sub_ = from;
+  }
+  subtree_stuck_ = subtree_stuck_ || msg.stuck;
+  subtree_improved_ = subtree_improved_ || msg.improved;
+  MDST_ASSERT(wave_waiting_ > 0, "BfsBack with nothing pending");
+  --wave_waiting_;
+  switch (role_) {
+    case Role::kMember:
+      member_maybe_report(ctx);
+      return;
+    case Role::kSubRoot:
+      subroot_maybe_resolve(ctx);
+      return;
+    case Role::kRoot:
+      if (wave_waiting_ == 0) root_choose(ctx);
+      return;
+    case Role::kIdle:
+      MDST_UNREACHABLE("BfsBack at idle node");
+  }
+}
+
+void Node::subroot_maybe_resolve(Ctx& ctx) {
+  if (wave_waiting_ != 0 || sub_internal_done_ || improving_) return;
+  if (best_sub_.valid()) {
+    start_improvement(ctx, Scope::kSub, best_sub_, prov_sub_);
+    return;
+  }
+  // No edge between my sub-fragments: my degree k cannot be improved.
+  sub_stuck_ = true;
+  sub_internal_done_ = true;
+  subroot_report_up(ctx);
+}
+
+void Node::subroot_report_up(Ctx& ctx) {
+  MDST_ASSERT(role_ == Role::kSubRoot, "report_up outside sub-root");
+  MDST_ASSERT(!reported_up_, "sub-root reported twice");
+  reported_up_ = true;
+  ctx.send(parent_, BfsBack{best_top_, Candidate{},
+                            sub_stuck_ || subtree_stuck_,
+                            sub_improved_ || subtree_improved_});
+}
+
+// ---------------------------------------------------------------------------
+// Improvement commit (Update / ChildRequest / Reverse / Detach / Abort)
+// ---------------------------------------------------------------------------
+
+void Node::handle_update(Ctx& ctx, sim::NodeId from, const Update& msg) {
+  update_from_ = from;
+  if (msg.u == env_.name) {
+    // I own the chosen outgoing edge. Determine the scope by matching the
+    // candidate against what I formed, then re-validate my degree cap.
+    Scope scope;
+    if (best_top_.valid() && best_top_.u == msg.u && best_top_.w == msg.w) {
+      scope = Scope::kTop;
+      MDST_ASSERT(prov_top_ == sim::kNoNode, "owner must have formed the candidate");
+    } else if (best_sub_.valid() && best_sub_.u == msg.u &&
+               best_sub_.w == msg.w) {
+      scope = Scope::kSub;
+      MDST_ASSERT(prov_sub_ == sim::kNoNode, "owner must have formed the candidate");
+    } else {
+      MDST_UNREACHABLE("Update for a candidate I did not form");
+    }
+    if (tree_degree() > msg.k - 2) {
+      // Stale (my degree grew since discovery): abandon with no change.
+      ctx.send(update_from_, Abort{});
+      return;
+    }
+    pending_candidate_ = (scope == Scope::kTop) ? best_top_ : best_sub_;
+    pending_scope_ = scope;
+    pending_new_parent_ = neighbor_by_name(msg.w);
+    ctx.send(pending_new_parent_, ChildRequest{msg.k, top_});
+    return;
+  }
+  // Forward along the provenance path of the matching candidate.
+  if (best_top_.valid() && best_top_.u == msg.u && best_top_.w == msg.w) {
+    update_scope_ = Scope::kTop;
+    MDST_ASSERT(prov_top_ != sim::kNoNode, "provenance missing");
+    ctx.send(prov_top_, msg);
+    return;
+  }
+  if (best_sub_.valid() && best_sub_.u == msg.u && best_sub_.w == msg.w) {
+    update_scope_ = Scope::kSub;
+    MDST_ASSERT(prov_sub_ != sim::kNoNode, "provenance missing");
+    ctx.send(prov_sub_, msg);
+    return;
+  }
+  MDST_UNREACHABLE("Update does not match any recorded candidate");
+}
+
+void Node::handle_child_request(Ctx& ctx, sim::NodeId from, const ChildRequest& msg) {
+  // I am the far endpoint w. Accept iff my degree cap still holds and the
+  // requester is (still) in a different fragment of the round root.
+  const bool ok = have_tags_ && tree_degree() <= msg.k - 2 && top_ != msg.u_top;
+  if (!ok) {
+    ctx.send(from, ChildReject{});
+    return;
+  }
+  add_child(from);
+  ctx.send(from, ChildAccept{});
+}
+
+void Node::handle_child_accept(Ctx& ctx, sim::NodeId from) {
+  MDST_ASSERT(from == pending_new_parent_, "ChildAccept from unexpected node");
+  const graph::NodeName stop_at =
+      (pending_scope_ == Scope::kTop) ? top_.root : sub_.root;
+  begin_reversal(ctx, stop_at, from);
+}
+
+void Node::handle_child_reject(Ctx& ctx, sim::NodeId from) {
+  MDST_ASSERT(from == pending_new_parent_, "ChildReject from unexpected node");
+  pending_new_parent_ = sim::kNoNode;
+  ctx.send(update_from_, Abort{});
+}
+
+void Node::begin_reversal(Ctx& ctx, graph::NodeName stop_at,
+                          sim::NodeId new_parent) {
+  // Re-root my old fragment path at me and hang myself below new_parent.
+  MDST_ASSERT(parent_ != sim::kNoNode, "edge owner cannot be the round root");
+  const sim::NodeId old_parent = parent_;
+  parent_ = new_parent;
+  if (env_.neighbor_name(old_parent) == stop_at) {
+    ctx.send(old_parent, Detach{});
+  } else {
+    add_child(old_parent);
+    ctx.send(old_parent, Reverse{stop_at});
+  }
+}
+
+void Node::handle_reverse(Ctx& ctx, sim::NodeId from, const Reverse& msg) {
+  MDST_ASSERT(has_child(from), "Reverse from non-child");
+  remove_child(from);
+  MDST_ASSERT(parent_ != sim::kNoNode, "Reverse reached the round root");
+  const sim::NodeId old_parent = parent_;
+  parent_ = from;
+  if (env_.neighbor_name(old_parent) == msg.stop_at) {
+    ctx.send(old_parent, Detach{});
+  } else {
+    add_child(old_parent);
+    ctx.send(old_parent, Reverse{msg.stop_at});
+  }
+}
+
+void Node::handle_detach(Ctx& ctx, sim::NodeId from) {
+  MDST_ASSERT(has_child(from), "Detach from non-child");
+  remove_child(from);
+  MDST_ASSERT(improving_, "Detach while not improving");
+  improving_ = false;
+  ++improvements_;
+  if (role_ == Role::kRoot) {
+    {
+      std::ostringstream os;
+      os << "improve round=" << round_ << " k=" << k_;
+      ctx.annotate(os.str());
+    }
+    root_finish_round(ctx, /*improved=*/true);
+    return;
+  }
+  MDST_ASSERT(role_ == Role::kSubRoot, "Detach at unexpected role");
+  {
+    std::ostringstream os;
+    os << "subimprove round=" << round_ << " k=" << k_;
+    ctx.annotate(os.str());
+  }
+  sub_improved_ = true;
+  sub_internal_done_ = true;
+  subroot_report_up(ctx);
+}
+
+void Node::handle_abort(Ctx& ctx, sim::NodeId from) {
+  (void)from;
+  if (improving_ && (role_ == Role::kRoot || role_ == Role::kSubRoot)) {
+    improving_ = false;
+    if (role_ == Role::kRoot) {
+      round_aborted_ = true;
+      root_finish_round(ctx, /*improved=*/false);
+    } else {
+      // The internal candidate went stale; do not mark stuck (an edge did
+      // exist), just report up and let a later round retry.
+      sub_internal_done_ = true;
+      subroot_report_up(ctx);
+    }
+    return;
+  }
+  // Forwarding member: pass the abort back toward the (sub-)root.
+  MDST_ASSERT(update_from_ != sim::kNoNode, "Abort with no pending update");
+  ctx.send(update_from_, Abort{});
+}
+
+// ---------------------------------------------------------------------------
+// Termination
+// ---------------------------------------------------------------------------
+
+void Node::handle_terminate(Ctx& ctx, sim::NodeId from) {
+  MDST_ASSERT(from == parent_, "Terminate from non-parent");
+  MDST_ASSERT(!done_, "Terminate twice");
+  done_ = true;
+  for (const sim::NodeId child : children_) ctx.send(child, Terminate{});
+}
+
+}  // namespace mdst::core

@@ -1,0 +1,197 @@
+// Distributed MDegST node — the per-processor state machine of the
+// Blin–Butelle algorithm.
+//
+// Each node holds only local state: its identity, its neighbours (with
+// identities), and its current parent/children in the evolving spanning
+// tree. All coordination happens through the Message set (messages.hpp).
+// A round (paper §3.1) as seen from the current round root:
+//
+//   StartRound ↓ / SearchReply ↑     SearchDegree: find (k, target)
+//   MoveRoot → … → target           root migrates with path reversal
+//   Cut ↓                            children become fragment roots
+//   Bfs ↓ + cross probes /           fragment waves discover cousin edges;
+//     CousinReply / BfsBack ↑          candidates convergecast with
+//                                      provenance pointers
+//   Update ↓ ChildRequest/Accept →   two-phase commit of the edge swap
+//   Reverse ↑ Detach → root          fragment re-roots at the new
+//                                      attachment point (paper's "via
+//                                      becomes parent" cascade)
+//
+// Two-phase swap (DESIGN D2): the paper applies the exchange while the
+// Update message walks down; we first route Update unchanged to the edge
+// owner u, validate degree caps at u and at the far endpoint w
+// (ChildRequest/ChildAccept|ChildReject), and only then perform the path
+// reversal (Reverse … Detach). A validation failure sends Abort back up and
+// leaves the tree untouched — necessary in kConcurrent mode where sub-round
+// swaps may have changed degrees between discovery and apply, and harmless
+// (never triggered) in kSingleImprovement mode.
+//
+// Quiescence invariant used throughout: the round root receives the last
+// BfsBack only after every wave message, cousin probe/reply and sub-round
+// improvement of this round has been delivered, because every such message
+// is counted by exactly one node's completion condition (see the closure
+// rules in on_cross_probe()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdst/messages.hpp"
+#include "mdst/options.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+
+namespace mdst::core {
+
+/// Why the algorithm stopped (recorded by the final round root).
+enum class StopReason {
+  kNotStopped,
+  kChain,           // k <= 2: the tree is a path — globally optimal
+  kLocallyOptimal,  // a round target had no usable outgoing edge
+  kAllMaxStuck,     // kStrictLot: every max-degree node is stuck
+  kTargetReached,   // Options::target_degree satisfied
+};
+const char* to_string(StopReason reason);
+
+class Node {
+ public:
+  using Ctx = sim::IContext<Message>;
+
+  /// `parent` is kNoNode exactly for the initial root; `children` are the
+  /// node ids of the initial tree children.
+  Node(const sim::NodeEnv& env, sim::NodeId parent,
+       std::vector<sim::NodeId> children, Options options);
+
+  void on_start(Ctx& ctx);
+  void on_message(Ctx& ctx, sim::NodeId from, const Message& message);
+
+  // --- final / inspection state -------------------------------------------
+  bool done() const { return done_; }
+  sim::NodeId parent() const { return parent_; }
+  const std::vector<sim::NodeId>& children() const { return children_; }
+  int tree_degree() const;
+  bool is_current_root() const { return parent_ == sim::kNoNode; }
+  StopReason stop_reason() const { return stop_reason_; }
+  std::uint32_t rounds_started() const { return round_; }
+  std::uint64_t improvements_applied() const { return improvements_; }
+
+ private:
+  // ---- identity of this node's role within the current round.
+  enum class Role { kIdle, kRoot, kSubRoot, kMember };
+  enum class Scope { kTop, kSub };
+
+  // ---- message handlers (one per type).
+  void handle_start_round(Ctx& ctx, sim::NodeId from, const StartRound& msg);
+  void handle_search_reply(Ctx& ctx, sim::NodeId from, const SearchReply& msg);
+  void handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg);
+  void handle_cut(Ctx& ctx, sim::NodeId from, const Cut& msg);
+  void handle_bfs(Ctx& ctx, sim::NodeId from, const Bfs& msg);
+  void handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& msg);
+  void handle_bfs_back(Ctx& ctx, sim::NodeId from, const BfsBack& msg);
+  void handle_update(Ctx& ctx, sim::NodeId from, const Update& msg);
+  void handle_child_request(Ctx& ctx, sim::NodeId from, const ChildRequest& msg);
+  void handle_child_accept(Ctx& ctx, sim::NodeId from);
+  void handle_child_reject(Ctx& ctx, sim::NodeId from);
+  void handle_reverse(Ctx& ctx, sim::NodeId from, const Reverse& msg);
+  void handle_detach(Ctx& ctx, sim::NodeId from);
+  void handle_abort(Ctx& ctx, sim::NodeId from);
+  void handle_terminate(Ctx& ctx, sim::NodeId from);
+
+  // ---- round orchestration (executed by whichever node is currently root).
+  void begin_round(Ctx& ctx);
+  void root_decide_after_search(Ctx& ctx);
+  void begin_cut(Ctx& ctx);
+  void root_choose(Ctx& ctx);
+  void root_finish_round(Ctx& ctx, bool improved);
+  void terminate(Ctx& ctx, StopReason reason);
+
+  // ---- wave mechanics.
+  void become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k);
+  void become_sub_root(Ctx& ctx, const FragTag& encl_top, int k);
+  void on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg);
+  void close_cross_edge(Ctx& ctx, sim::NodeId neighbor);
+  void member_maybe_report(Ctx& ctx);
+  void subroot_maybe_resolve(Ctx& ctx);
+  void subroot_report_up(Ctx& ctx);
+  void send_search_reply_up(Ctx& ctx);
+  void start_improvement(Ctx& ctx, Scope scope, const Candidate& chosen,
+                         sim::NodeId provenance);
+  void begin_reversal(Ctx& ctx, graph::NodeName stop_at,
+                      sim::NodeId new_parent);
+
+  // ---- local tree-structure helpers.
+  bool has_child(sim::NodeId node) const;
+  void add_child(sim::NodeId node);
+  void remove_child(sim::NodeId node);
+  sim::NodeId neighbor_by_name(graph::NodeName name) const;
+  std::size_t neighbor_index(sim::NodeId node) const;
+  bool node_is_stuck() const;
+
+  void reset_round_state();
+
+  // ---- permanent state.
+  sim::NodeEnv env_;
+  Options opts_;
+  sim::NodeId parent_ = sim::kNoNode;
+  std::vector<sim::NodeId> children_;
+  bool done_ = false;
+  // kStrictLot: set when this node was a round target with no candidate;
+  // invalidated when its degree changes or a StartRound clears it.
+  bool stuck_ = false;
+  int stuck_degree_ = -1;
+
+  // ---- root-side bookkeeping (meaningful while this node is round root).
+  std::uint32_t round_ = 0;
+  std::uint64_t improvements_ = 0;
+  StopReason stop_reason_ = StopReason::kNotStopped;
+  bool round_root_duty_ = false;  // I ran root_decide for the current round
+  bool clear_stuck_next_ = false;
+
+  // ---- per-round state (reset by StartRound / begin_round).
+  Role role_ = Role::kIdle;
+  int k_ = 0;  // the round's max degree, learned from wave messages
+  // SearchDegree phase.
+  std::size_t search_waiting_ = 0;
+  int search_best_deg_ = -1;
+  graph::NodeName search_best_who_ = kNoName;
+  int search_deg_all_ = -1;
+  sim::NodeId via_ = sim::kNoNode;  // child that reported the winner; kNoNode = self
+  // Wave phase.
+  bool have_tags_ = false;
+  FragTag top_;
+  FragTag sub_;
+  std::vector<sim::NodeId> wave_children_;  // children at wave start
+  std::size_t wave_waiting_ = 0;            // child reports + cross closures
+  std::vector<bool> cross_closed_;          // per neighbour index
+  std::vector<std::pair<sim::NodeId, Bfs>> queued_probes_;
+  bool reported_up_ = false;
+  Candidate best_top_;
+  sim::NodeId prov_top_ = sim::kNoNode;
+  Candidate best_sub_;
+  sim::NodeId prov_sub_ = sim::kNoNode;
+  bool subtree_stuck_ = false;
+  bool subtree_improved_ = false;  // some sub-round below applied a swap
+  // Improvement phase.
+  bool improving_ = false;        // root/sub-root: an Update is in flight
+  bool round_aborted_ = false;    // root: this round's commit went stale
+  Scope improving_scope_ = Scope::kTop;
+  sim::NodeId update_from_ = sim::kNoNode;  // for routing Abort back up
+  Scope update_scope_ = Scope::kTop;
+  Candidate pending_candidate_;   // owner-side: candidate being committed
+  Scope pending_scope_ = Scope::kTop;
+  sim::NodeId pending_new_parent_ = sim::kNoNode;
+  // Sub-root bookkeeping.
+  bool sub_internal_done_ = false;
+  bool sub_stuck_ = false;
+  bool sub_improved_ = false;
+};
+
+/// Simulator protocol binding.
+struct Protocol {
+  using Message = core::Message;
+  using Node = core::Node;
+};
+
+}  // namespace mdst::core

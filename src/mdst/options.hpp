@@ -1,0 +1,41 @@
+// Engine configuration for the distributed MDegST algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdst::core {
+
+/// How rounds treat multiple maximum-degree nodes (paper §3.2.6; DESIGN D2).
+enum class EngineMode {
+  /// One improvement per round: the round root (max-degree node of minimum
+  /// identity) is the only node improved. Other degree-k nodes wait for
+  /// later rounds. The algorithm stops the first time a round root finds no
+  /// usable outgoing edge (the paper's stop rule).
+  kSingleImprovement,
+  /// Paper §3.2.6: degree-k nodes met by the main BFS wave become sub-roots
+  /// and improve their own subtrees within the same round (nesting depth 1).
+  /// Any stuck degree-k node stops the whole algorithm at round end.
+  kConcurrent,
+  /// Extension: like kSingleImprovement but a stuck node is only skipped
+  /// (marked stuck); the run ends when every degree-k node is stuck in the
+  /// same tree. Closer to the hypothesis of FR Theorem 1.
+  kStrictLot,
+};
+
+const char* to_string(EngineMode mode);
+
+struct Options {
+  EngineMode mode = EngineMode::kSingleImprovement;
+  /// Safety valve: abort after this many rounds (0 = no cap). A correct run
+  /// needs at most ~n rounds; the engine asserts against this budget.
+  std::size_t max_rounds = 0;
+  /// Re-validate the global tree invariants after every round (test builds).
+  bool check_each_round = false;
+  /// Early exit (paper §1: "the degree ... cannot exceed a given value k"):
+  /// stop as soon as the tree's maximum degree is <= target_degree.
+  /// 0 disables the target; values < 2 behave like 2.
+  int target_degree = 0;
+};
+
+}  // namespace mdst::core

@@ -1,0 +1,35 @@
+// The interface a protocol node uses to act on the world.
+//
+// Nodes never touch the simulator directly; they receive an IContext in
+// every callback. This keeps protocol code portable (a real network backend
+// would implement the same interface) and makes nodes unit-testable with a
+// mock context.
+#pragma once
+
+#include <string>
+
+#include "runtime/types.hpp"
+
+namespace mdst::sim {
+
+template <typename Message>
+class IContext {
+ public:
+  virtual ~IContext() = default;
+
+  /// Send `message` to a *neighbouring* node. Sending to non-neighbours is a
+  /// contract violation — the model is point-to-point over graph edges.
+  virtual void send(NodeId to, Message message) = 0;
+
+  /// This node's id (== vertex index).
+  virtual NodeId self() const = 0;
+
+  /// Current simulated time (nodes may not build timeouts on it — the
+  /// algorithms are event-driven; it exists for logging/tracing only).
+  virtual Time now() const = 0;
+
+  /// Record a named checkpoint in the run metrics (e.g. round boundaries).
+  virtual void annotate(const std::string& label) = 0;
+};
+
+}  // namespace mdst::sim

@@ -1,0 +1,88 @@
+// Per-message link-delay models.
+//
+// The paper's *analysis* assumes every hop takes at most one time unit; its
+// *correctness* must hold for arbitrary finite delays (the algorithm is
+// event-driven and asynchronous). DelayModel lets experiments run the same
+// protocol under:
+//   * unit delays        — reproduces the analysis model, so the measured
+//                          causal time is the paper's time complexity;
+//   * uniform(lo, hi)    — bounded asynchrony;
+//   * heavy_tail         — occasional very slow links (1 + geometric tail),
+//                          stressing message reordering across links.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/types.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+
+class DelayModel {
+ public:
+  /// Every message takes exactly one tick.
+  static DelayModel unit();
+  /// Uniform integer delay in [lo, hi]; lo >= 1.
+  static DelayModel uniform(Time lo, Time hi);
+  /// 1 + geometric(p) tail; small p gives rare huge delays. p in (0, 1].
+  static DelayModel heavy_tail(double p);
+
+  /// Draw the delay for one message.
+  Time sample(support::Rng& rng) const;
+
+  const char* name() const;
+
+ private:
+  enum class Kind { kUnit, kUniform, kHeavyTail };
+  Kind kind_ = Kind::kUnit;
+  Time lo_ = 1;
+  Time hi_ = 1;
+  double p_ = 0.5;
+};
+
+inline DelayModel DelayModel::unit() { return DelayModel{}; }
+
+inline DelayModel DelayModel::uniform(Time lo, Time hi) {
+  MDST_REQUIRE(lo >= 1 && lo <= hi, "uniform delay: need 1 <= lo <= hi");
+  DelayModel m;
+  m.kind_ = Kind::kUniform;
+  m.lo_ = lo;
+  m.hi_ = hi;
+  return m;
+}
+
+inline DelayModel DelayModel::heavy_tail(double p) {
+  MDST_REQUIRE(p > 0.0 && p <= 1.0, "heavy_tail: p in (0,1]");
+  DelayModel m;
+  m.kind_ = Kind::kHeavyTail;
+  m.p_ = p;
+  return m;
+}
+
+inline Time DelayModel::sample(support::Rng& rng) const {
+  switch (kind_) {
+    case Kind::kUnit:
+      return 1;
+    case Kind::kUniform:
+      return lo_ + rng.next_below(hi_ - lo_ + 1);
+    case Kind::kHeavyTail: {
+      // Geometric via inversion; clamp to keep simulations finite.
+      Time extra = 0;
+      while (!rng.next_bool(p_) && extra < 10'000) ++extra;
+      return 1 + extra;
+    }
+  }
+  MDST_UNREACHABLE("bad delay kind");
+}
+
+inline const char* DelayModel::name() const {
+  switch (kind_) {
+    case Kind::kUnit: return "unit";
+    case Kind::kUniform: return "uniform";
+    case Kind::kHeavyTail: return "heavy_tail";
+  }
+  return "?";
+}
+
+}  // namespace mdst::sim

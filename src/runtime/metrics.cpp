@@ -1,0 +1,11 @@
+#include "runtime/metrics.hpp"
+
+namespace mdst::sim {
+
+std::size_t id_bits_for(std::size_t n) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace mdst::sim

@@ -1,0 +1,105 @@
+// Complexity metering — the "measurement instruments" for every table in
+// EXPERIMENTS.md.
+//
+// The paper evaluates algorithms by three yardsticks, all of which the
+// simulator measures directly:
+//   * message complexity — total messages delivered (per type and overall);
+//   * time complexity    — length of the longest causal dependency chain
+//                          (tracked as a Lamport-style depth: a message
+//                          carries depth d+1 when its sender's depth is d,
+//                          and a receiver's depth becomes max(own, carried));
+//                          under unit delays this equals the simulated clock;
+//   * bit complexity     — messages carry at most four identities/numbers
+//                          (paper §4.2), so each message type reports how
+//                          many identity-sized fields it carries and the
+//                          meter converts to bits with id_bits = ceil(log2 n).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace mdst::sim {
+
+/// A named checkpoint emitted by a protocol (e.g. "round 3 end") with the
+/// cumulative message count at that instant; benches diff consecutive
+/// snapshots for per-round budgets.
+struct Annotation {
+  Time time = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t max_causal_depth = 0;
+  std::string label;
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t message_type_count, std::size_t id_bits)
+      : per_type_(message_type_count, 0), id_bits_(id_bits) {}
+
+  void on_deliver(std::size_t type_index, std::size_t ids_carried,
+                  std::uint64_t causal_depth, Time now) {
+    ++total_messages_;
+    ++per_type_[type_index];
+    const std::uint64_t bits = kTagBits + ids_carried * id_bits_;
+    total_bits_ += bits;
+    if (bits > max_message_bits_) max_message_bits_ = bits;
+    if (ids_carried > max_ids_) max_ids_ = ids_carried;
+    if (causal_depth > max_causal_depth_) max_causal_depth_ = causal_depth;
+    if (now > last_delivery_time_) last_delivery_time_ = now;
+  }
+
+  void annotate(Time now, std::string label) {
+    annotations_.push_back({now, total_messages_, max_causal_depth_,
+                            std::move(label)});
+  }
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t messages_of_type(std::size_t type_index) const {
+    return per_type_.at(type_index);
+  }
+  const std::vector<std::uint64_t>& per_type() const { return per_type_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+  std::uint64_t max_message_bits() const { return max_message_bits_; }
+  std::uint64_t max_ids_carried() const { return max_ids_; }
+  std::uint64_t max_causal_depth() const { return max_causal_depth_; }
+  Time last_delivery_time() const { return last_delivery_time_; }
+  std::size_t id_bits() const { return id_bits_; }
+  const std::vector<Annotation>& annotations() const { return annotations_; }
+
+  /// Merge counts from another run (e.g. spanning-tree phase + MDegST phase
+  /// for end-to-end totals). Causal depths take the max, times add.
+  void absorb_sequential(const Metrics& later) {
+    total_messages_ += later.total_messages_;
+    total_bits_ += later.total_bits_;
+    max_message_bits_ = std::max(max_message_bits_, later.max_message_bits_);
+    max_ids_ = std::max(max_ids_, later.max_ids_);
+    max_causal_depth_ += later.max_causal_depth_;
+    last_delivery_time_ += later.last_delivery_time_;
+    if (per_type_.size() < later.per_type_.size()) {
+      per_type_.resize(later.per_type_.size(), 0);
+    }
+    for (std::size_t i = 0; i < later.per_type_.size(); ++i) {
+      per_type_[i] += later.per_type_[i];
+    }
+  }
+
+  static constexpr std::uint64_t kTagBits = 4;  // <= 16 message types/protocol
+
+ private:
+  std::uint64_t total_messages_ = 0;
+  std::vector<std::uint64_t> per_type_;
+  std::uint64_t total_bits_ = 0;
+  std::uint64_t max_message_bits_ = 0;
+  std::uint64_t max_ids_ = 0;
+  std::uint64_t max_causal_depth_ = 0;
+  Time last_delivery_time_ = 0;
+  std::size_t id_bits_;
+  std::vector<Annotation> annotations_;
+};
+
+/// ceil(log2(n)) with a floor of 1 bit.
+std::size_t id_bits_for(std::size_t n);
+
+}  // namespace mdst::sim

@@ -1,0 +1,22 @@
+#include "runtime/node_env.hpp"
+
+#include "support/assert.hpp"
+
+namespace mdst::sim {
+
+graph::NodeName NodeEnv::neighbor_name(NodeId node) const {
+  for (const NeighborInfo& info : neighbors) {
+    if (info.id == node) return info.name;
+  }
+  MDST_REQUIRE(false, "neighbor_name: not a neighbor");
+  MDST_UNREACHABLE("unreachable");
+}
+
+bool NodeEnv::is_neighbor(NodeId node) const {
+  for (const NeighborInfo& info : neighbors) {
+    if (info.id == node) return true;
+  }
+  return false;
+}
+
+}  // namespace mdst::sim

@@ -1,0 +1,32 @@
+// Static local knowledge a node starts with.
+//
+// Matches the paper's model: "each node is ignorant of the global network
+// topology except for its own edges, and every node does know identity of
+// its neighbors". Nothing else about the graph is visible to protocol code.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/types.hpp"
+
+namespace mdst::sim {
+
+struct NeighborInfo {
+  NodeId id = kNoNode;             // routing handle (delivery address)
+  graph::NodeName name = -1;       // distinct identity, used in tie-breaks
+};
+
+struct NodeEnv {
+  NodeId id = kNoNode;
+  graph::NodeName name = -1;
+  std::vector<NeighborInfo> neighbors;
+
+  /// Name of a neighbour by node id; contract-checked.
+  graph::NodeName neighbor_name(NodeId node) const;
+  /// True iff `node` is a direct neighbour.
+  bool is_neighbor(NodeId node) const;
+  std::size_t degree() const { return neighbors.size(); }
+};
+
+}  // namespace mdst::sim

@@ -1,0 +1,246 @@
+// Discrete-event simulator for asynchronous message-passing protocols.
+//
+// This is the library's stand-in for the paper's execution model: a static
+// asynchronous point-to-point network over an undirected graph, FIFO
+// bidirectional channels, no shared memory, no global clock visible to the
+// protocol. Determinism: given (graph, protocol, SimConfig::seed) a run is
+// bit-for-bit reproducible; ties at equal delivery times resolve in send
+// order.
+//
+// A Protocol type P must provide:
+//   using Message = std::variant<M0, M1, ...>;
+//     where each alternative Mi has
+//       static constexpr const char* kName;      // for traces/metrics
+//       std::size_t ids_carried() const;         // identity-sized fields
+//   using Node = <class> with
+//       void on_start(IContext<Message>&);
+//       void on_message(IContext<Message>&, NodeId from, const Message&);
+//
+// Nodes are built by a user factory from their NodeEnv (local knowledge
+// only). The simulator delivers `on_start` to every node (at staggered
+// times if SimConfig::start_spread > 0 — the paper allows nodes to start
+// at different moments) and then drains the event queue.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/context.hpp"
+#include "runtime/delay.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/trace.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+
+struct SimConfig {
+  DelayModel delay = DelayModel::unit();
+  /// Per-link FIFO ordering (standard model assumption; switch off only for
+  /// robustness experiments).
+  bool fifo_links = true;
+  std::uint64_t seed = 1;
+  /// Node i spontaneously starts at a uniform time in [0, start_spread].
+  Time start_spread = 0;
+  /// Hard cap on total sends — converts protocol livelock bugs into loud
+  /// failures instead of hung experiments.
+  std::uint64_t max_messages = 50'000'000;
+  /// Retain at most this many trace rows (0 disables tracing).
+  std::size_t trace_cap = 0;
+};
+
+template <typename P>
+class Simulator {
+ public:
+  using Message = typename P::Message;
+  using Node = typename P::Node;
+  using NodeFactory = std::function<Node(const NodeEnv&)>;
+
+  Simulator(const graph::Graph& graph, const NodeFactory& factory,
+            SimConfig config = {})
+      : config_(config),
+        rng_(config.seed),
+        metrics_(std::variant_size_v<Message>, id_bits_for(graph.vertex_count())),
+        trace_(config.trace_cap) {
+    const std::size_t n = graph.vertex_count();
+    MDST_REQUIRE(n > 0, "simulator: empty graph");
+    envs_.reserve(n);
+    nodes_.reserve(n);
+    depth_.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      NodeEnv env;
+      env.id = static_cast<NodeId>(v);
+      env.name = graph.name(static_cast<NodeId>(v));
+      for (const graph::Incidence& inc : graph.neighbors(static_cast<NodeId>(v))) {
+        env.neighbors.push_back({inc.neighbor, graph.name(inc.neighbor)});
+      }
+      envs_.push_back(std::move(env));
+      nodes_.push_back(factory(envs_.back()));
+    }
+    // Schedule the spontaneous starts.
+    for (std::size_t v = 0; v < n; ++v) {
+      const Time at =
+          config_.start_spread == 0
+              ? 0
+              : rng_.next_below(config_.start_spread + 1);
+      push_event(Event{at, next_seq_++, EventKind::kStart,
+                       static_cast<NodeId>(v), kNoNode, Message{}, 0, at});
+    }
+  }
+
+  /// Drain the event queue; returns when no message is in flight.
+  void run() {
+    while (!queue_.empty()) {
+      step();
+    }
+  }
+
+  /// Deliver exactly one event; returns false when idle. Exposed so tests
+  /// can interleave assertions with delivery.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ContextImpl ctx(this, ev.to);
+    Node& node = nodes_[static_cast<std::size_t>(ev.to)];
+    if (ev.kind == EventKind::kStart) {
+      node.on_start(ctx);
+      return true;
+    }
+    // Update the receiver's causal depth *before* the handler so that
+    // messages it sends in response carry depth + 1.
+    auto& d = depth_[static_cast<std::size_t>(ev.to)];
+    if (ev.causal_depth > d) d = ev.causal_depth;
+    const std::size_t type_index = ev.payload.index();
+    const std::size_t ids = std::visit(
+        [](const auto& m) { return m.ids_carried(); }, ev.payload);
+    metrics_.on_deliver(type_index, ids, ev.causal_depth, now_);
+    if (trace_.enabled()) {
+      const char* type_name = std::visit(
+          [](const auto& m) {
+            return std::decay_t<decltype(m)>::kName;
+          },
+          ev.payload);
+      trace_.record({ev.send_time, ev.time, ev.from, ev.to, type_index,
+                     type_name, ev.causal_depth});
+    }
+    node.on_message(ctx, ev.from, ev.payload);
+    return true;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  Time now() const { return now_; }
+  const Metrics& metrics() const { return metrics_; }
+  const Trace& trace() const { return trace_; }
+
+  Node& node(NodeId id) {
+    MDST_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                 "simulator: bad node id");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const Node& node(NodeId id) const {
+    return const_cast<Simulator*>(this)->node(id);
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  const NodeEnv& env(NodeId id) const {
+    return envs_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Inject a message from outside the network (tests only). Counted and
+  /// delivered like any other message; `from` may be kNoNode.
+  void inject(NodeId from, NodeId to, Message message) {
+    push_event(Event{now_ + 1, next_seq_++, EventKind::kMessage, to, from,
+                     std::move(message), depth_from(from) + 1, now_});
+  }
+
+ private:
+  enum class EventKind { kStart, kMessage };
+
+  struct Event {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kMessage;
+    NodeId to = kNoNode;
+    NodeId from = kNoNode;
+    Message payload{};
+    std::uint64_t causal_depth = 0;
+    Time send_time = 0;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  class ContextImpl final : public IContext<Message> {
+   public:
+    ContextImpl(Simulator* sim, NodeId self) : sim_(sim), self_(self) {}
+
+    void send(NodeId to, Message message) override {
+      Simulator& sim = *sim_;
+      MDST_REQUIRE(sim.envs_[static_cast<std::size_t>(self_)].is_neighbor(to),
+                   "send: target is not a neighbor (point-to-point model)");
+      MDST_REQUIRE(sim.sent_ < sim.config_.max_messages,
+                   "message cap exceeded — livelock?");
+      ++sim.sent_;
+      const Time delay = sim.config_.delay.sample(sim.rng_);
+      Time deliver_at = sim.now_ + delay;
+      if (sim.config_.fifo_links) {
+        // Enforce per-directed-link FIFO: never deliver before a message
+        // sent earlier on the same link.
+        Time& last = sim.fifo_floor_[link_key(self_, to)];
+        if (deliver_at < last) deliver_at = last;
+        last = deliver_at;
+      }
+      sim.push_event(Event{
+          deliver_at, sim.next_seq_++, EventKind::kMessage, to, self_,
+          std::move(message),
+          sim.depth_[static_cast<std::size_t>(self_)] + 1, sim.now_});
+    }
+
+    NodeId self() const override { return self_; }
+    Time now() const override { return sim_->now_; }
+    void annotate(const std::string& label) override {
+      sim_->metrics_.annotate(sim_->now_, label);
+    }
+
+   private:
+    Simulator* sim_;
+    NodeId self_;
+  };
+
+  static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  std::uint64_t depth_from(NodeId from) const {
+    if (from == kNoNode) return 0;
+    return depth_[static_cast<std::size_t>(from)];
+  }
+
+  void push_event(Event ev) { queue_.push(std::move(ev)); }
+
+  SimConfig config_;
+  support::Rng rng_;
+  Metrics metrics_;
+  Trace trace_;
+  std::vector<NodeEnv> envs_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint64_t> depth_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Time> fifo_floor_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t sent_ = 0;
+
+  friend class ContextImpl;
+};
+
+}  // namespace mdst::sim

@@ -1,0 +1,105 @@
+// Demonstration synchronous protocols for the synchronizers: textbook
+// lock-step algorithms whose behaviour is exactly predictable per round,
+// used to validate the synchronizers and in examples/network_sync.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/node_env.hpp"
+
+namespace mdst::sim {
+
+/// Synchronous BFS layering: the source announces distance 0 in round 0;
+/// a node that learns its distance in round r announces it in round r; a
+/// node at BFS-distance d from the source learns d at the start of round d.
+/// After ecc(source)+1 rounds every node knows its distance and parent.
+struct SyncBfs {
+  struct Inner {
+    int dist = 0;
+    std::size_t ids_carried() const { return 1; }
+  };
+
+  class Node {
+   public:
+    Node(const NodeEnv& env, bool is_source) : env_(env), source_(is_source) {}
+
+    std::vector<std::pair<NodeId, Inner>> on_round(
+        std::size_t round, const std::vector<std::pair<NodeId, Inner>>& inbox) {
+      bool fresh = false;
+      if (round == 0 && source_) {
+        dist_ = 0;
+        fresh = true;
+      }
+      if (dist_ < 0) {
+        for (const auto& [from, msg] : inbox) {
+          if (dist_ < 0 || msg.dist + 1 < dist_) {
+            dist_ = msg.dist + 1;
+            parent_ = from;
+            fresh = true;
+          }
+        }
+      }
+      std::vector<std::pair<NodeId, Inner>> out;
+      if (fresh) {
+        out.reserve(env_.neighbors.size());
+        for (const NeighborInfo& nb : env_.neighbors) {
+          out.emplace_back(nb.id, Inner{dist_});
+        }
+      }
+      return out;
+    }
+
+    int distance() const { return dist_; }
+    NodeId bfs_parent() const { return parent_; }
+
+   private:
+    NodeEnv env_;
+    bool source_;
+    int dist_ = -1;
+    NodeId parent_ = kNoNode;
+  };
+};
+
+/// Synchronous max-name consensus: everyone repeatedly floods the largest
+/// identity heard so far; converges after diameter rounds.
+struct SyncMaxConsensus {
+  struct Inner {
+    graph::NodeName value = -1;
+    std::size_t ids_carried() const { return 1; }
+  };
+
+  class Node {
+   public:
+    explicit Node(const NodeEnv& env) : env_(env), best_(env.name) {}
+
+    std::vector<std::pair<NodeId, Inner>> on_round(
+        std::size_t round, const std::vector<std::pair<NodeId, Inner>>& inbox) {
+      bool improved = round == 0;  // initial announcement
+      for (const auto& [from, msg] : inbox) {
+        (void)from;
+        if (msg.value > best_) {
+          best_ = msg.value;
+          improved = true;
+        }
+      }
+      std::vector<std::pair<NodeId, Inner>> out;
+      if (improved) {
+        for (const NeighborInfo& nb : env_.neighbors) {
+          out.emplace_back(nb.id, Inner{best_});
+        }
+      }
+      return out;
+    }
+
+    graph::NodeName best() const { return best_; }
+
+   private:
+    NodeEnv env_;
+    graph::NodeName best_;
+  };
+};
+
+}  // namespace mdst::sim

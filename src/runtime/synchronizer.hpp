@@ -1,0 +1,278 @@
+// Synchronizers: run a synchronous round-based protocol on the asynchronous
+// network (Awerbuch's α and β synchronizers).
+//
+// The paper's introduction lists Network Synchronization among the reasons
+// distributed systems build trees: the β synchronizer detects round
+// completion with a convergecast/broadcast over a spanning tree, so the
+// busiest node does tree-degree work per round — exactly the quantity the
+// MDegST minimises. This module makes that connection executable
+// (examples/network_sync.cpp compares α, β-over-star and β-over-MDegST).
+//
+// Model. A synchronous protocol runs in lock-step rounds; messages sent in
+// round r arrive at the start of round r+1. A SyncProtocol provides:
+//
+//   struct P {
+//     using Inner = <payload type> with ids_carried() const;
+//     class Node {
+//       // Called once per round with the messages sent to this node in the
+//       // previous round; returns this round's outgoing messages.
+//       std::vector<std::pair<sim::NodeId, Inner>> on_round(
+//           std::size_t round,
+//           const std::vector<std::pair<sim::NodeId, Inner>>& inbox);
+//     };
+//   };
+//
+// The adapters guarantee: every node executes exactly `rounds` rounds, and
+// on_round(r) observes precisely the round-(r-1) messages (the synchronous
+// semantics), regardless of link delays.
+//
+//   * Alpha: per-message Ack + per-edge Safe flood. Overhead per round:
+//     one Ack per payload plus 2·m Safe messages; detection is local, no
+//     precomputed structure needed.
+//   * Beta: per-message Ack + convergecast SafeUp / broadcast NextRound on
+//     a rooted spanning tree. Overhead per round: Acks plus 2·(n−1) tree
+//     messages; the per-node overhead is bounded by its tree degree.
+//
+// Rounds at neighbouring nodes differ by at most one, so per-round buffers
+// of size two suffice; the adapters buffer by absolute round index for
+// clarity and assert the skew bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::sim {
+
+template <typename Inner>
+struct SyncPayload {
+  static constexpr const char* kName = "SyncPayload";
+  std::uint32_t round = 0;
+  Inner inner{};
+  std::size_t ids_carried() const { return 1 + inner.ids_carried(); }
+};
+struct SyncAck {
+  static constexpr const char* kName = "SyncAck";
+  std::uint32_t round = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+/// Alpha: "all my round-r messages were acknowledged" — flooded to every
+/// neighbour.
+struct SyncSafe {
+  static constexpr const char* kName = "SyncSafe";
+  std::uint32_t round = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+/// Beta: subtree safe for round r (convergecast up the tree).
+struct SyncSafeUp {
+  static constexpr const char* kName = "SyncSafeUp";
+  std::uint32_t round = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+/// Beta: the root releases round r+1 (broadcast down the tree).
+struct SyncNextRound {
+  static constexpr const char* kName = "SyncNextRound";
+  std::uint32_t round = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+
+enum class SynchronizerKind { kAlpha, kBeta };
+
+/// Asynchronous wrapper node executing `rounds` synchronous rounds of P.
+template <typename P>
+class SynchronizerNode {
+ public:
+  using Inner = typename P::Inner;
+  using Message = std::variant<SyncPayload<Inner>, SyncAck, SyncSafe,
+                               SyncSafeUp, SyncNextRound>;
+  using Ctx = IContext<Message>;
+
+  /// Beta mode takes the node's tree parent/children; alpha ignores them.
+  SynchronizerNode(const NodeEnv& env, typename P::Node sync_node,
+                   std::size_t rounds, SynchronizerKind kind,
+                   NodeId tree_parent = kNoNode,
+                   std::vector<NodeId> tree_children = {})
+      : env_(env), sync_(std::move(sync_node)), total_rounds_(rounds),
+        kind_(kind), tree_parent_(tree_parent),
+        tree_children_(std::move(tree_children)) {}
+
+  void on_start(Ctx& ctx) { run_round(ctx); }
+
+  void on_message(Ctx& ctx, NodeId from, const Message& message) {
+    std::visit(
+        [&](const auto& m) { handle(ctx, from, m); },
+        message);
+  }
+
+  /// The wrapped synchronous node (for result extraction).
+  const typename P::Node& sync_node() const { return sync_; }
+  typename P::Node& sync_node() { return sync_; }
+  std::size_t rounds_completed() const { return round_; }
+  bool done() const { return halted_; }
+
+ private:
+  void handle(Ctx& ctx, NodeId from, const SyncPayload<Inner>& m) {
+    // A round-r payload is always received before the receiver leaves round
+    // r: the sender only turns safe after our Ack, and everyone's advance
+    // awaits the sender's safety (causality, not FIFO, enforces this).
+    MDST_ASSERT(m.round == round_ || m.round == round_ + 1,
+                "synchronizer: round skew > 1");
+    inbox_[m.round].emplace_back(from, m.inner);
+    ctx.send(from, SyncAck{m.round});
+  }
+
+  void handle(Ctx& ctx, NodeId from, const SyncAck& m) {
+    (void)from;
+    MDST_ASSERT(m.round == round_, "ack for a foreign round");
+    MDST_ASSERT(pending_acks_ > 0, "unexpected ack");
+    if (--pending_acks_ == 0) became_safe(ctx);
+  }
+
+  void handle(Ctx& ctx, NodeId from, const SyncSafe& m) {
+    (void)from;
+    MDST_ASSERT(kind_ == SynchronizerKind::kAlpha, "Safe in beta mode");
+    ++safe_neighbors_[m.round];
+    maybe_advance_alpha(ctx);
+  }
+
+  void handle(Ctx& ctx, NodeId from, const SyncSafeUp& m) {
+    (void)from;
+    MDST_ASSERT(kind_ == SynchronizerKind::kBeta, "SafeUp in alpha mode");
+    ++safe_children_[m.round];
+    maybe_report_beta(ctx);
+  }
+
+  void handle(Ctx& ctx, NodeId from, const SyncNextRound& m) {
+    (void)from;
+    MDST_ASSERT(kind_ == SynchronizerKind::kBeta, "NextRound in alpha mode");
+    MDST_ASSERT(m.round == round_, "NextRound skew");
+    for (const NodeId child : tree_children_) ctx.send(child, m);
+    advance(ctx);
+  }
+
+  void run_round(Ctx& ctx) {
+    MDST_ASSERT(!halted_, "round after halt");
+    self_safe_ = false;
+    reported_up_ = false;
+    // Round r consumes the messages sent in round r-1; round 0 sees an
+    // empty inbox (early round-0 payloads from neighbours that started
+    // before us are buffered in inbox_[0] for OUR round 1 — this is what
+    // makes staggered spontaneous starts safe).
+    static const std::vector<std::pair<NodeId, Inner>> kEmptyInbox;
+    const auto& inbox = round_ == 0 ? kEmptyInbox : inbox_[round_ - 1];
+    auto outgoing = sync_.on_round(round_, inbox);
+    // Round-(r-1) inbox is consumed; free it.
+    if (round_ > 0) inbox_.erase(round_ - 1);
+    pending_acks_ = outgoing.size();
+    for (auto& [to, inner] : outgoing) {
+      ctx.send(to, SyncPayload<Inner>{static_cast<std::uint32_t>(round_),
+                                      std::move(inner)});
+    }
+    if (pending_acks_ == 0) became_safe(ctx);
+  }
+
+  void became_safe(Ctx& ctx) {
+    self_safe_ = true;
+    if (kind_ == SynchronizerKind::kAlpha) {
+      for (const NeighborInfo& nb : env_.neighbors) {
+        ctx.send(nb.id, SyncSafe{static_cast<std::uint32_t>(round_)});
+      }
+      maybe_advance_alpha(ctx);
+    } else {
+      maybe_report_beta(ctx);
+    }
+  }
+
+  void maybe_advance_alpha(Ctx& ctx) {
+    if (halted_ || !self_safe_) return;
+    if (safe_neighbors_[round_] < env_.neighbors.size()) return;
+    safe_neighbors_.erase(round_);
+    advance(ctx);
+  }
+
+  void maybe_report_beta(Ctx& ctx) {
+    if (halted_ || !self_safe_ || reported_up_) return;
+    if (safe_children_[round_] < tree_children_.size()) return;
+    safe_children_.erase(round_);
+    reported_up_ = true;
+    if (tree_parent_ != kNoNode) {
+      ctx.send(tree_parent_, SyncSafeUp{static_cast<std::uint32_t>(round_)});
+      return;
+    }
+    // Root: the whole tree is safe; release the next round.
+    const SyncNextRound release{static_cast<std::uint32_t>(round_)};
+    for (const NodeId child : tree_children_) ctx.send(child, release);
+    advance(ctx);
+  }
+
+  void advance(Ctx& ctx) {
+    ++round_;
+    if (round_ >= total_rounds_) {
+      halted_ = true;
+      return;
+    }
+    run_round(ctx);
+  }
+
+  NodeEnv env_;
+  typename P::Node sync_;
+  std::size_t total_rounds_;
+  SynchronizerKind kind_;
+  NodeId tree_parent_;
+  std::vector<NodeId> tree_children_;
+  std::size_t round_ = 0;
+  std::map<std::size_t, std::vector<std::pair<NodeId, Inner>>> inbox_;
+  std::size_t pending_acks_ = 0;
+  bool self_safe_ = false;
+  bool reported_up_ = false;
+  std::map<std::size_t, std::size_t> safe_neighbors_;  // alpha, by round
+  std::map<std::size_t, std::size_t> safe_children_;   // beta, by round
+  bool halted_ = false;
+};
+
+/// Protocol binding for Simulator.
+template <typename P>
+struct SynchronizedProtocol {
+  using Message = typename SynchronizerNode<P>::Message;
+  using Node = SynchronizerNode<P>;
+};
+
+/// Run `rounds` synchronous rounds of P over `g` with the alpha
+/// synchronizer. The factory builds the wrapped synchronous nodes.
+template <typename P, typename Factory>
+Simulator<SynchronizedProtocol<P>> make_alpha_synchronizer(
+    const graph::Graph& g, Factory&& factory, std::size_t rounds,
+    const SimConfig& config = {}) {
+  return Simulator<SynchronizedProtocol<P>>(
+      g,
+      [&](const NodeEnv& env) {
+        return SynchronizerNode<P>(env, factory(env), rounds,
+                                   SynchronizerKind::kAlpha);
+      },
+      config);
+}
+
+/// As above with the beta synchronizer over the given rooted spanning tree.
+template <typename P, typename Factory>
+Simulator<SynchronizedProtocol<P>> make_beta_synchronizer(
+    const graph::Graph& g, const graph::RootedTree& tree, Factory&& factory,
+    std::size_t rounds, const SimConfig& config = {}) {
+  return Simulator<SynchronizedProtocol<P>>(
+      g,
+      [&](const NodeEnv& env) {
+        return SynchronizerNode<P>(env, factory(env), rounds,
+                                   SynchronizerKind::kBeta, tree.parent(env.id),
+                                   tree.children(env.id));
+      },
+      config);
+}
+
+}  // namespace mdst::sim

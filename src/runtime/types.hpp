@@ -1,0 +1,19 @@
+// Core identifier and time types of the simulation runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace mdst::sim {
+
+/// Node index inside a simulation == vertex index of the underlying graph.
+using NodeId = graph::VertexId;
+inline constexpr NodeId kNoNode = graph::kInvalidVertex;
+
+/// Discrete simulated time in ticks. Message propagation plus inter-message
+/// delay is "at most one time unit" in the paper's analysis model; delay
+/// models below generalise that for asynchrony experiments.
+using Time = std::uint64_t;
+
+}  // namespace mdst::sim

@@ -1,0 +1,13 @@
+// Small helper for std::visit-based message dispatch in protocol nodes.
+#pragma once
+
+namespace mdst::sim {
+
+template <typename... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+template <typename... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
+
+}  // namespace mdst::sim

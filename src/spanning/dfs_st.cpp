@@ -1,0 +1,91 @@
+#include "spanning/dfs_st.hpp"
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+namespace dfs {
+
+void Node::mark_used(sim::NodeId neighbor) {
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (env_.neighbors[i].id == neighbor) {
+      used_[i] = true;
+      return;
+    }
+  }
+  MDST_UNREACHABLE("mark_used: not a neighbor");
+}
+
+void Node::advance(sim::IContext<Message>& ctx) {
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (!used_[i]) {
+      used_[i] = true;  // one shot per edge; response comes as Visited/Return
+      ctx.send(env_.neighbors[i].id, Token{});
+      return;
+    }
+  }
+  // All incident edges explored.
+  if (is_initiator_) {
+    done_ = true;
+    for (const sim::NodeId child : children_) ctx.send(child, Term{});
+  } else {
+    MDST_ASSERT(parent_ != sim::kNoNode, "returning without parent");
+    ctx.send(parent_, Return{});
+  }
+}
+
+void Node::on_start(sim::IContext<Message>& ctx) {
+  if (!is_initiator_) return;
+  visited_ = true;
+  advance(ctx);
+}
+
+void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                      const Message& message) {
+  std::visit(
+      sim::Overloaded{
+          [&](const Token&) {
+            if (visited_) {
+              // Bounce, and never try this edge ourselves: the sender is
+              // visited, so a token through it would only bounce back. This
+              // keeps the classic 2-messages-per-edge budget.
+              mark_used(from);
+              ctx.send(from, Visited{});
+              return;
+            }
+            visited_ = true;
+            parent_ = from;
+            mark_used(from);
+            advance(ctx);
+          },
+          [&](const Visited&) { advance(ctx); },
+          [&](const Return&) {
+            children_.push_back(from);
+            advance(ctx);
+          },
+          [&](const Term&) {
+            MDST_ASSERT(from == parent_, "Term from non-parent");
+            done_ = true;
+            for (const sim::NodeId child : children_) ctx.send(child, Term{});
+          },
+      },
+      message);
+}
+
+}  // namespace dfs
+
+SpanningRun run_dfs_st(const graph::Graph& g, sim::NodeId initiator,
+                       const sim::SimConfig& config) {
+  MDST_REQUIRE(g.valid_vertex(initiator), "run_dfs_st: bad initiator");
+  sim::Simulator<dfs::Protocol> simulation(
+      g,
+      [initiator](const sim::NodeEnv& env) {
+        return dfs::Node(env, env.id == initiator);
+      },
+      config);
+  simulation.run();
+  SpanningRun result{extract_tree(simulation), simulation.metrics()};
+  return result;
+}
+
+}  // namespace mdst::spanning

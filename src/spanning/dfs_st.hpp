@@ -1,0 +1,90 @@
+// Distributed depth-first-search spanning tree (token traversal).
+//
+// The classic sequential-token algorithm (Tel, Ch. 6): a single token walks
+// the graph; on first receipt a node adopts the sender as parent, then
+// forwards the token to one unexplored neighbour at a time. An
+// already-visited neighbour bounces the token back with Visited. When a node
+// has exhausted its neighbours it returns the token to its parent; when the
+// initiator exhausts its neighbours the traversal is complete and Term is
+// broadcast down the tree.
+//
+// Complexity: every edge is traversed at most twice (token + bounce/return),
+// so <= 2m messages plus n-1 Term; time O(m) — the token serialises
+// everything. DFS trees tend to have low degree, which makes this a *good*
+// startup tree for the MDegST phase (measured in bench_t6_initial_tree).
+#pragma once
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+#include "spanning/tree_result.hpp"
+
+namespace mdst::spanning {
+
+namespace dfs {
+
+struct Token {
+  static constexpr const char* kName = "Token";
+  std::size_t ids_carried() const { return 0; }
+};
+/// Bounce: receiver of Token was already visited.
+struct Visited {
+  static constexpr const char* kName = "Visited";
+  std::size_t ids_carried() const { return 0; }
+};
+/// Subtree of sender fully explored; sender is a child of the receiver.
+struct Return {
+  static constexpr const char* kName = "Return";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Term {
+  static constexpr const char* kName = "Term";
+  std::size_t ids_carried() const { return 0; }
+};
+
+using Message = std::variant<Token, Visited, Return, Term>;
+
+class Node {
+ public:
+  Node(const sim::NodeEnv& env, bool is_initiator)
+      : env_(env), is_initiator_(is_initiator),
+        used_(env.neighbors.size(), false) {}
+
+  void on_start(sim::IContext<Message>& ctx);
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& message);
+
+  bool done() const { return done_; }
+  sim::NodeId parent() const { return parent_; }
+  const std::vector<sim::NodeId>& children() const { return children_; }
+
+ private:
+  /// Forward the token to the next unexplored neighbour, or conclude.
+  void advance(sim::IContext<Message>& ctx);
+  void mark_used(sim::NodeId neighbor);
+
+  sim::NodeEnv env_;
+  bool is_initiator_;
+  bool visited_ = false;
+  bool done_ = false;
+  sim::NodeId parent_ = sim::kNoNode;
+  std::vector<sim::NodeId> children_;
+  std::vector<bool> used_;  // parallel to env_.neighbors
+};
+
+struct Protocol {
+  using Message = dfs::Message;
+  using Node = dfs::Node;
+};
+
+}  // namespace dfs
+
+/// Run token-DFS from `initiator` and return the tree plus metrics.
+SpanningRun run_dfs_st(const graph::Graph& g, sim::NodeId initiator,
+                       const sim::SimConfig& config = {});
+
+}  // namespace mdst::spanning

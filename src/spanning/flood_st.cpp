@@ -1,0 +1,88 @@
+#include "spanning/flood_st.hpp"
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+namespace flood {
+
+void Node::flood(sim::IContext<Message>& ctx, sim::NodeId except) {
+  awaiting_ = 0;
+  for (const sim::NeighborInfo& nb : env_.neighbors) {
+    if (nb.id == except) continue;
+    ctx.send(nb.id, Probe{});
+    ++awaiting_;
+  }
+}
+
+void Node::on_start(sim::IContext<Message>& ctx) {
+  if (!is_initiator_) return;
+  joined_ = true;
+  flood(ctx, sim::kNoNode);
+  maybe_finish(ctx);  // single-node network: immediately done
+}
+
+void Node::maybe_finish(sim::IContext<Message>& ctx) {
+  if (done_ || awaiting_ != 0) return;
+  if (is_initiator_) {
+    // Global completion: tell everyone.
+    done_ = true;
+    for (const sim::NodeId child : children_) ctx.send(child, Term{});
+  } else {
+    MDST_ASSERT(parent_ != sim::kNoNode, "finishing without parent");
+    ctx.send(parent_, Echo{});
+    // Done only on Term; until then we may still receive stray Probes.
+  }
+}
+
+void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                      const Message& message) {
+  std::visit(
+      sim::Overloaded{
+          [&](const Probe&) {
+            if (joined_) {
+              ctx.send(from, Reject{});
+              return;
+            }
+            joined_ = true;
+            parent_ = from;
+            flood(ctx, from);
+            maybe_finish(ctx);  // leaf: echo straight away
+          },
+          [&](const Echo&) {
+            MDST_ASSERT(awaiting_ > 0, "unexpected Echo");
+            children_.push_back(from);
+            --awaiting_;
+            maybe_finish(ctx);
+          },
+          [&](const Reject&) {
+            MDST_ASSERT(awaiting_ > 0, "unexpected Reject");
+            --awaiting_;
+            maybe_finish(ctx);
+          },
+          [&](const Term&) {
+            MDST_ASSERT(from == parent_, "Term from non-parent");
+            done_ = true;
+            for (const sim::NodeId child : children_) ctx.send(child, Term{});
+          },
+      },
+      message);
+}
+
+}  // namespace flood
+
+SpanningRun run_flood_st(const graph::Graph& g, sim::NodeId initiator,
+                         const sim::SimConfig& config) {
+  MDST_REQUIRE(g.valid_vertex(initiator), "run_flood_st: bad initiator");
+  sim::Simulator<flood::Protocol> simulation(
+      g,
+      [initiator](const sim::NodeEnv& env) {
+        return flood::Node(env, env.id == initiator);
+      },
+      config);
+  simulation.run();
+  SpanningRun result{extract_tree(simulation), simulation.metrics()};
+  return result;
+}
+
+}  // namespace mdst::spanning

@@ -1,0 +1,84 @@
+// Flooding spanning-tree construction (the classic echo / PIF algorithm).
+//
+// A designated initiator floods Probe messages; every node adopts the sender
+// of the first Probe it sees as its parent, re-floods, and answers every
+// other Probe with Reject. A node reports Echo to its parent once all its
+// probes are answered and its children finished, so the initiator learns
+// global completion; it then broadcasts Term down the tree, giving
+// termination by process at every node.
+//
+// Complexity: each edge carries at most one Probe and one response in each
+// direction, so <= 4m messages (2m of which are Probes/Echo on tree edges);
+// time O(diameter). This is the cheapest startup tree for the MDegST phase.
+#pragma once
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+#include "spanning/tree_result.hpp"
+
+namespace mdst::spanning {
+
+namespace flood {
+
+struct Probe {
+  static constexpr const char* kName = "Probe";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Echo {
+  static constexpr const char* kName = "Echo";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Reject {
+  static constexpr const char* kName = "Reject";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Term {
+  static constexpr const char* kName = "Term";
+  std::size_t ids_carried() const { return 0; }
+};
+
+using Message = std::variant<Probe, Echo, Reject, Term>;
+
+class Node {
+ public:
+  Node(const sim::NodeEnv& env, bool is_initiator)
+      : env_(env), is_initiator_(is_initiator) {}
+
+  void on_start(sim::IContext<Message>& ctx);
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& message);
+
+  bool done() const { return done_; }
+  sim::NodeId parent() const { return parent_; }
+  const std::vector<sim::NodeId>& children() const { return children_; }
+
+ private:
+  void maybe_finish(sim::IContext<Message>& ctx);
+  void flood(sim::IContext<Message>& ctx, sim::NodeId except);
+
+  sim::NodeEnv env_;
+  bool is_initiator_;
+  bool joined_ = false;  // has a parent or is the initiator
+  bool done_ = false;
+  sim::NodeId parent_ = sim::kNoNode;
+  std::vector<sim::NodeId> children_;
+  std::size_t awaiting_ = 0;  // responses still expected to our probes
+};
+
+struct Protocol {
+  using Message = flood::Message;
+  using Node = flood::Node;
+};
+
+}  // namespace flood
+
+/// Run flooding-ST from `initiator` and return the tree plus metrics.
+SpanningRun run_flood_st(const graph::Graph& g, sim::NodeId initiator,
+                         const sim::SimConfig& config = {});
+
+}  // namespace mdst::spanning

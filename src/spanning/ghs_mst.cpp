@@ -1,0 +1,291 @@
+#include "spanning/ghs_mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+namespace ghs {
+
+Node::Node(const sim::NodeEnv& env, std::vector<EdgeWeight> weights)
+    : env_(env), weights_(std::move(weights)),
+      edge_state_(env_.neighbors.size(), EdgeState::kBasic) {
+  MDST_REQUIRE(weights_.size() == env_.neighbors.size(),
+               "ghs: one weight per incident edge");
+}
+
+std::size_t Node::edge_of(sim::NodeId neighbor) const {
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (env_.neighbors[i].id == neighbor) return i;
+  }
+  MDST_UNREACHABLE("ghs: message from non-neighbor");
+}
+
+std::size_t Node::min_basic_edge() const {
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (edge_state_[i] != EdgeState::kBasic) continue;
+    if (best == SIZE_MAX || weights_[i] < weights_[best]) best = i;
+  }
+  return best;
+}
+
+void Node::wakeup(sim::IContext<Message>& ctx) {
+  if (state_ != NodeState::kSleeping) return;
+  // (1): join the MST over the locally minimal edge as a level-0 fragment.
+  std::size_t m = SIZE_MAX;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (m == SIZE_MAX || weights_[i] < weights_[m]) m = i;
+  }
+  MDST_ASSERT(m != SIZE_MAX, "ghs: isolated node cannot join an MST");
+  edge_state_[m] = EdgeState::kBranch;
+  level_ = 0;
+  state_ = NodeState::kFound;
+  find_count_ = 0;
+  ctx.send(env_.neighbors[m].id, Connect{0});
+}
+
+void Node::on_start(sim::IContext<Message>& ctx) {
+  wakeup(ctx);
+}
+
+void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                      const Message& message) {
+  const std::size_t edge = edge_of(from);
+  if (!try_handle(ctx, edge, message)) {
+    deferred_.emplace_back(edge, message);
+    return;
+  }
+  retry_deferred(ctx);
+}
+
+void Node::retry_deferred(sim::IContext<Message>& ctx) {
+  if (retrying_) return;
+  retrying_ = true;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < deferred_.size(); ++i) {
+      auto [edge, message] = deferred_[i];
+      if (try_handle(ctx, edge, message)) {
+        deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+        break;  // state changed: rescan from the front
+      }
+    }
+  }
+  retrying_ = false;
+}
+
+bool Node::try_handle(sim::IContext<Message>& ctx, std::size_t edge,
+                      const Message& message) {
+  return std::visit(
+      sim::Overloaded{
+          [&](const Connect& m) -> bool {
+            wakeup(ctx);
+            if (m.level < level_) {
+              // Absorb the lower-level fragment.
+              edge_state_[edge] = EdgeState::kBranch;
+              ctx.send(env_.neighbors[edge].id,
+                       Initiate{level_, fragment_, state_ == NodeState::kFind});
+              if (state_ == NodeState::kFind) ++find_count_;
+              return true;
+            }
+            if (edge_state_[edge] == EdgeState::kBasic) {
+              return false;  // defer until our level catches up
+            }
+            // Symmetric Connect over the (branch) edge: merge; the edge
+            // becomes the new core and its weight the fragment identity.
+            ctx.send(env_.neighbors[edge].id,
+                     Initiate{level_ + 1, weights_[edge], true});
+            return true;
+          },
+          [&](const Initiate& m) -> bool {
+            level_ = m.level;
+            fragment_ = m.fragment;
+            state_ = m.find ? NodeState::kFind : NodeState::kFound;
+            in_branch_ = edge;
+            best_edge_ = SIZE_MAX;
+            best_weight_ = kInfiniteWeight;
+            for (std::size_t i = 0; i < edge_state_.size(); ++i) {
+              if (i == edge || edge_state_[i] != EdgeState::kBranch) continue;
+              ctx.send(env_.neighbors[i].id, m);
+              if (m.find) ++find_count_;
+            }
+            if (m.find) do_test(ctx);
+            return true;
+          },
+          [&](const Test& m) -> bool {
+            wakeup(ctx);
+            if (m.level > level_) return false;  // defer
+            if (m.fragment != fragment_) {
+              ctx.send(env_.neighbors[edge].id, Accept{});
+              return true;
+            }
+            if (edge_state_[edge] == EdgeState::kBasic) {
+              edge_state_[edge] = EdgeState::kRejected;
+            }
+            if (test_edge_ != edge) {
+              ctx.send(env_.neighbors[edge].id, Reject{});
+            } else {
+              do_test(ctx);  // our own test crossed theirs; try the next edge
+            }
+            return true;
+          },
+          [&](const Accept&) -> bool {
+            test_edge_ = SIZE_MAX;
+            if (weights_[edge] < best_weight_) {
+              best_weight_ = weights_[edge];
+              best_edge_ = edge;
+            }
+            do_report(ctx);
+            return true;
+          },
+          [&](const Reject&) -> bool {
+            if (edge_state_[edge] == EdgeState::kBasic) {
+              edge_state_[edge] = EdgeState::kRejected;
+            }
+            do_test(ctx);
+            return true;
+          },
+          [&](const Report& m) -> bool {
+            if (edge != in_branch_) {
+              --find_count_;
+              if (m.best < best_weight_) {
+                best_weight_ = m.best;
+                best_edge_ = edge;
+              }
+              do_report(ctx);
+              return true;
+            }
+            if (state_ == NodeState::kFind) return false;  // defer
+            if (m.best > best_weight_) {
+              do_change_root(ctx);
+              return true;
+            }
+            if (m.best == kInfiniteWeight && best_weight_ == kInfiniteWeight) {
+              halt(ctx);
+            }
+            return true;
+          },
+          [&](const ChangeRoot&) -> bool {
+            do_change_root(ctx);
+            return true;
+          },
+          [&](const Done&) -> bool {
+            MDST_ASSERT(!done_, "ghs: Done twice");
+            done_ = true;
+            parent_ = env_.neighbors[edge].id;
+            for (std::size_t i = 0; i < edge_state_.size(); ++i) {
+              if (i == edge || edge_state_[i] != EdgeState::kBranch) continue;
+              ctx.send(env_.neighbors[i].id, Done{});
+            }
+            return true;
+          },
+      },
+      message);
+}
+
+void Node::do_test(sim::IContext<Message>& ctx) {
+  const std::size_t candidate = min_basic_edge();
+  if (candidate != SIZE_MAX) {
+    test_edge_ = candidate;
+    ctx.send(env_.neighbors[candidate].id, Test{level_, fragment_});
+    return;
+  }
+  test_edge_ = SIZE_MAX;
+  do_report(ctx);
+}
+
+void Node::do_report(sim::IContext<Message>& ctx) {
+  if (find_count_ != 0 || test_edge_ != SIZE_MAX) return;
+  if (state_ != NodeState::kFind) return;  // only report once per Initiate
+  state_ = NodeState::kFound;
+  MDST_ASSERT(in_branch_ != SIZE_MAX, "ghs: report with no core direction");
+  ctx.send(env_.neighbors[in_branch_].id, Report{best_weight_});
+}
+
+void Node::do_change_root(sim::IContext<Message>& ctx) {
+  MDST_ASSERT(best_edge_ != SIZE_MAX, "ghs: change_root without best edge");
+  if (edge_state_[best_edge_] == EdgeState::kBranch) {
+    ctx.send(env_.neighbors[best_edge_].id, ChangeRoot{});
+    return;
+  }
+  ctx.send(env_.neighbors[best_edge_].id, Connect{level_});
+  edge_state_[best_edge_] = EdgeState::kBranch;
+}
+
+void Node::halt(sim::IContext<Message>& ctx) {
+  // Both core endpoints detect the final all-infinite Report exchange;
+  // the one with the smaller identity becomes the root and broadcasts Done.
+  MDST_ASSERT(in_branch_ != SIZE_MAX, "ghs: halt without core edge");
+  const graph::NodeName partner = env_.neighbors[in_branch_].name;
+  if (env_.name > partner) return;  // partner becomes root
+  MDST_ASSERT(!done_, "ghs: halt twice");
+  done_ = true;
+  parent_ = sim::kNoNode;
+  for (std::size_t i = 0; i < edge_state_.size(); ++i) {
+    if (edge_state_[i] != EdgeState::kBranch) continue;
+    ctx.send(env_.neighbors[i].id, Done{});
+  }
+}
+
+std::vector<sim::NodeId> Node::branch_neighbors() const {
+  std::vector<sim::NodeId> out;
+  for (std::size_t i = 0; i < edge_state_.size(); ++i) {
+    if (edge_state_[i] == EdgeState::kBranch) out.push_back(env_.neighbors[i].id);
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> Node::children() const {
+  std::vector<sim::NodeId> out;
+  for (const sim::NodeId nb : branch_neighbors()) {
+    if (nb != parent_) out.push_back(nb);
+  }
+  return out;
+}
+
+}  // namespace ghs
+
+SpanningRun run_ghs_mst_weighted(const graph::Graph& g,
+                                 const std::vector<ghs::EdgeWeight>& weights,
+                                 const sim::SimConfig& config) {
+  MDST_REQUIRE(weights.size() == g.edge_count(), "ghs: weight per edge");
+  {
+    std::vector<ghs::EdgeWeight> sorted = weights;
+    std::sort(sorted.begin(), sorted.end());
+    MDST_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "ghs: weights must be distinct");
+  }
+  sim::Simulator<ghs::Protocol> simulation(
+      g,
+      [&](const sim::NodeEnv& env) {
+        std::vector<ghs::EdgeWeight> incident;
+        incident.reserve(env.neighbors.size());
+        for (const sim::NeighborInfo& nb : env.neighbors) {
+          const graph::EdgeId e = g.find_edge(env.id, nb.id);
+          incident.push_back(weights[static_cast<std::size_t>(e)]);
+        }
+        return ghs::Node(env, std::move(incident));
+      },
+      config);
+  simulation.run();
+  SpanningRun result{extract_tree(simulation), simulation.metrics()};
+  return result;
+}
+
+SpanningRun run_ghs_mst(const graph::Graph& g, std::uint64_t weight_seed,
+                        const sim::SimConfig& config) {
+  // Distinct weights: a random permutation of 1..m.
+  std::vector<ghs::EdgeWeight> weights(g.edge_count());
+  std::iota(weights.begin(), weights.end(), ghs::EdgeWeight{1});
+  support::Rng rng(weight_seed);
+  rng.shuffle(weights);
+  return run_ghs_mst_weighted(g, weights, config);
+}
+
+}  // namespace mdst::spanning

@@ -1,0 +1,154 @@
+// Gallager–Humblet–Spira (GHS) distributed minimum spanning tree.
+//
+// The canonical asynchronous MST protocol (Gallager, Humblet, Spira 1983),
+// cited by the paper as the standard way to build the startup spanning tree.
+// Fragments grow by level: each fragment finds its minimum-weight outgoing
+// edge (Test/Accept/Reject + Report convergecast), merges with the fragment
+// across it (Connect / Initiate), levels rise only on equal-level merges, so
+// levels stay <= log2 n and the message complexity is O(m + n log n).
+//
+// Implementation notes:
+//  * Edge weights must be distinct for MST uniqueness (and for fragment
+//    identities, which are core-edge weights); run_ghs_mst derives distinct
+//    weights from a seed unless the caller supplies its own.
+//  * The original algorithm "places a message at the end of the queue" when
+//    it cannot be processed yet (Connect from a lower-level... / Test ahead
+//    of level / Report during Find). Nodes here keep a local deferred list
+//    that is retried after every state change — equivalent behaviour.
+//  * GHS halts implicitly at the core; we add an explicit Done broadcast
+//    over branch edges so that every node terminates by process knowing its
+//    parent/children (the paper's requirement for the startup tree), rooted
+//    at the halting core node.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+#include "spanning/tree_result.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+
+namespace ghs {
+
+/// Edge weights are 64-bit and must be pairwise distinct.
+using EdgeWeight = std::uint64_t;
+inline constexpr EdgeWeight kInfiniteWeight = ~EdgeWeight{0};
+
+struct Connect {
+  static constexpr const char* kName = "Connect";
+  int level = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+struct Initiate {
+  static constexpr const char* kName = "Initiate";
+  int level = 0;
+  EdgeWeight fragment = 0;
+  bool find = false;  // state: Find or Found
+  std::size_t ids_carried() const { return 3; }
+};
+struct Test {
+  static constexpr const char* kName = "Test";
+  int level = 0;
+  EdgeWeight fragment = 0;
+  std::size_t ids_carried() const { return 2; }
+};
+struct Accept {
+  static constexpr const char* kName = "Accept";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Reject {
+  static constexpr const char* kName = "Reject";
+  std::size_t ids_carried() const { return 0; }
+};
+struct Report {
+  static constexpr const char* kName = "Report";
+  EdgeWeight best = kInfiniteWeight;
+  std::size_t ids_carried() const { return 1; }
+};
+struct ChangeRoot {
+  static constexpr const char* kName = "ChangeRoot";
+  std::size_t ids_carried() const { return 0; }
+};
+/// Added termination broadcast (see header comment).
+struct Done {
+  static constexpr const char* kName = "Done";
+  std::size_t ids_carried() const { return 0; }
+};
+
+using Message = std::variant<Connect, Initiate, Test, Accept, Reject, Report,
+                             ChangeRoot, Done>;
+
+class Node {
+ public:
+  /// `weights[i]` is the weight of the edge to env.neighbors[i].
+  Node(const sim::NodeEnv& env, std::vector<EdgeWeight> weights);
+
+  void on_start(sim::IContext<Message>& ctx);
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& message);
+
+  bool done() const { return done_; }
+  sim::NodeId parent() const { return parent_; }
+  std::vector<sim::NodeId> children() const;
+  /// Branch (MST) neighbours after the run.
+  std::vector<sim::NodeId> branch_neighbors() const;
+
+ private:
+  enum class NodeState { kSleeping, kFind, kFound };
+  enum class EdgeState { kBasic, kBranch, kRejected };
+
+  void wakeup(sim::IContext<Message>& ctx);
+  void handle(sim::IContext<Message>& ctx, std::size_t edge, const Message& m);
+  bool try_handle(sim::IContext<Message>& ctx, std::size_t edge,
+                  const Message& m);
+  void do_test(sim::IContext<Message>& ctx);
+  void do_report(sim::IContext<Message>& ctx);
+  void do_change_root(sim::IContext<Message>& ctx);
+  void retry_deferred(sim::IContext<Message>& ctx);
+  void halt(sim::IContext<Message>& ctx);
+
+  std::size_t edge_of(sim::NodeId neighbor) const;
+  std::size_t min_basic_edge() const;  // SIZE_MAX if none
+
+  sim::NodeEnv env_;
+  std::vector<EdgeWeight> weights_;
+  std::vector<EdgeState> edge_state_;
+  NodeState state_ = NodeState::kSleeping;
+  int level_ = 0;
+  EdgeWeight fragment_ = 0;
+  std::size_t in_branch_ = SIZE_MAX;   // edge toward the fragment core
+  std::size_t best_edge_ = SIZE_MAX;
+  EdgeWeight best_weight_ = kInfiniteWeight;
+  std::size_t test_edge_ = SIZE_MAX;
+  int find_count_ = 0;
+  std::vector<std::pair<std::size_t, Message>> deferred_;
+  bool retrying_ = false;
+  bool done_ = false;
+  sim::NodeId parent_ = sim::kNoNode;
+};
+
+struct Protocol {
+  using Message = ghs::Message;
+  using Node = ghs::Node;
+};
+
+}  // namespace ghs
+
+/// Run GHS over `g` with distinct weights derived from `weight_seed`;
+/// every node starts spontaneously. Returns the MST rooted at the core
+/// node that detected termination.
+SpanningRun run_ghs_mst(const graph::Graph& g, std::uint64_t weight_seed = 1,
+                        const sim::SimConfig& config = {});
+
+/// As above with caller-provided distinct weights indexed by EdgeId.
+SpanningRun run_ghs_mst_weighted(const graph::Graph& g,
+                                 const std::vector<ghs::EdgeWeight>& weights,
+                                 const sim::SimConfig& config = {});
+
+}  // namespace mdst::spanning

@@ -1,0 +1,126 @@
+#include "spanning/leader_elect.hpp"
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+namespace leader {
+
+std::size_t Node::neighbor_index(sim::NodeId id) const {
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (env_.neighbors[i].id == id) return i;
+  }
+  MDST_UNREACHABLE("neighbor_index: not a neighbor");
+}
+
+void Node::join_wave(sim::IContext<Message>& ctx, graph::NodeName tag,
+                     sim::NodeId wave_parent) {
+  current_tag_ = tag;
+  parent_ = wave_parent;
+  received_.assign(env_.neighbors.size(), false);
+  echo_child_.assign(env_.neighbors.size(), false);
+  if (wave_parent != sim::kNoNode) {
+    // The probe that made us join counts as this tag's message from parent.
+    received_[neighbor_index(wave_parent)] = true;
+  }
+  for (const sim::NeighborInfo& nb : env_.neighbors) {
+    if (nb.id == wave_parent) continue;
+    ctx.send(nb.id, Wave{tag});
+  }
+  complete_wave(ctx);  // degree-0 / degree-1 corner cases
+}
+
+void Node::complete_wave(sim::IContext<Message>& ctx) {
+  if (done_) return;
+  for (bool got : received_) {
+    if (!got) return;
+  }
+  if (parent_ == sim::kNoNode) {
+    // Our own wave completed: only the global minimum identity can get here.
+    MDST_ASSERT(current_tag_ == env_.name, "foreign wave completed at non-root");
+    leader_ = env_.name;
+    done_ = true;
+    for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+      if (echo_child_[i]) ctx.send(env_.neighbors[i].id, Announce{leader_});
+    }
+  } else {
+    ctx.send(parent_, WaveEcho{current_tag_});
+  }
+}
+
+void Node::note_tagged_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                               graph::NodeName tag, bool is_echo) {
+  if (current_tag_ != -1 && tag > current_tag_) return;  // extinguished
+  if (current_tag_ == -1 || tag < current_tag_) {
+    // A strictly smaller wave reaches us: defect to it.
+    MDST_ASSERT(!is_echo, "echo for a wave we never joined");
+    join_wave(ctx, tag, from);
+    return;
+  }
+  // tag == current_tag_
+  const std::size_t idx = neighbor_index(from);
+  received_[idx] = true;
+  if (is_echo) echo_child_[idx] = true;
+  complete_wave(ctx);
+}
+
+void Node::on_start(sim::IContext<Message>& ctx) {
+  // A smaller wave may already have recruited us before our spontaneous
+  // start (start times are independent); in that case our own wave is
+  // extinguished before birth.
+  if (current_tag_ != -1 && current_tag_ < env_.name) return;
+  join_wave(ctx, env_.name, sim::kNoNode);
+}
+
+void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                      const Message& message) {
+  std::visit(
+      sim::Overloaded{
+          [&](const Wave& wave) {
+            note_tagged_message(ctx, from, wave.tag, /*is_echo=*/false);
+          },
+          [&](const WaveEcho& echo) {
+            note_tagged_message(ctx, from, echo.tag, /*is_echo=*/true);
+          },
+          [&](const Announce& announce) {
+            MDST_ASSERT(from == parent_, "Announce from non-parent");
+            leader_ = announce.leader;
+            done_ = true;
+            for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+              if (echo_child_[i]) {
+                ctx.send(env_.neighbors[i].id, Announce{leader_});
+              }
+            }
+          },
+      },
+      message);
+}
+
+std::vector<sim::NodeId> Node::children() const {
+  std::vector<sim::NodeId> out;
+  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+    if (echo_child_[i]) out.push_back(env_.neighbors[i].id);
+  }
+  return out;
+}
+
+}  // namespace leader
+
+LeaderRun run_leader_elect(const graph::Graph& g,
+                           const sim::SimConfig& config) {
+  sim::Simulator<leader::Protocol> simulation(
+      g, [](const sim::NodeEnv& env) { return leader::Node(env); }, config);
+  simulation.run();
+  LeaderRun result;
+  result.tree = extract_tree(simulation);
+  result.leader = simulation.node(result.tree.root()).leader_name();
+  result.metrics = simulation.metrics();
+  for (std::size_t v = 0; v < simulation.node_count(); ++v) {
+    MDST_ASSERT(simulation.node(static_cast<sim::NodeId>(v)).leader_name() ==
+                    result.leader,
+                "nodes disagree on leader");
+  }
+  return result;
+}
+
+}  // namespace mdst::spanning

@@ -1,0 +1,100 @@
+// Leader election by echo waves with extinction (Tel, Ch. 7).
+//
+// Every node spontaneously starts an echo wave tagged with its own identity;
+// nodes always participate in the smallest tag they have seen, which
+// extinguishes every wave except the minimum-identity one. Only the
+// minimum-identity initiator can see its wave complete; it becomes leader
+// and announces along the winning wave's parent tree — which is therefore
+// also a spanning tree rooted at the leader, the canonical startup state of
+// the MDegST phase ("almost all spanning tree construction algorithms give
+// a root", paper §3.1).
+//
+// Complexity: O(n·m) messages worst case, O(n) time. Tags are identities,
+// so messages carry one identity — within the paper's O(log n) bit budget.
+#pragma once
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+#include "spanning/tree_result.hpp"
+
+namespace mdst::spanning {
+
+namespace leader {
+
+/// Probe of the wave tagged with initiator identity `tag`.
+struct Wave {
+  static constexpr const char* kName = "Wave";
+  graph::NodeName tag = -1;
+  std::size_t ids_carried() const { return 1; }
+};
+/// Echo of the wave tagged `tag` (sender completed its subtree).
+struct WaveEcho {
+  static constexpr const char* kName = "WaveEcho";
+  graph::NodeName tag = -1;
+  std::size_t ids_carried() const { return 1; }
+};
+/// Broadcast by the winner along the winning tree.
+struct Announce {
+  static constexpr const char* kName = "Announce";
+  graph::NodeName leader = -1;
+  std::size_t ids_carried() const { return 1; }
+};
+
+using Message = std::variant<Wave, WaveEcho, Announce>;
+
+class Node {
+ public:
+  explicit Node(const sim::NodeEnv& env)
+      : env_(env), received_(env.neighbors.size(), false) {}
+
+  void on_start(sim::IContext<Message>& ctx);
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& message);
+
+  bool done() const { return done_; }
+  sim::NodeId parent() const { return done_ ? parent_ : sim::kNoNode; }
+  std::vector<sim::NodeId> children() const;
+  graph::NodeName leader_name() const { return leader_; }
+  bool is_leader() const { return done_ && leader_ == env_.name; }
+
+ private:
+  void join_wave(sim::IContext<Message>& ctx, graph::NodeName tag,
+                 sim::NodeId wave_parent);
+  void note_tagged_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                           graph::NodeName tag, bool is_echo);
+  void complete_wave(sim::IContext<Message>& ctx);
+  std::size_t neighbor_index(sim::NodeId id) const;
+
+  sim::NodeEnv env_;
+  graph::NodeName current_tag_ = -1;  // -1 = not started
+  sim::NodeId parent_ = sim::kNoNode;
+  std::vector<bool> received_;        // t-tagged message seen per neighbour
+  std::vector<bool> echo_child_;      // neighbour echoed our current tag
+  bool done_ = false;
+  graph::NodeName leader_ = -1;
+};
+
+struct Protocol {
+  using Message = leader::Message;
+  using Node = leader::Node;
+};
+
+}  // namespace leader
+
+/// Result of leader election: tree rooted at the minimum-identity node.
+struct LeaderRun {
+  graph::RootedTree tree;
+  graph::NodeName leader = -1;
+  sim::Metrics metrics{1, 1};
+};
+
+LeaderRun run_leader_elect(const graph::Graph& g,
+                           const sim::SimConfig& config = {});
+
+}  // namespace mdst::spanning

@@ -1,0 +1,59 @@
+// Common result shape for distributed spanning-tree protocols.
+//
+// Every protocol in this directory terminates "by process": each node ends
+// in a Done state knowing its parent and children in the constructed tree.
+// extract_tree() lifts those local views into a global RootedTree (something
+// no node possesses — it exists only for checking and for seeding the next
+// protocol phase) and cross-validates that parent/child views agree.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/types.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+
+struct SpanningRun {
+  graph::RootedTree tree;
+  sim::Metrics metrics{1, 1};
+};
+
+/// Node concept used by extract_tree: exposes done(), parent(),
+/// children() (ids of adopted children).
+template <typename Sim>
+graph::RootedTree extract_tree(const Sim& simulation) {
+  const std::size_t n = simulation.node_count();
+  std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  sim::NodeId root = sim::kNoNode;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    MDST_ASSERT(node.done(), "protocol ended with a node not Done");
+    const sim::NodeId p = node.parent();
+    if (p == sim::kNoNode) {
+      MDST_ASSERT(root == sim::kNoNode, "two roots in extracted tree");
+      root = static_cast<sim::NodeId>(v);
+    } else {
+      parents[v] = p;
+    }
+  }
+  MDST_ASSERT(root != sim::kNoNode, "no root in extracted tree");
+  graph::RootedTree tree =
+      graph::RootedTree::from_parents(root, std::move(parents));
+  // Cross-validate the child views against the parent views.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    auto kids = node.children();
+    std::sort(kids.begin(), kids.end());
+    auto expected = tree.children(static_cast<sim::NodeId>(v));
+    std::sort(expected.begin(), expected.end());
+    MDST_ASSERT(kids == expected, "child view disagrees with parent view");
+  }
+  return tree;
+}
+
+}  // namespace mdst::spanning

@@ -1,0 +1,144 @@
+#include "spanning/verify_st.hpp"
+
+#include <algorithm>
+
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::spanning {
+namespace verify {
+
+Node::Node(const sim::NodeEnv& env, sim::NodeId parent,
+           std::vector<sim::NodeId> children, std::uint64_t expected_n)
+    : env_(env), parent_(parent), children_(std::move(children)),
+      expected_n_(expected_n) {
+  // Claims about non-neighbours are view corruption we must *detect*, not
+  // reject at construction — but the transport can only reach neighbours,
+  // so such views are reported as locally broken immediately.
+  if (parent_ != sim::kNoNode && !env_.is_neighbor(parent_)) {
+    local_ok_ = false;
+    parent_ = sim::kNoNode;  // cannot even claim; act as an orphan root
+  }
+  std::erase_if(children_, [this](sim::NodeId c) {
+    if (env_.is_neighbor(c)) return false;
+    local_ok_ = false;
+    return true;
+  });
+  // Counters must exist before any message arrives — with staggered starts
+  // a child may report before our own spontaneous start fires.
+  awaiting_sizes_ = children_.size();
+  claim_settled_ = parent_ == sim::kNoNode;
+}
+
+void Node::on_start(sim::IContext<Message>& ctx) {
+  if (parent_ != sim::kNoNode) {
+    ctx.send(parent_, ChildClaim{});
+  }
+  maybe_report(ctx);
+}
+
+void Node::maybe_report(sim::IContext<Message>& ctx) {
+  if (reported_ || done_ || !claim_settled_ || awaiting_sizes_ > 0) return;
+  if (parent_ == sim::kNoNode) {
+    // Root: final verdict.
+    verdict_ = local_ok_ && subtree_ok_ && subtree_size_ == expected_n_;
+    done_ = true;
+    for (const sim::NodeId child : children_) ctx.send(child, Verdict{verdict_});
+    return;
+  }
+  reported_ = true;
+  ctx.send(parent_, SizeReport{subtree_size_, local_ok_ && subtree_ok_});
+}
+
+void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                      const Message& message) {
+  std::visit(
+      sim::Overloaded{
+          [&](const ChildClaim&) {
+            const bool known =
+                std::find(children_.begin(), children_.end(), from) !=
+                children_.end();
+            if (known) {
+              ctx.send(from, ClaimAck{});
+            } else {
+              local_ok_ = false;  // someone believes an edge we do not
+              ctx.send(from, ClaimNak{});
+            }
+          },
+          [&](const ClaimAck&) {
+            claim_settled_ = true;
+            maybe_report(ctx);
+          },
+          [&](const ClaimNak&) {
+            claim_settled_ = true;
+            local_ok_ = false;
+            maybe_report(ctx);
+          },
+          [&](const SizeReport& m) {
+            const bool expected =
+                std::find(children_.begin(), children_.end(), from) !=
+                children_.end();
+            if (!expected) {
+              // A node we never adopted reports through us: inconsistent.
+              local_ok_ = false;
+              return;
+            }
+            subtree_size_ += m.size;
+            subtree_ok_ = subtree_ok_ && m.ok;
+            MDST_ASSERT(awaiting_sizes_ > 0, "verify: unexpected SizeReport");
+            --awaiting_sizes_;
+            maybe_report(ctx);
+          },
+          [&](const Verdict& m) {
+            done_ = true;
+            verdict_ = m.ok;
+            for (const sim::NodeId child : children_) ctx.send(child, m);
+          },
+      },
+      message);
+}
+
+}  // namespace verify
+
+ClaimedViews views_from_tree(const graph::RootedTree& tree) {
+  ClaimedViews views;
+  const std::size_t n = tree.vertex_count();
+  views.parent.resize(n);
+  views.children.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    views.parent[v] = tree.parent(static_cast<graph::VertexId>(v));
+    views.children[v] = tree.children(static_cast<graph::VertexId>(v));
+  }
+  return views;
+}
+
+VerifyRun run_verify_st(const graph::Graph& g, const ClaimedViews& views,
+                        const sim::SimConfig& config) {
+  MDST_REQUIRE(views.parent.size() == g.vertex_count() &&
+                   views.children.size() == g.vertex_count(),
+               "verify: one view row per node");
+  sim::Simulator<verify::Protocol> simulation(
+      g,
+      [&](const sim::NodeEnv& env) {
+        const auto v = static_cast<std::size_t>(env.id);
+        return verify::Node(env, views.parent[v], views.children[v],
+                            g.vertex_count());
+      },
+      config);
+  simulation.run();
+  VerifyRun result;
+  result.ok = true;
+  for (std::size_t v = 0; v < simulation.node_count(); ++v) {
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    // A starved convergecast (cycle / split views) leaves nodes undone —
+    // in a deployment that is a timeout; here the drained queue reveals it.
+    if (!node.done() || !node.verdict()) {
+      result.ok = false;
+      break;
+    }
+  }
+  result.metrics = simulation.metrics();
+  return result;
+}
+
+}  // namespace mdst::spanning

@@ -1,0 +1,123 @@
+// Distributed spanning-tree verification.
+//
+// After any construction (or after the MDegST improvement phase), nodes
+// hold local (parent, children) views. This protocol lets the network check
+// — without any global observer — that those views are a consistent
+// spanning tree:
+//
+//   1. Handshake: every non-root node claims childhood to its parent
+//      (ChildClaim); the parent acknowledges iff the claimant is in its
+//      children set (ClaimAck / ClaimNak). Catches parent/child
+//      inconsistencies and edges that only one side believes in.
+//   2. Census convergecast: subtree sizes flow to the root (SizeReport);
+//      the root compares the total against the expected node count n
+//      (nodes are allowed to know n for verification — the standard
+//      assumption for distributed ST checking; without n, a forest with a
+//      consistent component is indistinguishable from a spanning tree).
+//   3. Verdict broadcast: the root floods Verdict{ok} so every node learns
+//      the result (termination by process).
+//
+// A cycle in the parent pointers would make the convergecast starve; the
+// protocol bounds that with a hop-counted claim: SizeReports carry a depth
+// counter that must not exceed n. Tests inject corrupted views and assert
+// the verdict flips to false.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/simulator.hpp"
+
+namespace mdst::spanning {
+
+namespace verify {
+
+struct ChildClaim {
+  static constexpr const char* kName = "ChildClaim";
+  std::size_t ids_carried() const { return 0; }
+};
+struct ClaimAck {
+  static constexpr const char* kName = "ClaimAck";
+  std::size_t ids_carried() const { return 0; }
+};
+struct ClaimNak {
+  static constexpr const char* kName = "ClaimNak";
+  std::size_t ids_carried() const { return 0; }
+};
+/// Subtree census: size and a validity bit accumulated from below.
+struct SizeReport {
+  static constexpr const char* kName = "SizeReport";
+  std::uint64_t size = 0;
+  bool ok = true;
+  std::size_t ids_carried() const { return 1; }
+};
+struct Verdict {
+  static constexpr const char* kName = "Verdict";
+  bool ok = false;
+  std::size_t ids_carried() const { return 1; }
+};
+
+using Message = std::variant<ChildClaim, ClaimAck, ClaimNak, SizeReport, Verdict>;
+
+class Node {
+ public:
+  Node(const sim::NodeEnv& env, sim::NodeId parent,
+       std::vector<sim::NodeId> children, std::uint64_t expected_n);
+
+  void on_start(sim::IContext<Message>& ctx);
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& message);
+
+  bool done() const { return done_; }
+  bool verdict() const { return verdict_; }
+
+ private:
+  void maybe_report(sim::IContext<Message>& ctx);
+
+  sim::NodeEnv env_;
+  sim::NodeId parent_;
+  std::vector<sim::NodeId> children_;
+  std::uint64_t expected_n_;
+  bool claim_settled_ = false;  // root: trivially true
+  bool local_ok_ = true;
+  std::size_t awaiting_sizes_ = 0;
+  std::uint64_t subtree_size_ = 1;
+  bool subtree_ok_ = true;
+  bool reported_ = false;
+  bool done_ = false;
+  bool verdict_ = false;
+};
+
+struct Protocol {
+  using Message = verify::Message;
+  using Node = verify::Node;
+};
+
+}  // namespace verify
+
+struct VerifyRun {
+  bool ok = false;
+  sim::Metrics metrics{1, 1};
+};
+
+/// Verify the local views described by `claimed` (a view table: per node,
+/// parent id or kNoNode). `children` views derive from it unless a
+/// corrupted table is supplied explicitly for fault-injection tests.
+struct ClaimedViews {
+  std::vector<sim::NodeId> parent;                 // size n
+  std::vector<std::vector<sim::NodeId>> children;  // size n
+};
+
+/// Derive consistent views from a RootedTree (the normal case).
+ClaimedViews views_from_tree(const graph::RootedTree& tree);
+
+/// Run the verification protocol over graph `g` with the given views.
+VerifyRun run_verify_st(const graph::Graph& g, const ClaimedViews& views,
+                        const sim::SimConfig& config = {});
+
+}  // namespace mdst::spanning

@@ -1,0 +1,61 @@
+// Contract-checking macros used across the library.
+//
+// Three flavours, following the Core Guidelines (I.6/E.12) split between
+// preconditions, invariants, and unreachable states:
+//
+//   MDST_REQUIRE(cond, msg)  — precondition on a public API; always checked.
+//   MDST_ASSERT(cond, msg)   — internal invariant; always checked (the
+//                              library is a research instrument, and silent
+//                              state corruption would invalidate results).
+//   MDST_UNREACHABLE(msg)    — marks a state machine branch that must never
+//                              be taken.
+//
+// Violations throw mdst::ContractViolation so tests can assert on them and
+// long experiment sweeps fail loudly instead of producing garbage tables.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdst {
+
+/// Thrown when a MDST_REQUIRE/MDST_ASSERT contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace mdst
+
+#define MDST_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::mdst::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                    __LINE__, (msg));                        \
+    }                                                                        \
+  } while (false)
+
+#define MDST_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::mdst::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,  \
+                                    (msg));                                  \
+    }                                                                        \
+  } while (false)
+
+#define MDST_UNREACHABLE(msg)                                                \
+  ::mdst::detail::contract_fail("unreachable", "false", __FILE__, __LINE__,  \
+                                (msg))

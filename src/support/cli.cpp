@@ -1,0 +1,189 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+namespace {
+
+template <typename T>
+std::optional<T> parse_number(const std::string& text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double_text(const std::string& text) {
+  // std::from_chars for double is not available everywhere; stod with a
+  // full-consumption check is sufficient for flag parsing.
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  MDST_REQUIRE(target != nullptr, "null flag target");
+  MDST_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back({name, Kind::kString, target, help, *target});
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  MDST_REQUIRE(target != nullptr, "null flag target");
+  MDST_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back({name, Kind::kInt, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_uint(const std::string& name, std::uint64_t* target,
+                         const std::string& help) {
+  MDST_REQUIRE(target != nullptr, "null flag target");
+  MDST_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back({name, Kind::kUint, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  MDST_REQUIRE(target != nullptr, "null flag target");
+  MDST_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back({name, Kind::kDouble, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_bool(const std::string& name, bool* target,
+                         const std::string& help) {
+  MDST_REQUIRE(target != nullptr, "null flag target");
+  MDST_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back({name, Kind::kBool, target, help, *target ? "true" : "false"});
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> CliParser::assign(const Flag& flag,
+                                             const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return std::nullopt;
+    case Kind::kInt: {
+      const auto parsed = parse_number<std::int64_t>(value);
+      if (!parsed) return "expected integer for --" + flag.name;
+      *static_cast<std::int64_t*>(flag.target) = *parsed;
+      return std::nullopt;
+    }
+    case Kind::kUint: {
+      const auto parsed = parse_number<std::uint64_t>(value);
+      if (!parsed) return "expected unsigned integer for --" + flag.name;
+      *static_cast<std::uint64_t*>(flag.target) = *parsed;
+      return std::nullopt;
+    }
+    case Kind::kDouble: {
+      const auto parsed = parse_double_text(value);
+      if (!parsed) return "expected number for --" + flag.name;
+      *static_cast<double*>(flag.target) = *parsed;
+      return std::nullopt;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return "expected true/false for --" + flag.name;
+      }
+      return std::nullopt;
+    }
+  }
+  MDST_UNREACHABLE("bad flag kind");
+}
+
+CliParser::ParseResult CliParser::parse(int argc, const char* const* argv) {
+  ParseResult result;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      result.help_requested = true;
+      return result;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      result.positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = find(body);
+    // Boolean negation: --no-foo.
+    if (flag == nullptr && body.rfind("no-", 0) == 0) {
+      const Flag* base = find(body.substr(3));
+      if (base != nullptr && base->kind == Kind::kBool) {
+        if (has_value) {
+          result.ok = false;
+          result.error = "--no-" + base->name + " takes no value";
+          return result;
+        }
+        *static_cast<bool*>(base->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      result.ok = false;
+      result.error = "unknown flag --" + body;
+      return result;
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        result.ok = false;
+        result.error = "missing value for --" + body;
+        return result;
+      }
+      value = argv[++i];
+    }
+    if (auto error = assign(*flag, value)) {
+      result.ok = false;
+      result.error = *error;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  (default: " << flag.default_repr << ")\n"
+       << "      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mdst::support

@@ -1,0 +1,59 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error (fail fast in scripted sweeps);
+// `--help` prints registered flags and exits the parse with `help_requested`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdst::support {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register flags before parse(). `help` is shown by --help.
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t* target,
+                const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool* target, const std::string& help);
+
+  struct ParseResult {
+    bool ok = true;
+    bool help_requested = false;
+    std::string error;
+    /// Non-flag positional arguments in order.
+    std::vector<std::string> positional;
+  };
+
+  ParseResult parse(int argc, const char* const* argv);
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kString, kInt, kUint, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+  std::string description_;
+  std::vector<Flag> flags_;
+
+  const Flag* find(const std::string& name) const;
+  static std::optional<std::string> assign(const Flag& flag,
+                                           const std::string& value);
+};
+
+}  // namespace mdst::support

@@ -1,0 +1,39 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace mdst::support {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "[trace] ";
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo:  return "[info ] ";
+    case LogLevel::kWarn:  return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff:   return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(std::ostream* sink) { g_sink = sink; }
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level) &&
+         g_level != LogLevel::kOff;
+}
+
+void log_line(LogLevel level, const std::string& text) {
+  if (!log_enabled(level)) return;
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
+  out << prefix(level) << text << '\n';
+}
+
+}  // namespace mdst::support

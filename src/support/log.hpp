@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The simulator and protocols log through this single sink so verbose traces
+// can be switched on per-binary (examples use it for the Fig. 2 walkthrough)
+// without recompiling. Not thread-safe by design: the discrete-event
+// simulator is single-threaded and experiments run one simulation at a time.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace mdst::support {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirect log output (default: std::clog). Pass nullptr to restore default.
+void set_log_sink(std::ostream* sink);
+
+/// Emit one line at `level` with a small "[lvl] " prefix.
+void log_line(LogLevel level, const std::string& text);
+
+/// True if a message at `level` would currently be emitted.
+bool log_enabled(LogLevel level);
+
+namespace detail {
+
+/// Stream-style builder used by the MDST_LOG macro.
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mdst::support
+
+// Usage: MDST_LOG(kDebug) << "node " << id << " became root";
+// The stream expression is only evaluated when the level is enabled.
+#define MDST_LOG(level)                                                    \
+  if (!::mdst::support::log_enabled(::mdst::support::LogLevel::level)) {   \
+  } else                                                                   \
+    ::mdst::support::detail::LineBuilder(::mdst::support::LogLevel::level)

@@ -1,0 +1,100 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace mdst::support {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  // Chain SplitMix64 over the coordinates; mixing is bijective per step so
+  // distinct tuples give distinct (well-scrambled) seeds.
+  std::uint64_t s = base;
+  (void)splitmix64(s);
+  s ^= a;
+  (void)splitmix64(s);
+  s ^= b;
+  (void)splitmix64(s);
+  s ^= c;
+  return splitmix64(s);
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro256** state must not be all-zero; splitmix64 guarantees that for
+  // any seed, but keep the check as a contract.
+  MDST_ASSERT(state_[0] || state_[1] || state_[2] || state_[3],
+              "rng state must be non-zero");
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MDST_REQUIRE(bound > 0, "next_below(0)");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  MDST_REQUIRE(lo <= hi, "next_in: empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range (lo = INT64_MIN, hi = INT64_MAX).
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high-quality bits -> [0,1) double.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  MDST_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  MDST_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() {
+  // Derive the child from two fresh draws; parent state advances so repeated
+  // splits give independent children.
+  const std::uint64_t a = next();
+  const std::uint64_t b = next();
+  return Rng(derive_seed(a, b));
+}
+
+}  // namespace mdst::support

@@ -1,0 +1,95 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (graph generators, delay models,
+// tie-breaking experiments) draws from an explicitly seeded Rng instance, so
+// every experiment row in EXPERIMENTS.md is reproducible from (family, n,
+// seed). We implement xoshiro256** seeded through SplitMix64 — the standard
+// pairing recommended by the xoshiro authors — instead of std::mt19937 so
+// that streams are cheap to split per-node and the state is trivially
+// copyable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+
+/// SplitMix64 step; used for seeding and for hashing experiment coordinates
+/// into independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive an independent 64-bit seed from a tuple of coordinates, e.g.
+/// derive_seed(base, n, family_index, repetition).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b = 0,
+                          std::uint64_t c = 0);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9054c5e4c3b8f2ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  /// Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool next_bool(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fork an independent child stream. Children derived from the same parent
+  /// in the same order are deterministic.
+  Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t pick_index(const Container& values) {
+    MDST_REQUIRE(!values.empty(), "pick_index on empty container");
+    return static_cast<std::size_t>(next_below(values.size()));
+  }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace mdst::support

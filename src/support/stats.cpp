@@ -1,0 +1,151 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  MDST_REQUIRE(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  MDST_REQUIRE(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  MDST_REQUIRE(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  MDST_REQUIRE(!values_.empty(), "mean of empty samples");
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  MDST_REQUIRE(!values_.empty(), "min of empty samples");
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  MDST_REQUIRE(!values_.empty(), "max of empty samples");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::quantile(double q) const {
+  MDST_REQUIRE(!values_.empty(), "quantile of empty samples");
+  MDST_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::int64_t Histogram::min() const {
+  MDST_REQUIRE(!buckets_.empty(), "min of empty histogram");
+  return buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  MDST_REQUIRE(!buckets_.empty(), "max of empty histogram");
+  return buckets_.rbegin()->first;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, count] : buckets_) {
+    if (!first) os << ' ';
+    os << value << ':' << count;
+    first = false;
+  }
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  MDST_REQUIRE(xs.size() == ys.size(), "fit_linear: size mismatch");
+  MDST_REQUIRE(xs.size() >= 2, "fit_linear: need at least 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    // Degenerate: all xs equal; report a flat fit through the mean.
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+}  // namespace mdst::support

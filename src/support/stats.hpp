@@ -1,0 +1,84 @@
+// Streaming statistics used by the experiment harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mdst::support {
+
+/// Welford-style streaming accumulator: mean/variance/min/max without
+/// storing samples. Used for per-seed aggregation in experiment tables.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples to answer quantile queries exactly; used where the tails
+/// matter (e.g. causal-time distributions under heavy-tailed delays).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Quantile in [0,1] by linear interpolation. Precondition: non-empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Integer histogram keyed by exact value (degree distributions, message
+/// counts per type).
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t value) const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const { return buckets_; }
+  /// Render as "v:c v:c ..." for compact logging.
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Least-squares fit of y = a + b*x; used to check complexity slopes
+/// (e.g. messages vs (k-k*+1)*m should fit with near-zero curvature).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace mdst::support

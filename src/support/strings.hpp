@@ -1,0 +1,27 @@
+// Small string utilities shared by I/O and the CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdst::support {
+
+/// Split on a delimiter; empty tokens are kept (CSV semantics).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+}  // namespace mdst::support

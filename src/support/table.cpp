@@ -1,0 +1,127 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MDST_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MDST_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::start_row() {
+  MDST_REQUIRE(!building_ || pending_.empty(),
+               "previous row not finished before start_row");
+  building_ = true;
+  pending_.clear();
+}
+
+void Table::finish_pending_if_complete() {
+  if (building_ && pending_.size() == headers_.size()) {
+    rows_.push_back(pending_);
+    pending_.clear();
+    building_ = false;
+  }
+}
+
+void Table::cell(const std::string& value) {
+  MDST_REQUIRE(building_, "cell() without start_row()");
+  MDST_REQUIRE(pending_.size() < headers_.size(), "too many cells in row");
+  pending_.push_back(value);
+  finish_pending_if_complete();
+}
+
+void Table::cell(const char* value) { cell(std::string(value)); }
+void Table::cell(std::int64_t value) { cell(std::to_string(value)); }
+void Table::cell(std::uint64_t value) { cell(std::to_string(value)); }
+void Table::cell(int value) { cell(std::to_string(value)); }
+void Table::cell(double value, int precision) {
+  cell(format_double(value, precision));
+}
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  MDST_ASSERT(!building_ || pending_.empty(), "incomplete row at print time");
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::ostringstream os;
+  print(os, title);
+  return os.str();
+}
+
+void Table::write_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      const std::string& cell = row[c];
+      const bool needs_quote =
+          cell.find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace mdst::support

@@ -1,0 +1,57 @@
+// ASCII table and CSV rendering for the bench harness.
+//
+// Every bench binary prints the same kind of artefact the paper would have
+// published: a fixed-width table on stdout, optionally mirrored to CSV for
+// plotting. Cells are stored as strings; numeric helpers format with a
+// chosen precision so that tables are stable across runs (modulo data).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mdst::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of columns (fixed at construction).
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Append a full row. Precondition: cells.size() == columns().
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-builder interface: start_row() then cell(...) exactly columns()
+  /// times.
+  void start_row();
+  void cell(const std::string& value);
+  void cell(const char* value);
+  void cell(std::int64_t value);
+  void cell(std::uint64_t value);
+  void cell(int value);
+  void cell(double value, int precision = 3);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& out, const std::string& title = "") const;
+  std::string to_string(const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+  void finish_pending_if_complete();
+};
+
+/// Format helpers shared by benches.
+std::string format_double(double value, int precision = 3);
+/// "12345678" -> "12,345,678" for readability in printed tables.
+std::string with_thousands(std::uint64_t value);
+
+}  // namespace mdst::support

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for coarse harness timing (micro benchmarks use
+// google-benchmark instead).
+#pragma once
+
+#include <chrono>
+
+namespace mdst::support {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdst::support

@@ -1,0 +1,103 @@
+// Tests of the experiment harness itself: instance determinism, budget
+// arithmetic, and trial-record consistency — the benches' tables are only
+// as trustworthy as this layer.
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace mdst::analysis {
+namespace {
+
+TEST(ExperimentTest, InstancesAreDeterministicPerCoordinates) {
+  TrialSpec spec;
+  spec.family = "gnp_sparse";
+  spec.n = 40;
+  spec.base_seed = 123;
+  spec.repetition = 2;
+  const graph::Graph a = build_instance(spec);
+  const graph::Graph b = build_instance(spec);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(static_cast<graph::EdgeId>(e)),
+              b.edge(static_cast<graph::EdgeId>(e)));
+  }
+  EXPECT_EQ(a.names(), b.names());
+}
+
+TEST(ExperimentTest, DifferentRepetitionsDiffer) {
+  TrialSpec a_spec;
+  a_spec.family = "gnp_sparse";
+  a_spec.n = 40;
+  TrialSpec b_spec = a_spec;
+  b_spec.repetition = 1;
+  const graph::Graph a = build_instance(a_spec);
+  const graph::Graph b = build_instance(b_spec);
+  // Same family and size, different instance (edge sets differ whp).
+  bool differs = a.edge_count() != b.edge_count();
+  if (!differs) {
+    for (std::size_t e = 0; e < a.edge_count(); ++e) {
+      if (!(a.edge(static_cast<graph::EdgeId>(e)) ==
+            b.edge(static_cast<graph::EdgeId>(e)))) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ExperimentTest, TrialRecordIsConsistent) {
+  TrialSpec spec;
+  spec.family = "geometric";
+  spec.n = 30;
+  const TrialRecord r = run_trial(spec);
+  EXPECT_EQ(r.n, r.graph.vertex_count());
+  EXPECT_EQ(r.m, r.graph.edge_count());
+  EXPECT_TRUE(graph::is_connected(r.graph));
+  EXPECT_TRUE(r.initial_tree.spans(r.graph));
+  EXPECT_TRUE(r.run.tree.spans(r.graph));
+  EXPECT_EQ(r.k_init, static_cast<int>(r.initial_tree.max_degree()));
+  EXPECT_EQ(r.k_final, static_cast<int>(r.run.tree.max_degree()));
+  EXPECT_EQ(r.messages, r.run.metrics.total_messages());
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(ExperimentTest, TrialsAreReproducible) {
+  TrialSpec spec;
+  spec.family = "gnp_dense";
+  spec.n = 24;
+  spec.repetition = 3;
+  const TrialRecord a = run_trial(spec);
+  const TrialRecord b = run_trial(spec);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.causal_time, b.causal_time);
+  EXPECT_EQ(a.k_final, b.k_final);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(ExperimentTest, BudgetsArithmetic) {
+  TrialRecord r;
+  r.k_init = 9;
+  r.k_final = 3;
+  r.m = 100;
+  r.n = 40;
+  EXPECT_DOUBLE_EQ(message_budget(r), 7.0 * 100.0);
+  EXPECT_DOUBLE_EQ(time_budget(r), 7.0 * 40.0);
+}
+
+TEST(ExperimentTest, UnshuffledNamesKeepIdentityOrder) {
+  TrialSpec spec;
+  spec.family = "grid";
+  spec.n = 16;
+  spec.shuffle_names = false;
+  const graph::Graph g = build_instance(spec);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.name(static_cast<graph::VertexId>(v)),
+              static_cast<graph::NodeName>(v));
+  }
+}
+
+}  // namespace
+}  // namespace mdst::analysis

@@ -1,0 +1,163 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = make_path(5);
+  const BfsResult r = bfs(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(r.distance[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(r.parents[4], 3);
+  EXPECT_EQ(r.parents[0], kInvalidVertex);
+  EXPECT_EQ(r.order.front(), 0);
+  EXPECT_EQ(r.order.size(), 5u);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.distance[2], -1);
+  EXPECT_EQ(r.parents[2], kInvalidVertex);
+  EXPECT_EQ(r.order.size(), 2u);
+}
+
+TEST(DfsTest, VisitsEverything) {
+  support::Rng rng(1);
+  Graph g = make_gnp_connected(30, 0.15, rng);
+  const DfsResult r = dfs(g, 5);
+  EXPECT_EQ(r.order.size(), 30u);
+  EXPECT_EQ(r.parents[5], kInvalidVertex);
+  // Every non-source vertex has a parent that is a graph neighbour.
+  for (std::size_t v = 0; v < 30; ++v) {
+    if (v == 5) continue;
+    ASSERT_NE(r.parents[v], kInvalidVertex);
+    EXPECT_TRUE(g.has_edge(static_cast<VertexId>(v), r.parents[v]));
+  }
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.component[0], c.component[1]);
+  EXPECT_EQ(c.component[2], c.component[4]);
+  EXPECT_NE(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[5], c.component[0]);
+}
+
+TEST(ComponentsTest, Connectivity) {
+  EXPECT_TRUE(is_connected(make_cycle(5)));
+  Graph g(2);
+  EXPECT_FALSE(is_connected(g));
+  Graph g1(1);
+  EXPECT_TRUE(is_connected(g1));
+}
+
+TEST(ComponentsTest, WithoutVertex) {
+  // Star: removing the hub isolates all leaves.
+  Graph g = make_star(6);
+  EXPECT_EQ(components_without_vertex(g, 0), 5u);
+  EXPECT_EQ(components_without_vertex(g, 1), 1u);
+  // Cycle: removing any vertex keeps it connected.
+  Graph c = make_cycle(7);
+  EXPECT_EQ(components_without_vertex(c, 3), 1u);
+  // Path: removing an interior vertex splits in two.
+  Graph p = make_path(5);
+  EXPECT_EQ(components_without_vertex(p, 2), 2u);
+  EXPECT_EQ(components_without_vertex(p, 0), 1u);
+}
+
+TEST(BridgesTest, PathAllBridges) {
+  Graph g = make_path(5);
+  EXPECT_EQ(bridges(g).size(), 4u);
+}
+
+TEST(BridgesTest, CycleHasNone) {
+  Graph g = make_cycle(6);
+  EXPECT_TRUE(bridges(g).empty());
+}
+
+TEST(BridgesTest, LollipopStick) {
+  // K4 with a 3-path tail: exactly the 3 tail edges are bridges.
+  Graph g = make_lollipop(4, 3);
+  const auto b = bridges(g);
+  EXPECT_EQ(b.size(), 3u);
+  for (EdgeId e : b) {
+    const Edge& edge = g.edge(e);
+    EXPECT_GE(std::max(edge.u, edge.v), 4 - 1);
+  }
+}
+
+TEST(ArticulationTest, StarHub) {
+  Graph g = make_star(5);
+  const auto cuts = articulation_points(g);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 0);
+}
+
+TEST(ArticulationTest, CycleHasNone) {
+  EXPECT_TRUE(articulation_points(make_cycle(5)).empty());
+}
+
+TEST(ArticulationTest, TwoTriangles) {
+  // Two triangles sharing vertex 2: vertex 2 is the unique cut vertex.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  const auto cuts = articulation_points(g);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 2);
+}
+
+TEST(DiameterTest, KnownValues) {
+  EXPECT_EQ(diameter(make_path(6)), 5u);
+  EXPECT_EQ(diameter(make_cycle(8)), 4u);
+  EXPECT_EQ(diameter(make_complete(5)), 1u);
+  EXPECT_EQ(diameter(make_star(7)), 2u);
+  EXPECT_EQ(diameter(make_hypercube(4)), 4u);
+}
+
+TEST(IsTreeTest, Classification) {
+  EXPECT_TRUE(is_tree(make_path(4)));
+  EXPECT_TRUE(is_tree(make_star(5)));
+  EXPECT_FALSE(is_tree(make_cycle(4)));
+  Graph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_FALSE(is_tree(forest));
+}
+
+TEST(HamiltonianPathTest, SmallCases) {
+  EXPECT_TRUE(has_hamiltonian_path(make_path(5)));
+  EXPECT_TRUE(has_hamiltonian_path(make_cycle(5)));
+  EXPECT_TRUE(has_hamiltonian_path(make_complete(6)));
+  EXPECT_FALSE(has_hamiltonian_path(make_star(4)));
+  EXPECT_TRUE(has_hamiltonian_path(make_grid(3, 3)));
+  // K_{1,3} subdivided: a "spider" with 3 legs has no Hamiltonian path.
+  Graph spider(7);
+  spider.add_edge(0, 1);
+  spider.add_edge(1, 2);
+  spider.add_edge(0, 3);
+  spider.add_edge(3, 4);
+  spider.add_edge(0, 5);
+  spider.add_edge(5, 6);
+  EXPECT_FALSE(has_hamiltonian_path(spider));
+}
+
+}  // namespace
+}  // namespace mdst::graph

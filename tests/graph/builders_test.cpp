@@ -1,0 +1,122 @@
+#include "graph/spanning_builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+void expect_valid_spanning_tree(const Graph& g, const RootedTree& t,
+                                const char* what) {
+  EXPECT_EQ(t.vertex_count(), g.vertex_count()) << what;
+  EXPECT_TRUE(t.spans(g)) << what;
+}
+
+TEST(BuildersTest, BfsTreeHasMinDepth) {
+  Graph g = make_cycle(9);
+  const RootedTree t = bfs_tree(g, 0);
+  expect_valid_spanning_tree(g, t, "bfs");
+  EXPECT_EQ(t.height(), 4u);  // BFS tree of C9 from one vertex
+  EXPECT_EQ(t.max_degree(), 2u);
+}
+
+TEST(BuildersTest, DfsTreeOfCycleIsPath) {
+  Graph g = make_cycle(9);
+  const RootedTree t = dfs_tree(g, 0);
+  expect_valid_spanning_tree(g, t, "dfs");
+  EXPECT_EQ(t.max_degree(), 2u);
+  EXPECT_EQ(t.height(), 8u);
+}
+
+TEST(BuildersTest, RandomSpanningTreeIsSpanning) {
+  support::Rng rng(1);
+  Graph g = make_gnp_connected(30, 0.2, rng);
+  for (int i = 0; i < 5; ++i) {
+    const RootedTree t = random_spanning_tree(g, 3, rng);
+    expect_valid_spanning_tree(g, t, "wilson");
+    EXPECT_EQ(t.root(), 3);
+  }
+}
+
+TEST(BuildersTest, WilsonOnCompleteGraphVariesTrees) {
+  support::Rng rng(2);
+  Graph g = make_complete(8);
+  const RootedTree a = random_spanning_tree(g, 0, rng);
+  const RootedTree b = random_spanning_tree(g, 0, rng);
+  bool differ = false;
+  for (std::size_t v = 0; v < 8; ++v) {
+    if (a.parent(static_cast<VertexId>(v)) != b.parent(static_cast<VertexId>(v))) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);  // 8^6 trees; collision chance negligible
+}
+
+TEST(BuildersTest, KruskalRespectsWeights) {
+  // Square with diagonal: 0-1-2-3-0 plus 0-2. Light edges: path 0-1-2-3.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e23 = g.add_edge(2, 3);
+  const EdgeId e30 = g.add_edge(3, 0);
+  const EdgeId e02 = g.add_edge(0, 2);
+  std::vector<Weight> w(5);
+  w[static_cast<std::size_t>(e01)] = 1;
+  w[static_cast<std::size_t>(e12)] = 1;
+  w[static_cast<std::size_t>(e23)] = 1;
+  w[static_cast<std::size_t>(e30)] = 10;
+  w[static_cast<std::size_t>(e02)] = 10;
+  const RootedTree t = kruskal_mst(g, w, 0);
+  expect_valid_spanning_tree(g, t, "kruskal");
+  EXPECT_TRUE(t.has_tree_edge(0, 1));
+  EXPECT_TRUE(t.has_tree_edge(1, 2));
+  EXPECT_TRUE(t.has_tree_edge(2, 3));
+  EXPECT_FALSE(t.has_tree_edge(3, 0));
+}
+
+TEST(BuildersTest, RandomMstIsSpanning) {
+  support::Rng rng(3);
+  Graph g = make_gnp_connected(25, 0.3, rng);
+  const RootedTree t = random_mst(g, 0, rng);
+  expect_valid_spanning_tree(g, t, "random_mst");
+}
+
+TEST(BuildersTest, StarBiasedTreeMaximisesHubDegree) {
+  support::Rng rng(4);
+  Graph g = make_complete(10);
+  const RootedTree t = star_biased_tree(g);
+  expect_valid_spanning_tree(g, t, "star");
+  EXPECT_EQ(t.max_degree(), 9u);  // hub adopts everyone in K10
+  EXPECT_EQ(t.degree(t.root()), 9u);
+}
+
+TEST(BuildersTest, StarBiasedOnSparseGraph) {
+  support::Rng rng(5);
+  Graph g = make_gnp_connected(40, 0.1, rng);
+  const RootedTree t = star_biased_tree(g);
+  expect_valid_spanning_tree(g, t, "star-sparse");
+  // Hub degree equals its graph degree.
+  EXPECT_EQ(t.degree(t.root()), g.degree(t.root()));
+}
+
+TEST(BuildersTest, BuildInitialTreeAllKinds) {
+  support::Rng rng(6);
+  Graph g = make_gnp_connected(20, 0.25, rng);
+  for (InitialTreeKind kind :
+       {InitialTreeKind::kBfs, InitialTreeKind::kDfs, InitialTreeKind::kRandom,
+        InitialTreeKind::kMst, InitialTreeKind::kStarBiased}) {
+    const RootedTree t = build_initial_tree(g, kind, rng);
+    expect_valid_spanning_tree(g, t, to_string(kind));
+  }
+}
+
+TEST(BuildersTest, InitialTreeKindNames) {
+  EXPECT_STREQ(to_string(InitialTreeKind::kBfs), "bfs");
+  EXPECT_STREQ(to_string(InitialTreeKind::kStarBiased), "star");
+}
+
+}  // namespace
+}  // namespace mdst::graph

@@ -1,0 +1,66 @@
+#include "graph/dsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+TEST(DsuTest, StartsFullySplit) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.component_size(i), 1u);
+  }
+  EXPECT_FALSE(dsu.same(0, 1));
+}
+
+TEST(DsuTest, UniteMergesOnce) {
+  Dsu dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already merged
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_EQ(dsu.component_size(0), 2u);
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_EQ(dsu.component_count(), 1u);
+  EXPECT_EQ(dsu.component_size(1), 4u);
+}
+
+TEST(DsuTest, TransitivityUnderRandomOperations) {
+  support::Rng rng(1);
+  const std::size_t n = 64;
+  Dsu dsu(n);
+  // Reference: naive label array.
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = i;
+  for (int op = 0; op < 300; ++op) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    const bool merged = dsu.unite(a, b);
+    const bool should_merge = label[a] != label[b];
+    EXPECT_EQ(merged, should_merge);
+    if (should_merge) {
+      const std::size_t from = label[b];
+      const std::size_t to = label[a];
+      for (auto& l : label) {
+        if (l == from) l = to;
+      }
+    }
+    // Spot-check equivalence of `same` against the reference.
+    const auto x = static_cast<std::size_t>(rng.next_below(n));
+    const auto y = static_cast<std::size_t>(rng.next_below(n));
+    EXPECT_EQ(dsu.same(x, y), label[x] == label[y]);
+  }
+}
+
+TEST(DsuTest, OutOfRangeThrows) {
+  Dsu dsu(3);
+  EXPECT_THROW(dsu.find(3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::graph

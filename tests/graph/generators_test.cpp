@@ -1,0 +1,173 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+TEST(GeneratorsTest, PathCycleStar) {
+  EXPECT_EQ(make_path(5).edge_count(), 4u);
+  EXPECT_EQ(make_cycle(5).edge_count(), 5u);
+  const Graph star = make_star(6);
+  EXPECT_EQ(star.edge_count(), 5u);
+  EXPECT_EQ(star.degree(0), 5u);
+  EXPECT_EQ(star.max_degree(), 5u);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  const Graph g = make_complete(7);
+  EXPECT_EQ(g.edge_count(), 21u);
+  EXPECT_EQ(g.min_degree(), 6u);
+}
+
+TEST(GeneratorsTest, Wheel) {
+  const Graph g = make_wheel(7);  // hub + 6-cycle
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(g.degree(1), 3u);
+}
+
+TEST(GeneratorsTest, GridAndTorus) {
+  const Graph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.vertex_count(), 12u);
+  EXPECT_EQ(grid.edge_count(), 3u * 3 + 2u * 4);  // rows*(cols-1)+(rows-1)*cols
+  EXPECT_TRUE(is_connected(grid));
+  const Graph torus = make_torus(3, 3);
+  EXPECT_EQ(torus.edge_count(), 18u);
+  EXPECT_EQ(torus.min_degree(), 4u);
+  EXPECT_EQ(torus.max_degree(), 4u);
+}
+
+TEST(GeneratorsTest, Hypercube) {
+  const Graph q3 = make_hypercube(3);
+  EXPECT_EQ(q3.vertex_count(), 8u);
+  EXPECT_EQ(q3.edge_count(), 12u);
+  EXPECT_EQ(q3.max_degree(), 3u);
+  EXPECT_TRUE(is_connected(q3));
+}
+
+TEST(GeneratorsTest, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(2, 3);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(GeneratorsTest, BinaryTreeAndCaterpillar) {
+  const Graph bt = make_binary_tree(7);
+  EXPECT_TRUE(is_tree(bt));
+  EXPECT_EQ(bt.max_degree(), 3u);
+  const Graph cat = make_caterpillar(4, 2);
+  EXPECT_TRUE(is_tree(cat));
+  EXPECT_EQ(cat.vertex_count(), 12u);
+}
+
+TEST(GeneratorsTest, Lollipop) {
+  const Graph g = make_lollipop(5, 3);
+  EXPECT_EQ(g.vertex_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 10u + 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorsTest, GnpConnectedIsConnected) {
+  support::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = make_gnp_connected(40, 0.05, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.edge_count(), 39u);
+  }
+}
+
+TEST(GeneratorsTest, GnpEdgeCountNearExpectation) {
+  support::Rng rng(2);
+  const std::size_t n = 60;
+  const double p = 0.3;
+  const Graph g = make_gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.25);
+}
+
+TEST(GeneratorsTest, GnmExactEdges) {
+  support::Rng rng(3);
+  const Graph g = make_gnm(20, 50, rng);
+  EXPECT_EQ(g.edge_count(), 50u);
+  const Graph gc = make_gnm_connected(20, 30, rng);
+  EXPECT_EQ(gc.edge_count(), 30u);
+  EXPECT_TRUE(is_connected(gc));
+}
+
+TEST(GeneratorsTest, GnmRejectsInfeasible) {
+  support::Rng rng(4);
+  EXPECT_THROW(make_gnm(4, 7, rng), ContractViolation);
+  EXPECT_THROW(make_gnm_connected(5, 3, rng), ContractViolation);
+}
+
+TEST(GeneratorsTest, GeometricConnected) {
+  support::Rng rng(5);
+  const Graph g = make_geometric_connected(50, 0.18, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.vertex_count(), 50u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  support::Rng rng(6);
+  const std::size_t n = 100;
+  const std::size_t k = 3;
+  const Graph g = make_barabasi_albert(n, k, rng);
+  EXPECT_EQ(g.vertex_count(), n);
+  // Seed clique (k+1 choose 2) + (n - k - 1) * k edges.
+  EXPECT_EQ(g.edge_count(), (k + 1) * k / 2 + (n - k - 1) * k);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.max_degree(), 2 * k);  // hubs emerge
+}
+
+TEST(GeneratorsTest, WattsStrogatz) {
+  support::Rng rng(7);
+  const Graph g = make_watts_strogatz(60, 4, 0.2, rng);
+  EXPECT_EQ(g.vertex_count(), 60u);
+  EXPECT_TRUE(is_connected(g));
+  // Edge count is preserved up to rare saturation fallbacks.
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), 120.0, 4.0);
+}
+
+TEST(GeneratorsTest, RandomTreeIsUniformTree) {
+  support::Rng rng(8);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 50u}) {
+    const Graph t = make_random_tree(n, rng);
+    EXPECT_EQ(t.vertex_count(), n);
+    if (n >= 1) {
+      EXPECT_TRUE(is_tree(t)) << n;
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomNamesArePermutation) {
+  support::Rng rng(9);
+  Graph g = make_cycle(10);
+  assign_random_names(g, rng);
+  std::vector<NodeName> names = g.names();
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], static_cast<NodeName>(i));
+  }
+}
+
+TEST(GeneratorsTest, FamilyRegistry) {
+  EXPECT_FALSE(standard_families().empty());
+  support::Rng rng(10);
+  for (const FamilySpec& family : standard_families()) {
+    const Graph g = family.make(24, rng);
+    EXPECT_TRUE(is_connected(g)) << family.name;
+    EXPECT_GE(g.vertex_count(), 8u) << family.name;
+  }
+  EXPECT_EQ(family_by_name("grid").name, "grid");
+  EXPECT_THROW(family_by_name("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::graph

@@ -1,0 +1,100 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+namespace {
+
+TEST(GraphTest, EmptyAndSingle) {
+  Graph g0;
+  EXPECT_EQ(g0.vertex_count(), 0u);
+  Graph g1(1);
+  EXPECT_EQ(g1.vertex_count(), 1u);
+  EXPECT_EQ(g1.edge_count(), 0u);
+  EXPECT_EQ(g1.degree(0), 0u);
+}
+
+TEST(GraphTest, AddEdgeUpdatesAdjacency) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(2, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.find_edge(0, 2), e);
+  EXPECT_EQ(g.find_edge(1, 2), kInvalidEdge);
+  // Edges are normalised u <= v.
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 2);
+  EXPECT_EQ(g.edge(e).other(0), 2);
+  EXPECT_EQ(g.edge(e).other(2), 0);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndParallel) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1), ContractViolation);
+  EXPECT_THROW(g.add_edge(1, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 5), ContractViolation);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(degree_sum(g), 6u);
+  std::size_t count = 0;
+  for (const Incidence& inc : g.neighbors(0)) {
+    EXPECT_NE(inc.neighbor, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(GraphTest, AddVertexGrows) {
+  Graph g(2);
+  const VertexId v = g.add_vertex();
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  g.add_edge(v, 0);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphTest, DefaultNamesAreIndices) {
+  Graph g(3);
+  EXPECT_EQ(g.name(0), 0);
+  EXPECT_EQ(g.name(2), 2);
+  EXPECT_EQ(g.vertex_by_name(1), 1);
+}
+
+TEST(GraphTest, SetNamesPermutation) {
+  Graph g(3);
+  g.set_names({10, 30, 20});
+  EXPECT_EQ(g.name(0), 10);
+  EXPECT_EQ(g.name(1), 30);
+  EXPECT_EQ(g.vertex_by_name(20), 2);
+  EXPECT_EQ(g.vertex_by_name(999), kInvalidVertex);
+}
+
+TEST(GraphTest, SetNamesRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.set_names({1, 1, 2}), ContractViolation);
+  EXPECT_THROW(g.set_names({1, 2}), ContractViolation);
+}
+
+TEST(GraphTest, Summary) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.summary(), "Graph(n=5, m=1)");
+}
+
+}  // namespace
+}  // namespace mdst::graph

@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+TEST(IoTest, RoundTrip) {
+  support::Rng rng(1);
+  const Graph g = make_gnp_connected(15, 0.3, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.vertex_count(), g.vertex_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(back.has_edge(e.u, e.v));
+  }
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in("# header\n\n3 2\n# edge block\n0 1\n\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(IoTest, TruncatedInputThrows) {
+  std::stringstream in("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(in), ContractViolation);
+}
+
+TEST(IoTest, MissingHeaderThrows) {
+  std::stringstream in("# only comments\n");
+  EXPECT_THROW(read_edge_list(in), ContractViolation);
+}
+
+TEST(IoTest, BadEdgeRowThrows) {
+  std::stringstream in("2 1\nzero one\n");
+  EXPECT_THROW(read_edge_list(in), ContractViolation);
+}
+
+TEST(IoTest, DotExportMentionsTreeEdges) {
+  Graph g = make_cycle(4);
+  const RootedTree t = bfs_tree(g, 0);
+  std::ostringstream os;
+  write_dot(os, g, &t);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);   // tree edges bold
+  EXPECT_NE(dot.find("grey70"), std::string::npos);     // non-tree grey
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);  // root marked
+}
+
+TEST(IoTest, DotExportWithoutTree) {
+  Graph g = make_path(3);
+  std::ostringstream os;
+  write_dot(os, g, nullptr);
+  EXPECT_EQ(os.str().find("penwidth"), std::string::npos);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  support::Rng rng(2);
+  const Graph g = make_gnp_connected(10, 0.4, rng);
+  const std::string path = ::testing::TempDir() + "/mdst_io_test.txt";
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/nope.txt"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::graph

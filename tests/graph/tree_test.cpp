@@ -1,0 +1,163 @@
+#include "graph/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+namespace {
+
+// Tree used throughout: root 0; children(0) = {1, 2};
+// children(1) = {3, 4}; children(2) = {5}.
+RootedTree sample_tree() {
+  return RootedTree::from_parents(
+      0, {kInvalidVertex, 0, 0, 1, 1, 2});
+}
+
+TEST(TreeTest, FromParentsBasics) {
+  const RootedTree t = sample_tree();
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.vertex_count(), 6u);
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_EQ(t.parent(0), kInvalidVertex);
+  EXPECT_EQ(t.children(1).size(), 2u);
+  EXPECT_EQ(t.degree(0), 2u);
+  EXPECT_EQ(t.degree(1), 3u);
+  EXPECT_EQ(t.degree(3), 1u);
+  EXPECT_TRUE(t.is_leaf(5));
+  EXPECT_FALSE(t.is_leaf(1));
+  EXPECT_EQ(t.max_degree(), 3u);
+  const auto maxv = t.max_degree_vertices();
+  ASSERT_EQ(maxv.size(), 1u);
+  EXPECT_EQ(maxv[0], 1);
+}
+
+TEST(TreeTest, FromParentsRejectsBadInput) {
+  EXPECT_THROW(RootedTree::from_parents(0, {}), ContractViolation);
+  // two roots
+  EXPECT_THROW(RootedTree::from_parents(0, {kInvalidVertex, kInvalidVertex}),
+               ContractViolation);
+  // root has a parent
+  EXPECT_THROW(RootedTree::from_parents(0, {1, kInvalidVertex}),
+               ContractViolation);
+  // cycle 1 <-> 2
+  EXPECT_THROW(RootedTree::from_parents(0, {kInvalidVertex, 2, 1}),
+               ContractViolation);
+  // self parent
+  EXPECT_THROW(RootedTree::from_parents(0, {kInvalidVertex, 1}),
+               ContractViolation);
+}
+
+TEST(TreeTest, TreeEdges) {
+  const RootedTree t = sample_tree();
+  EXPECT_TRUE(t.has_tree_edge(0, 1));
+  EXPECT_TRUE(t.has_tree_edge(1, 0));
+  EXPECT_FALSE(t.has_tree_edge(1, 2));
+  const auto edges = t.edges();
+  EXPECT_EQ(edges.size(), 5u);
+}
+
+TEST(TreeTest, SubtreePreorder) {
+  const RootedTree t = sample_tree();
+  const auto sub = t.subtree(1);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[0], 1);
+  EXPECT_EQ(t.subtree_size(0), 6u);
+  EXPECT_EQ(t.subtree_size(5), 1u);
+}
+
+TEST(TreeTest, PathThroughLca) {
+  const RootedTree t = sample_tree();
+  const std::vector<VertexId> expected{3, 1, 0, 2, 5};
+  EXPECT_EQ(t.path(3, 5), expected);
+  const std::vector<VertexId> sib{3, 1, 4};
+  EXPECT_EQ(t.path(3, 4), sib);
+  const std::vector<VertexId> self{2};
+  EXPECT_EQ(t.path(2, 2), self);
+  const std::vector<VertexId> updown{0, 1, 4};
+  EXPECT_EQ(t.path(0, 4), updown);
+}
+
+TEST(TreeTest, DepthAndHeight) {
+  const RootedTree t = sample_tree();
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(3), 2u);
+  EXPECT_EQ(t.height(), 2u);
+}
+
+TEST(TreeTest, RerootReversesPath) {
+  RootedTree t = sample_tree();
+  t.reroot(3);
+  EXPECT_EQ(t.root(), 3);
+  EXPECT_EQ(t.parent(3), kInvalidVertex);
+  EXPECT_EQ(t.parent(1), 3);
+  EXPECT_EQ(t.parent(0), 1);
+  EXPECT_EQ(t.parent(2), 0);
+  EXPECT_EQ(t.parent(4), 1);  // untouched branch
+  // Degrees are invariant under rerooting.
+  EXPECT_EQ(t.degree(1), 3u);
+  EXPECT_EQ(t.degree(0), 2u);
+  EXPECT_EQ(t.max_degree(), 3u);
+}
+
+TEST(TreeTest, RerootToSelfIsNoop) {
+  RootedTree t = sample_tree();
+  t.reroot(0);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(1), 0);
+}
+
+TEST(TreeTest, CutAndLink) {
+  RootedTree t = sample_tree();
+  // Move subtree of 4 under 5.
+  t.cut_and_link(4, 5);
+  EXPECT_EQ(t.parent(4), 5);
+  EXPECT_EQ(t.degree(1), 2u);
+  EXPECT_EQ(t.degree(5), 2u);
+  const auto& kids5 = t.children(5);
+  EXPECT_TRUE(std::find(kids5.begin(), kids5.end(), 4) != kids5.end());
+}
+
+TEST(TreeTest, CutAndLinkRejectsCycles) {
+  RootedTree t = sample_tree();
+  EXPECT_THROW(t.cut_and_link(1, 3), ContractViolation);  // 3 inside subtree(1)
+  EXPECT_THROW(t.cut_and_link(1, 1), ContractViolation);
+}
+
+TEST(TreeTest, DegreeHistogram) {
+  const RootedTree t = sample_tree();
+  const auto hist = t.degree_histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 3u);  // leaves 3, 4, 5
+  EXPECT_EQ(hist[2], 2u);  // 0 and 2
+  EXPECT_EQ(hist[3], 1u);  // 1
+}
+
+TEST(TreeTest, SpansChecksEdgesExist) {
+  Graph g = make_cycle(6);
+  // Path 0-1-2-3-4-5 is a spanning tree of C6.
+  RootedTree path = RootedTree::from_parents(0, {kInvalidVertex, 0, 1, 2, 3, 4});
+  EXPECT_TRUE(path.spans(g));
+  // A tree using a non-edge (0,3) does not span C6.
+  RootedTree bad = RootedTree::from_parents(0, {kInvalidVertex, 0, 1, 0, 3, 4});
+  EXPECT_FALSE(bad.spans(g));
+}
+
+TEST(TreeTest, FragmentRoots) {
+  const RootedTree t = sample_tree();
+  // Fragments of T - 1 (1 is not root): component containing 3 is rooted
+  // at 3; component containing 0/2/5 is entered from 1 via parent 0.
+  EXPECT_EQ(fragment_root(t, 1, 3), 3);
+  EXPECT_EQ(fragment_root(t, 1, 4), 4);
+  EXPECT_EQ(fragment_root(t, 1, 5), 0);
+  EXPECT_EQ(fragment_root(t, 1, 0), 0);
+  // Fragments of T - 0 (the root).
+  EXPECT_EQ(fragment_root(t, 0, 3), 1);
+  EXPECT_EQ(fragment_root(t, 0, 5), 2);
+}
+
+}  // namespace
+}  // namespace mdst::graph

@@ -1,0 +1,95 @@
+// Distributed-vs-sequential equivalence: the distributed algorithm and the
+// sequential local search it distributes must land in the same quality
+// class (both are hill-climbers over the same move set; the trees may
+// differ, the guarantees may not).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/checker.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/exact.hpp"
+#include "mdst/furer_raghavachari.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+TEST(EquivalenceTest, DistributedNeverWorseThanPureFrPlusOne) {
+  // Both stop at (at least) per-vertex local optimality of some max-degree
+  // vertex; across seeds the distributed result stays within one of the
+  // sequential pure-FR result on the same instance and start.
+  support::Rng rng(1);
+  for (int i = 0; i < 12; ++i) {
+    graph::Graph g = graph::make_gnp_connected(26, 0.22, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    const core::RunResult dist = core::run_mdst(g, start, {}, {});
+    const core::FrResult pure =
+        core::furer_raghavachari(g, start, core::FrVariant::kPure);
+    EXPECT_LE(std::abs(dist.final_degree - pure.final_degree), 1)
+        << "instance " << i;
+  }
+}
+
+TEST(EquivalenceTest, StrictLotMatchesPureFrFixpointClass) {
+  // strict-LOT blocks *every* max-degree vertex — the same stop condition
+  // as sequential pure FR. The achieved max degree must agree within 1
+  // (local search is order-dependent, the guarantee class is not).
+  support::Rng rng(2);
+  core::Options strict;
+  strict.mode = core::EngineMode::kStrictLot;
+  for (int i = 0; i < 12; ++i) {
+    graph::Graph g = graph::make_gnp_connected(24, 0.25, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    const core::RunResult dist = core::run_mdst(g, start, strict, {});
+    const core::FrResult pure =
+        core::furer_raghavachari(g, start, core::FrVariant::kPure);
+    EXPECT_LE(std::abs(dist.final_degree - pure.final_degree), 1)
+        << "instance " << i;
+    if (dist.final_degree > 2) {
+      EXPECT_TRUE(core::local_optimality(g, dist.tree).all_blocked());
+    }
+    if (pure.final_degree > 2) {
+      EXPECT_TRUE(core::local_optimality(g, pure.tree).all_blocked());
+    }
+  }
+}
+
+TEST(EquivalenceTest, WithinOneOfOptimumOnSmallInstances) {
+  // The paper's headline guarantee, checked against the exact solver over
+  // all engine modes on a batch of small instances.
+  support::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(12, 0.3, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    const core::ExactResult exact = core::exact_mdst_degree(g);
+    ASSERT_TRUE(exact.proven);
+    for (const core::EngineMode mode :
+         {core::EngineMode::kSingleImprovement, core::EngineMode::kConcurrent,
+          core::EngineMode::kStrictLot}) {
+      core::Options options;
+      options.mode = mode;
+      const core::RunResult run = core::run_mdst(g, start, options, {});
+      EXPECT_LE(run.final_degree, exact.optimal_degree + 1)
+          << "instance " << i << " mode " << to_string(mode);
+      EXPECT_GE(run.final_degree, exact.optimal_degree);
+    }
+  }
+}
+
+TEST(EquivalenceTest, ConcurrentAndSingleSameQuality) {
+  support::Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(32, 0.2, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    core::Options concurrent;
+    concurrent.mode = core::EngineMode::kConcurrent;
+    const core::RunResult a = core::run_mdst(g, start, {}, {});
+    const core::RunResult b = core::run_mdst(g, start, concurrent, {});
+    EXPECT_LE(std::abs(a.final_degree - b.final_degree), 1) << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mdst

@@ -1,0 +1,69 @@
+// Larger-scale smoke tests: the full pipeline at sizes well beyond the
+// property sweeps, guarding against superlinear blowups in the simulator
+// or the protocols. Budgeted to stay fast in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "spanning/ghs_mst.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace mdst {
+namespace {
+
+TEST(ScaleTest, PipelineAt512Nodes) {
+  support::Rng rng(1);
+  graph::Graph g =
+      graph::make_gnp_connected(512, 6.0 / 511.0, rng);
+  support::Timer timer;
+  const analysis::PipelineResult result =
+      analysis::run_pipeline(g, analysis::StartupProtocol::kFloodSt);
+  EXPECT_TRUE(result.mdst.tree.spans(g));
+  EXPECT_LE(result.mdst.final_degree, 4);
+  // Coarse envelope: O(rounds * m) messages.
+  EXPECT_LE(result.total_messages,
+            64ull * (result.mdst.rounds + 2) * g.edge_count());
+  // Wall-clock guard (generous; the run takes well under a second).
+  EXPECT_LT(timer.seconds(), 30.0);
+}
+
+TEST(ScaleTest, GhsAt1024Nodes) {
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(1024, 8.0 / 1023.0, rng);
+  const spanning::SpanningRun run = spanning::run_ghs_mst(g, 99);
+  EXPECT_TRUE(run.tree.spans(g));
+  const double n = static_cast<double>(g.vertex_count());
+  const double m = static_cast<double>(g.edge_count());
+  EXPECT_LE(static_cast<double>(run.metrics.total_messages()),
+            5.0 * n * std::log2(n) + 2.0 * m + n);
+}
+
+TEST(ScaleTest, MdstAt512FromStarStart) {
+  // Worst-case round count at scale: star start on a hub-heavy graph.
+  support::Rng rng(3);
+  graph::Graph g = graph::make_barabasi_albert(512, 3, rng);
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  const core::RunResult run = core::run_mdst(g, star, {}, {});
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_LE(run.final_degree, 4);
+  EXPECT_GE(run.initial_degree, 50);  // BA hubs are large
+}
+
+TEST(ScaleTest, DenseGraphAt256) {
+  support::Rng rng(4);
+  graph::Graph g = graph::make_gnp_connected(256, 0.25, rng);
+  core::Options options;
+  options.mode = core::EngineMode::kConcurrent;
+  const core::RunResult run =
+      core::run_mdst(g, graph::star_biased_tree(g), options, {});
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_LE(run.final_degree, 3);
+}
+
+}  // namespace
+}  // namespace mdst

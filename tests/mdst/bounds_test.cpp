@@ -1,0 +1,61 @@
+#include "mdst/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mdst/exact.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(BoundsTest, VertexCutOnStar) {
+  EXPECT_EQ(vertex_cut_bound(graph::make_star(7)), 6);
+  EXPECT_EQ(vertex_cut_bound(graph::make_cycle(7)), 1);
+  EXPECT_EQ(vertex_cut_bound(graph::make_path(5)), 2);
+}
+
+TEST(BoundsTest, PairCutOnDoubleStar) {
+  // Two hubs 0 and 1 joined by an edge, each with 4 leaves: removing both
+  // hubs leaves 8 singletons; sum of hub tree-degrees >= 9, max >= 5.
+  graph::Graph g(10);
+  g.add_edge(0, 1);
+  for (int leaf = 2; leaf < 6; ++leaf) g.add_edge(0, static_cast<graph::VertexId>(leaf));
+  for (int leaf = 6; leaf < 10; ++leaf) g.add_edge(1, static_cast<graph::VertexId>(leaf));
+  EXPECT_EQ(pair_cut_bound(g), 5);
+  EXPECT_EQ(vertex_cut_bound(g), 5);  // hub alone: 4 leaves + other side
+  EXPECT_EQ(degree_lower_bound(g), 5);
+}
+
+TEST(BoundsTest, TrivialSizes) {
+  graph::Graph g1(1);
+  EXPECT_EQ(degree_lower_bound(g1), 0);
+  graph::Graph g2(2);
+  g2.add_edge(0, 1);
+  EXPECT_EQ(degree_lower_bound(g2), 1);
+  EXPECT_EQ(degree_lower_bound(graph::make_complete(5)), 2);
+}
+
+TEST(BoundsTest, LowerBoundNeverExceedsOptimum) {
+  support::Rng rng(1);
+  for (int i = 0; i < 15; ++i) {
+    graph::Graph g = graph::make_gnp_connected(12, 0.25, rng);
+    const int lb = degree_lower_bound(g);
+    const int opt = exact_mdst_degree(g).optimal_degree;
+    EXPECT_LE(lb, opt) << "instance " << i;
+  }
+}
+
+TEST(BoundsTest, BoundTightOnStars) {
+  const graph::Graph g = graph::make_star(9);
+  EXPECT_EQ(degree_lower_bound(g), exact_mdst_degree(g).optimal_degree);
+}
+
+TEST(BoundsTest, KmzCurve) {
+  EXPECT_DOUBLE_EQ(kmz_message_bound(10, 2), 50.0);
+  EXPECT_DOUBLE_EQ(kmz_message_bound(100, 10), 1000.0);
+  EXPECT_THROW(kmz_message_bound(10, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::core

@@ -1,0 +1,91 @@
+#include "mdst/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(CheckerTest, StarIsBlocked) {
+  graph::Graph g = graph::make_star(6);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  EXPECT_FALSE(vertex_improvable(g, t, 0));
+  const LocalOptReport report = local_optimality(g, t);
+  EXPECT_EQ(report.max_degree, 5);
+  EXPECT_TRUE(report.all_blocked());
+  EXPECT_TRUE(report.any_blocked());
+}
+
+TEST(CheckerTest, CompleteGraphStarIsImprovable) {
+  graph::Graph g = graph::make_complete(6);
+  const graph::RootedTree t = graph::star_biased_tree(g);
+  ASSERT_EQ(t.max_degree(), 5u);
+  EXPECT_TRUE(vertex_improvable(g, t, t.root()));
+  const LocalOptReport report = local_optimality(g, t);
+  EXPECT_FALSE(report.all_blocked());
+}
+
+TEST(CheckerTest, ImprovementNeedsDegreeHeadroom) {
+  // Path 0-1-2 plus edge 0-2: tree rooted at 1 (degree 2). For k = 2 the
+  // candidate endpoints would need degree <= 0: never improvable.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const graph::RootedTree t =
+      graph::RootedTree::from_parents(1, {1, graph::kInvalidVertex, 1});
+  EXPECT_FALSE(vertex_improvable(g, t, 1));
+}
+
+TEST(CheckerTest, SpecificImprovableCase) {
+  // Fig. 1-style scenario: hub 0 with three leaves 1,2,3 in the tree, and a
+  // graph edge 1-2 between two leaves. Hub degree 3; leaves degree 1 <= 1.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  ASSERT_EQ(t.max_degree(), 3u);
+  EXPECT_TRUE(vertex_improvable(g, t, 0));
+}
+
+TEST(CheckerTest, TheoremWitnessOnStar) {
+  graph::Graph g = graph::make_star(5);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  EXPECT_TRUE(theorem_witness_all_b(g, t));
+  EXPECT_EQ(crossing_edges_all_b(g, t), 0u);
+}
+
+TEST(CheckerTest, TheoremWitnessDetectsCrossingEdge) {
+  // Hub 0 with leaves 1..4 as tree; graph has extra edge 1-2. Removing the
+  // hub (S) leaves leaves 1..4 (all degree 1, not in B since k-1=3); edge
+  // 1-2 crosses two forest trees.
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(0, 4);
+  g.add_edge(1, 2);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  EXPECT_FALSE(theorem_witness_all_b(g, t));
+  EXPECT_EQ(crossing_edges_all_b(g, t), 1u);
+}
+
+TEST(CheckerTest, BlockedImpliesNoFrDirectImprovement) {
+  support::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(18, 0.25, rng);
+    const graph::RootedTree t = graph::random_spanning_tree(g, 0, rng);
+    const LocalOptReport report = local_optimality(g, t);
+    // Consistency: improvable + blocked partitions the max-degree set.
+    EXPECT_EQ(report.improvable.size() + report.blocked.size(),
+              t.max_degree_vertices().size());
+  }
+}
+
+}  // namespace
+}  // namespace mdst::core

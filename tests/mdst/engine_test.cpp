@@ -1,0 +1,206 @@
+// End-to-end tests of the distributed MDegST engine on hand-analysed
+// topologies plus invariant checks on random instances.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/checker.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+using core::EngineMode;
+using core::Options;
+using core::RunResult;
+using core::StopReason;
+
+Options opts(EngineMode mode, bool check = true) {
+  Options o;
+  o.mode = mode;
+  o.check_each_round = check;
+  o.max_rounds = 10'000;
+  return o;
+}
+
+TEST(EngineTest, SingleVertexTerminatesImmediately) {
+  graph::Graph g(1);
+  auto tree = graph::RootedTree::from_parents(0, {graph::kInvalidVertex});
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  EXPECT_EQ(run.final_degree, 0);
+  EXPECT_EQ(run.stop_reason, StopReason::kChain);
+  EXPECT_EQ(run.rounds, 1u);
+}
+
+TEST(EngineTest, TwoVerticesAreAChain) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  auto tree = graph::bfs_tree(g, 0);
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  EXPECT_EQ(run.final_degree, 1);
+  EXPECT_EQ(run.stop_reason, StopReason::kChain);
+}
+
+TEST(EngineTest, PathInitialTreeStopsAtChain) {
+  // Cycle graph, initial tree is the Hamiltonian path: k = 2 -> immediate stop.
+  graph::Graph g = graph::make_cycle(8);
+  auto tree = graph::bfs_tree(g, 0);  // BFS tree of a cycle has max degree 2
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  EXPECT_EQ(run.final_degree, 2);
+  EXPECT_EQ(run.stop_reason, StopReason::kChain);
+  EXPECT_EQ(run.improvements, 0u);
+}
+
+TEST(EngineTest, StarGraphCannotImprove) {
+  // The star graph's only spanning tree is the star itself.
+  graph::Graph g = graph::make_star(9);
+  auto tree = graph::bfs_tree(g, 0);
+  ASSERT_EQ(tree.max_degree(), 8u);
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  EXPECT_EQ(run.final_degree, 8);
+  EXPECT_EQ(run.stop_reason, StopReason::kLocallyOptimal);
+  EXPECT_EQ(run.improvements, 0u);
+}
+
+TEST(EngineTest, CompleteGraphFromStarReachesHamiltonianPath) {
+  // On K_n every fragment always has a leaf, so local search provably
+  // reaches max degree 2 from any start.
+  for (std::size_t n : {4u, 5u, 8u, 13u}) {
+    graph::Graph g = graph::make_complete(n);
+    auto star = graph::star_biased_tree(g);
+    ASSERT_EQ(star.max_degree(), n - 1);
+    const RunResult run = core::run_mdst(g, star, opts(EngineMode::kSingleImprovement));
+    EXPECT_EQ(run.final_degree, 2) << "n=" << n;
+    EXPECT_EQ(run.stop_reason, StopReason::kChain) << "n=" << n;
+    EXPECT_TRUE(run.tree.spans(g));
+  }
+}
+
+TEST(EngineTest, WheelFromHubStar) {
+  // Wheel graph: hub + cycle. Hub-star start has k = n-1; optimum is small.
+  graph::Graph g = graph::make_wheel(10);
+  auto star = graph::star_biased_tree(g);
+  ASSERT_EQ(star.max_degree(), 9u);
+  const RunResult run = core::run_mdst(g, star, opts(EngineMode::kSingleImprovement));
+  EXPECT_LE(run.final_degree, 3);
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(EngineTest, MaxDegreeNeverIncreasesAcrossRounds) {
+  support::Rng rng(7);
+  graph::Graph g = graph::make_gnp_connected(40, 0.15, rng);
+  auto tree = graph::star_biased_tree(g);
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  int last_k = run.initial_degree + 1;
+  for (const core::RoundStats& rs : run.round_stats) {
+    if (rs.k < 0) continue;
+    EXPECT_LE(rs.k, last_k);
+    last_k = rs.k;
+  }
+  EXPECT_LE(run.final_degree, run.initial_degree);
+}
+
+class EngineModeTest : public ::testing::TestWithParam<EngineMode> {};
+
+TEST_P(EngineModeTest, RandomGraphInvariants) {
+  const EngineMode mode = GetParam();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    support::Rng rng(support::derive_seed(42, seed));
+    graph::Graph g = graph::make_gnp_connected(32, 0.2, rng);
+    graph::assign_random_names(g, rng);
+    auto tree = graph::random_spanning_tree(g, 0, rng);
+    const int k_init = static_cast<int>(tree.max_degree());
+    const RunResult run = core::run_mdst(g, tree, opts(mode));
+    EXPECT_TRUE(run.tree.spans(g)) << "seed=" << seed;
+    EXPECT_LE(run.final_degree, k_init) << "seed=" << seed;
+    EXPECT_NE(run.stop_reason, StopReason::kNotStopped);
+    if (run.stop_reason == StopReason::kLocallyOptimal) {
+      // The stop rule fired because some max-degree vertex was blocked.
+      const core::LocalOptReport report = core::local_optimality(g, run.tree);
+      EXPECT_TRUE(report.any_blocked()) << "seed=" << seed;
+    }
+    if (mode == EngineMode::kStrictLot &&
+        run.stop_reason == StopReason::kAllMaxStuck) {
+      const core::LocalOptReport report = core::local_optimality(g, run.tree);
+      EXPECT_TRUE(report.all_blocked()) << "seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, EngineModeTest,
+                         ::testing::Values(EngineMode::kSingleImprovement,
+                                           EngineMode::kConcurrent,
+                                           EngineMode::kStrictLot));
+
+TEST(EngineTest, StrictLotBlocksEveryMaxVertex) {
+  support::Rng rng(11);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    graph::Graph g = graph::make_gnp_connected(24, 0.25, rng);
+    auto tree = graph::star_biased_tree(g);
+    const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kStrictLot));
+    if (run.final_degree <= 2) continue;
+    const core::LocalOptReport report = core::local_optimality(g, run.tree);
+    EXPECT_TRUE(report.all_blocked()) << "seed=" << seed;
+  }
+}
+
+TEST(EngineTest, DelaysDoNotChangeInvariants) {
+  support::Rng rng(5);
+  graph::Graph g = graph::make_gnp_connected(28, 0.2, rng);
+  auto tree = graph::star_biased_tree(g);
+  const int k_init = static_cast<int>(tree.max_degree());
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 9);
+    cfg.seed = seed;
+    const RunResult run =
+        core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement), cfg);
+    EXPECT_TRUE(run.tree.spans(g));
+    EXPECT_LE(run.final_degree, k_init);
+  }
+}
+
+TEST(EngineTest, MessageBudgetPerRoundIsLinearInEdges) {
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(48, 0.12, rng);
+  auto tree = graph::star_biased_tree(g);
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  const double n = static_cast<double>(g.vertex_count());
+  const double m = static_cast<double>(g.edge_count());
+  for (const core::RoundStats& rs : run.round_stats) {
+    // Section 4.2 budgets (ours: StartRound adds n-1 to the search phase).
+    EXPECT_LE(rs.search_msgs, 2 * n) << "round " << rs.round;
+    EXPECT_LE(rs.move_msgs, n) << "round " << rs.round;
+    EXPECT_LE(rs.wave_msgs, 3 * m + 2 * n) << "round " << rs.round;
+    EXPECT_LE(rs.choose_msgs, 3 * n) << "round " << rs.round;
+  }
+}
+
+TEST(EngineTest, BitWidthMatchesPaperClaimInSingleMode) {
+  support::Rng rng(9);
+  graph::Graph g = graph::make_gnp_connected(32, 0.2, rng);
+  auto tree = graph::random_spanning_tree(g, 0, rng);
+  const RunResult run = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement));
+  // "All messages are of size O(log n) ... at most four numbers or
+  // identities by message" — our single-mode messages carry <= 4 id fields.
+  EXPECT_LE(run.metrics.max_ids_carried(), 4u);
+}
+
+TEST(EngineTest, DeterministicGivenSeed) {
+  support::Rng rng(13);
+  graph::Graph g = graph::make_gnp_connected(30, 0.2, rng);
+  auto tree = graph::random_spanning_tree(g, 0, rng);
+  sim::SimConfig cfg;
+  cfg.delay = sim::DelayModel::uniform(1, 5);
+  cfg.seed = 77;
+  const RunResult a = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement), cfg);
+  const RunResult b = core::run_mdst(g, tree, opts(EngineMode::kSingleImprovement), cfg);
+  EXPECT_EQ(a.metrics.total_messages(), b.metrics.total_messages());
+  EXPECT_EQ(a.final_degree, b.final_degree);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace mdst

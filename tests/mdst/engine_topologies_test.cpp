@@ -1,0 +1,164 @@
+// Engine behaviour on hand-analysed topologies where the correct outcome is
+// known in closed form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/checker.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/exact.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+RunResult run(const graph::Graph& g, const graph::RootedTree& t,
+              EngineMode mode = EngineMode::kSingleImprovement) {
+  Options o;
+  o.mode = mode;
+  o.check_each_round = true;
+  return run_mdst(g, t, o, {});
+}
+
+TEST(TopologyTest, TreeInputHasNoCousinEdges) {
+  // When the graph itself is a tree, there is nothing to exchange: the
+  // first working round finds no candidate and the algorithm stops with the
+  // input tree intact.
+  support::Rng rng(1);
+  const graph::Graph g = graph::make_random_tree(20, rng);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  const int k = static_cast<int>(t.max_degree());
+  const RunResult r = run(g, t);
+  EXPECT_EQ(r.final_degree, k);
+  EXPECT_EQ(r.improvements, 0u);
+  if (k > 2) {
+    EXPECT_EQ(r.stop_reason, StopReason::kLocallyOptimal);
+    EXPECT_EQ(r.rounds, 1u);
+  }
+  // The tree is untouched as an edge set (MoveRoot may have reoriented it).
+  auto before = t.edges();
+  auto after = r.tree.edges();
+  auto by_endpoints = [](const graph::Edge& a, const graph::Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  std::sort(before.begin(), before.end(), by_endpoints);
+  std::sort(after.begin(), after.end(), by_endpoints);
+  EXPECT_EQ(before, after);
+}
+
+TEST(TopologyTest, CompleteGraphRoundCountMatchesPaper) {
+  // From the hub star on K_n the maximum degree is unique every round, so
+  // single mode uses exactly one round per unit of degree: k_init - k* + 1
+  // rounds total (the last round discovers k = 2 and stops).
+  for (const std::size_t n : {6u, 9u, 12u}) {
+    graph::Graph g = graph::make_complete(n);
+    const graph::RootedTree star = graph::star_biased_tree(g);
+    const RunResult r = run(g, star);
+    EXPECT_EQ(r.final_degree, 2);
+    EXPECT_EQ(r.rounds,
+              static_cast<std::uint32_t>(star.max_degree()) - 2 + 1)
+        << "n=" << n;
+    EXPECT_EQ(r.improvements, star.max_degree() - 2) << "n=" << n;
+  }
+}
+
+TEST(TopologyTest, CompleteBipartiteReachesOptimum) {
+  // K_{2,5}: Δ* = 3. Start from the worst tree (one left vertex adopting
+  // all right vertices: degree 5-6).
+  graph::Graph g = graph::make_complete_bipartite(2, 5);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult r = run(g, start);
+  const int optimum = exact_mdst_degree(g).optimal_degree;
+  ASSERT_EQ(optimum, 3);
+  EXPECT_LE(r.final_degree, optimum + 1);
+  EXPECT_GE(r.final_degree, optimum);
+}
+
+TEST(TopologyTest, SpiderIsExactlyOptimal) {
+  // Spider with three legs of length 2: Δ* = 3 and any spanning tree IS the
+  // graph (it is a tree), so the algorithm must keep degree 3.
+  graph::Graph spider(7);
+  spider.add_edge(0, 1);
+  spider.add_edge(1, 2);
+  spider.add_edge(0, 3);
+  spider.add_edge(3, 4);
+  spider.add_edge(0, 5);
+  spider.add_edge(5, 6);
+  const RunResult r = run(spider, graph::bfs_tree(spider, 0));
+  EXPECT_EQ(r.final_degree, 3);
+  EXPECT_EQ(r.improvements, 0u);
+}
+
+TEST(TopologyTest, TorusReachesLowDegree) {
+  graph::Graph g = graph::make_torus(4, 4);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult r = run(g, start);
+  EXPECT_LE(r.final_degree, 3);  // torus has a Hamiltonian path (Δ* = 2)
+}
+
+TEST(TopologyTest, LollipopKeepsPathTail) {
+  // Lollipop: clique K6 + path of 5. The path tail forces its structure;
+  // only the clique part can improve.
+  graph::Graph g = graph::make_lollipop(6, 5);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult r = run(g, start);
+  EXPECT_LE(r.final_degree, 3);
+  EXPECT_TRUE(r.tree.spans(g));
+}
+
+TEST(TopologyTest, NamesNotIndicesDriveTieBreaks) {
+  // Two degree-k vertices; the round target must be the one with the
+  // smaller NAME even when its index is larger.
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(20, 0.3, rng);
+  // Names reversed w.r.t. indices.
+  std::vector<graph::NodeName> names(20);
+  for (std::size_t i = 0; i < 20; ++i) names[i] = static_cast<graph::NodeName>(19 - i);
+  g.set_names(names);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult r = run(g, start);
+  EXPECT_TRUE(r.tree.spans(g));
+  EXPECT_LE(r.final_degree, r.initial_degree);
+}
+
+TEST(TopologyTest, WheelFamilySweep) {
+  for (const std::size_t n : {6u, 10u, 16u}) {
+    graph::Graph g = graph::make_wheel(n);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    ASSERT_EQ(start.max_degree(), n - 1);
+    const RunResult r = run(g, start, EngineMode::kStrictLot);
+    // Wheels have Hamiltonian paths: strict LOT should end at 2 or 3.
+    EXPECT_LE(r.final_degree, 3) << "n=" << n;
+  }
+}
+
+TEST(TopologyTest, DensityExtremes) {
+  support::Rng rng(5);
+  // Barely connected: a random tree plus 2 extra edges.
+  graph::Graph sparse = graph::make_gnm_connected(24, 25, rng);
+  const RunResult rs = run(sparse, graph::star_biased_tree(sparse));
+  EXPECT_TRUE(rs.tree.spans(sparse));
+  // Near-complete.
+  graph::Graph dense = graph::make_gnp_connected(16, 0.9, rng);
+  const RunResult rd = run(dense, graph::star_biased_tree(dense));
+  EXPECT_EQ(rd.final_degree, 2);  // dense graphs are Hamiltonian-path rich
+}
+
+TEST(TopologyTest, StaggeredRootStart) {
+  // The initial root may start late (start_spread); nothing else changes.
+  support::Rng rng(7);
+  graph::Graph g = graph::make_gnp_connected(24, 0.25, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  sim::SimConfig cfg;
+  cfg.start_spread = 200;
+  cfg.seed = 3;
+  const RunResult r = run_mdst(g, start, {}, cfg);
+  EXPECT_TRUE(r.tree.spans(g));
+  EXPECT_LE(r.final_degree, r.initial_degree);
+}
+
+}  // namespace
+}  // namespace mdst::core

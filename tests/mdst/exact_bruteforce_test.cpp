@@ -1,0 +1,74 @@
+// Oracle test: the branch-and-bound solver against exhaustive enumeration
+// of all spanning trees on tiny graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "mdst/exact.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Brute force: enumerate every edge subset with n-1 edges by bitmask; the
+/// minimum max-degree over spanning subsets. Only for m <= ~20.
+int brute_force_mdst(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  const std::size_t m = g.edge_count();
+  if (n <= 1) return 0;
+  int best = static_cast<int>(n);  // sentinel above any degree
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != n - 1) continue;
+    graph::Dsu dsu(n);
+    std::vector<int> degree(n, 0);
+    bool acyclic = true;
+    for (std::size_t e = 0; e < m && acyclic; ++e) {
+      if ((mask & (1u << e)) == 0) continue;
+      const graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
+      if (!dsu.unite(static_cast<std::size_t>(edge.u),
+                     static_cast<std::size_t>(edge.v))) {
+        acyclic = false;
+        break;
+      }
+      ++degree[static_cast<std::size_t>(edge.u)];
+      ++degree[static_cast<std::size_t>(edge.v)];
+    }
+    if (acyclic && dsu.component_count() == 1) {
+      best = std::min(best, *std::max_element(degree.begin(), degree.end()));
+    }
+  }
+  return best;
+}
+
+TEST(ExactBruteForceTest, AgreesOnRandomTinyGraphs) {
+  support::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t n = 5 + rng.next_below(3);           // 5..7
+    const std::size_t extra = 1 + rng.next_below(4);       // m = n-1+1..4
+    const std::size_t max_m = n * (n - 1) / 2;
+    const std::size_t m = std::min(n - 1 + extra, max_m);
+    graph::Graph g = graph::make_gnm_connected(n, m, rng);
+    const int oracle = brute_force_mdst(g);
+    const ExactResult solver = exact_mdst_degree(g);
+    ASSERT_TRUE(solver.proven);
+    EXPECT_EQ(solver.optimal_degree, oracle)
+        << "instance " << i << " " << g.summary();
+  }
+}
+
+TEST(ExactBruteForceTest, AgreesOnNamedTinyGraphs) {
+  EXPECT_EQ(brute_force_mdst(graph::make_cycle(6)),
+            exact_mdst_degree(graph::make_cycle(6)).optimal_degree);
+  EXPECT_EQ(brute_force_mdst(graph::make_complete(5)),
+            exact_mdst_degree(graph::make_complete(5)).optimal_degree);
+  EXPECT_EQ(brute_force_mdst(graph::make_wheel(6)),
+            exact_mdst_degree(graph::make_wheel(6)).optimal_degree);
+  EXPECT_EQ(brute_force_mdst(graph::make_complete_bipartite(2, 4)),
+            exact_mdst_degree(graph::make_complete_bipartite(2, 4)).optimal_degree);
+}
+
+}  // namespace
+}  // namespace mdst::core

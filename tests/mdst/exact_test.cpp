@@ -1,0 +1,103 @@
+#include "mdst/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mdst/bounds.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(ExactTest, KnownOptimaOnNamedGraphs) {
+  EXPECT_EQ(exact_mdst_degree(graph::make_path(6)).optimal_degree, 2);
+  EXPECT_EQ(exact_mdst_degree(graph::make_cycle(7)).optimal_degree, 2);
+  EXPECT_EQ(exact_mdst_degree(graph::make_complete(8)).optimal_degree, 2);
+  EXPECT_EQ(exact_mdst_degree(graph::make_star(7)).optimal_degree, 6);
+  EXPECT_EQ(exact_mdst_degree(graph::make_grid(3, 3)).optimal_degree, 2);
+  EXPECT_EQ(exact_mdst_degree(graph::make_hypercube(3)).optimal_degree, 2);
+  EXPECT_EQ(exact_mdst_degree(graph::make_wheel(8)).optimal_degree, 2);
+}
+
+TEST(ExactTest, SpiderNeedsDegreeThree) {
+  // Three paths of length 2 glued at vertex 0: no Hamiltonian path, and the
+  // centre must take all three branches.
+  graph::Graph spider(7);
+  spider.add_edge(0, 1);
+  spider.add_edge(1, 2);
+  spider.add_edge(0, 3);
+  spider.add_edge(3, 4);
+  spider.add_edge(0, 5);
+  spider.add_edge(5, 6);
+  EXPECT_EQ(exact_mdst_degree(spider).optimal_degree, 3);
+}
+
+TEST(ExactTest, CompleteBipartiteKnownValue) {
+  // K_{2,5}: the two left vertices must absorb all 5 right ones plus link
+  // to each other via a right vertex: Δ* = 3.
+  graph::Graph g = graph::make_complete_bipartite(2, 5);
+  EXPECT_EQ(exact_mdst_degree(g).optimal_degree, 3);
+  // K_{2,3}: Δ* = 2 (Hamiltonian path R-L-R-L-R).
+  EXPECT_EQ(exact_mdst_degree(graph::make_complete_bipartite(2, 3)).optimal_degree,
+            2);
+}
+
+TEST(ExactTest, TrivialSizes) {
+  graph::Graph g1(1);
+  EXPECT_EQ(exact_mdst_degree(g1).optimal_degree, 0);
+  graph::Graph g2(2);
+  g2.add_edge(0, 1);
+  EXPECT_EQ(exact_mdst_degree(g2).optimal_degree, 1);
+}
+
+TEST(ExactTest, FeasibilityMonotone) {
+  support::Rng rng(1);
+  graph::Graph g = graph::make_gnp_connected(12, 0.3, rng);
+  const int opt = exact_mdst_degree(g).optimal_degree;
+  for (int d = 1; d <= opt + 2; ++d) {
+    const Feasibility f = spanning_tree_with_degree(g, d);
+    ASSERT_TRUE(f.proven);
+    EXPECT_EQ(f.feasible, d >= opt) << "d=" << d << " opt=" << opt;
+  }
+}
+
+TEST(ExactTest, AgreementWithHamiltonianPathSearch) {
+  support::Rng rng(2);
+  for (int i = 0; i < 12; ++i) {
+    graph::Graph g = graph::make_gnp_connected(10, 0.3, rng);
+    const bool ham = graph::has_hamiltonian_path(g);
+    const int opt = exact_mdst_degree(g).optimal_degree;
+    if (g.vertex_count() >= 3) {
+      EXPECT_EQ(opt == 2, ham) << "instance " << i;
+    }
+  }
+}
+
+TEST(ExactTest, OptimumAtLeastLowerBound) {
+  support::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(14, 0.2, rng);
+    EXPECT_GE(exact_mdst_degree(g).optimal_degree, degree_lower_bound(g));
+  }
+}
+
+TEST(ExactTest, BudgetExhaustionReported) {
+  support::Rng rng(4);
+  graph::Graph g = graph::make_gnp_connected(18, 0.4, rng);
+  const ExactResult r = exact_mdst_degree(g, /*budget=*/10);
+  // With an absurd budget the solver must admit it could not prove.
+  if (!r.proven) {
+    EXPECT_GE(r.optimal_degree, 2);
+  }
+}
+
+TEST(ExactTest, TreeInputIsItsOwnOptimum) {
+  support::Rng rng(5);
+  const graph::Graph t = graph::make_random_tree(12, rng);
+  EXPECT_EQ(exact_mdst_degree(t).optimal_degree,
+            static_cast<int>(t.max_degree()));
+}
+
+}  // namespace
+}  // namespace mdst::core

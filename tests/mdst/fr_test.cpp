@@ -1,0 +1,110 @@
+#include "mdst/furer_raghavachari.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/bounds.hpp"
+#include "mdst/checker.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(FrTest, CompleteGraphReachesPath) {
+  graph::Graph g = graph::make_complete(9);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  for (FrVariant variant : {FrVariant::kPure, FrVariant::kFull}) {
+    const FrResult r = furer_raghavachari(g, start, variant);
+    EXPECT_EQ(r.final_degree, 2);
+    EXPECT_TRUE(r.tree.spans(g));
+    EXPECT_GT(r.exchanges, 0u);
+  }
+}
+
+TEST(FrTest, StarGraphUnimprovable) {
+  graph::Graph g = graph::make_star(8);
+  const graph::RootedTree start = graph::bfs_tree(g, 0);
+  const FrResult r = furer_raghavachari(g, start, FrVariant::kFull);
+  EXPECT_EQ(r.final_degree, 7);
+  EXPECT_EQ(r.exchanges, 0u);
+  EXPECT_EQ(r.propagations, 0u);
+}
+
+TEST(FrTest, NeverIncreasesDegree) {
+  support::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(30, 0.15, rng);
+    const graph::RootedTree start = graph::random_spanning_tree(g, 0, rng);
+    const FrResult r = furer_raghavachari(g, start, FrVariant::kFull);
+    EXPECT_LE(r.final_degree, r.initial_degree);
+    EXPECT_TRUE(r.tree.spans(g));
+  }
+}
+
+TEST(FrTest, FullVariantSatisfiesTheoremWitness) {
+  support::Rng rng(2);
+  for (int i = 0; i < 12; ++i) {
+    graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    const FrResult r = furer_raghavachari(g, start, FrVariant::kFull);
+    if (r.final_degree <= 2) continue;
+    // The reported flag must agree with the global checker, and on these
+    // instances the witness is expected to be achieved.
+    EXPECT_EQ(r.witness, theorem_witness_all_b(g, r.tree)) << "instance " << i;
+    EXPECT_TRUE(r.witness)
+        << "instance " << i << ": FR(full) must end with the Theorem-1 witness";
+  }
+}
+
+TEST(FrTest, PureVariantEndsLocallyOptimal) {
+  support::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+    const graph::RootedTree start = graph::random_spanning_tree(g, 0, rng);
+    const FrResult r = furer_raghavachari(g, start, FrVariant::kPure);
+    if (r.final_degree <= 2) continue;
+    const LocalOptReport report = local_optimality(g, r.tree);
+    EXPECT_TRUE(report.all_blocked()) << "instance " << i;
+  }
+}
+
+TEST(FrTest, FullAtLeastAsGoodAsPure) {
+  support::Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    graph::Graph g = graph::make_gnp_connected(28, 0.18, rng);
+    const graph::RootedTree start = graph::star_biased_tree(g);
+    const FrResult pure = furer_raghavachari(g, start, FrVariant::kPure);
+    const FrResult full = furer_raghavachari(g, start, FrVariant::kFull);
+    EXPECT_LE(full.final_degree, pure.final_degree) << "instance " << i;
+  }
+}
+
+TEST(FrTest, FinalDegreeAtLeastLowerBound) {
+  support::Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    graph::Graph g = graph::make_gnp_connected(20, 0.25, rng);
+    const graph::RootedTree start = graph::random_spanning_tree(g, 0, rng);
+    const FrResult r = furer_raghavachari(g, start, FrVariant::kFull);
+    EXPECT_GE(r.final_degree, degree_lower_bound(g));
+  }
+}
+
+TEST(FrTest, HypercubeAndGrid) {
+  support::Rng rng(6);
+  {
+    graph::Graph g = graph::make_hypercube(4);
+    const FrResult r =
+        furer_raghavachari(g, graph::star_biased_tree(g), FrVariant::kFull);
+    EXPECT_LE(r.final_degree, 3);  // hypercubes are Hamiltonian: Δ* = 2
+  }
+  {
+    graph::Graph g = graph::make_grid(5, 5);
+    const FrResult r =
+        furer_raghavachari(g, graph::bfs_tree(g, 12), FrVariant::kFull);
+    EXPECT_LE(r.final_degree, 3);  // grids are Hamiltonian-path graphs
+  }
+}
+
+}  // namespace
+}  // namespace mdst::core

@@ -1,0 +1,248 @@
+// Unit tests of the Node state machine through a mock context — exercises
+// individual handlers without a simulator: aggregation rules, path reversal
+// mechanics, stale-commit rejection, and contract violations.
+#include "mdst/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "mdst/messages.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Captures sends instead of delivering them.
+class MockCtx final : public sim::IContext<Message> {
+ public:
+  struct Sent {
+    sim::NodeId to;
+    Message message;
+  };
+
+  void send(sim::NodeId to, Message message) override {
+    sent.push_back({to, std::move(message)});
+  }
+  sim::NodeId self() const override { return self_id; }
+  sim::Time now() const override { return 0; }
+  void annotate(const std::string& label) override {
+    annotations.push_back(label);
+  }
+
+  sim::NodeId self_id = 0;
+  std::vector<Sent> sent;
+  std::vector<std::string> annotations;
+
+  /// Pop the oldest captured send, asserting its type.
+  template <typename M>
+  std::pair<sim::NodeId, M> take() {
+    MDST_REQUIRE(!sent.empty(), "no sent message");
+    auto out = std::move(sent.front());
+    sent.erase(sent.begin());
+    MDST_REQUIRE(std::holds_alternative<M>(out.message),
+                 "unexpected message type");
+    return {out.to, std::get<M>(out.message)};
+  }
+};
+
+/// Environment of node `id` with the given neighbour ids; names == ids.
+sim::NodeEnv env_of(sim::NodeId id, std::vector<sim::NodeId> neighbors) {
+  sim::NodeEnv env;
+  env.id = id;
+  env.name = id;
+  for (const sim::NodeId nb : neighbors) env.neighbors.push_back({nb, nb});
+  return env;
+}
+
+TEST(NodeUnitTest, ConstructionValidatesTopology) {
+  // Parent must be a neighbour.
+  EXPECT_THROW(Node(env_of(0, {1, 2}), /*parent=*/5, {}, {}),
+               ContractViolation);
+  // Children must be neighbours.
+  EXPECT_THROW(Node(env_of(0, {1, 2}), 1, {3}, {}), ContractViolation);
+  // Valid construction.
+  Node node(env_of(0, {1, 2}), 1, {2}, {});
+  EXPECT_EQ(node.tree_degree(), 2);
+  EXPECT_EQ(node.parent(), 1);
+}
+
+TEST(NodeUnitTest, LeafRepliesToStartRoundImmediately) {
+  Node leaf(env_of(3, {1}), /*parent=*/1, {}, {});
+  MockCtx ctx;
+  ctx.self_id = 3;
+  leaf.on_message(ctx, 1, StartRound{1, false});
+  const auto [to, reply] = ctx.take<SearchReply>();
+  EXPECT_EQ(to, 1);
+  EXPECT_EQ(reply.degree, 1);   // a leaf has tree degree 1
+  EXPECT_EQ(reply.who, 3);      // its own name
+  EXPECT_EQ(reply.deg_all, 1);
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(NodeUnitTest, InternalNodeAggregatesMaxDegreeMinName) {
+  // Node 2 with parent 0 and children {5, 7}; its own degree is 3.
+  Node node(env_of(2, {0, 5, 7}), 0, {5, 7}, {});
+  MockCtx ctx;
+  ctx.self_id = 2;
+  node.on_message(ctx, 0, StartRound{4, false});
+  // Forwards the broadcast to both children.
+  (void)ctx.take<StartRound>();
+  (void)ctx.take<StartRound>();
+  EXPECT_TRUE(ctx.sent.empty());
+  // Children report (degree, who): max degree wins, ties by min name.
+  node.on_message(ctx, 5, SearchReply{5, 9, 5});
+  EXPECT_TRUE(ctx.sent.empty());  // still waiting for child 7
+  node.on_message(ctx, 7, SearchReply{5, 4, 6});
+  const auto [to, reply] = ctx.take<SearchReply>();
+  EXPECT_EQ(to, 0);
+  EXPECT_EQ(reply.degree, 5);
+  EXPECT_EQ(reply.who, 4);      // min name among the two degree-5 entries
+  EXPECT_EQ(reply.deg_all, 6);  // overall max propagates separately
+}
+
+TEST(NodeUnitTest, MoveRootReversesAndForwards) {
+  // Node 4, parent 1, children {6}: target is elsewhere (via child 6 after
+  // the search phase — simulate the search first so via_ points at 6).
+  Node node(env_of(4, {1, 6}), 1, {6}, {});
+  MockCtx ctx;
+  ctx.self_id = 4;
+  node.on_message(ctx, 1, StartRound{1, false});
+  (void)ctx.take<StartRound>();
+  node.on_message(ctx, 6, SearchReply{7, 6, 7});  // the winner lives below 6
+  (void)ctx.take<SearchReply>();
+  // MoveRoot arrives from the old root (our parent).
+  node.on_message(ctx, 1, MoveRoot{7, 6});
+  const auto [to, fwd] = ctx.take<MoveRoot>();
+  EXPECT_EQ(to, 6);
+  EXPECT_EQ(fwd.target, 6);
+  // Path reversal: old parent became a child, next hop became the parent.
+  EXPECT_EQ(node.parent(), 6);
+  ASSERT_EQ(node.children().size(), 1u);
+  EXPECT_EQ(node.children()[0], 1);
+  EXPECT_EQ(node.tree_degree(), 2);  // degree preserved
+}
+
+TEST(NodeUnitTest, ChildRequestValidatesDegreeCap) {
+  // w = node 2 with tree degree 2 participating in a wave with k = 4:
+  // cap is k-2 = 2, so one accept is allowed, after which degree 3 > cap.
+  Node w(env_of(2, {0, 5, 7, 8}), 0, {5}, {});
+  MockCtx ctx;
+  ctx.self_id = 2;
+  // Deliver the wave so the node has fragment tags (member of (p=9, c=0)).
+  w.on_message(ctx, 0, Bfs{4, FragTag{9, 0}, FragTag{9, 0}});
+  ctx.sent.clear();  // wave forwarding is not under test here
+  // First request from a different fragment: accept.
+  w.on_message(ctx, 7, ChildRequest{4, FragTag{9, 1}});
+  (void)ctx.take<ChildAccept>();
+  EXPECT_EQ(w.tree_degree(), 3);
+  // Second request: degree cap now exceeded -> reject.
+  w.on_message(ctx, 8, ChildRequest{4, FragTag{9, 1}});
+  (void)ctx.take<ChildReject>();
+  EXPECT_EQ(w.tree_degree(), 3);
+}
+
+TEST(NodeUnitTest, ChildRequestRejectsSameFragment) {
+  Node w(env_of(2, {0, 7}), 0, {}, {});
+  MockCtx ctx;
+  ctx.self_id = 2;
+  w.on_message(ctx, 0, Bfs{5, FragTag{9, 0}, FragTag{9, 0}});
+  ctx.sent.clear();
+  // Same top fragment (9, 0): the exchange would not merge two fragments.
+  w.on_message(ctx, 7, ChildRequest{5, FragTag{9, 0}});
+  (void)ctx.take<ChildReject>();
+}
+
+TEST(NodeUnitTest, ReverseCascadesAndDetaches) {
+  // Chain: p(0) - y(1) - x(2) - u(3); node under test is y (id 1).
+  // After u attached elsewhere, Reverse flows u->x->y; y's old parent is
+  // the round root p (name 0), so y emits Detach to p.
+  Node y(env_of(1, {0, 2}), 0, {2}, {});
+  MockCtx ctx;
+  ctx.self_id = 1;
+  y.on_message(ctx, 2, Reverse{/*stop_at=*/0});
+  const auto [to, detach] = ctx.take<Detach>();
+  (void)detach;
+  EXPECT_EQ(to, 0);
+  EXPECT_EQ(y.parent(), 2);            // now points toward u
+  EXPECT_TRUE(y.children().empty());   // p edge cut, 2 became parent
+  EXPECT_EQ(y.tree_degree(), 1);
+}
+
+TEST(NodeUnitTest, ReverseForwardsWhenRootIsFarther) {
+  // x (id 2) with parent y (id 1), child u (id 3); stop_at = 0 (not y), so
+  // x forwards Reverse to y and keeps y as a child.
+  Node x(env_of(2, {1, 3}), 1, {3}, {});
+  MockCtx ctx;
+  ctx.self_id = 2;
+  x.on_message(ctx, 3, Reverse{/*stop_at=*/0});
+  const auto [to, fwd] = ctx.take<Reverse>();
+  EXPECT_EQ(to, 1);
+  EXPECT_EQ(fwd.stop_at, 0);
+  EXPECT_EQ(x.parent(), 3);
+  ASSERT_EQ(x.children().size(), 1u);
+  EXPECT_EQ(x.children()[0], 1);
+}
+
+TEST(NodeUnitTest, TerminateFloodsDownAndFinishes) {
+  Node node(env_of(2, {0, 5, 7}), 0, {5, 7}, {});
+  MockCtx ctx;
+  ctx.self_id = 2;
+  EXPECT_FALSE(node.done());
+  node.on_message(ctx, 0, Terminate{});
+  EXPECT_TRUE(node.done());
+  (void)ctx.take<Terminate>();
+  (void)ctx.take<Terminate>();
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(NodeUnitTest, TerminateFromNonParentViolatesContract) {
+  Node node(env_of(2, {0, 5}), 0, {5}, {});
+  MockCtx ctx;
+  EXPECT_THROW(node.on_message(ctx, 5, Terminate{}), ContractViolation);
+}
+
+TEST(NodeUnitTest, CandidateOrderingPrefersLowEndDegreeThenNames) {
+  const Candidate a{1, 2, 3, {}, {}};
+  const Candidate b{1, 2, 4, {}, {}};
+  const Candidate c{0, 9, 3, {}, {}};
+  EXPECT_TRUE(a < b);   // lower endpoint degree first
+  EXPECT_TRUE(c < a);   // then lower u name
+  EXPECT_FALSE(a < a);
+}
+
+TEST(NodeUnitTest, FragTagOrdering) {
+  EXPECT_TRUE((FragTag{1, 5}) < (FragTag{2, 0}));
+  EXPECT_TRUE((FragTag{1, 5}) < (FragTag{1, 6}));
+  EXPECT_EQ((FragTag{1, 5}), (FragTag{1, 5}));
+  EXPECT_FALSE(FragTag{}.valid());
+  EXPECT_TRUE((FragTag{0, 0}).valid());
+}
+
+TEST(NodeUnitTest, MessageIdBudgets) {
+  // Single-mode shapes carry at most 4 identity fields.
+  const StartRound start{1, false};
+  EXPECT_LE(start.ids_carried(), 4u);
+  const SearchReply reply{3, 7, 3};
+  EXPECT_LE(reply.ids_carried(), 4u);
+  const MoveRoot move{5, 2};
+  EXPECT_LE(move.ids_carried(), 4u);
+  const Cut cut{5, 1, FragTag{}};
+  EXPECT_LE(cut.ids_carried(), 4u);
+  const Bfs bfs_same{5, FragTag{1, 2}, FragTag{1, 2}};
+  EXPECT_LE(bfs_same.ids_carried(), 4u);
+  const CousinReply cousin{2, FragTag{1, 2}, FragTag{1, 2}};
+  EXPECT_LE(cousin.ids_carried(), 4u);
+  const Update update{1, 2, 5};
+  EXPECT_LE(update.ids_carried(), 4u);
+  // Concurrent-mode shapes may carry up to 8.
+  const Bfs bfs_sub{5, FragTag{1, 2}, FragTag{3, 4}};
+  EXPECT_LE(bfs_sub.ids_carried(), 8u);
+  BfsBack back;
+  back.best_top = Candidate{1, 2, 3, FragTag{1, 2}, FragTag{1, 2}};
+  back.best_sub = Candidate{4, 5, 2, FragTag{1, 2}, FragTag{3, 4}};
+  EXPECT_LE(back.ids_carried(), 8u);
+}
+
+}  // namespace
+}  // namespace mdst::core

@@ -1,0 +1,86 @@
+// Tests of the degree-target early exit (paper §1: trees whose degree
+// "cannot exceed a given value k").
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(TargetDegreeTest, StopsAsSoonAsTargetMet) {
+  support::Rng rng(1);
+  graph::Graph g = graph::make_complete(16);
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  Options options;
+  options.target_degree = 6;
+  const RunResult run = run_mdst(g, star, options, {});
+  EXPECT_EQ(run.stop_reason, StopReason::kTargetReached);
+  EXPECT_LE(run.final_degree, 6);
+  // It must not have over-achieved by much: the target check fires at the
+  // first round whose max degree satisfies it.
+  EXPECT_GE(run.final_degree, 5);
+  // Fewer rounds than running to the Hamiltonian path.
+  const RunResult full = run_mdst(g, star, {}, {});
+  EXPECT_LT(run.rounds, full.rounds);
+  EXPECT_EQ(full.final_degree, 2);
+}
+
+TEST(TargetDegreeTest, ImmediateWhenAlreadySatisfied) {
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(24, 0.3, rng);
+  const graph::RootedTree t = graph::random_spanning_tree(g, 0, rng);
+  Options options;
+  options.target_degree = static_cast<int>(t.max_degree());
+  const RunResult run = run_mdst(g, t, options, {});
+  EXPECT_EQ(run.stop_reason, StopReason::kTargetReached);
+  EXPECT_EQ(run.rounds, 1u);
+  EXPECT_EQ(run.improvements, 0u);
+}
+
+TEST(TargetDegreeTest, UnreachableTargetFallsBackToLocalOptimum) {
+  // Star graph: degree n-1 forever; target 3 can never be met, so the run
+  // ends exactly like an untargeted one.
+  graph::Graph g = graph::make_star(8);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  Options options;
+  options.target_degree = 3;
+  const RunResult run = run_mdst(g, t, options, {});
+  EXPECT_EQ(run.stop_reason, StopReason::kLocallyOptimal);
+  EXPECT_EQ(run.final_degree, 7);
+}
+
+TEST(TargetDegreeTest, ChainDetectionStillWins) {
+  // If the tree reaches degree 2, kChain reports before the target check.
+  graph::Graph g = graph::make_complete(8);
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  Options options;
+  options.target_degree = 2;
+  const RunResult run = run_mdst(g, star, options, {});
+  EXPECT_EQ(run.final_degree, 2);
+  EXPECT_EQ(run.stop_reason, StopReason::kChain);
+}
+
+TEST(TargetDegreeTest, WorksInAllModes) {
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(32, 0.25, rng);
+  const graph::RootedTree star = graph::star_biased_tree(g);
+  const int target = static_cast<int>(star.max_degree()) / 2;
+  for (const EngineMode mode :
+       {EngineMode::kSingleImprovement, EngineMode::kConcurrent,
+        EngineMode::kStrictLot}) {
+    Options options;
+    options.mode = mode;
+    options.target_degree = target;
+    const RunResult run = run_mdst(g, star, options, {});
+    EXPECT_TRUE(run.tree.spans(g)) << to_string(mode);
+    if (run.stop_reason == StopReason::kTargetReached) {
+      EXPECT_LE(run.final_degree, target) << to_string(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdst::core

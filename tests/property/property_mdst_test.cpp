@@ -1,0 +1,149 @@
+// Property sweep over the distributed MDegST algorithm: families × sizes ×
+// engine modes × delay models × seeds. Every combination must satisfy the
+// protocol's invariants; the sweep is the library's main defence in depth.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/experiment.hpp"
+#include "graph/generators.hpp"
+#include "mdst/checker.hpp"
+#include "runtime/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+struct SweepParam {
+  std::string family;
+  std::size_t n;
+  core::EngineMode mode;
+  int delay_kind;  // 0 unit, 1 uniform, 2 heavy tail
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  std::string mode = core::to_string(p.mode);
+  const char* delay = p.delay_kind == 0 ? "unit"
+                      : p.delay_kind == 1 ? "uniform"
+                                          : "heavy";
+  return p.family + "_n" + std::to_string(p.n) + "_" + mode + "_" + delay;
+}
+
+sim::DelayModel delay_for(int kind) {
+  switch (kind) {
+    case 1: return sim::DelayModel::uniform(1, 8);
+    case 2: return sim::DelayModel::heavy_tail(0.25);
+    default: return sim::DelayModel::unit();
+  }
+}
+
+class MdstSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MdstSweep, Invariants) {
+  const SweepParam& p = GetParam();
+  for (std::uint64_t rep = 0; rep < 3; ++rep) {
+    analysis::TrialSpec spec;
+    spec.family = p.family;
+    spec.n = p.n;
+    spec.base_seed = 0xfeed;
+    spec.repetition = rep;
+    spec.initial_tree = graph::InitialTreeKind::kStarBiased;
+    spec.options.mode = p.mode;
+    spec.options.check_each_round = true;  // mid-run validation after swaps
+    spec.delay = delay_for(p.delay_kind);
+    const analysis::TrialRecord r = analysis::run_trial(spec);
+
+    // P1: the result spans the graph.
+    ASSERT_TRUE(r.run.tree.spans(r.graph)) << "rep " << rep;
+    // P2: the degree never got worse, and never beats the global optimum
+    //     floor of 2.
+    EXPECT_LE(r.k_final, r.k_init) << "rep " << rep;
+    EXPECT_GE(r.k_final, r.n >= 3 ? 2 : static_cast<int>(r.n) - 1);
+    // P3: a stop reason was recorded.
+    EXPECT_NE(r.stop_reason, core::StopReason::kNotStopped);
+    // P4: monotone non-increasing round degrees.
+    int last_k = r.k_init + 1;
+    for (const core::RoundStats& rs : r.run.round_stats) {
+      if (rs.k < 0) continue;
+      EXPECT_LE(rs.k, last_k) << "rep " << rep << " round " << rs.round;
+      last_k = rs.k;
+    }
+    // P5: message width stays within the mode's identity budget.
+    const std::uint64_t id_budget =
+        p.mode == core::EngineMode::kConcurrent ? 8 : 4;
+    EXPECT_LE(r.max_ids, id_budget) << "rep " << rep;
+    // P6: stop certificates hold in the final tree.
+    if (r.stop_reason == core::StopReason::kLocallyOptimal && r.k_final > 2) {
+      EXPECT_TRUE(core::local_optimality(r.graph, r.run.tree).any_blocked())
+          << "rep " << rep;
+    }
+    if (r.stop_reason == core::StopReason::kAllMaxStuck && r.k_final > 2) {
+      EXPECT_TRUE(core::local_optimality(r.graph, r.run.tree).all_blocked())
+          << "rep " << rep;
+    }
+    // P7: cost stays within the coarse global envelopes O(n*m) / O(n^2)
+    //     with explicit constants (loose by design — catches blowups).
+    EXPECT_LE(r.messages, 64 * (r.n + 1) * (r.m + 1)) << "rep " << rep;
+    EXPECT_LE(r.causal_time, 64 * (r.n + 1) * (r.n + 1)) << "rep " << rep;
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  const core::EngineMode modes[] = {core::EngineMode::kSingleImprovement,
+                                    core::EngineMode::kConcurrent,
+                                    core::EngineMode::kStrictLot};
+  for (const char* family :
+       {"gnp_sparse", "gnp_dense", "geometric", "barabasi_albert",
+        "small_world", "hypercube", "grid", "complete"}) {
+    for (const std::size_t n : {std::size_t{17}, std::size_t{33}}) {
+      for (const core::EngineMode mode : modes) {
+        // Delay model varies with the mode index to keep the matrix lean
+        // but cover every pair somewhere in the sweep.
+        for (int delay = 0; delay < 3; ++delay) {
+          if ((n == 17) != (delay != 1)) continue;
+          out.push_back({family, n, mode, delay});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MdstSweep, ::testing::ValuesIn(sweep_params()),
+                         param_name);
+
+// --- Schedule-independence: same instance, many schedules ------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleSweep, QualityIsScheduleIndependent) {
+  const int instance = GetParam();
+  support::Rng rng(
+      support::derive_seed(0xabc, static_cast<std::uint64_t>(instance)));
+  graph::Graph g = graph::make_gnp_connected(28, 0.2, rng);
+  graph::assign_random_names(g, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  int first_degree = -1;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 11);
+    cfg.seed = seed;
+    const core::RunResult run = core::run_mdst(g, start, {}, cfg);
+    ASSERT_TRUE(run.tree.spans(g));
+    if (first_degree == -1) {
+      first_degree = run.final_degree;
+    } else {
+      // Local search is tie-break sensitive; different schedules may follow
+      // different improvement paths but land in the same quality class.
+      EXPECT_LE(std::abs(run.final_degree - first_degree), 1)
+          << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ScheduleSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace mdst

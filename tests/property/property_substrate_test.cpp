@@ -1,0 +1,167 @@
+// Property sweeps over the substrates: graph invariants the generators must
+// satisfy, spanning-tree protocol postconditions under randomized schedules,
+// and termination-by-process audits.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "spanning/dfs_st.hpp"
+#include "spanning/flood_st.hpp"
+#include "spanning/ghs_mst.hpp"
+#include "spanning/leader_elect.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+// --- Generators --------------------------------------------------------
+
+struct FamilyCase {
+  std::string family;
+  std::size_t n;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(GeneratorSweep, StructuralInvariants) {
+  const FamilyCase& p = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    support::Rng rng(support::derive_seed(11, seed, p.n));
+    const graph::Graph g = graph::family_by_name(p.family).make(p.n, rng);
+    // Connected, simple, and the handshake identity holds.
+    EXPECT_TRUE(graph::is_connected(g));
+    EXPECT_EQ(graph::degree_sum(g), 2 * g.edge_count());
+    EXPECT_GE(g.edge_count() + 1, g.vertex_count());
+    for (const graph::Edge& e : g.edges()) {
+      EXPECT_NE(e.u, e.v);
+      EXPECT_LE(e.u, e.v);
+    }
+  }
+}
+
+std::vector<FamilyCase> generator_cases() {
+  std::vector<FamilyCase> out;
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    out.push_back({family.name, 12});
+    out.push_back({family.name, 40});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorSweep, ::testing::ValuesIn(generator_cases()),
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return param_info.param.family + "_n" +
+             std::to_string(param_info.param.n);
+    });
+
+// --- Sequential builders ------------------------------------------------
+
+class BuilderSweep : public ::testing::TestWithParam<graph::InitialTreeKind> {};
+
+TEST_P(BuilderSweep, AlwaysYieldsSpanningTree) {
+  const graph::InitialTreeKind kind = GetParam();
+  support::Rng rng(23);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(20, rng);
+    const graph::RootedTree t = graph::build_initial_tree(g, kind, rng);
+    EXPECT_TRUE(t.spans(g)) << family.name;
+    // Degrees in the tree never exceed graph degrees.
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_LE(t.degree(static_cast<graph::VertexId>(v)),
+                g.degree(static_cast<graph::VertexId>(v)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BuilderSweep,
+    ::testing::Values(graph::InitialTreeKind::kBfs, graph::InitialTreeKind::kDfs,
+                      graph::InitialTreeKind::kRandom,
+                      graph::InitialTreeKind::kMst,
+                      graph::InitialTreeKind::kStarBiased),
+    [](const ::testing::TestParamInfo<graph::InitialTreeKind>& param_info) {
+      return std::string(graph::to_string(param_info.param));
+    });
+
+// --- Distributed spanning-tree protocols under adversarial schedules ----
+
+TEST(SubstrateScheduleTest, FloodStManySchedules) {
+  support::Rng rng(31);
+  graph::Graph g = graph::make_gnp_connected(30, 0.2, rng);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::heavy_tail(0.3);
+    cfg.seed = seed;
+    const spanning::SpanningRun run = spanning::run_flood_st(g, 4, cfg);
+    EXPECT_TRUE(run.tree.spans(g)) << "seed " << seed;
+    EXPECT_EQ(run.tree.root(), 4);
+  }
+}
+
+TEST(SubstrateScheduleTest, GhsManySchedulesSameMst) {
+  support::Rng rng(37);
+  graph::Graph g = graph::make_gnp_connected(22, 0.3, rng);
+  std::vector<spanning::ghs::EdgeWeight> weights(g.edge_count());
+  std::iota(weights.begin(), weights.end(), spanning::ghs::EdgeWeight{1});
+  rng.shuffle(weights);
+  std::vector<graph::Edge> reference;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::heavy_tail(0.35);
+    cfg.start_spread = 30;
+    cfg.seed = seed;
+    const spanning::SpanningRun run =
+        spanning::run_ghs_mst_weighted(g, weights, cfg);
+    auto edges = run.tree.edges();
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    if (reference.empty()) {
+      reference = edges;
+    } else {
+      EXPECT_EQ(edges, reference) << "seed " << seed
+                                  << ": MST must be schedule-independent";
+    }
+  }
+}
+
+TEST(SubstrateScheduleTest, LeaderManySchedulesSameLeader) {
+  support::Rng rng(41);
+  graph::Graph g = graph::make_gnp_connected(26, 0.2, rng);
+  graph::assign_random_names(g, rng);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 20);
+    cfg.start_spread = 60;
+    cfg.seed = seed;
+    const spanning::LeaderRun run = spanning::run_leader_elect(g, cfg);
+    EXPECT_EQ(run.leader, 0) << "seed " << seed;
+  }
+}
+
+// --- Non-FIFO robustness of the MDegST protocol -------------------------
+// The protocol's counting arguments never rely on per-link ordering (every
+// closure event is identified by content, not order); verify by running
+// with reordering links.
+TEST(SubstrateScheduleTest, MdstSurvivesNonFifoLinks) {
+  support::Rng rng(43);
+  graph::Graph g = graph::make_gnp_connected(24, 0.25, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::SimConfig cfg;
+    cfg.fifo_links = false;
+    cfg.delay = sim::DelayModel::uniform(1, 13);
+    cfg.seed = seed;
+    const core::RunResult run = core::run_mdst(g, start, {}, cfg);
+    EXPECT_TRUE(run.tree.spans(g)) << "seed " << seed;
+    EXPECT_LE(run.final_degree, run.initial_degree);
+  }
+}
+
+}  // namespace
+}  // namespace mdst

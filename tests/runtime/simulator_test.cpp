@@ -1,0 +1,306 @@
+// Simulator semantics tests using small purpose-built protocols.
+#include "runtime/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "graph/generators.hpp"
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::sim {
+namespace {
+
+// --- Toy protocol 1: ping-pong along a path, `hops` times -------------------
+
+struct Ping {
+  static constexpr const char* kName = "Ping";
+  int remaining = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+
+struct PingProto {
+  using Message = std::variant<Ping>;
+  class Node {
+   public:
+    Node(const NodeEnv& env, int start_hops)
+        : env_(env), start_hops_(start_hops) {}
+    void on_start(IContext<Message>& ctx) {
+      if (env_.id == 0 && !env_.neighbors.empty()) {
+        ctx.send(env_.neighbors.front().id, Ping{start_hops_});
+      }
+    }
+    void on_message(IContext<Message>& ctx, NodeId from, const Message& m) {
+      const auto& ping = std::get<Ping>(m);
+      ++received_;
+      if (ping.remaining > 0) ctx.send(from, Ping{ping.remaining - 1});
+    }
+    int received() const { return received_; }
+
+   private:
+    NodeEnv env_;
+    int start_hops_;
+    int received_ = 0;
+  };
+};
+
+TEST(SimulatorTest, PingPongDeliversExactCount) {
+  graph::Graph g = graph::make_path(2);
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 9); });
+  sim.run();
+  // 10 messages total (initial + 9 bounces).
+  EXPECT_EQ(sim.metrics().total_messages(), 10u);
+  EXPECT_EQ(sim.node(0).received() + sim.node(1).received(), 10);
+  // Causal chain = 10 messages; unit delays => finish time 10.
+  EXPECT_EQ(sim.metrics().max_causal_depth(), 10u);
+  EXPECT_EQ(sim.metrics().last_delivery_time(), 10u);
+}
+
+TEST(SimulatorTest, CausalDepthUnderRandomDelaysStillCountsHops) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 20);
+  cfg.seed = 42;
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 9); }, cfg);
+  sim.run();
+  // Wall time varies with delays, but the causal chain is exactly 10.
+  EXPECT_EQ(sim.metrics().max_causal_depth(), 10u);
+  EXPECT_GE(sim.metrics().last_delivery_time(), 10u);
+}
+
+TEST(SimulatorTest, BitAccounting) {
+  graph::Graph g = graph::make_path(2);  // n=2 -> id_bits = 1
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 0); });
+  sim.run();
+  EXPECT_EQ(sim.metrics().id_bits(), 1u);
+  // One message, one id field: tag bits + 1 * id_bits.
+  EXPECT_EQ(sim.metrics().max_message_bits(), Metrics::kTagBits + 1);
+  EXPECT_EQ(sim.metrics().total_bits(), Metrics::kTagBits + 1);
+  EXPECT_EQ(sim.metrics().max_ids_carried(), 1u);
+}
+
+TEST(SimulatorTest, SendToNonNeighborThrows) {
+  struct BadProto {
+    using Message = std::variant<Ping>;
+    class Node {
+     public:
+      explicit Node(const NodeEnv& env) : env_(env) {}
+      void on_start(IContext<Message>& ctx) {
+        if (env_.id == 0) ctx.send(2, Ping{0});  // 2 is not adjacent to 0
+      }
+      void on_message(IContext<Message>&, NodeId, const Message&) {}
+
+     private:
+      NodeEnv env_;
+    };
+  };
+  graph::Graph g = graph::make_path(3);
+  Simulator<BadProto> sim(g, [](const NodeEnv& env) { return BadProto::Node(env); });
+  EXPECT_THROW(sim.run(), mdst::ContractViolation);
+}
+
+TEST(SimulatorTest, MessageCapConvertsLivelockToError) {
+  struct LoopProto {
+    using Message = std::variant<Ping>;
+    class Node {
+     public:
+      explicit Node(const NodeEnv& env) : env_(env) {}
+      void on_start(IContext<Message>& ctx) {
+        if (env_.id == 0) ctx.send(env_.neighbors.front().id, Ping{1});
+      }
+      void on_message(IContext<Message>& ctx, NodeId from, const Message&) {
+        ctx.send(from, Ping{1});  // bounce forever
+      }
+
+     private:
+      NodeEnv env_;
+    };
+  };
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.max_messages = 500;
+  Simulator<LoopProto> sim(
+      g, [](const NodeEnv& env) { return LoopProto::Node(env); }, cfg);
+  EXPECT_THROW(sim.run(), mdst::ContractViolation);
+}
+
+// --- Toy protocol 2: sender fires a numbered burst; FIFO must preserve order.
+
+struct Seq {
+  static constexpr const char* kName = "Seq";
+  int index = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+
+struct FifoProto {
+  using Message = std::variant<Seq>;
+  class Node {
+   public:
+    explicit Node(const NodeEnv& env) : env_(env) {}
+    void on_start(IContext<Message>& ctx) {
+      if (env_.id == 0) {
+        for (int i = 0; i < 64; ++i) ctx.send(env_.neighbors.front().id, Seq{i});
+      }
+    }
+    void on_message(IContext<Message>&, NodeId, const Message& m) {
+      received.push_back(std::get<Seq>(m).index);
+    }
+    std::vector<int> received;
+
+   private:
+    NodeEnv env_;
+  };
+};
+
+TEST(SimulatorTest, FifoLinksPreserveSendOrder) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 50);  // delays would reorder without FIFO
+  cfg.seed = 7;
+  cfg.fifo_links = true;
+  Simulator<FifoProto> sim(
+      g, [](const NodeEnv& env) { return FifoProto::Node(env); }, cfg);
+  sim.run();
+  const auto& received = sim.node(1).received;
+  ASSERT_EQ(received.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NonFifoCanReorder) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 50);
+  cfg.seed = 7;
+  cfg.fifo_links = false;
+  Simulator<FifoProto> sim(
+      g, [](const NodeEnv& env) { return FifoProto::Node(env); }, cfg);
+  sim.run();
+  const auto& received = sim.node(1).received;
+  ASSERT_EQ(received.size(), 64u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (received[i] < received[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  graph::Graph g = graph::make_cycle(6);
+  auto run_once = [&g](std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.delay = DelayModel::uniform(1, 9);
+    cfg.seed = seed;
+    Simulator<FifoProto> sim(
+        g, [](const NodeEnv& env) { return FifoProto::Node(env); }, cfg);
+    sim.run();
+    return sim.metrics().last_delivery_time();
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(SimulatorTest, StartSpreadStaggersOnStart) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.start_spread = 100;
+  cfg.seed = 3;
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 0); }, cfg);
+  sim.run();
+  EXPECT_EQ(sim.metrics().total_messages(), 1u);
+}
+
+TEST(SimulatorTest, TraceRecordsDeliveries) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.trace_cap = 100;
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 3); }, cfg);
+  sim.run();
+  const auto& rows = sim.trace().rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].type_name, "Ping");
+  EXPECT_EQ(rows[0].from, 0);
+  EXPECT_EQ(rows[0].to, 1);
+  EXPECT_LT(rows[0].send_time, rows[0].deliver_time);
+  EXPECT_FALSE(sim.trace().truncated());
+}
+
+TEST(SimulatorTest, TraceCapTruncates) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.trace_cap = 2;
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 9); }, cfg);
+  sim.run();
+  EXPECT_EQ(sim.trace().rows().size(), 2u);
+  EXPECT_TRUE(sim.trace().truncated());
+}
+
+TEST(SimulatorTest, NodeEnvHasNeighborNames) {
+  graph::Graph g = graph::make_path(3);
+  g.set_names({30, 10, 20});
+  Simulator<PingProto> sim(
+      g, [](const NodeEnv& env) { return PingProto::Node(env, 0); });
+  EXPECT_EQ(sim.env(1).name, 10);
+  EXPECT_EQ(sim.env(1).neighbors.size(), 2u);
+  EXPECT_EQ(sim.env(1).neighbor_name(0), 30);
+  EXPECT_EQ(sim.env(1).neighbor_name(2), 20);
+  EXPECT_TRUE(sim.env(0).is_neighbor(1));
+  EXPECT_FALSE(sim.env(0).is_neighbor(2));
+}
+
+TEST(DelayModelTest, UnitIsAlwaysOne) {
+  support::Rng rng(1);
+  const DelayModel m = DelayModel::unit();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(m.sample(rng), 1u);
+}
+
+TEST(DelayModelTest, UniformInRange) {
+  support::Rng rng(2);
+  const DelayModel m = DelayModel::uniform(3, 7);
+  for (int i = 0; i < 200; ++i) {
+    const Time d = m.sample(rng);
+    EXPECT_GE(d, 3u);
+    EXPECT_LE(d, 7u);
+  }
+}
+
+TEST(DelayModelTest, HeavyTailAtLeastOne) {
+  support::Rng rng(3);
+  const DelayModel m = DelayModel::heavy_tail(0.3);
+  Time max_seen = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Time d = m.sample(rng);
+    EXPECT_GE(d, 1u);
+    max_seen = std::max(max_seen, d);
+  }
+  EXPECT_GT(max_seen, 5u);  // tail actually occurs
+}
+
+TEST(MetricsTest, IdBits) {
+  EXPECT_EQ(id_bits_for(1), 1u);
+  EXPECT_EQ(id_bits_for(2), 1u);
+  EXPECT_EQ(id_bits_for(3), 2u);
+  EXPECT_EQ(id_bits_for(16), 4u);
+  EXPECT_EQ(id_bits_for(17), 5u);
+  EXPECT_EQ(id_bits_for(1024), 10u);
+}
+
+TEST(MetricsTest, AbsorbSequential) {
+  Metrics a(2, 4), b(2, 4);
+  a.on_deliver(0, 1, 3, 10);
+  b.on_deliver(1, 2, 5, 20);
+  a.absorb_sequential(b);
+  EXPECT_EQ(a.total_messages(), 2u);
+  EXPECT_EQ(a.messages_of_type(0), 1u);
+  EXPECT_EQ(a.messages_of_type(1), 1u);
+  EXPECT_EQ(a.max_causal_depth(), 8u);       // sequential composition adds
+  EXPECT_EQ(a.last_delivery_time(), 30u);
+}
+
+}  // namespace
+}  // namespace mdst::sim

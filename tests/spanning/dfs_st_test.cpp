@@ -1,0 +1,81 @@
+#include "spanning/dfs_st.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+namespace {
+
+TEST(DfsStTest, SingleVertex) {
+  graph::Graph g(1);
+  const SpanningRun run = run_dfs_st(g, 0);
+  EXPECT_EQ(run.tree.root(), 0);
+}
+
+TEST(DfsStTest, CycleGivesHamiltonianPath) {
+  graph::Graph g = graph::make_cycle(9);
+  const SpanningRun run = run_dfs_st(g, 0);
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(run.tree.max_degree(), 2u);  // DFS of a cycle is a path
+  EXPECT_EQ(run.tree.height(), 8u);
+}
+
+TEST(DfsStTest, TokenTraversalBudget) {
+  support::Rng rng(1);
+  graph::Graph g = graph::make_gnp_connected(40, 0.2, rng);
+  const SpanningRun run = run_dfs_st(g, 0);
+  EXPECT_TRUE(run.tree.spans(g));
+  // Token + bounce per edge (2m) plus Term broadcast (n-1).
+  EXPECT_LE(run.metrics.total_messages(),
+            2 * g.edge_count() + g.vertex_count());
+}
+
+TEST(DfsStTest, DfsTreePropertyNoCrossEdges) {
+  // In an undirected DFS tree every non-tree edge connects an ancestor and
+  // a descendant. Verify on a random graph.
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(25, 0.25, rng);
+  const SpanningRun run = run_dfs_st(g, 3);
+  for (const graph::Edge& e : g.edges()) {
+    if (run.tree.has_tree_edge(e.u, e.v)) continue;
+    // One endpoint must be an ancestor of the other: the tree path between
+    // them must not bend (monotone depth through one endpoint).
+    const auto path = run.tree.path(e.u, e.v);
+    const std::size_t du = run.tree.depth(e.u);
+    const std::size_t dv = run.tree.depth(e.v);
+    const std::size_t expected_len = (du > dv ? du - dv : dv - du) + 1;
+    EXPECT_EQ(path.size(), expected_len)
+        << "cross edge " << e.u << "-" << e.v << " in a DFS tree";
+  }
+}
+
+TEST(DfsStTest, DelaysDoNotChangeTree) {
+  // A single token is in flight at any time, so delays cannot change the
+  // traversal order at all.
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(20, 0.3, rng);
+  const SpanningRun base = run_dfs_st(g, 0);
+  sim::SimConfig cfg;
+  cfg.delay = sim::DelayModel::uniform(1, 17);
+  cfg.seed = 99;
+  const SpanningRun delayed = run_dfs_st(g, 0, cfg);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(base.tree.parent(static_cast<graph::VertexId>(v)),
+              delayed.tree.parent(static_cast<graph::VertexId>(v)));
+  }
+}
+
+TEST(DfsStTest, AllFamiliesSpan) {
+  support::Rng rng(4);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(24, rng);
+    const SpanningRun run = run_dfs_st(g, 0);
+    EXPECT_TRUE(run.tree.spans(g)) << family.name;
+  }
+}
+
+}  // namespace
+}  // namespace mdst::spanning

@@ -1,0 +1,73 @@
+#include "spanning/flood_st.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+namespace {
+
+TEST(FloodStTest, SingleVertex) {
+  graph::Graph g(1);
+  const SpanningRun run = run_flood_st(g, 0);
+  EXPECT_EQ(run.tree.root(), 0);
+  EXPECT_EQ(run.metrics.total_messages(), 0u);
+}
+
+TEST(FloodStTest, PathGraph) {
+  graph::Graph g = graph::make_path(6);
+  const SpanningRun run = run_flood_st(g, 2);
+  EXPECT_EQ(run.tree.root(), 2);
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(FloodStTest, UnitDelayGivesBfsTree) {
+  // With unit delays the first probe to reach a node comes via a shortest
+  // path, so the flooding tree is a BFS tree.
+  graph::Graph g = graph::make_grid(4, 4);
+  const SpanningRun run = run_flood_st(g, 0);
+  EXPECT_TRUE(run.tree.spans(g));
+  const graph::BfsResult ref = graph::bfs(g, 0);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(run.tree.depth(static_cast<graph::VertexId>(v)),
+              static_cast<std::size_t>(ref.distance[v]));
+  }
+}
+
+TEST(FloodStTest, MessageBudgetLinearInEdges) {
+  support::Rng rng(1);
+  graph::Graph g = graph::make_gnp_connected(50, 0.15, rng);
+  const SpanningRun run = run_flood_st(g, 0);
+  const std::uint64_t m = g.edge_count();
+  const std::uint64_t n = g.vertex_count();
+  // Probe+response per edge direction plus the Term broadcast.
+  EXPECT_LE(run.metrics.total_messages(), 4 * m + n);
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(FloodStTest, RandomDelaysStillSpanningTree) {
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(40, 0.2, rng);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 12);
+    cfg.seed = seed;
+    const SpanningRun run = run_flood_st(g, 7, cfg);
+    EXPECT_TRUE(run.tree.spans(g));
+    EXPECT_EQ(run.tree.root(), 7);
+  }
+}
+
+TEST(FloodStTest, AllFamiliesSpan) {
+  support::Rng rng(3);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(30, rng);
+    const SpanningRun run = run_flood_st(g, 0);
+    EXPECT_TRUE(run.tree.spans(g)) << family.name;
+  }
+}
+
+}  // namespace
+}  // namespace mdst::spanning

@@ -1,0 +1,132 @@
+#include "spanning/ghs_mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+namespace {
+
+/// Reference: Kruskal under the same weights (unique MST for distinct
+/// weights), as an edge set.
+std::vector<graph::Edge> kruskal_edges(const graph::Graph& g,
+                                       const std::vector<ghs::EdgeWeight>& w) {
+  std::vector<graph::Weight> weights(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    weights[i] = static_cast<graph::Weight>(w[i]);
+  }
+  const graph::RootedTree t = graph::kruskal_mst(g, weights, 0);
+  auto edges = t.edges();
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return edges;
+}
+
+std::vector<graph::Edge> tree_edges_sorted(const graph::RootedTree& t) {
+  auto edges = t.edges();
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return edges;
+}
+
+TEST(GhsMstTest, TwoNodes) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  const SpanningRun run = run_ghs_mst(g);
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(GhsMstTest, TriangleUsesTwoLightestEdges) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);  // weight below: 1
+  g.add_edge(1, 2);  // weight 2
+  g.add_edge(0, 2);  // weight 3
+  const SpanningRun run = run_ghs_mst_weighted(g, {1, 2, 3});
+  EXPECT_TRUE(run.tree.has_tree_edge(0, 1));
+  EXPECT_TRUE(run.tree.has_tree_edge(1, 2));
+  EXPECT_FALSE(run.tree.has_tree_edge(0, 2));
+}
+
+TEST(GhsMstTest, MatchesKruskalOnRandomGraphs) {
+  support::Rng rng(1);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    graph::Graph g = graph::make_gnp_connected(30, 0.2, rng);
+    std::vector<ghs::EdgeWeight> weights(g.edge_count());
+    std::iota(weights.begin(), weights.end(), ghs::EdgeWeight{1});
+    rng.shuffle(weights);
+    const SpanningRun run = run_ghs_mst_weighted(g, weights);
+    EXPECT_TRUE(run.tree.spans(g)) << "seed=" << seed;
+    EXPECT_EQ(tree_edges_sorted(run.tree), kruskal_edges(g, weights))
+        << "seed=" << seed;
+  }
+}
+
+TEST(GhsMstTest, RobustToDelaysAndStaggeredStarts) {
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(25, 0.25, rng);
+  std::vector<ghs::EdgeWeight> weights(g.edge_count());
+  std::iota(weights.begin(), weights.end(), ghs::EdgeWeight{1});
+  rng.shuffle(weights);
+  const auto reference = kruskal_edges(g, weights);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 15);
+    cfg.start_spread = 50;
+    cfg.seed = seed;
+    const SpanningRun run = run_ghs_mst_weighted(g, weights, cfg);
+    EXPECT_EQ(tree_edges_sorted(run.tree), reference) << "seed=" << seed;
+  }
+}
+
+TEST(GhsMstTest, MessageComplexityNearTheory) {
+  // GHS bound: 5 n log2 n + 2 m messages (original paper, Thm 2); our Done
+  // broadcast adds n - 1.
+  support::Rng rng(3);
+  graph::Graph g = graph::make_gnp_connected(64, 0.15, rng);
+  const SpanningRun run = run_ghs_mst(g, 7);
+  const double n = static_cast<double>(g.vertex_count());
+  const double m = static_cast<double>(g.edge_count());
+  const double bound = 5.0 * n * std::log2(n) + 2.0 * m + n;
+  EXPECT_LE(static_cast<double>(run.metrics.total_messages()), bound);
+}
+
+TEST(GhsMstTest, MessagesCarryFewIds) {
+  support::Rng rng(4);
+  graph::Graph g = graph::make_gnp_connected(20, 0.3, rng);
+  const SpanningRun run = run_ghs_mst(g, 5);
+  EXPECT_LE(run.metrics.max_ids_carried(), 3u);
+}
+
+TEST(GhsMstTest, AllFamilies) {
+  support::Rng rng(5);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(24, rng);
+    graph::assign_random_names(g, rng);
+    const SpanningRun run = run_ghs_mst(g, 11);
+    EXPECT_TRUE(run.tree.spans(g)) << family.name;
+  }
+}
+
+TEST(GhsMstTest, PathGraphTrivialMst) {
+  graph::Graph g = graph::make_path(10);
+  const SpanningRun run = run_ghs_mst(g, 3);
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(run.tree.max_degree(), 2u);
+}
+
+TEST(GhsMstTest, RejectsDuplicateWeights) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_THROW(run_ghs_mst_weighted(g, {5, 5}), mdst::ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::spanning

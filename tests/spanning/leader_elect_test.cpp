@@ -1,0 +1,72 @@
+#include "spanning/leader_elect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+namespace {
+
+TEST(LeaderElectTest, SingleVertexElectsItself) {
+  graph::Graph g(1);
+  const LeaderRun run = run_leader_elect(g);
+  EXPECT_EQ(run.leader, 0);
+  EXPECT_EQ(run.tree.root(), 0);
+}
+
+TEST(LeaderElectTest, MinimumIdentityWins) {
+  graph::Graph g = graph::make_cycle(8);
+  g.set_names({5, 3, 9, 1, 7, 2, 8, 6});  // min name 1 at vertex 3
+  const LeaderRun run = run_leader_elect(g);
+  EXPECT_EQ(run.leader, 1);
+  EXPECT_EQ(run.tree.root(), 3);
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(LeaderElectTest, WorksUnderRandomDelaysAndStartTimes) {
+  support::Rng rng(1);
+  graph::Graph g = graph::make_gnp_connected(30, 0.2, rng);
+  graph::assign_random_names(g, rng);
+  const graph::VertexId expected_root = g.vertex_by_name(0);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 10);
+    cfg.start_spread = 40;
+    cfg.seed = seed;
+    const LeaderRun run = run_leader_elect(g, cfg);
+    EXPECT_EQ(run.leader, 0) << "seed " << seed;
+    EXPECT_EQ(run.tree.root(), expected_root);
+    EXPECT_TRUE(run.tree.spans(g));
+  }
+}
+
+TEST(LeaderElectTest, MessageBudgetNm) {
+  support::Rng rng(2);
+  graph::Graph g = graph::make_gnp_connected(24, 0.25, rng);
+  const LeaderRun run = run_leader_elect(g);
+  // Extinction waves: O(n*m) worst case; sanity-check the constant.
+  EXPECT_LE(run.metrics.total_messages(),
+            2 * g.vertex_count() * g.edge_count() + g.vertex_count());
+  EXPECT_TRUE(run.tree.spans(g));
+}
+
+TEST(LeaderElectTest, AllFamilies) {
+  support::Rng rng(3);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(20, rng);
+    graph::assign_random_names(g, rng);
+    const LeaderRun run = run_leader_elect(g);
+    EXPECT_EQ(run.leader, 0) << family.name;
+    EXPECT_TRUE(run.tree.spans(g)) << family.name;
+  }
+}
+
+TEST(LeaderElectTest, MessagesCarryOneIdentity) {
+  graph::Graph g = graph::make_cycle(10);
+  const LeaderRun run = run_leader_elect(g);
+  EXPECT_LE(run.metrics.max_ids_carried(), 1u);
+}
+
+}  // namespace
+}  // namespace mdst::spanning

@@ -1,0 +1,117 @@
+// Distributed tree verification, including fault injection: corrupted
+// local views must flip the verdict.
+#include "spanning/verify_st.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "spanning/flood_st.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::spanning {
+namespace {
+
+TEST(VerifyStTest, AcceptsValidTrees) {
+  support::Rng rng(1);
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    graph::Graph g = family.make(20, rng);
+    const graph::RootedTree t = graph::random_spanning_tree(g, 0, rng);
+    const VerifyRun run = run_verify_st(g, views_from_tree(t));
+    EXPECT_TRUE(run.ok) << family.name;
+  }
+}
+
+TEST(VerifyStTest, AcceptsSingleVertex) {
+  graph::Graph g(1);
+  const graph::RootedTree t =
+      graph::RootedTree::from_parents(0, {graph::kInvalidVertex});
+  EXPECT_TRUE(run_verify_st(g, views_from_tree(t)).ok);
+}
+
+TEST(VerifyStTest, RejectsOneSidedEdge) {
+  // Child believes in a parent that never adopted it.
+  graph::Graph g = graph::make_cycle(6);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  ClaimedViews views = views_from_tree(t);
+  // Vertex 1's parent is 0; remove 1 from 0's children (one-sided edge).
+  auto& kids = views.children[0];
+  kids.erase(std::find(kids.begin(), kids.end(), 1));
+  EXPECT_FALSE(run_verify_st(g, views).ok);
+}
+
+TEST(VerifyStTest, RejectsTwoRoots) {
+  graph::Graph g = graph::make_path(6);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  ClaimedViews views = views_from_tree(t);
+  // Split: vertex 3 declares itself a root; 2 forgets it.
+  views.parent[3] = sim::kNoNode;
+  auto& kids = views.children[2];
+  kids.erase(std::find(kids.begin(), kids.end(), 3));
+  EXPECT_FALSE(run_verify_st(g, views).ok);
+}
+
+TEST(VerifyStTest, RejectsCycle) {
+  // 0 <- 1 <- 2 <- 0 plus a proper root at 3: the cycle starves the census.
+  graph::Graph g = graph::make_complete(4);
+  ClaimedViews views;
+  views.parent = {2, 0, 1, sim::kNoNode};
+  views.children = {{1}, {2}, {0}, {}};
+  EXPECT_FALSE(run_verify_st(g, views).ok);
+}
+
+TEST(VerifyStTest, RejectsNonNeighborParent) {
+  graph::Graph g = graph::make_path(5);  // 3 is not adjacent to 0
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  ClaimedViews views = views_from_tree(t);
+  views.parent[3] = 0;  // claims a parent across a non-edge
+  EXPECT_FALSE(run_verify_st(g, views).ok);
+}
+
+TEST(VerifyStTest, RejectsIncompleteSpanning) {
+  // Views describe a consistent tree on a subset: vertex 4 is an isolated
+  // self-styled root, so the main census comes up short.
+  graph::Graph g = graph::make_complete(5);
+  ClaimedViews views;
+  views.parent = {sim::kNoNode, 0, 0, 1, sim::kNoNode};
+  views.children = {{1, 2}, {3}, {}, {}, {}};
+  EXPECT_FALSE(run_verify_st(g, views).ok);
+}
+
+TEST(VerifyStTest, VerifiesProtocolOutputsEndToEnd) {
+  // Verification composes with the real pipeline: flood-ST + MDegST output
+  // views verify as a spanning tree.
+  support::Rng rng(5);
+  graph::Graph g = graph::make_gnp_connected(30, 0.2, rng);
+  const analysis::PipelineResult pipeline =
+      analysis::run_pipeline(g, analysis::StartupProtocol::kFloodSt);
+  const VerifyRun run = run_verify_st(g, views_from_tree(pipeline.mdst.tree));
+  EXPECT_TRUE(run.ok);
+}
+
+TEST(VerifyStTest, WorksUnderDelays) {
+  support::Rng rng(7);
+  graph::Graph g = graph::make_gnp_connected(24, 0.3, rng);
+  const graph::RootedTree t = graph::random_spanning_tree(g, 2, rng);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::uniform(1, 9);
+    cfg.start_spread = 30;
+    cfg.seed = seed;
+    EXPECT_TRUE(run_verify_st(g, views_from_tree(t), cfg).ok) << seed;
+  }
+}
+
+TEST(VerifyStTest, MessageBudgetLinear) {
+  support::Rng rng(9);
+  graph::Graph g = graph::make_gnp_connected(40, 0.15, rng);
+  const graph::RootedTree t = graph::bfs_tree(g, 0);
+  const VerifyRun run = run_verify_st(g, views_from_tree(t));
+  ASSERT_TRUE(run.ok);
+  // Claim + ack + size + verdict per tree edge: 4(n-1).
+  EXPECT_EQ(run.metrics.total_messages(), 4 * (g.vertex_count() - 1));
+}
+
+}  // namespace
+}  // namespace mdst::spanning

@@ -1,0 +1,116 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mdst::support {
+namespace {
+
+struct Flags {
+  std::string name = "default";
+  std::int64_t count = 10;
+  std::uint64_t seed = 1;
+  double rate = 0.5;
+  bool verbose = false;
+};
+
+CliParser make_parser(Flags& f) {
+  CliParser p("test program");
+  p.add_string("name", &f.name, "a name");
+  p.add_int("count", &f.count, "a count");
+  p.add_uint("seed", &f.seed, "a seed");
+  p.add_double("rate", &f.rate, "a rate");
+  p.add_bool("verbose", &f.verbose, "verbosity");
+  return p;
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--name=zed", "--count=-3", "--rate=0.25"};
+  const auto r = p.parse(4, argv);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(f.name, "zed");
+  EXPECT_EQ(f.count, -3);
+  EXPECT_DOUBLE_EQ(f.rate, 0.25);
+}
+
+TEST(CliTest, SpaceSyntax) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--seed", "99", "--name", "x"};
+  const auto r = p.parse(5, argv);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(f.seed, 99u);
+  EXPECT_EQ(f.name, "x");
+}
+
+TEST(CliTest, BoolForms) {
+  {
+    Flags f;
+    auto p = make_parser(f);
+    const char* argv[] = {"prog", "--verbose"};
+    ASSERT_TRUE(p.parse(2, argv).ok);
+    EXPECT_TRUE(f.verbose);
+  }
+  {
+    Flags f;
+    f.verbose = true;
+    auto p = make_parser(f);
+    const char* argv[] = {"prog", "--no-verbose"};
+    ASSERT_TRUE(p.parse(2, argv).ok);
+    EXPECT_FALSE(f.verbose);
+  }
+  {
+    Flags f;
+    auto p = make_parser(f);
+    const char* argv[] = {"prog", "--verbose=true"};
+    ASSERT_TRUE(p.parse(2, argv).ok);
+    EXPECT_TRUE(f.verbose);
+  }
+}
+
+TEST(CliTest, UnknownFlagIsError) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--bogus=1"};
+  const auto r = p.parse(2, argv);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bogus"), std::string::npos);
+}
+
+TEST(CliTest, BadNumberIsError) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(p.parse(2, argv).ok);
+}
+
+TEST(CliTest, MissingValueIsError) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(p.parse(2, argv).ok);
+}
+
+TEST(CliTest, HelpRequested) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "--help"};
+  const auto r = p.parse(2, argv);
+  EXPECT_TRUE(r.help_requested);
+  EXPECT_NE(p.help_text().find("--count"), std::string::npos);
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  Flags f;
+  auto p = make_parser(f);
+  const char* argv[] = {"prog", "input.txt", "--count=2", "out.txt"};
+  const auto r = p.parse(4, argv);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.positional.size(), 2u);
+  EXPECT_EQ(r.positional[0], "input.txt");
+  EXPECT_EQ(r.positional[1], "out.txt");
+}
+
+}  // namespace
+}  // namespace mdst::support

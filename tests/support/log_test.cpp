@@ -1,0 +1,66 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mdst::support {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink(&buffer_);
+    set_log_level(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::ostringstream buffer_;
+};
+
+TEST_F(LogTest, EmitsWithPrefix) {
+  log_line(LogLevel::kInfo, "hello");
+  EXPECT_EQ(buffer_.str(), "[info ] hello\n");
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  set_log_level(LogLevel::kError);
+  log_line(LogLevel::kInfo, "dropped");
+  EXPECT_TRUE(buffer_.str().empty());
+  log_line(LogLevel::kError, "kept");
+  EXPECT_EQ(buffer_.str(), "[error] kept\n");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  log_line(LogLevel::kError, "nope");
+  EXPECT_TRUE(buffer_.str().empty());
+}
+
+TEST_F(LogTest, MacroStreamsAndShortCircuits) {
+  MDST_LOG(kDebug) << "x=" << 42;
+  EXPECT_EQ(buffer_.str(), "[debug] x=42\n");
+  buffer_.str("");
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "value";
+  };
+  MDST_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // disabled levels never evaluate the stream
+  EXPECT_TRUE(buffer_.str().empty());
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+}  // namespace
+}  // namespace mdst::support

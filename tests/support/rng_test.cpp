@@ -1,0 +1,131 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mdst::support {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int trials = 40'000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(4)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 4, trials / 40);  // ±10%
+  }
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(6);
+  double sum = 0;
+  const int trials = 50'000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / trials, 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next(), child2.next());
+  // Parent and child should not mirror each other.
+  Rng p(42);
+  Rng c = p.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (p.next() == c.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DeriveSeedSeparatesCoordinates) {
+  const auto a = derive_seed(1, 2, 3, 4);
+  const auto b = derive_seed(1, 2, 4, 3);
+  const auto c = derive_seed(1, 2, 3, 5);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(1, 2, 3, 4));
+}
+
+TEST(RngTest, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+  EXPECT_THROW(rng.next_in(5, 4), ContractViolation);
+  EXPECT_THROW(rng.next_bool(1.5), ContractViolation);
+  EXPECT_THROW(rng.next_exponential(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::support

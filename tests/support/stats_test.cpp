@@ -1,0 +1,104 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+namespace {
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), ContractViolation);
+  EXPECT_THROW(acc.min(), ContractViolation);
+  EXPECT_THROW(acc.max(), ContractViolation);
+}
+
+TEST(SamplesTest, QuantilesInterpolate) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(SamplesTest, UnsortedInputHandled) {
+  Samples s;
+  for (double x : {9.0, 1.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+}
+
+TEST(SamplesTest, AddAfterQueryStillCorrect) {
+  Samples s;
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(HistogramTest, CountsAndExtremes) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7, 5);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.count(42), 0u);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.to_string(), "3:2 7:5");
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyDataHasReasonableR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateXs) {
+  std::vector<double> xs{2, 2, 2};
+  std::vector<double> ys{1, 2, 3};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+}  // namespace
+}  // namespace mdst::support

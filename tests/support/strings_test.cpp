@@ -1,0 +1,53 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mdst::support {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyTokens) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("round=3", "round="));
+  EXPECT_FALSE(starts_with("rd", "round"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+}  // namespace
+}  // namespace mdst::support

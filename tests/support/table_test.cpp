@@ -1,0 +1,76 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TableTest, TitleEmitted) {
+  Table t({"x"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string("My Table").find("== My Table =="), std::string::npos);
+}
+
+TEST(TableTest, RowBuilderTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.start_row();
+  t.cell(std::int64_t{-7});
+  t.cell(std::uint64_t{9});
+  t.cell(3.14159, 2);
+  t.cell("end");
+  EXPECT_EQ(t.rows(), 1u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("-7"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, WidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(TableTest, TooManyCellsThrows) {
+  Table t({"a"});
+  t.start_row();
+  t.cell("x");  // row complete
+  t.start_row();
+  t.cell("y");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"x", "y"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(FormatTest, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatTest, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace mdst::support
