@@ -28,7 +28,7 @@ void BM_GraphGenGnp(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_GraphGenGnp)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_GraphGenGnp)->Arg(128)->Arg(512)->Arg(2048)->Arg(4096);
 
 void BM_WilsonTree(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -53,7 +53,25 @@ void BM_SimulatorFloodSt(benchmark::State& state) {
   state.counters["msgs/s"] = benchmark::Counter(
       static_cast<double>(messages), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulatorFloodSt)->Arg(16)->Arg(32)->Arg(64);
+// side=128 (16384 nodes) was impractical on the seed's binary-heap engine.
+BENCHMARK(BM_SimulatorFloodSt)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// Simulator throughput on sparse random graphs — the Gnp counterpart of the
+// grid flood; n=4096 exercises the event engine at 10^5+ queued events.
+void BM_SimulatorFloodGnp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(7);
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const spanning::SpanningRun run = spanning::run_flood_st(g, 0);
+    messages += run.metrics.total_messages();
+    benchmark::DoNotOptimize(run.tree.root());
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorFloodGnp)->Arg(1024)->Arg(4096);
 
 void BM_GhsMst(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -94,7 +112,10 @@ void BM_DistributedMdst(benchmark::State& state) {
   state.counters["msgs/s"] = benchmark::Counter(
       static_cast<double>(messages), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DistributedMdst)->Arg(32)->Arg(64)->Arg(128);
+// n=1024 runs ~5.7M protocol messages per iteration — newly practical with
+// the calendar-queue engine. (n=4096 needs ~80M messages, beyond the
+// default livelock cap; raise SimConfig::max_messages to sweep it.)
+BENCHMARK(BM_DistributedMdst)->Arg(32)->Arg(64)->Arg(128)->Arg(1024);
 
 void BM_ExactSolver(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

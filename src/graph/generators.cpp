@@ -28,6 +28,7 @@ Graph make_cycle(std::size_t n) {
 
 Graph make_complete(std::size_t n) {
   Graph g(n);
+  g.reserve_edges(n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
@@ -60,6 +61,7 @@ Graph make_wheel(std::size_t n) {
 Graph make_grid(std::size_t rows, std::size_t cols) {
   MDST_REQUIRE(rows >= 1 && cols >= 1, "grid: positive dims");
   Graph g(rows * cols);
+  g.reserve_edges(rows * (cols - 1) + (rows - 1) * cols);
   const auto at = [cols](std::size_t r, std::size_t c) {
     return static_cast<VertexId>(r * cols + c);
   };
@@ -75,6 +77,7 @@ Graph make_grid(std::size_t rows, std::size_t cols) {
 Graph make_torus(std::size_t rows, std::size_t cols) {
   MDST_REQUIRE(rows >= 3 && cols >= 3, "torus: dims >= 3");
   Graph g(rows * cols);
+  g.reserve_edges(2 * rows * cols);
   const auto at = [cols](std::size_t r, std::size_t c) {
     return static_cast<VertexId>(r * cols + c);
   };
@@ -91,6 +94,7 @@ Graph make_hypercube(std::size_t dimensions) {
   MDST_REQUIRE(dimensions <= 20, "hypercube: dimension too large");
   const std::size_t n = std::size_t{1} << dimensions;
   Graph g(n);
+  g.reserve_edges(n * dimensions / 2);
   for (std::size_t v = 0; v < n; ++v) {
     for (std::size_t bit = 0; bit < dimensions; ++bit) {
       const std::size_t w = v ^ (std::size_t{1} << bit);
@@ -171,6 +175,11 @@ Graph make_gnp_connected(std::size_t n, double p, support::Rng& rng) {
   // remaining pairs. Slight upward bias in edge count vs pure G(n,p), which
   // is irrelevant for our sweeps (documented here for honesty).
   Graph g = make_random_tree(n, rng);
+  // Expected m = (n-1) + p * C(n,2); pad ~10% to keep rehashes rare.
+  const double expected =
+      static_cast<double>(n - 1) +
+      p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  g.reserve_edges(static_cast<std::size_t>(expected * 1.1) + 16);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const auto a = static_cast<VertexId>(i);
@@ -185,6 +194,7 @@ Graph make_gnm(std::size_t n, std::size_t m, support::Rng& rng) {
   const std::size_t max_edges = n * (n - 1) / 2;
   MDST_REQUIRE(m <= max_edges, "gnm: too many edges");
   Graph g(n);
+  g.reserve_edges(m);
   std::size_t added = 0;
   while (added < m) {
     const auto a = static_cast<VertexId>(rng.next_below(n));
@@ -202,6 +212,7 @@ Graph make_gnm_connected(std::size_t n, std::size_t m, support::Rng& rng) {
   const std::size_t max_edges = n * (n - 1) / 2;
   MDST_REQUIRE(m <= max_edges, "gnm_connected: too many edges");
   Graph g = make_random_tree(n, rng);
+  g.reserve_edges(m);
   std::size_t added = g.edge_count();
   while (added < m) {
     const auto a = static_cast<VertexId>(rng.next_below(n));
@@ -357,6 +368,7 @@ Graph make_random_tree(std::size_t n, support::Rng& rng) {
     g.add_edge(0, 1);
     return g;
   }
+  g.reserve_edges(n - 1);
   // Prüfer decoding: uniform over all n^(n-2) labelled trees.
   std::vector<std::size_t> prufer(n - 2);
   for (auto& x : prufer) x = rng.next_below(n);

@@ -7,17 +7,20 @@
 
 namespace mdst::graph {
 
-Graph::Graph(std::size_t n) : adjacency_(n), names_(n) {
+Graph::Graph(std::size_t n) : degree_(n, 0), names_(n) {
   for (std::size_t i = 0; i < n; ++i) names_[i] = static_cast<NodeName>(i);
 }
 
 VertexId Graph::add_vertex() {
-  adjacency_.emplace_back();
-  names_.push_back(static_cast<NodeName>(adjacency_.size() - 1));
-  return static_cast<VertexId>(adjacency_.size() - 1);
+  MDST_REQUIRE(!frozen_, "add_vertex: graph is frozen");
+  degree_.push_back(0);
+  names_.push_back(static_cast<NodeName>(degree_.size() - 1));
+  csr_valid_ = false;
+  return static_cast<VertexId>(degree_.size() - 1);
 }
 
 EdgeId Graph::add_edge(VertexId a, VertexId b) {
+  MDST_REQUIRE(!frozen_, "add_edge: graph is frozen");
   MDST_REQUIRE(valid_vertex(a) && valid_vertex(b), "add_edge: bad endpoint");
   MDST_REQUIRE(a != b, "add_edge: self-loop rejected");
   const Edge e = normalized(a, b);
@@ -25,9 +28,15 @@ EdgeId Graph::add_edge(VertexId a, VertexId b) {
                "add_edge: parallel edge rejected");
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(e);
-  adjacency_[static_cast<std::size_t>(a)].push_back({b, id});
-  adjacency_[static_cast<std::size_t>(b)].push_back({a, id});
+  ++degree_[static_cast<std::size_t>(a)];
+  ++degree_[static_cast<std::size_t>(b)];
+  csr_valid_ = false;
   return id;
+}
+
+void Graph::reserve_edges(std::size_t m) {
+  edges_.reserve(m);
+  edge_set_.reserve(m);
 }
 
 bool Graph::has_edge(VertexId a, VertexId b) const {
@@ -54,26 +63,53 @@ const Edge& Graph::edge(EdgeId e) const {
   return edges_[static_cast<std::size_t>(e)];
 }
 
+void Graph::ensure_csr() const {
+  if (csr_valid_) return;
+  const std::size_t n = degree_.size();
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree_[v];
+  }
+  incidence_.resize(2 * edges_.size());
+  // Counting sort in edge-id order reproduces the incidence order that
+  // per-vertex push_back construction would have produced.
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    const auto id = static_cast<EdgeId>(e);
+    incidence_[cursor[static_cast<std::size_t>(ed.u)]++] = {ed.v, id};
+    incidence_[cursor[static_cast<std::size_t>(ed.v)]++] = {ed.u, id};
+  }
+  csr_valid_ = true;
+}
+
+void Graph::freeze() {
+  ensure_csr();
+  frozen_ = true;
+}
+
 std::span<const Incidence> Graph::neighbors(VertexId v) const {
   MDST_REQUIRE(valid_vertex(v), "neighbors: bad vertex");
-  return adjacency_[static_cast<std::size_t>(v)];
+  ensure_csr();
+  const auto i = static_cast<std::size_t>(v);
+  return {incidence_.data() + offsets_[i], degree_[i]};
 }
 
 std::size_t Graph::degree(VertexId v) const {
   MDST_REQUIRE(valid_vertex(v), "degree: bad vertex");
-  return adjacency_[static_cast<std::size_t>(v)].size();
+  return degree_[static_cast<std::size_t>(v)];
 }
 
 std::size_t Graph::max_degree() const {
-  std::size_t best = 0;
-  for (const auto& row : adjacency_) best = std::max(best, row.size());
+  std::uint32_t best = 0;
+  for (const std::uint32_t d : degree_) best = std::max(best, d);
   return best;
 }
 
 std::size_t Graph::min_degree() const {
-  if (adjacency_.empty()) return 0;
-  std::size_t best = adjacency_.front().size();
-  for (const auto& row : adjacency_) best = std::min(best, row.size());
+  if (degree_.empty()) return 0;
+  std::uint32_t best = degree_.front();
+  for (const std::uint32_t d : degree_) best = std::min(best, d);
   return best;
 }
 
@@ -83,7 +119,7 @@ NodeName Graph::name(VertexId v) const {
 }
 
 void Graph::set_names(std::vector<NodeName> names) {
-  MDST_REQUIRE(names.size() == adjacency_.size(), "names size mismatch");
+  MDST_REQUIRE(names.size() == degree_.size(), "names size mismatch");
   std::vector<NodeName> sorted = names;
   std::sort(sorted.begin(), sorted.end());
   MDST_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),

@@ -1,14 +1,24 @@
-// Simple undirected graph with stable edge ids and per-vertex adjacency.
+// Simple undirected graph with stable edge ids and CSR adjacency.
 //
 // The representation favours the access patterns of the simulator and the
-// tree-improvement algorithms: O(deg) neighbour iteration, O(1) edge-id
-// lookup on an incident list, O(1) degree, and an O(1) average `has_edge`
-// via a hash set of normalised endpoint pairs. Graphs are simple (no
-// self-loops, no parallel edges) — both are rejected with contracts, since
-// neither occurs in the paper's model.
+// tree-improvement algorithms: O(deg) neighbour iteration over a contiguous
+// slice of one flat array (cache-linear, no per-vertex heap allocations),
+// O(1) edge-id lookup on an incident list, O(1) degree, and an O(1) average
+// `has_edge` via a hash set of normalised endpoint pairs. Graphs are simple
+// (no self-loops, no parallel edges) — both are rejected with contracts,
+// since neither occurs in the paper's model.
+//
+// Lifecycle: builder-then-freeze. `add_vertex`/`add_edge` mutate the edge
+// list; the compressed-sparse-row adjacency (offsets_ + incidence_) is
+// (re)built lazily from the edge list on first neighbour access after a
+// mutation, in edge-id order — which reproduces exactly the insertion order
+// the old vector-of-vectors layout had. `freeze()` forces the build and
+// locks the topology; further mutation is a contract violation. Callers
+// never see the difference: `neighbors()` hands out std::span either way.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -30,7 +40,7 @@ class Graph {
   /// Create n isolated vertices named 0..n-1.
   explicit Graph(std::size_t n);
 
-  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t vertex_count() const { return degree_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
 
   /// Append a vertex; returns its index (also its default name).
@@ -38,6 +48,10 @@ class Graph {
 
   /// Add undirected edge {a,b}. Precondition: a != b, both valid, edge absent.
   EdgeId add_edge(VertexId a, VertexId b);
+
+  /// Pre-size the edge list and dedup set for ~m edges; cuts rehash/realloc
+  /// churn in generators that add edges in a tight loop.
+  void reserve_edges(std::size_t m);
 
   /// True iff {a,b} is an edge (order-insensitive).
   bool has_edge(VertexId a, VertexId b) const;
@@ -53,8 +67,16 @@ class Graph {
   std::size_t max_degree() const;
   std::size_t min_degree() const;
 
+  /// Build the CSR adjacency now and lock the topology: any later
+  /// add_vertex/add_edge is a contract violation. Idempotent. Optional —
+  /// unfrozen graphs are equally safe (the CSR rebuilds lazily after each
+  /// mutation burst); freeze when a graph's topology must provably stay
+  /// put for the lifetime of structures derived from it.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
   bool valid_vertex(VertexId v) const {
-    return v >= 0 && static_cast<std::size_t>(v) < adjacency_.size();
+    return v >= 0 && static_cast<std::size_t>(v) < degree_.size();
   }
 
   /// Distinct node identity used by distributed tie-breaks. Defaults to the
@@ -70,9 +92,18 @@ class Graph {
   std::string summary() const;
 
  private:
-  std::vector<std::vector<Incidence>> adjacency_;
+  void ensure_csr() const;
+
+  std::vector<std::uint32_t> degree_;  // always current; one entry per vertex
   std::vector<Edge> edges_;
   std::vector<NodeName> names_;
+  bool frozen_ = false;
+
+  // CSR adjacency cache, rebuilt from edges_ when stale. Mutable because it
+  // is a representation detail: logically-const accessors materialise it.
+  mutable std::vector<std::uint32_t> offsets_;    // size n+1
+  mutable std::vector<Incidence> incidence_;      // size 2m
+  mutable bool csr_valid_ = false;
 
   struct PairHash {
     std::size_t operator()(const std::pair<VertexId, VertexId>& p) const {

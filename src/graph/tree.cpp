@@ -31,14 +31,23 @@ RootedTree RootedTree::from_parents(VertexId root, std::vector<VertexId> parents
         static_cast<VertexId>(v));
   }
   MDST_REQUIRE(rootless == 1, "exactly one root expected");
-  // Cycle check: walk up from every vertex with a step budget of n.
+  // Cycle check: walk up from every vertex, stopping at any vertex already
+  // known to reach the root, then mark the walked path. Each vertex is
+  // marked once, so the whole check is O(n) instead of O(n * depth).
+  std::vector<char> reaches_root(n, 0);
+  reaches_root[static_cast<std::size_t>(root)] = 1;
   for (std::size_t v = 0; v < n; ++v) {
     VertexId cur = static_cast<VertexId>(v);
     std::size_t steps = 0;
-    while (cur != root) {
+    while (!reaches_root[static_cast<std::size_t>(cur)]) {
       cur = tree.parents_[static_cast<std::size_t>(cur)];
       MDST_REQUIRE(cur != kInvalidVertex, "disconnected parent structure");
       MDST_REQUIRE(++steps <= n, "cycle in parent structure");
+    }
+    cur = static_cast<VertexId>(v);
+    while (!reaches_root[static_cast<std::size_t>(cur)]) {
+      reaches_root[static_cast<std::size_t>(cur)] = 1;
+      cur = tree.parents_[static_cast<std::size_t>(cur)];
     }
   }
   return tree;

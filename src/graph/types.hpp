@@ -16,7 +16,11 @@ namespace mdst::graph {
 
 using VertexId = std::int32_t;
 using EdgeId = std::int32_t;
-using NodeName = std::int64_t;
+/// Distinct node identity (paper: O(log n)-bit names). 32 bits keeps every
+/// message struct — and therefore every slab node in the simulator's event
+/// queue — half the size the natural int64 would give, which is measurable
+/// on the event-delivery hot path; graphs stay well below 2^31 vertices.
+using NodeName = std::int32_t;
 using Weight = double;
 
 inline constexpr VertexId kInvalidVertex = -1;

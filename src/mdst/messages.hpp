@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <variant>
 
 #include "graph/types.hpp"
@@ -232,5 +233,29 @@ enum class MessageType : std::size_t {
   kAbort,
   kTerminate,
 };
+
+// Node::on_message dispatches by switch on Message::index() through this
+// enum; pin every alternative so a reordering cannot silently misroute.
+namespace detail {
+template <MessageType E, typename T>
+inline constexpr bool kPinned = std::is_same_v<
+    std::variant_alternative_t<static_cast<std::size_t>(E), Message>, T>;
+}  // namespace detail
+static_assert(std::variant_size_v<Message> == 15);
+static_assert(detail::kPinned<MessageType::kStartRound, StartRound>);
+static_assert(detail::kPinned<MessageType::kSearchReply, SearchReply>);
+static_assert(detail::kPinned<MessageType::kMoveRoot, MoveRoot>);
+static_assert(detail::kPinned<MessageType::kCut, Cut>);
+static_assert(detail::kPinned<MessageType::kBfs, Bfs>);
+static_assert(detail::kPinned<MessageType::kCousinReply, CousinReply>);
+static_assert(detail::kPinned<MessageType::kBfsBack, BfsBack>);
+static_assert(detail::kPinned<MessageType::kUpdate, Update>);
+static_assert(detail::kPinned<MessageType::kChildRequest, ChildRequest>);
+static_assert(detail::kPinned<MessageType::kChildAccept, ChildAccept>);
+static_assert(detail::kPinned<MessageType::kChildReject, ChildReject>);
+static_assert(detail::kPinned<MessageType::kReverse, Reverse>);
+static_assert(detail::kPinned<MessageType::kDetach, Detach>);
+static_assert(detail::kPinned<MessageType::kAbort, Abort>);
+static_assert(detail::kPinned<MessageType::kTerminate, Terminate>);
 
 }  // namespace mdst::core

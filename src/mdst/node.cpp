@@ -1,7 +1,6 @@
 #include "mdst/node.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "runtime/variant_util.hpp"
 #include "support/assert.hpp"
@@ -39,14 +38,6 @@ Node::Node(const sim::NodeEnv& env, sim::NodeId parent,
   }
 }
 
-int Node::tree_degree() const {
-  return static_cast<int>(children_.size()) + (parent_ != sim::kNoNode ? 1 : 0);
-}
-
-bool Node::has_child(sim::NodeId node) const {
-  return std::find(children_.begin(), children_.end(), node) != children_.end();
-}
-
 void Node::add_child(sim::NodeId node) {
   MDST_ASSERT(!has_child(node), "add_child: already a child");
   MDST_ASSERT(node != parent_, "add_child: is parent");
@@ -64,13 +55,6 @@ sim::NodeId Node::neighbor_by_name(graph::NodeName name) const {
     if (nb.name == name) return nb.id;
   }
   MDST_UNREACHABLE("neighbor_by_name: no neighbor with that name");
-}
-
-std::size_t Node::neighbor_index(sim::NodeId node) const {
-  for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
-    if (env_.neighbors[i].id == node) return i;
-  }
-  MDST_UNREACHABLE("neighbor_index: not a neighbor");
 }
 
 bool Node::node_is_stuck() const {
@@ -134,11 +118,7 @@ void Node::begin_round(Ctx& ctx) {
   clear_stuck_next_ = false;
   if (clear) stuck_ = false;
   reset_round_state();
-  {
-    std::ostringstream os;
-    os << "round=" << round_;
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("round=" + std::to_string(round_));
   for (const sim::NodeId child : children_) {
     ctx.send(child, StartRound{round_, clear});
   }
@@ -148,12 +128,10 @@ void Node::begin_round(Ctx& ctx) {
 void Node::root_decide_after_search(Ctx& ctx) {
   round_root_duty_ = true;
   const int k_all = search_deg_all_;
-  {
-    std::ostringstream os;
-    os << "decide round=" << round_ << " k_all=" << k_all
-       << " best=" << search_best_deg_ << " target=" << search_best_who_;
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("decide round=" + std::to_string(round_) +
+               " k_all=" + std::to_string(k_all) +
+               " best=" + std::to_string(search_best_deg_) +
+               " target=" + std::to_string(search_best_who_));
   if (k_all <= 2) {
     terminate(ctx, StopReason::kChain);
     return;
@@ -190,11 +168,8 @@ void Node::begin_cut(Ctx& ctx) {
   have_tags_ = true;
   wave_children_ = children_;
   wave_waiting_ = wave_children_.size();
-  {
-    std::ostringstream os;
-    os << "cut round=" << round_ << " k=" << k_;
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("cut round=" + std::to_string(round_) +
+               " k=" + std::to_string(k_));
   for (const sim::NodeId child : wave_children_) {
     ctx.send(child, Cut{k_, env_.name, FragTag{}});
   }
@@ -208,12 +183,8 @@ void Node::begin_cut(Ctx& ctx) {
 }
 
 void Node::root_choose(Ctx& ctx) {
-  {
-    std::ostringstream os;
-    os << "wave_done round=" << round_ << " has_candidate="
-       << (best_top_.valid() ? 1 : 0);
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("wave_done round=" + std::to_string(round_) +
+               " has_candidate=" + (best_top_.valid() ? "1" : "0"));
   if (best_top_.valid()) {
     start_improvement(ctx, Scope::kTop, best_top_, prov_top_);
     return;
@@ -266,12 +237,9 @@ void Node::root_finish_round(Ctx& ctx, bool improved) {
 
 void Node::terminate(Ctx& ctx, StopReason reason) {
   stop_reason_ = reason;
-  {
-    std::ostringstream os;
-    os << "terminate round=" << round_ << " reason=" << to_string(reason)
-       << " k_all=" << search_deg_all_;
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("terminate round=" + std::to_string(round_) +
+               " reason=" + to_string(reason) +
+               " k_all=" + std::to_string(search_deg_all_));
   done_ = true;
   for (const sim::NodeId child : children_) ctx.send(child, Terminate{});
 }
@@ -281,25 +249,43 @@ void Node::terminate(Ctx& ctx, StopReason reason) {
 // ---------------------------------------------------------------------------
 
 void Node::on_message(Ctx& ctx, sim::NodeId from, const Message& message) {
-  std::visit(
-      sim::Overloaded{
-          [&](const StartRound& m) { handle_start_round(ctx, from, m); },
-          [&](const SearchReply& m) { handle_search_reply(ctx, from, m); },
-          [&](const MoveRoot& m) { handle_move_root(ctx, from, m); },
-          [&](const Cut& m) { handle_cut(ctx, from, m); },
-          [&](const Bfs& m) { handle_bfs(ctx, from, m); },
-          [&](const CousinReply& m) { handle_cousin_reply(ctx, from, m); },
-          [&](const BfsBack& m) { handle_bfs_back(ctx, from, m); },
-          [&](const Update& m) { handle_update(ctx, from, m); },
-          [&](const ChildRequest& m) { handle_child_request(ctx, from, m); },
-          [&](const ChildAccept&) { handle_child_accept(ctx, from); },
-          [&](const ChildReject&) { handle_child_reject(ctx, from); },
-          [&](const Reverse& m) { handle_reverse(ctx, from, m); },
-          [&](const Detach&) { handle_detach(ctx, from); },
-          [&](const Abort&) { handle_abort(ctx, from); },
-          [&](const Terminate&) { handle_terminate(ctx, from); },
-      },
-      message);
+  // Dispatch by switch on the variant index (MessageType mirrors the
+  // alternative order; static_asserts in messages.hpp pin that) — a direct
+  // jump table the handlers can inline into, instead of std::visit's
+  // function-pointer table. This is the hottest dispatch in the library.
+  switch (static_cast<MessageType>(message.index())) {
+    case MessageType::kStartRound:
+      return handle_start_round(ctx, from, *std::get_if<StartRound>(&message));
+    case MessageType::kSearchReply:
+      return handle_search_reply(ctx, from, *std::get_if<SearchReply>(&message));
+    case MessageType::kMoveRoot:
+      return handle_move_root(ctx, from, *std::get_if<MoveRoot>(&message));
+    case MessageType::kCut:
+      return handle_cut(ctx, from, *std::get_if<Cut>(&message));
+    case MessageType::kBfs:
+      return handle_bfs(ctx, from, *std::get_if<Bfs>(&message));
+    case MessageType::kCousinReply:
+      return handle_cousin_reply(ctx, from, *std::get_if<CousinReply>(&message));
+    case MessageType::kBfsBack:
+      return handle_bfs_back(ctx, from, *std::get_if<BfsBack>(&message));
+    case MessageType::kUpdate:
+      return handle_update(ctx, from, *std::get_if<Update>(&message));
+    case MessageType::kChildRequest:
+      return handle_child_request(ctx, from, *std::get_if<ChildRequest>(&message));
+    case MessageType::kChildAccept:
+      return handle_child_accept(ctx, from);
+    case MessageType::kChildReject:
+      return handle_child_reject(ctx, from);
+    case MessageType::kReverse:
+      return handle_reverse(ctx, from, *std::get_if<Reverse>(&message));
+    case MessageType::kDetach:
+      return handle_detach(ctx, from);
+    case MessageType::kAbort:
+      return handle_abort(ctx, from);
+    case MessageType::kTerminate:
+      return handle_terminate(ctx, from);
+  }
+  MDST_UNREACHABLE("on_message: unknown message type");
 }
 
 // ---------------------------------------------------------------------------
@@ -411,22 +397,25 @@ void Node::become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k
   have_tags_ = true;
   wave_children_ = children_;
   cross_closed_.assign(env_.neighbors.size(), false);
+  for (const sim::NodeId child : wave_children_) {
+    ctx.send(child, Bfs{k_, top_, sub_});
+  }
+  // No closure can arrive while this handler runs, so the cross count may
+  // be accumulated in the same pass that sends the probes, as long as
+  // wave_waiting_ is final before the queued probes below are replayed.
   std::size_t cross = 0;
   for (const sim::NeighborInfo& nb : env_.neighbors) {
     if (nb.id == parent_ || has_child(nb.id)) continue;
     ++cross;
-  }
-  wave_waiting_ = wave_children_.size() + cross;
-  for (const sim::NodeId child : wave_children_) {
-    ctx.send(child, Bfs{k_, top_, sub_});
-  }
-  for (const sim::NeighborInfo& nb : env_.neighbors) {
-    if (nb.id == parent_ || has_child(nb.id)) continue;
     ctx.send(nb.id, Bfs{k_, top_, sub_});  // cousin probe
   }
-  auto queued = std::move(queued_probes_);
-  queued_probes_.clear();
-  for (const auto& [probe_from, probe] : queued) {
+  wave_waiting_ = wave_children_.size() + cross;
+  // Swap through a member scratch so both buffers survive across waves
+  // instead of a free/malloc pair per wave. Replayed probes cannot re-queue:
+  // have_tags_ is already set.
+  scratch_probes_.clear();
+  scratch_probes_.swap(queued_probes_);
+  for (const auto& [probe_from, probe] : scratch_probes_) {
     on_cross_probe(ctx, probe_from, probe);
   }
   member_maybe_report(ctx);
@@ -445,9 +434,9 @@ void Node::become_sub_root(Ctx& ctx, const FragTag& encl_top, int k) {
   for (const sim::NodeId child : wave_children_) {
     ctx.send(child, Cut{k_, env_.name, top_});
   }
-  auto queued = std::move(queued_probes_);
-  queued_probes_.clear();
-  for (const auto& [probe_from, probe] : queued) {
+  scratch_probes_.clear();
+  scratch_probes_.swap(queued_probes_);
+  for (const auto& [probe_from, probe] : scratch_probes_) {
     (void)probe;
     ctx.send(probe_from, CousinReply{tree_degree(), top_, sub_});
   }
@@ -470,16 +459,17 @@ void Node::on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
   //   probe.sub <  mine  -> I answer (CousinReply) and their probe closes
   //                         my edge; my own probe will be ignored by them.
   //   probe.sub >  mine  -> they will answer my probe; that reply closes.
-  if (msg.sub == sub_) {
-    close_cross_edge(ctx, from);
-  } else if (msg.sub < sub_) {
-    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
-    close_cross_edge(ctx, from);
-  }
+  const auto order = msg.sub <=> sub_;
+  if (order > 0) return;  // they will answer my probe; that reply closes
+  if (order < 0) ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+  close_cross_edge(ctx, from);
 }
 
 void Node::close_cross_edge(Ctx& ctx, sim::NodeId neighbor) {
-  const std::size_t idx = neighbor_index(neighbor);
+  close_cross_edge_at(ctx, neighbor_index(neighbor));
+}
+
+void Node::close_cross_edge_at(Ctx& ctx, std::size_t idx) {
   MDST_ASSERT(!cross_closed_[idx], "cross edge closed twice");
   cross_closed_[idx] = true;
   MDST_ASSERT(wave_waiting_ > 0, "closure with nothing pending");
@@ -491,7 +481,9 @@ void Node::handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& ms
   MDST_ASSERT(role_ == Role::kMember, "CousinReply at a non-member");
   const int my_deg = tree_degree();
   const int end_deg = std::max(my_deg, msg.degree);
-  const graph::NodeName w_name = env_.neighbor_name(from);
+  // One scan serves both the name lookup and the closure below.
+  const std::size_t from_idx = neighbor_index(from);
+  const graph::NodeName w_name = env_.neighbors[from_idx].name;
   if (end_deg <= k_ - 2) {
     if (msg.top != top_) {
       // Outgoing edge between two fragments of the round root.
@@ -509,7 +501,7 @@ void Node::handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& ms
       }
     }
   }
-  close_cross_edge(ctx, from);
+  close_cross_edge_at(ctx, from_idx);
 }
 
 void Node::member_maybe_report(Ctx& ctx) {
@@ -681,20 +673,14 @@ void Node::handle_detach(Ctx& ctx, sim::NodeId from) {
   improving_ = false;
   ++improvements_;
   if (role_ == Role::kRoot) {
-    {
-      std::ostringstream os;
-      os << "improve round=" << round_ << " k=" << k_;
-      ctx.annotate(os.str());
-    }
+    ctx.annotate("improve round=" + std::to_string(round_) +
+                 " k=" + std::to_string(k_));
     root_finish_round(ctx, /*improved=*/true);
     return;
   }
   MDST_ASSERT(role_ == Role::kSubRoot, "Detach at unexpected role");
-  {
-    std::ostringstream os;
-    os << "subimprove round=" << round_ << " k=" << k_;
-    ctx.annotate(os.str());
-  }
+  ctx.annotate("subimprove round=" + std::to_string(round_) +
+               " k=" + std::to_string(k_));
   sub_improved_ = true;
   sub_internal_done_ = true;
   subroot_report_up(ctx);

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "support/assert.hpp"
+
 #include "mdst/messages.hpp"
 #include "mdst/options.hpp"
 #include "runtime/context.hpp"
@@ -71,7 +73,10 @@ class Node {
   bool done() const { return done_; }
   sim::NodeId parent() const { return parent_; }
   const std::vector<sim::NodeId>& children() const { return children_; }
-  int tree_degree() const;
+  int tree_degree() const {
+    return static_cast<int>(children_.size()) +
+           (parent_ != sim::kNoNode ? 1 : 0);
+  }
   bool is_current_root() const { return parent_ == sim::kNoNode; }
   StopReason stop_reason() const { return stop_reason_; }
   std::uint32_t rounds_started() const { return round_; }
@@ -112,6 +117,7 @@ class Node {
   void become_sub_root(Ctx& ctx, const FragTag& encl_top, int k);
   void on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg);
   void close_cross_edge(Ctx& ctx, sim::NodeId neighbor);
+  void close_cross_edge_at(Ctx& ctx, std::size_t idx);
   void member_maybe_report(Ctx& ctx);
   void subroot_maybe_resolve(Ctx& ctx);
   void subroot_report_up(Ctx& ctx);
@@ -121,12 +127,23 @@ class Node {
   void begin_reversal(Ctx& ctx, graph::NodeName stop_at,
                       sim::NodeId new_parent);
 
-  // ---- local tree-structure helpers.
-  bool has_child(sim::NodeId node) const;
+  // ---- local tree-structure helpers. The scans run once or more per
+  // delivered message, so the hot ones are defined inline below.
+  bool has_child(sim::NodeId node) const {
+    for (const sim::NodeId c : children_) {
+      if (c == node) return true;
+    }
+    return false;
+  }
+  std::size_t neighbor_index(sim::NodeId node) const {
+    for (std::size_t i = 0; i < env_.neighbors.size(); ++i) {
+      if (env_.neighbors[i].id == node) return i;
+    }
+    MDST_UNREACHABLE("neighbor_index: not a neighbor");
+  }
   void add_child(sim::NodeId node);
   void remove_child(sim::NodeId node);
   sim::NodeId neighbor_by_name(graph::NodeName name) const;
-  std::size_t neighbor_index(sim::NodeId node) const;
   bool node_is_stuck() const;
 
   void reset_round_state();
@@ -166,6 +183,7 @@ class Node {
   std::size_t wave_waiting_ = 0;            // child reports + cross closures
   std::vector<bool> cross_closed_;          // per neighbour index
   std::vector<std::pair<sim::NodeId, Bfs>> queued_probes_;
+  std::vector<std::pair<sim::NodeId, Bfs>> scratch_probes_;  // replay buffer
   bool reported_up_ = false;
   Candidate best_top_;
   sim::NodeId prov_top_ = sim::kNoNode;

@@ -31,6 +31,12 @@ class DelayModel {
   /// Draw the delay for one message.
   Time sample(support::Rng& rng) const;
 
+  /// True for the unit model: every sample is exactly 1 and draws no
+  /// randomness. Lets the simulator prove FIFO floors are no-ops (every
+  /// delivery lands at now + 1, and floors are monotone in send time) and
+  /// skip the per-send floor bookkeeping entirely.
+  bool is_unit() const { return kind_ == Kind::kUnit; }
+
   const char* name() const;
 
  private:

@@ -3,8 +3,15 @@
 // Matches the paper's model: "each node is ignorant of the global network
 // topology except for its own edges, and every node does know identity of
 // its neighbors". Nothing else about the graph is visible to protocol code.
+//
+// `neighbors` is a view into storage owned by whoever built the env (the
+// simulator keeps one flat array for all nodes, so protocol-side neighbor
+// scans stay cache-linear and copying a NodeEnv into a node is trivially
+// cheap). The owner must outlive every Node holding the env — the simulator
+// guarantees this; tests that hand-build envs keep a local vector alive.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -20,7 +27,7 @@ struct NeighborInfo {
 struct NodeEnv {
   NodeId id = kNoNode;
   graph::NodeName name = -1;
-  std::vector<NeighborInfo> neighbors;
+  std::span<const NeighborInfo> neighbors;
 
   /// Name of a neighbour by node id; contract-checked.
   graph::NodeName neighbor_name(NodeId node) const;

@@ -20,16 +20,23 @@
 // only). The simulator delivers `on_start` to every node (at staggered
 // times if SimConfig::start_spread > 0 — the paper allows nodes to start
 // at different moments) and then drains the event queue.
+//
+// Event-engine internals (see docs/perf.md for design + measurements):
+//   * events sit in a bucketed CalendarQueue — O(1) push/pop FIFO rings per
+//     tick instead of a binary-heap reshuffle of fat by-value events;
+//   * the network is held as a directed-incidence CSR (adj_off_/adj_peer_),
+//     so neighbor validation and per-link state are linear array scans;
+//   * per-directed-link FIFO floors live in a flat vector indexed by CSR
+//     slot, replacing a hash map keyed on packed (from, to).
 #pragma once
 
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/calendar_queue.hpp"
 #include "runtime/context.hpp"
 #include "runtime/delay.hpp"
 #include "runtime/metrics.hpp"
@@ -73,24 +80,46 @@ class Simulator {
     envs_.reserve(n);
     nodes_.reserve(n);
     depth_.assign(n, 0);
+    adj_off_.assign(n + 1, 0);
+    adj_peer_.reserve(2 * graph.edge_count());
+    // One flat NeighborInfo array for the whole network; envs hold spans
+    // into it, so protocol-side neighbor scans are cache-linear and a
+    // NodeEnv copy costs nothing. Filled completely before any span is
+    // taken — the buffer must never reallocate afterwards.
+    neighbor_pool_.reserve(2 * graph.edge_count());
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const graph::Incidence& inc : graph.neighbors(static_cast<NodeId>(v))) {
+        neighbor_pool_.push_back({inc.neighbor, graph.name(inc.neighbor)});
+        adj_peer_.push_back(inc.neighbor);
+      }
+      adj_off_[v + 1] = static_cast<std::uint32_t>(adj_peer_.size());
+    }
     for (std::size_t v = 0; v < n; ++v) {
       NodeEnv env;
       env.id = static_cast<NodeId>(v);
       env.name = graph.name(static_cast<NodeId>(v));
-      for (const graph::Incidence& inc : graph.neighbors(static_cast<NodeId>(v))) {
-        env.neighbors.push_back({inc.neighbor, graph.name(inc.neighbor)});
-      }
-      envs_.push_back(std::move(env));
+      env.neighbors = std::span<const NeighborInfo>(
+          neighbor_pool_.data() + adj_off_[v], adj_off_[v + 1] - adj_off_[v]);
+      envs_.push_back(env);
       nodes_.push_back(factory(envs_.back()));
     }
+    // Unit delays deliver every message at now + 1 and floors are monotone
+    // in send time, so the per-directed-link FIFO floor can never bind —
+    // skip both the array and the per-send bookkeeping in that case.
+    fifo_floors_active_ = config_.fifo_links && !config_.delay.is_unit();
+    if (fifo_floors_active_) fifo_floor_.assign(adj_peer_.size(), 0);
     // Schedule the spontaneous starts.
     for (std::size_t v = 0; v < n; ++v) {
       const Time at =
           config_.start_spread == 0
               ? 0
               : rng_.next_below(config_.start_spread + 1);
-      push_event(Event{at, next_seq_++, EventKind::kStart,
-                       static_cast<NodeId>(v), kNoNode, Message{}, 0, at});
+      Event& ev = queue_.emplace(at);
+      ev.kind = EventKind::kStart;
+      ev.to = static_cast<NodeId>(v);
+      ev.from = kNoNode;
+      ev.causal_depth = 0;
+      ev.send_time = at;
     }
   }
 
@@ -105,13 +134,17 @@ class Simulator {
   /// can interleave assertions with delivery.
   bool step() {
     if (queue_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    const auto popped = queue_.pop();
+    now_ = popped.time;
+    // The event is consumed in place from the queue's slab (stable across
+    // the sends the handler performs) and released afterwards — the payload
+    // is never copied out of the queue.
+    Event& ev = *popped.payload;
     ContextImpl ctx(this, ev.to);
     Node& node = nodes_[static_cast<std::size_t>(ev.to)];
     if (ev.kind == EventKind::kStart) {
       node.on_start(ctx);
+      queue_.release(popped.ref);
       return true;
     }
     // Update the receiver's causal depth *before* the handler so that
@@ -128,10 +161,11 @@ class Simulator {
             return std::decay_t<decltype(m)>::kName;
           },
           ev.payload);
-      trace_.record({ev.send_time, ev.time, ev.from, ev.to, type_index,
+      trace_.record({ev.send_time, now_, ev.from, ev.to, type_index,
                      type_name, ev.causal_depth});
     }
     node.on_message(ctx, ev.from, ev.payload);
+    queue_.release(popped.ref);
     return true;
   }
 
@@ -153,29 +187,47 @@ class Simulator {
     return envs_.at(static_cast<std::size_t>(id));
   }
 
-  /// Inject a message from outside the network (tests only). Counted and
-  /// delivered like any other message; `from` may be kNoNode.
+  /// Inject a message from outside the network (tests only). Obeys the same
+  /// channel model as protocol sends: it counts against `max_messages`, its
+  /// delay is drawn from the configured DelayModel, and when the directed
+  /// link from->to exists its FIFO floor applies. `from` may be kNoNode (or
+  /// any non-neighbor) for a truly external sender, which bypasses no cap —
+  /// only the per-link floor, since there is no link.
   void inject(NodeId from, NodeId to, Message message) {
-    push_event(Event{now_ + 1, next_seq_++, EventKind::kMessage, to, from,
-                     std::move(message), depth_from(from) + 1, now_});
+    MDST_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < nodes_.size(),
+                 "inject: bad destination");
+    MDST_REQUIRE(from == kNoNode ||
+                     (from >= 0 && static_cast<std::size_t>(from) < nodes_.size()),
+                 "inject: bad source");
+    MDST_REQUIRE(sent_ < config_.max_messages,
+                 "message cap exceeded — livelock?");
+    ++sent_;
+    Time deliver_at = now_ + config_.delay.sample(rng_);
+    if (fifo_floors_active_ && from != kNoNode) {
+      const std::size_t slot = find_directed_slot(from, to);
+      if (slot != kNoSlot) deliver_at = bump_fifo_floor(slot, deliver_at);
+    }
+    Event& ev = queue_.emplace(deliver_at);
+    ev.kind = EventKind::kMessage;
+    ev.to = to;
+    ev.from = from;
+    ev.payload = std::move(message);
+    ev.causal_depth = depth_from(from) + 1;
+    ev.send_time = now_;
   }
 
  private:
-  enum class EventKind { kStart, kMessage };
+  enum class EventKind : std::uint8_t { kStart, kMessage };
 
+  /// Queue payload; delivery time and send order live in the CalendarQueue
+  /// slab node, not here.
   struct Event {
-    Time time = 0;
-    std::uint64_t seq = 0;
     EventKind kind = EventKind::kMessage;
     NodeId to = kNoNode;
     NodeId from = kNoNode;
     Message payload{};
     std::uint64_t causal_depth = 0;
     Time send_time = 0;
-
-    friend bool operator>(const Event& a, const Event& b) {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
   };
 
   class ContextImpl final : public IContext<Message> {
@@ -184,24 +236,23 @@ class Simulator {
 
     void send(NodeId to, Message message) override {
       Simulator& sim = *sim_;
-      MDST_REQUIRE(sim.envs_[static_cast<std::size_t>(self_)].is_neighbor(to),
+      const std::size_t slot = sim.find_directed_slot(self_, to);
+      MDST_REQUIRE(slot != kNoSlot,
                    "send: target is not a neighbor (point-to-point model)");
       MDST_REQUIRE(sim.sent_ < sim.config_.max_messages,
                    "message cap exceeded — livelock?");
       ++sim.sent_;
-      const Time delay = sim.config_.delay.sample(sim.rng_);
-      Time deliver_at = sim.now_ + delay;
-      if (sim.config_.fifo_links) {
-        // Enforce per-directed-link FIFO: never deliver before a message
-        // sent earlier on the same link.
-        Time& last = sim.fifo_floor_[link_key(self_, to)];
-        if (deliver_at < last) deliver_at = last;
-        last = deliver_at;
+      Time deliver_at = sim.now_ + sim.config_.delay.sample(sim.rng_);
+      if (sim.fifo_floors_active_) {
+        deliver_at = sim.bump_fifo_floor(slot, deliver_at);
       }
-      sim.push_event(Event{
-          deliver_at, sim.next_seq_++, EventKind::kMessage, to, self_,
-          std::move(message),
-          sim.depth_[static_cast<std::size_t>(self_)] + 1, sim.now_});
+      Event& ev = sim.queue_.emplace(deliver_at);
+      ev.kind = EventKind::kMessage;
+      ev.to = to;
+      ev.from = self_;
+      ev.payload = std::move(message);
+      ev.causal_depth = sim.depth_[static_cast<std::size_t>(self_)] + 1;
+      ev.send_time = sim.now_;
     }
 
     NodeId self() const override { return self_; }
@@ -215,9 +266,28 @@ class Simulator {
     NodeId self_;
   };
 
-  static std::uint64_t link_key(NodeId from, NodeId to) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-           static_cast<std::uint32_t>(to);
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// CSR slot of the directed link from->to, or kNoSlot. The linear scan
+  /// over a contiguous int32 row replaces both the old O(deg) NodeEnv
+  /// neighbor check and the hash lookup keyed on packed (from, to).
+  std::size_t find_directed_slot(NodeId from, NodeId to) const {
+    const auto u = static_cast<std::size_t>(from);
+    if (from < 0 || u + 1 >= adj_off_.size()) return kNoSlot;
+    const std::uint32_t hi = adj_off_[u + 1];
+    for (std::uint32_t s = adj_off_[u]; s < hi; ++s) {
+      if (adj_peer_[s] == to) return s;
+    }
+    return kNoSlot;
+  }
+
+  /// Enforce per-directed-link FIFO: never deliver before a message sent
+  /// earlier on the same link. Returns the (possibly floored) delivery time.
+  Time bump_fifo_floor(std::size_t slot, Time deliver_at) {
+    Time& last = fifo_floor_[slot];
+    if (deliver_at < last) deliver_at = last;
+    last = deliver_at;
+    return deliver_at;
   }
 
   std::uint64_t depth_from(NodeId from) const {
@@ -225,19 +295,26 @@ class Simulator {
     return depth_[static_cast<std::size_t>(from)];
   }
 
-  void push_event(Event ev) { queue_.push(std::move(ev)); }
-
   SimConfig config_;
   support::Rng rng_;
   Metrics metrics_;
   Trace trace_;
+  /// Backing storage for every NodeEnv::neighbors span; never reallocated
+  /// after construction.
+  std::vector<NeighborInfo> neighbor_pool_;
   std::vector<NodeEnv> envs_;
   std::vector<Node> nodes_;
   std::vector<std::uint64_t> depth_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, Time> fifo_floor_;
+  /// Directed-incidence CSR of the network: peers of vertex v are
+  /// adj_peer_[adj_off_[v] .. adj_off_[v+1]) in graph adjacency order.
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<NodeId> adj_peer_;
+  /// Latest scheduled delivery per directed link, indexed by CSR slot.
+  /// Empty (and unread) when fifo_floors_active_ is false.
+  std::vector<Time> fifo_floor_;
+  bool fifo_floors_active_ = false;
+  CalendarQueue<Event> queue_;
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t sent_ = 0;
 
   friend class ContextImpl;

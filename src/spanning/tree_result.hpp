@@ -7,7 +7,6 @@
 // protocol phase) and cross-validates that parent/child views agree.
 #pragma once
 
-#include <algorithm>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -44,14 +43,27 @@ graph::RootedTree extract_tree(const Sim& simulation) {
   MDST_ASSERT(root != sim::kNoNode, "no root in extracted tree");
   graph::RootedTree tree =
       graph::RootedTree::from_parents(root, std::move(parents));
-  // Cross-validate the child views against the parent views.
+  // Cross-validate the child views against the parent views in O(n): the
+  // children lists, pooled, must claim each non-root vertex exactly once,
+  // and each claim must match the vertex's own parent pointer. That is
+  // equivalent to per-node multiset equality without the sorts and copies.
+  std::vector<sim::NodeId> claimed_by(n, sim::kNoNode);
+  std::size_t claims = 0;
   for (std::size_t v = 0; v < n; ++v) {
     const auto& node = simulation.node(static_cast<sim::NodeId>(v));
-    auto kids = node.children();
-    std::sort(kids.begin(), kids.end());
-    auto expected = tree.children(static_cast<sim::NodeId>(v));
-    std::sort(expected.begin(), expected.end());
-    MDST_ASSERT(kids == expected, "child view disagrees with parent view");
+    for (const sim::NodeId c : node.children()) {
+      MDST_ASSERT(c >= 0 && static_cast<std::size_t>(c) < n &&
+                      claimed_by[static_cast<std::size_t>(c)] == sim::kNoNode,
+                  "child claimed twice or out of range");
+      claimed_by[static_cast<std::size_t>(c)] = static_cast<sim::NodeId>(v);
+      ++claims;
+    }
+  }
+  MDST_ASSERT(claims == n - 1, "child views do not cover the tree");
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<sim::NodeId>(v) == root) continue;
+    MDST_ASSERT(claimed_by[v] == tree.parent(static_cast<sim::NodeId>(v)),
+                "child view disagrees with parent view");
   }
   return tree;
 }

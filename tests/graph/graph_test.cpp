@@ -96,5 +96,67 @@ TEST(GraphTest, Summary) {
   EXPECT_EQ(g.summary(), "Graph(n=5, m=1)");
 }
 
+TEST(GraphCsrTest, NeighborOrderMatchesInsertionOrder) {
+  // The CSR rebuild must reproduce what per-vertex push_back would have
+  // produced: incidences in edge-insertion order.
+  Graph g(4);
+  const EdgeId e02 = g.add_edge(0, 2);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e03 = g.add_edge(0, 3);
+  const EdgeId e12 = g.add_edge(1, 2);
+  auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0].neighbor, 2);
+  EXPECT_EQ(n0[0].edge, e02);
+  EXPECT_EQ(n0[1].neighbor, 1);
+  EXPECT_EQ(n0[1].edge, e01);
+  EXPECT_EQ(n0[2].neighbor, 3);
+  EXPECT_EQ(n0[2].edge, e03);
+  auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].neighbor, 0);
+  EXPECT_EQ(n2[1].neighbor, 1);
+  EXPECT_EQ(n2[1].edge, e12);
+}
+
+TEST(GraphCsrTest, MutationAfterNeighborAccessRebuildsCsr) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);  // builds the CSR
+  g.add_edge(0, 2);                      // invalidates it
+  auto n0 = g.neighbors(0);              // rebuild
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0].neighbor, 1);
+  EXPECT_EQ(n0[1].neighbor, 2);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphCsrTest, FreezeLocksTopology) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.frozen());
+  g.freeze();
+  EXPECT_TRUE(g.frozen());
+  g.freeze();  // idempotent
+  EXPECT_THROW(g.add_edge(1, 2), ContractViolation);
+  EXPECT_THROW(g.add_vertex(), ContractViolation);
+  // Reads still work after freeze.
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.find_edge(1, 0), 0);
+  // Names are not topology; renaming stays allowed.
+  g.set_names({5, 6, 7});
+  EXPECT_EQ(g.name(0), 5);
+}
+
+TEST(GraphCsrTest, ReserveEdgesIsTransparent) {
+  Graph g(10);
+  g.reserve_edges(9);
+  for (VertexId v = 1; v < 10; ++v) g.add_edge(0, v);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  EXPECT_EQ(g.neighbors(0).size(), 9u);
+}
+
 }  // namespace
 }  // namespace mdst::graph

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <memory>
 
 #include "mdst/messages.hpp"
 #include "support/assert.hpp"
@@ -47,11 +48,17 @@ class MockCtx final : public sim::IContext<Message> {
 };
 
 /// Environment of node `id` with the given neighbour ids; names == ids.
+/// NodeEnv::neighbors is a span, so the backing arrays live in a pool that
+/// outlasts every Node built from these envs.
 sim::NodeEnv env_of(sim::NodeId id, std::vector<sim::NodeId> neighbors) {
+  static std::vector<std::unique_ptr<std::vector<sim::NeighborInfo>>> pool;
+  auto infos = std::make_unique<std::vector<sim::NeighborInfo>>();
+  for (const sim::NodeId nb : neighbors) infos->push_back({nb, nb});
   sim::NodeEnv env;
   env.id = id;
   env.name = id;
-  for (const sim::NodeId nb : neighbors) env.neighbors.push_back({nb, nb});
+  env.neighbors = std::span<const sim::NeighborInfo>(*infos);
+  pool.push_back(std::move(infos));
   return env;
 }
 

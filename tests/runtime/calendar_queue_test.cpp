@@ -1,0 +1,151 @@
+// CalendarQueue unit tests: FIFO tie-breaks, overflow migration, and an
+// adversarial cross-check against a std::priority_queue reference — the
+// structure the simulator used before the calendar-queue swap.
+#include "runtime/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+namespace {
+
+TEST(CalendarQueueTest, PopsInTimeOrder) {
+  CalendarQueue<int> q;
+  q.push(5, 50);
+  q.push(1, 10);
+  q.push(3, 30);
+  std::vector<Time> times;
+  std::vector<int> values;
+  while (!q.empty()) {
+    const auto p = q.pop();
+    times.push_back(p.time);
+    values.push_back(*p.payload);
+    q.release(p.ref);
+  }
+  EXPECT_EQ(times, (std::vector<Time>{1, 3, 5}));
+  EXPECT_EQ(values, (std::vector<int>{10, 30, 50}));
+}
+
+TEST(CalendarQueueTest, EqualTimesPopInPushOrder) {
+  CalendarQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(7, i);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = q.pop();
+    EXPECT_EQ(p.time, 7u);
+    EXPECT_EQ(*p.payload, i);
+    q.release(p.ref);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueTest, FarFutureEventsGoThroughOverflowCorrectly) {
+  CalendarQueue<int> q;  // horizon 1024
+  q.push(100'000, 2);    // overflow
+  q.push(3, 1);          // wheel
+  q.push(2'000'000, 3);  // overflow
+  auto a = q.pop();
+  EXPECT_EQ(a.time, 3u);
+  EXPECT_EQ(*a.payload, 1);
+  q.release(a.ref);
+  auto b = q.pop();
+  EXPECT_EQ(b.time, 100'000u);
+  EXPECT_EQ(*b.payload, 2);
+  q.release(b.ref);
+  auto c = q.pop();
+  EXPECT_EQ(c.time, 2'000'000u);
+  EXPECT_EQ(*c.payload, 3);
+  q.release(c.ref);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueTest, PushIntoPastRejected) {
+  CalendarQueue<int> q;
+  q.push(10, 1);
+  const auto p = q.pop();  // now == 10
+  q.release(p.ref);
+  EXPECT_THROW(q.push(9, 2), mdst::ContractViolation);
+}
+
+struct RefEv {
+  Time time;
+  std::uint64_t seq;
+  int tag;
+  friend bool operator>(const RefEv& a, const RefEv& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+// The regression guard for the queue swap: an adversarial random schedule
+// (bursts at equal times, short and far-horizon delays, interleaved pops)
+// must pop in exactly the (time, push order) sequence a binary heap keyed
+// (time, seq) produces.
+TEST(CalendarQueueTest, MatchesPriorityQueueReferenceOnRandomSchedules) {
+  using Ev = RefEv;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    support::Rng rng(seed);
+    CalendarQueue<int> q;
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> ref;
+    std::uint64_t seq = 0;
+    Time now = 0;
+    int tag = 0;
+    for (int step = 0; step < 20'000; ++step) {
+      const bool push = q.empty() || rng.next_bool(0.55);
+      if (push) {
+        // Mix of near events, same-time bursts, and far overflow jumps.
+        Time at = now;
+        const std::uint64_t kind = rng.next_below(10);
+        if (kind < 5) {
+          at = now + rng.next_below(4);
+        } else if (kind < 9) {
+          at = now + rng.next_below(900);
+        } else {
+          at = now + 1000 + rng.next_below(100'000);  // beyond the horizon
+        }
+        q.push(at, tag);
+        ref.push({at, seq++, tag});
+        ++tag;
+      } else {
+        const auto got = q.pop();
+        const Ev want = ref.top();
+        ref.pop();
+        ASSERT_EQ(got.time, want.time) << "seed " << seed << " step " << step;
+        ASSERT_EQ(*got.payload, want.tag) << "seed " << seed << " step " << step;
+        q.release(got.ref);
+        now = got.time;
+      }
+    }
+    while (!q.empty()) {
+      const auto got = q.pop();
+      const Ev want = ref.top();
+      ref.pop();
+      ASSERT_EQ(got.time, want.time);
+      ASSERT_EQ(*got.payload, want.tag);
+      q.release(got.ref);
+    }
+    EXPECT_TRUE(ref.empty());
+  }
+}
+
+TEST(CalendarQueueTest, SlabReusesReleasedNodes) {
+  CalendarQueue<std::vector<int>> q;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 600; ++i) {  // crosses one 512-node block
+      q.emplace(static_cast<Time>(100 * round + 1)) = {i, i + 1};
+    }
+    for (int i = 0; i < 600; ++i) {
+      const auto p = q.pop();
+      ASSERT_EQ((*p.payload)[0], i);
+      q.release(p.ref);
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace mdst::sim

@@ -102,6 +102,69 @@ TEST(SimulatorApiTest, ContextNowAdvancesWithDeliveries) {
   EXPECT_EQ(sim.now(), sim.metrics().last_delivery_time());
 }
 
+TEST(SimulatorApiTest, InjectCountsAgainstMessageCap) {
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.max_messages = 3;
+  Simulator<EchoProto> sim(
+      g, [](const NodeEnv& env) { return EchoProto::Node(env); }, cfg);
+  sim.run();
+  // hops=0: no replies, so only the injections themselves count.
+  sim.inject(kNoNode, 1, Echo{0});
+  sim.inject(kNoNode, 1, Echo{0});
+  sim.inject(kNoNode, 1, Echo{0});
+  EXPECT_THROW(sim.inject(kNoNode, 1, Echo{0}), mdst::ContractViolation);
+}
+
+// Records the order tagged messages arrive in; never replies.
+struct Tag {
+  static constexpr const char* kName = "Tag";
+  int index = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+
+struct TagRecorderProto {
+  using Message = std::variant<Tag>;
+  class Node {
+   public:
+    explicit Node(const NodeEnv&) {}
+    void on_start(IContext<Message>&) {}
+    void on_message(IContext<Message>&, NodeId, const Message& m) {
+      received.push_back(std::get<Tag>(m).index);
+    }
+    std::vector<int> received;
+  };
+};
+
+TEST(SimulatorApiTest, InjectRespectsFifoFloorOnExistingLink) {
+  // Injected messages draw real delays from the configured model; a wide
+  // uniform delay would reorder a burst on link 0->1 unless the per-link
+  // FIFO floor applies to injections exactly as it does to protocol sends.
+  graph::Graph g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 40);
+  cfg.seed = 21;
+  Simulator<TagRecorderProto> sim(
+      g, [](const NodeEnv& env) { return TagRecorderProto::Node(env); }, cfg);
+  sim.run();  // drain starts
+  for (int i = 0; i < 30; ++i) sim.inject(0, 1, Tag{i});
+  sim.run();
+  const auto& received = sim.node(1).received;
+  ASSERT_EQ(received.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i)
+        << "injection reordered — FIFO floor not applied";
+  }
+}
+
+TEST(SimulatorApiTest, InjectRejectsBadDestination) {
+  graph::Graph g = graph::make_path(2);
+  Simulator<EchoProto> sim(
+      g, [](const NodeEnv& env) { return EchoProto::Node(env); });
+  sim.run();
+  EXPECT_THROW(sim.inject(kNoNode, 7, Echo{0}), mdst::ContractViolation);
+}
+
 TEST(SimulatorApiTest, EmptyGraphRejected) {
   graph::Graph g;
   EXPECT_THROW(Simulator<EchoProto>(
