@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
     sim::Simulator<core::Protocol> sim(
         g,
         [&](const sim::NodeEnv& env) {
-          return core::Node(env, start.parent(env.id), start.children(env.id),
-                            options);
+          return core::Protocol::Node(env, start.parent(env.id), start.children(env.id),
+                                      options);
         },
         cfg);
     sim.run();

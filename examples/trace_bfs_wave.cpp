@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
   sim::Simulator<core::Protocol> replay(
       g,
       [&](const sim::NodeEnv& env) {
-        return core::Node(env, start.parent(env.id), start.children(env.id),
-                          options);
+        return core::Protocol::Node(env, start.parent(env.id), start.children(env.id),
+                                    options);
       },
       cfg);
   replay.run();

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Append one perf-history record to BENCH_history.jsonl.
+
+Collects the google-benchmark JSON written by the `bench` target plus any
+table CSVs produced by the figure/claim benches (t2 messages, t3 time) and
+emits a single self-contained JSON line:
+
+    {"timestamp": ..., "commit": ..., "micro": {bench -> {time_ns, counters}},
+     "tables": {name -> [row dicts]}}
+
+One line per nightly run keeps the file git-mergeable and trivially
+consumable (`jq -s`, pandas.read_json(lines=True)).
+
+Usage:
+    append_bench_history.py --micro BENCH_micro.json \
+        --table t2=bench_t2.csv --table t3=bench_t3.csv \
+        --out BENCH_history.jsonl
+"""
+
+import argparse
+import csv
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"], text=True).strip()
+    except Exception:  # noqa: BLE001 - best effort outside a checkout
+        return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def load_micro(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    micro = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" and \
+                bench.get("aggregate_name") != "median":
+            continue
+        entry = {
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "iterations": bench.get("iterations"),
+        }
+        for key, value in bench.items():
+            # google-benchmark inlines user counters (e.g. "msgs/s").
+            if isinstance(value, (int, float)) and key not in entry and \
+                    key not in ("real_time", "cpu_time", "iterations",
+                                "repetition_index", "threads",
+                                "family_index", "per_family_instance_index"):
+                entry[key] = value
+        micro[bench["name"]] = entry
+    return micro
+
+
+def load_table(path: str) -> list:
+    with open(path, encoding="utf-8", newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--micro", help="BENCH_micro.json from the bench target")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="NAME=CSV", help="named table CSV to embed")
+    parser.add_argument("--out", default="BENCH_history.jsonl")
+    args = parser.parse_args()
+
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "commit": git_commit(),
+    }
+    if args.micro and os.path.exists(args.micro):
+        record["micro"] = load_micro(args.micro)
+    tables = {}
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            parser.error(f"--table expects NAME=CSV, got {spec!r}")
+        if os.path.exists(path):
+            tables[name] = load_table(path)
+        else:
+            print(f"warning: table {path} missing, skipped", file=sys.stderr)
+    if tables:
+        record["tables"] = tables
+
+    with open(args.out, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended 1 record to {args.out} "
+          f"({len(record.get('micro', {}))} micro benches, "
+          f"{len(tables)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+// Fragment tags, outgoing-edge candidates, and the boxed-candidate pool.
+//
+// A `Candidate` is the paper's <u, w, deg, tags> tuple describing one usable
+// outgoing edge; `BfsBack` convergecasts up to two of them (top + sub scope)
+// per hop. Carried inline they dominate `sizeof(Message)` — the whole
+// variant, and with it every calendar-queue slab node and in-flight event,
+// pays for the fattest alternative on every message of every type. Most
+// BfsBack messages carry *no* candidate at all (leaves, exhausted subtrees),
+// so the payload is boxed: the message holds a 4-byte slot handle into a
+// thread-local `CandidatePool`, allocated only when a candidate is actually
+// present. This shrinks `sizeof(Message)` from 64 to 24 bytes (see
+// tests/mdst/message_layout_test.cpp and docs/perf.md).
+//
+// Pool discipline — deliberate, and load-bearing for performance:
+// `BoxedCandidate` is TRIVIALLY COPYABLE (a bare slot handle, no RAII). An
+// RAII box would make `BfsBack`, and through it the whole `Message`
+// variant, non-trivial — turning every queue payload move of every message
+// type into a visitation dispatch instead of a memcpy (measured ≈7% on the
+// end-to-end MDegST bench). Instead the handle has malloc/free semantics
+// with a single-owner convention:
+//
+//   * the sender allocates by constructing BoxedCandidate from a valid
+//     Candidate (invalid candidates take no slot — the common case);
+//   * copies of the message share the handle; the simulator delivers each
+//     message exactly once;
+//   * the one consuming handler (BasicNode::handle_bfs_back) calls
+//     release() exactly once per valid box after reading it.
+//
+// run_mdst() asserts the pool returns to its starting occupancy after every
+// run, so a violated convention fails loudly instead of leaking. The pool
+// is thread_local (a Simulator and everything it delivers runs on one
+// thread); slots recycle through a free list, so steady-state traffic does
+// no allocation. Handles are never compared or serialized, so slot
+// numbering cannot affect protocol behaviour or determinism.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+
+using graph::NodeName;
+
+/// Sentinel for "no name".
+inline constexpr NodeName kNoName = -1;
+
+/// A fragment identity (root name, fragment name) ordered lexicographically
+/// — the paper's (p, p') pairs.
+struct FragTag {
+  NodeName root = kNoName;
+  NodeName frag = kNoName;
+
+  friend bool operator==(const FragTag&, const FragTag&) = default;
+  friend auto operator<=>(const FragTag& a, const FragTag& b) {
+    return a.key() <=> b.key();
+  }
+
+  bool valid() const { return root != kNoName; }
+
+  /// Order-preserving packed key: valid names are >= -1 (the kNoName
+  /// sentinel), so shifting by one in *unsigned* arithmetic (no overflow
+  /// UB even at INT32_MAX) maps them monotonically onto uint32, and the
+  /// (root, frag) lexicographic order collapses to one 64-bit compare —
+  /// the hottest comparison in the BFS wave (on_cross_probe's closure
+  /// protocol).
+  std::uint64_t key() const {
+    const auto shift = [](NodeName name) {
+      return static_cast<std::uint32_t>(name) + 1u;
+    };
+    return (static_cast<std::uint64_t>(shift(root)) << 32) | shift(frag);
+  }
+};
+
+/// An outgoing-edge candidate (u, w): u is the node that discovered the
+/// edge, w the far endpoint; end_degree = max(deg_T(u), deg_T(w)) is the
+/// paper's choice key. w_top/w_sub record the far endpoint's fragment tags
+/// used for usability filtering at the round root / sub-root.
+struct Candidate {
+  NodeName u = kNoName;
+  NodeName w = kNoName;
+  int end_degree = 0;
+  FragTag w_top;
+  FragTag w_sub;
+
+  bool valid() const { return u != kNoName; }
+
+  /// The paper's selection order: minimal endpoint max-degree, then names
+  /// for determinism.
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.end_degree != b.end_degree) return a.end_degree < b.end_degree;
+    if (a.u != b.u) return a.u < b.u;
+    return a.w < b.w;
+  }
+};
+
+/// Slot pool backing BoxedCandidate. One instance per thread; slots are
+/// reused through a free list so steady-state message traffic allocates
+/// nothing.
+class CandidatePool {
+ public:
+  static CandidatePool& local();
+
+  std::uint32_t alloc(const Candidate& value) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = value;
+      return slot;
+    }
+    slots_.push_back(value);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release(std::uint32_t slot) { free_.push_back(slot); }
+
+  const Candidate& at(std::uint32_t slot) const { return slots_[slot]; }
+
+  /// Live slot count; run_mdst() asserts this is balanced across a run, so
+  /// a missed (or doubled) release() fails loudly. Capacity never shrinks.
+  std::size_t in_use() const { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<Candidate> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+namespace detail {
+// Namespace-scope constinit thread_local: raw TLS access, no per-call
+// initialization guard (vector's default constructor is constexpr).
+inline constinit thread_local CandidatePool candidate_pool{};
+}  // namespace detail
+
+inline CandidatePool& CandidatePool::local() { return detail::candidate_pool; }
+
+/// Trivially-copyable 4-byte handle to a pooled Candidate (see the file
+/// header for the ownership convention). Constructing from an *invalid*
+/// candidate — the common "nothing to report" case — takes no slot.
+class BoxedCandidate {
+ public:
+  BoxedCandidate() = default;
+  BoxedCandidate(const Candidate& value)  // NOLINT: implicit by design
+      : slot_(value.valid() ? CandidatePool::local().alloc(value) : kNull) {}
+
+  /// Mirrors Candidate::valid(): true iff a candidate is present.
+  bool valid() const { return slot_ != kNull; }
+
+  const Candidate& get() const {
+    MDST_ASSERT(valid(), "BoxedCandidate: get() on empty box");
+    return CandidatePool::local().at(slot_);
+  }
+
+  /// Return the slot to the pool. Must be called exactly once, by the final
+  /// consumer of the message, after the last get(). No-op on an empty box.
+  /// `const` because consumers see messages by const-ref; it mutates the
+  /// thread-local pool, not this handle.
+  void release() const {
+    if (slot_ != kNull) CandidatePool::local().release(slot_);
+  }
+
+ private:
+  static constexpr std::uint32_t kNull = static_cast<std::uint32_t>(-1);
+
+  std::uint32_t slot_ = kNull;
+};
+
+// The entire point of the handle design: BfsBack (and with it Message)
+// stays trivially copyable, so queue payload moves compile to memcpy.
+static_assert(std::is_trivially_copyable_v<BoxedCandidate>);
+static_assert(std::is_trivially_destructible_v<BoxedCandidate>);
+
+}  // namespace mdst::core

@@ -10,13 +10,14 @@ namespace mdst::core {
 namespace {
 
 using Sim = sim::Simulator<Protocol>;
+using SimNode = Protocol::Node;
 
 graph::RootedTree extract_tree(const Sim& simulation) {
   const std::size_t n = simulation.node_count();
   std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
   sim::NodeId root = sim::kNoNode;
   for (std::size_t v = 0; v < n; ++v) {
-    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
     MDST_ASSERT(node.done(), "protocol ended with an undone node");
     if (node.parent() == sim::kNoNode) {
       MDST_ASSERT(root == sim::kNoNode, "two roots after termination");
@@ -29,7 +30,7 @@ graph::RootedTree extract_tree(const Sim& simulation) {
   graph::RootedTree tree =
       graph::RootedTree::from_parents(root, std::move(parents));
   for (std::size_t v = 0; v < n; ++v) {
-    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
     auto kids = node.children();
     std::sort(kids.begin(), kids.end());
     auto expected = tree.children(static_cast<sim::NodeId>(v));
@@ -47,7 +48,7 @@ void validate_midrun(const Sim& simulation, const graph::Graph& g) {
   std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
   sim::NodeId root = sim::kNoNode;
   for (std::size_t v = 0; v < n; ++v) {
-    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
     if (node.parent() == sim::kNoNode) {
       MDST_ASSERT(root == sim::kNoNode, "mid-run: two roots");
       root = static_cast<sim::NodeId>(v);
@@ -128,13 +129,17 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                    const Options& options, const sim::SimConfig& sim_config) {
   MDST_REQUIRE(initial.spans(g), "initial tree must span g");
   MDST_REQUIRE(graph::is_connected(g), "graph must be connected");
+  // Safety net for the trivially-copyable BoxedCandidate convention
+  // (candidates.hpp): every slot allocated by a BfsBack sender must be
+  // released by exactly one handle_bfs_back. A completed run is balanced.
+  const std::size_t boxed_before = CandidatePool::local().in_use();
 
   Sim simulation(
       g,
       [&](const sim::NodeEnv& env) {
         const graph::VertexId v = env.id;
         const graph::VertexId parent = initial.parent(v);
-        return Node(env, parent, initial.children(v), options);
+        return SimNode(env, parent, initial.children(v), options);
       },
       sim_config);
 
@@ -154,6 +159,10 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
     simulation.run();
   }
 
+  MDST_ASSERT(CandidatePool::local().in_use() == boxed_before,
+              "boxed-candidate pool imbalance: a BfsBack box leaked or was "
+              "double-released");
+
   RunResult result;
   result.tree = extract_tree(simulation);
   result.metrics = simulation.metrics();
@@ -164,7 +173,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
   std::uint32_t rounds = 0;
   std::uint64_t improvements = 0;
   for (std::size_t v = 0; v < simulation.node_count(); ++v) {
-    const Node& node = simulation.node(static_cast<sim::NodeId>(v));
+    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
     rounds = std::max(rounds, node.rounds_started());
     improvements += node.improvements_applied();
     if (node.stop_reason() != StopReason::kNotStopped) {

@@ -1,6 +1,7 @@
 // Message set of the distributed MDegST protocol.
 //
-// Mapping to the paper's vocabulary (§3.2):
+// Mapping to the paper's vocabulary (§3.2) — docs/protocol.md carries the
+// full handler-by-handler table:
 //   paper                      here
 //   ------------------------   ------------------------------------------
 //   degree convergecast        StartRound (down) + SearchReply (up)
@@ -21,13 +22,19 @@
 // The paper's rounds 1..R are explicit here: the root triggers each round's
 // degree search with a StartRound broadcast (the paper lets leaves start
 // spontaneously, which only works for the first round; we meter the extra
-// n-1 messages honestly — see EXPERIMENTS.md E9).
+// n-1 messages honestly — see docs/protocol.md).
 //
 // Every message reports how many identity-sized fields it carries
 // (ids_carried) so the bit-width claim C5 can be measured. In
 // kSingleImprovement mode all messages carry at most 4 identity fields,
 // matching the paper; kConcurrent needs up to 8 (sub-fragment tags), still
 // O(log n) bits.
+//
+// Size discipline: every alternative is a few machine words. The one
+// naturally fat message, BfsBack, carries its Candidates *boxed* (4-byte
+// pool handles, see candidates.hpp), so the variant — and with it every
+// queued event — stays small; tests/mdst/message_layout_test.cpp pins the
+// bound.
 #pragma once
 
 #include <cstddef>
@@ -36,47 +43,9 @@
 #include <variant>
 
 #include "graph/types.hpp"
+#include "mdst/candidates.hpp"
 
 namespace mdst::core {
-
-using graph::NodeName;
-
-/// Sentinel for "no name".
-inline constexpr NodeName kNoName = -1;
-
-/// A fragment identity (root name, fragment name) ordered lexicographically
-/// — the paper's (p, p') pairs.
-struct FragTag {
-  NodeName root = kNoName;
-  NodeName frag = kNoName;
-
-  friend bool operator==(const FragTag&, const FragTag&) = default;
-  friend auto operator<=>(const FragTag& a, const FragTag& b) = default;
-
-  bool valid() const { return root != kNoName; }
-};
-
-/// An outgoing-edge candidate (u, w): u is the node that discovered the
-/// edge, w the far endpoint; end_degree = max(deg_T(u), deg_T(w)) is the
-/// paper's choice key. w_top/w_sub record the far endpoint's fragment tags
-/// used for usability filtering at the round root / sub-root.
-struct Candidate {
-  NodeName u = kNoName;
-  NodeName w = kNoName;
-  int end_degree = 0;
-  FragTag w_top;
-  FragTag w_sub;
-
-  bool valid() const { return u != kNoName; }
-
-  /// The paper's selection order: minimal endpoint max-degree, then names
-  /// for determinism.
-  friend bool operator<(const Candidate& a, const Candidate& b) {
-    if (a.end_degree != b.end_degree) return a.end_degree < b.end_degree;
-    if (a.u != b.u) return a.u < b.u;
-    return a.w < b.w;
-  }
-};
 
 // --- Messages ---------------------------------------------------------------
 
@@ -146,8 +115,8 @@ struct CousinReply {
 /// DESIGN D2/D4).
 struct BfsBack {
   static constexpr const char* kName = "BfsBack";
-  Candidate best_top;  // usable at the round root p
-  Candidate best_sub;  // usable at the enclosing sub-root q (concurrent mode)
+  BoxedCandidate best_top;  // usable at the round root p
+  BoxedCandidate best_sub;  // usable at the enclosing sub-root q (concurrent)
   bool stuck = false;
   bool improved = false;
   std::size_t ids_carried() const {
@@ -214,6 +183,13 @@ using Message =
     std::variant<StartRound, SearchReply, MoveRoot, Cut, Bfs, CousinReply,
                  BfsBack, Update, ChildRequest, ChildAccept, ChildReject,
                  Reverse, Detach, Abort, Terminate>;
+
+// Two load-bearing layout properties (see candidates.hpp and docs/perf.md):
+// trivial copyability keeps every queue payload move a memcpy, and the
+// 24-byte bound keeps calendar-queue slab nodes lean. A new alternative (or
+// field) that breaks either deserves a deliberate decision, not an accident.
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(sizeof(Message) <= 24);
 
 /// Indices for metrics queries (kept in sync with the variant order).
 enum class MessageType : std::size_t {

@@ -1,8 +1,9 @@
 #include "mdst/node.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
-#include "runtime/variant_util.hpp"
+#include "runtime/sim_core.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -28,42 +29,87 @@ const char* to_string(EngineMode mode) {
   return "?";
 }
 
-Node::Node(const sim::NodeEnv& env, sim::NodeId parent,
-           std::vector<sim::NodeId> children, Options options)
-    : env_(env), opts_(options), parent_(parent), children_(std::move(children)) {
+template <typename Context>
+BasicNode<Context>::BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
+                              std::vector<sim::NodeId> children,
+                              Options options)
+    : parent_(parent), children_(std::move(children)), env_(env),
+      opts_(options) {
   MDST_REQUIRE(parent_ == sim::kNoNode || env_.is_neighbor(parent_),
                "initial parent must be a neighbor");
   for (const sim::NodeId child : children_) {
     MDST_REQUIRE(env_.is_neighbor(child), "initial child must be a neighbor");
   }
+  if (parent_ != sim::kNoNode) {
+    parent_index_ = static_cast<std::uint32_t>(neighbor_index(parent_));
+  }
+  child_indices_.reserve(children_.size());
+  for (const sim::NodeId child : children_) {
+    child_indices_.push_back(
+        static_cast<std::uint32_t>(neighbor_index(child)));
+  }
 }
 
-void Node::add_child(sim::NodeId node) {
+// Compile-time guard for the hot-line packing promised in node.hpp: the
+// per-message fields (dispatch asserts, wave counters, tags, aggregation
+// slots) must share the object's leading cache line. offsetof on a
+// non-standard-layout class is conditionally-supported; GCC and Clang both
+// implement it, we just silence the pedantic warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+template <typename Context>
+void BasicNode<Context>::static_layout_check() {
+  using Self = BasicNode;
+  static_assert(alignof(Self) == 64, "node must be cache-line aligned");
+  static_assert(offsetof(Self, parent_) == 0, "hot block must lead");
+  static_assert(offsetof(Self, search_best_who_) + sizeof(graph::NodeName) <=
+                    64,
+                "hot per-message state must fit the leading cache line");
+}
+#pragma GCC diagnostic pop
+
+template <typename Context>
+void BasicNode<Context>::add_child(sim::NodeId node, std::uint32_t idx_hint) {
   MDST_ASSERT(!has_child(node), "add_child: already a child");
   MDST_ASSERT(node != parent_, "add_child: is parent");
   children_.push_back(node);
+  child_indices_.push_back(
+      static_cast<std::uint32_t>(neighbor_index_hinted(node, idx_hint)));
 }
 
-void Node::remove_child(sim::NodeId node) {
+template <typename Context>
+void BasicNode<Context>::remove_child(sim::NodeId node) {
   const auto it = std::find(children_.begin(), children_.end(), node);
   MDST_ASSERT(it != children_.end(), "remove_child: not a child");
+  child_indices_.erase(child_indices_.begin() + (it - children_.begin()));
   children_.erase(it);
 }
 
-sim::NodeId Node::neighbor_by_name(graph::NodeName name) const {
+template <typename Context>
+std::uint32_t BasicNode<Context>::child_index_of(sim::NodeId node) const {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == node) return child_indices_[i];
+  }
+  MDST_UNREACHABLE("child_index_of: not a child");
+}
+
+template <typename Context>
+sim::NodeId BasicNode<Context>::neighbor_by_name(graph::NodeName name) const {
   for (const sim::NeighborInfo& nb : env_.neighbors) {
     if (nb.name == name) return nb.id;
   }
   MDST_UNREACHABLE("neighbor_by_name: no neighbor with that name");
 }
 
-bool Node::node_is_stuck() const {
+template <typename Context>
+bool BasicNode<Context>::node_is_stuck() const {
   // A stuck mark is only meaningful while the node's degree is unchanged
   // since the mark was taken (lazy invalidation).
   return stuck_ && stuck_degree_ == tree_degree();
 }
 
-void Node::reset_round_state() {
+template <typename Context>
+void BasicNode<Context>::reset_round_state() {
   role_ = Role::kIdle;
   have_tags_ = false;
   top_ = FragTag{};
@@ -89,7 +135,7 @@ void Node::reset_round_state() {
   pending_new_parent_ = sim::kNoNode;
   if (stuck_ && stuck_degree_ != tree_degree()) stuck_ = false;
   // Seed the SearchDegree aggregation with this node's own entry.
-  search_waiting_ = children_.size();
+  search_waiting_ = static_cast<std::uint32_t>(children_.size());
   const int deg = tree_degree();
   if (node_is_stuck()) {
     search_best_deg_ = -1;
@@ -106,12 +152,14 @@ void Node::reset_round_state() {
 // Round orchestration (root side)
 // ---------------------------------------------------------------------------
 
-void Node::on_start(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::on_start(Context& ctx) {
   if (parent_ != sim::kNoNode || done_) return;
   begin_round(ctx);
 }
 
-void Node::begin_round(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::begin_round(Context& ctx) {
   MDST_ASSERT(parent_ == sim::kNoNode, "begin_round on non-root");
   ++round_;
   const bool clear = clear_stuck_next_;
@@ -119,13 +167,15 @@ void Node::begin_round(Ctx& ctx) {
   if (clear) stuck_ = false;
   reset_round_state();
   ctx.annotate("round=" + std::to_string(round_));
-  for (const sim::NodeId child : children_) {
-    ctx.send(child, StartRound{round_, clear});
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    send_indexed(ctx, children_[i], child_indices_[i],
+                 StartRound{round_, clear});
   }
   if (children_.empty()) root_decide_after_search(ctx);  // n == 1
 }
 
-void Node::root_decide_after_search(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::root_decide_after_search(Context& ctx) {
   round_root_duty_ = true;
   const int k_all = search_deg_all_;
   ctx.annotate("decide round=" + std::to_string(round_) +
@@ -154,12 +204,15 @@ void Node::root_decide_after_search(Ctx& ctx) {
   // MoveRoot: hand the root role to the child that reported the target.
   MDST_ASSERT(via_ != sim::kNoNode, "target elsewhere but via is self");
   const sim::NodeId next = via_;
-  ctx.send(next, MoveRoot{k_, search_best_who_});
+  const std::uint32_t next_idx = child_index_of(next);
+  send_indexed(ctx, next, next_idx, MoveRoot{k_, search_best_who_});
   parent_ = next;
+  parent_index_ = next_idx;
   remove_child(next);
 }
 
-void Node::begin_cut(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::begin_cut(Context& ctx) {
   MDST_ASSERT(parent_ == sim::kNoNode, "begin_cut on non-root");
   MDST_ASSERT(tree_degree() == k_, "round root must have degree k");
   role_ = Role::kRoot;
@@ -167,11 +220,13 @@ void Node::begin_cut(Ctx& ctx) {
   sub_ = top_;
   have_tags_ = true;
   wave_children_ = children_;
-  wave_waiting_ = wave_children_.size();
+  wave_child_indices_ = child_indices_;
+  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size());
   ctx.annotate("cut round=" + std::to_string(round_) +
                " k=" + std::to_string(k_));
-  for (const sim::NodeId child : wave_children_) {
-    ctx.send(child, Cut{k_, env_.name, FragTag{}});
+  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
+    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
+                 Cut{k_, env_.name, FragTag{}});
   }
   // Probes queued before we became the round root (only possible for
   // sub-roots in practice, but harmless to drain here too).
@@ -182,7 +237,8 @@ void Node::begin_cut(Ctx& ctx) {
   queued_probes_.clear();
 }
 
-void Node::root_choose(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::root_choose(Context& ctx) {
   ctx.annotate("wave_done round=" + std::to_string(round_) +
                " has_candidate=" + (best_top_.valid() ? "1" : "0"));
   if (best_top_.valid()) {
@@ -192,8 +248,10 @@ void Node::root_choose(Ctx& ctx) {
   root_finish_round(ctx, /*improved=*/false);
 }
 
-void Node::start_improvement(Ctx& ctx, Scope scope, const Candidate& chosen,
-                             sim::NodeId provenance) {
+template <typename Context>
+void BasicNode<Context>::start_improvement(Context& ctx, Scope scope,
+                                           const Candidate& chosen,
+                                           sim::NodeId provenance) {
   MDST_ASSERT(provenance != sim::kNoNode,
               "root-side candidates always come from a child");
   improving_ = true;
@@ -201,7 +259,8 @@ void Node::start_improvement(Ctx& ctx, Scope scope, const Candidate& chosen,
   ctx.send(provenance, Update{chosen.u, chosen.w, k_});
 }
 
-void Node::root_finish_round(Ctx& ctx, bool improved) {
+template <typename Context>
+void BasicNode<Context>::root_finish_round(Context& ctx, bool improved) {
   MDST_ASSERT(role_ == Role::kRoot, "finish_round outside root role");
   const bool any_change = improved || subtree_improved_;
   if (opts_.mode == EngineMode::kConcurrent && subtree_stuck_ && !any_change) {
@@ -235,24 +294,31 @@ void Node::root_finish_round(Ctx& ctx, bool improved) {
   terminate(ctx, StopReason::kLocallyOptimal);
 }
 
-void Node::terminate(Ctx& ctx, StopReason reason) {
+template <typename Context>
+void BasicNode<Context>::terminate(Context& ctx, StopReason reason) {
   stop_reason_ = reason;
   ctx.annotate("terminate round=" + std::to_string(round_) +
                " reason=" + to_string(reason) +
                " k_all=" + std::to_string(search_deg_all_));
   done_ = true;
-  for (const sim::NodeId child : children_) ctx.send(child, Terminate{});
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    send_indexed(ctx, children_[i], child_indices_[i], Terminate{});
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Message dispatch
 // ---------------------------------------------------------------------------
 
-void Node::on_message(Ctx& ctx, sim::NodeId from, const Message& message) {
+template <typename Context>
+void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
+                                    const Message& message) {
   // Dispatch by switch on the variant index (MessageType mirrors the
   // alternative order; static_asserts in messages.hpp pin that) — a direct
   // jump table the handlers can inline into, instead of std::visit's
-  // function-pointer table. This is the hottest dispatch in the library.
+  // function-pointer table. This is the hottest dispatch in the library;
+  // with Context = sim::SimContext the ctx.send calls inside the handlers
+  // resolve statically and inline here too.
   switch (static_cast<MessageType>(message.index())) {
     case MessageType::kStartRound:
       return handle_start_round(ctx, from, *std::get_if<StartRound>(&message));
@@ -292,25 +358,32 @@ void Node::on_message(Ctx& ctx, sim::NodeId from, const Message& message) {
 // SearchDegree
 // ---------------------------------------------------------------------------
 
-void Node::handle_start_round(Ctx& ctx, sim::NodeId from, const StartRound& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_start_round(Context& ctx, sim::NodeId from,
+                                            const StartRound& msg) {
   MDST_ASSERT(from == parent_, "StartRound from non-parent");
   MDST_ASSERT(!done_, "StartRound after Terminate");
   round_ = msg.round;
   if (msg.clear_stuck) stuck_ = false;
   reset_round_state();
-  for (const sim::NodeId child : children_) {
-    ctx.send(child, StartRound{msg.round, msg.clear_stuck});
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    send_indexed(ctx, children_[i], child_indices_[i],
+                 StartRound{msg.round, msg.clear_stuck});
   }
   if (children_.empty()) send_search_reply_up(ctx);
 }
 
-void Node::send_search_reply_up(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::send_search_reply_up(Context& ctx) {
   MDST_ASSERT(parent_ != sim::kNoNode, "reply up from root");
-  ctx.send(parent_, SearchReply{search_best_deg_, search_best_who_,
-                                search_deg_all_});
+  send_indexed(ctx, parent_, parent_index_,
+               SearchReply{search_best_deg_, search_best_who_,
+                           search_deg_all_});
 }
 
-void Node::handle_search_reply(Ctx& ctx, sim::NodeId from, const SearchReply& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_search_reply(Context& ctx, sim::NodeId from,
+                                             const SearchReply& msg) {
   MDST_ASSERT(has_child(from), "SearchReply from non-child");
   MDST_ASSERT(search_waiting_ > 0, "unexpected SearchReply");
   if (msg.degree > search_best_deg_ ||
@@ -334,11 +407,15 @@ void Node::handle_search_reply(Ctx& ctx, sim::NodeId from, const SearchReply& ms
 // MoveRoot
 // ---------------------------------------------------------------------------
 
-void Node::handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_move_root(Context& ctx, sim::NodeId from,
+                                          const MoveRoot& msg) {
   MDST_ASSERT(from == parent_, "MoveRoot from non-parent");
   // Path reversal: the sender already made us its parent.
+  const std::uint32_t from_idx = parent_index_;
   parent_ = sim::kNoNode;
-  add_child(from);
+  parent_index_ = sim::kNoNeighborIndex;
+  add_child(from, from_idx);
   k_ = msg.k;
   if (env_.name == msg.target) {
     MDST_ASSERT(tree_degree() == msg.k, "MoveRoot target degree mismatch");
@@ -348,8 +425,10 @@ void Node::handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg) {
   }
   MDST_ASSERT(via_ != sim::kNoNode, "MoveRoot: no via toward target");
   const sim::NodeId next = via_;
-  ctx.send(next, MoveRoot{msg.k, msg.target});
+  const std::uint32_t next_idx = child_index_of(next);
+  send_indexed(ctx, next, next_idx, MoveRoot{msg.k, msg.target});
   parent_ = next;
+  parent_index_ = next_idx;
   remove_child(next);
 }
 
@@ -357,7 +436,9 @@ void Node::handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg) {
 // Cut / BFS wave
 // ---------------------------------------------------------------------------
 
-void Node::handle_cut(Ctx& ctx, sim::NodeId from, const Cut& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_cut(Context& ctx, sim::NodeId from,
+                                    const Cut& msg) {
   MDST_ASSERT(from == parent_, "Cut from non-parent");
   if (!msg.encl_top.valid()) {
     // Main cut: I am a fragment root; my fragment is (p, my name).
@@ -373,9 +454,11 @@ void Node::handle_cut(Ctx& ctx, sim::NodeId from, const Cut& msg) {
   become_member(ctx, msg.encl_top, FragTag{msg.sub_root, env_.name}, msg.k);
 }
 
-void Node::handle_bfs(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_bfs(Context& ctx, sim::NodeId from,
+                                    const Bfs& msg) {
   if (from != parent_) {
-    on_cross_probe(ctx, from, msg);
+    on_cross_probe(ctx, from, msg, delivery_from_index(ctx));
     return;
   }
   // The wave reaches me through my tree parent.
@@ -388,7 +471,9 @@ void Node::handle_bfs(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
   become_member(ctx, msg.top, msg.sub, msg.k);
 }
 
-void Node::become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k) {
+template <typename Context>
+void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
+                                       const FragTag& sub, int k) {
   MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
   role_ = Role::kMember;
   k_ = k;
@@ -396,32 +481,41 @@ void Node::become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k
   sub_ = sub;
   have_tags_ = true;
   wave_children_ = children_;
+  wave_child_indices_ = child_indices_;
   cross_closed_.assign(env_.neighbors.size(), false);
-  for (const sim::NodeId child : wave_children_) {
-    ctx.send(child, Bfs{k_, top_, sub_});
+  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
+    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
+                 Bfs{k_, top_, sub_});
   }
   // No closure can arrive while this handler runs, so the cross count may
   // be accumulated in the same pass that sends the probes, as long as
   // wave_waiting_ is final before the queued probes below are replayed.
   std::size_t cross = 0;
-  for (const sim::NeighborInfo& nb : env_.neighbors) {
+  const std::span<const sim::NeighborInfo> neighbors = env_.neighbors;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const sim::NeighborInfo& nb = neighbors[i];
     if (nb.id == parent_ || has_child(nb.id)) continue;
     ++cross;
-    ctx.send(nb.id, Bfs{k_, top_, sub_});  // cousin probe
+    send_indexed(ctx, nb.id, static_cast<std::uint32_t>(i),
+                 Bfs{k_, top_, sub_});  // cousin probe
   }
-  wave_waiting_ = wave_children_.size() + cross;
+  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size() + cross);
   // Swap through a member scratch so both buffers survive across waves
   // instead of a free/malloc pair per wave. Replayed probes cannot re-queue:
   // have_tags_ is already set.
   scratch_probes_.clear();
   scratch_probes_.swap(queued_probes_);
   for (const auto& [probe_from, probe] : scratch_probes_) {
-    on_cross_probe(ctx, probe_from, probe);
+    // Replayed probes belong to an earlier delivery, so the current
+    // context's from-index hint does not apply.
+    on_cross_probe(ctx, probe_from, probe, sim::kNoNeighborIndex);
   }
   member_maybe_report(ctx);
 }
 
-void Node::become_sub_root(Ctx& ctx, const FragTag& encl_top, int k) {
+template <typename Context>
+void BasicNode<Context>::become_sub_root(Context& ctx, const FragTag& encl_top,
+                                         int k) {
   MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
   role_ = Role::kSubRoot;
   k_ = k;
@@ -429,10 +523,12 @@ void Node::become_sub_root(Ctx& ctx, const FragTag& encl_top, int k) {
   sub_ = FragTag{env_.name, env_.name};
   have_tags_ = true;
   wave_children_ = children_;
-  wave_waiting_ = wave_children_.size();
+  wave_child_indices_ = child_indices_;
+  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size());
   MDST_ASSERT(!wave_children_.empty(), "degree-k non-root node has children");
-  for (const sim::NodeId child : wave_children_) {
-    ctx.send(child, Cut{k_, env_.name, top_});
+  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
+    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
+                 Cut{k_, env_.name, top_});
   }
   scratch_probes_.clear();
   scratch_probes_.swap(queued_probes_);
@@ -442,7 +538,10 @@ void Node::become_sub_root(Ctx& ctx, const FragTag& encl_top, int k) {
   }
 }
 
-void Node::on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
+template <typename Context>
+void BasicNode<Context>::on_cross_probe(Context& ctx, sim::NodeId from,
+                                        const Bfs& msg,
+                                        std::uint32_t from_idx_hint) {
   if (!have_tags_) {
     queued_probes_.emplace_back(from, msg);
     return;
@@ -450,7 +549,8 @@ void Node::on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
   if (role_ == Role::kRoot || role_ == Role::kSubRoot) {
     // Roots never probe, so their reply is the prober's closure for this
     // edge. The degree they report (k) disqualifies the edge anyway.
-    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+    send_indexed(ctx, from, from_idx_hint,
+                 CousinReply{tree_degree(), top_, sub_});
     return;
   }
   // Member: the closure protocol (see header). Exactly one closing event
@@ -461,15 +561,15 @@ void Node::on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg) {
   //   probe.sub >  mine  -> they will answer my probe; that reply closes.
   const auto order = msg.sub <=> sub_;
   if (order > 0) return;  // they will answer my probe; that reply closes
-  if (order < 0) ctx.send(from, CousinReply{tree_degree(), top_, sub_});
-  close_cross_edge(ctx, from);
+  if (order < 0) {
+    send_indexed(ctx, from, from_idx_hint,
+                 CousinReply{tree_degree(), top_, sub_});
+  }
+  close_cross_edge_at(ctx, neighbor_index_hinted(from, from_idx_hint));
 }
 
-void Node::close_cross_edge(Ctx& ctx, sim::NodeId neighbor) {
-  close_cross_edge_at(ctx, neighbor_index(neighbor));
-}
-
-void Node::close_cross_edge_at(Ctx& ctx, std::size_t idx) {
+template <typename Context>
+void BasicNode<Context>::close_cross_edge_at(Context& ctx, std::size_t idx) {
   MDST_ASSERT(!cross_closed_[idx], "cross edge closed twice");
   cross_closed_[idx] = true;
   MDST_ASSERT(wave_waiting_ > 0, "closure with nothing pending");
@@ -477,12 +577,15 @@ void Node::close_cross_edge_at(Ctx& ctx, std::size_t idx) {
   member_maybe_report(ctx);
 }
 
-void Node::handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_cousin_reply(Context& ctx, sim::NodeId from,
+                                             const CousinReply& msg) {
   MDST_ASSERT(role_ == Role::kMember, "CousinReply at a non-member");
   const int my_deg = tree_degree();
   const int end_deg = std::max(my_deg, msg.degree);
-  // One scan serves both the name lookup and the closure below.
-  const std::size_t from_idx = neighbor_index(from);
+  // One lookup serves both the name read and the closure below; the
+  // delivery hint makes it O(1) on the simulator path.
+  const std::size_t from_idx = neighbor_index_hinted(from, delivery_from_index(ctx));
   const graph::NodeName w_name = env_.neighbors[from_idx].name;
   if (end_deg <= k_ - 2) {
     if (msg.top != top_) {
@@ -504,27 +607,39 @@ void Node::handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& ms
   close_cross_edge_at(ctx, from_idx);
 }
 
-void Node::member_maybe_report(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::member_maybe_report(Context& ctx) {
   if (role_ != Role::kMember || reported_up_ || wave_waiting_ != 0) return;
   reported_up_ = true;
   const Candidate sub_cand = (sub_ != top_) ? best_sub_ : Candidate{};
-  ctx.send(parent_, BfsBack{best_top_, sub_cand, subtree_stuck_,
-                            subtree_improved_});
+  // BfsBack boxes its candidates: the implicit Candidate -> BoxedCandidate
+  // conversions here allocate a pool slot only when the side is valid.
+  send_indexed(ctx, parent_, parent_index_,
+               BfsBack{best_top_, sub_cand, subtree_stuck_,
+                       subtree_improved_});
 }
 
-void Node::handle_bfs_back(Ctx& ctx, sim::NodeId from, const BfsBack& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_bfs_back(Context& ctx, sim::NodeId from,
+                                         const BfsBack& msg) {
   MDST_ASSERT(std::find(wave_children_.begin(), wave_children_.end(), from) !=
                   wave_children_.end(),
               "BfsBack from non-wave-child");
-  if (msg.best_top.valid() &&
-      (!best_top_.valid() || msg.best_top < best_top_)) {
-    best_top_ = msg.best_top;
-    prov_top_ = from;
+  // This handler is the boxed candidates' single consumer (candidates.hpp):
+  // read, then release each valid box exactly once.
+  if (msg.best_top.valid()) {
+    if (!best_top_.valid() || msg.best_top.get() < best_top_) {
+      best_top_ = msg.best_top.get();
+      prov_top_ = from;
+    }
+    msg.best_top.release();
   }
-  if (msg.best_sub.valid() &&
-      (!best_sub_.valid() || msg.best_sub < best_sub_)) {
-    best_sub_ = msg.best_sub;
-    prov_sub_ = from;
+  if (msg.best_sub.valid()) {
+    if (!best_sub_.valid() || msg.best_sub.get() < best_sub_) {
+      best_sub_ = msg.best_sub.get();
+      prov_sub_ = from;
+    }
+    msg.best_sub.release();
   }
   subtree_stuck_ = subtree_stuck_ || msg.stuck;
   subtree_improved_ = subtree_improved_ || msg.improved;
@@ -545,7 +660,8 @@ void Node::handle_bfs_back(Ctx& ctx, sim::NodeId from, const BfsBack& msg) {
   }
 }
 
-void Node::subroot_maybe_resolve(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::subroot_maybe_resolve(Context& ctx) {
   if (wave_waiting_ != 0 || sub_internal_done_ || improving_) return;
   if (best_sub_.valid()) {
     start_improvement(ctx, Scope::kSub, best_sub_, prov_sub_);
@@ -557,20 +673,24 @@ void Node::subroot_maybe_resolve(Ctx& ctx) {
   subroot_report_up(ctx);
 }
 
-void Node::subroot_report_up(Ctx& ctx) {
+template <typename Context>
+void BasicNode<Context>::subroot_report_up(Context& ctx) {
   MDST_ASSERT(role_ == Role::kSubRoot, "report_up outside sub-root");
   MDST_ASSERT(!reported_up_, "sub-root reported twice");
   reported_up_ = true;
-  ctx.send(parent_, BfsBack{best_top_, Candidate{},
-                            sub_stuck_ || subtree_stuck_,
-                            sub_improved_ || subtree_improved_});
+  send_indexed(ctx, parent_, parent_index_,
+               BfsBack{best_top_, Candidate{},
+                       sub_stuck_ || subtree_stuck_,
+                       sub_improved_ || subtree_improved_});
 }
 
 // ---------------------------------------------------------------------------
 // Improvement commit (Update / ChildRequest / Reverse / Detach / Abort)
 // ---------------------------------------------------------------------------
 
-void Node::handle_update(Ctx& ctx, sim::NodeId from, const Update& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_update(Context& ctx, sim::NodeId from,
+                                       const Update& msg) {
   update_from_ = from;
   if (msg.u == env_.name) {
     // I own the chosen outgoing edge. Determine the scope by matching the
@@ -613,60 +733,74 @@ void Node::handle_update(Ctx& ctx, sim::NodeId from, const Update& msg) {
   MDST_UNREACHABLE("Update does not match any recorded candidate");
 }
 
-void Node::handle_child_request(Ctx& ctx, sim::NodeId from, const ChildRequest& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_child_request(Context& ctx, sim::NodeId from,
+                                              const ChildRequest& msg) {
   // I am the far endpoint w. Accept iff my degree cap still holds and the
   // requester is (still) in a different fragment of the round root.
+  const std::uint32_t from_idx = delivery_from_index(ctx);
   const bool ok = have_tags_ && tree_degree() <= msg.k - 2 && top_ != msg.u_top;
   if (!ok) {
-    ctx.send(from, ChildReject{});
+    send_indexed(ctx, from, from_idx, ChildReject{});
     return;
   }
-  add_child(from);
-  ctx.send(from, ChildAccept{});
+  add_child(from, from_idx);
+  send_indexed(ctx, from, from_idx, ChildAccept{});
 }
 
-void Node::handle_child_accept(Ctx& ctx, sim::NodeId from) {
+template <typename Context>
+void BasicNode<Context>::handle_child_accept(Context& ctx, sim::NodeId from) {
   MDST_ASSERT(from == pending_new_parent_, "ChildAccept from unexpected node");
   const graph::NodeName stop_at =
       (pending_scope_ == Scope::kTop) ? top_.root : sub_.root;
   begin_reversal(ctx, stop_at, from);
 }
 
-void Node::handle_child_reject(Ctx& ctx, sim::NodeId from) {
+template <typename Context>
+void BasicNode<Context>::handle_child_reject(Context& ctx, sim::NodeId from) {
   MDST_ASSERT(from == pending_new_parent_, "ChildReject from unexpected node");
   pending_new_parent_ = sim::kNoNode;
   ctx.send(update_from_, Abort{});
 }
 
-void Node::begin_reversal(Ctx& ctx, graph::NodeName stop_at,
-                          sim::NodeId new_parent) {
+template <typename Context>
+void BasicNode<Context>::begin_reversal(Context& ctx, graph::NodeName stop_at,
+                                        sim::NodeId new_parent) {
   // Re-root my old fragment path at me and hang myself below new_parent.
   MDST_ASSERT(parent_ != sim::kNoNode, "edge owner cannot be the round root");
   const sim::NodeId old_parent = parent_;
+  const std::uint32_t old_idx = parent_index_;
   parent_ = new_parent;
-  if (env_.neighbor_name(old_parent) == stop_at) {
-    ctx.send(old_parent, Detach{});
+  parent_index_ = static_cast<std::uint32_t>(neighbor_index(new_parent));
+  if (env_.neighbors[old_idx].name == stop_at) {
+    send_indexed(ctx, old_parent, old_idx, Detach{});
   } else {
-    add_child(old_parent);
-    ctx.send(old_parent, Reverse{stop_at});
+    add_child(old_parent, old_idx);
+    send_indexed(ctx, old_parent, old_idx, Reverse{stop_at});
   }
 }
 
-void Node::handle_reverse(Ctx& ctx, sim::NodeId from, const Reverse& msg) {
+template <typename Context>
+void BasicNode<Context>::handle_reverse(Context& ctx, sim::NodeId from,
+                                        const Reverse& msg) {
   MDST_ASSERT(has_child(from), "Reverse from non-child");
   remove_child(from);
   MDST_ASSERT(parent_ != sim::kNoNode, "Reverse reached the round root");
   const sim::NodeId old_parent = parent_;
+  const std::uint32_t old_idx = parent_index_;
   parent_ = from;
-  if (env_.neighbor_name(old_parent) == msg.stop_at) {
-    ctx.send(old_parent, Detach{});
+  parent_index_ = static_cast<std::uint32_t>(
+      neighbor_index_hinted(from, delivery_from_index(ctx)));
+  if (env_.neighbors[old_idx].name == msg.stop_at) {
+    send_indexed(ctx, old_parent, old_idx, Detach{});
   } else {
-    add_child(old_parent);
-    ctx.send(old_parent, Reverse{msg.stop_at});
+    add_child(old_parent, old_idx);
+    send_indexed(ctx, old_parent, old_idx, Reverse{msg.stop_at});
   }
 }
 
-void Node::handle_detach(Ctx& ctx, sim::NodeId from) {
+template <typename Context>
+void BasicNode<Context>::handle_detach(Context& ctx, sim::NodeId from) {
   MDST_ASSERT(has_child(from), "Detach from non-child");
   remove_child(from);
   MDST_ASSERT(improving_, "Detach while not improving");
@@ -686,7 +820,8 @@ void Node::handle_detach(Ctx& ctx, sim::NodeId from) {
   subroot_report_up(ctx);
 }
 
-void Node::handle_abort(Ctx& ctx, sim::NodeId from) {
+template <typename Context>
+void BasicNode<Context>::handle_abort(Context& ctx, sim::NodeId from) {
   (void)from;
   if (improving_ && (role_ == Role::kRoot || role_ == Role::kSubRoot)) {
     improving_ = false;
@@ -710,11 +845,21 @@ void Node::handle_abort(Ctx& ctx, sim::NodeId from) {
 // Termination
 // ---------------------------------------------------------------------------
 
-void Node::handle_terminate(Ctx& ctx, sim::NodeId from) {
+template <typename Context>
+void BasicNode<Context>::handle_terminate(Context& ctx, sim::NodeId from) {
   MDST_ASSERT(from == parent_, "Terminate from non-parent");
   MDST_ASSERT(!done_, "Terminate twice");
   done_ = true;
-  for (const sim::NodeId child : children_) ctx.send(child, Terminate{});
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    send_indexed(ctx, children_[i], child_indices_[i], Terminate{});
+  }
 }
+
+// ---------------------------------------------------------------------------
+// Instantiations: the virtual/mock path and the devirtualized simulator path.
+// ---------------------------------------------------------------------------
+
+template class BasicNode<sim::IContext<Message>>;
+template class BasicNode<sim::SimContext<Message>>;
 
 }  // namespace mdst::core

@@ -31,6 +31,12 @@
 // improvement of this round has been delivered, because every such message
 // is counted by exactly one node's completion condition (see the closure
 // rules in on_cross_probe()).
+//
+// Dispatch: BasicNode is generic over its context type. The simulator path
+// instantiates it on the concrete sim::SimContext<Message> (no vtable; the
+// send path inlines into the handlers), while `Node` keeps the virtual
+// sim::IContext binding for mock-context unit tests and trace/replay
+// tooling. Both instantiations are compiled once in node.cpp.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,11 @@
 #include "runtime/context.hpp"
 #include "runtime/node_env.hpp"
 
+namespace mdst::sim {
+template <typename Message>
+class SimContext;  // defined in runtime/sim_core.hpp
+}  // namespace mdst::sim
+
 namespace mdst::core {
 
 /// Why the algorithm stopped (recorded by the final round root).
@@ -57,14 +68,15 @@ enum class StopReason {
 };
 const char* to_string(StopReason reason);
 
-class Node {
+template <typename Context>
+class alignas(64) BasicNode {
  public:
-  using Ctx = sim::IContext<Message>;
+  using Ctx = Context;
 
   /// `parent` is kNoNode exactly for the initial root; `children` are the
   /// node ids of the initial tree children.
-  Node(const sim::NodeEnv& env, sim::NodeId parent,
-       std::vector<sim::NodeId> children, Options options);
+  BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
+            std::vector<sim::NodeId> children, Options options);
 
   void on_start(Ctx& ctx);
   void on_message(Ctx& ctx, sim::NodeId from, const Message& message);
@@ -84,8 +96,8 @@ class Node {
 
  private:
   // ---- identity of this node's role within the current round.
-  enum class Role { kIdle, kRoot, kSubRoot, kMember };
-  enum class Scope { kTop, kSub };
+  enum class Role : std::uint8_t { kIdle, kRoot, kSubRoot, kMember };
+  enum class Scope : std::uint8_t { kTop, kSub };
 
   // ---- message handlers (one per type).
   void handle_start_round(Ctx& ctx, sim::NodeId from, const StartRound& msg);
@@ -115,8 +127,8 @@ class Node {
   // ---- wave mechanics.
   void become_member(Ctx& ctx, const FragTag& top, const FragTag& sub, int k);
   void become_sub_root(Ctx& ctx, const FragTag& encl_top, int k);
-  void on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg);
-  void close_cross_edge(Ctx& ctx, sim::NodeId neighbor);
+  void on_cross_probe(Ctx& ctx, sim::NodeId from, const Bfs& msg,
+                      std::uint32_t from_idx_hint);
   void close_cross_edge_at(Ctx& ctx, std::size_t idx);
   void member_maybe_report(Ctx& ctx);
   void subroot_maybe_resolve(Ctx& ctx);
@@ -141,57 +153,108 @@ class Node {
     }
     MDST_UNREACHABLE("neighbor_index: not a neighbor");
   }
-  void add_child(sim::NodeId node);
+  /// Receiver-side index of the current delivery's sender, when the context
+  /// can provide it (SimContext carries the simulator's reverse-CSR value);
+  /// kNoNeighborIndex otherwise (virtual contexts, starts, injects).
+  static std::uint32_t delivery_from_index(Ctx& ctx) {
+    if constexpr (requires { ctx.from_index(); }) {
+      return ctx.from_index();
+    } else {
+      return sim::kNoNeighborIndex;
+    }
+  }
+  /// neighbor_index(node), skipping the O(deg) scan when a delivery hint is
+  /// available. The hint is cross-checked — a wrong hint is a simulator bug.
+  std::size_t neighbor_index_hinted(sim::NodeId node,
+                                    std::uint32_t hint) const {
+    if (hint != sim::kNoNeighborIndex) {
+      MDST_ASSERT(hint < env_.neighbors.size() &&
+                      env_.neighbors[hint].id == node,
+                  "delivery from-index hint does not match sender");
+      return hint;
+    }
+    return neighbor_index(node);
+  }
+  /// Slot-addressed send when the context supports it (the simulator path
+  /// skips the O(deg) neighbor-row scan); plain send otherwise. `idx` may
+  /// be kNoNeighborIndex to force the fallback (e.g. replayed probes whose
+  /// delivery hint no longer applies).
+  template <typename M>
+  void send_indexed(Ctx& ctx, sim::NodeId to, std::uint32_t idx, M&& m) {
+    if constexpr (requires {
+                    ctx.send_at_index(to, idx, std::forward<M>(m));
+                  }) {
+      if (idx != sim::kNoNeighborIndex) {
+        ctx.send_at_index(to, idx, std::forward<M>(m));
+        return;
+      }
+    }
+    ctx.send(to, std::forward<M>(m));
+  }
+  void add_child(sim::NodeId node,
+                 std::uint32_t idx_hint = sim::kNoNeighborIndex);
   void remove_child(sim::NodeId node);
+  std::uint32_t child_index_of(sim::NodeId node) const;
   sim::NodeId neighbor_by_name(graph::NodeName name) const;
   bool node_is_stuck() const;
 
   void reset_round_state();
 
-  // ---- permanent state.
-  sim::NodeEnv env_;
-  Options opts_;
+  static void static_layout_check();  // compile-time asserts (node.cpp)
+
+  // ==== hot per-message state =============================================
+  // Every delivered message touches a handful of these (dispatch asserts on
+  // parent_/role_, wave counters, fragment tags, aggregation slots), so
+  // they are declared first — the class is alignas(64), putting the whole
+  // group in the object's leading cache line. Checked by
+  // static_layout_check(); keep new cold fields out of this block.
   sim::NodeId parent_ = sim::kNoNode;
-  std::vector<sim::NodeId> children_;
+  /// Index of parent_ in env_.neighbors (kNoNeighborIndex at the root);
+  /// maintained across every parent_ change so up-tree sends are
+  /// slot-addressed.
+  std::uint32_t parent_index_ = sim::kNoNeighborIndex;
+  Role role_ = Role::kIdle;
+  bool have_tags_ = false;
+  bool reported_up_ = false;
   bool done_ = false;
+  int k_ = 0;  // the round's max degree, learned from wave messages
+  std::uint32_t wave_waiting_ = 0;  // child reports + cross closures
+  std::uint32_t search_waiting_ = 0;
+  FragTag top_;
+  FragTag sub_;
+  sim::NodeId prov_top_ = sim::kNoNode;
+  sim::NodeId prov_sub_ = sim::kNoNode;
+  sim::NodeId via_ = sim::kNoNode;  // child that reported the winner; kNoNode = self
+  bool subtree_stuck_ = false;
+  bool subtree_improved_ = false;  // some sub-round below applied a swap
   // kStrictLot: set when this node was a round target with no candidate;
   // invalidated when its degree changes or a StartRound clears it.
   bool stuck_ = false;
+  // SearchDegree aggregation (one touch per SearchReply).
+  int search_best_deg_ = -1;
+  graph::NodeName search_best_who_ = kNoName;
+  // ==== warm wave state (second/third cache line) =========================
+  int search_deg_all_ = -1;
+  std::vector<sim::NodeId> children_;
+  std::vector<std::uint32_t> child_indices_;  // parallel to children_
+  Candidate best_top_;
+  Candidate best_sub_;
+  std::vector<sim::NodeId> wave_children_;  // children at wave start
+  std::vector<std::uint32_t> wave_child_indices_;  // parallel snapshot
+  std::vector<bool> cross_closed_;          // per neighbour index
+  // ==== cold state: construction-time, per-round-once, root-only ==========
+  sim::NodeEnv env_;
+  Options opts_;
   int stuck_degree_ = -1;
-
-  // ---- root-side bookkeeping (meaningful while this node is round root).
+  // Root-side bookkeeping (meaningful while this node is round root).
   std::uint32_t round_ = 0;
   std::uint64_t improvements_ = 0;
   StopReason stop_reason_ = StopReason::kNotStopped;
   bool round_root_duty_ = false;  // I ran root_decide for the current round
   bool clear_stuck_next_ = false;
-
-  // ---- per-round state (reset by StartRound / begin_round).
-  Role role_ = Role::kIdle;
-  int k_ = 0;  // the round's max degree, learned from wave messages
-  // SearchDegree phase.
-  std::size_t search_waiting_ = 0;
-  int search_best_deg_ = -1;
-  graph::NodeName search_best_who_ = kNoName;
-  int search_deg_all_ = -1;
-  sim::NodeId via_ = sim::kNoNode;  // child that reported the winner; kNoNode = self
-  // Wave phase.
-  bool have_tags_ = false;
-  FragTag top_;
-  FragTag sub_;
-  std::vector<sim::NodeId> wave_children_;  // children at wave start
-  std::size_t wave_waiting_ = 0;            // child reports + cross closures
-  std::vector<bool> cross_closed_;          // per neighbour index
   std::vector<std::pair<sim::NodeId, Bfs>> queued_probes_;
   std::vector<std::pair<sim::NodeId, Bfs>> scratch_probes_;  // replay buffer
-  bool reported_up_ = false;
-  Candidate best_top_;
-  sim::NodeId prov_top_ = sim::kNoNode;
-  Candidate best_sub_;
-  sim::NodeId prov_sub_ = sim::kNoNode;
-  bool subtree_stuck_ = false;
-  bool subtree_improved_ = false;  // some sub-round below applied a swap
-  // Improvement phase.
+  // Improvement phase (a handful of messages per round).
   bool improving_ = false;        // root/sub-root: an Update is in flight
   bool round_aborted_ = false;    // root: this round's commit went stale
   Scope improving_scope_ = Scope::kTop;
@@ -206,10 +269,21 @@ class Node {
   bool sub_improved_ = false;
 };
 
-/// Simulator protocol binding.
+/// Virtual-context binding: unit tests drive handlers through mock
+/// IContext implementations; trace/replay tooling stays backend-agnostic.
+using Node = BasicNode<sim::IContext<Message>>;
+/// Concrete-context binding: what the simulator runs. send()/now() resolve
+/// statically and inline into the dispatch switch.
+using SimNode = BasicNode<sim::SimContext<Message>>;
+
+// Both instantiations are compiled once, in node.cpp.
+extern template class BasicNode<sim::IContext<Message>>;
+extern template class BasicNode<sim::SimContext<Message>>;
+
+/// Simulator protocol binding (the devirtualized fast path).
 struct Protocol {
   using Message = core::Message;
-  using Node = core::Node;
+  using Node = core::SimNode;
 };
 
 }  // namespace mdst::core

@@ -1,9 +1,18 @@
 // The interface a protocol node uses to act on the world.
 //
-// Nodes never touch the simulator directly; they receive an IContext in
-// every callback. This keeps protocol code portable (a real network backend
-// would implement the same interface) and makes nodes unit-testable with a
-// mock context.
+// Nodes never touch the simulator directly; every callback receives a
+// context. Two bindings exist:
+//
+//   * IContext<Message> (this file) — the virtual interface. Protocols
+//     written against it stay portable (a real network backend would
+//     implement the same interface) and unit-testable with a mock context;
+//     the spanning-tree baselines and synchronizers use this path, as does
+//     trace/replay tooling.
+//   * SimContext<Message> (sim_core.hpp) — the concrete, `final`
+//     simulator-bound implementation. The simulator always passes one of
+//     these; nodes templated on it directly (mdst::core::Protocol's node)
+//     get devirtualized, inlinable send()/now() on the hot path, while
+//     nodes declared against IContext& bind to it through the base class.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
-// Complexity metering — the "measurement instruments" for every table in
-// EXPERIMENTS.md.
+// Complexity metering — the "measurement instruments" behind every claim
+// table the bench/ binaries regenerate (see docs/protocol.md for how each
+// yardstick maps to the paper).
 //
 // The paper evaluates algorithms by three yardsticks, all of which the
 // simulator measures directly:

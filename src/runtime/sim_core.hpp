@@ -1,0 +1,433 @@
+// Protocol-independent core of the discrete-event simulator.
+//
+// SimCore<Message> owns everything about the simulated network that does
+// not depend on the protocol's node type: the channel-model configuration,
+// rng, metrics, trace, the directed-incidence CSR adjacency, per-link FIFO
+// floors, the calendar queue of in-flight events, and the send/inject
+// paths. Simulator<P> (simulator.hpp) composes a SimCore with the node
+// array and the delivery loop.
+//
+// SimContext<Message> is the concrete context bound to a SimCore. It still
+// derives from IContext<Message>, so protocol nodes written against the
+// virtual interface — the spanning-tree baselines, the synchronizers, mock
+// contexts in tests — bind to it unchanged. But the class and its methods
+// are `final`, and its bodies live here in the header: a node type
+// templated directly on SimContext (the MDegST fast path,
+// mdst::core::Protocol::Node) calls send()/now() with *no virtual
+// dispatch*, and the whole send path — neighbor validation, delay draw,
+// queue emplace — inlines into the handler's own translation unit.
+//
+// Event-engine internals (see docs/perf.md for design + measurements):
+//   * events sit in a bucketed CalendarQueue — O(1) push/pop FIFO rings per
+//     tick instead of a binary-heap reshuffle of fat by-value events;
+//   * the network is held as a directed-incidence CSR (adj_off_/adj_peer_),
+//     so neighbor validation and per-link state are linear array scans;
+//   * per-directed-link FIFO floors live in a flat vector indexed by CSR
+//     slot, skipped entirely under unit delays where they provably never
+//     bind.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/calendar_queue.hpp"
+#include "runtime/context.hpp"
+#include "runtime/delay.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+
+struct SimConfig {
+  DelayModel delay = DelayModel::unit();
+  /// Per-link FIFO ordering (standard model assumption; switch off only for
+  /// robustness experiments).
+  bool fifo_links = true;
+  std::uint64_t seed = 1;
+  /// Node i spontaneously starts at a uniform time in [0, start_spread].
+  Time start_spread = 0;
+  /// Hard cap on total sends — converts protocol livelock bugs into loud
+  /// failures instead of hung experiments.
+  std::uint64_t max_messages = 50'000'000;
+  /// Retain at most this many trace rows (0 disables tracing).
+  std::size_t trace_cap = 0;
+
+  /// Config for large-n sweeps: MDegST message complexity grows
+  /// superlinearly (n=1024 → ~5.7M messages, n=4096 → ~80M), so runs past
+  /// n≈2048 trip the default 50M livelock cap on healthy executions. This
+  /// raises the cap far above the n=4096 requirement while still bounding a
+  /// genuine livelock. See docs/perf.md ("Large-n sweeps").
+  static SimConfig large_n_sweep() {
+    SimConfig config;
+    config.max_messages = 250'000'000;
+    return config;
+  }
+};
+
+enum class EventKind : std::uint8_t { kStart, kMessage };
+
+/// Queue payload; delivery time and send order live in the CalendarQueue
+/// slab node, not here.
+template <typename Message>
+struct Event {
+  EventKind kind = EventKind::kMessage;
+  NodeId to = kNoNode;
+  NodeId from = kNoNode;
+  /// Index of `from` in the receiver's neighbor row (reverse CSR),
+  /// precomputed at send time so handlers avoid an O(deg) rescan;
+  /// kNoNeighborIndex for starts and external injects.
+  std::uint32_t from_index = kNoNeighborIndex;
+  Message payload{};
+  std::uint64_t causal_depth = 0;
+  Time send_time = 0;
+};
+
+template <typename Message>
+class SimCore {
+ public:
+  using EventT = Event<Message>;
+  using Queue = CalendarQueue<EventT>;
+
+  SimCore(const graph::Graph& graph, const SimConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        metrics_(std::variant_size_v<Message>,
+                 id_bits_for(graph.vertex_count())),
+        trace_(config.trace_cap) {
+    const std::size_t n = graph.vertex_count();
+    MDST_REQUIRE(n > 0, "simulator: empty graph");
+    envs_.reserve(n);
+    depth_.assign(n, 0);
+    adj_off_.assign(n + 1, 0);
+    links_.reserve(2 * graph.edge_count());
+    // One flat NeighborInfo array for the whole network; envs hold spans
+    // into it, so protocol-side neighbor scans are cache-linear and a
+    // NodeEnv copy costs nothing. Filled completely before any span is
+    // taken — the buffer must never reallocate afterwards.
+    neighbor_pool_.reserve(2 * graph.edge_count());
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const graph::Incidence& inc :
+           graph.neighbors(static_cast<NodeId>(v))) {
+        neighbor_pool_.push_back({inc.neighbor, graph.name(inc.neighbor)});
+        links_.push_back({inc.neighbor, kNoNeighborIndex});
+      }
+      adj_off_[v + 1] = static_cast<std::uint32_t>(links_.size());
+    }
+    // Reverse CSR: for the directed slot s = (u -> v), the position of u in
+    // v's neighbor row, stored next to the peer id so the send path reads
+    // both from one cache line. Built in O(m) from per-edge endpoint
+    // positions (incidences carry dense edge ids); it lets each event be
+    // stamped with the receiver-side index of its sender.
+    {
+      std::vector<std::uint32_t> pos_lo(graph.edge_count());  // v < u side
+      std::vector<std::uint32_t> pos_hi(graph.edge_count());  // v > u side
+      for (std::size_t v = 0; v < n; ++v) {
+        std::uint32_t j = 0;
+        for (const graph::Incidence& inc :
+             graph.neighbors(static_cast<NodeId>(v))) {
+          auto& pos = static_cast<NodeId>(v) < inc.neighbor ? pos_lo : pos_hi;
+          pos[static_cast<std::size_t>(inc.edge)] = j++;
+        }
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        std::uint32_t slot = adj_off_[v];
+        for (const graph::Incidence& inc :
+             graph.neighbors(static_cast<NodeId>(v))) {
+          const auto& pos = inc.neighbor < static_cast<NodeId>(v) ? pos_lo : pos_hi;
+          links_[slot++].reverse_index =
+              pos[static_cast<std::size_t>(inc.edge)];
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      NodeEnv env;
+      env.id = static_cast<NodeId>(v);
+      env.name = graph.name(static_cast<NodeId>(v));
+      env.neighbors = std::span<const NeighborInfo>(
+          neighbor_pool_.data() + adj_off_[v], adj_off_[v + 1] - adj_off_[v]);
+      envs_.push_back(env);
+    }
+    // Unit delays deliver every message at now + 1 and floors are monotone
+    // in send time, so the per-directed-link FIFO floor can never bind —
+    // skip both the array and the per-send bookkeeping in that case.
+    fifo_floors_active_ = config_.fifo_links && !config_.delay.is_unit();
+    unit_delay_ = config_.delay.is_unit();
+    if (fifo_floors_active_) fifo_floor_.assign(links_.size(), 0);
+    // Schedule the spontaneous starts.
+    for (std::size_t v = 0; v < n; ++v) {
+      const Time at = config_.start_spread == 0
+                          ? 0
+                          : rng_.next_below(config_.start_spread + 1);
+      EventT& ev = queue_.emplace(at);
+      ev.kind = EventKind::kStart;
+      ev.to = static_cast<NodeId>(v);
+      ev.from = kNoNode;
+      ev.from_index = kNoNeighborIndex;  // slab nodes recycle: assign all
+      ev.causal_depth = 0;
+      ev.send_time = at;
+    }
+  }
+
+  bool idle() const { return queue_.empty(); }
+  Time now() const { return now_; }
+  const Metrics& metrics() const { return metrics_; }
+  const Trace& trace() const { return trace_; }
+  const std::vector<NodeEnv>& envs() const { return envs_; }
+  std::size_t node_count() const { return envs_.size(); }
+  const SimConfig& config() const { return config_; }
+
+  /// The hot send path: validate the directed link, meter the cap, draw the
+  /// delay, apply the FIFO floor, enqueue. Called by SimContext::send —
+  /// directly (no vtable) from nodes templated on SimContext. `Alt` may be
+  /// the whole Message variant (virtual-interface senders) or a single
+  /// alternative (the typed fast path: the payload is constructed in place
+  /// in the queue slab, skipping the intermediate variant copy).
+  template <typename Alt>
+  void send(NodeId from, NodeId to, Alt&& message) {
+    const std::size_t slot = find_directed_slot(from, to);
+    MDST_REQUIRE(slot != kNoSlot,
+                 "send: target is not a neighbor (point-to-point model)");
+    send_on_slot(from, to, slot, std::forward<Alt>(message));
+  }
+
+  /// Slot-addressed send: the caller already knows `to` sits at position
+  /// `index` of `from`'s neighbor row (a cached parent/child index, a loop
+  /// index over the row, or the delivery's reverse hint), so the O(deg) row
+  /// scan is replaced by one cross-checked array access.
+  template <typename Alt>
+  void send_at_neighbor_index(NodeId from, NodeId to, std::uint32_t index,
+                              Alt&& message) {
+    const std::size_t slot = adj_off_[static_cast<std::size_t>(from)] + index;
+    MDST_ASSERT(slot < adj_off_[static_cast<std::size_t>(from) + 1] &&
+                    links_[slot].peer == to,
+                "send_at_neighbor_index: index does not address the target");
+    send_on_slot(from, to, slot, std::forward<Alt>(message));
+  }
+
+  /// Message injection from outside the network (tests only). Obeys the
+  /// same channel model as protocol sends: it counts against
+  /// `max_messages`, its delay is drawn from the configured DelayModel, and
+  /// when the directed link from->to exists its FIFO floor applies. `from`
+  /// may be kNoNode (or any non-neighbor) for a truly external sender,
+  /// which bypasses no cap — only the per-link floor, since there is no
+  /// link.
+  void inject(NodeId from, NodeId to, Message&& message) {
+    MDST_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < envs_.size(),
+                 "inject: bad destination");
+    MDST_REQUIRE(
+        from == kNoNode ||
+            (from >= 0 && static_cast<std::size_t>(from) < envs_.size()),
+        "inject: bad source");
+    check_message_cap();
+    ++sent_;
+    Time deliver_at = now_ + config_.delay.sample(rng_);
+    std::size_t slot = kNoSlot;
+    if (from != kNoNode) slot = find_directed_slot(from, to);
+    if (fifo_floors_active_ && slot != kNoSlot) {
+      deliver_at = bump_fifo_floor(slot, deliver_at);
+    }
+    EventT& ev = queue_.emplace(deliver_at);
+    ev.kind = EventKind::kMessage;
+    ev.to = to;
+    ev.from = from;
+    ev.from_index =
+        slot != kNoSlot ? links_[slot].reverse_index : kNoNeighborIndex;
+    ev.payload = std::move(message);
+    ev.causal_depth = depth_from(from) + 1;
+    ev.send_time = now_;
+  }
+
+  void annotate(const std::string& label) { metrics_.annotate(now_, label); }
+
+  // --- delivery-loop support (used by Simulator<P>::step) -----------------
+
+  struct Delivery {
+    EventT* event = nullptr;
+    typename Queue::Ref ref = 0;
+  };
+
+  /// Pop the next event and advance the clock. Precondition: !idle(). The
+  /// event is consumed in place from the queue's slab (stable across the
+  /// sends a handler performs) and must be released() afterwards — the
+  /// payload is never copied out of the queue.
+  Delivery pop_event() {
+    const auto popped = queue_.pop();
+    now_ = popped.time;
+    return {popped.payload, popped.ref};
+  }
+
+  /// Meter and trace one message delivery, and raise the receiver's causal
+  /// depth *before* the handler runs so that messages it sends in response
+  /// carry depth + 1.
+  void account_delivery(const EventT& ev) {
+    auto& d = depth_[static_cast<std::size_t>(ev.to)];
+    if (ev.causal_depth > d) d = ev.causal_depth;
+    const std::size_t type_index = ev.payload.index();
+    const std::size_t ids = switch_visit(
+        ev.payload, [](const auto& m) { return m.ids_carried(); });
+    metrics_.on_deliver(type_index, ids, ev.causal_depth, now_);
+    if (trace_.enabled()) {
+      const char* type_name = switch_visit(
+          ev.payload,
+          [](const auto& m) { return std::decay_t<decltype(m)>::kName; });
+      trace_.record({ev.send_time, now_, ev.from, ev.to, type_index,
+                     type_name, ev.causal_depth});
+    }
+  }
+
+  void release(typename Queue::Ref ref) { queue_.release(ref); }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// CSR slot of the directed link from->to, or kNoSlot — one contiguous
+  /// row scan serves neighbor validation, the FIFO-floor index, and the
+  /// reverse-index stamp.
+  std::size_t find_directed_slot(NodeId from, NodeId to) const {
+    const auto u = static_cast<std::size_t>(from);
+    if (from < 0 || u + 1 >= adj_off_.size()) return kNoSlot;
+    const std::uint32_t hi = adj_off_[u + 1];
+    for (std::uint32_t s = adj_off_[u]; s < hi; ++s) {
+      if (links_[s].peer == to) return s;
+    }
+    return kNoSlot;
+  }
+
+  /// Enforce per-directed-link FIFO: never deliver before a message sent
+  /// earlier on the same link. Returns the (possibly floored) delivery time.
+  Time bump_fifo_floor(std::size_t slot, Time deliver_at) {
+    Time& last = fifo_floor_[slot];
+    if (deliver_at < last) deliver_at = last;
+    last = deliver_at;
+    return deliver_at;
+  }
+
+  template <typename Alt>
+  void send_on_slot(NodeId from, NodeId to, std::size_t slot, Alt&& message) {
+    check_message_cap();
+    ++sent_;
+    Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
+    if (fifo_floors_active_) deliver_at = bump_fifo_floor(slot, deliver_at);
+    EventT& ev = queue_.emplace(deliver_at);
+    ev.kind = EventKind::kMessage;
+    ev.to = to;
+    ev.from = from;
+    ev.from_index = links_[slot].reverse_index;
+    if constexpr (std::is_same_v<std::decay_t<Alt>, Message>) {
+      ev.payload = std::forward<Alt>(message);
+    } else {
+      ev.payload.template emplace<std::decay_t<Alt>>(
+          std::forward<Alt>(message));
+    }
+    ev.causal_depth = depth_[static_cast<std::size_t>(from)] + 1;
+    ev.send_time = now_;
+  }
+
+  void check_message_cap() const {
+    if (sent_ >= config_.max_messages) [[unlikely]] fail_message_cap();
+  }
+
+  /// Outlined cold path so the per-send check stays one compare + branch.
+  [[noreturn]] __attribute__((noinline)) void fail_message_cap() const {
+    MDST_REQUIRE(false,
+                 "message cap exceeded (SimConfig::max_messages = " +
+                     std::to_string(config_.max_messages) +
+                     ") — livelock? Healthy large-n runs need a raised cap; "
+                     "see SimConfig::large_n_sweep()");
+    std::abort();  // unreachable; REQUIRE above always throws
+  }
+
+  std::uint64_t depth_from(NodeId from) const {
+    if (from == kNoNode) return 0;
+    return depth_[static_cast<std::size_t>(from)];
+  }
+
+  SimConfig config_;
+  support::Rng rng_;
+  Metrics metrics_;
+  Trace trace_;
+  /// Backing storage for every NodeEnv::neighbors span; never reallocated
+  /// after construction.
+  std::vector<NeighborInfo> neighbor_pool_;
+  std::vector<NodeEnv> envs_;
+  std::vector<std::uint64_t> depth_;
+  /// One directed CSR slot: the peer id and, packed beside it, the
+  /// reverse index (position of the *source* vertex in the peer's row).
+  struct DirectedLink {
+    NodeId peer = kNoNode;
+    std::uint32_t reverse_index = kNoNeighborIndex;
+  };
+  /// Directed-incidence CSR of the network: links of vertex v are
+  /// links_[adj_off_[v] .. adj_off_[v+1]) in graph adjacency order.
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<DirectedLink> links_;
+  /// Latest scheduled delivery per directed link, indexed by CSR slot.
+  /// Empty (and unread) when fifo_floors_active_ is false.
+  std::vector<Time> fifo_floor_;
+  bool fifo_floors_active_ = false;
+  bool unit_delay_ = false;
+  Queue queue_;
+  Time now_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+/// Concrete context bound to a SimCore. Derives from IContext so protocol
+/// nodes written against the virtual interface keep working, but is `final`
+/// with `final` methods: a node templated on SimContext itself (the MDegST
+/// fast path) performs zero virtual dispatch, and the header-visible bodies
+/// inline into the caller.
+template <typename Message>
+class SimContext final : public IContext<Message> {
+ public:
+  SimContext(SimCore<Message>* core, NodeId self,
+             std::uint32_t from_index = kNoNeighborIndex)
+      : core_(core), self_(self), from_index_(from_index) {}
+
+  void send(NodeId to, Message message) final {
+    core_->send(self_, to, std::move(message));
+  }
+  /// Typed fast path (not part of IContext): senders that statically know
+  /// the alternative construct it in place in the queue slab, skipping the
+  /// intermediate variant. Overload resolution prefers this for concrete
+  /// message types; passing a whole Message still picks the virtual
+  /// signature above.
+  template <typename Alt>
+    requires(!std::is_same_v<std::decay_t<Alt>, Message>)
+  void send(NodeId to, Alt&& message) {
+    core_->send(self_, to, std::forward<Alt>(message));
+  }
+
+  /// Slot-addressed fast path (not part of IContext): `to` must sit at
+  /// position `index` of this node's neighbor row — cross-checked by the
+  /// core. See SimCore::send_at_neighbor_index.
+  template <typename Alt>
+  void send_at_index(NodeId to, std::uint32_t index, Alt&& message) {
+    core_->send_at_neighbor_index(self_, to, index,
+                                  std::forward<Alt>(message));
+  }
+  NodeId self() const final { return self_; }
+  Time now() const final { return core_->now(); }
+  void annotate(const std::string& label) final { core_->annotate(label); }
+
+  /// Index of the current delivery's sender in this node's neighbor row
+  /// (reverse-CSR, precomputed at send time), or kNoNeighborIndex for
+  /// starts and external injects. Not part of IContext — a pure O(1)
+  /// shortcut for handlers that would otherwise rescan their row; valid
+  /// only for the delivery this context was created for.
+  std::uint32_t from_index() const { return from_index_; }
+
+ private:
+  SimCore<Message>* core_;
+  NodeId self_;
+  std::uint32_t from_index_ = kNoNeighborIndex;
+};
+
+}  // namespace mdst::sim

@@ -13,54 +13,32 @@
 //       static constexpr const char* kName;      // for traces/metrics
 //       std::size_t ids_carried() const;         // identity-sized fields
 //   using Node = <class> with
-//       void on_start(IContext<Message>&);
-//       void on_message(IContext<Message>&, NodeId from, const Message&);
+//       void on_start(Ctx&);
+//       void on_message(Ctx&, NodeId from, const Message&);
+//     where Ctx is either the virtual IContext<Message> (portable /
+//     mockable protocols) or the concrete SimContext<Message> for
+//     devirtualized hot paths — the simulator always passes a
+//     SimContext<Message>&, which binds to both.
 //
 // Nodes are built by a user factory from their NodeEnv (local knowledge
 // only). The simulator delivers `on_start` to every node (at staggered
 // times if SimConfig::start_spread > 0 — the paper allows nodes to start
 // at different moments) and then drains the event queue.
 //
-// Event-engine internals (see docs/perf.md for design + measurements):
-//   * events sit in a bucketed CalendarQueue — O(1) push/pop FIFO rings per
-//     tick instead of a binary-heap reshuffle of fat by-value events;
-//   * the network is held as a directed-incidence CSR (adj_off_/adj_peer_),
-//     so neighbor validation and per-link state are linear array scans;
-//   * per-directed-link FIFO floors live in a flat vector indexed by CSR
-//     slot, replacing a hash map keyed on packed (from, to).
+// The event engine itself — calendar queue, CSR adjacency, FIFO floors,
+// metering — lives in SimCore<Message> (sim_core.hpp); this class adds only
+// the node array and the delivery loop.
 #pragma once
 
 #include <functional>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "runtime/calendar_queue.hpp"
-#include "runtime/context.hpp"
-#include "runtime/delay.hpp"
-#include "runtime/metrics.hpp"
-#include "runtime/node_env.hpp"
-#include "runtime/trace.hpp"
+#include "runtime/sim_core.hpp"
 #include "support/assert.hpp"
-#include "support/rng.hpp"
 
 namespace mdst::sim {
-
-struct SimConfig {
-  DelayModel delay = DelayModel::unit();
-  /// Per-link FIFO ordering (standard model assumption; switch off only for
-  /// robustness experiments).
-  bool fifo_links = true;
-  std::uint64_t seed = 1;
-  /// Node i spontaneously starts at a uniform time in [0, start_spread].
-  Time start_spread = 0;
-  /// Hard cap on total sends — converts protocol livelock bugs into loud
-  /// failures instead of hung experiments.
-  std::uint64_t max_messages = 50'000'000;
-  /// Retain at most this many trace rows (0 disables tracing).
-  std::size_t trace_cap = 0;
-};
 
 template <typename P>
 class Simulator {
@@ -68,64 +46,18 @@ class Simulator {
   using Message = typename P::Message;
   using Node = typename P::Node;
   using NodeFactory = std::function<Node(const NodeEnv&)>;
+  using Ctx = SimContext<Message>;
 
   Simulator(const graph::Graph& graph, const NodeFactory& factory,
             SimConfig config = {})
-      : config_(config),
-        rng_(config.seed),
-        metrics_(std::variant_size_v<Message>, id_bits_for(graph.vertex_count())),
-        trace_(config.trace_cap) {
-    const std::size_t n = graph.vertex_count();
-    MDST_REQUIRE(n > 0, "simulator: empty graph");
-    envs_.reserve(n);
-    nodes_.reserve(n);
-    depth_.assign(n, 0);
-    adj_off_.assign(n + 1, 0);
-    adj_peer_.reserve(2 * graph.edge_count());
-    // One flat NeighborInfo array for the whole network; envs hold spans
-    // into it, so protocol-side neighbor scans are cache-linear and a
-    // NodeEnv copy costs nothing. Filled completely before any span is
-    // taken — the buffer must never reallocate afterwards.
-    neighbor_pool_.reserve(2 * graph.edge_count());
-    for (std::size_t v = 0; v < n; ++v) {
-      for (const graph::Incidence& inc : graph.neighbors(static_cast<NodeId>(v))) {
-        neighbor_pool_.push_back({inc.neighbor, graph.name(inc.neighbor)});
-        adj_peer_.push_back(inc.neighbor);
-      }
-      adj_off_[v + 1] = static_cast<std::uint32_t>(adj_peer_.size());
-    }
-    for (std::size_t v = 0; v < n; ++v) {
-      NodeEnv env;
-      env.id = static_cast<NodeId>(v);
-      env.name = graph.name(static_cast<NodeId>(v));
-      env.neighbors = std::span<const NeighborInfo>(
-          neighbor_pool_.data() + adj_off_[v], adj_off_[v + 1] - adj_off_[v]);
-      envs_.push_back(env);
-      nodes_.push_back(factory(envs_.back()));
-    }
-    // Unit delays deliver every message at now + 1 and floors are monotone
-    // in send time, so the per-directed-link FIFO floor can never bind —
-    // skip both the array and the per-send bookkeeping in that case.
-    fifo_floors_active_ = config_.fifo_links && !config_.delay.is_unit();
-    if (fifo_floors_active_) fifo_floor_.assign(adj_peer_.size(), 0);
-    // Schedule the spontaneous starts.
-    for (std::size_t v = 0; v < n; ++v) {
-      const Time at =
-          config_.start_spread == 0
-              ? 0
-              : rng_.next_below(config_.start_spread + 1);
-      Event& ev = queue_.emplace(at);
-      ev.kind = EventKind::kStart;
-      ev.to = static_cast<NodeId>(v);
-      ev.from = kNoNode;
-      ev.causal_depth = 0;
-      ev.send_time = at;
-    }
+      : core_(graph, config) {
+    nodes_.reserve(core_.node_count());
+    for (const NodeEnv& env : core_.envs()) nodes_.push_back(factory(env));
   }
 
   /// Drain the event queue; returns when no message is in flight.
   void run() {
-    while (!queue_.empty()) {
+    while (!core_.idle()) {
       step();
     }
   }
@@ -133,46 +65,25 @@ class Simulator {
   /// Deliver exactly one event; returns false when idle. Exposed so tests
   /// can interleave assertions with delivery.
   bool step() {
-    if (queue_.empty()) return false;
-    const auto popped = queue_.pop();
-    now_ = popped.time;
-    // The event is consumed in place from the queue's slab (stable across
-    // the sends the handler performs) and released afterwards — the payload
-    // is never copied out of the queue.
-    Event& ev = *popped.payload;
-    ContextImpl ctx(this, ev.to);
+    if (core_.idle()) return false;
+    const auto delivery = core_.pop_event();
+    Event<Message>& ev = *delivery.event;
+    Ctx ctx(&core_, ev.to, ev.from_index);
     Node& node = nodes_[static_cast<std::size_t>(ev.to)];
     if (ev.kind == EventKind::kStart) {
       node.on_start(ctx);
-      queue_.release(popped.ref);
-      return true;
+    } else {
+      core_.account_delivery(ev);
+      node.on_message(ctx, ev.from, ev.payload);
     }
-    // Update the receiver's causal depth *before* the handler so that
-    // messages it sends in response carry depth + 1.
-    auto& d = depth_[static_cast<std::size_t>(ev.to)];
-    if (ev.causal_depth > d) d = ev.causal_depth;
-    const std::size_t type_index = ev.payload.index();
-    const std::size_t ids = std::visit(
-        [](const auto& m) { return m.ids_carried(); }, ev.payload);
-    metrics_.on_deliver(type_index, ids, ev.causal_depth, now_);
-    if (trace_.enabled()) {
-      const char* type_name = std::visit(
-          [](const auto& m) {
-            return std::decay_t<decltype(m)>::kName;
-          },
-          ev.payload);
-      trace_.record({ev.send_time, now_, ev.from, ev.to, type_index,
-                     type_name, ev.causal_depth});
-    }
-    node.on_message(ctx, ev.from, ev.payload);
-    queue_.release(popped.ref);
+    core_.release(delivery.ref);
     return true;
   }
 
-  bool idle() const { return queue_.empty(); }
-  Time now() const { return now_; }
-  const Metrics& metrics() const { return metrics_; }
-  const Trace& trace() const { return trace_; }
+  bool idle() const { return core_.idle(); }
+  Time now() const { return core_.now(); }
+  const Metrics& metrics() const { return core_.metrics(); }
+  const Trace& trace() const { return core_.trace(); }
 
   Node& node(NodeId id) {
     MDST_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
@@ -184,140 +95,18 @@ class Simulator {
   }
   std::size_t node_count() const { return nodes_.size(); }
   const NodeEnv& env(NodeId id) const {
-    return envs_.at(static_cast<std::size_t>(id));
+    return core_.envs().at(static_cast<std::size_t>(id));
   }
 
-  /// Inject a message from outside the network (tests only). Obeys the same
-  /// channel model as protocol sends: it counts against `max_messages`, its
-  /// delay is drawn from the configured DelayModel, and when the directed
-  /// link from->to exists its FIFO floor applies. `from` may be kNoNode (or
-  /// any non-neighbor) for a truly external sender, which bypasses no cap —
-  /// only the per-link floor, since there is no link.
+  /// Inject a message from outside the network (tests only); see
+  /// SimCore::inject for the channel-model contract.
   void inject(NodeId from, NodeId to, Message message) {
-    MDST_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < nodes_.size(),
-                 "inject: bad destination");
-    MDST_REQUIRE(from == kNoNode ||
-                     (from >= 0 && static_cast<std::size_t>(from) < nodes_.size()),
-                 "inject: bad source");
-    MDST_REQUIRE(sent_ < config_.max_messages,
-                 "message cap exceeded — livelock?");
-    ++sent_;
-    Time deliver_at = now_ + config_.delay.sample(rng_);
-    if (fifo_floors_active_ && from != kNoNode) {
-      const std::size_t slot = find_directed_slot(from, to);
-      if (slot != kNoSlot) deliver_at = bump_fifo_floor(slot, deliver_at);
-    }
-    Event& ev = queue_.emplace(deliver_at);
-    ev.kind = EventKind::kMessage;
-    ev.to = to;
-    ev.from = from;
-    ev.payload = std::move(message);
-    ev.causal_depth = depth_from(from) + 1;
-    ev.send_time = now_;
+    core_.inject(from, to, std::move(message));
   }
 
  private:
-  enum class EventKind : std::uint8_t { kStart, kMessage };
-
-  /// Queue payload; delivery time and send order live in the CalendarQueue
-  /// slab node, not here.
-  struct Event {
-    EventKind kind = EventKind::kMessage;
-    NodeId to = kNoNode;
-    NodeId from = kNoNode;
-    Message payload{};
-    std::uint64_t causal_depth = 0;
-    Time send_time = 0;
-  };
-
-  class ContextImpl final : public IContext<Message> {
-   public:
-    ContextImpl(Simulator* sim, NodeId self) : sim_(sim), self_(self) {}
-
-    void send(NodeId to, Message message) override {
-      Simulator& sim = *sim_;
-      const std::size_t slot = sim.find_directed_slot(self_, to);
-      MDST_REQUIRE(slot != kNoSlot,
-                   "send: target is not a neighbor (point-to-point model)");
-      MDST_REQUIRE(sim.sent_ < sim.config_.max_messages,
-                   "message cap exceeded — livelock?");
-      ++sim.sent_;
-      Time deliver_at = sim.now_ + sim.config_.delay.sample(sim.rng_);
-      if (sim.fifo_floors_active_) {
-        deliver_at = sim.bump_fifo_floor(slot, deliver_at);
-      }
-      Event& ev = sim.queue_.emplace(deliver_at);
-      ev.kind = EventKind::kMessage;
-      ev.to = to;
-      ev.from = self_;
-      ev.payload = std::move(message);
-      ev.causal_depth = sim.depth_[static_cast<std::size_t>(self_)] + 1;
-      ev.send_time = sim.now_;
-    }
-
-    NodeId self() const override { return self_; }
-    Time now() const override { return sim_->now_; }
-    void annotate(const std::string& label) override {
-      sim_->metrics_.annotate(sim_->now_, label);
-    }
-
-   private:
-    Simulator* sim_;
-    NodeId self_;
-  };
-
-  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-
-  /// CSR slot of the directed link from->to, or kNoSlot. The linear scan
-  /// over a contiguous int32 row replaces both the old O(deg) NodeEnv
-  /// neighbor check and the hash lookup keyed on packed (from, to).
-  std::size_t find_directed_slot(NodeId from, NodeId to) const {
-    const auto u = static_cast<std::size_t>(from);
-    if (from < 0 || u + 1 >= adj_off_.size()) return kNoSlot;
-    const std::uint32_t hi = adj_off_[u + 1];
-    for (std::uint32_t s = adj_off_[u]; s < hi; ++s) {
-      if (adj_peer_[s] == to) return s;
-    }
-    return kNoSlot;
-  }
-
-  /// Enforce per-directed-link FIFO: never deliver before a message sent
-  /// earlier on the same link. Returns the (possibly floored) delivery time.
-  Time bump_fifo_floor(std::size_t slot, Time deliver_at) {
-    Time& last = fifo_floor_[slot];
-    if (deliver_at < last) deliver_at = last;
-    last = deliver_at;
-    return deliver_at;
-  }
-
-  std::uint64_t depth_from(NodeId from) const {
-    if (from == kNoNode) return 0;
-    return depth_[static_cast<std::size_t>(from)];
-  }
-
-  SimConfig config_;
-  support::Rng rng_;
-  Metrics metrics_;
-  Trace trace_;
-  /// Backing storage for every NodeEnv::neighbors span; never reallocated
-  /// after construction.
-  std::vector<NeighborInfo> neighbor_pool_;
-  std::vector<NodeEnv> envs_;
+  SimCore<Message> core_;
   std::vector<Node> nodes_;
-  std::vector<std::uint64_t> depth_;
-  /// Directed-incidence CSR of the network: peers of vertex v are
-  /// adj_peer_[adj_off_[v] .. adj_off_[v+1]) in graph adjacency order.
-  std::vector<std::uint32_t> adj_off_;
-  std::vector<NodeId> adj_peer_;
-  /// Latest scheduled delivery per directed link, indexed by CSR slot.
-  /// Empty (and unread) when fifo_floors_active_ is false.
-  std::vector<Time> fifo_floor_;
-  bool fifo_floors_active_ = false;
-  CalendarQueue<Event> queue_;
-  Time now_ = 0;
-  std::uint64_t sent_ = 0;
-
-  friend class ContextImpl;
 };
 
 }  // namespace mdst::sim

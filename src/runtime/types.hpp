@@ -11,6 +11,10 @@ namespace mdst::sim {
 using NodeId = graph::VertexId;
 inline constexpr NodeId kNoNode = graph::kInvalidVertex;
 
+/// "No receiver-side neighbor index available" — see SimContext::from_index.
+inline constexpr std::uint32_t kNoNeighborIndex =
+    static_cast<std::uint32_t>(-1);
+
 /// Discrete simulated time in ticks. Message propagation plus inter-message
 /// delay is "at most one time unit" in the paper's analysis model; delay
 /// models below generalise that for asynchrony experiments.

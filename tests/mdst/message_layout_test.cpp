@@ -1,0 +1,95 @@
+// Pins the two layout properties the protocol hot path depends on (PR:
+// boxed BfsBack candidates): the Message variant is small (boxing shrank it
+// from 64 to 24 bytes) and trivially copyable (queue payload moves are
+// memcpy), and the BoxedCandidate pool recycles slots under the
+// exactly-once release convention.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/messages.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+TEST(MessageLayoutTest, VariantIsSmall) {
+  // The seed carried two 28-byte Candidates inline in BfsBack, making the
+  // whole variant 64 bytes; boxing reduced it to the Bfs/CousinReply bound.
+  static_assert(sizeof(Message) <= 24);
+  static_assert(sizeof(BfsBack) <= 12);
+  static_assert(sizeof(Candidate) == 28);  // what BfsBack used to carry twice
+  EXPECT_LT(sizeof(Message), 2 * sizeof(Candidate));
+}
+
+TEST(MessageLayoutTest, VariantStaysTriviallyCopyable) {
+  // Load-bearing: a non-trivial alternative would turn every queue payload
+  // move of every message type into a visitation dispatch (candidates.hpp).
+  static_assert(std::is_trivially_copyable_v<Message>);
+  static_assert(std::is_trivially_copyable_v<BfsBack>);
+  static_assert(std::is_trivially_destructible_v<Message>);
+  SUCCEED();
+}
+
+TEST(MessageLayoutTest, BoxingSkipsInvalidCandidates) {
+  CandidatePool& pool = CandidatePool::local();
+  const std::size_t before = pool.in_use();
+  const BoxedCandidate empty{Candidate{}};
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(pool.in_use(), before);  // no slot for "nothing to report"
+}
+
+TEST(MessageLayoutTest, PoolRecyclesSlotsExactlyOnce) {
+  CandidatePool& pool = CandidatePool::local();
+  const std::size_t before = pool.in_use();
+  const Candidate cand{3, 7, 2, FragTag{1, 2}, FragTag{1, 2}};
+  const BoxedCandidate boxed{cand};
+  ASSERT_TRUE(boxed.valid());
+  EXPECT_EQ(pool.in_use(), before + 1);
+  EXPECT_EQ(boxed.get().u, 3);
+  EXPECT_EQ(boxed.get().w, 7);
+  EXPECT_FALSE(boxed.get() < cand);
+  EXPECT_FALSE(cand < boxed.get());
+  boxed.release();
+  EXPECT_EQ(pool.in_use(), before);
+  // The freed slot is reused by the next allocation.
+  const BoxedCandidate next{cand};
+  EXPECT_EQ(pool.in_use(), before + 1);
+  next.release();
+  EXPECT_EQ(pool.in_use(), before);
+}
+
+TEST(MessageLayoutTest, BfsBackIdsBudgetMatchesBoxedState) {
+  BfsBack empty;
+  EXPECT_EQ(empty.ids_carried(), 1u);  // "no candidate" still reports stuck
+  BfsBack one;
+  one.best_top = Candidate{1, 2, 3, FragTag{1, 2}, FragTag{1, 2}};
+  EXPECT_EQ(one.ids_carried(), 4u);
+  BfsBack both;
+  both.best_top = Candidate{1, 2, 3, FragTag{1, 2}, FragTag{1, 2}};
+  both.best_sub = Candidate{4, 5, 2, FragTag{1, 2}, FragTag{3, 4}};
+  EXPECT_EQ(both.ids_carried(), 8u);
+  // Model the consumer convention so this test leaks no slots.
+  one.best_top.release();
+  both.best_top.release();
+  both.best_sub.release();
+}
+
+TEST(MessageLayoutTest, FullRunLeavesPoolBalanced) {
+  // End-to-end: every BfsBack box allocated by a sender is released by its
+  // consuming handler (also asserted inside run_mdst itself).
+  CandidatePool& pool = CandidatePool::local();
+  const std::size_t before = pool.in_use();
+  support::Rng rng(11);
+  graph::Graph g = graph::make_gnp_connected(48, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult run = run_mdst(g, start, {}, {});
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(pool.in_use(), before);
+}
+
+}  // namespace
+}  // namespace mdst::core

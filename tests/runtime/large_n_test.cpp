@@ -1,0 +1,100 @@
+// The large-n sweep configuration (SimConfig::large_n_sweep): the
+// max_messages override is respected, a tripped livelock cap reports the
+// *configured* cap in its error message, and an MDST run at n >= 1024 —
+// which needs several million messages — completes under the raised cap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/simulator.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+namespace {
+
+struct Ping {
+  static constexpr const char* kName = "Ping";
+  std::size_t ids_carried() const { return 0; }
+};
+
+/// Two nodes bouncing a ping forever — guaranteed to hit any finite cap.
+struct PingPongProto {
+  using Message = std::variant<Ping>;
+  struct Node {
+    explicit Node(const NodeEnv& env) : env(env) {}
+    void on_start(IContext<Message>& ctx) {
+      if (env.id == 0) ctx.send(1, Ping{});
+    }
+    void on_message(IContext<Message>& ctx, NodeId from, const Message&) {
+      ctx.send(from, Ping{});
+    }
+    NodeEnv env;
+  };
+};
+
+graph::Graph two_nodes() {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(LargeNConfigTest, MaxMessagesOverrideIsRespected) {
+  SimConfig config;
+  config.max_messages = 137;
+  Simulator<PingPongProto> sim(
+      two_nodes(), [](const NodeEnv& env) { return PingPongProto::Node(env); },
+      config);
+  EXPECT_THROW(sim.run(), ContractViolation);
+  // The ping-pong is serial (one message in flight), so the cap fires on
+  // send attempt max_messages + 1, after exactly max_messages deliveries.
+  EXPECT_EQ(sim.metrics().total_messages(), config.max_messages);
+}
+
+TEST(LargeNConfigTest, CapErrorMessageNamesTheConfiguredCap) {
+  SimConfig config;
+  config.max_messages = 4242;
+  Simulator<PingPongProto> sim(
+      two_nodes(), [](const NodeEnv& env) { return PingPongProto::Node(env); },
+      config);
+  try {
+    sim.run();
+    FAIL() << "livelock cap did not fire";
+  } catch (const mdst::ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("4242"), std::string::npos)
+        << "cap error must include the configured cap, got: " << what;
+    EXPECT_NE(what.find("large_n_sweep"), std::string::npos)
+        << "cap error should point at the sweep config, got: " << what;
+  }
+}
+
+TEST(LargeNConfigTest, LargeNSweepRaisesTheCap) {
+  const SimConfig config = SimConfig::large_n_sweep();
+  EXPECT_GT(config.max_messages, SimConfig{}.max_messages);
+  // Comfortably above the ~89M messages an n=4096 MDST run needs.
+  EXPECT_GE(config.max_messages, 200'000'000u);
+}
+
+TEST(LargeNConfigTest, MdstAt1024CompletesUnderRaisedCap) {
+  // n=1024 needs ~5.7M messages — a healthy large-n run, far below the
+  // raised cap but enough to prove the override reaches the engine.
+  support::Rng rng(21);
+  graph::Graph g =
+      graph::make_gnp_connected(1024, 8.0 / 1023.0, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const mdst::core::RunResult run =
+      mdst::core::run_mdst(g, start, {}, SimConfig::large_n_sweep());
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_GT(run.metrics.total_messages(), 1'000'000u);
+  EXPECT_LT(run.metrics.total_messages(),
+            SimConfig::large_n_sweep().max_messages);
+  EXPECT_LE(run.final_degree, run.initial_degree);
+}
+
+}  // namespace
+}  // namespace mdst::sim
