@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
       cfg);
   replay.run();
   for (const sim::TraceRow& row : replay.trace().rows()) {
-    ++census[row.type_name];
+    ++census[std::string(row.type_name)];
   }
   support::Table table({"message type", "count"});
   for (const auto& [type, count] : census) {

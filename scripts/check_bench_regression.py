@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fail the nightly job when a micro benchmark regresses against history.
+
+Compares a fresh BENCH_micro.json (google-benchmark JSON from the `bench`
+target) against the `micro` sections of the last --window records of
+BENCH_history.jsonl (written by append_bench_history.py). The baseline per
+bench is the *median* over that window, so one noisy night on a shared CI
+runner neither trips the gate by itself nor poisons the next comparison.
+For every bench present in both:
+
+  * benches with a `msgs/s` counter regress when the fresh rate drops more
+    than --threshold below the baseline;
+  * benches without one fall back to real_time_ns (regress when the fresh
+    time exceeds the baseline time by more than --threshold).
+
+Exits 1 listing the regressed benches, 0 otherwise. Run it *before*
+appending the fresh record so a regressed night neither pollutes the
+baseline nor silently masks the next comparison.
+
+Usage:
+    check_bench_regression.py --micro BENCH_micro.json \
+        --history BENCH_history.jsonl [--threshold 0.10] [--window 5]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+RATE_KEY = "msgs/s"
+
+
+def load_micro(path: str) -> dict:
+    """BENCH_micro.json -> {bench name -> {real_time_ns, msgs/s, ...}}.
+
+    Mirrors append_bench_history.load_micro so the fresh run and the
+    history record are normalized identically.
+    """
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    micro = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" and \
+                bench.get("aggregate_name") != "median":
+            continue
+        entry = {"real_time_ns": bench.get("real_time")}
+        for key, value in bench.items():
+            if isinstance(value, (int, float)) and key not in entry:
+                entry[key] = value
+        micro[bench["name"]] = entry
+    return micro
+
+
+def baseline_micro(path: str, window: int) -> dict:
+    """Median per (bench, metric) over the last `window` history records."""
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    records = [json.loads(line).get("micro", {}) for line in lines[-window:]]
+    samples = {}
+    for record in records:
+        for name, entry in record.items():
+            for key, value in entry.items():
+                if isinstance(value, (int, float)):
+                    samples.setdefault(name, {}).setdefault(key, []).append(
+                        value)
+    return {name: {key: statistics.median(vals)
+                   for key, vals in metrics.items()}
+            for name, metrics in samples.items()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--micro", required=True,
+                        help="fresh BENCH_micro.json")
+    parser.add_argument("--history", required=True,
+                        help="BENCH_history.jsonl to compare against")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional drop that fails the job "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="history records in the median baseline "
+                             "(default 5)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.history):
+        print(f"no history at {args.history}; nothing to compare — pass")
+        return 0
+    previous = baseline_micro(args.history, args.window)
+    if not previous:
+        print("history has no micro record; nothing to compare — pass")
+        return 0
+    current = load_micro(args.micro)
+
+    regressions = []
+    compared = 0
+    for name in sorted(set(current) & set(previous)):
+        cur, prev = current[name], previous[name]
+        if RATE_KEY in cur and RATE_KEY in prev and prev[RATE_KEY]:
+            delta = cur[RATE_KEY] / prev[RATE_KEY] - 1.0
+            metric = RATE_KEY
+        elif cur.get("real_time_ns") and prev.get("real_time_ns"):
+            # Time: higher is worse; express as a rate-style delta.
+            delta = prev["real_time_ns"] / cur["real_time_ns"] - 1.0
+            metric = "real_time_ns"
+        else:
+            continue
+        compared += 1
+        marker = ""
+        if delta < -args.threshold:
+            regressions.append(name)
+            marker = "  << REGRESSION"
+        print(f"{name:50s} {metric:12s} {delta:+7.1%}{marker}")
+
+    if not compared:
+        print("no comparable benches between run and history — pass")
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed more than "
+              f"{args.threshold:.0%} vs the history baseline:")
+        for name in regressions:
+            print(f"  {name}")
+        return 1
+    print(f"\nall {compared} compared benches within {args.threshold:.0%} "
+          "of the history baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ RootedTree RootedTree::from_parents(VertexId root, std::vector<VertexId> parents
   tree.root_ = root;
   tree.parents_ = std::move(parents);
   tree.children_.assign(n, {});
+  // Count first so every child list is built with exactly one allocation —
+  // the growth reallocations otherwise dominate tree extraction for the
+  // large spanning-tree runs (n child vectors, ~2 allocs each).
+  std::vector<std::uint32_t> child_count(n, 0);
   std::size_t rootless = 0;
   for (std::size_t v = 0; v < n; ++v) {
     const VertexId p = tree.parents_[v];
@@ -27,14 +31,83 @@ RootedTree RootedTree::from_parents(VertexId root, std::vector<VertexId> parents
     MDST_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < n,
                  "parent out of range");
     MDST_REQUIRE(p != static_cast<VertexId>(v), "self parent");
-    tree.children_[static_cast<std::size_t>(p)].push_back(
-        static_cast<VertexId>(v));
+    ++child_count[static_cast<std::size_t>(p)];
   }
   MDST_REQUIRE(rootless == 1, "exactly one root expected");
+  for (std::size_t v = 0; v < n; ++v) {
+    if (child_count[v] != 0) tree.children_[v].reserve(child_count[v]);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId p = tree.parents_[v];
+    if (p != kInvalidVertex) {
+      tree.children_[static_cast<std::size_t>(p)].push_back(
+          static_cast<VertexId>(v));
+    }
+  }
   // Cycle check: walk up from every vertex, stopping at any vertex already
   // known to reach the root, then mark the walked path. Each vertex is
   // marked once, so the whole check is O(n) instead of O(n * depth).
   std::vector<char> reaches_root(n, 0);
+  reaches_root[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    VertexId cur = static_cast<VertexId>(v);
+    std::size_t steps = 0;
+    while (!reaches_root[static_cast<std::size_t>(cur)]) {
+      cur = tree.parents_[static_cast<std::size_t>(cur)];
+      MDST_REQUIRE(cur != kInvalidVertex, "disconnected parent structure");
+      MDST_REQUIRE(++steps <= n, "cycle in parent structure");
+    }
+    cur = static_cast<VertexId>(v);
+    while (!reaches_root[static_cast<std::size_t>(cur)]) {
+      reaches_root[static_cast<std::size_t>(cur)] = 1;
+      cur = tree.parents_[static_cast<std::size_t>(cur)];
+    }
+  }
+  return tree;
+}
+
+RootedTree RootedTree::from_views(VertexId root,
+                                  std::vector<VertexId> parents,
+                                  std::vector<std::vector<VertexId>> children) {
+  const std::size_t n = parents.size();
+  MDST_REQUIRE(n > 0, "empty tree");
+  MDST_REQUIRE(children.size() == n, "child view size mismatch");
+  MDST_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n, "bad root");
+  MDST_REQUIRE(parents[static_cast<std::size_t>(root)] == kInvalidVertex,
+               "root must have no parent");
+
+  RootedTree tree;
+  tree.root_ = root;
+  tree.parents_ = std::move(parents);
+  tree.children_ = std::move(children);
+  // Cross-validate the adopted child lists against the parent view: pooled,
+  // they must claim each non-root vertex exactly once, and each claim must
+  // match the vertex's own parent pointer. Together with the single-root
+  // check this is per-vertex multiset equality of the two views.
+  std::vector<char> claimed(n, 0);
+  std::size_t claims = 0;
+  std::size_t rootless = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tree.parents_[v] == kInvalidVertex) ++rootless;
+    for (const VertexId c : tree.children_[v]) {
+      MDST_REQUIRE(c >= 0 && static_cast<std::size_t>(c) < n,
+                   "child out of range");
+      MDST_REQUIRE(!claimed[static_cast<std::size_t>(c)],
+                   "child claimed twice");
+      MDST_REQUIRE(tree.parents_[static_cast<std::size_t>(c)] ==
+                       static_cast<VertexId>(v),
+                   "child view disagrees with parent view");
+      claimed[static_cast<std::size_t>(c)] = 1;
+      ++claims;
+    }
+  }
+  MDST_REQUIRE(rootless == 1, "exactly one root expected");
+  MDST_REQUIRE(claims == n - 1, "child views do not cover the tree");
+  // View agreement alone admits off-tree parent cycles (a disjoint 2-cycle
+  // claims itself consistently), so root reachability still needs the
+  // memoized climb — O(n) total, same as from_parents.
+  std::vector<char>& reaches_root = claimed;  // reuse: reset then re-mark
+  std::fill(reaches_root.begin(), reaches_root.end(), 0);
   reaches_root[static_cast<std::size_t>(root)] = 1;
   for (std::size_t v = 0; v < n; ++v) {
     VertexId cur = static_cast<VertexId>(v);

@@ -25,6 +25,15 @@ class RootedTree {
   /// no cycles).
   static RootedTree from_parents(VertexId root, std::vector<VertexId> parents);
 
+  /// Build from both local views at once, adopting the per-vertex child
+  /// lists instead of reassembling them (zero allocations beyond the moved
+  /// buffers — the allocation-free path distributed protocols use to lift
+  /// node-local views into a tree). Validates that the two views agree:
+  /// every non-root vertex is claimed by exactly its parent, and the parent
+  /// structure is a single-rooted tree.
+  static RootedTree from_views(VertexId root, std::vector<VertexId> parents,
+                               std::vector<std::vector<VertexId>> children);
+
   std::size_t vertex_count() const { return parents_.size(); }
   VertexId root() const { return root_; }
 

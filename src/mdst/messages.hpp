@@ -28,7 +28,11 @@
 // (ids_carried) so the bit-width claim C5 can be measured. In
 // kSingleImprovement mode all messages carry at most 4 identity fields,
 // matching the paper; kConcurrent needs up to 8 (sub-fragment tags), still
-// O(log n) bits.
+// O(log n) bits. Types whose count is a constant of the type additionally
+// advertise it as `static constexpr kIdsCarried`, which feeds the
+// simulator's compile-time descriptor table (runtime/variant_util.hpp) so
+// per-delivery metering is one array load; only Cut/Bfs/CousinReply/BfsBack
+// have payload-dependent counts and keep the visit fallback.
 //
 // Size discipline: every alternative is a few machine words. The one
 // naturally fat message, BfsBack, carries its Candidates *boxed* (4-byte
@@ -44,6 +48,7 @@
 
 #include "graph/types.hpp"
 #include "mdst/candidates.hpp"
+#include "runtime/variant_util.hpp"
 
 namespace mdst::core {
 
@@ -55,7 +60,8 @@ struct StartRound {
   static constexpr const char* kName = "StartRound";
   std::uint32_t round = 0;
   bool clear_stuck = false;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Leaves -> root: maximum tree degree in my subtree and the minimum name
@@ -67,7 +73,8 @@ struct SearchReply {
   int degree = 0;
   NodeName who = kNoName;
   int deg_all = 0;
-  std::size_t ids_carried() const { return 3; }
+  static constexpr std::size_t kIdsCarried = 3;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Walks from the old root to the new one, reversing parents hop by hop.
@@ -75,7 +82,8 @@ struct MoveRoot {
   static constexpr const char* kName = "MoveRoot";
   int k = 0;
   NodeName target = kNoName;
-  std::size_t ids_carried() const { return 2; }
+  static constexpr std::size_t kIdsCarried = 2;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Round root p (or sub-root q) -> its children: you are a fragment root.
@@ -130,7 +138,8 @@ struct Update {
   NodeName u = kNoName;
   NodeName w = kNoName;
   int k = 0;
-  std::size_t ids_carried() const { return 3; }
+  static constexpr std::size_t kIdsCarried = 3;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// u -> w across the chosen outgoing edge: may I become your child?
@@ -138,17 +147,20 @@ struct ChildRequest {
   static constexpr const char* kName = "ChildRequest";
   int k = 0;
   FragTag u_top;  // w re-checks the endpoints are in different fragments
-  std::size_t ids_carried() const { return 3; }
+  static constexpr std::size_t kIdsCarried = 3;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 struct ChildAccept {
   static constexpr const char* kName = "ChildAccept";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 struct ChildReject {
   static constexpr const char* kName = "ChildReject";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Reverses parent pointers from the attach point u back to the fragment
@@ -156,27 +168,31 @@ struct ChildReject {
 struct Reverse {
   static constexpr const char* kName = "Reverse";
   NodeName stop_at = kNoName;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Final hop of an improvement: tells the (sub-)root to drop the moved
 /// child. Receipt is the paper's "round is terminated" event.
 struct Detach {
   static constexpr const char* kName = "Detach";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// An improvement was found stale at apply time and abandoned with no
 /// structural change (two-phase commit failure path; DESIGN D2).
 struct Abort {
   static constexpr const char* kName = "Abort";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 /// Broadcast down the final tree: algorithm over, local views final.
 struct Terminate {
   static constexpr const char* kName = "Terminate";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 using Message =
@@ -233,5 +249,32 @@ static_assert(detail::kPinned<MessageType::kReverse, Reverse>);
 static_assert(detail::kPinned<MessageType::kDetach, Detach>);
 static_assert(detail::kPinned<MessageType::kAbort, Abort>);
 static_assert(detail::kPinned<MessageType::kTerminate, Terminate>);
+
+// The metering descriptor table must see exactly the four payload-dependent
+// types as dynamic; a new alternative that forgets kIdsCarried silently
+// falls back to the slower visit path, so pin the split here.
+namespace detail {
+inline constexpr auto& kDescriptors = sim::kMessageDescriptors<Message>;
+template <MessageType E>
+inline constexpr bool kDynamicIds =
+    kDescriptors[static_cast<std::size_t>(E)].dynamic_ids;
+}  // namespace detail
+static_assert(detail::kDynamicIds<MessageType::kCut> &&
+              detail::kDynamicIds<MessageType::kBfs> &&
+              detail::kDynamicIds<MessageType::kCousinReply> &&
+              detail::kDynamicIds<MessageType::kBfsBack>);
+static_assert(!detail::kDynamicIds<MessageType::kStartRound> &&
+              !detail::kDynamicIds<MessageType::kSearchReply> &&
+              !detail::kDynamicIds<MessageType::kMoveRoot> &&
+              !detail::kDynamicIds<MessageType::kUpdate> &&
+              !detail::kDynamicIds<MessageType::kChildRequest> &&
+              !detail::kDynamicIds<MessageType::kChildAccept> &&
+              !detail::kDynamicIds<MessageType::kChildReject> &&
+              !detail::kDynamicIds<MessageType::kReverse> &&
+              !detail::kDynamicIds<MessageType::kDetach> &&
+              !detail::kDynamicIds<MessageType::kAbort> &&
+              !detail::kDynamicIds<MessageType::kTerminate>);
+static_assert(detail::kDescriptors[static_cast<std::size_t>(
+                  MessageType::kSearchReply)].static_ids == 3);
 
 }  // namespace mdst::core

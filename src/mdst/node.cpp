@@ -219,14 +219,14 @@ void BasicNode<Context>::begin_cut(Context& ctx) {
   top_ = FragTag{env_.name, env_.name};
   sub_ = top_;
   have_tags_ = true;
-  wave_children_ = children_;
-  wave_child_indices_ = child_indices_;
-  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size());
+  snapshot_wave_children();
+  const std::vector<sim::NodeId>& kids = wave_kids();
+  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
+  wave_waiting_ = static_cast<std::uint32_t>(kids.size());
   ctx.annotate("cut round=" + std::to_string(round_) +
                " k=" + std::to_string(k_));
-  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
-    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
-                 Cut{k_, env_.name, FragTag{}});
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    send_indexed(ctx, kids[i], kid_idx[i], Cut{k_, env_.name, FragTag{}});
   }
   // Probes queued before we became the round root (only possible for
   // sub-roots in practice, but harmless to drain here too).
@@ -480,12 +480,12 @@ void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
   top_ = top;
   sub_ = sub;
   have_tags_ = true;
-  wave_children_ = children_;
-  wave_child_indices_ = child_indices_;
-  cross_closed_.assign(env_.neighbors.size(), false);
-  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
-    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
-                 Bfs{k_, top_, sub_});
+  snapshot_wave_children();
+  const std::vector<sim::NodeId>& kids = wave_kids();
+  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
+  cross_closed_.assign(env_.neighbors.size(), 0);
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    send_indexed(ctx, kids[i], kid_idx[i], Bfs{k_, top_, sub_});
   }
   // No closure can arrive while this handler runs, so the cross count may
   // be accumulated in the same pass that sends the probes, as long as
@@ -499,7 +499,7 @@ void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
     send_indexed(ctx, nb.id, static_cast<std::uint32_t>(i),
                  Bfs{k_, top_, sub_});  // cousin probe
   }
-  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size() + cross);
+  wave_waiting_ = static_cast<std::uint32_t>(kids.size() + cross);
   // Swap through a member scratch so both buffers survive across waves
   // instead of a free/malloc pair per wave. Replayed probes cannot re-queue:
   // have_tags_ is already set.
@@ -522,13 +522,13 @@ void BasicNode<Context>::become_sub_root(Context& ctx, const FragTag& encl_top,
   top_ = encl_top;
   sub_ = FragTag{env_.name, env_.name};
   have_tags_ = true;
-  wave_children_ = children_;
-  wave_child_indices_ = child_indices_;
-  wave_waiting_ = static_cast<std::uint32_t>(wave_children_.size());
-  MDST_ASSERT(!wave_children_.empty(), "degree-k non-root node has children");
-  for (std::size_t i = 0; i < wave_children_.size(); ++i) {
-    send_indexed(ctx, wave_children_[i], wave_child_indices_[i],
-                 Cut{k_, env_.name, top_});
+  snapshot_wave_children();
+  const std::vector<sim::NodeId>& kids = wave_kids();
+  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
+  wave_waiting_ = static_cast<std::uint32_t>(kids.size());
+  MDST_ASSERT(!kids.empty(), "degree-k non-root node has children");
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    send_indexed(ctx, kids[i], kid_idx[i], Cut{k_, env_.name, top_});
   }
   scratch_probes_.clear();
   scratch_probes_.swap(queued_probes_);
@@ -571,7 +571,7 @@ void BasicNode<Context>::on_cross_probe(Context& ctx, sim::NodeId from,
 template <typename Context>
 void BasicNode<Context>::close_cross_edge_at(Context& ctx, std::size_t idx) {
   MDST_ASSERT(!cross_closed_[idx], "cross edge closed twice");
-  cross_closed_[idx] = true;
+  cross_closed_[idx] = 1;
   MDST_ASSERT(wave_waiting_ > 0, "closure with nothing pending");
   --wave_waiting_;
   member_maybe_report(ctx);
@@ -622,8 +622,8 @@ void BasicNode<Context>::member_maybe_report(Context& ctx) {
 template <typename Context>
 void BasicNode<Context>::handle_bfs_back(Context& ctx, sim::NodeId from,
                                          const BfsBack& msg) {
-  MDST_ASSERT(std::find(wave_children_.begin(), wave_children_.end(), from) !=
-                  wave_children_.end(),
+  MDST_ASSERT(std::find(wave_kids().begin(), wave_kids().end(), from) !=
+                  wave_kids().end(),
               "BfsBack from non-wave-child");
   // This handler is the boxed candidates' single consumer (candidates.hpp):
   // read, then release each valid box exactly once.

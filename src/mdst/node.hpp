@@ -154,14 +154,10 @@ class alignas(64) BasicNode {
     MDST_UNREACHABLE("neighbor_index: not a neighbor");
   }
   /// Receiver-side index of the current delivery's sender, when the context
-  /// can provide it (SimContext carries the simulator's reverse-CSR value);
-  /// kNoNeighborIndex otherwise (virtual contexts, starts, injects).
+  /// can provide it; kNoNeighborIndex otherwise (virtual contexts, starts,
+  /// injects). Delegates to the shared helper in runtime/context.hpp.
   static std::uint32_t delivery_from_index(Ctx& ctx) {
-    if constexpr (requires { ctx.from_index(); }) {
-      return ctx.from_index();
-    } else {
-      return sim::kNoNeighborIndex;
-    }
+    return sim::delivery_from_index(ctx);
   }
   /// neighbor_index(node), skipping the O(deg) scan when a delivery hint is
   /// available. The hint is cross-checked — a wrong hint is a simulator bug.
@@ -178,19 +174,32 @@ class alignas(64) BasicNode {
   /// Slot-addressed send when the context supports it (the simulator path
   /// skips the O(deg) neighbor-row scan); plain send otherwise. `idx` may
   /// be kNoNeighborIndex to force the fallback (e.g. replayed probes whose
-  /// delivery hint no longer applies).
+  /// delivery hint no longer applies). Delegates to the shared helper in
+  /// runtime/context.hpp.
   template <typename M>
   void send_indexed(Ctx& ctx, sim::NodeId to, std::uint32_t idx, M&& m) {
-    if constexpr (requires {
-                    ctx.send_at_index(to, idx, std::forward<M>(m));
-                  }) {
-      if (idx != sim::kNoNeighborIndex) {
-        ctx.send_at_index(to, idx, std::forward<M>(m));
-        return;
-      }
-    }
-    ctx.send(to, std::forward<M>(m));
+    sim::send_indexed(ctx, to, idx, std::forward<M>(m));
   }
+  /// The wave membership of the current round. Outside kConcurrent the
+  /// tree provably cannot change between the cut and the round's last
+  /// BfsBack (improvements apply strictly after wave_done), so the
+  /// "snapshot" simply aliases the live children lists — no per-wave
+  /// copies. kConcurrent sub-round improvements mutate children_ mid-wave
+  /// and take a real snapshot (snapshot_wave_children).
+  const std::vector<sim::NodeId>& wave_kids() const {
+    return opts_.mode == EngineMode::kConcurrent ? wave_children_ : children_;
+  }
+  const std::vector<std::uint32_t>& wave_kid_indices() const {
+    return opts_.mode == EngineMode::kConcurrent ? wave_child_indices_
+                                                 : child_indices_;
+  }
+  void snapshot_wave_children() {
+    if (opts_.mode == EngineMode::kConcurrent) {
+      wave_children_ = children_;
+      wave_child_indices_ = child_indices_;
+    }
+  }
+
   void add_child(sim::NodeId node,
                  std::uint32_t idx_hint = sim::kNoNeighborIndex);
   void remove_child(sim::NodeId node);
@@ -241,7 +250,8 @@ class alignas(64) BasicNode {
   Candidate best_sub_;
   std::vector<sim::NodeId> wave_children_;  // children at wave start
   std::vector<std::uint32_t> wave_child_indices_;  // parallel snapshot
-  std::vector<bool> cross_closed_;          // per neighbour index
+  std::vector<std::uint8_t> cross_closed_;  // per neighbour index (byte flags:
+  // plain load/store beats vector<bool> bit ops on the closure hot path)
   // ==== cold state: construction-time, per-round-once, root-only ==========
   sim::NodeEnv env_;
   Options opts_;

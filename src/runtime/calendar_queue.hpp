@@ -13,9 +13,16 @@
 //   * each slot is an 8-byte (head, tail) pair of an intrusive FIFO list
 //     chained through the slab nodes themselves, so the whole wheel stays a
 //     few KB (cache-resident even for sparse token-passing workloads) and a
-//     push/pop touches only slab lines that are being written anyway;
+//     push/pop touches only slab lines that are being written anyway. A
+//     slot's emptiness is governed solely by its occupancy bit: head/tail
+//     are read only while the bit is set, so neither the slot nor a slab
+//     node ever needs re-initialization when reused;
 //   * an occupancy bitmap plus a cached lower bound (`wheel_min_`) finds
-//     the next non-empty slot with a single word scan in the common case;
+//     the next non-empty slot with a single word scan — and consecutive
+//     pops at the *same tick* skip the scan entirely: the first pop of a
+//     tick remembers its slot, and the rest of that tick's FIFO ring drains
+//     straight off the intrusive list (the dominant case under unit delays,
+//     where a whole wave of deliveries shares each tick);
 //   * the rare event beyond the horizon (heavy-tail delays, large start
 //     spreads) goes to a small overflow min-heap keyed (time, seq) and is
 //     migrated into the wheel when `now` advances — strictly before any
@@ -23,12 +30,15 @@
 //     (time, seq) order. See the determinism test, which checks pop order
 //     against a std::priority_queue reference over adversarial schedules.
 //
-// Payloads live in a slab pool of fixed-size blocks with a free list; the
-// wheel and heap shuffle 4-byte slab refs, so queue nodes stay small no
-// matter how fat the message payload is, and — because blocks never move —
-// a popped payload can be consumed *in place* (emplace() to fill on push,
-// payload(ref) to read after pop, release(ref) when done) with zero copies
-// of the payload through the queue.
+// Payloads live in a slab pool of fixed-size blocks; freed nodes are
+// recycled through an intrusive free list threaded through the same `next`
+// links the slot FIFOs use, so alloc/release are two pointer swaps and a
+// recycled node is handed back with *no* re-initialization (callers assign
+// every field they rely on). The wheel and heap shuffle 4-byte slab refs,
+// so queue nodes stay small no matter how fat the message payload is, and —
+// because blocks never move — a popped payload can be consumed *in place*
+// (emplace() to fill on push, payload(ref) to read after pop, release(ref)
+// when done) with zero copies of the payload through the queue.
 #pragma once
 
 #include <algorithm>
@@ -40,6 +50,7 @@
 
 #include "runtime/types.hpp"
 #include "support/assert.hpp"
+#include "support/compiler.hpp"
 
 namespace mdst::sim {
 
@@ -75,14 +86,10 @@ class CalendarQueue {
   Payload& emplace(Time t) {
     MDST_ASSERT(t >= now_, "calendar queue: push into the past");
     const Ref ref = alloc();
-    if (t - now_ <= mask_) {
+    if (t - now_ <= mask_) [[likely]] {
       place_in_wheel(t, ref);
     } else {
-      // seq only needs to order overflow entries against each other (the
-      // migration argument in migrate_overflow covers wheel interleaving),
-      // so wheel events skip the counter entirely.
-      overflow_.push_back({t, next_seq_++, ref});
-      std::push_heap(overflow_.begin(), overflow_.end(), OvLater{});
+      emplace_overflow(t, ref);
     }
     ++count_;
     return node(ref).payload;
@@ -99,47 +106,50 @@ class CalendarQueue {
 
   /// Dequeue the event with the smallest (time, push order). The payload
   /// stays alive in the slab — read it with payload(ref), then release(ref).
+  ///
+  /// Bulk-drain fast path: when the previous pop left more events in the
+  /// same tick's FIFO ring — by construction the global minimum — the pop
+  /// is a plain list unlink: no bitmap scan, no overflow check (overflow
+  /// times are > now_ whenever now_ is current, see migrate_overflow). The
+  /// slot's tail is re-read each pop, so same-tick pushes made by handlers
+  /// extend the run. Advancing to the next tick is outlined (pop_next_tick)
+  /// to keep this body small enough to inline into the delivery loop.
   Popped pop() {
     MDST_REQUIRE(count_ > 0, "calendar queue: pop from empty");
-    const Time t = wheel_count_ > 0 ? next_wheel_time() : overflow_.front().time;
-    wheel_min_ = t;  // exact after the scan; pops are monotone
-    if (t != now_) {
-      now_ = t;
-      migrate_overflow();
+    if (run_active_) {
+      return {now_, unlink_head(run_slot_), run_payload_};
     }
-    Slot& slot = wheel_[t & mask_];
-    const Ref ref = slot.head;
-    MDST_ASSERT(ref != kNil, "calendar queue: empty slot hit");
-    Node& n = node(ref);
-    slot.head = n.next;
-    if (slot.head == kNil) {
-      slot.tail = kNil;
-      occupied_[(t & mask_) >> 6] &= ~(std::uint64_t{1} << (t & 63));
-    }
-    --wheel_count_;
-    --count_;
-    return {t, ref, &n.payload};
+    return pop_next_tick();
   }
 
   /// The payload of a node handed out by pop(); stable across emplace().
   Payload& payload(Ref ref) { return node(ref).payload; }
 
-  /// Return a popped node to the free list.
-  void release(Ref ref) { free_.push_back(ref); }
+  /// Return a popped node to the intrusive free list. Nothing else is
+  /// cleared: alloc() hands the node back as-is.
+  void release(Ref ref) {
+    node(ref).next = free_head_;
+    free_head_ = ref;
+  }
 
  private:
   static constexpr std::size_t kBlockBits = 9;  // 512 nodes per slab block
   static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
   static constexpr Ref kNil = static_cast<Ref>(-1);
+  /// Push-cache sentinel: no emplace can name it (a delta this large always
+  /// routes to the overflow heap).
+  static constexpr Time kNeverTime = static_cast<Time>(-1);
 
-  /// Slab node: just the intrusive slot-FIFO link and the payload. Delivery
-  /// time lives in the wheel position (and OvRef for overflow), never here.
+  /// Slab node: just the intrusive link (slot FIFO while queued, free list
+  /// after release) and the payload. Delivery time lives in the wheel
+  /// position (and OvRef for overflow), never here.
   struct Node {
     Ref next = kNil;
     Payload payload{};
   };
 
   /// Intrusive FIFO of slab nodes holding one delivery tick's events.
+  /// head/tail are meaningful only while the slot's occupancy bit is set.
   struct Slot {
     Ref head = kNil;
     Ref tail = kNil;
@@ -160,31 +170,115 @@ class CalendarQueue {
     return blocks_[ref >> kBlockBits][ref & (kBlockSize - 1)];
   }
 
+  /// Take a node off the free list or carve a fresh one from the slab. A
+  /// recycled node is returned with its fields untouched (no re-init):
+  /// `next` is dead until the node is linked into a slot or the free list
+  /// again, and the payload is the caller's to assign.
   Ref alloc() {
-    Ref ref;
-    if (!free_.empty()) {
-      ref = free_.back();
-      free_.pop_back();
-    } else {
-      if ((slab_used_ & (kBlockSize - 1)) == 0) {
-        blocks_.push_back(std::make_unique<Node[]>(kBlockSize));
-      }
-      ref = static_cast<Ref>(slab_used_++);
+    const Ref recycled = free_head_;
+    if (recycled != kNil) [[likely]] {
+      free_head_ = node(recycled).next;
+      return recycled;
     }
-    node(ref).next = kNil;
+    return alloc_fresh();
+  }
+
+  /// Slab growth path — cold once the in-flight population peaks, so it is
+  /// outlined to keep alloc() two pointer ops in the senders' hot path.
+  MDST_NOINLINE Ref alloc_fresh() {
+    if ((slab_used_ & (kBlockSize - 1)) == 0) {
+      blocks_.push_back(std::make_unique<Node[]>(kBlockSize));
+    }
+    return static_cast<Ref>(slab_used_++);
+  }
+
+  /// Beyond-horizon push (heavy-tail draws, large start spreads): rare, so
+  /// outlined. seq only needs to order overflow entries against each other
+  /// (the migration argument in migrate_overflow covers wheel
+  /// interleaving), so wheel events skip the counter entirely.
+  MDST_NOINLINE void emplace_overflow(Time t, Ref ref) {
+    overflow_.push_back({t, next_seq_++, ref});
+    std::push_heap(overflow_.begin(), overflow_.end(), OvLater{});
+  }
+
+  /// First pop of a new tick: find the minimum via bitmap scan / overflow
+  /// front, advance the clock, migrate matured overflow events, and start
+  /// the tick's drain run. Outlined — it runs once per tick, not once per
+  /// event.
+  MDST_NOINLINE Popped pop_next_tick() {
+    const Time t =
+        wheel_count_ > 0 ? next_wheel_time() : overflow_.front().time;
+    wheel_min_ = t;  // exact after the scan; pops are monotone
+    if (t != now_) {
+      now_ = t;
+      migrate_overflow();
+    }
+    const std::size_t slot_index = t & mask_;
+    MDST_ASSERT((occupied_[slot_index >> 6] >> (slot_index & 63)) & 1,
+                "calendar queue: occupancy bitmap out of sync");
+    return {t, unlink_head(slot_index), run_payload_};
+  }
+
+  /// Detach the head of a known-occupied slot, maintain the occupancy bit
+  /// and the same-tick run state, and stash the payload pointer for the
+  /// caller's Popped.
+  Ref unlink_head(std::size_t slot_index) {
+    Slot& slot = wheel_[slot_index];
+    const Ref ref = slot.head;
+    Node& n = node(ref);
+    if (ref == slot.tail) {
+      // Tick exhausted (for now — a same-time push re-sets the bit and the
+      // slow path re-finds the slot via wheel_min_ == now_). Drop the push
+      // cache if it names this slot: its "occupied" premise just ended, and
+      // a later push at the same time must take the full path again.
+      occupied_[slot_index >> 6] &= ~(std::uint64_t{1} << (slot_index & 63));
+      run_active_ = false;
+      if (slot_index == push_slot_cache_) push_time_cache_ = kNeverTime;
+    } else {
+      slot.head = n.next;
+      run_active_ = true;
+      run_slot_ = slot_index;
+    }
+    --wheel_count_;
+    --count_;
+    run_payload_ = &n.payload;
     return ref;
   }
 
   void place_in_wheel(Time t, Ref ref) {
-    Slot& slot = wheel_[t & mask_];
-    if (slot.head == kNil) {
-      slot.head = ref;
-    } else {
+    // Same-time push cache: bursts overwhelmingly target one time (under
+    // unit delays *every* send of a tick lands at now + 1), so remember the
+    // last slot whose occupancy bit this function set and append straight
+    // to its FIFO tail. The cached slot provably stays occupied until now_
+    // reaches t (only pops at time t clear the bit, sends/injects always
+    // schedule past now_, and the overflow heap can never migrate an event
+    // to a time the cache could still name), and wheel_min_ <= t already
+    // holds while the slot is occupied — so the hit path is one compare
+    // plus the list append.
+    if (t == push_time_cache_) {
+      Slot& slot = wheel_[push_slot_cache_];
       node(slot.tail).next = ref;
+      slot.tail = ref;
+      ++wheel_count_;
+      return;
+    }
+    const std::size_t slot_index = t & mask_;
+    Slot& slot = wheel_[slot_index];
+    std::uint64_t& word = occupied_[slot_index >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (slot_index & 63);
+    if (word & bit) {
+      node(slot.tail).next = ref;
+    } else {
+      slot.head = ref;
+      word |= bit;
     }
     slot.tail = ref;
-    occupied_[(t & mask_) >> 6] |= std::uint64_t{1} << (t & 63);
-    if (wheel_count_ == 0 || t < wheel_min_) wheel_min_ = t;
+    push_time_cache_ = t;
+    push_slot_cache_ = slot_index;
+    // wheel_min_ is monotone (pop sets it to each popped time, and pushes
+    // never predate now_), so a single compare maintains the lower bound —
+    // no emptiness special case.
+    if (t < wheel_min_) wheel_min_ = t;
     ++wheel_count_;
   }
 
@@ -207,6 +301,7 @@ class CalendarQueue {
     const Time from = wheel_min_ > now_ ? wheel_min_ : now_;
     const std::size_t base = from & mask_;
     const std::size_t words = occupied_.size();
+    const std::size_t word_mask = words - 1;  // power of two, like the wheel
     std::size_t w = base >> 6;
     // First word: ignore slots before `base`. If the scan wraps all the way
     // back, the unmasked revisit is safe — the >= base bits were just seen
@@ -218,7 +313,7 @@ class CalendarQueue {
             (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
         return from + ((slot - base) & mask_);
       }
-      w = (w + 1) % words;
+      w = (w + 1) & word_mask;
       bits = occupied_[w];
     }
     MDST_UNREACHABLE("calendar queue: occupancy bitmap out of sync");
@@ -226,17 +321,29 @@ class CalendarQueue {
 
   std::vector<std::unique_ptr<Node[]>> blocks_;
   std::size_t slab_used_ = 0;
-  std::vector<Ref> free_;
+  /// Head of the intrusive free list threaded through Node::next.
+  Ref free_head_ = kNil;
   std::vector<Slot> wheel_;
   std::vector<std::uint64_t> occupied_;
   std::vector<OvRef> overflow_;
   std::size_t mask_;
   Time now_ = 0;
-  /// Lower bound on the smallest time in the wheel (valid iff wheel_count_>0).
+  /// Lower bound on the smallest time in the wheel (maintained monotone:
+  /// pops raise it to the popped time, pushes lower it only below the
+  /// current bound — so it is valid even across empty phases).
   Time wheel_min_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t count_ = 0;
   std::size_t wheel_count_ = 0;
+  /// Same-tick drain state: while run_active_, wheel_[run_slot_] holds more
+  /// events at exactly now_ and pop() bypasses the bitmap scan.
+  bool run_active_ = false;
+  std::size_t run_slot_ = 0;
+  Payload* run_payload_ = nullptr;  // payload of the node just unlinked
+  /// Same-time push cache (see place_in_wheel): the last wheel time whose
+  /// slot is known occupied, invalidated when that slot drains.
+  Time push_time_cache_ = kNeverTime;
+  std::size_t push_slot_cache_ = 0;
 };
 
 }  // namespace mdst::sim

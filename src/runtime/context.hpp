@@ -15,7 +15,9 @@
 //     nodes declared against IContext& bind to it through the base class.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "runtime/types.hpp"
 
@@ -40,5 +42,40 @@ class IContext {
   /// Record a named checkpoint in the run metrics (e.g. round boundaries).
   virtual void annotate(const std::string& label) = 0;
 };
+
+// --- Context-generic addressing helpers -------------------------------------
+//
+// Protocol nodes written generically over their context type (the hot-path
+// pattern: one instantiation on SimContext for the simulator, one on
+// IContext for mocks/replay) use these to exploit the simulator's O(1)
+// addressing when it is available and degrade to the portable interface
+// when it is not. Both compile to nothing extra on the virtual binding.
+
+/// Receiver-side index of the current delivery's sender, when the context
+/// can provide it (SimContext carries the simulator's reverse-CSR value);
+/// kNoNeighborIndex otherwise (virtual contexts, starts, injects).
+template <typename Ctx>
+std::uint32_t delivery_from_index(Ctx& ctx) {
+  if constexpr (requires { ctx.from_index(); }) {
+    return ctx.from_index();
+  } else {
+    return kNoNeighborIndex;
+  }
+}
+
+/// Slot-addressed send when the context supports it (the simulator path
+/// skips the O(deg) neighbor-row scan); plain send otherwise. `idx` may be
+/// kNoNeighborIndex to force the fallback (e.g. replayed messages whose
+/// delivery hint no longer applies).
+template <typename Ctx, typename M>
+void send_indexed(Ctx& ctx, NodeId to, std::uint32_t idx, M&& m) {
+  if constexpr (requires { ctx.send_at_index(to, idx, std::forward<M>(m)); }) {
+    if (idx != kNoNeighborIndex) {
+      ctx.send_at_index(to, idx, std::forward<M>(m));
+      return;
+    }
+  }
+  ctx.send(to, std::forward<M>(m));
+}
 
 }  // namespace mdst::sim

@@ -1,6 +1,75 @@
 #include "runtime/metrics.hpp"
 
+#include <algorithm>
+
 namespace mdst::sim {
+
+// The read side derives every total from the flat per-type arrays the
+// delivery loop maintains (see the header comment). All of these are cold:
+// they run once per finished run / annotation, never per delivery.
+
+std::uint64_t Metrics::total_messages() const {
+  if (folded_) return folded_messages_;
+  std::uint64_t total = 0;
+  for (const PerTypeCounters& c : counters_) total += c.count;
+  return total;
+}
+
+std::vector<std::uint64_t> Metrics::per_type() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(counters_.size());
+  for (const PerTypeCounters& c : counters_) counts.push_back(c.count);
+  return counts;
+}
+
+std::uint64_t Metrics::total_bits() const {
+  if (folded_) return folded_bits_;
+  std::uint64_t bits = 0;
+  for (std::size_t t = 0; t < counters_.size(); ++t) {
+    bits += counters_[t].count * kTagBits + ids_of_type(t) * id_bits_;
+  }
+  return bits;
+}
+
+std::uint64_t Metrics::max_ids_carried() const {
+  if (folded_) return folded_max_ids_;
+  std::uint64_t max_ids = 0;
+  for (std::size_t t = 0; t < counters_.size(); ++t) {
+    if (counters_[t].count == 0) continue;
+    const std::uint64_t ids =
+        types_[t].dynamic_ids ? counters_[t].ids_max : types_[t].static_ids;
+    max_ids = std::max(max_ids, ids);
+  }
+  return max_ids;
+}
+
+std::uint64_t Metrics::max_message_bits() const {
+  if (folded_) return folded_max_message_bits_;
+  // Per-message width is kTagBits + ids * id_bits_, monotone in ids, so the
+  // widest message is the one carrying max_ids (0 messages -> 0 bits).
+  if (total_messages() == 0) return 0;
+  return kTagBits + max_ids_carried() * id_bits_;
+}
+
+void Metrics::absorb_sequential(const Metrics& later) {
+  // Fold both sides through the derived read API: each side's totals are
+  // computed against its *own* type table / id width, so merging runs of
+  // different protocols stays exact.
+  folded_messages_ = total_messages() + later.total_messages();
+  folded_bits_ = total_bits() + later.total_bits();
+  folded_max_message_bits_ =
+      std::max(max_message_bits(), later.max_message_bits());
+  folded_max_ids_ = std::max(max_ids_carried(), later.max_ids_carried());
+  folded_ = true;
+  max_causal_depth_ += later.max_causal_depth_;
+  last_delivery_time_ += later.last_delivery_time_;
+  if (counters_.size() < later.counters_.size()) {
+    counters_.resize(later.counters_.size());
+  }
+  for (std::size_t i = 0; i < later.counters_.size(); ++i) {
+    counters_[i].count += later.counters_[i].count;
+  }
+}
 
 std::size_t id_bits_for(std::size_t n) {
   std::size_t bits = 1;

@@ -14,6 +14,18 @@
 //                          (paper §4.2), so each message type reports how
 //                          many identity-sized fields it carries and the
 //                          meter converts to bits with id_bits = ceil(log2 n).
+//
+// Layout: a hot core and a derived read side. The delivery loop touches only
+// flat per-type arrays — one counter increment for types whose identity
+// count is a compile-time constant (see MessageDescriptor in
+// variant_util.hpp), plus an ids accumulator and per-type running max for
+// the payload-dependent types. Everything the old meter updated per delivery
+// — total messages, bit totals, max message width — is now *derived* from
+// those arrays at read time, where the sum over ≤16 types is free compared
+// to the 10^8-delivery runs it summarizes. The seed's one-call-per-delivery
+// `on_deliver` survives as the reference path (mock engines, the legacy
+// simulator in the determinism suite, and metrics_equivalence_test, which
+// pins the two paths field-for-field equal).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +33,7 @@
 #include <vector>
 
 #include "runtime/types.hpp"
+#include "runtime/variant_util.hpp"
 
 namespace mdst::sim {
 
@@ -36,68 +49,131 @@ struct Annotation {
 
 class Metrics {
  public:
-  explicit Metrics(std::size_t message_type_count, std::size_t id_bits)
-      : per_type_(message_type_count, 0), id_bits_(id_bits) {}
+  /// Per-type hot counters, padded and aligned to half a cache line so one
+  /// delivery touches exactly one line of the array (without the alignas,
+  /// vector storage could start at 16 mod 64 and entries would straddle).
+  /// ids_sum/ids_max are written only for dynamic_ids types (derived reads
+  /// use count x static_ids for the rest).
+  struct alignas(32) PerTypeCounters {
+    std::uint64_t count = 0;
+    std::uint64_t ids_sum = 0;
+    std::uint64_t ids_max = 0;
+    std::uint64_t pad_ = 0;
+  };
 
+  /// Legacy/reference constructor: every type metered as payload-dependent
+  /// (a default MessageDescriptor is dynamic).
+  explicit Metrics(std::size_t message_type_count, std::size_t id_bits)
+      : Metrics(std::vector<MessageDescriptor>(message_type_count), id_bits) {}
+
+  /// Table-driven constructor: the engine hands over its compile-time
+  /// MessageDescriptor table (variant_util.hpp) so static-count types skip
+  /// the ids bookkeeping entirely.
+  Metrics(std::vector<MessageDescriptor> types, std::size_t id_bits)
+      : types_(std::move(types)),
+        counters_(types_.size()),
+        id_bits_(id_bits) {}
+
+  // --- hot core (the delivery loop calls exactly one of these) -------------
+
+  /// Delivery of a type with compile-time-constant ids: one increment plus
+  /// the monotone clock store.
+  void count_delivery(std::size_t type_index, Time now) {
+    ++counters_[type_index].count;
+    last_delivery_time_ = now;  // pops are monotone; plain store == max
+  }
+
+  /// Delivery of a payload-dependent type: also fold the measured count
+  /// into the per-type accumulator and running max.
+  void count_delivery_dynamic(std::size_t type_index, std::size_t ids,
+                              Time now) {
+    PerTypeCounters& c = counters_[type_index];
+    ++c.count;
+    c.ids_sum += ids;
+    if (ids > c.ids_max) c.ids_max = ids;
+    last_delivery_time_ = now;
+  }
+
+  /// Raise the longest-causal-chain watermark. The engine calls this only
+  /// when a receiver's depth actually rises (the raise dominates every
+  /// delivered depth, so the watermark stays exact).
+  void note_causal_depth(std::uint64_t causal_depth) {
+    if (causal_depth > max_causal_depth_) max_causal_depth_ = causal_depth;
+  }
+
+  /// Reference path (seed semantics): meter one delivery in one call.
+  /// Kept for mock engines and the equivalence/determinism suites — and
+  /// unlike the simulator loop those callers are not guaranteed monotone
+  /// in `now`, so the seed's max() guard on the clock is preserved here.
   void on_deliver(std::size_t type_index, std::size_t ids_carried,
                   std::uint64_t causal_depth, Time now) {
-    ++total_messages_;
-    ++per_type_[type_index];
-    const std::uint64_t bits = kTagBits + ids_carried * id_bits_;
-    total_bits_ += bits;
-    if (bits > max_message_bits_) max_message_bits_ = bits;
-    if (ids_carried > max_ids_) max_ids_ = ids_carried;
-    if (causal_depth > max_causal_depth_) max_causal_depth_ = causal_depth;
-    if (now > last_delivery_time_) last_delivery_time_ = now;
+    count_delivery_dynamic(
+        type_index, ids_carried,
+        now > last_delivery_time_ ? now : last_delivery_time_);
+    note_causal_depth(causal_depth);
   }
 
   void annotate(Time now, std::string label) {
-    annotations_.push_back({now, total_messages_, max_causal_depth_,
+    annotations_.push_back({now, total_messages(), max_causal_depth_,
                             std::move(label)});
   }
 
-  std::uint64_t total_messages() const { return total_messages_; }
+  // --- read side (derived; cold) -------------------------------------------
+
+  std::uint64_t total_messages() const;
   std::uint64_t messages_of_type(std::size_t type_index) const {
-    return per_type_.at(type_index);
+    return counters_.at(type_index).count;
   }
-  const std::vector<std::uint64_t>& per_type() const { return per_type_; }
-  std::uint64_t total_bits() const { return total_bits_; }
-  std::uint64_t max_message_bits() const { return max_message_bits_; }
-  std::uint64_t max_ids_carried() const { return max_ids_; }
+  /// Per-type delivery counts, in variant order (built on demand — the hot
+  /// representation is the padded PerTypeCounters array).
+  std::vector<std::uint64_t> per_type() const;
+  std::uint64_t total_bits() const;
+  std::uint64_t max_message_bits() const;
+  std::uint64_t max_ids_carried() const;
   std::uint64_t max_causal_depth() const { return max_causal_depth_; }
   Time last_delivery_time() const { return last_delivery_time_; }
   std::size_t id_bits() const { return id_bits_; }
   const std::vector<Annotation>& annotations() const { return annotations_; }
 
   /// Merge counts from another run (e.g. spanning-tree phase + MDegST phase
-  /// for end-to-end totals). Causal depths take the max, times add.
-  void absorb_sequential(const Metrics& later) {
-    total_messages_ += later.total_messages_;
-    total_bits_ += later.total_bits_;
-    max_message_bits_ = std::max(max_message_bits_, later.max_message_bits_);
-    max_ids_ = std::max(max_ids_, later.max_ids_);
-    max_causal_depth_ += later.max_causal_depth_;
-    last_delivery_time_ += later.last_delivery_time_;
-    if (per_type_.size() < later.per_type_.size()) {
-      per_type_.resize(later.per_type_.size(), 0);
-    }
-    for (std::size_t i = 0; i < later.per_type_.size(); ++i) {
-      per_type_[i] += later.per_type_[i];
-    }
-  }
+  /// for end-to-end totals). Causal depths take the max, times add. The two
+  /// runs may use different message sets (different id widths / type
+  /// tables), so both sides are folded through their derived read API into
+  /// plain totals; per-type counts merge index-wise.
+  void absorb_sequential(const Metrics& later);
 
   static constexpr std::uint64_t kTagBits = 4;  // <= 16 message types/protocol
 
  private:
-  std::uint64_t total_messages_ = 0;
-  std::vector<std::uint64_t> per_type_;
-  std::uint64_t total_bits_ = 0;
-  std::uint64_t max_message_bits_ = 0;
-  std::uint64_t max_ids_ = 0;
+  /// Total identity fields delivered for one type: measured for dynamic
+  /// types, count x constant for static ones.
+  std::uint64_t ids_of_type(std::size_t t) const {
+    return types_[t].dynamic_ids
+               ? counters_[t].ids_sum
+               : counters_[t].count *
+                     static_cast<std::uint64_t>(types_[t].static_ids);
+  }
+
+  /// One descriptor per type (name unused here; static_ids/dynamic_ids
+  /// drive the derivation) — the same struct the engine's compile-time
+  /// table uses, so there is no parallel type to keep in sync.
+  std::vector<MessageDescriptor> types_;
+  std::vector<PerTypeCounters> counters_;
   std::uint64_t max_causal_depth_ = 0;
   Time last_delivery_time_ = 0;
   std::size_t id_bits_;
   std::vector<Annotation> annotations_;
+  /// absorb_sequential folds both sides' derived totals into these
+  /// snapshots (the two runs may disagree on type tables / id widths, so
+  /// the merged totals are no longer derivable from the arrays above).
+  /// When folded_, the total/bit/max reads serve the snapshots; per-type
+  /// counts stay index-wise merged in counts_. Live counting ends at the
+  /// first absorb — it is an analysis-side operation on finished runs.
+  bool folded_ = false;
+  std::uint64_t folded_messages_ = 0;
+  std::uint64_t folded_bits_ = 0;
+  std::uint64_t folded_max_message_bits_ = 0;
+  std::uint64_t folded_max_ids_ = 0;
 };
 
 /// ceil(log2(n)) with a floor of 1 bit.

@@ -42,6 +42,7 @@
 #include "runtime/trace.hpp"
 #include "runtime/variant_util.hpp"
 #include "support/assert.hpp"
+#include "support/compiler.hpp"
 #include "support/rng.hpp"
 
 namespace mdst::sim {
@@ -99,53 +100,46 @@ class SimCore {
   SimCore(const graph::Graph& graph, const SimConfig& config)
       : config_(config),
         rng_(config.seed),
-        metrics_(std::variant_size_v<Message>,
-                 id_bits_for(graph.vertex_count())),
+        metrics_(type_infos(), id_bits_for(graph.vertex_count())),
         trace_(config.trace_cap) {
     const std::size_t n = graph.vertex_count();
     MDST_REQUIRE(n > 0, "simulator: empty graph");
     envs_.reserve(n);
     depth_.assign(n, 0);
     adj_off_.assign(n + 1, 0);
-    links_.reserve(2 * graph.edge_count());
-    // One flat NeighborInfo array for the whole network; envs hold spans
-    // into it, so protocol-side neighbor scans are cache-linear and a
-    // NodeEnv copy costs nothing. Filled completely before any span is
-    // taken — the buffer must never reallocate afterwards.
-    neighbor_pool_.reserve(2 * graph.edge_count());
+    // The network build is part of every end-to-end run, so it is one CSR
+    // sweep emitting everything at once: the flat NeighborInfo pool (one
+    // array for the whole network; envs hold spans into it, so
+    // protocol-side neighbor scans are cache-linear and a NodeEnv copy
+    // costs nothing) and the directed-link CSR with each slot's *reverse
+    // index* — the sender's position in the receiver's row, packed next to
+    // the peer id so the send path reads both from one cache line and each
+    // event can be stamped with the receiver-side index of its sender.
+    // Reverse indices pair up by edge id: the first visit of edge e records
+    // its row position in pos[e]; the second visit (the higher-id endpoint,
+    // whose partner's row offset is already final) fills both directions.
+    const std::size_t slots = 2 * graph.edge_count();
+    neighbor_pool_.reserve(slots);  // reserve + push: no zero-init pass
+    links_.reserve(slots);
+    std::vector<std::uint32_t> pos(graph.edge_count(), kNoNeighborIndex);
     for (std::size_t v = 0; v < n; ++v) {
+      std::uint32_t j = 0;
       for (const graph::Incidence& inc :
            graph.neighbors(static_cast<NodeId>(v))) {
-        neighbor_pool_.push_back({inc.neighbor, graph.name(inc.neighbor)});
-        links_.push_back({inc.neighbor, kNoNeighborIndex});
-      }
-      adj_off_[v + 1] = static_cast<std::uint32_t>(links_.size());
-    }
-    // Reverse CSR: for the directed slot s = (u -> v), the position of u in
-    // v's neighbor row, stored next to the peer id so the send path reads
-    // both from one cache line. Built in O(m) from per-edge endpoint
-    // positions (incidences carry dense edge ids); it lets each event be
-    // stamped with the receiver-side index of its sender.
-    {
-      std::vector<std::uint32_t> pos_lo(graph.edge_count());  // v < u side
-      std::vector<std::uint32_t> pos_hi(graph.edge_count());  // v > u side
-      for (std::size_t v = 0; v < n; ++v) {
-        std::uint32_t j = 0;
-        for (const graph::Incidence& inc :
-             graph.neighbors(static_cast<NodeId>(v))) {
-          auto& pos = static_cast<NodeId>(v) < inc.neighbor ? pos_lo : pos_hi;
-          pos[static_cast<std::size_t>(inc.edge)] = j++;
+        const NodeId u = inc.neighbor;
+        const std::size_t e = static_cast<std::size_t>(inc.edge);
+        neighbor_pool_.push_back({u, graph.name(u)});
+        if (pos[e] == kNoNeighborIndex) {
+          pos[e] = j;
+          links_.push_back({u, kNoNeighborIndex});  // patched on 2nd visit
+        } else {
+          links_.push_back({u, pos[e]});
+          links_[adj_off_[static_cast<std::size_t>(u)] + pos[e]]
+              .reverse_index = j;
         }
+        ++j;
       }
-      for (std::size_t v = 0; v < n; ++v) {
-        std::uint32_t slot = adj_off_[v];
-        for (const graph::Incidence& inc :
-             graph.neighbors(static_cast<NodeId>(v))) {
-          const auto& pos = inc.neighbor < static_cast<NodeId>(v) ? pos_lo : pos_hi;
-          links_[slot++].reverse_index =
-              pos[static_cast<std::size_t>(inc.edge)];
-        }
-      }
+      adj_off_[v + 1] = adj_off_[v] + j;
     }
     for (std::size_t v = 0; v < n; ++v) {
       NodeEnv env;
@@ -228,7 +222,10 @@ class SimCore {
         "inject: bad source");
     check_message_cap();
     ++sent_;
-    Time deliver_at = now_ + config_.delay.sample(rng_);
+    // Same unit-delay fast path as send_on_slot: the unit model draws no
+    // randomness, so injects land at now + 1 with zero sampling overhead
+    // and identical behavior (covered by the determinism suite).
+    Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
     std::size_t slot = kNoSlot;
     if (from != kNoNode) slot = find_directed_slot(from, to);
     if (fifo_floors_active_ && slot != kNoSlot) {
@@ -267,26 +264,69 @@ class SimCore {
   /// Meter and trace one message delivery, and raise the receiver's causal
   /// depth *before* the handler runs so that messages it sends in response
   /// carry depth + 1.
+  ///
+  /// TraceOn is the engine-level specialization of `trace_.enabled()`: the
+  /// delivery loop (Simulator<P>) picks the branch once per run, so the
+  /// disabled-trace path compiles with no trace code in the loop at all.
+  /// Metering is table-driven: name and identity count come from the
+  /// compile-time MessageDescriptor array — one indexed load — and only the
+  /// payload-dependent types fall back to a switch_visit. The causal-depth
+  /// watermark piggybacks on the receiver-depth raise (a raise dominates
+  /// every delivered depth, so the watermark stays exact without its own
+  /// per-delivery compare).
+  template <bool TraceOn>
   void account_delivery(const EventT& ev) {
     auto& d = depth_[static_cast<std::size_t>(ev.to)];
-    if (ev.causal_depth > d) d = ev.causal_depth;
+    if (ev.causal_depth > d) {
+      d = ev.causal_depth;
+      metrics_.note_causal_depth(ev.causal_depth);
+    }
     const std::size_t type_index = ev.payload.index();
-    const std::size_t ids = switch_visit(
-        ev.payload, [](const auto& m) { return m.ids_carried(); });
-    metrics_.on_deliver(type_index, ids, ev.causal_depth, now_);
-    if (trace_.enabled()) {
-      const char* type_name = switch_visit(
-          ev.payload,
-          [](const auto& m) { return std::decay_t<decltype(m)>::kName; });
+    const MessageDescriptor& desc = kMessageDescriptors<Message>[type_index];
+    if (desc.dynamic_ids) {
+      const std::size_t ids = switch_visit(
+          ev.payload, [](const auto& m) { return m.ids_carried(); });
+      metrics_.count_delivery_dynamic(type_index, ids, now_);
+    } else {
+      metrics_.count_delivery(type_index, now_);
+    }
+    if constexpr (TraceOn) {
       trace_.record({ev.send_time, now_, ev.from, ev.to, type_index,
-                     type_name, ev.causal_depth});
+                     desc.name, ev.causal_depth});
     }
   }
 
-  void release(typename Queue::Ref ref) { queue_.release(ref); }
+  /// Runtime-dispatch convenience for callers outside the specialized loop
+  /// (tests driving SimCore directly).
+  void account_delivery(const EventT& ev) {
+    if (trace_.enabled()) {
+      account_delivery<true>(ev);
+    } else {
+      account_delivery<false>(ev);
+    }
+  }
+
+  bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Return a delivered event's slab node to the queue, restoring the
+  /// resting `kind == kMessage` tag first — this is what lets the send
+  /// path skip the kind store entirely (recycled nodes are guaranteed
+  /// message-tagged at the mechanism level, not by caller discipline).
+  /// Costs nothing extra: release writes the same cache line anyway.
+  void release(typename Queue::Ref ref) {
+    queue_.payload(ref).kind = EventKind::kMessage;
+    queue_.release(ref);
+  }
 
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// The compile-time descriptor table, materialized for the Metrics type
+  /// table (same struct — no parallel type to keep in sync).
+  static std::vector<MessageDescriptor> type_infos() {
+    return {kMessageDescriptors<Message>.begin(),
+            kMessageDescriptors<Message>.end()};
+  }
 
   /// CSR slot of the directed link from->to, or kNoSlot — one contiguous
   /// row scan serves neighbor validation, the FIFO-floor index, and the
@@ -317,7 +357,9 @@ class SimCore {
     Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
     if (fifo_floors_active_) deliver_at = bump_fifo_floor(slot, deliver_at);
     EventT& ev = queue_.emplace(deliver_at);
-    ev.kind = EventKind::kMessage;
+    // ev.kind is already kMessage: fresh slab nodes default to it and
+    // release() restores the tag on every recycled node — so the hot path
+    // never stores it.
     ev.to = to;
     ev.from = from;
     ev.from_index = links_[slot].reverse_index;
@@ -336,7 +378,7 @@ class SimCore {
   }
 
   /// Outlined cold path so the per-send check stays one compare + branch.
-  [[noreturn]] __attribute__((noinline)) void fail_message_cap() const {
+  [[noreturn]] MDST_NOINLINE void fail_message_cap() const {
     MDST_REQUIRE(false,
                  "message cap exceeded (SimConfig::max_messages = " +
                      std::to_string(config_.max_messages) +

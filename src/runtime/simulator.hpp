@@ -55,29 +55,23 @@ class Simulator {
     for (const NodeEnv& env : core_.envs()) nodes_.push_back(factory(env));
   }
 
-  /// Drain the event queue; returns when no message is in flight.
+  /// Drain the event queue; returns when no message is in flight. Whether
+  /// tracing is on is fixed at construction, so the loop is specialized
+  /// once here and the disabled-trace branch vanishes from the inner loop.
   void run() {
-    while (!core_.idle()) {
-      step();
+    if (core_.trace_enabled()) {
+      while (step_impl<true>()) {
+      }
+    } else {
+      while (step_impl<false>()) {
+      }
     }
   }
 
   /// Deliver exactly one event; returns false when idle. Exposed so tests
   /// can interleave assertions with delivery.
   bool step() {
-    if (core_.idle()) return false;
-    const auto delivery = core_.pop_event();
-    Event<Message>& ev = *delivery.event;
-    Ctx ctx(&core_, ev.to, ev.from_index);
-    Node& node = nodes_[static_cast<std::size_t>(ev.to)];
-    if (ev.kind == EventKind::kStart) {
-      node.on_start(ctx);
-    } else {
-      core_.account_delivery(ev);
-      node.on_message(ctx, ev.from, ev.payload);
-    }
-    core_.release(delivery.ref);
-    return true;
+    return core_.trace_enabled() ? step_impl<true>() : step_impl<false>();
   }
 
   bool idle() const { return core_.idle(); }
@@ -105,6 +99,23 @@ class Simulator {
   }
 
  private:
+  template <bool TraceOn>
+  bool step_impl() {
+    if (core_.idle()) return false;
+    const auto delivery = core_.pop_event();
+    Event<Message>& ev = *delivery.event;
+    Ctx ctx(&core_, ev.to, ev.from_index);
+    Node& node = nodes_[static_cast<std::size_t>(ev.to)];
+    if (ev.kind == EventKind::kStart) {
+      node.on_start(ctx);
+    } else {
+      core_.template account_delivery<TraceOn>(ev);
+      node.on_message(ctx, ev.from, ev.payload);
+    }
+    core_.release(delivery.ref);
+    return true;
+  }
+
   SimCore<Message> core_;
   std::vector<Node> nodes_;
 };

@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -21,7 +21,10 @@ struct TraceRow {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   std::size_t type_index = 0;
-  std::string type_name;
+  /// Views the message type's static constexpr kName (the simulator's
+  /// descriptor table) — program-lifetime storage, so recording a row never
+  /// allocates and a TraceRow stays trivially copyable.
+  std::string_view type_name;
   std::uint64_t causal_depth = 0;
 };
 
@@ -33,13 +36,13 @@ class Trace {
   bool enabled() const { return cap_ > 0; }
   bool truncated() const { return truncated_; }
 
-  void record(TraceRow row) {
+  void record(const TraceRow& row) {
     if (!enabled()) return;
     if (rows_.size() >= cap_) {
       truncated_ = true;
       return;
     }
-    rows_.push_back(std::move(row));
+    rows_.push_back(row);
   }
 
   const std::vector<TraceRow>& rows() const { return rows_; }

@@ -1,7 +1,9 @@
 // Helpers for message-variant dispatch in protocol nodes and the simulator.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <type_traits>
 #include <variant>
 
@@ -55,5 +57,60 @@ decltype(auto) switch_visit(Variant&& v, F&& f) {
 #undef MDST_SWITCH_VISIT_CASE
   MDST_UNREACHABLE("switch_visit: valueless or out-of-range variant");
 }
+
+// --- Compile-time message descriptor table ----------------------------------
+//
+// Per-delivery metering needs two facts about a message: its trace name and
+// how many identity-sized fields it carries. Both used to be fetched with a
+// switch_visit (an indexed jump into per-type code) on every delivery. For
+// most alternatives `ids_carried()` is a constant of the *type*, not the
+// value — those types advertise it as `static constexpr std::size_t
+// kIdsCarried`, and the descriptor table below folds name + count into one
+// constexpr array indexed by variant index: the whole lookup becomes a single
+// array load. Types whose count is payload-dependent (e.g. `Bfs`, whose tag
+// fields may coincide) are marked `dynamic_ids`, and the meter falls back to
+// switch_visit for them alone.
+
+/// True when the alternative's identity count is a compile-time constant.
+template <typename T>
+concept HasStaticIdsCarried = requires {
+  { std::integral_constant<std::size_t, T::kIdsCarried>{} };
+};
+
+struct MessageDescriptor {
+  const char* name = nullptr;
+  /// ids_carried() of every instance; meaningful iff !dynamic_ids.
+  std::uint32_t static_ids = 0;
+  /// ids_carried() depends on the payload; meter via switch_visit.
+  bool dynamic_ids = true;
+};
+
+namespace detail {
+
+template <typename T>
+constexpr MessageDescriptor describe_alternative() {
+  if constexpr (HasStaticIdsCarried<T>) {
+    return {T::kName, static_cast<std::uint32_t>(T::kIdsCarried), false};
+  } else {
+    return {T::kName, 0, true};
+  }
+}
+
+template <typename Variant>
+struct DescriptorTable;
+
+template <typename... Ts>
+struct DescriptorTable<std::variant<Ts...>> {
+  static constexpr std::array<MessageDescriptor, sizeof...(Ts)> value = {
+      describe_alternative<Ts>()...};
+};
+
+}  // namespace detail
+
+/// One descriptor per alternative of `Variant`, in variant order; built at
+/// compile time, so `kMessageDescriptors<M>[msg.index()]` is one array load.
+template <typename Variant>
+inline constexpr auto& kMessageDescriptors =
+    detail::DescriptorTable<Variant>::value;
 
 }  // namespace mdst::sim

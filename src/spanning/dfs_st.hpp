@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <variant>
+#include <utility>
 #include <vector>
 
 #include "runtime/context.hpp"
@@ -29,21 +30,25 @@ namespace dfs {
 
 struct Token {
   static constexpr const char* kName = "Token";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 /// Bounce: receiver of Token was already visited.
 struct Visited {
   static constexpr const char* kName = "Visited";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 /// Subtree of sender fully explored; sender is a child of the receiver.
 struct Return {
   static constexpr const char* kName = "Return";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Term {
   static constexpr const char* kName = "Term";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 using Message = std::variant<Token, Visited, Return, Term>;
@@ -61,6 +66,8 @@ class Node {
   bool done() const { return done_; }
   sim::NodeId parent() const { return parent_; }
   const std::vector<sim::NodeId>& children() const { return children_; }
+  /// Relinquish the children list to tree extraction (see extract_tree).
+  std::vector<sim::NodeId> take_children() { return std::move(children_); }
 
  private:
   /// Forward the token to the next unexplored neighbour, or conclude.

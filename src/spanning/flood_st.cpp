@@ -51,6 +51,9 @@ void Node::on_message(sim::IContext<Message>& ctx, sim::NodeId from,
           },
           [&](const Echo&) {
             MDST_ASSERT(awaiting_ > 0, "unexpected Echo");
+            // First child: one exactly-bounded allocation instead of
+            // push_back growth (leaves never allocate at all).
+            if (children_.empty()) children_.reserve(env_.neighbors.size());
             children_.push_back(from);
             --awaiting_;
             maybe_finish(ctx);

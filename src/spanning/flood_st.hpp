@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <variant>
+#include <utility>
 #include <vector>
 
 #include "runtime/context.hpp"
@@ -27,19 +28,23 @@ namespace flood {
 
 struct Probe {
   static constexpr const char* kName = "Probe";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Echo {
   static constexpr const char* kName = "Echo";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Reject {
   static constexpr const char* kName = "Reject";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Term {
   static constexpr const char* kName = "Term";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 using Message = std::variant<Probe, Echo, Reject, Term>;
@@ -56,6 +61,9 @@ class Node {
   bool done() const { return done_; }
   sim::NodeId parent() const { return parent_; }
   const std::vector<sim::NodeId>& children() const { return children_; }
+  /// Relinquish the children list to tree extraction (see extract_tree);
+  /// the node is done and never reads it again.
+  std::vector<sim::NodeId> take_children() { return std::move(children_); }
 
  private:
   void maybe_finish(sim::IContext<Message>& ctx);

@@ -43,42 +43,50 @@ inline constexpr EdgeWeight kInfiniteWeight = ~EdgeWeight{0};
 struct Connect {
   static constexpr const char* kName = "Connect";
   int level = 0;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Initiate {
   static constexpr const char* kName = "Initiate";
   int level = 0;
   EdgeWeight fragment = 0;
   bool find = false;  // state: Find or Found
-  std::size_t ids_carried() const { return 3; }
+  static constexpr std::size_t kIdsCarried = 3;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Test {
   static constexpr const char* kName = "Test";
   int level = 0;
   EdgeWeight fragment = 0;
-  std::size_t ids_carried() const { return 2; }
+  static constexpr std::size_t kIdsCarried = 2;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Accept {
   static constexpr const char* kName = "Accept";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Reject {
   static constexpr const char* kName = "Reject";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct Report {
   static constexpr const char* kName = "Report";
   EdgeWeight best = kInfiniteWeight;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 struct ChangeRoot {
   static constexpr const char* kName = "ChangeRoot";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 /// Added termination broadcast (see header comment).
 struct Done {
   static constexpr const char* kName = "Done";
-  std::size_t ids_carried() const { return 0; }
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 using Message = std::variant<Connect, Initiate, Test, Accept, Reject, Report,
@@ -96,6 +104,8 @@ class Node {
   bool done() const { return done_; }
   sim::NodeId parent() const { return parent_; }
   std::vector<sim::NodeId> children() const;
+  /// Extraction alias: children() already builds a fresh vector.
+  std::vector<sim::NodeId> take_children() const { return children(); }
   /// Branch (MST) neighbours after the run.
   std::vector<sim::NodeId> branch_neighbors() const;
 

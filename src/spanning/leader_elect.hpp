@@ -31,19 +31,22 @@ namespace leader {
 struct Wave {
   static constexpr const char* kName = "Wave";
   graph::NodeName tag = -1;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 /// Echo of the wave tagged `tag` (sender completed its subtree).
 struct WaveEcho {
   static constexpr const char* kName = "WaveEcho";
   graph::NodeName tag = -1;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 /// Broadcast by the winner along the winning tree.
 struct Announce {
   static constexpr const char* kName = "Announce";
   graph::NodeName leader = -1;
-  std::size_t ids_carried() const { return 1; }
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
 };
 
 using Message = std::variant<Wave, WaveEcho, Announce>;
@@ -60,6 +63,8 @@ class Node {
   bool done() const { return done_; }
   sim::NodeId parent() const { return done_ ? parent_ : sim::kNoNode; }
   std::vector<sim::NodeId> children() const;
+  /// Extraction alias: children() already builds a fresh vector.
+  std::vector<sim::NodeId> take_children() const { return children(); }
   graph::NodeName leader_name() const { return leader_; }
   bool is_leader() const { return done_ && leader_ == env_.name; }
 

@@ -22,15 +22,24 @@ struct SpanningRun {
   sim::Metrics metrics{1, 1};
 };
 
-/// Node concept used by extract_tree: exposes done(), parent(),
-/// children() (ids of adopted children).
+/// Node concept used by extract_tree: exposes done(), parent(), and
+/// take_children() (relinquishes the node's adopted-children list).
+///
+/// The child lists are *moved* out of the finished nodes into the tree —
+/// for a large run that is the difference between zero allocations and one
+/// per internal vertex — and the parent/child cross-validation (each
+/// non-root vertex claimed exactly once, by its own parent) now lives in
+/// RootedTree::from_views together with the single-root and reachability
+/// checks.
 template <typename Sim>
-graph::RootedTree extract_tree(const Sim& simulation) {
+graph::RootedTree extract_tree(Sim& simulation) {
   const std::size_t n = simulation.node_count();
   std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  std::vector<std::vector<graph::VertexId>> children;
+  children.reserve(n);
   sim::NodeId root = sim::kNoNode;
   for (std::size_t v = 0; v < n; ++v) {
-    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    auto& node = simulation.node(static_cast<sim::NodeId>(v));
     MDST_ASSERT(node.done(), "protocol ended with a node not Done");
     const sim::NodeId p = node.parent();
     if (p == sim::kNoNode) {
@@ -39,33 +48,11 @@ graph::RootedTree extract_tree(const Sim& simulation) {
     } else {
       parents[v] = p;
     }
+    children.push_back(node.take_children());
   }
   MDST_ASSERT(root != sim::kNoNode, "no root in extracted tree");
-  graph::RootedTree tree =
-      graph::RootedTree::from_parents(root, std::move(parents));
-  // Cross-validate the child views against the parent views in O(n): the
-  // children lists, pooled, must claim each non-root vertex exactly once,
-  // and each claim must match the vertex's own parent pointer. That is
-  // equivalent to per-node multiset equality without the sorts and copies.
-  std::vector<sim::NodeId> claimed_by(n, sim::kNoNode);
-  std::size_t claims = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
-    for (const sim::NodeId c : node.children()) {
-      MDST_ASSERT(c >= 0 && static_cast<std::size_t>(c) < n &&
-                      claimed_by[static_cast<std::size_t>(c)] == sim::kNoNode,
-                  "child claimed twice or out of range");
-      claimed_by[static_cast<std::size_t>(c)] = static_cast<sim::NodeId>(v);
-      ++claims;
-    }
-  }
-  MDST_ASSERT(claims == n - 1, "child views do not cover the tree");
-  for (std::size_t v = 0; v < n; ++v) {
-    if (static_cast<sim::NodeId>(v) == root) continue;
-    MDST_ASSERT(claimed_by[v] == tree.parent(static_cast<sim::NodeId>(v)),
-                "child view disagrees with parent view");
-  }
-  return tree;
+  return graph::RootedTree::from_views(root, std::move(parents),
+                                       std::move(children));
 }
 
 }  // namespace mdst::spanning

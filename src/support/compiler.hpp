@@ -1,0 +1,24 @@
+// Portable compiler-attribute macros.
+//
+// The hot paths outline their cold failure branches (cap exceeded, contract
+// violations with formatted messages) into separate functions so the inlined
+// fast path stays a compare + predictable branch. `__attribute__((noinline))`
+// is GCC/Clang-only; route every such annotation through these macros so the
+// codebase keeps one portable spelling.
+//
+//   MDST_NOINLINE      — keep a cold function out of its caller.
+//   MDST_ALWAYS_INLINE — force-inline a tiny hot helper the optimizer keeps
+//                        outlining at -O0/-O1 (use sparingly; Release builds
+//                        rarely need it).
+#pragma once
+
+#if defined(_MSC_VER) && !defined(__clang__)
+#define MDST_NOINLINE __declspec(noinline)
+#define MDST_ALWAYS_INLINE __forceinline
+#elif defined(__GNUC__) || defined(__clang__)
+#define MDST_NOINLINE __attribute__((noinline))
+#define MDST_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define MDST_NOINLINE
+#define MDST_ALWAYS_INLINE inline
+#endif

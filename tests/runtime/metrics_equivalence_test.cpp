@@ -1,0 +1,171 @@
+// Metering equivalence: the engine's batched, descriptor-table-driven
+// Metrics must be field-for-field identical to a straightforward reference
+// meter that accumulates every statistic per delivery, seed-style.
+//
+// The production path (SimCore::account_delivery) looks each message's
+// identity count up in the compile-time MessageDescriptor table, bumps flat
+// per-type counters, and derives totals/bit complexity/maxima at read time;
+// the reference meter below stores every derived quantity directly, updated
+// once per delivered message. This test drives both from the *same*
+// delivery stream — a hand-rolled copy of Simulator<P>::step around a
+// SimCore — for the MDegST protocol (dynamic-ids types, annotations) and
+// the flood baseline (all-static types), under unit and uniform delays,
+// and asserts every public Metrics field matches, including annotations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/node.hpp"
+#include "runtime/sim_core.hpp"
+#include "spanning/flood_st.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+namespace {
+
+/// The seed engine's meter: one call per delivery, every statistic stored.
+struct ReferenceMeter {
+  ReferenceMeter(std::size_t type_count, std::size_t id_bits)
+      : per_type(type_count, 0), id_bits(id_bits) {}
+
+  void on_deliver(std::size_t type_index, std::size_t ids,
+                  std::uint64_t causal_depth, Time now) {
+    ++total_messages;
+    ++per_type[type_index];
+    const std::uint64_t bits = Metrics::kTagBits + ids * id_bits;
+    total_bits += bits;
+    if (bits > max_message_bits) max_message_bits = bits;
+    if (ids > max_ids) max_ids = ids;
+    if (causal_depth > max_causal_depth) max_causal_depth = causal_depth;
+    if (now > last_delivery_time) last_delivery_time = now;
+  }
+
+  void annotate(Time now, const std::string& label) {
+    annotations.push_back({now, total_messages, max_causal_depth, label});
+  }
+
+  std::uint64_t total_messages = 0;
+  std::vector<std::uint64_t> per_type;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint64_t max_ids = 0;
+  std::uint64_t max_causal_depth = 0;
+  Time last_delivery_time = 0;
+  std::vector<Annotation> annotations;
+  std::size_t id_bits;
+};
+
+/// Run protocol P on a SimCore with the production metering, feeding the
+/// reference meter the identical delivery stream, then compare every field.
+template <typename P, typename Factory>
+void expect_metering_equivalent(const graph::Graph& g, Factory factory,
+                                const SimConfig& config, const char* what) {
+  using Message = typename P::Message;
+  SimCore<Message> core(g, config);
+  std::vector<typename P::Node> nodes;
+  nodes.reserve(core.node_count());
+  for (const NodeEnv& env : core.envs()) nodes.push_back(factory(env));
+
+  ReferenceMeter reference(std::variant_size_v<Message>,
+                           id_bits_for(g.vertex_count()));
+  std::size_t annotations_seen = 0;
+  while (!core.idle()) {
+    const auto delivery = core.pop_event();
+    Event<Message>& ev = *delivery.event;
+    SimContext<Message> ctx(&core, ev.to, ev.from_index);
+    auto& node = nodes[static_cast<std::size_t>(ev.to)];
+    if (ev.kind == EventKind::kStart) {
+      node.on_start(ctx);
+    } else {
+      // Reference side: the straightforward per-delivery visit.
+      const std::size_t ids = std::visit(
+          [](const auto& m) { return m.ids_carried(); }, ev.payload);
+      core.account_delivery(ev);  // production: table-driven + batched
+      reference.on_deliver(ev.payload.index(), ids, ev.causal_depth,
+                           core.now());
+      node.on_message(ctx, ev.from, ev.payload);
+    }
+    core.release(delivery.ref);
+    // Any annotation recorded during this step saw the post-accounting
+    // totals of exactly this delivery, which the reference now also has.
+    const auto& annotations = core.metrics().annotations();
+    for (; annotations_seen < annotations.size(); ++annotations_seen) {
+      reference.annotate(annotations[annotations_seen].time,
+                         annotations[annotations_seen].label);
+    }
+  }
+
+  const Metrics& metered = core.metrics();
+  EXPECT_GT(metered.total_messages(), 0u) << what;
+  EXPECT_EQ(metered.total_messages(), reference.total_messages) << what;
+  EXPECT_EQ(metered.per_type(), reference.per_type) << what;
+  EXPECT_EQ(metered.total_bits(), reference.total_bits) << what;
+  EXPECT_EQ(metered.max_message_bits(), reference.max_message_bits) << what;
+  EXPECT_EQ(metered.max_ids_carried(), reference.max_ids) << what;
+  EXPECT_EQ(metered.max_causal_depth(), reference.max_causal_depth) << what;
+  EXPECT_EQ(metered.last_delivery_time(), reference.last_delivery_time)
+      << what;
+  ASSERT_EQ(metered.annotations().size(), reference.annotations.size())
+      << what;
+  for (std::size_t i = 0; i < reference.annotations.size(); ++i) {
+    const Annotation& got = metered.annotations()[i];
+    const Annotation& want = reference.annotations[i];
+    EXPECT_EQ(got.time, want.time) << what << " annotation " << i;
+    EXPECT_EQ(got.total_messages, want.total_messages)
+        << what << " annotation " << i;
+    EXPECT_EQ(got.max_causal_depth, want.max_causal_depth)
+        << what << " annotation " << i;
+    EXPECT_EQ(got.label, want.label) << what << " annotation " << i;
+  }
+}
+
+std::vector<SimConfig> metering_configs() {
+  std::vector<SimConfig> configs;
+  for (const DelayModel& delay :
+       {DelayModel::unit(), DelayModel::uniform(1, 9)}) {
+    SimConfig cfg;
+    cfg.delay = delay;
+    cfg.seed = 23;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(MetricsEquivalenceTest, MdstMatchesReferenceMeter) {
+  // MDegST exercises the dynamic-ids fallback (Cut/Bfs/CousinReply/BfsBack
+  // carry payload-dependent identity counts) and protocol annotations.
+  support::Rng rng(31);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const core::Options options{};
+  for (const SimConfig& cfg : metering_configs()) {
+    expect_metering_equivalent<core::Protocol>(
+        g,
+        [&](const NodeEnv& env) {
+          return core::Protocol::Node(env, start.parent(env.id),
+                                      start.children(env.id), options);
+        },
+        cfg, cfg.delay.name());
+  }
+}
+
+TEST(MetricsEquivalenceTest, FloodMatchesReferenceMeter) {
+  // Flood's message set is entirely static-count: every delivery takes the
+  // one-increment fast path.
+  graph::Graph g = graph::make_grid(9, 9);
+  for (const SimConfig& cfg : metering_configs()) {
+    expect_metering_equivalent<spanning::flood::Protocol>(
+        g,
+        [](const NodeEnv& env) {
+          return spanning::flood::Node(env, env.id == 0);
+        },
+        cfg, cfg.delay.name());
+  }
+}
+
+}  // namespace
+}  // namespace mdst::sim
