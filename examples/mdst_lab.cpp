@@ -1,0 +1,234 @@
+// mdst_lab — the campaign front door: declarative scenario sweeps over the
+// full distributed pipeline (startup protocol + MDegST improvement).
+//
+//   mdst_lab run --spec=examples/specs/quickstart.campaign --threads=4 \
+//            --csv=trials.csv --jsonl=trials.jsonl
+//   mdst_lab list-families
+//   mdst_lab expand --spec=sweep.campaign          # print the grid, run nothing
+//   mdst_lab reproduce --spec=sweep.campaign --cell=137
+//
+// Output streams commit in grid order regardless of --threads, so the CSV
+// and JSONL bytes are identical for 1 and N workers; `reproduce --cell`
+// re-runs any single row to identical metrics (see docs/campaign.md).
+#include <fstream>
+#include <iostream>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "graph/generators.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mdst;
+
+int usage(std::ostream& out, int exit_code) {
+  out << "mdst_lab — scenario campaigns for the distributed MDegST pipeline\n"
+         "\n"
+         "subcommands:\n"
+         "  run           execute a campaign spec   (--spec, --threads,\n"
+         "                --csv, --jsonl, --progress, --no-summary)\n"
+         "  expand        print the trial grid of a spec (--spec)\n"
+         "  reproduce     re-run one grid cell       (--spec, --cell)\n"
+         "  list-families show the graph families usable in specs\n"
+         "\n"
+         "`mdst_lab <subcommand> --help` lists the subcommand's flags.\n";
+  return exit_code;
+}
+
+/// Shared --spec loading with CLI-friendly diagnostics.
+bool load_or_complain(const std::string& path, campaign::CampaignSpec& spec) {
+  if (path.empty()) {
+    std::cerr << "missing required --spec=<file>\n";
+    return false;
+  }
+  campaign::ParseResult parsed = campaign::load_spec(path);
+  if (!parsed.ok) {
+    std::cerr << "spec error: " << parsed.error << "\n";
+    return false;
+  }
+  spec = std::move(parsed.spec);
+  return true;
+}
+
+int cmd_list_families() {
+  support::Table table({"family", "notes"});
+  for (const graph::FamilySpec& family : graph::standard_families()) {
+    table.start_row();
+    table.cell(family.name);
+    table.cell("size knob ~n (snapped to the nearest legal size)");
+  }
+  table.print(std::cout, "graph families (spec key: families)");
+  return 0;
+}
+
+int cmd_expand(int argc, char** argv) {
+  std::string spec_path;
+  support::CliParser cli("mdst_lab expand — print a spec's trial grid");
+  cli.add_string("spec", &spec_path, "campaign spec file");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+  campaign::CampaignSpec spec;
+  if (!load_or_complain(spec_path, spec)) return 1;
+
+  support::Table table(
+      {"index", "family", "n", "delay", "startup", "mode", "rep"});
+  for (const campaign::Trial& trial : campaign::expand(spec)) {
+    table.start_row();
+    table.cell(static_cast<std::uint64_t>(trial.index));
+    table.cell(trial.family);
+    table.cell(static_cast<std::uint64_t>(trial.n));
+    table.cell(trial.delay.label);
+    table.cell(analysis::to_string(trial.startup));
+    table.cell(core::to_string(trial.mode));
+    table.cell(trial.repetition);
+  }
+  table.print(std::cout, "campaign '" + spec.name + "' — " +
+                             std::to_string(spec.trial_count()) + " trials");
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string spec_path;
+  std::string csv_path;
+  std::string jsonl_path;
+  std::uint64_t threads = 0;
+  std::uint64_t progress = 0;
+  bool summary = true;
+  support::CliParser cli("mdst_lab run — execute a campaign spec");
+  cli.add_string("spec", &spec_path, "campaign spec file");
+  cli.add_string("csv", &csv_path, "write per-trial rows as CSV");
+  cli.add_string("jsonl", &jsonl_path, "write per-trial rows as JSON lines");
+  cli.add_uint("threads", &threads,
+               "worker threads (0 = all hardware threads)");
+  cli.add_uint("progress", &progress,
+               "print progress every N trials (0 = quiet)");
+  cli.add_bool("summary", &summary, "print the per-cell summary table");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+  campaign::CampaignSpec spec;
+  if (!load_or_complain(spec_path, spec)) return 1;
+
+  std::ofstream csv_file;
+  std::ofstream jsonl_file;
+  campaign::Aggregator aggregator;
+  campaign::ProgressSink progress_sink(std::cerr,
+                                       static_cast<std::size_t>(progress));
+  std::vector<campaign::Sink*> sinks{&aggregator, &progress_sink};
+  campaign::CsvSink csv_sink(csv_file);
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path, std::ios::binary);
+    if (!csv_file) {
+      std::cerr << "cannot open --csv path " << csv_path << "\n";
+      return 1;
+    }
+    sinks.push_back(&csv_sink);
+  }
+  campaign::JsonlSink jsonl_sink(jsonl_file);
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path, std::ios::binary);
+    if (!jsonl_file) {
+      std::cerr << "cannot open --jsonl path " << jsonl_path << "\n";
+      return 1;
+    }
+    sinks.push_back(&jsonl_sink);
+  }
+
+  campaign::RunnerConfig runner;
+  runner.threads = static_cast<unsigned>(threads);
+  support::Timer timer;
+  std::vector<campaign::TrialOutcome> outcomes;
+  try {
+    outcomes = campaign::run_campaign(spec, runner, sinks);
+  } catch (const std::exception& e) {
+    std::cerr << "campaign failed: " << e.what() << "\n";
+    return 2;
+  }
+  const double elapsed_ms = timer.millis();
+
+  if (summary) {
+    aggregator.summary_table().print(
+        std::cout, "campaign '" + spec.name + "' — per-cell summary");
+  }
+  std::cout << outcomes.size() << " trials in "
+            << support::format_double(elapsed_ms / 1000.0, 1) << " s";
+  if (!csv_path.empty()) std::cout << "; csv -> " << csv_path;
+  if (!jsonl_path.empty()) std::cout << "; jsonl -> " << jsonl_path;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_reproduce(int argc, char** argv) {
+  std::string spec_path;
+  std::int64_t cell = -1;
+  support::CliParser cli(
+      "mdst_lab reproduce — re-run one grid cell from its index");
+  cli.add_string("spec", &spec_path, "campaign spec file");
+  cli.add_int("cell", &cell, "trial index (the `index` column of run output)");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+  campaign::CampaignSpec spec;
+  if (!load_or_complain(spec_path, spec)) return 1;
+  if (cell < 0 ||
+      static_cast<std::size_t>(cell) >= spec.trial_count()) {
+    std::cerr << "--cell must be in [0, " << spec.trial_count()
+              << ") for this spec\n";
+    return 1;
+  }
+
+  const campaign::Trial trial =
+      campaign::trial_at(spec, static_cast<std::size_t>(cell));
+  const campaign::TrialOutcome outcome =
+      campaign::run_campaign_trial(spec, trial);
+  support::Table table({"field", "value"});
+  for (const auto& [name, value] : campaign::outcome_fields(outcome)) {
+    table.start_row();
+    table.cell(name);
+    table.cell(value);
+  }
+  table.print(std::cout, "campaign '" + spec.name + "' — cell " +
+                             std::to_string(cell));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 1);
+  const std::string subcommand = argv[1];
+  // Subcommand parsers see argv without the subcommand token.
+  argv[1] = argv[0];
+  if (subcommand == "run") return cmd_run(argc - 1, argv + 1);
+  if (subcommand == "expand") return cmd_expand(argc - 1, argv + 1);
+  if (subcommand == "reproduce") return cmd_reproduce(argc - 1, argv + 1);
+  if (subcommand == "list-families") return cmd_list_families();
+  if (subcommand == "--help" || subcommand == "help" || subcommand == "-h") {
+    return usage(std::cout, 0);
+  }
+  std::cerr << "unknown subcommand '" << subcommand << "'\n\n";
+  return usage(std::cerr, 1);
+}

@@ -52,11 +52,21 @@ def load_micro(path: str) -> dict:
     return micro
 
 
-def baseline_micro(path: str, window: int) -> dict:
-    """Median per (bench, metric) over the last `window` history records."""
+def baseline_micro(path: str, window: int) -> tuple:
+    """Median per (bench, metric) over the last `window` history records.
+
+    Returns (baseline, used_records). Short history (fewer than `window`
+    records, e.g. the first nights after the gate lands) must still gate:
+    the baseline is the median of however many records exist — never a
+    silent pass. Records without a `micro` section are skipped.
+    """
     with open(path, encoding="utf-8") as fh:
         lines = [line for line in fh if line.strip()]
-    records = [json.loads(line).get("micro", {}) for line in lines[-window:]]
+    # Filter before slicing: a few recent micro-less records (e.g. nights
+    # where the bench step failed) must not shrink the baseline while older
+    # valid records exist.
+    records = [json.loads(line).get("micro", {}) for line in lines]
+    records = [record for record in records if record][-window:]
     samples = {}
     for record in records:
         for name, entry in record.items():
@@ -64,9 +74,10 @@ def baseline_micro(path: str, window: int) -> dict:
                 if isinstance(value, (int, float)):
                     samples.setdefault(name, {}).setdefault(key, []).append(
                         value)
-    return {name: {key: statistics.median(vals)
-                   for key, vals in metrics.items()}
-            for name, metrics in samples.items()}
+    baseline = {name: {key: statistics.median(vals)
+                       for key, vals in metrics.items()}
+                for name, metrics in samples.items()}
+    return baseline, len(records)
 
 
 def main() -> int:
@@ -86,10 +97,14 @@ def main() -> int:
     if not os.path.exists(args.history):
         print(f"no history at {args.history}; nothing to compare — pass")
         return 0
-    previous = baseline_micro(args.history, args.window)
+    previous, used_records = baseline_micro(args.history, args.window)
     if not previous:
         print("history has no micro record; nothing to compare — pass")
         return 0
+    if used_records < args.window:
+        print(f"short history: {used_records} of {args.window} records — "
+              f"baseline is the median of those {used_records} "
+              "(still gating, not passing)")
     current = load_micro(args.micro)
 
     regressions = []

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py.
+
+The load-bearing behavior under test: a short history (fewer records than
+--window) must still gate using the median of whatever records exist — it
+must never silently pass. Exercised end-to-end via subprocess so the exit
+codes CI relies on are what is actually asserted.
+
+Run directly (python3 scripts/test_check_bench_regression.py) or via ctest
+(test name scripts.check_bench_regression).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def micro_json(rate=None, time_ns=100.0, name="BM_DistributedMdst/128"):
+    """A minimal google-benchmark JSON report with one bench."""
+    bench = {"name": name, "run_type": "iteration", "real_time": time_ns,
+             "cpu_time": time_ns, "iterations": 10}
+    if rate is not None:
+        bench["msgs/s"] = rate
+    return {"benchmarks": [bench]}
+
+
+def history_line(rate=None, time_ns=100.0, name="BM_DistributedMdst/128"):
+    """One BENCH_history.jsonl record as append_bench_history writes it."""
+    entry = {"real_time_ns": time_ns, "cpu_time_ns": time_ns, "iterations": 10}
+    if rate is not None:
+        entry["msgs/s"] = rate
+    return json.dumps({"timestamp": "t", "commit": "c",
+                       "micro": {name: entry}})
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        return path
+
+    def run_check(self, micro_report, history_lines, extra_args=()):
+        micro = self.write("BENCH_micro.json", json.dumps(micro_report))
+        history = os.path.join(self.tmp.name, "BENCH_history.jsonl")
+        if history_lines is not None:
+            with open(history, "w", encoding="utf-8") as fh:
+                for line in history_lines:
+                    fh.write(line + "\n")
+        result = subprocess.run(
+            [sys.executable, SCRIPT, "--micro", micro, "--history", history,
+             *extra_args],
+            capture_output=True, text=True, check=False)
+        return result.returncode, result.stdout + result.stderr
+
+    def test_short_history_still_catches_regression(self):
+        # Two records (window default 5): baseline must be their median,
+        # and a 33% rate drop must fail — not silently pass.
+        code, out = self.run_check(
+            micro_json(rate=20e6),
+            [history_line(rate=30e6), history_line(rate=30e6)])
+        self.assertEqual(code, 1, out)
+        self.assertIn("short history", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_single_record_history_still_gates(self):
+        code, out = self.run_check(
+            micro_json(rate=10e6), [history_line(rate=30e6)])
+        self.assertEqual(code, 1, out)
+        self.assertIn("1 of 5 records", out)
+
+    def test_short_history_within_threshold_passes(self):
+        code, out = self.run_check(
+            micro_json(rate=29e6),
+            [history_line(rate=30e6), history_line(rate=30e6)])
+        self.assertEqual(code, 0, out)
+        self.assertIn("short history", out)
+
+    def test_full_window_uses_median_not_latest(self):
+        # Median of [10, 30, 30, 30, 100] is 30: a fresh 28.5e6 is within 10%
+        # of the median even though it is far below the latest (100e6) record.
+        lines = [history_line(rate=r)
+                 for r in (10e6, 30e6, 30e6, 30e6, 100e6)]
+        code, out = self.run_check(micro_json(rate=28.5e6), lines)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("short history", out)
+        code, out = self.run_check(micro_json(rate=20e6), lines)
+        self.assertEqual(code, 1, out)
+
+    def test_missing_history_file_passes(self):
+        code, out = self.run_check(micro_json(rate=1e6), None)
+        self.assertEqual(code, 0, out)
+        self.assertIn("nothing to compare", out)
+
+    def test_history_without_micro_sections_passes(self):
+        code, out = self.run_check(
+            micro_json(rate=1e6),
+            [json.dumps({"timestamp": "t", "commit": "c"})])
+        self.assertEqual(code, 0, out)
+        self.assertIn("nothing to compare", out)
+
+    def test_time_fallback_when_no_rate_counter(self):
+        # Without a msgs/s counter the gate compares real_time_ns: a 50%
+        # slowdown must fail even with a single history record.
+        code, out = self.run_check(
+            micro_json(time_ns=150.0),
+            [history_line(time_ns=100.0)])
+        self.assertEqual(code, 1, out)
+        code, out = self.run_check(
+            micro_json(time_ns=102.0),
+            [history_line(time_ns=100.0)])
+        self.assertEqual(code, 0, out)
+
+    def test_recent_microless_records_do_not_shrink_baseline(self):
+        # 5 valid records then 2 without micro (bench step failed those
+        # nights): the baseline must still be the median of the last 5
+        # *valid* records — a full window, no short-history downgrade.
+        lines = [history_line(rate=30e6)] * 5 + \
+                [json.dumps({"timestamp": "t", "commit": "c"})] * 2
+        code, out = self.run_check(micro_json(rate=29e6), lines)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("short history", out)
+        code, out = self.run_check(micro_json(rate=20e6), lines)
+        self.assertEqual(code, 1, out)
+
+    def test_custom_window_trims_old_records(self):
+        # window=2 must ignore the ancient fast records.
+        lines = [history_line(rate=100e6)] * 5 + \
+                [history_line(rate=10e6), history_line(rate=10e6)]
+        code, out = self.run_check(micro_json(rate=9.5e6), lines,
+                                   extra_args=("--window", "2"))
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,79 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdst::campaign {
+
+double MetricAggregate::ci95() const {
+  if (accumulator.count() < 2) return 0.0;
+  return 1.96 * accumulator.stddev() /
+         std::sqrt(static_cast<double>(accumulator.count()));
+}
+
+void Aggregator::add(const TrialOutcome& outcome) {
+  const Trial& t = outcome.trial;
+  const char* const startup = analysis::to_string(t.startup);
+  const char* const mode = core::to_string(t.mode);
+  CellAggregate* cell = nullptr;
+  for (CellAggregate& candidate : cells_) {
+    if (candidate.family == t.family && candidate.n == t.n &&
+        candidate.delay == t.delay.label && candidate.startup == startup &&
+        candidate.mode == mode) {
+      cell = &candidate;
+      break;
+    }
+  }
+  if (cell == nullptr) {
+    CellAggregate fresh;
+    fresh.family = t.family;
+    fresh.n = t.n;
+    fresh.delay = t.delay.label;
+    fresh.startup = startup;
+    fresh.mode = mode;
+    fresh.gap_min = fresh.gap_max = outcome.gap();
+    fresh.k_final_min = fresh.k_final_max = outcome.k_final;
+    cells_.push_back(std::move(fresh));
+    cell = &cells_.back();
+  }
+  ++cell->trials;
+  cell->gap_min = std::min(cell->gap_min, outcome.gap());
+  cell->gap_max = std::max(cell->gap_max, outcome.gap());
+  cell->k_final_min = std::min(cell->k_final_min, outcome.k_final);
+  cell->k_final_max = std::max(cell->k_final_max, outcome.k_final);
+  cell->gap.add(static_cast<double>(outcome.gap()));
+  cell->messages.add(static_cast<double>(outcome.total_messages()));
+  cell->causal_time.add(static_cast<double>(outcome.total_time()));
+  cell->rounds.add(static_cast<double>(outcome.rounds));
+}
+
+support::Table Aggregator::summary_table() const {
+  support::Table table({"family", "n", "delay", "startup", "mode", "trials",
+                        "k_final", "gap mean", "gap max", "msgs mean",
+                        "msgs ±ci95", "msgs p90", "time mean", "time p90",
+                        "rounds mean"});
+  for (const CellAggregate& cell : cells_) {
+    table.start_row();
+    table.cell(cell.family);
+    table.cell(static_cast<std::uint64_t>(cell.n));
+    table.cell(cell.delay);
+    table.cell(cell.startup);
+    table.cell(cell.mode);
+    table.cell(static_cast<std::uint64_t>(cell.trials));
+    table.cell(cell.k_final_min == cell.k_final_max
+                   ? std::to_string(cell.k_final_min)
+                   : std::to_string(cell.k_final_min) + ".." +
+                         std::to_string(cell.k_final_max));
+    table.cell(cell.gap.mean(), 2);
+    table.cell(static_cast<std::int64_t>(cell.gap_max));
+    table.cell(cell.messages.mean(), 0);
+    table.cell(cell.messages.ci95(), 0);
+    table.cell(cell.messages.p90(), 0);
+    table.cell(cell.causal_time.mean(), 0);
+    table.cell(cell.causal_time.p90(), 0);
+    table.cell(cell.rounds.mean(), 1);
+  }
+  return table;
+}
+
+}  // namespace mdst::campaign

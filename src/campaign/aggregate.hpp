@@ -1,0 +1,69 @@
+// Streaming per-cell aggregation of campaign outcomes.
+//
+// A *cell* is one point of the sweep grid without the repetition axis:
+// (family, n, delay, startup, mode). Repetitions land in the same cell, so
+// the summary reports mean / 95% CI / percentiles over reps — the numbers
+// the paper-style tables quote. The aggregator is itself a Sink, so it
+// rides the runner's deterministic commit order and its table row order is
+// the grid order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/sink.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace mdst::campaign {
+
+/// Mean/CI from a Welford accumulator plus exact percentiles from retained
+/// samples (rep counts are small; retention is cheap).
+struct MetricAggregate {
+  support::Accumulator accumulator;
+  support::Samples samples;
+  void add(double value) {
+    accumulator.add(value);
+    samples.add(value);
+  }
+  double mean() const { return accumulator.mean(); }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95() const;
+  double p90() const { return samples.quantile(0.9); }
+};
+
+struct CellAggregate {
+  // Coordinates (canonical spec tokens).
+  std::string family;
+  std::size_t n = 0;
+  std::string delay;
+  std::string startup;
+  std::string mode;
+  // Aggregated metrics over repetitions.
+  std::size_t trials = 0;
+  int gap_min = 0;
+  int gap_max = 0;
+  int k_final_min = 0;
+  int k_final_max = 0;
+  MetricAggregate gap;
+  MetricAggregate messages;
+  MetricAggregate causal_time;
+  MetricAggregate rounds;
+};
+
+class Aggregator final : public Sink {
+ public:
+  void add(const TrialOutcome& outcome) override;
+
+  /// Cells in first-seen order (= grid order under the runner's contract).
+  const std::vector<CellAggregate>& cells() const { return cells_; }
+
+  /// Paper-style console summary (one row per cell).
+  support::Table summary_table() const;
+
+ private:
+  std::vector<CellAggregate> cells_;
+};
+
+}  // namespace mdst::campaign

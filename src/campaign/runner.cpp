@@ -1,0 +1,179 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/experiment.hpp"
+#include "campaign/sink.hpp"
+#include "mdst/bounds.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::campaign {
+
+TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
+  analysis::TrialSpec instance_spec;
+  instance_spec.family = trial.family;
+  instance_spec.n = trial.n;
+  instance_spec.base_seed = spec.base_seed;
+  instance_spec.repetition = trial.repetition;
+  const graph::Graph g = analysis::build_instance(instance_spec);
+
+  core::Options options;
+  options.mode = trial.mode;
+  options.max_rounds = spec.max_rounds;
+  options.target_degree = spec.target_degree;
+
+  sim::SimConfig sim_config;
+  sim_config.delay = trial.delay.model;
+  sim_config.seed = support::derive_seed(spec.base_seed ^ 0x51u, trial.n,
+                                         trial.repetition);
+  if (spec.max_messages != 0) sim_config.max_messages = spec.max_messages;
+
+  const analysis::PipelineResult run =
+      analysis::run_pipeline(g, trial.startup, options, sim_config);
+
+  TrialOutcome out;
+  out.trial = trial;
+  out.n_actual = g.vertex_count();
+  out.m = g.edge_count();
+  out.k_init = run.mdst.initial_degree;
+  out.k_final = run.mdst.final_degree;
+  out.lower_bound = core::degree_lower_bound(g);
+  out.rounds = run.mdst.rounds;
+  out.improvements = run.mdst.improvements;
+  out.stop_reason = run.mdst.stop_reason;
+  out.startup_messages = run.startup_messages;
+  out.mdst_messages = run.mdst.metrics.total_messages();
+  out.startup_time = run.startup_causal_time;
+  out.mdst_time = run.mdst.metrics.max_causal_depth();
+  return out;
+}
+
+namespace {
+
+std::string describe(const Trial& trial) {
+  return "trial " + std::to_string(trial.index) + " (" + trial.family +
+         " n=" + std::to_string(trial.n) + " delay=" + trial.delay.label +
+         " startup=" + analysis::to_string(trial.startup) +
+         " mode=" + core::to_string(trial.mode) +
+         " rep=" + std::to_string(trial.repetition) + ")";
+}
+
+void commit(const TrialOutcome& outcome, const std::vector<Sink*>& sinks) {
+  for (Sink* sink : sinks) sink->add(outcome);
+}
+
+}  // namespace
+
+std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
+                                       const RunnerConfig& config,
+                                       const std::vector<Sink*>& sinks) {
+  const std::vector<Trial> trials = expand(spec);
+  for (Sink* sink : sinks) sink->begin(spec, trials.size());
+  std::vector<TrialOutcome> outcomes;
+  outcomes.reserve(trials.size());
+
+  unsigned threads =
+      config.threads != 0 ? config.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (trials.size() < threads) threads = static_cast<unsigned>(trials.size());
+
+  if (threads <= 1) {
+    for (const Trial& trial : trials) {
+      try {
+        outcomes.push_back(run_campaign_trial(spec, trial));
+      } catch (const std::exception& e) {
+        throw std::runtime_error("campaign '" + spec.name + "' failed at " +
+                                 describe(trial) + ": " + e.what());
+      }
+      commit(outcomes.back(), sinks);
+    }
+    for (Sink* sink : sinks) sink->finish();
+    return outcomes;
+  }
+
+  // Workers claim trial indices from a shared counter and park results in
+  // per-trial slots; this (committer) thread drains the slots strictly in
+  // index order, so sink output cannot depend on completion order.
+  std::vector<std::optional<TrialOutcome>> slots(trials.size());
+  std::vector<std::string> failures(trials.size());
+  std::atomic<std::size_t> next{0};
+  // Raised on the first failure so workers stop claiming fresh trials —
+  // a failing 10k-trial campaign must not run to the end before reporting.
+  // Committed indices before the failed one are unaffected (they are
+  // already done or in flight), so the "drain in-flight, then throw"
+  // behavior below stays deterministic enough for diagnosis.
+  std::atomic<bool> abort_requested{false};
+  std::mutex mutex;
+  std::condition_variable slot_ready;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (abort_requested.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      std::optional<TrialOutcome> outcome;
+      std::string failure;
+      try {
+        outcome = run_campaign_trial(spec, trials[i]);
+      } catch (const std::exception& e) {
+        failure = e.what();
+      } catch (...) {
+        failure = "unknown exception";
+      }
+      if (!failure.empty()) {
+        abort_requested.store(true, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        slots[i] = std::move(outcome);
+        failures[i] = std::move(failure);
+      }
+      slot_ready.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+
+  std::string first_failure;
+  // Threads must be joined before any exception leaves this function
+  // (destroying a joinable std::thread calls std::terminate), so a sink
+  // throwing mid-commit is parked and rethrown after the drain.
+  std::exception_ptr commit_error;
+  try {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      slot_ready.wait(lock, [&] { return slots[i] || !failures[i].empty(); });
+      if (!failures[i].empty()) {
+        first_failure = describe(trials[i]) + ": " + failures[i];
+        break;
+      }
+      TrialOutcome outcome = std::move(*slots[i]);
+      slots[i].reset();
+      lock.unlock();
+      commit(outcome, sinks);
+      outcomes.push_back(std::move(outcome));
+      lock.lock();
+    }
+  } catch (...) {
+    commit_error = std::current_exception();
+    abort_requested.store(true, std::memory_order_relaxed);
+  }
+  for (std::thread& t : pool) t.join();
+  if (commit_error) std::rethrow_exception(commit_error);
+  if (!first_failure.empty()) {
+    throw std::runtime_error("campaign '" + spec.name +
+                             "' failed at " + first_failure);
+  }
+  for (Sink* sink : sinks) sink->finish();
+  return outcomes;
+}
+
+}  // namespace mdst::campaign

@@ -1,0 +1,67 @@
+// Campaign execution: one trial, or the whole grid on a worker pool.
+//
+// Determinism contract: a TrialOutcome depends only on the trial's own
+// coordinates and the spec's base_seed/engine knobs (the instance derives
+// from (base_seed, family, n, repetition) and the schedule from
+// (base_seed ^ 0x51, n, repetition) — the same derivation as
+// analysis::run_trial). run_campaign executes trials concurrently but
+// *commits* outcomes to sinks strictly in grid order, so the streamed
+// CSV/JSONL output is byte-identical regardless of worker count. The
+// concurrency is safe because each worker builds its own Graph, Rng and
+// Simulator; no mutable state is shared beyond the commit slots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace mdst::campaign {
+
+class Sink;
+
+/// Flat result of one trial; everything a sink row or aggregate needs.
+struct TrialOutcome {
+  Trial trial;
+  // Instance shape (n_actual can differ from trial.n for snapped families
+  // like hypercube/grid).
+  std::size_t n_actual = 0;
+  std::size_t m = 0;
+  // Degrees and the paper's approximation gap vs the best lower bound.
+  int k_init = 0;
+  int k_final = 0;
+  int lower_bound = 0;
+  int gap() const { return k_final - lower_bound; }
+  // Round structure.
+  std::uint32_t rounds = 0;
+  std::uint64_t improvements = 0;
+  core::StopReason stop_reason = core::StopReason::kNotStopped;
+  // Paper cost measures, split by phase (startup protocol vs MDegST).
+  std::uint64_t startup_messages = 0;
+  std::uint64_t mdst_messages = 0;
+  std::uint64_t startup_time = 0;
+  std::uint64_t mdst_time = 0;
+  std::uint64_t total_messages() const {
+    return startup_messages + mdst_messages;
+  }
+  std::uint64_t total_time() const { return startup_time + mdst_time; }
+};
+
+/// Run the single trial `trial` of `spec` (used by workers and by
+/// `mdst_lab reproduce --cell`).
+TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial);
+
+struct RunnerConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Execute the full grid. Outcomes stream to every sink in grid order and
+/// are returned in grid order. A failing trial aborts the run with a
+/// std::runtime_error naming the trial after all in-flight workers drain.
+std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
+                                       const RunnerConfig& config,
+                                       const std::vector<Sink*>& sinks);
+
+}  // namespace mdst::campaign

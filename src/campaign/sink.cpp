@@ -1,0 +1,136 @@
+#include "campaign/sink.hpp"
+
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace mdst::campaign {
+namespace {
+
+bool is_numeric_field(const std::string& value) {
+  if (value.empty()) return false;
+  for (const char c : value) {
+    if ((c < '0' || c > '9') && c != '-') return false;
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& value) {
+  bool needs_quotes = false;
+  for (const char c : value) {
+    needs_quotes |= (c == ',' || c == '"' || c == '\n' || c == '\r');
+  }
+  if (!needs_quotes) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_escape(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> outcome_fields(
+    const TrialOutcome& o) {
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  return {
+      {"index", u64(o.trial.index)},
+      {"family", o.trial.family},
+      {"n", u64(o.trial.n)},
+      {"delay", o.trial.delay.label},
+      {"startup", analysis::to_string(o.trial.startup)},
+      {"mode", core::to_string(o.trial.mode)},
+      {"rep", u64(o.trial.repetition)},
+      {"nodes", u64(o.n_actual)},
+      {"edges", u64(o.m)},
+      {"k_init", std::to_string(o.k_init)},
+      {"k_final", std::to_string(o.k_final)},
+      {"lower_bound", std::to_string(o.lower_bound)},
+      {"gap", std::to_string(o.gap())},
+      {"rounds", u64(o.rounds)},
+      {"improvements", u64(o.improvements)},
+      {"startup_messages", u64(o.startup_messages)},
+      {"mdst_messages", u64(o.mdst_messages)},
+      {"total_messages", u64(o.total_messages())},
+      {"startup_time", u64(o.startup_time)},
+      {"mdst_time", u64(o.mdst_time)},
+      {"total_time", u64(o.total_time())},
+      {"stop_reason", core::to_string(o.stop_reason)},
+  };
+}
+
+void CsvSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
+  (void)spec;
+  (void)trial_count;
+  const TrialOutcome prototype{};
+  bool first = true;
+  for (const auto& [name, value] : outcome_fields(prototype)) {
+    (void)value;
+    if (!first) out_ << ',';
+    out_ << csv_escape(name);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvSink::add(const TrialOutcome& outcome) {
+  bool first = true;
+  for (const auto& [name, value] : outcome_fields(outcome)) {
+    (void)name;
+    if (!first) out_ << ',';
+    out_ << csv_escape(value);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void JsonlSink::add(const TrialOutcome& outcome) {
+  out_ << '{';
+  bool first = true;
+  for (const auto& [name, value] : outcome_fields(outcome)) {
+    if (!first) out_ << ',';
+    out_ << '"' << json_escape(name) << "\":";
+    if (is_numeric_field(value)) {
+      out_ << value;
+    } else {
+      out_ << '"' << json_escape(value) << '"';
+    }
+    first = false;
+  }
+  out_ << "}\n";
+}
+
+void ProgressSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
+  total_ = trial_count;
+  if (stride_ != 0) {
+    out_ << "campaign '" << spec.name << "': " << trial_count << " trials\n";
+  }
+}
+
+void ProgressSink::add(const TrialOutcome& outcome) {
+  (void)outcome;
+  ++seen_;
+  if (stride_ != 0 && (seen_ % stride_ == 0 || seen_ == total_)) {
+    out_ << "  " << seen_ << "/" << total_ << " trials done\n";
+  }
+}
+
+}  // namespace mdst::campaign

@@ -1,0 +1,76 @@
+// Streaming output sinks for campaign runs.
+//
+// Sinks receive outcomes one at a time, in grid order (the runner
+// guarantees this regardless of worker count), so file sinks can stream
+// without buffering the whole campaign. All row fields are integers or
+// canonical spec tokens, so the emitted bytes are a pure function of the
+// campaign spec — the determinism suite diffs them across thread counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace mdst::campaign {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Called once before any outcome.
+  virtual void begin(const CampaignSpec& spec, std::size_t trial_count) {
+    (void)spec;
+    (void)trial_count;
+  }
+  /// Called once per trial, in grid order.
+  virtual void add(const TrialOutcome& outcome) = 0;
+  /// Called once after every outcome committed (not on abort).
+  virtual void finish() {}
+};
+
+/// The flat per-trial column set shared by the CSV and JSONL sinks (and the
+/// `reproduce` report): name/value pairs in a fixed order, values already
+/// rendered as canonical strings.
+std::vector<std::pair<std::string, std::string>> outcome_fields(
+    const TrialOutcome& outcome);
+
+/// RFC-4180-ish CSV: header row, then one row per trial.
+class CsvSink final : public Sink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void begin(const CampaignSpec& spec, std::size_t trial_count) override;
+  void add(const TrialOutcome& outcome) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// One JSON object per line, fixed key order; string values escaped.
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void add(const TrialOutcome& outcome) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Console progress: a one-line note every `stride` trials (stderr), for
+/// long campaigns run interactively. Quiet when stride == 0.
+class ProgressSink final : public Sink {
+ public:
+  ProgressSink(std::ostream& out, std::size_t stride)
+      : out_(out), stride_(stride) {}
+  void begin(const CampaignSpec& spec, std::size_t trial_count) override;
+  void add(const TrialOutcome& outcome) override;
+
+ private:
+  std::ostream& out_;
+  std::size_t stride_;
+  std::size_t seen_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mdst::campaign

@@ -1,0 +1,427 @@
+#include "campaign/spec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+// ---------------------------------------------------------------- scanners --
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  token = support::trim(token);
+  if (token.empty()) return false;
+  int base = 10;
+  if (support::starts_with(token, "0x") || support::starts_with(token, "0X")) {
+    token.remove_prefix(2);
+    base = 16;
+    if (token.empty()) return false;
+  }
+  const char* end = token.data() + token.size();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), end, value, base);
+  if (ec != std::errc{} || ptr != end) return false;
+  out = value;
+  return true;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  token = support::trim(token);
+  if (token.empty()) return false;
+  // std::from_chars<double> is spotty across libstdc++ versions; strtod via
+  // a bounded copy keeps this portable.
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  out = value;
+  return true;
+}
+
+/// "a(b)" -> true with name/args split; "a" -> true with empty args.
+bool split_call(std::string_view token, std::string_view& callee,
+                std::string_view& arguments) {
+  const std::size_t open = token.find('(');
+  if (open == std::string_view::npos) {
+    callee = support::trim(token);
+    arguments = {};
+    return true;
+  }
+  if (token.back() != ')') return false;
+  callee = support::trim(token.substr(0, open));
+  arguments = token.substr(open + 1, token.size() - open - 2);
+  return true;
+}
+
+std::string format_probability(double p) {
+  // Shortest representation that round-trips the exact value (0.2 -> "0.2"),
+  // so a label pasted back into a spec reproduces the same distribution.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << p;
+    if (std::strtod(os.str().c_str(), nullptr) == p) return os.str();
+  }
+  MDST_UNREACHABLE("max_digits10 must round-trip a double");
+}
+
+bool parse_startup(std::string_view token, analysis::StartupProtocol& out) {
+  using analysis::StartupProtocol;
+  for (const StartupProtocol protocol :
+       {StartupProtocol::kFloodSt, StartupProtocol::kDfsSt,
+        StartupProtocol::kGhsMst, StartupProtocol::kLeaderElect}) {
+    if (token == analysis::to_string(protocol)) {
+      out = protocol;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_mode(std::string_view token, core::EngineMode& out) {
+  using core::EngineMode;
+  for (const EngineMode mode :
+       {EngineMode::kSingleImprovement, EngineMode::kConcurrent,
+        EngineMode::kStrictLot}) {
+    if (token == core::to_string(mode)) {
+      out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Size entries: "N" or "A..B" (A, 2A, 4A, ... capped at B; B itself is
+/// included exactly when it lies on the doubling ladder).
+bool parse_sizes(std::string_view token, std::vector<std::size_t>& out,
+                 std::string& error) {
+  const std::size_t dots = token.find("..");
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  if (dots == std::string_view::npos) {
+    if (!parse_u64(token, lo)) {
+      error = "bad size '" + std::string(token) + "' (want N or A..B)";
+      return false;
+    }
+    hi = lo;
+  } else if (!parse_u64(token.substr(0, dots), lo) ||
+             !parse_u64(token.substr(dots + 2), hi) || lo > hi) {
+    error = "bad size range '" + std::string(token) + "' (want A..B, A <= B)";
+    return false;
+  }
+  if (lo < 4) {
+    error = "size " + std::to_string(lo) + " too small (minimum 4)";
+    return false;
+  }
+  if (hi > 1'000'000) {
+    error = "size " + std::to_string(hi) + " too large (maximum 1000000)";
+    return false;
+  }
+  for (std::uint64_t n = lo; n <= hi; n *= 2) {
+    out.push_back(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+struct LineContext {
+  int number = 0;
+  std::string error;  // first failure wins
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = "line " + std::to_string(number) + ": " + message;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool parse_delay(std::string_view token, DelaySpec& out, std::string& error) {
+  std::string_view callee;
+  std::string_view arguments;
+  if (!split_call(support::trim(token), callee, arguments)) {
+    error = "bad delay '" + std::string(token) + "' (unbalanced parentheses)";
+    return false;
+  }
+  if (callee == "unit") {
+    if (!support::trim(arguments).empty()) {
+      error = "delay 'unit' takes no parameters";
+      return false;
+    }
+    out.model = sim::DelayModel::unit();
+    out.label = "unit";
+    return true;
+  }
+  if (callee == "uniform") {
+    const std::vector<std::string> parts = support::split(arguments, ',');
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    if (parts.size() != 2 || !parse_u64(parts[0], lo) ||
+        !parse_u64(parts[1], hi) || lo < 1 || lo > hi) {
+      error = "bad delay '" + std::string(token) +
+              "' (want uniform(lo,hi) with 1 <= lo <= hi)";
+      return false;
+    }
+    out.model = sim::DelayModel::uniform(static_cast<sim::Time>(lo),
+                                         static_cast<sim::Time>(hi));
+    out.label = "uniform(" + std::to_string(lo) + "," + std::to_string(hi) + ")";
+    return true;
+  }
+  if (callee == "heavy_tail") {
+    double p = 0.0;
+    if (!parse_double(arguments, p) || !(p > 0.0) || p > 1.0) {
+      error = "bad delay '" + std::string(token) +
+              "' (want heavy_tail(p) with p in (0,1])";
+      return false;
+    }
+    out.model = sim::DelayModel::heavy_tail(p);
+    out.label = "heavy_tail(" + format_probability(p) + ")";
+    return true;
+  }
+  error = "unknown delay model '" + std::string(callee) +
+          "' (unit | uniform(lo,hi) | heavy_tail(p))";
+  return false;
+}
+
+ParseResult parse_spec(std::string_view text) {
+  ParseResult result;
+  CampaignSpec& spec = result.spec;
+  spec.delays.clear();
+  spec.startups.clear();
+  spec.modes.clear();
+
+  LineContext at;
+  std::vector<std::string> seen_keys;
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  while (std::getline(stream, raw_line)) {
+    ++at.number;
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = support::trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      at.fail("expected 'key = value', got '" + std::string(line) + "'");
+      break;
+    }
+    const std::string key{support::trim(line.substr(0, eq))};
+    const std::string_view value = support::trim(line.substr(eq + 1));
+    if (key.empty()) {
+      at.fail("missing key before '='");
+      break;
+    }
+    bool duplicate = false;
+    for (const std::string& seen : seen_keys) duplicate |= (seen == key);
+    if (duplicate) {
+      at.fail("duplicate key '" + key + "'");
+      break;
+    }
+    seen_keys.push_back(key);
+    if (value.empty()) {
+      at.fail("key '" + key + "' has an empty value");
+      break;
+    }
+
+    std::string item_error;
+    if (key == "name") {
+      spec.name = std::string(value);
+    } else if (key == "base_seed") {
+      if (!parse_u64(value, spec.base_seed)) {
+        at.fail("bad base_seed '" + std::string(value) +
+                "' (decimal or 0x hex)");
+        break;
+      }
+    } else if (key == "families") {
+      for (const std::string& token : support::split(value, ',')) {
+        const std::string family{support::trim(token)};
+        bool known = false;
+        for (const graph::FamilySpec& known_family :
+             graph::standard_families()) {
+          known |= (known_family.name == family);
+        }
+        if (!known) {
+          std::string names;
+          for (const graph::FamilySpec& known_family :
+               graph::standard_families()) {
+            names += (names.empty() ? "" : " ") + known_family.name;
+          }
+          at.fail("unknown family '" + family + "' (known: " + names + ")");
+          break;
+        }
+        spec.families.push_back(family);
+      }
+    } else if (key == "sizes") {
+      for (const std::string& token : support::split(value, ',')) {
+        if (!parse_sizes(support::trim(token), spec.sizes, item_error)) {
+          at.fail(item_error);
+          break;
+        }
+      }
+    } else if (key == "delays") {
+      // Delay tokens contain commas ("uniform(1,10)"): split only on commas
+      // outside parentheses.
+      int depth = 0;
+      std::string token;
+      std::vector<std::string> tokens;
+      for (const char c : value) {
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (c == ',' && depth == 0) {
+          tokens.push_back(token);
+          token.clear();
+        } else {
+          token += c;
+        }
+      }
+      tokens.push_back(token);
+      for (const std::string& delay_token : tokens) {
+        DelaySpec delay;
+        if (!parse_delay(support::trim(delay_token), delay, item_error)) {
+          at.fail(item_error);
+          break;
+        }
+        spec.delays.push_back(delay);
+      }
+    } else if (key == "startups") {
+      for (const std::string& token : support::split(value, ',')) {
+        analysis::StartupProtocol protocol;
+        if (!parse_startup(support::trim(token), protocol)) {
+          at.fail("unknown startup '" + std::string(support::trim(token)) +
+                  "' (flood_st | dfs_st | ghs_mst | leader_elect)");
+          break;
+        }
+        spec.startups.push_back(protocol);
+      }
+    } else if (key == "modes") {
+      for (const std::string& token : support::split(value, ',')) {
+        core::EngineMode mode;
+        if (!parse_mode(support::trim(token), mode)) {
+          at.fail("unknown mode '" + std::string(support::trim(token)) +
+                  "' (single | concurrent | strict_lot)");
+          break;
+        }
+        spec.modes.push_back(mode);
+      }
+    } else if (key == "reps") {
+      if (!parse_u64(value, spec.reps) || spec.reps == 0) {
+        at.fail("bad reps '" + std::string(value) + "' (want an integer >= 1)");
+        break;
+      }
+    } else if (key == "max_rounds") {
+      std::uint64_t rounds = 0;
+      if (!parse_u64(value, rounds)) {
+        at.fail("bad max_rounds '" + std::string(value) + "'");
+        break;
+      }
+      spec.max_rounds = static_cast<std::size_t>(rounds);
+    } else if (key == "target_degree") {
+      std::uint64_t degree = 0;
+      if (!parse_u64(value, degree) || degree > 1'000'000) {
+        at.fail("bad target_degree '" + std::string(value) + "'");
+        break;
+      }
+      spec.target_degree = static_cast<int>(degree);
+    } else if (key == "max_messages") {
+      if (!parse_u64(value, spec.max_messages)) {
+        at.fail("bad max_messages '" + std::string(value) + "'");
+        break;
+      }
+    } else {
+      at.fail("unknown key '" + key +
+              "' (name base_seed families sizes delays startups modes reps "
+              "max_rounds target_degree max_messages)");
+      break;
+    }
+    if (!at.error.empty()) break;
+  }
+
+  if (at.error.empty()) {
+    if (spec.families.empty()) at.fail("missing required key 'families'");
+  }
+  if (at.error.empty()) {
+    if (spec.sizes.empty()) at.fail("missing required key 'sizes'");
+  }
+  if (!at.error.empty()) {
+    result.error = at.error;
+    return result;
+  }
+
+  if (spec.delays.empty()) spec.delays.push_back({sim::DelayModel::unit(), "unit"});
+  if (spec.startups.empty()) {
+    spec.startups.push_back(analysis::StartupProtocol::kFloodSt);
+  }
+  if (spec.modes.empty()) {
+    spec.modes.push_back(core::EngineMode::kSingleImprovement);
+  }
+  result.ok = true;
+  return result;
+}
+
+ParseResult load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.error = "cannot open spec file '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ParseResult result = parse_spec(buffer.str());
+  if (!result.ok) result.error = path + ": " + result.error;
+  return result;
+}
+
+std::vector<Trial> expand(const CampaignSpec& spec) {
+  std::vector<Trial> trials;
+  trials.reserve(spec.trial_count());
+  std::size_t index = 0;
+  for (const std::string& family : spec.families) {
+    for (const std::size_t n : spec.sizes) {
+      for (const DelaySpec& delay : spec.delays) {
+        for (const analysis::StartupProtocol startup : spec.startups) {
+          for (const core::EngineMode mode : spec.modes) {
+            for (std::uint64_t rep = 0; rep < spec.reps; ++rep) {
+              trials.push_back(
+                  Trial{index++, family, n, delay, startup, mode, rep});
+            }
+          }
+        }
+      }
+    }
+  }
+  return trials;
+}
+
+Trial trial_at(const CampaignSpec& spec, std::size_t index) {
+  MDST_REQUIRE(index < spec.trial_count(),
+               "trial index " + std::to_string(index) +
+                   " out of range (grid has " +
+                   std::to_string(spec.trial_count()) + " trials)");
+  Trial trial;
+  trial.index = index;
+  // Invert the nested-loop order: rep is the innermost axis.
+  std::size_t rest = index;
+  const auto take = [&rest](std::size_t extent) {
+    const std::size_t coordinate = rest % extent;
+    rest /= extent;
+    return coordinate;
+  };
+  trial.repetition = take(static_cast<std::size_t>(spec.reps));
+  trial.mode = spec.modes[take(spec.modes.size())];
+  trial.startup = spec.startups[take(spec.startups.size())];
+  trial.delay = spec.delays[take(spec.delays.size())];
+  trial.n = spec.sizes[take(spec.sizes.size())];
+  trial.family = spec.families[take(spec.families.size())];
+  return trial;
+}
+
+}  // namespace mdst::campaign

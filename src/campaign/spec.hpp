@@ -1,0 +1,103 @@
+// Declarative scenario-campaign specs.
+//
+// A campaign describes a sweep grid — graph families × sizes × delay models
+// × startup protocols × engine modes × repetitions — in a small line-oriented
+// `key = value` text format (see docs/campaign.md):
+//
+//     name      = quickstart
+//     base_seed = 0x5eed
+//     families  = gnp_sparse, geometric
+//     sizes     = 32, 64..256        # a..b expands by doubling: 64 128 256
+//     delays    = unit, uniform(1,10), heavy_tail(0.2)
+//     startups  = flood_st, ghs_mst
+//     modes     = single, concurrent
+//     reps      = 5
+//
+// The spec expands into a flat list of Trials in a fixed nested-loop order
+// (family → n → delay → startup → mode → rep), so a trial's `index` is a
+// stable coordinate: `mdst_lab reproduce --cell=<index>` re-runs exactly that
+// trial. Randomness follows the experiment-harness contract: the instance
+// derives from (base_seed, family, n, repetition) and the schedule from
+// (base_seed ^ 0x51, n, repetition), so a trial is reproducible in isolation
+// — independent of which other cells the grid contains or which worker
+// thread ran it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "mdst/options.hpp"
+#include "runtime/delay.hpp"
+
+namespace mdst::campaign {
+
+/// A delay model together with its canonical spec-text spelling, so output
+/// rows round-trip back into specs (and stay byte-stable across runs).
+struct DelaySpec {
+  sim::DelayModel model;
+  std::string label = "unit";
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint64_t base_seed = 0x5eed;
+  std::vector<std::string> families;          // required, non-empty
+  std::vector<std::size_t> sizes;             // required, non-empty
+  std::vector<DelaySpec> delays;              // default {unit}
+  std::vector<analysis::StartupProtocol> startups;  // default {flood_st}
+  std::vector<core::EngineMode> modes;        // default {single}
+  std::uint64_t reps = 5;
+  // Engine/simulator knobs applied to every cell.
+  std::size_t max_rounds = 0;
+  int target_degree = 0;
+  std::uint64_t max_messages = 0;  // 0 = simulator default cap
+
+  std::size_t trial_count() const {
+    return families.size() * sizes.size() * delays.size() * startups.size() *
+           modes.size() * static_cast<std::size_t>(reps);
+  }
+};
+
+/// One concrete grid cell: full coordinates plus its stable index.
+struct Trial {
+  std::size_t index = 0;
+  std::string family;
+  std::size_t n = 0;
+  DelaySpec delay;
+  analysis::StartupProtocol startup = analysis::StartupProtocol::kFloodSt;
+  core::EngineMode mode = core::EngineMode::kSingleImprovement;
+  std::uint64_t repetition = 0;
+};
+
+struct ParseResult {
+  bool ok = false;
+  CampaignSpec spec;
+  /// On failure: "line N: <diagnostic>".
+  std::string error;
+};
+
+/// Parse and validate spec text. Every rejection names the offending line.
+ParseResult parse_spec(std::string_view text);
+
+/// Read `path` and parse it; I/O failures report as `ok = false` too.
+ParseResult load_spec(const std::string& path);
+
+/// Expand the grid in deterministic nested-loop order.
+std::vector<Trial> expand(const CampaignSpec& spec);
+
+/// The single trial at `index` without materializing the grid.
+/// Precondition: index < spec.trial_count().
+Trial trial_at(const CampaignSpec& spec, std::size_t index);
+
+/// Parse one delay token ("unit" | "uniform(lo,hi)" | "heavy_tail(p)").
+/// Returns false and sets `error` on bad syntax or parameters.
+/// Spec tokens for startups and modes are the existing
+/// `analysis::to_string(StartupProtocol)` / `core::to_string(EngineMode)`
+/// names, so output rows round-trip into specs.
+bool parse_delay(std::string_view token, DelaySpec& out, std::string& error);
+
+}  // namespace mdst::campaign

@@ -1,0 +1,48 @@
+// The checked-in starter spec (examples/specs/quickstart.campaign) is what
+// docs/campaign.md walks new users through — this smoke test runs it for
+// real so the doc example can never rot: if a family is renamed, a key
+// removed, or the grid grows past "about a minute", this fails.
+#include <gtest/gtest.h>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+const char* kQuickstartSpec =
+    MDST_SOURCE_DIR "/examples/specs/quickstart.campaign";
+
+TEST(QuickstartCampaignTest, SpecParsesAndStaysSmall) {
+  const ParseResult parsed = load_spec(kQuickstartSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "quickstart");
+  // The doc promises a ~minute tour; keep the grid honest.
+  EXPECT_LE(parsed.spec.trial_count(), 128u);
+  EXPECT_GE(parsed.spec.trial_count(), 16u);
+  for (const std::size_t n : parsed.spec.sizes) EXPECT_LE(n, 128u);
+}
+
+TEST(QuickstartCampaignTest, RunsEndToEnd) {
+  const ParseResult parsed = load_spec(kQuickstartSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Aggregator aggregator;
+  RunnerConfig config;
+  config.threads = 2;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(parsed.spec, config, {&aggregator});
+  ASSERT_EQ(outcomes.size(), parsed.spec.trial_count());
+  for (const TrialOutcome& outcome : outcomes) {
+    // Every trial must finish the improvement phase on a real tree.
+    EXPECT_NE(outcome.stop_reason, core::StopReason::kNotStopped);
+    EXPECT_GE(outcome.k_final, outcome.lower_bound);
+    EXPECT_LE(outcome.k_final, outcome.k_init);
+    EXPECT_GE(outcome.m, outcome.n_actual - 1);
+    EXPECT_GT(outcome.total_messages(), 0u);
+  }
+  EXPECT_FALSE(aggregator.cells().empty());
+}
+
+}  // namespace
+}  // namespace mdst::campaign

@@ -1,0 +1,142 @@
+// Runner contracts: the deterministic-commit-order guarantee (byte-identical
+// sink output for any worker count) and trial isolation (reproducing a cell
+// from its coordinates alone matches the full-campaign row).
+#include "campaign/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/sink.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+CampaignSpec small_grid() {
+  const ParseResult parsed = parse_spec(
+      "name = runner_test\n"
+      "families = gnp_sparse, grid\n"
+      "sizes = 24\n"
+      "delays = unit, uniform(1,4)\n"
+      "startups = flood_st, ghs_mst\n"
+      "modes = single\n"
+      "reps = 2\n");
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  return parsed.spec;
+}
+
+struct CampaignBytes {
+  std::string csv;
+  std::string jsonl;
+  std::vector<TrialOutcome> outcomes;
+};
+
+CampaignBytes run_with_threads(unsigned threads) {
+  const CampaignSpec spec = small_grid();
+  std::ostringstream csv;
+  std::ostringstream jsonl;
+  CsvSink csv_sink(csv);
+  JsonlSink jsonl_sink(jsonl);
+  RunnerConfig config;
+  config.threads = threads;
+  std::vector<TrialOutcome> outcomes =
+      run_campaign(spec, config, {&csv_sink, &jsonl_sink});
+  return {csv.str(), jsonl.str(), std::move(outcomes)};
+}
+
+// The deterministic-commit-order contract: the same campaign run with 1, 2,
+// and N worker threads produces byte-identical CSV/JSONL output.
+TEST(CampaignRunnerTest, OutputBytesIndependentOfThreadCount) {
+  const CampaignBytes one = run_with_threads(1);
+  ASSERT_FALSE(one.csv.empty());
+  ASSERT_FALSE(one.jsonl.empty());
+  for (const unsigned threads : {2u, 5u}) {
+    const CampaignBytes many = run_with_threads(threads);
+    EXPECT_EQ(one.csv, many.csv) << "CSV differs at threads=" << threads;
+    EXPECT_EQ(one.jsonl, many.jsonl)
+        << "JSONL differs at threads=" << threads;
+  }
+}
+
+TEST(CampaignRunnerTest, OutcomesCommitInGridOrder) {
+  const CampaignBytes run = run_with_threads(3);
+  const std::vector<Trial> trials = expand(small_grid());
+  ASSERT_EQ(run.outcomes.size(), trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(run.outcomes[i].trial.index, i);
+    EXPECT_EQ(run.outcomes[i].trial.family, trials[i].family);
+  }
+}
+
+// Trial isolation: one cell re-run from its coordinates alone reproduces
+// the full-campaign row (the `mdst_lab reproduce --cell` contract).
+TEST(CampaignRunnerTest, ReproduceSingleCellMatchesCampaignRow) {
+  const CampaignSpec spec = small_grid();
+  const CampaignBytes run = run_with_threads(4);
+  for (const std::size_t index : {0u, 5u, 9u, 15u}) {
+    ASSERT_LT(index, run.outcomes.size());
+    const TrialOutcome solo =
+        run_campaign_trial(spec, trial_at(spec, index));
+    const TrialOutcome& in_run = run.outcomes[index];
+    EXPECT_EQ(outcome_fields(solo), outcome_fields(in_run))
+        << "cell " << index << " did not reproduce";
+  }
+}
+
+TEST(CampaignRunnerTest, AggregatorGroupsRepsIntoCells) {
+  const CampaignSpec spec = small_grid();
+  Aggregator aggregator;
+  RunnerConfig config;
+  config.threads = 2;
+  run_campaign(spec, config, {&aggregator});
+  // 2 families x 1 size x 2 delays x 2 startups x 1 mode = 8 cells, 2 reps
+  // each.
+  ASSERT_EQ(aggregator.cells().size(), 8u);
+  for (const CellAggregate& cell : aggregator.cells()) {
+    EXPECT_EQ(cell.trials, 2u);
+    EXPECT_EQ(cell.messages.accumulator.count(), 2u);
+    EXPECT_GE(cell.gap_max, cell.gap_min);
+    EXPECT_GE(cell.messages.p90(), cell.messages.samples.min());
+  }
+  // Summary renders one row per cell.
+  EXPECT_EQ(aggregator.summary_table().rows(), 8u);
+}
+
+// A failing trial must abort with the trial's coordinates in the message —
+// on the sequential path and the pool path alike — so the user can jump
+// straight to `reproduce --cell`.
+TEST(CampaignRunnerTest, FailingTrialNamesItsCoordinates) {
+  ParseResult parsed = parse_spec(
+      "name = doomed\nfamilies = complete\nsizes = 32\nreps = 2\n"
+      "max_messages = 10\n");  // cap far below any real run -> loud abort
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  for (const unsigned threads : {1u, 3u}) {
+    RunnerConfig config;
+    config.threads = threads;
+    try {
+      run_campaign(parsed.spec, config, {});
+      FAIL() << "campaign unexpectedly succeeded at threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("campaign 'doomed' failed"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("trial 0"), std::string::npos) << message;
+      EXPECT_NE(message.find("complete n=32"), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(CampaignRunnerTest, MoreThreadsThanTrialsIsFine) {
+  const ParseResult parsed =
+      parse_spec("families = grid\nsizes = 16\nreps = 2\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  RunnerConfig config;
+  config.threads = 16;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(parsed.spec, config, {});
+  EXPECT_EQ(outcomes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdst::campaign

@@ -1,0 +1,102 @@
+// Sink formats are pinned by golden files: the CSV/JSONL bytes for a fixed
+// small campaign must never drift silently, because BENCH_history.jsonl and
+// downstream notebooks parse them. To regenerate after an intended format
+// change, run once with MDST_BLESS=1 in the environment, inspect the diff,
+// and commit:
+//
+//   MDST_BLESS=1 ./build/mdst_tests --gtest_filter='CampaignSinkTest.*'
+#include "campaign/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/runner.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+const char* kGoldenDir = MDST_SOURCE_DIR "/tests/campaign/golden";
+
+CampaignSpec golden_spec() {
+  // Deterministic families only; every metric is schedule-deterministic
+  // given the spec seeds, so these bytes are stable across platforms.
+  const ParseResult parsed = parse_spec(
+      "name = golden\n"
+      "base_seed = 0xfeed\n"
+      "families = grid, complete\n"
+      "sizes = 16\n"
+      "delays = unit, uniform(2,5)\n"
+      "startups = dfs_st\n"
+      "modes = single\n"
+      "reps = 2\n");
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  return parsed.spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void compare_or_bless(const std::string& actual, const std::string& name) {
+  const std::string path = std::string(kGoldenDir) + "/" + name;
+  if (std::getenv("MDST_BLESS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "blessed " << path;
+  }
+  EXPECT_EQ(actual, read_file(path)) << "golden drift in " << name
+                                     << " — if intended, re-bless "
+                                        "(MDST_BLESS=1) and commit";
+}
+
+TEST(CampaignSinkTest, CsvMatchesGolden) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  run_campaign(golden_spec(), RunnerConfig{1}, {&sink});
+  compare_or_bless(out.str(), "small.csv");
+}
+
+TEST(CampaignSinkTest, JsonlMatchesGolden) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  run_campaign(golden_spec(), RunnerConfig{1}, {&sink});
+  compare_or_bless(out.str(), "small.jsonl");
+}
+
+TEST(CampaignSinkTest, CsvQuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  run_campaign(golden_spec(), RunnerConfig{1}, {&sink});
+  // The uniform(2,5) delay label contains a comma and must arrive quoted.
+  EXPECT_NE(out.str().find("\"uniform(2,5)\""), std::string::npos);
+}
+
+TEST(CampaignSinkTest, JsonlRowsParseAsFlatObjects) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  run_campaign(golden_spec(), RunnerConfig{1}, {&sink});
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    // Strings are quoted, numbers are not.
+    EXPECT_NE(line.find("\"family\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"total_messages\":"), std::string::npos);
+    EXPECT_EQ(line.find("\"total_messages\":\""), std::string::npos);
+  }
+  EXPECT_EQ(rows, golden_spec().trial_count());
+}
+
+}  // namespace
+}  // namespace mdst::campaign

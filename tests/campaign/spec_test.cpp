@@ -1,0 +1,194 @@
+// Spec parsing: accepted grids expand to the documented order; every
+// rejection diagnostic names the offending line. The campaign tables are
+// only as trustworthy as this layer's validation.
+#include "campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+TEST(CampaignSpecTest, ParsesFullGrid) {
+  const ParseResult result = parse_spec(R"(
+# full grid
+name      = everything
+base_seed = 0x1234
+families  = gnp_sparse, geometric
+sizes     = 16, 64..256
+delays    = unit, uniform(1,10), heavy_tail(0.2)
+startups  = flood_st, ghs_mst
+modes     = single, concurrent
+reps      = 4
+max_rounds = 500
+target_degree = 3
+max_messages = 1000000
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  const CampaignSpec& spec = result.spec;
+  EXPECT_EQ(spec.name, "everything");
+  EXPECT_EQ(spec.base_seed, 0x1234u);
+  EXPECT_EQ(spec.families,
+            (std::vector<std::string>{"gnp_sparse", "geometric"}));
+  // 64..256 doubles: 64, 128, 256.
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{16, 64, 128, 256}));
+  ASSERT_EQ(spec.delays.size(), 3u);
+  EXPECT_EQ(spec.delays[0].label, "unit");
+  EXPECT_EQ(spec.delays[1].label, "uniform(1,10)");
+  EXPECT_EQ(spec.delays[2].label, "heavy_tail(0.2)");
+  EXPECT_EQ(spec.startups,
+            (std::vector<analysis::StartupProtocol>{
+                analysis::StartupProtocol::kFloodSt,
+                analysis::StartupProtocol::kGhsMst}));
+  EXPECT_EQ(spec.modes,
+            (std::vector<core::EngineMode>{
+                core::EngineMode::kSingleImprovement,
+                core::EngineMode::kConcurrent}));
+  EXPECT_EQ(spec.reps, 4u);
+  EXPECT_EQ(spec.max_rounds, 500u);
+  EXPECT_EQ(spec.target_degree, 3);
+  EXPECT_EQ(spec.max_messages, 1'000'000u);
+  EXPECT_EQ(spec.trial_count(), 2u * 4 * 3 * 2 * 2 * 4);
+}
+
+TEST(CampaignSpecTest, MinimalSpecGetsDefaults) {
+  const ParseResult result = parse_spec("families = grid\nsizes = 16\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.spec.delays.size(), 1u);
+  EXPECT_EQ(result.spec.delays[0].label, "unit");
+  ASSERT_EQ(result.spec.startups.size(), 1u);
+  EXPECT_EQ(result.spec.startups[0], analysis::StartupProtocol::kFloodSt);
+  ASSERT_EQ(result.spec.modes.size(), 1u);
+  EXPECT_EQ(result.spec.modes[0], core::EngineMode::kSingleImprovement);
+  EXPECT_EQ(result.spec.reps, 5u);
+  EXPECT_EQ(result.spec.trial_count(), 5u);
+}
+
+struct RejectionCase {
+  const char* text;
+  const char* expected_line;     // "line N:"
+  const char* expected_snippet;  // substring of the diagnostic
+};
+
+class CampaignSpecRejectionTest
+    : public ::testing::TestWithParam<RejectionCase> {};
+
+TEST_P(CampaignSpecRejectionTest, DiagnosticNamesLineAndCause) {
+  const RejectionCase& c = GetParam();
+  const ParseResult result = parse_spec(c.text);
+  EXPECT_FALSE(result.ok) << "spec unexpectedly accepted:\n" << c.text;
+  EXPECT_NE(result.error.find(c.expected_line), std::string::npos)
+      << "diagnostic missing '" << c.expected_line << "': " << result.error;
+  EXPECT_NE(result.error.find(c.expected_snippet), std::string::npos)
+      << "diagnostic missing '" << c.expected_snippet << "': " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rejections, CampaignSpecRejectionTest,
+    ::testing::Values(
+        RejectionCase{"families = gnp_sparse\nsizes = 16\nbogus = 1\n",
+                      "line 3:", "unknown key 'bogus'"},
+        RejectionCase{"families = atlantis\nsizes = 16\n", "line 1:",
+                      "unknown family 'atlantis'"},
+        RejectionCase{"families = grid\nsizes = 2\n", "line 2:", "too small"},
+        RejectionCase{"families = grid\nsizes = 64..16\n", "line 2:",
+                      "bad size range"},
+        RejectionCase{"families = grid\nsizes = 16\ndelays = gaussian(3)\n",
+                      "line 3:", "unknown delay model 'gaussian'"},
+        RejectionCase{"families = grid\nsizes = 16\ndelays = uniform(9,2)\n",
+                      "line 3:", "1 <= lo <= hi"},
+        RejectionCase{"families = grid\nsizes = 16\ndelays = heavy_tail(1.5)\n",
+                      "line 3:", "p in (0,1]"},
+        RejectionCase{"families = grid\nsizes = 16\nstartups = telepathy\n",
+                      "line 3:", "unknown startup 'telepathy'"},
+        RejectionCase{"families = grid\nsizes = 16\nmodes = turbo\n",
+                      "line 3:", "unknown mode 'turbo'"},
+        RejectionCase{"families = grid\nsizes = 16\nreps = 0\n", "line 3:",
+                      "bad reps"},
+        RejectionCase{"families = grid\n\nsizes = 16\nsizes = 32\n",
+                      "line 4:", "duplicate key 'sizes'"},
+        RejectionCase{"families = grid\nsizes = 16\nthis is not a kv line\n",
+                      "line 3:", "expected 'key = value'"},
+        RejectionCase{"families = grid\nsizes =\n", "line 2:",
+                      "empty value"},
+        RejectionCase{"sizes = 16\n", "line 1:",
+                      "missing required key 'families'"},
+        RejectionCase{"families = grid\n", "line 1:",
+                      "missing required key 'sizes'"}));
+
+TEST(CampaignSpecTest, ExpandOrderIsNestedLoopAndIndexed) {
+  ParseResult result = parse_spec(
+      "families = grid, complete\nsizes = 16, 32\ndelays = unit, "
+      "uniform(2,5)\nstartups = flood_st, dfs_st\nmodes = single\nreps = 2\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::vector<Trial> trials = expand(result.spec);
+  ASSERT_EQ(trials.size(), result.spec.trial_count());
+  // rep is the innermost axis; family the outermost.
+  EXPECT_EQ(trials[0].family, "grid");
+  EXPECT_EQ(trials[0].repetition, 0u);
+  EXPECT_EQ(trials[1].repetition, 1u);
+  EXPECT_EQ(trials[1].startup, analysis::StartupProtocol::kFloodSt);
+  EXPECT_EQ(trials[2].startup, analysis::StartupProtocol::kDfsSt);
+  EXPECT_EQ(trials.back().family, "complete");
+  EXPECT_EQ(trials.back().n, 32u);
+  EXPECT_EQ(trials.back().delay.label, "uniform(2,5)");
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+  }
+}
+
+TEST(CampaignSpecTest, TrialAtMatchesExpand) {
+  ParseResult result = parse_spec(
+      "families = grid, complete, hypercube\nsizes = 16, 64\ndelays = unit, "
+      "heavy_tail(0.5)\nstartups = flood_st, ghs_mst\nmodes = single, "
+      "concurrent\nreps = 3\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::vector<Trial> trials = expand(result.spec);
+  for (const Trial& expected : trials) {
+    const Trial got = trial_at(result.spec, expected.index);
+    EXPECT_EQ(got.family, expected.family);
+    EXPECT_EQ(got.n, expected.n);
+    EXPECT_EQ(got.delay.label, expected.delay.label);
+    EXPECT_EQ(got.startup, expected.startup);
+    EXPECT_EQ(got.mode, expected.mode);
+    EXPECT_EQ(got.repetition, expected.repetition);
+    EXPECT_EQ(got.index, expected.index);
+  }
+  EXPECT_THROW(trial_at(result.spec, trials.size()), ContractViolation);
+}
+
+TEST(CampaignSpecTest, DelayLabelsRoundTripExactly) {
+  // A label pasted back into a spec must reproduce the same distribution,
+  // including p values that need more than default stream precision.
+  for (const char* token :
+       {"heavy_tail(0.2)", "heavy_tail(0.123456789)", "uniform(3,17)"}) {
+    DelaySpec first;
+    std::string error;
+    ASSERT_TRUE(parse_delay(token, first, error)) << error;
+    DelaySpec second;
+    ASSERT_TRUE(parse_delay(first.label, second, error)) << error;
+    EXPECT_EQ(first.label, second.label);
+  }
+  DelaySpec precise;
+  std::string error;
+  ASSERT_TRUE(parse_delay("heavy_tail(0.123456789)", precise, error));
+  EXPECT_EQ(precise.label, "heavy_tail(0.123456789)");
+}
+
+TEST(CampaignSpecTest, LoadSpecReportsMissingFile) {
+  const ParseResult result = load_spec("/nonexistent/path.campaign");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+TEST(CampaignSpecTest, CommentsAndBlankLinesIgnored) {
+  const ParseResult result = parse_spec(
+      "# header comment\n\nfamilies = grid  # trailing comment\n\nsizes = "
+      "16\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.families, (std::vector<std::string>{"grid"}));
+}
+
+}  // namespace
+}  // namespace mdst::campaign
