@@ -15,6 +15,7 @@
 #include "bench/bench_util.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_builders.hpp"
+#include "mdst/annotations.hpp"
 #include "mdst/engine.hpp"
 #include "mdst/messages.hpp"
 #include "support/cli.hpp"
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
     };
     // Split the trace into rounds via StartRound deliveries at round roots:
     // simpler and robust — use per-round windows from annotations.
+    // Round boundaries come straight off the structured annotation tags
+    // (mdst/annotations.hpp) — no label parsing.
     const auto& marks = sim.metrics().annotations();
     struct Window {
       sim::Time begin = 0, end = 0;
@@ -67,10 +70,11 @@ int main(int argc, char** argv) {
     };
     std::vector<Window> windows;
     for (std::size_t i = 0; i < marks.size(); ++i) {
-      if (marks[i].label.rfind("round=", 0) == 0) {
+      if (marks[i].tagged &&
+          marks[i].tag.kind ==
+              static_cast<std::uint8_t>(core::RoundNote::kRoundStart)) {
         Window w;
-        w.round = static_cast<std::uint32_t>(
-            std::stoul(marks[i].label.substr(6)));
+        w.round = marks[i].tag.round;
         w.begin = marks[i].time;
         w.end = ~sim::Time{0};
         if (!windows.empty()) windows.back().end = marks[i].time;

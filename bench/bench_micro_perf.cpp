@@ -124,6 +124,31 @@ void BM_DistributedMdst(benchmark::State& state) {
 // --benchmark_filter=-.*4096 when iterating locally.
 BENCHMARK(BM_DistributedMdst)->Arg(32)->Arg(64)->Arg(128)->Arg(1024)->Arg(4096);
 
+// Mode ablation on the same instances: kConcurrent lets every degree-k
+// node met by the wave improve its own subtree within the round (§3.2.6),
+// trading more messages per round for fewer rounds — the interesting
+// comparison against BM_DistributedMdst (kSingleImprovement) is wall time
+// per completed run, not msgs/s.
+void BM_DistributedMdstConcurrent(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(5);  // same seed/instance as BM_DistributedMdst
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const sim::SimConfig sim_config =
+      n >= 2048 ? sim::SimConfig::large_n_sweep() : sim::SimConfig{};
+  core::Options options;
+  options.mode = core::EngineMode::kConcurrent;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const core::RunResult run = core::run_mdst(g, start, options, sim_config);
+    messages += run.metrics.total_messages();
+    benchmark::DoNotOptimize(run.final_degree);
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistributedMdstConcurrent)->Arg(128)->Arg(1024);
+
 void BM_ExactSolver(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   support::Rng rng(6);

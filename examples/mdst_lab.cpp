@@ -12,6 +12,7 @@
 // re-runs any single row to identical metrics (see docs/campaign.md).
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/runner.hpp"
@@ -30,7 +31,8 @@ int usage(std::ostream& out, int exit_code) {
          "\n"
          "subcommands:\n"
          "  run           execute a campaign spec   (--spec, --threads,\n"
-         "                --csv, --jsonl, --progress, --no-summary)\n"
+         "                --csv, --jsonl, --progress, --no-summary,\n"
+         "                --shard=i/k for fleet-splitting across machines)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
          "  reproduce     re-run one grid cell       (--spec, --cell)\n"
          "  list-families show the graph families usable in specs\n"
@@ -98,10 +100,38 @@ int cmd_expand(int argc, char** argv) {
   return 0;
 }
 
+/// Parse a `--shard i/k` token ("2/5": this machine runs stripe 2 of 5).
+bool parse_shard(const std::string& token, unsigned& index, unsigned& count,
+                 std::string& error) {
+  index = 0;
+  count = 1;
+  if (token.empty()) return true;
+  const std::size_t slash = token.find('/');
+  std::size_t index_end = 0;
+  std::size_t count_end = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument("no slash");
+    const unsigned long i = std::stoul(token.substr(0, slash), &index_end);
+    const unsigned long k = std::stoul(token.substr(slash + 1), &count_end);
+    if (index_end != slash || count_end != token.size() - slash - 1 ||
+        k == 0 || i >= k) {
+      throw std::invalid_argument("bad range");
+    }
+    index = static_cast<unsigned>(i);
+    count = static_cast<unsigned>(k);
+    return true;
+  } catch (const std::exception&) {
+    error = "--shard must be i/k with 0 <= i < k (e.g. --shard=2/5), got '" +
+            token + "'";
+    return false;
+  }
+}
+
 int cmd_run(int argc, char** argv) {
   std::string spec_path;
   std::string csv_path;
   std::string jsonl_path;
+  std::string shard;
   std::uint64_t threads = 0;
   std::uint64_t progress = 0;
   bool summary = true;
@@ -109,6 +139,9 @@ int cmd_run(int argc, char** argv) {
   cli.add_string("spec", &spec_path, "campaign spec file");
   cli.add_string("csv", &csv_path, "write per-trial rows as CSV");
   cli.add_string("jsonl", &jsonl_path, "write per-trial rows as JSON lines");
+  cli.add_string("shard", &shard,
+                 "run stripe i of k machines, as i/k (e.g. 2/5); rows keep "
+                 "their global grid indices");
   cli.add_uint("threads", &threads,
                "worker threads (0 = all hardware threads)");
   cli.add_uint("progress", &progress,
@@ -122,6 +155,15 @@ int cmd_run(int argc, char** argv) {
   if (!parsed.ok) {
     std::cerr << parsed.error << '\n';
     return 1;
+  }
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  {
+    std::string shard_error;
+    if (!parse_shard(shard, shard_index, shard_count, shard_error)) {
+      std::cerr << shard_error << '\n';
+      return 1;
+    }
   }
   campaign::CampaignSpec spec;
   if (!load_or_complain(spec_path, spec)) return 1;
@@ -153,6 +195,8 @@ int cmd_run(int argc, char** argv) {
 
   campaign::RunnerConfig runner;
   runner.threads = static_cast<unsigned>(threads);
+  runner.shard_index = shard_index;
+  runner.shard_count = shard_count;
   support::Timer timer;
   std::vector<campaign::TrialOutcome> outcomes;
   try {
@@ -164,11 +208,23 @@ int cmd_run(int argc, char** argv) {
   const double elapsed_ms = timer.millis();
 
   if (summary) {
-    aggregator.summary_table().print(
-        std::cout, "campaign '" + spec.name + "' — per-cell summary");
+    // Repetitions stripe across shards (rep is the innermost grid axis),
+    // so a shard-local summary aggregates only ~reps/k samples per cell —
+    // say so in the title rather than passing it off as the campaign's.
+    std::string title = "campaign '" + spec.name + "' — per-cell summary";
+    if (shard_count > 1) {
+      title += " (shard " + std::to_string(shard_index) + "/" +
+               std::to_string(shard_count) + " only — partial reps per cell)";
+    }
+    aggregator.summary_table().print(std::cout, title);
   }
-  std::cout << outcomes.size() << " trials in "
-            << support::format_double(elapsed_ms / 1000.0, 1) << " s";
+  std::cout << outcomes.size() << " trials";
+  if (shard_count > 1) {
+    std::cout << " (shard " << shard_index << "/" << shard_count << " of "
+              << spec.trial_count() << ")";
+  }
+  std::cout << " in " << support::format_double(elapsed_ms / 1000.0, 1)
+            << " s";
   if (!csv_path.empty()) std::cout << "; csv -> " << csv_path;
   if (!jsonl_path.empty()) std::cout << "; jsonl -> " << jsonl_path;
   std::cout << "\n";

@@ -17,12 +17,21 @@ Exits 1 listing the regressed benches, 0 otherwise. Run it *before*
 appending the fresh record so a regressed night neither pollutes the
 baseline nor silently masks the next comparison.
 
+`--table PATTERN` (repeatable, fnmatch syntax) restricts the comparison to
+the benches whose name matches any pattern — e.g.
+`--table 'BM_DistributedMdst/128'` gates specifically on the MDST/128
+acceptance number and reports it by name, on top of (or instead of) the
+whole-suite sweep. A --table run that matches nothing is an error, not a
+pass: a typo must not silently disable the gate.
+
 Usage:
     check_bench_regression.py --micro BENCH_micro.json \
-        --history BENCH_history.jsonl [--threshold 0.10] [--window 5]
+        --history BENCH_history.jsonl [--threshold 0.10] [--window 5] \
+        [--table GLOB ...]
 """
 
 import argparse
+import fnmatch
 import json
 import os
 import statistics
@@ -92,6 +101,11 @@ def main() -> int:
     parser.add_argument("--window", type=int, default=5,
                         help="history records in the median baseline "
                              "(default 5)")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="GLOB",
+                        help="only compare benches whose name matches this "
+                             "fnmatch pattern (repeatable); matching "
+                             "nothing in the fresh run is an error")
     args = parser.parse_args()
 
     if not os.path.exists(args.history):
@@ -106,6 +120,16 @@ def main() -> int:
               f"baseline is the median of those {used_records} "
               "(still gating, not passing)")
     current = load_micro(args.micro)
+    if args.table:
+        selected = {name for name in current
+                    if any(fnmatch.fnmatch(name, pattern)
+                           for pattern in args.table)}
+        if not selected:
+            print(f"--table patterns {args.table} match no bench in the "
+                  "fresh run — refusing to pass silently")
+            return 1
+        current = {name: entry for name, entry in current.items()
+                   if name in selected}
 
     regressions = []
     compared = 0
@@ -127,6 +151,15 @@ def main() -> int:
             marker = "  << REGRESSION"
         print(f"{name:50s} {metric:12s} {delta:+7.1%}{marker}")
 
+    if args.table and compared < len(current):
+        # A named gate must gate: every selected bench needs a baseline.
+        # (A missing/empty history file already passed above — that is the
+        # legitimate first-night case; a *present* history that lacks the
+        # named bench means a rename or broken append, not a pass.)
+        missing = sorted(set(current) - set(previous))
+        print(f"--table selected {sorted(current)} but history has no "
+              f"baseline for {missing} — refusing to pass silently")
+        return 1
     if not compared:
         print("no comparable benches between run and history — pass")
         return 0

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Plot campaign JSONL output: gap / messages / causal time vs n.
+
+Input is the per-trial JSONL stream written by `mdst_lab run --jsonl=...`
+(one object per line, fixed key order; see docs/campaign.md). The script
+aggregates repetitions per (family, n, delay, startup, mode) cell (mean,
+plus min/max whiskers), and draws one figure per (family, startup, mode)
+combination with three stacked panels:
+
+    gap (k_final - lower bound)   vs n
+    total messages                vs n   (log-log)
+    total causal time             vs n   (log-log)
+
+one series per delay model, so asynchrony sensitivity is read off a single
+figure. Figures are written as PNG next to the output prefix; nothing is
+ever displayed (matplotlib's Agg backend), so the script is CI-safe.
+
+`--check-only` parses and aggregates, prints what *would* be plotted, and
+exits without importing matplotlib at all — this is the mode the ctest
+smoke test runs, keeping tier-1 independent of matplotlib being installed.
+
+Usage:
+    plot_campaign.py trials.jsonl --out plots/campaign
+    plot_campaign.py trials.jsonl --check-only
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_FIELDS = (
+    "family", "n", "delay", "startup", "mode", "rep",
+    "gap", "total_messages", "total_time",
+)
+
+METRICS = (
+    ("gap", "gap (k_final − lower bound)", False),
+    ("total_messages", "total messages", True),
+    ("total_time", "total causal time", True),
+)
+
+
+def load_rows(path):
+    """Parse the JSONL file; every malformed line is a hard error naming
+    its line number (campaign output is machine-written — silence would
+    hide a truncated run)."""
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON: {error}")
+            missing = [f for f in REQUIRED_FIELDS if f not in row]
+            if missing:
+                raise SystemExit(
+                    f"{path}:{lineno}: missing field(s) {', '.join(missing)}"
+                    " — is this mdst_lab --jsonl output?")
+            rows.append(row)
+    if not rows:
+        raise SystemExit(f"{path}: no trial rows")
+    return rows
+
+
+def aggregate(rows):
+    """(family, startup, mode) -> delay -> n -> {metric: [values]}."""
+    cells = collections.defaultdict(
+        lambda: collections.defaultdict(
+            lambda: collections.defaultdict(
+                lambda: collections.defaultdict(list))))
+    for row in rows:
+        figure_key = (row["family"], row["startup"], row["mode"])
+        per_delay = cells[figure_key][row["delay"]][int(row["n"])]
+        for metric, _, _ in METRICS:
+            per_delay[metric].append(float(row[metric]))
+    return cells
+
+
+def series_of(per_n, metric):
+    """Sorted (n, mean, min, max) tuples for one delay/metric."""
+    series = []
+    for n in sorted(per_n):
+        values = per_n[n][metric]
+        series.append((n, sum(values) / len(values), min(values),
+                       max(values)))
+    return series
+
+
+def describe(cells, out=sys.stdout):
+    for (family, startup, mode), delays in sorted(cells.items()):
+        sizes = sorted({n for per_n in delays.values() for n in per_n})
+        print(f"figure: family={family} startup={startup} mode={mode} — "
+              f"{len(delays)} delay series over n={sizes}", file=out)
+        for delay in sorted(delays):
+            for metric, _, _ in METRICS:
+                points = series_of(delays[delay], metric)
+                compact = ", ".join(f"{n}:{mean:.3g}" for n, mean, _, _ in
+                                    points)
+                print(f"  {delay:>16s} {metric:>15s}: {compact}", file=out)
+
+
+def plot(cells, out_prefix):
+    import matplotlib
+    matplotlib.use("Agg")  # never require a display
+    import matplotlib.pyplot as plt
+
+    written = []
+    for (family, startup, mode), delays in sorted(cells.items()):
+        fig, axes = plt.subplots(
+            len(METRICS), 1, figsize=(7, 10), sharex=True)
+        for axis, (metric, label, log_scale) in zip(axes, METRICS):
+            for delay in sorted(delays):
+                points = series_of(delays[delay], metric)
+                ns = [p[0] for p in points]
+                means = [p[1] for p in points]
+                lows = [p[1] - p[2] for p in points]
+                highs = [p[3] - p[1] for p in points]
+                axis.errorbar(ns, means, yerr=[lows, highs], marker="o",
+                              capsize=3, label=delay)
+            axis.set_ylabel(label)
+            if log_scale:
+                axis.set_xscale("log", base=2)
+                axis.set_yscale("log")
+            axis.grid(True, alpha=0.3)
+        axes[0].legend(title="delay model")
+        axes[-1].set_xlabel("n")
+        fig.suptitle(f"{family} · startup={startup} · mode={mode}")
+        fig.tight_layout()
+        name = f"{out_prefix}-{family}-{startup}-{mode}.png"
+        fig.savefig(name, dpi=120)
+        plt.close(fig)
+        written.append(name)
+    return written
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="mdst_lab --jsonl output file")
+    parser.add_argument("--out", default="campaign",
+                        help="output prefix for PNGs (default: campaign)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="parse + aggregate and print the plot plan; "
+                             "no matplotlib import, nothing written")
+    args = parser.parse_args()
+
+    cells = aggregate(load_rows(args.jsonl))
+    if args.check_only:
+        describe(cells)
+        print(f"ok: {sum(len(d) for d in cells.values())} series across "
+              f"{len(cells)} figure(s)")
+        return 0
+    for name in plot(cells, args.out):
+        print(f"wrote {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,75 @@ class CheckBenchRegressionTest(unittest.TestCase):
                                    extra_args=("--window", "2"))
         self.assertEqual(code, 0, out)
 
+    def run_check_two_benches(self, mdst_rate, flood_rate, extra_args=()):
+        """Fresh run + history with MDST/128 and a flood bench, so --table
+        filtering has something to exclude."""
+        mdst = micro_json(rate=mdst_rate)["benchmarks"][0]
+        flood = micro_json(rate=flood_rate,
+                           name="BM_SimulatorFloodSt/64")["benchmarks"][0]
+        history = json.dumps({
+            "timestamp": "t", "commit": "c",
+            "micro": {
+                "BM_DistributedMdst/128":
+                    {"real_time_ns": 100.0, "msgs/s": 30e6},
+                "BM_SimulatorFloodSt/64":
+                    {"real_time_ns": 100.0, "msgs/s": 30e6},
+            }})
+        return self.run_check({"benchmarks": [mdst, flood]}, [history],
+                              extra_args=extra_args)
+
+    def test_table_filter_gates_only_matching_benches(self):
+        # Flood regressed 50% but the gate is scoped to MDST/128: pass,
+        # and the flood bench must not even be compared.
+        code, out = self.run_check_two_benches(
+            29e6, 15e6, extra_args=("--table", "BM_DistributedMdst/*"))
+        self.assertEqual(code, 0, out)
+        self.assertIn("BM_DistributedMdst/128", out)
+        self.assertNotIn("BM_SimulatorFloodSt/64", out)
+
+    def test_table_filter_reports_regression_by_name(self):
+        code, out = self.run_check_two_benches(
+            20e6, 30e6, extra_args=("--table", "BM_DistributedMdst/128"))
+        self.assertEqual(code, 1, out)
+        self.assertIn("BM_DistributedMdst/128", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_table_filter_matching_nothing_fails(self):
+        # A typo in the pattern must not silently disable the gate.
+        code, out = self.run_check_two_benches(
+            30e6, 30e6, extra_args=("--table", "BM_Distributted/*"))
+        self.assertEqual(code, 1, out)
+        self.assertIn("match no bench", out)
+
+    def test_table_filter_requires_a_history_baseline(self):
+        # History exists but lacks the named bench (rename / broken
+        # append): the named gate must fail, not silently compare nothing.
+        history = json.dumps({
+            "timestamp": "t", "commit": "c",
+            "micro": {"BM_SomethingElse/1":
+                      {"real_time_ns": 100.0, "msgs/s": 30e6}}})
+        code, out = self.run_check(
+            micro_json(rate=30e6), [history],
+            extra_args=("--table", "BM_DistributedMdst/*"))
+        self.assertEqual(code, 1, out)
+        self.assertIn("no baseline", out)
+
+    def test_table_filter_with_missing_history_file_still_passes(self):
+        # First night ever: no history file at all is the legitimate
+        # bootstrap case and keeps passing, --table or not.
+        code, out = self.run_check(
+            micro_json(rate=30e6), None,
+            extra_args=("--table", "BM_DistributedMdst/*"))
+        self.assertEqual(code, 0, out)
+
+    def test_table_filter_accepts_multiple_patterns(self):
+        code, out = self.run_check_two_benches(
+            29e6, 29e6, extra_args=("--table", "BM_DistributedMdst/*",
+                                    "--table", "BM_SimulatorFloodSt/*"))
+        self.assertEqual(code, 0, out)
+        self.assertIn("BM_DistributedMdst/128", out)
+        self.assertIn("BM_SimulatorFloodSt/64", out)
+
 
 if __name__ == "__main__":
     unittest.main()

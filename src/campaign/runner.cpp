@@ -11,6 +11,7 @@
 #include "analysis/experiment.hpp"
 #include "campaign/sink.hpp"
 #include "mdst/bounds.hpp"
+#include "support/assert.hpp"
 #include "support/rng.hpp"
 
 namespace mdst::campaign {
@@ -73,7 +74,22 @@ void commit(const TrialOutcome& outcome, const std::vector<Sink*>& sinks) {
 std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
                                        const RunnerConfig& config,
                                        const std::vector<Sink*>& sinks) {
-  const std::vector<Trial> trials = expand(spec);
+  MDST_REQUIRE(config.shard_count >= 1, "runner: shard_count must be >= 1");
+  MDST_REQUIRE(config.shard_index < config.shard_count,
+               "runner: shard_index must be < shard_count");
+  std::vector<Trial> trials = expand(spec);
+  if (config.shard_count > 1) {
+    // Deterministic striping: trial.index keeps its global grid value, so
+    // shard rows interleave back into the unsharded output.
+    std::vector<Trial> stripe;
+    stripe.reserve(trials.size() / config.shard_count + 1);
+    for (Trial& trial : trials) {
+      if (trial.index % config.shard_count == config.shard_index) {
+        stripe.push_back(std::move(trial));
+      }
+    }
+    trials = std::move(stripe);
+  }
   for (Sink* sink : sinks) sink->begin(spec, trials.size());
   std::vector<TrialOutcome> outcomes;
   outcomes.reserve(trials.size());

@@ -55,11 +55,22 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial);
 struct RunnerConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned threads = 0;
+  /// Fleet-splitting (`mdst_lab run --shard i/k`): this invocation runs
+  /// only the trials with `index % shard_count == shard_index` — a
+  /// deterministic stripe of the expanded grid, so k machines partition
+  /// one campaign with no coordination. Sinks receive the shard-local
+  /// rows, still strictly in grid order and still carrying their *global*
+  /// grid indices; interleaving the k shards' data rows by stripe
+  /// reconstructs the unsharded output byte-for-byte
+  /// (tests/campaign/runner_test.cpp pins the union).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
 };
 
-/// Execute the full grid. Outcomes stream to every sink in grid order and
-/// are returned in grid order. A failing trial aborts the run with a
-/// std::runtime_error naming the trial after all in-flight workers drain.
+/// Execute the grid (or this invocation's shard stripe of it). Outcomes
+/// stream to every sink in grid order and are returned in grid order. A
+/// failing trial aborts the run with a std::runtime_error naming the trial
+/// after all in-flight workers drain.
 std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
                                        const RunnerConfig& config,
                                        const std::vector<Sink*>& sinks);

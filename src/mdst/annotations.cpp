@@ -1,0 +1,38 @@
+#include "mdst/annotations.hpp"
+
+#include "support/assert.hpp"
+
+namespace mdst::core {
+
+std::string format_round_note(const sim::AnnotationTag& tag) {
+  const std::string round = std::to_string(tag.round);
+  switch (static_cast<RoundNote>(tag.kind)) {
+    case RoundNote::kRoundStart:
+      return "round=" + round;
+    case RoundNote::kDecide:
+      return "decide round=" + round + " k_all=" + std::to_string(tag.a) +
+             " best=" + std::to_string(tag.b) +
+             " target=" + std::to_string(tag.c);
+    case RoundNote::kCut:
+      return "cut round=" + round + " k=" + std::to_string(tag.a);
+    case RoundNote::kWaveDone:
+      return "wave_done round=" + round +
+             " has_candidate=" + std::to_string(tag.a);
+    case RoundNote::kImprove:
+      return "improve round=" + round + " k=" + std::to_string(tag.a);
+    case RoundNote::kSubImprove:
+      return "subimprove round=" + round + " k=" + std::to_string(tag.a);
+    case RoundNote::kTerminate:
+      return "terminate round=" + round +
+             " reason=" + to_string(static_cast<StopReason>(tag.a)) +
+             " k_all=" + std::to_string(tag.b);
+  }
+  MDST_UNREACHABLE("format_round_note: unknown RoundNote kind");
+}
+
+std::string annotation_text(const sim::Annotation& annotation) {
+  return annotation.tagged ? format_round_note(annotation.tag)
+                           : annotation.label;
+}
+
+}  // namespace mdst::core

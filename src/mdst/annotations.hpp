@@ -1,0 +1,70 @@
+// Structured round annotations of the MDegST protocol.
+//
+// The root of each round emits checkpoints ("round started", "decide",
+// "cut", "wave_done", "improve"/"subimprove", "terminate") that the census
+// parser (engine.cpp) and the per-round benches diff for phase budgets.
+// The seed formatted each checkpoint into a heap-allocated std::string on
+// the hot path; they are now recorded as a sim::AnnotationTag — one kind
+// byte plus numeric fields — and formatted only at read time by
+// format_round_note(), which reproduces the seed strings byte-for-byte
+// (tests/runtime/annotation_equivalence_test.cpp pins this). Virtual
+// contexts (mock tests, replay tooling) still receive the formatted text
+// through sim::annotate_tagged's string fallback.
+#pragma once
+
+#include <string>
+
+#include "mdst/node.hpp"
+#include "runtime/metrics.hpp"
+
+namespace mdst::core {
+
+/// Kinds of the root-side round checkpoints, stored in
+/// sim::AnnotationTag::kind. 0 stays reserved for "no tag".
+enum class RoundNote : std::uint8_t {
+  kRoundStart = 1,  // "round=R"
+  kDecide,          // "decide round=R k_all=<a> best=<b> target=<c>"
+  kCut,             // "cut round=R k=<a>"
+  kWaveDone,        // "wave_done round=R has_candidate=<a>"
+  kImprove,         // "improve round=R k=<a>"
+  kSubImprove,      // "subimprove round=R k=<a>"
+  kTerminate,       // "terminate round=R reason=<StopReason a> k_all=<b>"
+};
+
+inline sim::AnnotationTag note_round_start(std::uint32_t round) {
+  return {static_cast<std::uint8_t>(RoundNote::kRoundStart), round, 0, 0, 0};
+}
+inline sim::AnnotationTag note_decide(std::uint32_t round, int k_all, int best,
+                                      graph::NodeName target) {
+  return {static_cast<std::uint8_t>(RoundNote::kDecide), round, k_all, best,
+          target};
+}
+inline sim::AnnotationTag note_cut(std::uint32_t round, int k) {
+  return {static_cast<std::uint8_t>(RoundNote::kCut), round, k, 0, 0};
+}
+inline sim::AnnotationTag note_wave_done(std::uint32_t round,
+                                         bool has_candidate) {
+  return {static_cast<std::uint8_t>(RoundNote::kWaveDone), round,
+          has_candidate ? 1 : 0, 0, 0};
+}
+inline sim::AnnotationTag note_improve(std::uint32_t round, int k) {
+  return {static_cast<std::uint8_t>(RoundNote::kImprove), round, k, 0, 0};
+}
+inline sim::AnnotationTag note_sub_improve(std::uint32_t round, int k) {
+  return {static_cast<std::uint8_t>(RoundNote::kSubImprove), round, k, 0, 0};
+}
+inline sim::AnnotationTag note_terminate(std::uint32_t round,
+                                         StopReason reason, int k_all) {
+  return {static_cast<std::uint8_t>(RoundNote::kTerminate), round,
+          static_cast<std::int64_t>(reason), k_all, 0};
+}
+
+/// Seed-style text of one tagged round note (byte-identical to the strings
+/// the seed allocated per round). Precondition: tag.kind is a RoundNote.
+std::string format_round_note(const sim::AnnotationTag& tag);
+
+/// Text of any annotation: tagged notes format on demand, string-labelled
+/// ones pass their label through.
+std::string annotation_text(const sim::Annotation& annotation);
+
+}  // namespace mdst::core

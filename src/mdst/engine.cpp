@@ -1,8 +1,10 @@
 #include "mdst/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/algorithms.hpp"
+#include "mdst/annotations.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
 
@@ -62,14 +64,72 @@ void validate_midrun(const Sim& simulation, const graph::Graph& g) {
   MDST_ASSERT(tree.spans(g), "mid-run: not a spanning tree of g");
 }
 
-std::vector<RoundStats> derive_round_stats(const std::vector<RoundMark>& marks) {
+/// One classified mark: what the census pass needs, read off the structured
+/// tag when present (the simulator path — no string parsing at all) or
+/// parsed from the seed-style label (legacy string annotations).
+struct MarkView {
+  RoundNote kind = RoundNote::kRoundStart;
+  std::uint32_t round = 0;  // meaningful for kRoundStart
+  int k_all = -1;           // meaningful for kDecide
+  bool recognized = false;
+};
+
+MarkView classify(const RoundMark& mark) {
+  MarkView view;
+  if (mark.tagged) {
+    view.kind = static_cast<RoundNote>(mark.tag.kind);
+    view.round = mark.tag.round;
+    if (view.kind == RoundNote::kDecide) {
+      view.k_all = static_cast<int>(mark.tag.a);
+    }
+    view.recognized = true;
+    return view;
+  }
+  const auto fields = support::split_whitespace(mark.label);
+  if (fields.empty()) return view;
+  if (support::starts_with(fields[0], "round=")) {
+    view.kind = RoundNote::kRoundStart;
+    view.round = static_cast<std::uint32_t>(std::stoul(fields[0].substr(6)));
+    view.recognized = true;
+  } else if (fields[0] == "decide") {
+    view.kind = RoundNote::kDecide;
+    for (const std::string& field : fields) {
+      if (support::starts_with(field, "k_all=")) {
+        view.k_all = std::stoi(field.substr(6));
+      }
+    }
+    view.recognized = true;
+  } else if (fields[0] == "cut") {
+    view.kind = RoundNote::kCut;
+    view.recognized = true;
+  } else if (fields[0] == "wave_done") {
+    view.kind = RoundNote::kWaveDone;
+    view.recognized = true;
+  } else if (fields[0] == "improve") {
+    view.kind = RoundNote::kImprove;
+    view.recognized = true;
+  } else if (fields[0] == "subimprove") {
+    view.kind = RoundNote::kSubImprove;
+    view.recognized = true;
+  } else if (fields[0] == "terminate") {
+    view.kind = RoundNote::kTerminate;
+    view.recognized = true;
+  }
+  return view;
+}
+
+/// Single pass over the marks: derive the per-round phase census *and* the
+/// round → marks index (each round's marks are one contiguous block, opened
+/// by its kRoundStart). Consumers look rounds up via
+/// RunResult::marks_of_round/stats_of_round instead of rescanning.
+std::pair<std::vector<RoundStats>, std::vector<RoundMarkSpan>>
+derive_round_census(const std::vector<RoundMark>& marks) {
   // Annotation sequence per round:
   //   round=R | decide ... | cut ... | wave_done ... | improve ... (opt)
-  // Message counters at each mark let us diff the phases. The "cut" mark is
-  // missing when the root did not move and had no MoveRoot... (it is always
-  // emitted by begin_cut); "decide" is always emitted; terminal rounds stop
-  // after "decide" or "wave_done".
+  // Message counters at each mark let us diff the phases. "decide" is
+  // always emitted; terminal rounds stop after "decide" or "wave_done".
   std::vector<RoundStats> rounds;
+  std::vector<RoundMarkSpan> index;
   RoundStats current;
   std::uint64_t at_round_start = 0;
   std::uint64_t at_decide = 0;
@@ -91,39 +151,68 @@ std::vector<RoundStats> derive_round_stats(const std::vector<RoundMark>& marks) 
     rounds.push_back(current);
     in_round = false;
   };
-  for (const RoundMark& mark : marks) {
-    const auto fields = support::split_whitespace(mark.label);
-    if (fields.empty()) continue;
-    if (support::starts_with(fields[0], "round=")) {
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    const RoundMark& mark = marks[i];
+    const MarkView view = classify(mark);
+    if (!view.recognized) continue;
+    if (view.kind == RoundNote::kRoundStart) {
       flush(mark.total_messages);
       current = RoundStats{};
-      current.round =
-          static_cast<std::uint32_t>(std::stoul(fields[0].substr(6)));
+      current.round = view.round;
       at_round_start = mark.total_messages;
       at_decide = at_cut = at_wave = 0;
       in_round = true;
-    } else if (fields[0] == "decide") {
-      at_decide = mark.total_messages;
-      for (const std::string& f : fields) {
-        if (support::starts_with(f, "k_all=")) {
-          current.k = std::stoi(f.substr(6));
-        }
-      }
-    } else if (fields[0] == "cut") {
-      at_cut = mark.total_messages;
-    } else if (fields[0] == "wave_done") {
-      at_wave = mark.total_messages;
-    } else if (fields[0] == "improve") {
-      current.improved = true;
-    } else if (fields[0] == "terminate") {
-      flush(mark.total_messages);
+      index.push_back({view.round, static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(i + 1)});
+      continue;
+    }
+    if (!index.empty()) index.back().end = static_cast<std::uint32_t>(i + 1);
+    switch (view.kind) {
+      case RoundNote::kDecide:
+        at_decide = mark.total_messages;
+        current.k = view.k_all;
+        break;
+      case RoundNote::kCut:
+        at_cut = mark.total_messages;
+        break;
+      case RoundNote::kWaveDone:
+        at_wave = mark.total_messages;
+        break;
+      case RoundNote::kImprove:
+        current.improved = true;
+        break;
+      case RoundNote::kSubImprove:
+        break;  // sub-round detail; not part of the root census row
+      case RoundNote::kTerminate:
+        flush(mark.total_messages);
+        break;
+      case RoundNote::kRoundStart:
+        break;  // handled above
     }
   }
   // A run always ends with a terminate mark, which flushed the last round.
-  return rounds;
+  return {std::move(rounds), std::move(index)};
 }
 
 }  // namespace
+
+std::span<const RoundMark> RunResult::marks_of_round(
+    std::uint32_t round) const {
+  const auto it = std::lower_bound(
+      round_mark_index.begin(), round_mark_index.end(), round,
+      [](const RoundMarkSpan& s, std::uint32_t r) { return s.round < r; });
+  if (it == round_mark_index.end() || it->round != round) return {};
+  return std::span<const RoundMark>(marks.data() + it->begin,
+                                    it->end - it->begin);
+}
+
+const RoundStats* RunResult::stats_of_round(std::uint32_t round) const {
+  const auto it = std::lower_bound(
+      round_stats.begin(), round_stats.end(), round,
+      [](const RoundStats& s, std::uint32_t r) { return s.round < r; });
+  if (it == round_stats.end() || it->round != round) return nullptr;
+  return &*it;
+}
 
 RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                    const Options& options, const sim::SimConfig& sim_config) {
@@ -191,11 +280,17 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                 "round budget exceeded");
   }
 
+  // Read-time formatting: the protocol recorded structured tags (no string
+  // was built during the run); the seed-style label text materializes here,
+  // once per mark, alongside the structured fields.
+  result.marks.reserve(result.metrics.annotations().size());
   for (const sim::Annotation& a : result.metrics.annotations()) {
     result.marks.push_back({a.time, a.total_messages, a.max_causal_depth,
-                            a.label});
+                            annotation_text(a), a.tag, a.tagged});
   }
-  result.round_stats = derive_round_stats(result.marks);
+  auto census = derive_round_census(result.marks);
+  result.round_stats = std::move(census.first);
+  result.round_mark_index = std::move(census.second);
   return result;
 }
 

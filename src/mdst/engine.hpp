@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,12 +23,18 @@
 
 namespace mdst::core {
 
-/// One parsed root-side annotation ("round=3", "decide ...", "improve ...").
+/// One root-side round checkpoint ("round=3", "decide ...", "improve ...").
+/// The protocol records these as structured tags (mdst/annotations.hpp);
+/// `label` is the seed-style text, formatted once when the RunResult is
+/// assembled (read time), and `tag` keeps the structured fields so
+/// consumers need not re-parse the text.
 struct RoundMark {
   sim::Time time = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t max_causal_depth = 0;
   std::string label;
+  sim::AnnotationTag tag;
+  bool tagged = false;
 };
 
 /// Per-round phase message census derived from the annotations; used by the
@@ -42,6 +49,13 @@ struct RoundStats {
   bool improved = false;
 };
 
+/// Index entry: round `round`'s marks are marks[begin..end).
+struct RoundMarkSpan {
+  std::uint32_t round = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
 struct RunResult {
   graph::RootedTree tree;  // final spanning tree
   sim::Metrics metrics{static_cast<std::size_t>(
@@ -54,6 +68,17 @@ struct RunResult {
   int final_degree = 0;
   std::vector<RoundMark> marks;
   std::vector<RoundStats> round_stats;
+  /// Round → marks index, built once by run_mdst in the same pass that
+  /// derives round_stats (annotations arrive in round order, so each round
+  /// is one contiguous block). Consumers that used to rescan `marks` per
+  /// round look a round up here instead.
+  std::vector<RoundMarkSpan> round_mark_index;
+
+  /// The contiguous block of marks belonging to `round` (empty span when
+  /// the round emitted none / does not exist). O(log rounds).
+  std::span<const RoundMark> marks_of_round(std::uint32_t round) const;
+  /// The per-round census row for `round`, or nullptr. O(log rounds).
+  const RoundStats* stats_of_round(std::uint32_t round) const;
 };
 
 /// Run the protocol to termination. Preconditions: `initial` spans `g`.

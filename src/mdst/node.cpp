@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "mdst/annotations.hpp"
 #include "runtime/sim_core.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
@@ -48,6 +49,12 @@ BasicNode<Context>::BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
     child_indices_.push_back(
         static_cast<std::uint32_t>(neighbor_index(child)));
   }
+  // Flat per-neighbor-slot bookkeeping: sized once here, never reallocated.
+  child_at_.assign(env_.neighbors.size(), 0);
+  for (const std::uint32_t slot : child_indices_) child_at_[slot] = 1;
+  wave_child_epoch_.assign(env_.neighbors.size(), 0);
+  cross_closed_epoch_.assign(env_.neighbors.size(), 0);
+  concurrent_ = opts_.mode == EngineMode::kConcurrent;
 }
 
 // Compile-time guard for the hot-line packing promised in node.hpp: the
@@ -72,16 +79,20 @@ template <typename Context>
 void BasicNode<Context>::add_child(sim::NodeId node, std::uint32_t idx_hint) {
   MDST_ASSERT(!has_child(node), "add_child: already a child");
   MDST_ASSERT(node != parent_, "add_child: is parent");
+  const auto slot =
+      static_cast<std::uint32_t>(neighbor_index_hinted(node, idx_hint));
   children_.push_back(node);
-  child_indices_.push_back(
-      static_cast<std::uint32_t>(neighbor_index_hinted(node, idx_hint)));
+  child_indices_.push_back(slot);
+  child_at_[slot] = 1;
 }
 
 template <typename Context>
 void BasicNode<Context>::remove_child(sim::NodeId node) {
   const auto it = std::find(children_.begin(), children_.end(), node);
   MDST_ASSERT(it != children_.end(), "remove_child: not a child");
-  child_indices_.erase(child_indices_.begin() + (it - children_.begin()));
+  const auto pos = it - children_.begin();
+  child_at_[child_indices_[static_cast<std::size_t>(pos)]] = 0;
+  child_indices_.erase(child_indices_.begin() + pos);
   children_.erase(it);
 }
 
@@ -114,9 +125,9 @@ void BasicNode<Context>::reset_round_state() {
   have_tags_ = false;
   top_ = FragTag{};
   sub_ = FragTag{};
-  wave_children_.clear();
   wave_waiting_ = 0;
-  cross_closed_.clear();
+  // The epoch stamps need no clearing: the next begin_wave() bump
+  // invalidates every stale wave_child/cross_closed stamp at once.
   queued_probes_.clear();
   reported_up_ = false;
   best_top_ = Candidate{};
@@ -166,7 +177,7 @@ void BasicNode<Context>::begin_round(Context& ctx) {
   clear_stuck_next_ = false;
   if (clear) stuck_ = false;
   reset_round_state();
-  ctx.annotate("round=" + std::to_string(round_));
+  sim::annotate_tagged(ctx, note_round_start(round_), format_round_note);
   for (std::size_t i = 0; i < children_.size(); ++i) {
     send_indexed(ctx, children_[i], child_indices_[i],
                  StartRound{round_, clear});
@@ -178,10 +189,9 @@ template <typename Context>
 void BasicNode<Context>::root_decide_after_search(Context& ctx) {
   round_root_duty_ = true;
   const int k_all = search_deg_all_;
-  ctx.annotate("decide round=" + std::to_string(round_) +
-               " k_all=" + std::to_string(k_all) +
-               " best=" + std::to_string(search_best_deg_) +
-               " target=" + std::to_string(search_best_who_));
+  sim::annotate_tagged(
+      ctx, note_decide(round_, k_all, search_best_deg_, search_best_who_),
+      format_round_note);
   if (k_all <= 2) {
     terminate(ctx, StopReason::kChain);
     return;
@@ -219,28 +229,27 @@ void BasicNode<Context>::begin_cut(Context& ctx) {
   top_ = FragTag{env_.name, env_.name};
   sub_ = top_;
   have_tags_ = true;
-  snapshot_wave_children();
-  const std::vector<sim::NodeId>& kids = wave_kids();
-  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
-  wave_waiting_ = static_cast<std::uint32_t>(kids.size());
-  ctx.annotate("cut round=" + std::to_string(round_) +
-               " k=" + std::to_string(k_));
-  for (std::size_t i = 0; i < kids.size(); ++i) {
-    send_indexed(ctx, kids[i], kid_idx[i], Cut{k_, env_.name, FragTag{}});
+  begin_wave();
+  wave_waiting_ = static_cast<std::uint32_t>(children_.size());
+  sim::annotate_tagged(ctx, note_cut(round_, k_), format_round_note);
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    stamp_wave_child(child_indices_[i]);
+    send_indexed(ctx, children_[i], child_indices_[i],
+                 Cut{k_, env_.name, FragTag{}});
   }
   // Probes queued before we became the round root (only possible for
   // sub-roots in practice, but harmless to drain here too).
-  for (const auto& [from, probe] : queued_probes_) {
-    (void)probe;
-    ctx.send(from, CousinReply{tree_degree(), top_, sub_});
+  for (const QueuedProbe& queued : queued_probes_) {
+    send_indexed(ctx, queued.from, queued.from_index,
+                 CousinReply{tree_degree(), top_, sub_});
   }
   queued_probes_.clear();
 }
 
 template <typename Context>
 void BasicNode<Context>::root_choose(Context& ctx) {
-  ctx.annotate("wave_done round=" + std::to_string(round_) +
-               " has_candidate=" + (best_top_.valid() ? "1" : "0"));
+  sim::annotate_tagged(ctx, note_wave_done(round_, best_top_.valid()),
+                       format_round_note);
   if (best_top_.valid()) {
     start_improvement(ctx, Scope::kTop, best_top_, prov_top_);
     return;
@@ -297,9 +306,8 @@ void BasicNode<Context>::root_finish_round(Context& ctx, bool improved) {
 template <typename Context>
 void BasicNode<Context>::terminate(Context& ctx, StopReason reason) {
   stop_reason_ = reason;
-  ctx.annotate("terminate round=" + std::to_string(round_) +
-               " reason=" + to_string(reason) +
-               " k_all=" + std::to_string(search_deg_all_));
+  sim::annotate_tagged(ctx, note_terminate(round_, reason, search_deg_all_),
+                       format_round_note);
   done_ = true;
   for (std::size_t i = 0; i < children_.size(); ++i) {
     send_indexed(ctx, children_[i], child_indices_[i], Terminate{});
@@ -327,9 +335,19 @@ void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
     case MessageType::kMoveRoot:
       return handle_move_root(ctx, from, *std::get_if<MoveRoot>(&message));
     case MessageType::kCut:
-      return handle_cut(ctx, from, *std::get_if<Cut>(&message));
+      // The wave entry points are mode-specialized (one predictable branch
+      // on the cached hot-line flag selects the instantiation; the
+      // sub-root checks inside compile away in the single-improvement
+      // path). See node.hpp.
+      if (concurrent_) {
+        return handle_cut<true>(ctx, from, *std::get_if<Cut>(&message));
+      }
+      return handle_cut<false>(ctx, from, *std::get_if<Cut>(&message));
     case MessageType::kBfs:
-      return handle_bfs(ctx, from, *std::get_if<Bfs>(&message));
+      if (concurrent_) {
+        return handle_bfs<true>(ctx, from, *std::get_if<Bfs>(&message));
+      }
+      return handle_bfs<false>(ctx, from, *std::get_if<Bfs>(&message));
     case MessageType::kCousinReply:
       return handle_cousin_reply(ctx, from, *std::get_if<CousinReply>(&message));
     case MessageType::kBfsBack:
@@ -437,17 +455,20 @@ void BasicNode<Context>::handle_move_root(Context& ctx, sim::NodeId from,
 // ---------------------------------------------------------------------------
 
 template <typename Context>
+template <bool Concurrent>
 void BasicNode<Context>::handle_cut(Context& ctx, sim::NodeId from,
                                     const Cut& msg) {
   MDST_ASSERT(from == parent_, "Cut from non-parent");
   if (!msg.encl_top.valid()) {
     // Main cut: I am a fragment root; my fragment is (p, my name).
     const FragTag top{msg.sub_root, env_.name};
-    if (opts_.mode == EngineMode::kConcurrent && tree_degree() == msg.k) {
-      become_sub_root(ctx, top, msg.k);
-    } else {
-      become_member(ctx, top, top, msg.k);
+    if constexpr (Concurrent) {
+      if (tree_degree() == msg.k) {
+        become_sub_root(ctx, top, msg.k);
+        return;
+      }
     }
+    become_member(ctx, top, top, msg.k);
     return;
   }
   // Sub cut from a sub-root q: I am a sub-fragment root (q, my name).
@@ -455,6 +476,7 @@ void BasicNode<Context>::handle_cut(Context& ctx, sim::NodeId from,
 }
 
 template <typename Context>
+template <bool Concurrent>
 void BasicNode<Context>::handle_bfs(Context& ctx, sim::NodeId from,
                                     const Bfs& msg) {
   if (from != parent_) {
@@ -462,11 +484,12 @@ void BasicNode<Context>::handle_bfs(Context& ctx, sim::NodeId from,
     return;
   }
   // The wave reaches me through my tree parent.
-  const bool main_wave = msg.sub == msg.top;
-  if (main_wave && opts_.mode == EngineMode::kConcurrent &&
-      tree_degree() == msg.k) {
-    become_sub_root(ctx, msg.top, msg.k);
-    return;
+  if constexpr (Concurrent) {
+    const bool main_wave = msg.sub == msg.top;
+    if (main_wave && tree_degree() == msg.k) {
+      become_sub_root(ctx, msg.top, msg.k);
+      return;
+    }
   }
   become_member(ctx, msg.top, msg.sub, msg.k);
 }
@@ -480,35 +503,34 @@ void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
   top_ = top;
   sub_ = sub;
   have_tags_ = true;
-  snapshot_wave_children();
-  const std::vector<sim::NodeId>& kids = wave_kids();
-  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
-  cross_closed_.assign(env_.neighbors.size(), 0);
-  for (std::size_t i = 0; i < kids.size(); ++i) {
-    send_indexed(ctx, kids[i], kid_idx[i], Bfs{k_, top_, sub_});
+  begin_wave();
+  const std::size_t kid_count = children_.size();
+  for (std::size_t i = 0; i < kid_count; ++i) {
+    stamp_wave_child(child_indices_[i]);
+    send_indexed(ctx, children_[i], child_indices_[i], Bfs{k_, top_, sub_});
   }
   // No closure can arrive while this handler runs, so the cross count may
   // be accumulated in the same pass that sends the probes, as long as
   // wave_waiting_ is final before the queued probes below are replayed.
+  // The child test is one byte load per slot (child_at_), not an
+  // O(children) rescan per neighbor.
   std::size_t cross = 0;
   const std::span<const sim::NeighborInfo> neighbors = env_.neighbors;
   for (std::size_t i = 0; i < neighbors.size(); ++i) {
-    const sim::NeighborInfo& nb = neighbors[i];
-    if (nb.id == parent_ || has_child(nb.id)) continue;
+    if (i == parent_index_ || child_at_[i]) continue;
     ++cross;
-    send_indexed(ctx, nb.id, static_cast<std::uint32_t>(i),
+    send_indexed(ctx, neighbors[i].id, static_cast<std::uint32_t>(i),
                  Bfs{k_, top_, sub_});  // cousin probe
   }
-  wave_waiting_ = static_cast<std::uint32_t>(kids.size() + cross);
+  wave_waiting_ = static_cast<std::uint32_t>(kid_count + cross);
   // Swap through a member scratch so both buffers survive across waves
   // instead of a free/malloc pair per wave. Replayed probes cannot re-queue:
-  // have_tags_ is already set.
+  // have_tags_ is already set. Each replay reuses the reverse-CSR hint
+  // captured when the probe was parked (the slot never changes).
   scratch_probes_.clear();
   scratch_probes_.swap(queued_probes_);
-  for (const auto& [probe_from, probe] : scratch_probes_) {
-    // Replayed probes belong to an earlier delivery, so the current
-    // context's from-index hint does not apply.
-    on_cross_probe(ctx, probe_from, probe, sim::kNoNeighborIndex);
+  for (const QueuedProbe& queued : scratch_probes_) {
+    on_cross_probe(ctx, queued.from, queued.probe, queued.from_index);
   }
   member_maybe_report(ctx);
 }
@@ -522,19 +544,19 @@ void BasicNode<Context>::become_sub_root(Context& ctx, const FragTag& encl_top,
   top_ = encl_top;
   sub_ = FragTag{env_.name, env_.name};
   have_tags_ = true;
-  snapshot_wave_children();
-  const std::vector<sim::NodeId>& kids = wave_kids();
-  const std::vector<std::uint32_t>& kid_idx = wave_kid_indices();
-  wave_waiting_ = static_cast<std::uint32_t>(kids.size());
-  MDST_ASSERT(!kids.empty(), "degree-k non-root node has children");
-  for (std::size_t i = 0; i < kids.size(); ++i) {
-    send_indexed(ctx, kids[i], kid_idx[i], Cut{k_, env_.name, top_});
+  begin_wave();
+  wave_waiting_ = static_cast<std::uint32_t>(children_.size());
+  MDST_ASSERT(!children_.empty(), "degree-k non-root node has children");
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    stamp_wave_child(child_indices_[i]);
+    send_indexed(ctx, children_[i], child_indices_[i],
+                 Cut{k_, env_.name, top_});
   }
   scratch_probes_.clear();
   scratch_probes_.swap(queued_probes_);
-  for (const auto& [probe_from, probe] : scratch_probes_) {
-    (void)probe;
-    ctx.send(probe_from, CousinReply{tree_degree(), top_, sub_});
+  for (const QueuedProbe& queued : scratch_probes_) {
+    send_indexed(ctx, queued.from, queued.from_index,
+                 CousinReply{tree_degree(), top_, sub_});
   }
 }
 
@@ -543,7 +565,7 @@ void BasicNode<Context>::on_cross_probe(Context& ctx, sim::NodeId from,
                                         const Bfs& msg,
                                         std::uint32_t from_idx_hint) {
   if (!have_tags_) {
-    queued_probes_.emplace_back(from, msg);
+    queued_probes_.push_back({from, from_idx_hint, msg});
     return;
   }
   if (role_ == Role::kRoot || role_ == Role::kSubRoot) {
@@ -561,17 +583,20 @@ void BasicNode<Context>::on_cross_probe(Context& ctx, sim::NodeId from,
   //   probe.sub >  mine  -> they will answer my probe; that reply closes.
   const auto order = msg.sub <=> sub_;
   if (order > 0) return;  // they will answer my probe; that reply closes
+  // One slot resolution serves both the reply and the closure below.
+  const std::size_t idx = neighbor_index_hinted(from, from_idx_hint);
   if (order < 0) {
-    send_indexed(ctx, from, from_idx_hint,
+    send_indexed(ctx, from, static_cast<std::uint32_t>(idx),
                  CousinReply{tree_degree(), top_, sub_});
   }
-  close_cross_edge_at(ctx, neighbor_index_hinted(from, from_idx_hint));
+  close_cross_edge_at(ctx, idx);
 }
 
 template <typename Context>
 void BasicNode<Context>::close_cross_edge_at(Context& ctx, std::size_t idx) {
-  MDST_ASSERT(!cross_closed_[idx], "cross edge closed twice");
-  cross_closed_[idx] = 1;
+  MDST_ASSERT(cross_closed_epoch_[idx] != wave_epoch_,
+              "cross edge closed twice");
+  cross_closed_epoch_[idx] = wave_epoch_;
   MDST_ASSERT(wave_waiting_ > 0, "closure with nothing pending");
   --wave_waiting_;
   member_maybe_report(ctx);
@@ -622,8 +647,8 @@ void BasicNode<Context>::member_maybe_report(Context& ctx) {
 template <typename Context>
 void BasicNode<Context>::handle_bfs_back(Context& ctx, sim::NodeId from,
                                          const BfsBack& msg) {
-  MDST_ASSERT(std::find(wave_kids().begin(), wave_kids().end(), from) !=
-                  wave_kids().end(),
+  MDST_ASSERT(is_wave_child_slot(
+                  neighbor_index_hinted(from, delivery_from_index(ctx))),
               "BfsBack from non-wave-child");
   // This handler is the boxed candidates' single consumer (candidates.hpp):
   // read, then release each valid box exactly once.
@@ -807,14 +832,12 @@ void BasicNode<Context>::handle_detach(Context& ctx, sim::NodeId from) {
   improving_ = false;
   ++improvements_;
   if (role_ == Role::kRoot) {
-    ctx.annotate("improve round=" + std::to_string(round_) +
-                 " k=" + std::to_string(k_));
+    sim::annotate_tagged(ctx, note_improve(round_, k_), format_round_note);
     root_finish_round(ctx, /*improved=*/true);
     return;
   }
   MDST_ASSERT(role_ == Role::kSubRoot, "Detach at unexpected role");
-  ctx.annotate("subimprove round=" + std::to_string(round_) +
-               " k=" + std::to_string(k_));
+  sim::annotate_tagged(ctx, note_sub_improve(round_, k_), format_round_note);
   sub_improved_ = true;
   sub_internal_done_ = true;
   subroot_report_up(ctx);

@@ -103,7 +103,13 @@ class alignas(64) BasicNode {
   void handle_start_round(Ctx& ctx, sim::NodeId from, const StartRound& msg);
   void handle_search_reply(Ctx& ctx, sim::NodeId from, const SearchReply& msg);
   void handle_move_root(Ctx& ctx, sim::NodeId from, const MoveRoot& msg);
+  // The wave entry points are specialized on the engine mode: on_message
+  // dispatches through the cached `concurrent_` flag once per delivery, so
+  // the sub-root checks inside compile away entirely in the (default)
+  // single-improvement instantiation instead of re-testing opts_.mode.
+  template <bool Concurrent>
   void handle_cut(Ctx& ctx, sim::NodeId from, const Cut& msg);
+  template <bool Concurrent>
   void handle_bfs(Ctx& ctx, sim::NodeId from, const Bfs& msg);
   void handle_cousin_reply(Ctx& ctx, sim::NodeId from, const CousinReply& msg);
   void handle_bfs_back(Ctx& ctx, sim::NodeId from, const BfsBack& msg);
@@ -180,24 +186,26 @@ class alignas(64) BasicNode {
   void send_indexed(Ctx& ctx, sim::NodeId to, std::uint32_t idx, M&& m) {
     sim::send_indexed(ctx, to, idx, std::forward<M>(m));
   }
-  /// The wave membership of the current round. Outside kConcurrent the
-  /// tree provably cannot change between the cut and the round's last
-  /// BfsBack (improvements apply strictly after wave_done), so the
-  /// "snapshot" simply aliases the live children lists — no per-wave
-  /// copies. kConcurrent sub-round improvements mutate children_ mid-wave
-  /// and take a real snapshot (snapshot_wave_children).
-  const std::vector<sim::NodeId>& wave_kids() const {
-    return opts_.mode == EngineMode::kConcurrent ? wave_children_ : children_;
+  // ---- flat wave bookkeeping (epoch-stamped views over CSR child slots).
+  //
+  // A wave's membership is "children at wave start". The wave-start loops
+  // always iterate the *live* children_ list (which at that instant IS the
+  // membership), so no snapshot copy is ever taken — kConcurrent included,
+  // where sub-round improvements mutate children_ mid-wave. What the rest
+  // of the wave needs from the snapshot is only *membership queries*
+  // (closure accounting, the BfsBack-sender invariant), and those are
+  // answered by per-neighbor-slot epoch stamps: begin_wave() bumps
+  // wave_epoch_, the start loop stamps each wave child's slot, and a slot
+  // is a wave member iff its stamp equals the current epoch. No per-wave
+  // allocation, copying, or clearing — stale stamps from earlier waves are
+  // invalidated by the epoch bump alone (cross_closed_epoch_ works the
+  // same way, replacing a per-wave byte-flag memset).
+  void begin_wave() { ++wave_epoch_; }
+  void stamp_wave_child(std::uint32_t slot) {
+    wave_child_epoch_[slot] = wave_epoch_;
   }
-  const std::vector<std::uint32_t>& wave_kid_indices() const {
-    return opts_.mode == EngineMode::kConcurrent ? wave_child_indices_
-                                                 : child_indices_;
-  }
-  void snapshot_wave_children() {
-    if (opts_.mode == EngineMode::kConcurrent) {
-      wave_children_ = children_;
-      wave_child_indices_ = child_indices_;
-    }
+  bool is_wave_child_slot(std::size_t slot) const {
+    return wave_child_epoch_[slot] == wave_epoch_;
   }
 
   void add_child(sim::NodeId node,
@@ -234,6 +242,9 @@ class alignas(64) BasicNode {
   sim::NodeId prov_top_ = sim::kNoNode;
   sim::NodeId prov_sub_ = sim::kNoNode;
   sim::NodeId via_ = sim::kNoNode;  // child that reported the winner; kNoNode = self
+  /// opts_.mode == kConcurrent, cached into the hot line so the per-wave
+  /// dispatch never touches the cold Options block.
+  bool concurrent_ = false;
   bool subtree_stuck_ = false;
   bool subtree_improved_ = false;  // some sub-round below applied a swap
   // kStrictLot: set when this node was a round target with no candidate;
@@ -244,14 +255,23 @@ class alignas(64) BasicNode {
   graph::NodeName search_best_who_ = kNoName;
   // ==== warm wave state (second/third cache line) =========================
   int search_deg_all_ = -1;
+  std::uint32_t wave_epoch_ = 0;  // bumped by begin_wave(); stamps below
   std::vector<sim::NodeId> children_;
   std::vector<std::uint32_t> child_indices_;  // parallel to children_
   Candidate best_top_;
   Candidate best_sub_;
-  std::vector<sim::NodeId> wave_children_;  // children at wave start
-  std::vector<std::uint32_t> wave_child_indices_;  // parallel snapshot
-  std::vector<std::uint8_t> cross_closed_;  // per neighbour index (byte flags:
-  // plain load/store beats vector<bool> bit ops on the closure hot path)
+  /// Per-neighbor-slot flags/stamps, all sized to env_.neighbors.size()
+  /// once at construction and never reallocated:
+  ///   child_at_[s]          — slot s is currently a tree child (byte flag:
+  ///                           O(1) membership for the cross-probe scan,
+  ///                           where has_child()'s O(children) scan per
+  ///                           neighbor was ~quadratic in degree);
+  ///   wave_child_epoch_[s]  — slot s was a child when the current wave
+  ///                           (epoch wave_epoch_) started;
+  ///   cross_closed_epoch_[s]— slot s's cross edge closed this wave.
+  std::vector<std::uint8_t> child_at_;
+  std::vector<std::uint32_t> wave_child_epoch_;
+  std::vector<std::uint32_t> cross_closed_epoch_;
   // ==== cold state: construction-time, per-round-once, root-only ==========
   sim::NodeEnv env_;
   Options opts_;
@@ -262,8 +282,18 @@ class alignas(64) BasicNode {
   StopReason stop_reason_ = StopReason::kNotStopped;
   bool round_root_duty_ = false;  // I ran root_decide for the current round
   bool clear_stuck_next_ = false;
-  std::vector<std::pair<sim::NodeId, Bfs>> queued_probes_;
-  std::vector<std::pair<sim::NodeId, Bfs>> scratch_probes_;  // replay buffer
+  /// A cross probe that arrived before this node had tags, parked for
+  /// replay. `from_index` keeps the delivery's reverse-CSR hint — the
+  /// sender's slot in this node's row is a property of the static network,
+  /// so it stays valid across the park (kNoNeighborIndex when the probe
+  /// came through a context with no hint).
+  struct QueuedProbe {
+    sim::NodeId from = sim::kNoNode;
+    std::uint32_t from_index = sim::kNoNeighborIndex;
+    Bfs probe;
+  };
+  std::vector<QueuedProbe> queued_probes_;
+  std::vector<QueuedProbe> scratch_probes_;  // replay buffer
   // Improvement phase (a handful of messages per round).
   bool improving_ = false;        // root/sub-root: an Update is in flight
   bool round_aborted_ = false;    // root: this round's commit went stale

@@ -78,4 +78,21 @@ void send_indexed(Ctx& ctx, NodeId to, std::uint32_t idx, M&& m) {
   ctx.send(to, std::forward<M>(m));
 }
 
+struct AnnotationTag;  // runtime/metrics.hpp
+
+/// Structured-annotation helper: contexts that support the tagged path
+/// (SimContext) record the tag with no allocation or formatting; virtual
+/// contexts receive `format(tag)` through the portable string interface,
+/// so mock tests and replay tooling observe the exact seed-style text.
+/// tests/runtime/annotation_equivalence_test.cpp pins the two paths equal
+/// field-for-field under the protocol's read-time formatter.
+template <typename Ctx, typename Formatter>
+void annotate_tagged(Ctx& ctx, const AnnotationTag& tag, Formatter&& format) {
+  if constexpr (requires { ctx.annotate_tag(tag); }) {
+    ctx.annotate_tag(tag);
+  } else {
+    ctx.annotate(format(tag));
+  }
+}
+
 }  // namespace mdst::sim

@@ -37,14 +37,35 @@
 
 namespace mdst::sim {
 
+/// Alloc-free structured annotation payload: a protocol-defined kind plus a
+/// round coordinate and up to three numeric fields. The runtime stores it
+/// verbatim — the *protocol* owns the kind vocabulary and the read-time
+/// formatter (e.g. mdst/annotations.hpp), so recording a per-round
+/// checkpoint costs no heap traffic and no string formatting on the hot
+/// path. kind == 0 is reserved for "no tag".
+struct AnnotationTag {
+  std::uint8_t kind = 0;
+  std::uint32_t round = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+
+  friend bool operator==(const AnnotationTag&, const AnnotationTag&) = default;
+};
+
 /// A named checkpoint emitted by a protocol (e.g. "round 3 end") with the
 /// cumulative message count at that instant; benches diff consecutive
-/// snapshots for per-round budgets.
+/// snapshots for per-round budgets. Two flavours share the struct: legacy
+/// string-labelled checkpoints (virtual contexts, ad-hoc protocol notes)
+/// carry `label`; tagged checkpoints carry `tag` (with `label` empty) and
+/// are formatted only when read.
 struct Annotation {
   Time time = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t max_causal_depth = 0;
   std::string label;
+  AnnotationTag tag;
+  bool tagged = false;
 };
 
 class Metrics {
@@ -115,7 +136,14 @@ class Metrics {
 
   void annotate(Time now, std::string label) {
     annotations_.push_back({now, total_messages(), max_causal_depth_,
-                            std::move(label)});
+                            std::move(label), AnnotationTag{}, false});
+  }
+
+  /// Tagged checkpoint: no string is built or copied — the only cost is
+  /// the (amortized) vector push and the ≤16-term total_messages() sum.
+  void annotate_tag(Time now, const AnnotationTag& tag) {
+    annotations_.push_back({now, total_messages(), max_causal_depth_,
+                            std::string{}, tag, true});
   }
 
   // --- read side (derived; cold) -------------------------------------------

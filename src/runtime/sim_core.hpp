@@ -80,6 +80,14 @@ enum class EventKind : std::uint8_t { kStart, kMessage };
 template <typename Message>
 struct Event {
   EventKind kind = EventKind::kMessage;
+  /// ids_carried() of the payload, computed at *send* time — where the
+  /// typed fast path knows the alternative statically, so the count
+  /// constant-folds into the send site (or is one inlined field compare
+  /// for the payload-dependent types). Rides padding bytes behind `kind`;
+  /// the delivery loop meters from this field and never visits the
+  /// variant (metrics_equivalence_test pins it against a per-delivery
+  /// reference visit).
+  std::uint16_t ids = 0;
   NodeId to = kNoNode;
   NodeId from = kNoNode;
   /// Index of `from` in the receiver's neighbor row (reverse CSR),
@@ -162,6 +170,7 @@ class SimCore {
                           : rng_.next_below(config_.start_spread + 1);
       EventT& ev = queue_.emplace(at);
       ev.kind = EventKind::kStart;
+      ev.ids = 0;
       ev.to = static_cast<NodeId>(v);
       ev.from = kNoNode;
       ev.from_index = kNoNeighborIndex;  // slab nodes recycle: assign all
@@ -231,8 +240,11 @@ class SimCore {
     if (fifo_floors_active_ && slot != kNoSlot) {
       deliver_at = bump_fifo_floor(slot, deliver_at);
     }
+    const auto ids = static_cast<std::uint16_t>(switch_visit(
+        message, [](const auto& m) { return m.ids_carried(); }));
     EventT& ev = queue_.emplace(deliver_at);
     ev.kind = EventKind::kMessage;
+    ev.ids = ids;
     ev.to = to;
     ev.from = from;
     ev.from_index =
@@ -243,6 +255,9 @@ class SimCore {
   }
 
   void annotate(const std::string& label) { metrics_.annotate(now_, label); }
+  void annotate_tag(const AnnotationTag& tag) {
+    metrics_.annotate_tag(now_, tag);
+  }
 
   // --- delivery-loop support (used by Simulator<P>::step) -----------------
 
@@ -269,8 +284,9 @@ class SimCore {
   /// delivery loop (Simulator<P>) picks the branch once per run, so the
   /// disabled-trace path compiles with no trace code in the loop at all.
   /// Metering is table-driven: name and identity count come from the
-  /// compile-time MessageDescriptor array — one indexed load — and only the
-  /// payload-dependent types fall back to a switch_visit. The causal-depth
+  /// compile-time MessageDescriptor array — one indexed load — and even
+  /// the payload-dependent types cost no visit (the send path stamped
+  /// ev.ids where the alternative was statically known). The causal-depth
   /// watermark piggybacks on the receiver-depth raise (a raise dominates
   /// every delivered depth, so the watermark stays exact without its own
   /// per-delivery compare).
@@ -284,9 +300,10 @@ class SimCore {
     const std::size_t type_index = ev.payload.index();
     const MessageDescriptor& desc = kMessageDescriptors<Message>[type_index];
     if (desc.dynamic_ids) {
-      const std::size_t ids = switch_visit(
-          ev.payload, [](const auto& m) { return m.ids_carried(); });
-      metrics_.count_delivery_dynamic(type_index, ids, now_);
+      // The send path stamped the payload's identity count into the event
+      // (where the alternative was statically known) — no variant visit
+      // here.
+      metrics_.count_delivery_dynamic(type_index, ev.ids, now_);
     } else {
       metrics_.count_delivery(type_index, now_);
     }
@@ -354,12 +371,25 @@ class SimCore {
   void send_on_slot(NodeId from, NodeId to, std::size_t slot, Alt&& message) {
     check_message_cap();
     ++sent_;
+    // The identity count is computed here, not in the delivery loop: the
+    // typed fast path knows the alternative statically, so ids_carried()
+    // constant-folds (or is one inlined compare for the payload-dependent
+    // types) — where the old per-delivery switch_visit cost ~10% of the
+    // MDST run (docs/perf.md). Computed before the payload is moved.
+    std::uint16_t ids;
+    if constexpr (std::is_same_v<std::decay_t<Alt>, Message>) {
+      ids = static_cast<std::uint16_t>(switch_visit(
+          message, [](const auto& m) { return m.ids_carried(); }));
+    } else {
+      ids = static_cast<std::uint16_t>(message.ids_carried());
+    }
     Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
     if (fifo_floors_active_) deliver_at = bump_fifo_floor(slot, deliver_at);
     EventT& ev = queue_.emplace(deliver_at);
     // ev.kind is already kMessage: fresh slab nodes default to it and
     // release() restores the tag on every recycled node — so the hot path
     // never stores it.
+    ev.ids = ids;
     ev.to = to;
     ev.from = from;
     ev.from_index = links_[slot].reverse_index;
@@ -458,6 +488,11 @@ class SimContext final : public IContext<Message> {
   NodeId self() const final { return self_; }
   Time now() const final { return core_->now(); }
   void annotate(const std::string& label) final { core_->annotate(label); }
+  /// Tagged fast path (not part of IContext): records a structured
+  /// checkpoint with zero allocation or formatting. Nodes reach it through
+  /// sim::annotate_tagged (context.hpp), which falls back to the formatted
+  /// string on virtual contexts.
+  void annotate_tag(const AnnotationTag& tag) { core_->annotate_tag(tag); }
 
   /// Index of the current delivery's sender in this node's neighbor row
   /// (reverse-CSR, precomputed at send time), or kNoNeighborIndex for

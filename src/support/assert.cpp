@@ -1,0 +1,29 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace mdst::detail {
+
+namespace {
+
+[[noreturn]] void fail(const char* kind, const char* cond, const char* file,
+                       int line, const char* msg, std::size_t msg_len) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+  if (msg_len != 0) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace
+
+void contract_fail(const char* kind, const char* cond, const char* file,
+                   int line, const char* msg) {
+  fail(kind, cond, file, line, msg, std::char_traits<char>::length(msg));
+}
+
+void contract_fail(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+  fail(kind, cond, file, line, msg.c_str(), msg.size());
+}
+
+}  // namespace mdst::detail

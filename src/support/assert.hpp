@@ -3,22 +3,49 @@
 // Three flavours, following the Core Guidelines (I.6/E.12) split between
 // preconditions, invariants, and unreachable states:
 //
-//   MDST_REQUIRE(cond, msg)  — precondition on a public API; always checked.
-//   MDST_ASSERT(cond, msg)   — internal invariant; always checked (the
-//                              library is a research instrument, and silent
-//                              state corruption would invalidate results).
+//   MDST_REQUIRE(cond, msg)  — precondition on a public API; always checked
+//                              in every build tier.
+//   MDST_ASSERT(cond, msg)   — internal invariant; checked at the `full`
+//                              tier, compiled out at `fast`.
 //   MDST_UNREACHABLE(msg)    — marks a state machine branch that must never
-//                              be taken.
+//                              be taken; throws at `full`, becomes an
+//                              optimizer hint (__builtin_unreachable) at
+//                              `fast`.
+//
+// Check tiers (docs/architecture.md hot-path rule 7): the build-wide
+// MDST_CHECK_LEVEL CMake option selects `full` or `fast` and injects the
+// MDST_CHECK_FULL compile definition for every target. The protocol state
+// machine carries ~50 invariant checks on its per-message path; at `fast`
+// they vanish entirely, at `full` each one is a compare plus a predictable
+// branch into an *outlined* cold failure function (assert.cpp) — the
+// formatting machinery never sits inside a hot handler either way. The
+// research-instrument guarantee is preserved operationally: tier-1 CI runs
+// a `full`-level job, and check_tier_test.cpp pins that the compiled tier
+// matches the advertised one. Conditions must stay side-effect free — at
+// `fast` they are not evaluated.
 //
 // Violations throw mdst::ContractViolation so tests can assert on them and
 // long experiment sweeps fail loudly instead of producing garbage tables.
 #pragma once
 
-#include <sstream>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "support/compiler.hpp"
+
+// Default to the full research-instrument tier when built without the CMake
+// toolchain (raw compiler invocations, external embedders).
+#ifndef MDST_CHECK_FULL
+#define MDST_CHECK_FULL 1
+#endif
+
 namespace mdst {
+
+/// True when this build checks internal invariants (MDST_ASSERT /
+/// MDST_UNREACHABLE); tests that provoke invariant violations skip at the
+/// fast tier.
+inline constexpr bool kChecksFull = MDST_CHECK_FULL != 0;
 
 /// Thrown when a MDST_REQUIRE/MDST_ASSERT contract is violated.
 class ContractViolation : public std::logic_error {
@@ -28,14 +55,18 @@ class ContractViolation : public std::logic_error {
 
 namespace detail {
 
-[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
-                                       const char* file, int line,
-                                       const std::string& msg) {
-  std::ostringstream os;
-  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw ContractViolation(os.str());
-}
+// Outlined (assert.cpp) so a check site is a compare + branch + call — the
+// <sstream> formatting never inlines into hot handlers. Two overloads: the
+// common literal-message sites pass the char* straight through; sites that
+// compose a diagnostic keep the string path.
+[[noreturn]] MDST_NOINLINE void contract_fail(const char* kind,
+                                              const char* cond,
+                                              const char* file, int line,
+                                              const char* msg);
+[[noreturn]] MDST_NOINLINE void contract_fail(const char* kind,
+                                              const char* cond,
+                                              const char* file, int line,
+                                              const std::string& msg);
 
 }  // namespace detail
 }  // namespace mdst
@@ -48,6 +79,8 @@ namespace detail {
     }                                                                        \
   } while (false)
 
+#if MDST_CHECK_FULL
+
 #define MDST_ASSERT(cond, msg)                                               \
   do {                                                                       \
     if (!(cond)) {                                                           \
@@ -59,3 +92,24 @@ namespace detail {
 #define MDST_UNREACHABLE(msg)                                                \
   ::mdst::detail::contract_fail("unreachable", "false", __FILE__, __LINE__,  \
                                 (msg))
+
+#else  // fast tier: invariants compiled out, unreachables become hints.
+
+// The dead `if (false)` keeps the condition/message expressions compiled
+// (no unused-variable warnings, typos still break the build) while the
+// optimizer removes them entirely; conditions must be side-effect free.
+#define MDST_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (false) {                                                             \
+      (void)(cond);                                                          \
+      (void)(msg);                                                           \
+    }                                                                        \
+  } while (false)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MDST_UNREACHABLE(msg) __builtin_unreachable()
+#else
+#define MDST_UNREACHABLE(msg) ::std::abort()
+#endif
+
+#endif  // MDST_CHECK_FULL

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/sink.hpp"
+#include "support/assert.hpp"
 
 namespace mdst::campaign {
 namespace {
@@ -125,6 +129,90 @@ TEST(CampaignRunnerTest, FailingTrialNamesItsCoordinates) {
       EXPECT_NE(message.find("complete n=32"), std::string::npos) << message;
     }
   }
+}
+
+/// Split a sink's output into (header, data lines). CSV has one header
+/// line; JSONL has none.
+std::pair<std::string, std::vector<std::string>> split_lines(
+    const std::string& bytes, bool has_header) {
+  std::vector<std::string> lines;
+  std::string header;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      ADD_FAILURE() << "sink output must end with a newline";
+      break;
+    }
+    lines.push_back(bytes.substr(pos, nl + 1 - pos));
+    pos = nl + 1;
+  }
+  if (has_header && !lines.empty()) {
+    header = lines.front();
+    lines.erase(lines.begin());
+  }
+  return {header, lines};
+}
+
+// The fleet-splitting contract (`mdst_lab run --shard i/k`): the union of k
+// shards' rows, interleaved by their deterministic stripe, is byte-identical
+// to the unsharded run — headers included.
+TEST(CampaignRunnerTest, ShardUnionReconstructsUnshardedBytes) {
+  const CampaignSpec spec = small_grid();
+  const CampaignBytes whole = run_with_threads(2);
+  const auto [whole_header, whole_rows] = split_lines(whole.csv, true);
+  const auto [unused, whole_json] = split_lines(whole.jsonl, false);
+  ASSERT_EQ(whole_rows.size(), spec.trial_count());
+
+  const unsigned k = 3;
+  std::vector<std::string> union_rows(whole_rows.size());
+  std::vector<std::string> union_json(whole_json.size());
+  std::size_t total_sharded = 0;
+  for (unsigned shard = 0; shard < k; ++shard) {
+    std::ostringstream csv;
+    std::ostringstream jsonl;
+    CsvSink csv_sink(csv);
+    JsonlSink jsonl_sink(jsonl);
+    RunnerConfig config;
+    config.threads = 2;
+    config.shard_index = shard;
+    config.shard_count = k;
+    const std::vector<TrialOutcome> outcomes =
+        run_campaign(spec, config, {&csv_sink, &jsonl_sink});
+    const auto [shard_header, shard_rows] = split_lines(csv.str(), true);
+    const auto [unused2, shard_json] = split_lines(jsonl.str(), false);
+    EXPECT_EQ(shard_header, whole_header);
+    ASSERT_EQ(shard_rows.size(), outcomes.size());
+    ASSERT_EQ(shard_json.size(), outcomes.size());
+    total_sharded += outcomes.size();
+    // Shard-local rows commit in grid order and keep global indices; the
+    // stripe places row j of shard s at global position s + j*k.
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      EXPECT_EQ(outcomes[j].trial.index, shard + j * k);
+      ASSERT_LT(shard + j * k, union_rows.size());
+      union_rows[shard + j * k] = shard_rows[j];
+      union_json[shard + j * k] = shard_json[j];
+    }
+  }
+  EXPECT_EQ(total_sharded, whole_rows.size());
+
+  std::string reunited = whole_header;
+  for (const std::string& row : union_rows) reunited += row;
+  EXPECT_EQ(reunited, whole.csv) << "CSV union differs from unsharded run";
+  std::string reunited_json;
+  for (const std::string& row : union_json) reunited_json += row;
+  EXPECT_EQ(reunited_json, whole.jsonl)
+      << "JSONL union differs from unsharded run";
+}
+
+TEST(CampaignRunnerTest, ShardValidationRejectsBadRanges) {
+  const CampaignSpec spec = small_grid();
+  RunnerConfig config;
+  config.shard_count = 0;
+  EXPECT_THROW(run_campaign(spec, config, {}), mdst::ContractViolation);
+  config.shard_count = 3;
+  config.shard_index = 3;
+  EXPECT_THROW(run_campaign(spec, config, {}), mdst::ContractViolation);
 }
 
 TEST(CampaignRunnerTest, MoreThreadsThanTrialsIsFine) {

@@ -1,0 +1,163 @@
+// Census regression: the engine derives its per-round phase census from
+// structured annotation tags and builds a round → marks index once, in one
+// pass (engine.cpp::derive_round_census). This suite pins, on a 1024-node
+// run (the scale where per-round rescans used to matter):
+//
+//   * the tag-driven census equals a seed-style reference parser that
+//     re-derives every RoundStats row from the formatted label strings;
+//   * marks_of_round(r) returns exactly the contiguous block of marks
+//     whose tag names round r, for every round, with full coverage;
+//   * stats_of_round(r) resolves every started round and rejects others.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/annotations.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace mdst::core {
+namespace {
+
+/// Reference implementation: the seed's string-scanning census, applied to
+/// the formatted labels. Any divergence between this and the engine's
+/// tag-driven single pass is a regression.
+std::vector<RoundStats> reference_census(const std::vector<RoundMark>& marks) {
+  std::vector<RoundStats> rounds;
+  RoundStats current;
+  std::uint64_t at_round_start = 0;
+  std::uint64_t at_decide = 0;
+  std::uint64_t at_cut = 0;
+  std::uint64_t at_wave = 0;
+  bool in_round = false;
+  const auto flush = [&](std::uint64_t end_messages) {
+    if (!in_round) return;
+    if (at_decide >= at_round_start) {
+      current.search_msgs = at_decide - at_round_start;
+    }
+    if (at_cut > 0) {
+      current.move_msgs = at_cut - at_decide;
+      if (at_wave > 0) {
+        current.wave_msgs = at_wave - at_cut;
+        current.choose_msgs = end_messages - at_wave;
+      }
+    }
+    rounds.push_back(current);
+    in_round = false;
+  };
+  for (const RoundMark& mark : marks) {
+    const auto fields = support::split_whitespace(mark.label);
+    if (fields.empty()) continue;
+    if (support::starts_with(fields[0], "round=")) {
+      flush(mark.total_messages);
+      current = RoundStats{};
+      current.round =
+          static_cast<std::uint32_t>(std::stoul(fields[0].substr(6)));
+      at_round_start = mark.total_messages;
+      at_decide = at_cut = at_wave = 0;
+      in_round = true;
+    } else if (fields[0] == "decide") {
+      at_decide = mark.total_messages;
+      for (const std::string& f : fields) {
+        if (support::starts_with(f, "k_all=")) current.k = std::stoi(f.substr(6));
+      }
+    } else if (fields[0] == "cut") {
+      at_cut = mark.total_messages;
+    } else if (fields[0] == "wave_done") {
+      at_wave = mark.total_messages;
+    } else if (fields[0] == "improve") {
+      current.improved = true;
+    } else if (fields[0] == "terminate") {
+      flush(mark.total_messages);
+    }
+  }
+  return rounds;
+}
+
+void expect_census_indexed(const RunResult& run) {
+  // Tag-driven census == seed-style string reference, row for row.
+  const std::vector<RoundStats> expected = reference_census(run.marks);
+  ASSERT_EQ(run.round_stats.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(run.round_stats[i].round, expected[i].round) << "row " << i;
+    EXPECT_EQ(run.round_stats[i].k, expected[i].k) << "row " << i;
+    EXPECT_EQ(run.round_stats[i].search_msgs, expected[i].search_msgs)
+        << "row " << i;
+    EXPECT_EQ(run.round_stats[i].move_msgs, expected[i].move_msgs)
+        << "row " << i;
+    EXPECT_EQ(run.round_stats[i].wave_msgs, expected[i].wave_msgs)
+        << "row " << i;
+    EXPECT_EQ(run.round_stats[i].choose_msgs, expected[i].choose_msgs)
+        << "row " << i;
+    EXPECT_EQ(run.round_stats[i].improved, expected[i].improved)
+        << "row " << i;
+  }
+
+  // The index covers every mark exactly once, in order, and each block's
+  // marks all name the block's round in their tags.
+  ASSERT_FALSE(run.round_mark_index.empty());
+  std::size_t covered = 0;
+  std::uint32_t previous_round = 0;
+  for (const RoundMarkSpan& span : run.round_mark_index) {
+    EXPECT_GT(span.round, previous_round) << "rounds must ascend";
+    previous_round = span.round;
+    EXPECT_EQ(span.begin, covered) << "blocks must be contiguous";
+    ASSERT_LE(span.end, run.marks.size());
+    for (std::uint32_t i = span.begin; i < span.end; ++i) {
+      ASSERT_TRUE(run.marks[i].tagged);
+      EXPECT_EQ(run.marks[i].tag.round, span.round) << "mark " << i;
+    }
+    covered = span.end;
+
+    // Lookup resolves to the same block without any rescan.
+    const auto looked_up = run.marks_of_round(span.round);
+    ASSERT_EQ(looked_up.size(), span.end - span.begin);
+    EXPECT_EQ(looked_up.data(), run.marks.data() + span.begin);
+  }
+  EXPECT_EQ(covered, run.marks.size()) << "index must cover every mark";
+
+  // Per-round stats lookup: every started round resolves; rounds past the
+  // end do not.
+  for (const RoundStats& row : run.round_stats) {
+    const RoundStats* found = run.stats_of_round(row.round);
+    ASSERT_NE(found, nullptr) << "round " << row.round;
+    EXPECT_EQ(found->round, row.round);
+    EXPECT_EQ(found->wave_msgs, row.wave_msgs);
+  }
+  EXPECT_EQ(run.stats_of_round(0), nullptr);
+  EXPECT_EQ(run.stats_of_round(run.rounds + 1), nullptr);
+  EXPECT_TRUE(run.marks_of_round(run.rounds + 1).empty());
+}
+
+TEST(EngineCensusTest, RoundIndexOn1024NodeRun) {
+  // The regression scale: a 1024-node sparse instance runs a few hundred
+  // rounds, each with several marks — exactly where a per-round rescan of
+  // the full annotation list used to go quadratic.
+  support::Rng rng(support::derive_seed(5, 1024));
+  const graph::Graph g =
+      graph::make_gnp_connected(1024, 8.0 / 1024.0, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const RunResult run = run_mdst(g, start);
+  EXPECT_GT(run.rounds, 10u);
+  EXPECT_GT(run.marks.size(), run.rounds) << "several marks per round";
+  expect_census_indexed(run);
+}
+
+TEST(EngineCensusTest, RoundIndexInConcurrentMode) {
+  // kConcurrent interleaves subimprove marks into round blocks; the index
+  // must still be contiguous and the census identical to the reference.
+  support::Rng rng(support::derive_seed(5, 96));
+  const graph::Graph g = graph::make_gnp_connected(96, 0.12, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  Options options;
+  options.mode = EngineMode::kConcurrent;
+  const RunResult run = run_mdst(g, start, options);
+  expect_census_indexed(run);
+}
+
+}  // namespace
+}  // namespace mdst::core

@@ -204,6 +204,11 @@ TEST(NodeUnitTest, TerminateFloodsDownAndFinishes) {
 }
 
 TEST(NodeUnitTest, TerminateFromNonParentViolatesContract) {
+  // Exercises an internal invariant (MDST_ASSERT), present only at the
+  // `full` check tier (docs/architecture.md rule 7).
+  if (!mdst::kChecksFull) {
+    GTEST_SKIP() << "invariant checks compiled out (MDST_CHECK_LEVEL=fast)";
+  }
   Node node(env_of(2, {0, 5}), 0, {5}, {});
   MockCtx ctx;
   EXPECT_THROW(node.on_message(ctx, 5, Terminate{}), ContractViolation);

@@ -1,0 +1,170 @@
+// Annotation equivalence: the MDegST protocol records its per-round
+// checkpoints as alloc-free structured tags (sim::AnnotationTag +
+// mdst/annotations.hpp) on the simulator path, while virtual contexts
+// (mocks, replay tooling) receive the seed-style formatted string through
+// sim::annotate_tagged's fallback. This suite proves the two paths are the
+// same instrument: running the identical MDegST configuration through both
+// context bindings, every annotation must match field-for-field — time,
+// message counter snapshot, causal-depth snapshot, and *text*, where the
+// tagged side's text is produced at read time by format_round_note().
+// Covered under unit and uniform delays, in single-improvement and
+// concurrent engine modes (the latter exercises subimprove notes).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/annotations.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+using core::Message;
+
+/// Hosts the IContext-bound node: annotations travel as formatted strings
+/// through the virtual interface, exactly like the seed engine.
+struct VirtualNodeAdapter {
+  core::Node inner;  // BasicNode<sim::IContext<Message>>
+
+  VirtualNodeAdapter(const sim::NodeEnv& env, sim::NodeId parent,
+                     std::vector<sim::NodeId> children, core::Options options)
+      : inner(env, parent, std::move(children), options) {}
+
+  void on_start(sim::IContext<Message>& ctx) { inner.on_start(ctx); }
+  void on_message(sim::IContext<Message>& ctx, sim::NodeId from,
+                  const Message& m) {
+    inner.on_message(ctx, from, m);
+  }
+};
+
+struct VirtualProtocol {
+  using Message = core::Message;
+  using Node = VirtualNodeAdapter;
+};
+
+template <typename P>
+sim::Simulator<P> run_mdst_as(const graph::Graph& g,
+                              const graph::RootedTree& start,
+                              const core::Options& options,
+                              const sim::SimConfig& config) {
+  sim::Simulator<P> simulation(
+      g,
+      [&](const sim::NodeEnv& env) {
+        return typename P::Node(env, start.parent(env.id),
+                                start.children(env.id), options);
+      },
+      config);
+  simulation.run();
+  return simulation;
+}
+
+void expect_annotations_equivalent(const graph::Graph& g,
+                                   const graph::RootedTree& start,
+                                   const core::Options& options,
+                                   const sim::SimConfig& config,
+                                   const char* what) {
+  auto tagged = run_mdst_as<core::Protocol>(g, start, options, config);
+  auto seeded = run_mdst_as<VirtualProtocol>(g, start, options, config);
+
+  const auto& got = tagged.metrics().annotations();
+  const auto& want = seeded.metrics().annotations();
+  ASSERT_EQ(got.size(), want.size()) << what;
+  ASSERT_FALSE(got.empty()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // The simulator path stored a tag and no string; the virtual path
+    // stored the seed-formatted string and no tag.
+    EXPECT_TRUE(got[i].tagged) << what << " annotation " << i;
+    EXPECT_FALSE(want[i].tagged) << what << " annotation " << i;
+    EXPECT_TRUE(got[i].label.empty()) << what << " annotation " << i;
+    // Field-for-field equality, with the tagged text produced at read time.
+    EXPECT_EQ(core::annotation_text(got[i]), want[i].label)
+        << what << " annotation " << i;
+    EXPECT_EQ(got[i].time, want[i].time) << what << " annotation " << i;
+    EXPECT_EQ(got[i].total_messages, want[i].total_messages)
+        << what << " annotation " << i;
+    EXPECT_EQ(got[i].max_causal_depth, want[i].max_causal_depth)
+        << what << " annotation " << i;
+  }
+}
+
+std::vector<sim::SimConfig> delay_configs() {
+  std::vector<sim::SimConfig> configs;
+  for (const sim::DelayModel& delay :
+       {sim::DelayModel::unit(), sim::DelayModel::uniform(1, 9)}) {
+    sim::SimConfig cfg;
+    cfg.delay = delay;
+    cfg.seed = 41;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(AnnotationEquivalenceTest, SingleImprovementUnitAndUniformDelays) {
+  support::Rng rng(53);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const core::Options options;
+  for (const sim::SimConfig& cfg : delay_configs()) {
+    expect_annotations_equivalent(g, start, options, cfg, cfg.delay.name());
+  }
+}
+
+TEST(AnnotationEquivalenceTest, ConcurrentModeEmitsIdenticalSubImproves) {
+  support::Rng rng(59);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  core::Options options;
+  options.mode = core::EngineMode::kConcurrent;
+  for (const sim::SimConfig& cfg : delay_configs()) {
+    expect_annotations_equivalent(g, start, options, cfg, cfg.delay.name());
+  }
+}
+
+TEST(AnnotationEquivalenceTest, FormatterCoversEveryKind) {
+  // Direct formatter pinning: each kind renders the exact seed spelling.
+  using sim::AnnotationTag;
+  EXPECT_EQ(core::format_round_note(core::note_round_start(7)), "round=7");
+  EXPECT_EQ(core::format_round_note(core::note_decide(7, 5, 4, 123)),
+            "decide round=7 k_all=5 best=4 target=123");
+  EXPECT_EQ(core::format_round_note(core::note_decide(2, 3, -1, -1)),
+            "decide round=2 k_all=3 best=-1 target=-1");
+  EXPECT_EQ(core::format_round_note(core::note_cut(7, 5)),
+            "cut round=7 k=5");
+  EXPECT_EQ(core::format_round_note(core::note_wave_done(7, true)),
+            "wave_done round=7 has_candidate=1");
+  EXPECT_EQ(core::format_round_note(core::note_wave_done(7, false)),
+            "wave_done round=7 has_candidate=0");
+  EXPECT_EQ(core::format_round_note(core::note_improve(7, 5)),
+            "improve round=7 k=5");
+  EXPECT_EQ(core::format_round_note(core::note_sub_improve(7, 5)),
+            "subimprove round=7 k=5");
+  EXPECT_EQ(core::format_round_note(core::note_terminate(
+                9, core::StopReason::kLocallyOptimal, 4)),
+            "terminate round=9 reason=locally_optimal k_all=4");
+}
+
+TEST(AnnotationEquivalenceTest, RunResultMarksCarryFormattedTextAndTags) {
+  // End-to-end: run_mdst's marks expose both the formatted label and the
+  // structured tag of each checkpoint.
+  support::Rng rng(61);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.2, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const core::RunResult run = core::run_mdst(g, start);
+  ASSERT_FALSE(run.marks.empty());
+  for (const core::RoundMark& mark : run.marks) {
+    ASSERT_TRUE(mark.tagged);
+    EXPECT_EQ(mark.label, core::format_round_note(mark.tag));
+  }
+  EXPECT_EQ(run.marks.front().tag.kind,
+            static_cast<std::uint8_t>(core::RoundNote::kRoundStart));
+  EXPECT_EQ(run.marks.back().tag.kind,
+            static_cast<std::uint8_t>(core::RoundNote::kTerminate));
+}
+
+}  // namespace
+}  // namespace mdst

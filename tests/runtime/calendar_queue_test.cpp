@@ -65,6 +65,11 @@ TEST(CalendarQueueTest, FarFutureEventsGoThroughOverflowCorrectly) {
 }
 
 TEST(CalendarQueueTest, PushIntoPastRejected) {
+  // Exercises an internal invariant (MDST_ASSERT), present only at the
+  // `full` check tier (docs/architecture.md rule 7).
+  if (!mdst::kChecksFull) {
+    GTEST_SKIP() << "invariant checks compiled out (MDST_CHECK_LEVEL=fast)";
+  }
   CalendarQueue<int> q;
   q.push(10, 1);
   const auto p = q.pop();  // now == 10

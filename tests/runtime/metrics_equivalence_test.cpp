@@ -44,8 +44,14 @@ struct ReferenceMeter {
     if (now > last_delivery_time) last_delivery_time = now;
   }
 
-  void annotate(Time now, const std::string& label) {
-    annotations.push_back({now, total_messages, max_causal_depth, label});
+  /// Mirror of Metrics::annotate/annotate_tag: copy the production
+  /// annotation's identity (time, label, tag) but recompute the counter
+  /// snapshot from this meter's own state.
+  void annotate(const Annotation& production) {
+    Annotation copy = production;
+    copy.total_messages = total_messages;
+    copy.max_causal_depth = max_causal_depth;
+    annotations.push_back(std::move(copy));
   }
 
   std::uint64_t total_messages = 0;
@@ -94,8 +100,7 @@ void expect_metering_equivalent(const graph::Graph& g, Factory factory,
     // totals of exactly this delivery, which the reference now also has.
     const auto& annotations = core.metrics().annotations();
     for (; annotations_seen < annotations.size(); ++annotations_seen) {
-      reference.annotate(annotations[annotations_seen].time,
-                         annotations[annotations_seen].label);
+      reference.annotate(annotations[annotations_seen]);
     }
   }
 
@@ -120,6 +125,8 @@ void expect_metering_equivalent(const graph::Graph& g, Factory factory,
     EXPECT_EQ(got.max_causal_depth, want.max_causal_depth)
         << what << " annotation " << i;
     EXPECT_EQ(got.label, want.label) << what << " annotation " << i;
+    EXPECT_EQ(got.tagged, want.tagged) << what << " annotation " << i;
+    EXPECT_TRUE(got.tag == want.tag) << what << " annotation " << i;
   }
 }
 

@@ -1,0 +1,88 @@
+// Contract-check tiers (support/assert.hpp, docs/architecture.md rule 7).
+//
+// The `checked`-mode equivalence guarantee: whichever tier a build selects,
+// the *behavior* of passing checks is identical — a check only ever differs
+// on executions that would have corrupted state anyway. This test pins the
+// operational side of that guarantee in both tiers:
+//
+//   * MDST_REQUIRE throws ContractViolation in every tier (public-API
+//     preconditions are never compiled out);
+//   * MDST_ASSERT throws exactly when the build advertises the `full` tier
+//     (mdst::kChecksFull), and is a no-op — including not evaluating its
+//     condition — at `fast`;
+//   * the failure message carries kind, condition, location, and text.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace mdst {
+namespace {
+
+bool require_throws() {
+  try {
+    MDST_REQUIRE(1 + 1 == 3, "arithmetic still works");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+bool assert_throws() {
+  try {
+    MDST_ASSERT(1 + 1 == 3, "arithmetic still works");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+TEST(CheckTierTest, RequireIsAlwaysOn) {
+  EXPECT_TRUE(require_throws());
+}
+
+TEST(CheckTierTest, AssertMatchesAdvertisedTier) {
+  EXPECT_EQ(assert_throws(), kChecksFull);
+}
+
+TEST(CheckTierTest, FastTierDoesNotEvaluateConditions) {
+  // At `fast`, MDST_ASSERT must not evaluate its condition at runtime (the
+  // hot-path contract: a check site costs nothing). At `full` it must.
+  int evaluations = 0;
+  const auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  MDST_ASSERT(probe(), "side-effect probe");
+  EXPECT_EQ(evaluations, kChecksFull ? 1 : 0);
+}
+
+TEST(CheckTierTest, ViolationMessageNamesTheContract) {
+  try {
+    MDST_REQUIRE(false, "the message text");
+    FAIL() << "MDST_REQUIRE(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_tier_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("the message text"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTierTest, ComposedMessagePathSurvives) {
+  // Sites that build a diagnostic (e.g. the simulator's message-cap error)
+  // route through the std::string overload of contract_fail.
+  const std::string detail = "cap=" + std::to_string(42);
+  try {
+    MDST_REQUIRE(false, "overflow: " + detail);
+    FAIL() << "MDST_REQUIRE(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("overflow: cap=42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mdst
