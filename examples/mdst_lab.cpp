@@ -32,7 +32,8 @@ int usage(std::ostream& out, int exit_code) {
          "subcommands:\n"
          "  run           execute a campaign spec   (--spec, --threads,\n"
          "                --csv, --jsonl, --progress, --no-summary,\n"
-         "                --shard=i/k for fleet-splitting across machines)\n"
+         "                --shard=i/k for fleet-splitting across machines,\n"
+         "                --allow-wedged to exit 0 despite wedged trials)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
          "  reproduce     re-run one grid cell       (--spec, --cell)\n"
          "  list-families show the graph families usable in specs\n"
@@ -84,7 +85,7 @@ int cmd_expand(int argc, char** argv) {
   if (!load_or_complain(spec_path, spec)) return 1;
 
   support::Table table(
-      {"index", "family", "n", "delay", "startup", "mode", "rep"});
+      {"index", "family", "n", "delay", "startup", "mode", "faults", "rep"});
   for (const campaign::Trial& trial : campaign::expand(spec)) {
     table.start_row();
     table.cell(static_cast<std::uint64_t>(trial.index));
@@ -93,6 +94,7 @@ int cmd_expand(int argc, char** argv) {
     table.cell(trial.delay.label);
     table.cell(analysis::to_string(trial.startup));
     table.cell(core::to_string(trial.mode));
+    table.cell(trial.fault.label);
     table.cell(trial.repetition);
   }
   table.print(std::cout, "campaign '" + spec.name + "' — " +
@@ -135,6 +137,7 @@ int cmd_run(int argc, char** argv) {
   std::uint64_t threads = 0;
   std::uint64_t progress = 0;
   bool summary = true;
+  bool allow_wedged = false;
   support::CliParser cli("mdst_lab run — execute a campaign spec");
   cli.add_string("spec", &spec_path, "campaign spec file");
   cli.add_string("csv", &csv_path, "write per-trial rows as CSV");
@@ -147,6 +150,9 @@ int cmd_run(int argc, char** argv) {
   cli.add_uint("progress", &progress,
                "print progress every N trials (0 = quiet)");
   cli.add_bool("summary", &summary, "print the per-cell summary table");
+  cli.add_bool("allow-wedged", &allow_wedged,
+               "exit 0 even when trials wedge (adversity sweeps where "
+               "wedging is the measured phenomenon)");
   const auto parsed = cli.parse(argc, argv);
   if (parsed.help_requested) {
     std::cout << cli.help_text();
@@ -227,7 +233,18 @@ int cmd_run(int argc, char** argv) {
             << " s";
   if (!csv_path.empty()) std::cout << "; csv -> " << csv_path;
   if (!jsonl_path.empty()) std::cout << "; jsonl -> " << jsonl_path;
+  std::size_t wedged = 0;
+  for (const campaign::TrialOutcome& outcome : outcomes) {
+    if (outcome.wedged()) ++wedged;
+  }
+  if (wedged != 0) std::cout << "; " << wedged << " wedged";
   std::cout << "\n";
+  if (wedged != 0 && !allow_wedged) {
+    std::cerr << wedged << " trial(s) wedged — the protocol failed to "
+                 "terminate cleanly under the fault plan (re-run with "
+                 "--allow-wedged if that is the phenomenon under study)\n";
+    return 3;
+  }
   return 0;
 }
 

@@ -26,11 +26,19 @@ PipelineResult run_pipeline(const graph::Graph& g, StartupProtocol protocol,
   std::uint64_t election_messages = 0;
   std::uint64_t election_time = 0;
 
+  // Adversity targets the improvement phase: the startup protocol runs
+  // fault-free (same schedule seed), so every campaign cell enters MDegST
+  // from the same tree and fault effects are attributable to the protocol
+  // under study, not the scaffolding (docs/faults.md).
+  sim::SimConfig startup_config = sim_config;
+  startup_config.faults = sim::FaultPlan{};
+
   sim::NodeId initiator = g.vertex_by_name(0);
   if (initiator == sim::kNoNode) initiator = 0;  // names need not include 0
   if (elect_initiator && (protocol == StartupProtocol::kFloodSt ||
                           protocol == StartupProtocol::kDfsSt)) {
-    const spanning::LeaderRun election = spanning::run_leader_elect(g, sim_config);
+    const spanning::LeaderRun election =
+        spanning::run_leader_elect(g, startup_config);
     initiator = election.tree.root();
     election_messages = election.metrics.total_messages();
     election_time = election.metrics.max_causal_depth();
@@ -39,17 +47,18 @@ PipelineResult run_pipeline(const graph::Graph& g, StartupProtocol protocol,
   spanning::SpanningRun startup;
   switch (protocol) {
     case StartupProtocol::kFloodSt:
-      startup = spanning::run_flood_st(g, initiator, sim_config);
+      startup = spanning::run_flood_st(g, initiator, startup_config);
       break;
     case StartupProtocol::kDfsSt:
-      startup = spanning::run_dfs_st(g, initiator, sim_config);
+      startup = spanning::run_dfs_st(g, initiator, startup_config);
       break;
     case StartupProtocol::kGhsMst:
-      startup = spanning::run_ghs_mst(g, sim_config.seed ^ 0x6057, sim_config);
+      startup = spanning::run_ghs_mst(g, startup_config.seed ^ 0x6057,
+                                      startup_config);
       break;
     case StartupProtocol::kLeaderElect: {
       const spanning::LeaderRun election =
-          spanning::run_leader_elect(g, sim_config);
+          spanning::run_leader_elect(g, startup_config);
       startup.tree = election.tree;
       startup.metrics = election.metrics;
       break;

@@ -19,7 +19,7 @@ void Aggregator::add(const TrialOutcome& outcome) {
   for (CellAggregate& candidate : cells_) {
     if (candidate.family == t.family && candidate.n == t.n &&
         candidate.delay == t.delay.label && candidate.startup == startup &&
-        candidate.mode == mode) {
+        candidate.mode == mode && candidate.faults == t.fault.label) {
       cell = &candidate;
       break;
     }
@@ -31,47 +31,68 @@ void Aggregator::add(const TrialOutcome& outcome) {
     fresh.delay = t.delay.label;
     fresh.startup = startup;
     fresh.mode = mode;
-    fresh.gap_min = fresh.gap_max = outcome.gap();
-    fresh.k_final_min = fresh.k_final_max = outcome.k_final;
+    fresh.faults = t.fault.label;
     cells_.push_back(std::move(fresh));
     cell = &cells_.back();
   }
   ++cell->trials;
-  cell->gap_min = std::min(cell->gap_min, outcome.gap());
-  cell->gap_max = std::max(cell->gap_max, outcome.gap());
-  cell->k_final_min = std::min(cell->k_final_min, outcome.k_final);
-  cell->k_final_max = std::max(cell->k_final_max, outcome.k_final);
-  cell->gap.add(static_cast<double>(outcome.gap()));
+  // Cost metrics describe the run regardless of how it ended.
   cell->messages.add(static_cast<double>(outcome.total_messages()));
   cell->causal_time.add(static_cast<double>(outcome.total_time()));
   cell->rounds.add(static_cast<double>(outcome.rounds));
+  cell->retransmits.add(static_cast<double>(outcome.retransmits));
+  if (outcome.wedged()) {
+    ++cell->wedged;
+    return;  // no valid tree: k_final/gap are sentinels, keep them out
+  }
+  if (cell->gap.accumulator.count() == 0) {
+    cell->gap_min = cell->gap_max = outcome.gap();
+    cell->k_final_min = cell->k_final_max = outcome.k_final;
+  } else {
+    cell->gap_min = std::min(cell->gap_min, outcome.gap());
+    cell->gap_max = std::max(cell->gap_max, outcome.gap());
+    cell->k_final_min = std::min(cell->k_final_min, outcome.k_final);
+    cell->k_final_max = std::max(cell->k_final_max, outcome.k_final);
+  }
+  cell->gap.add(static_cast<double>(outcome.gap()));
 }
 
 support::Table Aggregator::summary_table() const {
-  support::Table table({"family", "n", "delay", "startup", "mode", "trials",
-                        "k_final", "gap mean", "gap max", "msgs mean",
-                        "msgs ±ci95", "msgs p90", "time mean", "time p90",
-                        "rounds mean"});
+  support::Table table({"family", "n", "delay", "startup", "mode", "faults",
+                        "trials", "wedged", "k_final", "gap mean", "gap max",
+                        "msgs mean", "msgs ±ci95", "msgs p90", "time mean",
+                        "time p90", "rounds mean", "retx mean"});
   for (const CellAggregate& cell : cells_) {
+    const bool any_tree = cell.gap.accumulator.count() != 0;
     table.start_row();
     table.cell(cell.family);
     table.cell(static_cast<std::uint64_t>(cell.n));
     table.cell(cell.delay);
     table.cell(cell.startup);
     table.cell(cell.mode);
+    table.cell(cell.faults);
     table.cell(static_cast<std::uint64_t>(cell.trials));
-    table.cell(cell.k_final_min == cell.k_final_max
-                   ? std::to_string(cell.k_final_min)
-                   : std::to_string(cell.k_final_min) + ".." +
-                         std::to_string(cell.k_final_max));
-    table.cell(cell.gap.mean(), 2);
-    table.cell(static_cast<std::int64_t>(cell.gap_max));
+    table.cell(static_cast<std::uint64_t>(cell.wedged));
+    if (any_tree) {
+      table.cell(cell.k_final_min == cell.k_final_max
+                     ? std::to_string(cell.k_final_min)
+                     : std::to_string(cell.k_final_min) + ".." +
+                           std::to_string(cell.k_final_max));
+      table.cell(cell.gap.mean(), 2);
+      table.cell(static_cast<std::int64_t>(cell.gap_max));
+    } else {
+      // Every rep wedged: no valid tree anywhere in the cell.
+      table.cell("-");
+      table.cell("-");
+      table.cell("-");
+    }
     table.cell(cell.messages.mean(), 0);
     table.cell(cell.messages.ci95(), 0);
     table.cell(cell.messages.p90(), 0);
     table.cell(cell.causal_time.mean(), 0);
     table.cell(cell.causal_time.p90(), 0);
     table.cell(cell.rounds.mean(), 1);
+    table.cell(cell.retransmits.mean(), 1);
   }
   return table;
 }

@@ -1,11 +1,13 @@
 // Streaming per-cell aggregation of campaign outcomes.
 //
 // A *cell* is one point of the sweep grid without the repetition axis:
-// (family, n, delay, startup, mode). Repetitions land in the same cell, so
-// the summary reports mean / 95% CI / percentiles over reps — the numbers
-// the paper-style tables quote. The aggregator is itself a Sink, so it
-// rides the runner's deterministic commit order and its table row order is
-// the grid order.
+// (family, n, delay, startup, mode, faults). Repetitions land in the same
+// cell, so the summary reports mean / 95% CI / percentiles over reps — the
+// numbers the paper-style tables quote. The aggregator is itself a Sink, so
+// it rides the runner's deterministic commit order and its table row order
+// is the grid order. Wedged trials (docs/faults.md) count toward the cell's
+// wedge rate but contribute no tree metrics — a wedged run has no valid
+// final tree, so its k_final/gap would poison the means.
 #pragma once
 
 #include <cstddef>
@@ -40,8 +42,11 @@ struct CellAggregate {
   std::string delay;
   std::string startup;
   std::string mode;
+  std::string faults;
   // Aggregated metrics over repetitions.
   std::size_t trials = 0;
+  /// Trials classified kWedged; excluded from the tree metrics below.
+  std::size_t wedged = 0;
   int gap_min = 0;
   int gap_max = 0;
   int k_final_min = 0;
@@ -50,6 +55,7 @@ struct CellAggregate {
   MetricAggregate messages;
   MetricAggregate causal_time;
   MetricAggregate rounds;
+  MetricAggregate retransmits;
 };
 
 class Aggregator final : public Sink {

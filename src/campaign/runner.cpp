@@ -34,6 +34,16 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
   sim_config.seed = support::derive_seed(spec.base_seed ^ 0x51u, trial.n,
                                          trial.repetition);
   if (spec.max_messages != 0) sim_config.max_messages = spec.max_messages;
+  sim_config.fifo_links = spec.fifo_links;
+  sim_config.start_spread = spec.start_spread;
+  if (trial.fault.active()) {
+    sim_config.faults = trial.fault.plan;
+    // Dedicated fault stream: never shares draws with the instance or the
+    // schedule, so adding a fault axis leaves every other cell's randomness
+    // untouched (docs/faults.md).
+    sim_config.faults.seed = support::derive_seed(spec.base_seed ^ 0xf417u,
+                                                  trial.n, trial.repetition);
+  }
 
   const analysis::PipelineResult run =
       analysis::run_pipeline(g, trial.startup, options, sim_config);
@@ -52,6 +62,9 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
   out.mdst_messages = run.mdst.metrics.total_messages();
   out.startup_time = run.startup_causal_time;
   out.mdst_time = run.mdst.metrics.max_causal_depth();
+  out.outcome = run.mdst.outcome;
+  out.retransmits = run.mdst.fault_stats.retransmits;
+  out.dropped_deliveries = run.mdst.fault_stats.dropped_deliveries;
   return out;
 }
 
@@ -62,6 +75,7 @@ std::string describe(const Trial& trial) {
          " n=" + std::to_string(trial.n) + " delay=" + trial.delay.label +
          " startup=" + analysis::to_string(trial.startup) +
          " mode=" + core::to_string(trial.mode) +
+         " faults=" + trial.fault.label +
          " rep=" + std::to_string(trial.repetition) + ")";
 }
 

@@ -2,8 +2,9 @@
 //
 // Determinism contract: a TrialOutcome depends only on the trial's own
 // coordinates and the spec's base_seed/engine knobs (the instance derives
-// from (base_seed, family, n, repetition) and the schedule from
-// (base_seed ^ 0x51, n, repetition) — the same derivation as
+// from (base_seed, family, n, repetition), the schedule from
+// (base_seed ^ 0x51, n, repetition), and fault draws from
+// (base_seed ^ 0xf417, n, repetition) — the same derivation as
 // analysis::run_trial). run_campaign executes trials concurrently but
 // *commits* outcomes to sinks strictly in grid order, so the streamed
 // CSV/JSONL output is byte-identical regardless of worker count. The
@@ -46,6 +47,13 @@ struct TrialOutcome {
     return startup_messages + mdst_messages;
   }
   std::uint64_t total_time() const { return startup_time + mdst_time; }
+  // Adversity outcome (docs/faults.md): kOk for fault-free cells; under an
+  // active plan the wedge watchdog classifies ok / re_rooted / wedged, and
+  // the counters meter the ARQ link layer and crash suppression.
+  sim::RunOutcome outcome = sim::RunOutcome::kOk;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dropped_deliveries = 0;
+  bool wedged() const { return outcome == sim::RunOutcome::kWedged; }
 };
 
 /// Run the single trial `trial` of `spec` (used by workers and by

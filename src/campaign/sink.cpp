@@ -58,6 +58,7 @@ std::vector<std::pair<std::string, std::string>> outcome_fields(
       {"delay", o.trial.delay.label},
       {"startup", analysis::to_string(o.trial.startup)},
       {"mode", core::to_string(o.trial.mode)},
+      {"faults", o.trial.fault.label},
       {"rep", u64(o.trial.repetition)},
       {"nodes", u64(o.n_actual)},
       {"edges", u64(o.m)},
@@ -74,6 +75,9 @@ std::vector<std::pair<std::string, std::string>> outcome_fields(
       {"mdst_time", u64(o.mdst_time)},
       {"total_time", u64(o.total_time())},
       {"stop_reason", core::to_string(o.stop_reason)},
+      {"outcome", sim::to_string(o.outcome)},
+      {"retransmits", u64(o.retransmits)},
+      {"dropped", u64(o.dropped_deliveries)},
   };
 }
 
@@ -126,10 +130,12 @@ void ProgressSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
 }
 
 void ProgressSink::add(const TrialOutcome& outcome) {
-  (void)outcome;
   ++seen_;
+  if (outcome.wedged()) ++wedged_;
   if (stride_ != 0 && (seen_ % stride_ == 0 || seen_ == total_)) {
-    out_ << "  " << seen_ << "/" << total_ << " trials done\n";
+    out_ << "  " << seen_ << "/" << total_ << " trials done";
+    if (wedged_ != 0) out_ << " (" << wedged_ << " wedged)";
+    out_ << '\n';
   }
 }
 

@@ -58,19 +58,22 @@ class JsonlSink final : public Sink {
 };
 
 /// Console progress: a one-line note every `stride` trials (stderr), for
-/// long campaigns run interactively. Quiet when stride == 0.
+/// long campaigns run interactively. Quiet when stride == 0. Adversity
+/// campaigns show a running wedge counter once any trial wedges.
 class ProgressSink final : public Sink {
  public:
   ProgressSink(std::ostream& out, std::size_t stride)
       : out_(out), stride_(stride) {}
   void begin(const CampaignSpec& spec, std::size_t trial_count) override;
   void add(const TrialOutcome& outcome) override;
+  std::size_t wedged() const { return wedged_; }
 
  private:
   std::ostream& out_;
   std::size_t stride_;
   std::size_t seen_ = 0;
   std::size_t total_ = 0;
+  std::size_t wedged_ = 0;
 };
 
 }  // namespace mdst::campaign

@@ -129,6 +129,26 @@ bool parse_sizes(std::string_view token, std::vector<std::size_t>& out,
   return true;
 }
 
+/// Split on commas outside parentheses — axis values like "uniform(1,10)"
+/// or "crash(8,1)" contain commas of their own.
+std::vector<std::string> split_top_level(std::string_view value) {
+  int depth = 0;
+  std::string token;
+  std::vector<std::string> tokens;
+  for (const char c : value) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      tokens.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  tokens.push_back(token);
+  return tokens;
+}
+
 struct LineContext {
   int number = 0;
   std::string error;  // first failure wins
@@ -189,12 +209,75 @@ bool parse_delay(std::string_view token, DelaySpec& out, std::string& error) {
   return false;
 }
 
+bool parse_fault(std::string_view token, FaultSpec& out, std::string& error) {
+  std::string_view callee;
+  std::string_view arguments;
+  if (!split_call(support::trim(token), callee, arguments)) {
+    error = "bad fault '" + std::string(token) + "' (unbalanced parentheses)";
+    return false;
+  }
+  out = FaultSpec{};
+  if (callee == "none") {
+    if (!support::trim(arguments).empty()) {
+      error = "fault 'none' takes no parameters";
+      return false;
+    }
+    return true;
+  }
+  if (callee == "crash") {
+    const std::vector<std::string> parts = support::split(arguments, ',');
+    std::uint64_t time = 0;
+    std::uint64_t count = 0;
+    if (parts.size() != 2 || !parse_u64(parts[0], time) ||
+        !parse_u64(parts[1], count) || count < 1) {
+      error = "bad fault '" + std::string(token) +
+              "' (want crash(r,k) with k >= 1 nodes crashing at time r)";
+      return false;
+    }
+    out.plan.crash_time = static_cast<sim::Time>(time);
+    out.plan.crash_count = static_cast<std::uint32_t>(count);
+    out.label =
+        "crash(" + std::to_string(time) + "," + std::to_string(count) + ")";
+    return true;
+  }
+  if (callee == "loss") {
+    double p = 0.0;
+    if (!parse_double(arguments, p) || !(p > 0.0) || p >= 1.0) {
+      error = "bad fault '" + std::string(token) +
+              "' (want loss(p) with p in (0,1))";
+      return false;
+    }
+    out.plan.loss = p;
+    out.label = "loss(" + format_probability(p) + ")";
+    return true;
+  }
+  if (callee == "churn") {
+    const std::vector<std::string> parts = support::split(arguments, ',');
+    std::uint64_t up = 0;
+    std::uint64_t down = 0;
+    if (parts.size() != 2 || !parse_u64(parts[0], up) ||
+        !parse_u64(parts[1], down) || up < 1 || down < 1) {
+      error = "bad fault '" + std::string(token) +
+              "' (want churn(up,down) with up >= 1, down >= 1)";
+      return false;
+    }
+    out.plan.churn_up = static_cast<sim::Time>(up);
+    out.plan.churn_down = static_cast<sim::Time>(down);
+    out.label = "churn(" + std::to_string(up) + "," + std::to_string(down) + ")";
+    return true;
+  }
+  error = "unknown fault '" + std::string(callee) +
+          "' (none | crash(r,k) | loss(p) | churn(up,down))";
+  return false;
+}
+
 ParseResult parse_spec(std::string_view text) {
   ParseResult result;
   CampaignSpec& spec = result.spec;
   spec.delays.clear();
   spec.startups.clear();
   spec.modes.clear();
+  spec.faults.clear();
 
   LineContext at;
   std::vector<std::string> seen_keys;
@@ -267,29 +350,22 @@ ParseResult parse_spec(std::string_view text) {
         }
       }
     } else if (key == "delays") {
-      // Delay tokens contain commas ("uniform(1,10)"): split only on commas
-      // outside parentheses.
-      int depth = 0;
-      std::string token;
-      std::vector<std::string> tokens;
-      for (const char c : value) {
-        if (c == '(') ++depth;
-        if (c == ')') --depth;
-        if (c == ',' && depth == 0) {
-          tokens.push_back(token);
-          token.clear();
-        } else {
-          token += c;
-        }
-      }
-      tokens.push_back(token);
-      for (const std::string& delay_token : tokens) {
+      for (const std::string& delay_token : split_top_level(value)) {
         DelaySpec delay;
         if (!parse_delay(support::trim(delay_token), delay, item_error)) {
           at.fail(item_error);
           break;
         }
         spec.delays.push_back(delay);
+      }
+    } else if (key == "faults") {
+      for (const std::string& fault_token : split_top_level(value)) {
+        FaultSpec fault;
+        if (!parse_fault(support::trim(fault_token), fault, item_error)) {
+          at.fail(item_error);
+          break;
+        }
+        spec.faults.push_back(fault);
       }
     } else if (key == "startups") {
       for (const std::string& token : support::split(value, ',')) {
@@ -335,10 +411,27 @@ ParseResult parse_spec(std::string_view text) {
         at.fail("bad max_messages '" + std::string(value) + "'");
         break;
       }
+    } else if (key == "fifo_links") {
+      if (value == "true") {
+        spec.fifo_links = true;
+      } else if (value == "false") {
+        spec.fifo_links = false;
+      } else {
+        at.fail("bad fifo_links '" + std::string(value) +
+                "' (true | false)");
+        break;
+      }
+    } else if (key == "start_spread") {
+      if (!parse_u64(value, spec.start_spread)) {
+        at.fail("bad start_spread '" + std::string(value) +
+                "' (want a tick count >= 0)");
+        break;
+      }
     } else {
       at.fail("unknown key '" + key +
-              "' (name base_seed families sizes delays startups modes reps "
-              "max_rounds target_degree max_messages)");
+              "' (name base_seed families sizes delays startups modes faults "
+              "reps max_rounds target_degree max_messages fifo_links "
+              "start_spread)");
       break;
     }
     if (!at.error.empty()) break;
@@ -362,6 +455,7 @@ ParseResult parse_spec(std::string_view text) {
   if (spec.modes.empty()) {
     spec.modes.push_back(core::EngineMode::kSingleImprovement);
   }
+  if (spec.faults.empty()) spec.faults.push_back(FaultSpec{});
   result.ok = true;
   return result;
 }
@@ -389,9 +483,11 @@ std::vector<Trial> expand(const CampaignSpec& spec) {
       for (const DelaySpec& delay : spec.delays) {
         for (const analysis::StartupProtocol startup : spec.startups) {
           for (const core::EngineMode mode : spec.modes) {
-            for (std::uint64_t rep = 0; rep < spec.reps; ++rep) {
-              trials.push_back(
-                  Trial{index++, family, n, delay, startup, mode, rep});
+            for (const FaultSpec& fault : spec.faults) {
+              for (std::uint64_t rep = 0; rep < spec.reps; ++rep) {
+                trials.push_back(Trial{index++, family, n, delay, startup,
+                                       mode, fault, rep});
+              }
             }
           }
         }
@@ -416,6 +512,7 @@ Trial trial_at(const CampaignSpec& spec, std::size_t index) {
     return coordinate;
   };
   trial.repetition = take(static_cast<std::size_t>(spec.reps));
+  trial.fault = spec.faults[take(spec.faults.size())];
   trial.mode = spec.modes[take(spec.modes.size())];
   trial.startup = spec.startups[take(spec.startups.size())];
   trial.delay = spec.delays[take(spec.delays.size())];

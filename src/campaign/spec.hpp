@@ -14,13 +14,21 @@
 //     reps      = 5
 //
 // The spec expands into a flat list of Trials in a fixed nested-loop order
-// (family → n → delay → startup → mode → rep), so a trial's `index` is a
-// stable coordinate: `mdst_lab reproduce --cell=<index>` re-runs exactly that
-// trial. Randomness follows the experiment-harness contract: the instance
-// derives from (base_seed, family, n, repetition) and the schedule from
-// (base_seed ^ 0x51, n, repetition), so a trial is reproducible in isolation
-// — independent of which other cells the grid contains or which worker
-// thread ran it.
+// (family → n → delay → startup → mode → faults → rep), so a trial's
+// `index` is a stable coordinate: `mdst_lab reproduce --cell=<index>`
+// re-runs exactly that trial. Randomness follows the experiment-harness
+// contract: the instance derives from (base_seed, family, n, repetition),
+// the schedule from (base_seed ^ 0x51, n, repetition), and fault draws from
+// (base_seed ^ 0xf417, n, repetition) on their own stream — so a trial is
+// reproducible in isolation, independent of which other cells the grid
+// contains or which worker thread ran it, and adding a fault axis never
+// shifts the seeds of existing axes.
+//
+// Adversity axis (`faults`, docs/faults.md) and channel knobs:
+//
+//     faults      = none, crash(8,1), loss(0.05), churn(6,2)
+//     fifo_links  = false          # disable per-link FIFO ordering
+//     start_spread = 16            # stagger spontaneous starts
 #pragma once
 
 #include <cstddef>
@@ -32,6 +40,7 @@
 #include "analysis/pipeline.hpp"
 #include "mdst/options.hpp"
 #include "runtime/delay.hpp"
+#include "runtime/fault.hpp"
 
 namespace mdst::campaign {
 
@@ -42,6 +51,15 @@ struct DelaySpec {
   std::string label = "unit";
 };
 
+/// One value of the `faults` axis: a fault-plan template (seedless — the
+/// runner derives the per-trial fault stream) plus its canonical spec
+/// spelling.
+struct FaultSpec {
+  sim::FaultPlan plan;
+  std::string label = "none";
+  bool active() const { return plan.active(); }
+};
+
 struct CampaignSpec {
   std::string name = "campaign";
   std::uint64_t base_seed = 0x5eed;
@@ -50,15 +68,22 @@ struct CampaignSpec {
   std::vector<DelaySpec> delays;              // default {unit}
   std::vector<analysis::StartupProtocol> startups;  // default {flood_st}
   std::vector<core::EngineMode> modes;        // default {single}
+  std::vector<FaultSpec> faults{FaultSpec{}};  // default {none}
   std::uint64_t reps = 5;
   // Engine/simulator knobs applied to every cell.
   std::size_t max_rounds = 0;
   int target_degree = 0;
   std::uint64_t max_messages = 0;  // 0 = simulator default cap
+  /// Per-link FIFO ordering (`fifo_links = true|false`); off for
+  /// reordering-robustness sweeps.
+  bool fifo_links = true;
+  /// Spontaneous-start stagger window (`start_spread = N`); 0 = all nodes
+  /// start at time 0.
+  std::uint64_t start_spread = 0;
 
   std::size_t trial_count() const {
     return families.size() * sizes.size() * delays.size() * startups.size() *
-           modes.size() * static_cast<std::size_t>(reps);
+           modes.size() * faults.size() * static_cast<std::size_t>(reps);
   }
 };
 
@@ -70,6 +95,7 @@ struct Trial {
   DelaySpec delay;
   analysis::StartupProtocol startup = analysis::StartupProtocol::kFloodSt;
   core::EngineMode mode = core::EngineMode::kSingleImprovement;
+  FaultSpec fault;
   std::uint64_t repetition = 0;
 };
 
@@ -99,5 +125,10 @@ Trial trial_at(const CampaignSpec& spec, std::size_t index);
 /// `analysis::to_string(StartupProtocol)` / `core::to_string(EngineMode)`
 /// names, so output rows round-trip into specs.
 bool parse_delay(std::string_view token, DelaySpec& out, std::string& error);
+
+/// Parse one fault token ("none" | "crash(r,k)" | "loss(p)" |
+/// "churn(up,down)"). Returns false and sets `error` on bad syntax or
+/// parameters. Labels are canonical: they round-trip back into specs.
+bool parse_fault(std::string_view token, FaultSpec& out, std::string& error);
 
 }  // namespace mdst::campaign

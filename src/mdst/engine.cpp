@@ -194,6 +194,73 @@ derive_round_census(const std::vector<RoundMark>& marks) {
   return {std::move(rounds), std::move(index)};
 }
 
+/// Wedge-watchdog outcome evaluation for runs under an active fault plan:
+/// classify what the drained (or time-capped) network left behind instead
+/// of asserting global termination. Deliberately assert-free — the
+/// classification must not depend on MDST_CHECK_LEVEL, so every structural
+/// check is an explicit branch and the always-on validation inside
+/// RootedTree::from_parents is caught rather than propagated.
+///
+/// Taxonomy (docs/faults.md): `ok` — terminated, no crash fired;
+/// `re_rooted` — crashes fired, yet every live node terminated and the
+/// frozen parent pointers still form a spanning tree (crashed nodes hang
+/// off it as leaves); `wedged` — anything else: a live node that never
+/// terminated, a live subtree stranded behind a crashed parent, no or two
+/// live roots, inconsistent frozen structure, or the time cap hit.
+void evaluate_adverse_run(const Sim& simulation, const graph::Graph& g,
+                          bool time_capped, RunResult& result) {
+  result.outcome = sim::RunOutcome::kWedged;
+  result.final_degree = -1;
+  if (time_capped) return;
+  const std::size_t n = simulation.node_count();
+  std::vector<char> crashed(n, 0);
+  bool any_crashed = false;
+  for (std::size_t v = 0; v < n; ++v) {
+    crashed[v] = simulation.crashed(static_cast<sim::NodeId>(v)) ? 1 : 0;
+    any_crashed |= crashed[v] != 0;
+  }
+  // Every live node must have terminated, exactly one of them as root,
+  // none behind a crashed parent — a crashed *inner* node strands its live
+  // subtree, so only crashed leaves are survivable.
+  sim::NodeId root = sim::kNoNode;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (crashed[v] != 0) continue;
+    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
+    if (!node.done()) return;
+    const sim::NodeId parent = node.parent();
+    if (parent == sim::kNoNode) {
+      if (root != sim::kNoNode) return;
+      root = static_cast<sim::NodeId>(v);
+    } else if (crashed[static_cast<std::size_t>(parent)] != 0) {
+      return;
+    }
+  }
+  if (root == sim::kNoNode) return;
+  // Rebuild the tree from the frozen local views (a crashed node keeps its
+  // pre-crash parent). Frozen state can be mid-operation inconsistent;
+  // from_parents's own always-on validation turns any such case into a
+  // ContractViolation, which downgrades to wedged here.
+  std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<sim::NodeId>(v) == root) continue;
+    const sim::NodeId parent =
+        simulation.node(static_cast<sim::NodeId>(v)).parent();
+    if (parent == sim::kNoNode) return;  // a crashed ex-root: two "roots"
+    parents[v] = parent;
+  }
+  try {
+    graph::RootedTree tree =
+        graph::RootedTree::from_parents(root, std::move(parents));
+    if (!tree.spans(g)) return;
+    result.tree = std::move(tree);
+  } catch (const ContractViolation&) {
+    return;
+  }
+  result.final_degree = static_cast<int>(result.tree.max_degree());
+  result.outcome =
+      any_crashed ? sim::RunOutcome::kReRooted : sim::RunOutcome::kOk;
+}
+
 }  // namespace
 
 std::span<const RoundMark> RunResult::marks_of_round(
@@ -232,7 +299,25 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
       },
       sim_config);
 
-  if (options.check_each_round) {
+  const bool adversity = sim_config.faults.active();
+  bool time_capped = false;
+  if (adversity) {
+    // Wedge watchdog, stepping side: drive the network with the plan's
+    // wall-clock cap (0 = uncapped — a crash-stop network always drains,
+    // since ARQ never drops and crashed nodes only absorb). A cap hit
+    // discards the still-queued events through Protocol::dispose so the
+    // candidate pool stays balanced. Adversity takes this plain loop even
+    // under check_each_round: mid-run validation assumes crash-free
+    // structure.
+    const sim::Time cap = sim_config.faults.max_time;
+    while (simulation.step()) {
+      if (cap != 0 && simulation.now() >= cap) {
+        time_capped = true;
+        break;
+      }
+    }
+    if (time_capped) simulation.discard_pending();
+  } else if (options.check_each_round) {
     const std::size_t detach_index =
         static_cast<std::size_t>(MessageType::kDetach);
     std::uint64_t detaches_seen = 0;
@@ -253,11 +338,16 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
               "double-released");
 
   RunResult result;
-  result.tree = extract_tree(simulation);
   result.metrics = simulation.metrics();
   result.initial_degree = static_cast<int>(initial.max_degree());
-  result.final_degree = static_cast<int>(result.tree.max_degree());
-  MDST_ASSERT(result.tree.spans(g), "final structure must span g");
+  result.fault_stats = simulation.fault_stats();
+  if (adversity) {
+    evaluate_adverse_run(simulation, g, time_capped, result);
+  } else {
+    result.tree = extract_tree(simulation);
+    result.final_degree = static_cast<int>(result.tree.max_degree());
+    MDST_ASSERT(result.tree.spans(g), "final structure must span g");
+  }
 
   std::uint32_t rounds = 0;
   std::uint64_t improvements = 0;
@@ -266,16 +356,25 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
     rounds = std::max(rounds, node.rounds_started());
     improvements += node.improvements_applied();
     if (node.stop_reason() != StopReason::kNotStopped) {
-      MDST_ASSERT(result.stop_reason == StopReason::kNotStopped,
-                  "two nodes claim to have stopped the run");
-      result.stop_reason = node.stop_reason();
+      if (!adversity) {
+        MDST_ASSERT(result.stop_reason == StopReason::kNotStopped,
+                    "two nodes claim to have stopped the run");
+      }
+      if (result.stop_reason == StopReason::kNotStopped) {
+        result.stop_reason = node.stop_reason();
+      }
     }
   }
-  MDST_ASSERT(result.stop_reason != StopReason::kNotStopped,
-              "no stop reason recorded");
+  // A wedged run legitimately has no stop reason (and may overshoot a
+  // round budget before the watchdog cuts it); the termination contracts
+  // hold only for runs the fault plan left whole.
+  if (!adversity) {
+    MDST_ASSERT(result.stop_reason != StopReason::kNotStopped,
+                "no stop reason recorded");
+  }
   result.rounds = rounds;
   result.improvements = improvements;
-  if (options.max_rounds != 0) {
+  if (options.max_rounds != 0 && !adversity) {
     MDST_ASSERT(result.rounds <= options.max_rounds,
                 "round budget exceeded");
   }

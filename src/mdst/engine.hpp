@@ -18,6 +18,7 @@
 #include "graph/tree.hpp"
 #include "mdst/node.hpp"
 #include "mdst/options.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/simulator.hpp"
 
@@ -57,7 +58,7 @@ struct RoundMarkSpan {
 };
 
 struct RunResult {
-  graph::RootedTree tree;  // final spanning tree
+  graph::RootedTree tree;  // final spanning tree (empty when wedged)
   sim::Metrics metrics{static_cast<std::size_t>(
                            std::variant_size_v<core::Message>),
                        1};
@@ -65,7 +66,16 @@ struct RunResult {
   std::uint32_t rounds = 0;
   std::uint64_t improvements = 0;
   int initial_degree = 0;
+  /// Max degree of the final tree; -1 when the run wedged and no valid
+  /// tree survives.
   int final_degree = 0;
+  /// Adversity outcome (runtime/fault.hpp): always kOk for fault-free
+  /// runs; under an active plan the wedge watchdog classifies the run as
+  /// ok / re_rooted / wedged instead of asserting global termination.
+  sim::RunOutcome outcome = sim::RunOutcome::kOk;
+  /// Adversity counters (retransmits, dropped deliveries); zeroes without
+  /// an active plan.
+  sim::FaultStats fault_stats;
   std::vector<RoundMark> marks;
   std::vector<RoundStats> round_stats;
   /// Round → marks index, built once by run_mdst in the same pass that

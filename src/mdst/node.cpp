@@ -165,6 +165,7 @@ void BasicNode<Context>::reset_round_state() {
 
 template <typename Context>
 void BasicNode<Context>::on_start(Context& ctx) {
+  if (crashed_) return;
   if (parent_ != sim::kNoNode || done_) return;
   begin_round(ctx);
 }
@@ -321,6 +322,11 @@ void BasicNode<Context>::terminate(Context& ctx, StopReason reason) {
 template <typename Context>
 void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
                                     const Message& message) {
+  // Crash-stop guard: the simulator suppresses deliveries to a crashed
+  // node before the handler is reached (and routes pooled payloads through
+  // Protocol::dispose); this guard makes the semantics driver-independent,
+  // so mock-context tests exercising crash() see the same dead silence.
+  if (crashed_) [[unlikely]] return;
   // Dispatch by switch on the variant index (MessageType mirrors the
   // alternative order; static_asserts in messages.hpp pin that) — a direct
   // jump table the handlers can inline into, instead of std::visit's

@@ -94,6 +94,15 @@ class alignas(64) BasicNode {
   std::uint32_t rounds_started() const { return round_; }
   std::uint64_t improvements_applied() const { return improvements_; }
 
+  // --- crash-stop support (runtime/fault.hpp) -----------------------------
+  /// Mark this node crash-stopped: it ignores every subsequent event and
+  /// never sends again. Its tree pointers freeze at their pre-crash values,
+  /// which engine-level outcome evaluation reads as the node's final public
+  /// state. Called by the simulator when a FaultPlan kills the node; also
+  /// callable from mock-context tests.
+  void crash() { crashed_ = true; }
+  bool crashed() const { return crashed_; }
+
  private:
   // ---- identity of this node's role within the current round.
   enum class Role : std::uint8_t { kIdle, kRoot, kSubRoot, kMember };
@@ -307,6 +316,9 @@ class alignas(64) BasicNode {
   bool sub_internal_done_ = false;
   bool sub_stuck_ = false;
   bool sub_improved_ = false;
+  /// Crash-stop flag (cold: only fault-plan runs ever set it; the guard
+  /// reads are one byte load per event).
+  bool crashed_ = false;
 };
 
 /// Virtual-context binding: unit tests drive handlers through mock
@@ -324,6 +336,19 @@ extern template class BasicNode<sim::SimContext<Message>>;
 struct Protocol {
   using Message = core::Message;
   using Node = core::SimNode;
+
+  /// Reclaim pooled payload state for a message the simulator drops
+  /// instead of delivering (crash-stop destination, watchdog discard).
+  /// BfsBack boxes are released by their single consumer on delivery
+  /// (candidates.hpp), so an undelivered BfsBack must release here to keep
+  /// the CandidatePool balanced — run_mdst's pool-balance check stays
+  /// unconditional even under fault plans.
+  static void dispose(const Message& message) {
+    if (const BfsBack* back = std::get_if<BfsBack>(&message)) {
+      back->best_top.release();
+      back->best_sub.release();
+    }
+  }
 };
 
 }  // namespace mdst::core

@@ -1,0 +1,103 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mdst::sim {
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kOk: return "ok";
+    case RunOutcome::kReRooted: return "re_rooted";
+    case RunOutcome::kWedged: return "wedged";
+  }
+  return "?";
+}
+
+FaultEngine::FaultEngine(const FaultPlan& plan, std::size_t node_count,
+                         std::size_t edge_count,
+                         std::vector<std::uint32_t> slot_edge)
+    : plan_(plan), rng_(plan.seed), slot_edge_(std::move(slot_edge)) {
+  MDST_REQUIRE(plan_.loss >= 0.0 && plan_.loss < 1.0,
+               "fault plan: loss probability must be in [0,1)");
+  MDST_REQUIRE(plan_.churn_down == 0 || plan_.churn_up >= 1,
+               "fault plan: churn_up must be >= 1 when churn is on");
+  MDST_REQUIRE(plan_.non_fifo_fraction >= 0.0 && plan_.non_fifo_fraction <= 1.0,
+               "fault plan: non_fifo_fraction must be in [0,1]");
+  MDST_REQUIRE((plan_.loss == 0.0 && plan_.churn_down == 0) ||
+                   plan_.retransmit_timeout >= 1,
+               "fault plan: retransmit_timeout must be >= 1");
+  // Draw order is part of the determinism contract (docs/faults.md): crash
+  // set, then churn phases, then FIFO exemptions — so adding one fault kind
+  // to a plan never reshuffles another kind's draws across runs of the
+  // same seed.
+  if (!plan_.crash_nodes.empty() || plan_.crash_count > 0) {
+    crash_mask_.assign(node_count, 0);
+    std::uint32_t drawn = 0;
+    for (const NodeId v : plan_.crash_nodes) {
+      MDST_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < node_count,
+                   "fault plan: crash node out of range");
+      if (crash_mask_[static_cast<std::size_t>(v)] == 0) ++drawn;
+      crash_mask_[static_cast<std::size_t>(v)] = 1;
+    }
+    if (plan_.crash_count > 0) {
+      // Partial Fisher–Yates over the identity permutation: the first
+      // `crash_count` drawn positions crash. At least one node always
+      // survives — crashing everybody makes every outcome trivially
+      // wedged and defeats the re-rooting taxonomy.
+      const auto want = static_cast<std::uint32_t>(std::min<std::size_t>(
+          plan_.crash_count, node_count > 1 ? node_count - 1 : 0));
+      std::vector<NodeId> order(node_count);
+      for (std::size_t v = 0; v < node_count; ++v) {
+        order[v] = static_cast<NodeId>(v);
+      }
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng_.next_below(node_count - i));
+        std::swap(order[i], order[j]);
+        if (crash_mask_[static_cast<std::size_t>(order[i])] == 0) ++drawn;
+        crash_mask_[static_cast<std::size_t>(order[i])] = 1;
+      }
+    }
+    stats_.crash_set_size = drawn;
+  }
+  if (plan_.churn_down > 0) {
+    const Time period = plan_.churn_up + plan_.churn_down;
+    churn_phase_.resize(edge_count);
+    for (Time& phase : churn_phase_) phase = rng_.next_below(period);
+  }
+  if (plan_.non_fifo_fraction > 0.0) {
+    non_fifo_.resize(edge_count);
+    for (std::uint8_t& flag : non_fifo_) {
+      flag = rng_.next_bool(plan_.non_fifo_fraction) ? 1 : 0;
+    }
+  }
+}
+
+Time FaultEngine::transform_delivery(std::size_t slot, Time now,
+                                     Time deliver_at) {
+  const bool lossy = plan_.loss > 0.0;
+  const bool churny = plan_.churn_down > 0;
+  if (!lossy && !churny) return deliver_at;
+  const std::uint32_t edge = slot_edge_[slot];
+  // Stop-and-wait ARQ, collapsed: attempt i goes out at now + i*rto and
+  // fails if the link is down or the loss draw bites; the message arrives
+  // with the first surviving attempt. Loss < 1 and churn_up >= 1 make
+  // success certain; the attempt cap only bounds the astronomically
+  // unlikely tail (and a pathological hand-built plan) — a capped message
+  // still delivers, late, rather than silently vanishing.
+  constexpr std::uint64_t kAttemptCap = 100'000;
+  Time offset = 0;
+  std::uint64_t failed = 0;
+  while (failed < kAttemptCap) {
+    const bool up = !churny || link_up(edge, now + offset);
+    if (up && !(lossy && rng_.next_bool(plan_.loss))) break;
+    ++failed;
+    offset += plan_.retransmit_timeout;
+  }
+  stats_.retransmits += failed;
+  return deliver_at + offset;
+}
+
+}  // namespace mdst::sim

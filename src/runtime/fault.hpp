@@ -1,0 +1,155 @@
+// Deterministic adversity: crash-stop faults, lossy links, link churn, and
+// per-link FIFO exemptions, all driven by one declarative FaultPlan.
+//
+// The simulator's channel model through PR 5 is the paper's friendly one —
+// static graph, reliable FIFO links. A FaultPlan bends exactly that model,
+// nothing else: SimCore consults a FaultEngine behind a single cached
+// "plan active" branch in its send and delivery paths, so an inactive plan
+// (`FaultPlan{}` / campaign `faults = none`) leaves every trace, metric,
+// and RNG stream byte-identical to a build without the subsystem
+// (tests/runtime/fault_test.cpp pins this).
+//
+// Fault model (docs/faults.md has the full write-up):
+//   * crash-stop  — a drawn (or explicit) node set stops executing at
+//     `crash_time`: every event addressed to a crashed node at t >=
+//     crash_time is dropped at delivery, so a crashed node neither handles
+//     nor sends. Messages it sent *before* crashing still arrive — the
+//     classical crash-stop prefix semantics.
+//   * loss + ARQ  — each link attempt is lost with probability `loss`. The
+//     link layer retransmits every `retransmit_timeout` ticks until an
+//     attempt survives, so loss is survivable and shows up as latency plus
+//     a metered retransmit count, never as a silent drop. (Equivalently:
+//     an ack/timer stop-and-wait layer, collapsed at send time — the
+//     simulator knows each attempt's fate up front, so it schedules the
+//     one successful delivery directly instead of simulating duds.)
+//   * churn       — every undirected edge cycles `churn_up` ticks up then
+//     `churn_down` ticks down, with an independent random phase per edge;
+//     attempts made while the link is down fail like lost attempts.
+//   * non-FIFO    — a `non_fifo_fraction` of edges is exempted from the
+//     per-link FIFO floors, allowing reordering on those links.
+//
+// Determinism: every fault draw (crash set, churn phases, non-FIFO flags,
+// per-attempt loss) comes from a dedicated RNG stream seeded by
+// `FaultPlan::seed` — never from the schedule RNG — so activating faults
+// does not shift delay draws, and a trial's fault pattern depends only on
+// (seed, graph shape), not on thread count or shard assignment. The
+// campaign runner derives the seed as
+// derive_seed(base_seed ^ 0xf417, n, repetition) (campaign/runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+
+/// Declarative adversity plan; inert (and cost-free) unless active().
+struct FaultPlan {
+  /// Crash-stop `crash_count` nodes (drawn from the fault stream) — or the
+  /// explicit `crash_nodes` set — at simulated time `crash_time`.
+  Time crash_time = 0;
+  std::uint32_t crash_count = 0;
+  std::vector<NodeId> crash_nodes;
+  /// Per-attempt link-loss probability in [0, 1).
+  double loss = 0.0;
+  /// Link churn windows; churn is active iff churn_down > 0 (and then
+  /// churn_up must be >= 1 so every link is periodically usable).
+  Time churn_up = 0;
+  Time churn_down = 0;
+  /// Fraction of edges (drawn per edge) exempt from FIFO floors.
+  double non_fifo_fraction = 0.0;
+  /// ARQ timer: a failed attempt retries this many ticks later.
+  Time retransmit_timeout = 4;
+  /// Wedge-watchdog wall-clock cap (0 = none): run_mdst stops stepping and
+  /// reports `wedged` when simulated time passes this.
+  Time max_time = 0;
+  /// Seed of the dedicated fault RNG stream.
+  std::uint64_t seed = 0x0fa1;
+
+  bool active() const {
+    return crash_count > 0 || !crash_nodes.empty() || loss > 0.0 ||
+           churn_down > 0 || non_fifo_fraction > 0.0 || max_time > 0;
+  }
+};
+
+/// Adversity counters, separate from the hot Metrics tables: fault paths
+/// are rare by construction, so they meter into this cold struct.
+struct FaultStats {
+  /// Failed link attempts recovered by the ARQ layer.
+  std::uint64_t retransmits = 0;
+  /// Events dropped at delivery because the destination had crashed
+  /// (includes suppressed start events of crashed-from-birth nodes).
+  std::uint64_t dropped_deliveries = 0;
+  /// Events discarded undelivered by the watchdog's time cap.
+  std::uint64_t discarded_events = 0;
+  /// Size of the crash set (whether or not the crash time was reached).
+  std::uint32_t crash_set_size = 0;
+};
+
+/// How an adverse run ended (engine-level outcome taxonomy; docs/faults.md).
+enum class RunOutcome : std::uint8_t {
+  kOk,        ///< terminated normally; no crash fired
+  kReRooted,  ///< terminated around crashed nodes: all live nodes done and
+              ///< their parent pointers still form a spanning tree
+  kWedged,    ///< queue drained with live unterminated nodes, a live
+              ///< subtree stranded behind a crashed parent, or the time
+              ///< cap hit
+};
+const char* to_string(RunOutcome outcome);
+
+/// Runtime realization of a FaultPlan for one simulation: the drawn crash
+/// set, per-edge churn phases and FIFO exemptions, the fault RNG stream,
+/// and the counters. Owned by SimCore, consulted only when the plan is
+/// active. Non-template on purpose — SimCore<Message> calls through
+/// ordinary linkage and the fault logic compiles once.
+class FaultEngine {
+ public:
+  /// `slot_edge` maps each directed CSR slot to its undirected edge id
+  /// (both directions of a link share churn and FIFO-exemption state).
+  FaultEngine(const FaultPlan& plan, std::size_t node_count,
+              std::size_t edge_count, std::vector<std::uint32_t> slot_edge);
+
+  /// Apply loss + churn to one send: given the fault-free delivery time
+  /// `deliver_at` for a message sent now, return the delivery time of the
+  /// first surviving link attempt (metering the failed ones). Monotone in
+  /// `deliver_at`, so FIFO floors still apply downstream.
+  Time transform_delivery(std::size_t slot, Time now, Time deliver_at);
+
+  /// True when `slot`'s edge is exempt from FIFO floors under the plan.
+  bool fifo_exempt(std::size_t slot) const {
+    return !non_fifo_.empty() && non_fifo_[slot_edge_[slot]] != 0;
+  }
+
+  /// True when node `v` has crash-stopped by time `t`.
+  bool crashed_at(NodeId v, Time t) const {
+    return t >= plan_.crash_time &&
+           !crash_mask_.empty() &&
+           crash_mask_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  bool link_up(std::uint32_t edge, Time at) const {
+    const Time period = plan_.churn_up + plan_.churn_down;
+    return (at + churn_phase_[edge]) % period < plan_.churn_up;
+  }
+
+  FaultPlan plan_;
+  support::Rng rng_;
+  /// Per-node crash flags (empty when the plan crashes nobody).
+  std::vector<std::uint8_t> crash_mask_;
+  /// Per-edge churn phase offsets (empty when churn is off).
+  std::vector<Time> churn_phase_;
+  /// Per-edge FIFO-exemption flags (empty when non_fifo_fraction == 0).
+  std::vector<std::uint8_t> non_fifo_;
+  std::vector<std::uint32_t> slot_edge_;
+  FaultStats stats_;
+};
+
+}  // namespace mdst::sim

@@ -37,6 +37,7 @@
 #include "runtime/calendar_queue.hpp"
 #include "runtime/context.hpp"
 #include "runtime/delay.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/node_env.hpp"
 #include "runtime/trace.hpp"
@@ -60,6 +61,10 @@ struct SimConfig {
   std::uint64_t max_messages = 50'000'000;
   /// Retain at most this many trace rows (0 disables tracing).
   std::size_t trace_cap = 0;
+  /// Adversity plan (runtime/fault.hpp). Inactive by default: the channel
+  /// model stays the paper's reliable-FIFO one and the fault paths cost a
+  /// single cached-bool branch.
+  FaultPlan faults;
 
   /// Config for large-n sweeps: MDegST message complexity grows
   /// superlinearly (n=1024 → ~5.7M messages, n=4096 → ~80M), so runs past
@@ -129,6 +134,13 @@ class SimCore {
     const std::size_t slots = 2 * graph.edge_count();
     neighbor_pool_.reserve(slots);  // reserve + push: no zero-init pass
     links_.reserve(slots);
+    // The fault engine's per-link state (churn windows, FIFO exemptions) is
+    // per undirected edge; the slot → edge map that addresses it is built
+    // inside the same CSR sweep, but only under an active plan — an
+    // inactive plan allocates nothing.
+    faults_active_ = config_.faults.active();
+    std::vector<std::uint32_t> slot_edge;
+    if (faults_active_) slot_edge.reserve(slots);
     std::vector<std::uint32_t> pos(graph.edge_count(), kNoNeighborIndex);
     for (std::size_t v = 0; v < n; ++v) {
       std::uint32_t j = 0;
@@ -136,6 +148,9 @@ class SimCore {
            graph.neighbors(static_cast<NodeId>(v))) {
         const NodeId u = inc.neighbor;
         const std::size_t e = static_cast<std::size_t>(inc.edge);
+        if (faults_active_) {
+          slot_edge.push_back(static_cast<std::uint32_t>(e));
+        }
         neighbor_pool_.push_back({u, graph.name(u)});
         if (pos[e] == kNoNeighborIndex) {
           pos[e] = j;
@@ -163,6 +178,11 @@ class SimCore {
     fifo_floors_active_ = config_.fifo_links && !config_.delay.is_unit();
     unit_delay_ = config_.delay.is_unit();
     if (fifo_floors_active_) fifo_floor_.assign(links_.size(), 0);
+    if (faults_active_) {
+      fault_ = std::make_unique<FaultEngine>(config_.faults, n,
+                                             graph.edge_count(),
+                                             std::move(slot_edge));
+    }
     // Schedule the spontaneous starts.
     for (std::size_t v = 0; v < n; ++v) {
       const Time at = config_.start_spread == 0
@@ -237,7 +257,14 @@ class SimCore {
     Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
     std::size_t slot = kNoSlot;
     if (from != kNoNode) slot = find_directed_slot(from, to);
-    if (fifo_floors_active_ && slot != kNoSlot) {
+    if (faults_active_ && slot != kNoSlot) [[unlikely]] {
+      // Injected traffic on a real link obeys the plan like any send;
+      // truly external injects (no link) bypass it, as they do the floors.
+      deliver_at = fault_->transform_delivery(slot, now_, deliver_at);
+      if (fifo_floors_active_ && !fault_->fifo_exempt(slot)) {
+        deliver_at = bump_fifo_floor(slot, deliver_at);
+      }
+    } else if (fifo_floors_active_ && slot != kNoSlot) {
       deliver_at = bump_fifo_floor(slot, deliver_at);
     }
     const auto ids = static_cast<std::uint16_t>(switch_visit(
@@ -325,6 +352,23 @@ class SimCore {
 
   bool trace_enabled() const { return trace_.enabled(); }
 
+  // --- adversity support (runtime/fault.hpp) ------------------------------
+
+  /// True when a fault plan is engaged; the delivery loop's single
+  /// plan-active branch.
+  bool faults_active() const { return faults_active_; }
+  /// True when the plan says `v` has crash-stopped by the current time.
+  /// Precondition: faults_active().
+  bool crashed_now(NodeId v) const { return fault_->crashed_at(v, now_); }
+  /// Meter one event dropped at delivery because its destination crashed.
+  void note_dropped_delivery() { ++fault_->stats().dropped_deliveries; }
+  /// Meter one event discarded undelivered by the watchdog's time cap.
+  void note_discarded_event() { ++fault_->stats().discarded_events; }
+  /// Adversity counters (zeroes when no plan is active).
+  FaultStats fault_stats() const {
+    return fault_ ? fault_->stats() : FaultStats{};
+  }
+
   /// Return a delivered event's slab node to the queue, restoring the
   /// resting `kind == kMessage` tag first — this is what lets the send
   /// path skip the kind store entirely (recycled nodes are guaranteed
@@ -384,7 +428,18 @@ class SimCore {
       ids = static_cast<std::uint16_t>(message.ids_carried());
     }
     Time deliver_at = now_ + (unit_delay_ ? 1 : config_.delay.sample(rng_));
-    if (fifo_floors_active_) deliver_at = bump_fifo_floor(slot, deliver_at);
+    // The single plan-active branch on the send path: an inactive plan
+    // costs one predictable compare, and the fault transform draws only
+    // from the dedicated fault stream, so the delay draw above is
+    // byte-identical either way.
+    if (faults_active_) [[unlikely]] {
+      deliver_at = fault_->transform_delivery(slot, now_, deliver_at);
+      if (fifo_floors_active_ && !fault_->fifo_exempt(slot)) {
+        deliver_at = bump_fifo_floor(slot, deliver_at);
+      }
+    } else if (fifo_floors_active_) {
+      deliver_at = bump_fifo_floor(slot, deliver_at);
+    }
     EventT& ev = queue_.emplace(deliver_at);
     // ev.kind is already kMessage: fresh slab nodes default to it and
     // release() restores the tag on every recycled node — so the hot path
@@ -444,6 +499,9 @@ class SimCore {
   /// Latest scheduled delivery per directed link, indexed by CSR slot.
   /// Empty (and unread) when fifo_floors_active_ is false.
   std::vector<Time> fifo_floor_;
+  /// Realized fault plan; null exactly when faults_active_ is false.
+  std::unique_ptr<FaultEngine> fault_;
+  bool faults_active_ = false;
   bool fifo_floors_active_ = false;
   bool unit_delay_ = false;
   Queue queue_;

@@ -98,12 +98,57 @@ class Simulator {
     core_.inject(from, to, std::move(message));
   }
 
+  /// True when the fault plan (SimConfig::faults) has crash-stopped `v` by
+  /// the current simulated time. Engine-level outcome evaluation reads the
+  /// runtime's crash truth from here instead of trusting protocol state.
+  bool crashed(NodeId v) const {
+    return core_.faults_active() && core_.crashed_now(v);
+  }
+  /// Adversity counters (zeroes without an active plan).
+  FaultStats fault_stats() const { return core_.fault_stats(); }
+
+  /// Watchdog support: drop every still-queued event without running a
+  /// handler — used when a time cap cuts a run short, so pooled payload
+  /// state (P::dispose) is still reclaimed. Returns the discard count.
+  std::uint64_t discard_pending() {
+    std::uint64_t discarded = 0;
+    while (!core_.idle()) {
+      const auto delivery = core_.pop_event();
+      dispose_payload(*delivery.event);
+      core_.note_discarded_event();
+      core_.release(delivery.ref);
+      ++discarded;
+    }
+    return discarded;
+  }
+
  private:
+  /// Reclaim pooled payload state for an event dropped instead of
+  /// delivered, when the protocol declares a dispose hook (detected by
+  /// capability probe, like the optional context fast paths).
+  void dispose_payload(Event<Message>& ev) {
+    if constexpr (requires(const Message& m) { P::dispose(m); }) {
+      if (ev.kind == EventKind::kMessage) P::dispose(ev.payload);
+    }
+  }
+
   template <bool TraceOn>
   bool step_impl() {
     if (core_.idle()) return false;
     const auto delivery = core_.pop_event();
     Event<Message>& ev = *delivery.event;
+    // The delivery-side plan-active branch: events addressed to a crashed
+    // node are dropped (crash-stop semantics — a crashed node neither
+    // handles nor sends), with the node marked so protocol-level state
+    // queries can exclude it.
+    if (core_.faults_active() && core_.crashed_now(ev.to)) [[unlikely]] {
+      core_.note_dropped_delivery();
+      dispose_payload(ev);
+      Node& casualty = nodes_[static_cast<std::size_t>(ev.to)];
+      if constexpr (requires { casualty.crash(); }) casualty.crash();
+      core_.release(delivery.ref);
+      return true;
+    }
     Ctx ctx(&core_, ev.to, ev.from_index);
     Node& node = nodes_[static_cast<std::size_t>(ev.to)];
     if (ev.kind == EventKind::kStart) {

@@ -1,0 +1,72 @@
+// The checked-in adversity spec (bench/specs/faults_smoke.campaign) is the
+// CI face of the fault subsystem: one cell per fault class, run for real on
+// every ctest invocation, so the fault grammar, the runner wiring, and the
+// outcome taxonomy can never rot. The nightly bench runs the same spec via
+// mdst_lab and appends its table to BENCH_history.jsonl.
+#include <gtest/gtest.h>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+const char* kFaultsSmokeSpec =
+    MDST_SOURCE_DIR "/bench/specs/faults_smoke.campaign";
+
+TEST(FaultsSmokeCampaignTest, SpecParsesAndCoversEveryFaultClass) {
+  const ParseResult parsed = load_spec(kFaultsSmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "faults_smoke");
+  // The control cell plus one of each fault class; CI affordability cap.
+  ASSERT_EQ(parsed.spec.faults.size(), 4u);
+  EXPECT_EQ(parsed.spec.faults[0].label, "none");
+  EXPECT_GT(parsed.spec.faults[1].plan.crash_count, 0u);
+  EXPECT_GT(parsed.spec.faults[2].plan.loss, 0.0);
+  EXPECT_GT(parsed.spec.faults[3].plan.churn_down, 0u);
+  EXPECT_LE(parsed.spec.trial_count(), 128u);
+}
+
+TEST(FaultsSmokeCampaignTest, RunsEndToEndAndClassifiesOutcomes) {
+  const ParseResult parsed = load_spec(kFaultsSmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Aggregator aggregator;
+  RunnerConfig config;
+  config.threads = 2;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(parsed.spec, config, {&aggregator});
+  ASSERT_EQ(outcomes.size(), parsed.spec.trial_count());
+  std::size_t lossy_retransmits = 0;
+  for (const TrialOutcome& outcome : outcomes) {
+    if (!outcome.trial.fault.active()) {
+      // Control cells behave exactly like a fault-free campaign.
+      EXPECT_EQ(outcome.outcome, sim::RunOutcome::kOk);
+      EXPECT_EQ(outcome.retransmits, 0u);
+      EXPECT_EQ(outcome.dropped_deliveries, 0u);
+      EXPECT_NE(outcome.stop_reason, core::StopReason::kNotStopped);
+    }
+    if (outcome.trial.fault.plan.loss > 0.0 ||
+        outcome.trial.fault.plan.churn_down > 0) {
+      // ARQ makes loss and churn survivable: never a wedge, only latency
+      // plus metered retransmits.
+      EXPECT_NE(outcome.outcome, sim::RunOutcome::kWedged)
+          << outcome.trial.fault.label;
+      lossy_retransmits += outcome.retransmits;
+    }
+    if (outcome.wedged()) {
+      EXPECT_EQ(outcome.k_final, -1);
+    } else {
+      EXPECT_GE(outcome.k_final, outcome.lower_bound);
+    }
+  }
+  EXPECT_GT(lossy_retransmits, 0u);
+  // Per-cell wedge accounting reaches the summary table.
+  EXPECT_FALSE(aggregator.cells().empty());
+  for (const CellAggregate& cell : aggregator.cells()) {
+    EXPECT_LE(cell.wedged, cell.trials);
+  }
+}
+
+}  // namespace
+}  // namespace mdst::campaign

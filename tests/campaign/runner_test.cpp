@@ -215,6 +215,149 @@ TEST(CampaignRunnerTest, ShardValidationRejectsBadRanges) {
   EXPECT_THROW(run_campaign(spec, config, {}), mdst::ContractViolation);
 }
 
+// --- Adversity campaigns ---------------------------------------------------
+
+CampaignSpec fault_grid() {
+  const ParseResult parsed = parse_spec(
+      "name = fault_runner_test\n"
+      "families = gnp_sparse\n"
+      "sizes = 24\n"
+      "delays = unit, uniform(1,4)\n"
+      "startups = flood_st\n"
+      "modes = single\n"
+      "faults = none, crash(8,1), loss(0.1), churn(6,2)\n"
+      "reps = 2\n"
+      "max_rounds = 200\n");
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  return parsed.spec;
+}
+
+CampaignBytes run_faults_with_threads(unsigned threads) {
+  const CampaignSpec spec = fault_grid();
+  std::ostringstream csv;
+  std::ostringstream jsonl;
+  CsvSink csv_sink(csv);
+  JsonlSink jsonl_sink(jsonl);
+  RunnerConfig config;
+  config.threads = threads;
+  std::vector<TrialOutcome> outcomes =
+      run_campaign(spec, config, {&csv_sink, &jsonl_sink});
+  return {csv.str(), jsonl.str(), std::move(outcomes)};
+}
+
+// The determinism contract extends to the fault axis: fault draws come from
+// their own (base_seed ^ 0xf417, n, rep) stream, so fault campaigns are
+// byte-identical across worker counts too.
+TEST(CampaignRunnerTest, FaultCampaignBytesIndependentOfThreadCount) {
+  const CampaignBytes one = run_faults_with_threads(1);
+  ASSERT_FALSE(one.csv.empty());
+  for (const unsigned threads : {2u, 5u}) {
+    const CampaignBytes many = run_faults_with_threads(threads);
+    EXPECT_EQ(one.csv, many.csv) << "CSV differs at threads=" << threads;
+    EXPECT_EQ(one.jsonl, many.jsonl)
+        << "JSONL differs at threads=" << threads;
+  }
+}
+
+TEST(CampaignRunnerTest, FaultCampaignShardUnionReconstructs) {
+  const CampaignSpec spec = fault_grid();
+  const CampaignBytes whole = run_faults_with_threads(2);
+  const auto [whole_header, whole_rows] = split_lines(whole.csv, true);
+  ASSERT_EQ(whole_rows.size(), spec.trial_count());
+  const unsigned k = 2;
+  std::vector<std::string> union_rows(whole_rows.size());
+  for (unsigned shard = 0; shard < k; ++shard) {
+    std::ostringstream csv;
+    CsvSink csv_sink(csv);
+    RunnerConfig config;
+    config.threads = 2;
+    config.shard_index = shard;
+    config.shard_count = k;
+    const std::vector<TrialOutcome> outcomes =
+        run_campaign(spec, config, {&csv_sink});
+    const auto [shard_header, shard_rows] = split_lines(csv.str(), true);
+    EXPECT_EQ(shard_header, whole_header);
+    ASSERT_EQ(shard_rows.size(), outcomes.size());
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      union_rows[shard + j * k] = shard_rows[j];
+    }
+  }
+  std::string reunited = whole_header;
+  for (const std::string& row : union_rows) reunited += row;
+  EXPECT_EQ(reunited, whole.csv);
+}
+
+TEST(CampaignRunnerTest, FaultCellReproducesInIsolation) {
+  const CampaignSpec spec = fault_grid();
+  const CampaignBytes run = run_faults_with_threads(4);
+  // One index per fault class (faults is the second-innermost axis).
+  for (const std::size_t index : {0u, 2u, 4u, 6u}) {
+    ASSERT_LT(index, run.outcomes.size());
+    const TrialOutcome solo = run_campaign_trial(spec, trial_at(spec, index));
+    EXPECT_EQ(outcome_fields(solo), outcome_fields(run.outcomes[index]))
+        << "cell " << index << " did not reproduce";
+  }
+}
+
+// The control guarantee: the `none` rows of a fault campaign carry exactly
+// the data the same grid produces with no faults axis at all — adding an
+// adversity axis never perturbs existing cells.
+TEST(CampaignRunnerTest, NoneCellsMatchFaultFreeCampaign) {
+  CampaignSpec with_faults = fault_grid();
+  CampaignSpec without = with_faults;
+  without.faults = {FaultSpec{}};
+  RunnerConfig config;
+  config.threads = 2;
+  const std::vector<TrialOutcome> adverse =
+      run_campaign(with_faults, config, {});
+  const std::vector<TrialOutcome> control = run_campaign(without, config, {});
+  ASSERT_EQ(adverse.size(), 4 * control.size());
+  std::size_t control_row = 0;
+  for (const TrialOutcome& outcome : adverse) {
+    if (outcome.trial.fault.label != "none") continue;
+    ASSERT_LT(control_row, control.size());
+    const TrialOutcome& expected = control[control_row++];
+    EXPECT_EQ(outcome.k_final, expected.k_final);
+    EXPECT_EQ(outcome.rounds, expected.rounds);
+    EXPECT_EQ(outcome.mdst_messages, expected.mdst_messages);
+    EXPECT_EQ(outcome.mdst_time, expected.mdst_time);
+    EXPECT_EQ(outcome.stop_reason, expected.stop_reason);
+    EXPECT_EQ(outcome.outcome, sim::RunOutcome::kOk);
+    EXPECT_EQ(outcome.retransmits, 0u);
+  }
+  EXPECT_EQ(control_row, control.size());
+}
+
+TEST(CampaignRunnerTest, FaultOutcomesAreClassified) {
+  const CampaignSpec spec = fault_grid();
+  RunnerConfig config;
+  config.threads = 2;
+  Aggregator aggregator;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(spec, config, {&aggregator});
+  std::size_t lossy_retransmits = 0;
+  for (const TrialOutcome& outcome : outcomes) {
+    if (outcome.trial.fault.label == "none") {
+      EXPECT_EQ(outcome.outcome, sim::RunOutcome::kOk);
+    }
+    if (outcome.trial.fault.label == "loss(0.1)") {
+      EXPECT_NE(outcome.outcome, sim::RunOutcome::kWedged);
+      lossy_retransmits += outcome.retransmits;
+    }
+    if (outcome.wedged()) {
+      EXPECT_EQ(outcome.k_final, -1);
+    }
+  }
+  EXPECT_GT(lossy_retransmits, 0u);
+  // Cells split by fault label: 2 delays x 4 faults.
+  EXPECT_EQ(aggregator.cells().size(), 8u);
+  for (const CellAggregate& cell : aggregator.cells()) {
+    EXPECT_LE(cell.wedged, cell.trials);
+    EXPECT_EQ(cell.messages.accumulator.count(), cell.trials);
+    EXPECT_EQ(cell.gap.accumulator.count(), cell.trials - cell.wedged);
+  }
+}
+
 TEST(CampaignRunnerTest, MoreThreadsThanTrialsIsFine) {
   const ParseResult parsed =
       parse_spec("families = grid\nsizes = 16\nreps = 2\n");

@@ -49,7 +49,58 @@ max_messages = 1000000
   EXPECT_EQ(spec.max_rounds, 500u);
   EXPECT_EQ(spec.target_degree, 3);
   EXPECT_EQ(spec.max_messages, 1'000'000u);
+  // No faults key: one implicit none cell, so counts are unchanged.
+  ASSERT_EQ(spec.faults.size(), 1u);
+  EXPECT_EQ(spec.faults[0].label, "none");
+  EXPECT_FALSE(spec.faults[0].active());
+  EXPECT_TRUE(spec.fifo_links);
+  EXPECT_EQ(spec.start_spread, 0u);
   EXPECT_EQ(spec.trial_count(), 2u * 4 * 3 * 2 * 2 * 4);
+}
+
+TEST(CampaignSpecTest, ParsesFaultAxisAndChannelKnobs) {
+  const ParseResult result = parse_spec(R"(
+families  = gnp_sparse
+sizes     = 32
+faults    = none, crash(8,1), loss(0.05), churn(6,2)
+fifo_links = false
+start_spread = 16
+reps      = 2
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  const CampaignSpec& spec = result.spec;
+  ASSERT_EQ(spec.faults.size(), 4u);
+  EXPECT_EQ(spec.faults[0].label, "none");
+  EXPECT_FALSE(spec.faults[0].active());
+  EXPECT_EQ(spec.faults[1].label, "crash(8,1)");
+  EXPECT_EQ(spec.faults[1].plan.crash_time, 8u);
+  EXPECT_EQ(spec.faults[1].plan.crash_count, 1u);
+  EXPECT_EQ(spec.faults[2].label, "loss(0.05)");
+  EXPECT_DOUBLE_EQ(spec.faults[2].plan.loss, 0.05);
+  EXPECT_EQ(spec.faults[3].label, "churn(6,2)");
+  EXPECT_EQ(spec.faults[3].plan.churn_up, 6u);
+  EXPECT_EQ(spec.faults[3].plan.churn_down, 2u);
+  EXPECT_FALSE(spec.fifo_links);
+  EXPECT_EQ(spec.start_spread, 16u);
+  EXPECT_EQ(spec.trial_count(), 4u * 2);
+}
+
+TEST(CampaignSpecTest, FaultLabelsRoundTripExactly) {
+  for (const char* token :
+       {"none", "crash(8,1)", "loss(0.05)", "loss(0.123456789)",
+        "churn(6,2)"}) {
+    FaultSpec first;
+    std::string error;
+    ASSERT_TRUE(parse_fault(token, first, error)) << error;
+    FaultSpec second;
+    ASSERT_TRUE(parse_fault(first.label, second, error)) << error;
+    EXPECT_EQ(first.label, second.label);
+    EXPECT_DOUBLE_EQ(first.plan.loss, second.plan.loss);
+    EXPECT_EQ(first.plan.crash_time, second.plan.crash_time);
+    EXPECT_EQ(first.plan.crash_count, second.plan.crash_count);
+    EXPECT_EQ(first.plan.churn_up, second.plan.churn_up);
+    EXPECT_EQ(first.plan.churn_down, second.plan.churn_down);
+  }
 }
 
 TEST(CampaignSpecTest, MinimalSpecGetsDefaults) {
@@ -115,24 +166,50 @@ INSTANTIATE_TEST_SUITE_P(
         RejectionCase{"sizes = 16\n", "line 1:",
                       "missing required key 'families'"},
         RejectionCase{"families = grid\n", "line 1:",
-                      "missing required key 'sizes'"}));
+                      "missing required key 'sizes'"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = meteor(3)\n",
+                      "line 3:", "unknown fault 'meteor'"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = none(1)\n",
+                      "line 3:", "fault 'none' takes no parameters"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = crash(8)\n",
+                      "line 3:", "want crash(r,k)"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = crash(8,0)\n",
+                      "line 3:", "k >= 1"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = loss(1.0)\n",
+                      "line 3:", "p in (0,1)"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = loss(0)\n",
+                      "line 3:", "p in (0,1)"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = churn(0,2)\n",
+                      "line 3:", "up >= 1"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = churn(6,0)\n",
+                      "line 3:", "down >= 1"},
+        RejectionCase{"families = grid\nsizes = 16\nfifo_links = maybe\n",
+                      "line 3:", "bad fifo_links"},
+        RejectionCase{"families = grid\nsizes = 16\nstart_spread = -4\n",
+                      "line 3:", "bad start_spread"}));
 
 TEST(CampaignSpecTest, ExpandOrderIsNestedLoopAndIndexed) {
   ParseResult result = parse_spec(
       "families = grid, complete\nsizes = 16, 32\ndelays = unit, "
-      "uniform(2,5)\nstartups = flood_st, dfs_st\nmodes = single\nreps = 2\n");
+      "uniform(2,5)\nstartups = flood_st, dfs_st\nmodes = single\n"
+      "faults = none, loss(0.1)\nreps = 2\n");
   ASSERT_TRUE(result.ok) << result.error;
   const std::vector<Trial> trials = expand(result.spec);
   ASSERT_EQ(trials.size(), result.spec.trial_count());
-  // rep is the innermost axis; family the outermost.
+  // rep is the innermost axis, then faults; family the outermost.
   EXPECT_EQ(trials[0].family, "grid");
+  EXPECT_EQ(trials[0].fault.label, "none");
   EXPECT_EQ(trials[0].repetition, 0u);
   EXPECT_EQ(trials[1].repetition, 1u);
-  EXPECT_EQ(trials[1].startup, analysis::StartupProtocol::kFloodSt);
-  EXPECT_EQ(trials[2].startup, analysis::StartupProtocol::kDfsSt);
+  EXPECT_EQ(trials[1].fault.label, "none");
+  EXPECT_EQ(trials[2].fault.label, "loss(0.1)");
+  EXPECT_EQ(trials[2].repetition, 0u);
+  EXPECT_EQ(trials[3].fault.label, "loss(0.1)");
+  EXPECT_EQ(trials[4].startup, analysis::StartupProtocol::kDfsSt);
   EXPECT_EQ(trials.back().family, "complete");
   EXPECT_EQ(trials.back().n, 32u);
   EXPECT_EQ(trials.back().delay.label, "uniform(2,5)");
+  EXPECT_EQ(trials.back().fault.label, "loss(0.1)");
   for (std::size_t i = 0; i < trials.size(); ++i) {
     EXPECT_EQ(trials[i].index, i);
   }
@@ -142,7 +219,7 @@ TEST(CampaignSpecTest, TrialAtMatchesExpand) {
   ParseResult result = parse_spec(
       "families = grid, complete, hypercube\nsizes = 16, 64\ndelays = unit, "
       "heavy_tail(0.5)\nstartups = flood_st, ghs_mst\nmodes = single, "
-      "concurrent\nreps = 3\n");
+      "concurrent\nfaults = none, crash(8,1), churn(6,2)\nreps = 3\n");
   ASSERT_TRUE(result.ok) << result.error;
   const std::vector<Trial> trials = expand(result.spec);
   for (const Trial& expected : trials) {
@@ -152,6 +229,7 @@ TEST(CampaignSpecTest, TrialAtMatchesExpand) {
     EXPECT_EQ(got.delay.label, expected.delay.label);
     EXPECT_EQ(got.startup, expected.startup);
     EXPECT_EQ(got.mode, expected.mode);
+    EXPECT_EQ(got.fault.label, expected.fault.label);
     EXPECT_EQ(got.repetition, expected.repetition);
     EXPECT_EQ(got.index, expected.index);
   }

@@ -1,0 +1,150 @@
+// Wedge watchdog: under an active FaultPlan, run_mdst must never hang and
+// must classify every ending as ok / re_rooted / wedged (docs/faults.md).
+//
+// The scenarios here are hand-built so the classification is deterministic:
+// a path graph gives exact knowledge of who is a leaf and when the last
+// message lands.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+using core::EngineMode;
+using core::Options;
+using core::RunResult;
+
+graph::Graph path_graph(std::size_t n) {
+  graph::Graph g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    g.add_edge(static_cast<graph::VertexId>(v),
+               static_cast<graph::VertexId>(v + 1));
+  }
+  return g;
+}
+
+Options plain_options() {
+  Options o;
+  o.mode = EngineMode::kSingleImprovement;
+  o.max_rounds = 10'000;
+  return o;
+}
+
+TEST(WedgeWatchdogTest, CrashedRootAtTimeZeroWedgesInsteadOfHanging) {
+  // The root is the protocol's engine: crash it before its start event and
+  // nothing ever begins. Pre-PR this would simply drain the queue and trip
+  // the termination asserts; under an active plan it must classify.
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = 0;
+  cfg.faults.crash_nodes = {tree.root()};
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  EXPECT_EQ(run.final_degree, -1);
+  EXPECT_GE(run.fault_stats.dropped_deliveries, 1u);
+  EXPECT_EQ(run.fault_stats.crash_set_size, 1u);
+}
+
+TEST(WedgeWatchdogTest, MidRunInternalCrashWedges) {
+  // Crash an internal path node while the protocol is mid-flight: its
+  // subtree is stranded behind a crashed parent, which is a wedge even if
+  // the rest of the tree quiesces.
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = 3;
+  cfg.faults.crash_nodes = {4};
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  EXPECT_EQ(run.final_degree, -1);
+  EXPECT_GE(run.fault_stats.dropped_deliveries, 1u);
+}
+
+TEST(WedgeWatchdogTest, CleanRunUnderActivePlanIsOk) {
+  // Active plan, but the crash fires after the last delivery: the watchdog
+  // must report plain ok with the fault-free result.
+  support::Rng rng(77);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  const RunResult clean = core::run_mdst(g, tree, plain_options());
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = clean.metrics.last_delivery_time() + 1;
+  cfg.faults.crash_count = 2;
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kOk);
+  EXPECT_EQ(run.final_degree, clean.final_degree);
+  EXPECT_EQ(run.stop_reason, clean.stop_reason);
+  EXPECT_EQ(run.rounds, clean.rounds);
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(run.fault_stats.dropped_deliveries, 0u);
+}
+
+TEST(WedgeWatchdogTest, LossyRunRecoversAndTerminatesOk) {
+  support::Rng rng(78);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  const RunResult clean = core::run_mdst(g, tree, plain_options());
+  sim::SimConfig cfg;
+  cfg.faults.loss = 0.1;
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kOk);
+  EXPECT_GT(run.fault_stats.retransmits, 0u);
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(run.final_degree, clean.final_degree);
+}
+
+TEST(WedgeWatchdogTest, LateLeafCrashReRoots) {
+  // On the path the far end (node n-1) is a leaf of the final tree and the
+  // termination broadcast reaches it last. Crashing it at exactly the final
+  // delivery time drops only that terminal message: every live node is
+  // done, the crashed node is a leaf with a frozen parent pointer, and the
+  // frozen parents still span — the re_rooted outcome.
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  const RunResult clean = core::run_mdst(g, tree, plain_options());
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = clean.metrics.last_delivery_time();
+  cfg.faults.crash_nodes = {7};
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kReRooted);
+  EXPECT_GE(run.fault_stats.dropped_deliveries, 1u);
+  EXPECT_TRUE(run.tree.spans(g));
+  EXPECT_EQ(run.final_degree, 2);
+}
+
+TEST(WedgeWatchdogTest, TimeCapWedgesALiveRun) {
+  // max_time is the watchdog's wall clock: a healthy run chopped at tick 3
+  // is reported wedged with the still-queued events discarded, not hung
+  // and not asserted.
+  support::Rng rng(79);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.max_time = 3;
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  EXPECT_EQ(run.final_degree, -1);
+  EXPECT_GT(run.fault_stats.discarded_events, 0u);
+}
+
+TEST(WedgeWatchdogTest, WedgedRunsStillReportCosts) {
+  // Metrics describe what actually happened before the wedge; they must
+  // survive classification (the campaign layer aggregates them).
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = 3;
+  cfg.faults.crash_nodes = {4};
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  EXPECT_GT(run.metrics.total_messages(), 0u);
+  EXPECT_GT(run.initial_degree, 0);
+}
+
+}  // namespace
+}  // namespace mdst

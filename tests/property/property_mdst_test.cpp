@@ -145,5 +145,44 @@ TEST_P(ScheduleSweep, QualityIsScheduleIndependent) {
 
 INSTANTIATE_TEST_SUITE_P(Instances, ScheduleSweep, ::testing::Range(0, 6));
 
+// --- Channel-independence: heavy-tail delays on non-FIFO links -------------
+//
+// The delay.hpp claim under test: correctness is channel-independent — the
+// protocol never relies on per-link ordering or bounded latency. Heavy-tail
+// delays with FIFO floors disabled are the harshest legal channel (a reply
+// can overtake its own request); the result must still be a valid spanning
+// tree, and in single-improvement mode — where rounds are sequential and the
+// improvement chosen each round is schedule-independent — with exactly the
+// unit-delay final degree.
+
+class ChannelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelSweep, HeavyTailNonFifoMatchesUnitDelayQuality) {
+  const int instance = GetParam();
+  support::Rng rng(
+      support::derive_seed(0x0c4a, static_cast<std::uint64_t>(instance)));
+  graph::Graph g = graph::make_gnp_connected(26, 0.22, rng);
+  graph::assign_random_names(g, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+
+  const core::RunResult unit_run = core::run_mdst(g, start, {}, {});
+  ASSERT_TRUE(unit_run.tree.spans(g));
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::SimConfig cfg;
+    cfg.delay = sim::DelayModel::heavy_tail(0.3);
+    cfg.fifo_links = false;
+    cfg.seed = seed;
+    const core::RunResult run = core::run_mdst(g, start, {}, cfg);
+    ASSERT_TRUE(run.tree.spans(g)) << "seed " << seed;
+    EXPECT_EQ(run.final_degree, unit_run.final_degree) << "seed " << seed;
+    EXPECT_LE(run.final_degree, unit_run.initial_degree) << "seed " << seed;
+    EXPECT_NE(run.stop_reason, core::StopReason::kNotStopped)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ChannelSweep, ::testing::Range(0, 6));
+
 }  // namespace
 }  // namespace mdst

@@ -1,0 +1,318 @@
+// Adversity subsystem (runtime/fault.hpp) at the engine level, with a small
+// chatter protocol — protocol-level behavior under faults lives in
+// tests/mdst/wedge_watchdog_test.cpp.
+//
+// The load-bearing guarantee pinned here: an *inactive* plan is free — the
+// trace, metrics, and RNG draws of `faults = none` are byte-identical to a
+// run that never heard of the subsystem — and an active-but-never-firing
+// plan (crash scheduled far past the last delivery) changes delivery times
+// not at all.
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "runtime/fault.hpp"
+#include "support/assert.hpp"
+#include "runtime/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+namespace {
+
+struct Ping {
+  static constexpr const char* kName = "Ping";
+  int ttl = 0;
+  std::size_t ids_carried() const { return 1; }
+};
+
+// Bounded flood: every delivery re-sends to all neighbors with ttl-1, so
+// traffic crosses every link in both directions many times.
+struct FloodProto {
+  using Message = std::variant<Ping>;
+  class Node {
+   public:
+    explicit Node(const NodeEnv& env) : env_(env) {}
+    void on_start(IContext<Message>& ctx) {
+      for (const NeighborInfo& nb : env_.neighbors) ctx.send(nb.id, Ping{2});
+    }
+    void on_message(IContext<Message>& ctx, NodeId /*from*/,
+                    const Message& m) {
+      ++received_;
+      const int ttl = std::get<Ping>(m).ttl;
+      if (ttl > 0) {
+        for (const NeighborInfo& nb : env_.neighbors) {
+          ctx.send(nb.id, Ping{ttl - 1});
+        }
+      }
+    }
+    int received() const { return received_; }
+
+   private:
+    NodeEnv env_;
+    int received_ = 0;
+  };
+};
+
+graph::Graph test_graph() {
+  support::Rng rng(321);
+  return graph::make_gnp_connected(24, 0.2, rng);
+}
+
+SimConfig traced_config() {
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 6);
+  cfg.seed = 7;
+  cfg.trace_cap = 1'000'000;
+  return cfg;
+}
+
+using Sim = Simulator<FloodProto>;
+
+Sim make_sim(const graph::Graph& g, const SimConfig& cfg) {
+  return Sim(g, [](const NodeEnv& env) { return FloodProto::Node(env); }, cfg);
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b, const char* what) {
+  ASSERT_EQ(a.rows().size(), b.rows().size()) << what;
+  for (std::size_t i = 0; i < a.rows().size(); ++i) {
+    const TraceRow& ra = a.rows()[i];
+    const TraceRow& rb = b.rows()[i];
+    ASSERT_EQ(ra.send_time, rb.send_time) << what << " row " << i;
+    ASSERT_EQ(ra.deliver_time, rb.deliver_time) << what << " row " << i;
+    ASSERT_EQ(ra.from, rb.from) << what << " row " << i;
+    ASSERT_EQ(ra.to, rb.to) << what << " row " << i;
+    ASSERT_EQ(ra.type_index, rb.type_index) << what << " row " << i;
+    ASSERT_EQ(ra.causal_depth, rb.causal_depth) << what << " row " << i;
+  }
+}
+
+TEST(FaultPlanTest, ActivityPredicate) {
+  EXPECT_FALSE(FaultPlan{}.active());
+  FaultPlan crash;
+  crash.crash_time = 10;
+  crash.crash_count = 1;
+  EXPECT_TRUE(crash.active());
+  FaultPlan explicit_crash;
+  explicit_crash.crash_nodes = {3};
+  EXPECT_TRUE(explicit_crash.active());
+  FaultPlan loss;
+  loss.loss = 0.01;
+  EXPECT_TRUE(loss.active());
+  FaultPlan churn;
+  churn.churn_up = 4;
+  churn.churn_down = 2;
+  EXPECT_TRUE(churn.active());
+  FaultPlan capped;
+  capped.max_time = 100;
+  EXPECT_TRUE(capped.active());
+  // Knobs alone (timer, seed, fifo fraction 0) do not activate a plan.
+  FaultPlan knobs;
+  knobs.retransmit_timeout = 9;
+  knobs.seed = 42;
+  EXPECT_FALSE(knobs.active());
+}
+
+TEST(FaultTest, InactivePlanIsByteIdenticalToNoPlan) {
+  const graph::Graph g = test_graph();
+  const SimConfig plain = traced_config();
+  SimConfig with_default_plan = traced_config();
+  with_default_plan.faults = FaultPlan{};
+  Sim a = make_sim(g, plain);
+  Sim b = make_sim(g, with_default_plan);
+  a.run();
+  b.run();
+  expect_traces_equal(a.trace(), b.trace(), "inactive plan");
+  EXPECT_EQ(a.metrics().total_messages(), b.metrics().total_messages());
+  EXPECT_EQ(a.metrics().last_delivery_time(),
+            b.metrics().last_delivery_time());
+  EXPECT_FALSE(a.trace().rows().empty());
+  const FaultStats stats = b.fault_stats();
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.dropped_deliveries, 0u);
+  EXPECT_EQ(stats.crash_set_size, 0u);
+}
+
+TEST(FaultTest, NeverFiringCrashLeavesDeliveriesUntouched) {
+  // An active plan forces the fault engine into the send path; a crash
+  // scheduled far past the last delivery (and no loss/churn) must still
+  // change nothing observable — transform_delivery is identity then.
+  const graph::Graph g = test_graph();
+  Sim plain = make_sim(g, traced_config());
+  plain.run();
+  SimConfig cfg = traced_config();
+  cfg.faults.crash_time = plain.metrics().last_delivery_time() + 1000;
+  cfg.faults.crash_count = 3;
+  Sim adverse = make_sim(g, cfg);
+  adverse.run();
+  expect_traces_equal(plain.trace(), adverse.trace(), "late crash");
+  EXPECT_EQ(adverse.fault_stats().retransmits, 0u);
+  EXPECT_EQ(adverse.fault_stats().dropped_deliveries, 0u);
+  EXPECT_EQ(adverse.fault_stats().crash_set_size, 3u);
+}
+
+TEST(FaultTest, CrashedFromBirthNodeNeverHandlesOrSends) {
+  const graph::Graph g = test_graph();
+  SimConfig cfg = traced_config();
+  cfg.faults.crash_time = 0;
+  cfg.faults.crash_nodes = {5};
+  Sim sim = make_sim(g, cfg);
+  sim.run();
+  EXPECT_TRUE(sim.crashed(5));
+  // Every event addressed to node 5 (including its start) was dropped
+  // before the handler: no trace row delivers to it, none originates at it.
+  for (const TraceRow& row : sim.trace().rows()) {
+    EXPECT_NE(row.to, NodeId{5});
+    EXPECT_NE(row.from, NodeId{5});
+  }
+  const FaultStats stats = sim.fault_stats();
+  EXPECT_EQ(stats.crash_set_size, 1u);
+  // At least the start event and one neighbor ping were suppressed.
+  EXPECT_GE(stats.dropped_deliveries, 2u);
+  // Live nodes still ran: the flood reached everyone else.
+  EXPECT_FALSE(sim.trace().rows().empty());
+}
+
+TEST(FaultTest, LossDelaysButNeverDropsSends) {
+  const graph::Graph g = test_graph();
+  Sim plain = make_sim(g, traced_config());
+  plain.run();
+  SimConfig cfg = traced_config();
+  cfg.faults.loss = 0.3;
+  cfg.faults.retransmit_timeout = 5;
+  Sim lossy = make_sim(g, cfg);
+  lossy.run();
+  // ARQ semantics: same sends, same deliveries (count), later arrivals.
+  ASSERT_EQ(plain.trace().rows().size(), lossy.trace().rows().size());
+  EXPECT_GT(lossy.fault_stats().retransmits, 0u);
+  EXPECT_EQ(lossy.fault_stats().dropped_deliveries, 0u);
+  EXPECT_GE(lossy.metrics().last_delivery_time(),
+            plain.metrics().last_delivery_time());
+  // Every failed attempt costs exactly one timer period somewhere.
+  std::uint64_t plain_latency = 0;
+  std::uint64_t lossy_latency = 0;
+  for (const TraceRow& row : plain.trace().rows()) {
+    plain_latency += row.deliver_time - row.send_time;
+  }
+  for (const TraceRow& row : lossy.trace().rows()) {
+    lossy_latency += row.deliver_time - row.send_time;
+  }
+  EXPECT_GE(lossy_latency, plain_latency);
+}
+
+TEST(FaultTest, ChurnedLinksDeliverOnlyInUpWindows) {
+  const graph::Graph g = test_graph();
+  SimConfig cfg = traced_config();
+  cfg.faults.churn_up = 5;
+  cfg.faults.churn_down = 3;
+  Sim sim = make_sim(g, cfg);
+  sim.run();
+  EXPECT_GT(sim.fault_stats().retransmits, 0u);
+  EXPECT_EQ(sim.fault_stats().dropped_deliveries, 0u);
+  EXPECT_FALSE(sim.trace().rows().empty());
+}
+
+TEST(FaultTest, SameSeedSameFaultPattern) {
+  const graph::Graph g = test_graph();
+  SimConfig cfg = traced_config();
+  cfg.faults.loss = 0.2;
+  cfg.faults.churn_up = 6;
+  cfg.faults.churn_down = 2;
+  cfg.faults.crash_time = 40;
+  cfg.faults.crash_count = 2;
+  cfg.faults.seed = 0xabcd;
+  Sim a = make_sim(g, cfg);
+  Sim b = make_sim(g, cfg);
+  a.run();
+  b.run();
+  expect_traces_equal(a.trace(), b.trace(), "same fault seed");
+  EXPECT_EQ(a.fault_stats().retransmits, b.fault_stats().retransmits);
+  EXPECT_EQ(a.fault_stats().dropped_deliveries,
+            b.fault_stats().dropped_deliveries);
+  for (NodeId v = 0; v < static_cast<NodeId>(g.vertex_count()); ++v) {
+    EXPECT_EQ(a.crashed(v), b.crashed(v)) << "node " << v;
+  }
+}
+
+TEST(FaultTest, FaultSeedIsItsOwnStream) {
+  // Changing only the fault seed must leave the underlying delay draws
+  // alone: the delivery time of a message is base delay (schedule stream)
+  // plus ARQ offsets (fault stream). With loss = 0 and churn off there are
+  // no ARQ offsets, so two different fault seeds (crash sets!) produce
+  // runs whose common prefix of deliveries — before any crash fires —
+  // matches tick for tick.
+  const graph::Graph g = test_graph();
+  SimConfig cfg_a = traced_config();
+  cfg_a.faults.crash_time = 25;
+  cfg_a.faults.crash_count = 1;
+  cfg_a.faults.seed = 1;
+  SimConfig cfg_b = cfg_a;
+  cfg_b.faults.seed = 2;
+  Sim a = make_sim(g, cfg_a);
+  Sim b = make_sim(g, cfg_b);
+  a.run();
+  b.run();
+  const std::size_t scan =
+      std::min(a.trace().rows().size(), b.trace().rows().size());
+  for (std::size_t i = 0; i < scan; ++i) {
+    const TraceRow& ra = a.trace().rows()[i];
+    if (ra.deliver_time >= 25) break;  // crash divergence allowed from here
+    const TraceRow& rb = b.trace().rows()[i];
+    ASSERT_EQ(ra.deliver_time, rb.deliver_time) << "row " << i;
+    ASSERT_EQ(ra.from, rb.from) << "row " << i;
+    ASSERT_EQ(ra.to, rb.to) << "row " << i;
+  }
+}
+
+TEST(FaultTest, NonFifoFractionExemptsEdgesFromFloors) {
+  // With fraction 1.0 every edge may reorder; the run stays deterministic
+  // per seed and delivers the same number of messages.
+  const graph::Graph g = test_graph();
+  SimConfig cfg = traced_config();
+  cfg.faults.non_fifo_fraction = 1.0;
+  Sim a = make_sim(g, cfg);
+  Sim b = make_sim(g, cfg);
+  a.run();
+  b.run();
+  expect_traces_equal(a.trace(), b.trace(), "non-fifo exemption");
+  Sim plain = make_sim(g, traced_config());
+  plain.run();
+  EXPECT_EQ(plain.trace().rows().size(), a.trace().rows().size());
+}
+
+TEST(FaultTest, RunOutcomeNames) {
+  EXPECT_STREQ(to_string(RunOutcome::kOk), "ok");
+  EXPECT_STREQ(to_string(RunOutcome::kReRooted), "re_rooted");
+  EXPECT_STREQ(to_string(RunOutcome::kWedged), "wedged");
+}
+
+TEST(FaultTest, BadPlansAreRejected) {
+  const graph::Graph g = test_graph();
+  const auto build = [&](const FaultPlan& plan) {
+    SimConfig cfg = traced_config();
+    cfg.faults = plan;
+    Sim sim = make_sim(g, cfg);
+    (void)sim;
+  };
+  FaultPlan certain_loss;
+  certain_loss.loss = 1.0;
+  EXPECT_THROW(build(certain_loss), ContractViolation);
+  FaultPlan never_up;
+  never_up.churn_up = 0;
+  never_up.churn_down = 3;
+  EXPECT_THROW(build(never_up), ContractViolation);
+  FaultPlan overfull;
+  overfull.non_fifo_fraction = 1.5;
+  EXPECT_THROW(build(overfull), ContractViolation);
+  FaultPlan no_timer;
+  no_timer.loss = 0.1;
+  no_timer.retransmit_timeout = 0;
+  EXPECT_THROW(build(no_timer), ContractViolation);
+  FaultPlan ghost;
+  ghost.crash_nodes = {static_cast<NodeId>(g.vertex_count())};
+  EXPECT_THROW(build(ghost), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::sim
