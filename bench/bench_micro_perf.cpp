@@ -149,6 +149,41 @@ void BM_DistributedMdstConcurrent(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedMdstConcurrent)->Arg(128)->Arg(1024);
 
+// Sharded-engine scaling: the same instance/seed as BM_DistributedMdst run
+// through the conservative-window engine at {n, shards}. shards=1 measures
+// the pure engine overhead against the classic calendar queue (the window
+// sort + barrier machinery with no parallelism to pay for it); higher shard
+// counts trace the speedup curve. Output bytes are shard-count-invariant,
+// so every row of this family computes the identical run — only wall time
+// may differ. docs/perf.md records the measured curve per host.
+void BM_DistributedMdstSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::uint32_t>(state.range(1));
+  support::Rng rng(5);  // same seed/instance as BM_DistributedMdst
+  graph::Graph g = graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  sim::SimConfig sim_config =
+      n >= 2048 ? sim::SimConfig::large_n_sweep() : sim::SimConfig{};
+  sim_config.shards = shards;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const core::RunResult run = core::run_mdst(g, start, {}, sim_config);
+    messages += run.metrics.total_messages();
+    benchmark::DoNotOptimize(run.final_degree);
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+// n=4096 rows feed the nightly bench gate
+// (check_bench_regression.py --table 'BM_DistributedMdstSharded/4096*');
+// n=1024 rows keep local iteration affordable.
+BENCHMARK(BM_DistributedMdstSharded)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4});
+
 void BM_ExactSolver(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   support::Rng rng(6);

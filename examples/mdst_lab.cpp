@@ -33,6 +33,7 @@ int usage(std::ostream& out, int exit_code) {
          "  run           execute a campaign spec   (--spec, --threads,\n"
          "                --csv, --jsonl, --progress, --no-summary,\n"
          "                --shard=i/k for fleet-splitting across machines,\n"
+         "                --shards=K for intra-trial sharded simulation,\n"
          "                --allow-wedged to exit 0 despite wedged trials)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
          "  reproduce     re-run one grid cell       (--spec, --cell)\n"
@@ -135,6 +136,8 @@ int cmd_run(int argc, char** argv) {
   std::string jsonl_path;
   std::string shard;
   std::uint64_t threads = 0;
+  // ~0 = "flag absent, keep the spec's shards knob".
+  std::uint64_t shards = ~std::uint64_t{0};
   std::uint64_t progress = 0;
   bool summary = true;
   bool allow_wedged = false;
@@ -147,6 +150,10 @@ int cmd_run(int argc, char** argv) {
                  "their global grid indices");
   cli.add_uint("threads", &threads,
                "worker threads (0 = all hardware threads)");
+  cli.add_uint("shards", &shards,
+               "intra-trial shard workers per MDegST run, overriding the "
+               "spec's shards knob (0 = classic engine; output bytes are "
+               "identical for every value >= 1)");
   cli.add_uint("progress", &progress,
                "print progress every N trials (0 = quiet)");
   cli.add_bool("summary", &summary, "print the per-cell summary table");
@@ -173,6 +180,13 @@ int cmd_run(int argc, char** argv) {
   }
   campaign::CampaignSpec spec;
   if (!load_or_complain(spec_path, spec)) return 1;
+  if (shards != ~std::uint64_t{0}) {
+    if (shards > 64) {
+      std::cerr << "--shards must be 0..64, got " << shards << "\n";
+      return 1;
+    }
+    spec.shards = static_cast<std::uint32_t>(shards);
+  }
 
   std::ofstream csv_file;
   std::ofstream jsonl_file;

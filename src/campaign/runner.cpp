@@ -36,6 +36,11 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
   if (spec.max_messages != 0) sim_config.max_messages = spec.max_messages;
   sim_config.fifo_links = spec.fifo_links;
   sim_config.start_spread = spec.start_spread;
+  // Execution detail, not a grid coordinate: the MDegST phase dispatches to
+  // the sharded engine when > 0 (run_mdst), startup phases always use the
+  // classic simulator. Row bytes are shard-count-invariant by contract
+  // (tests/campaign/spec_test.cpp pins 1-vs-K sink output).
+  sim_config.shards = spec.shards;
   if (trial.fault.active()) {
     sim_config.faults = trial.fault.plan;
     // Dedicated fault stream: never shares draws with the instance or the

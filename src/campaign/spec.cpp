@@ -427,11 +427,19 @@ ParseResult parse_spec(std::string_view text) {
                 "' (want a tick count >= 0)");
         break;
       }
+    } else if (key == "shards") {
+      std::uint64_t shards = 0;
+      if (!parse_u64(value, shards) || shards > 64) {
+        at.fail("bad shards '" + std::string(value) +
+                "' (want an integer 0..64; 0 = classic engine)");
+        break;
+      }
+      spec.shards = static_cast<std::uint32_t>(shards);
     } else {
       at.fail("unknown key '" + key +
               "' (name base_seed families sizes delays startups modes faults "
               "reps max_rounds target_degree max_messages fifo_links "
-              "start_spread)");
+              "start_spread shards)");
       break;
     }
     if (!at.error.empty()) break;

@@ -80,6 +80,12 @@ struct CampaignSpec {
   /// Spontaneous-start stagger window (`start_spread = N`); 0 = all nodes
   /// start at time 0.
   std::uint64_t start_spread = 0;
+  /// Intra-trial shard workers for the MDegST phase (`shards = K`); 0 =
+  /// the classic sequential engine. An engine knob, not a grid axis: the
+  /// sharded engine's outputs are byte-identical for every K >= 1, so a
+  /// shard count is an execution detail of the trial, never a row
+  /// coordinate — campaign CSV/JSONL bytes must not depend on it.
+  std::uint32_t shards = 0;
 
   std::size_t trial_count() const {
     return families.size() * sizes.size() * delays.size() * startups.size() *

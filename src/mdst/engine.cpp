@@ -5,6 +5,7 @@
 
 #include "graph/algorithms.hpp"
 #include "mdst/annotations.hpp"
+#include "runtime/sharded_sim.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
 
@@ -12,14 +13,20 @@ namespace mdst::core {
 namespace {
 
 using Sim = sim::Simulator<Protocol>;
+using ShardedSim = sim::ShardedSimulator<ShardProtocol>;
 using SimNode = Protocol::Node;
 
-graph::RootedTree extract_tree(const Sim& simulation) {
+// The post-run helpers are templated over the engine (classic Simulator or
+// ShardedSimulator): both expose the same node_count/node/crashed surface,
+// and the node accessors they read are context-independent.
+
+template <typename SimT>
+graph::RootedTree extract_tree(const SimT& simulation) {
   const std::size_t n = simulation.node_count();
   std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
   sim::NodeId root = sim::kNoNode;
   for (std::size_t v = 0; v < n; ++v) {
-    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
     MDST_ASSERT(node.done(), "protocol ended with an undone node");
     if (node.parent() == sim::kNoNode) {
       MDST_ASSERT(root == sim::kNoNode, "two roots after termination");
@@ -32,7 +39,7 @@ graph::RootedTree extract_tree(const Sim& simulation) {
   graph::RootedTree tree =
       graph::RootedTree::from_parents(root, std::move(parents));
   for (std::size_t v = 0; v < n; ++v) {
-    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
     auto kids = node.children();
     std::sort(kids.begin(), kids.end());
     auto expected = tree.children(static_cast<sim::NodeId>(v));
@@ -207,7 +214,8 @@ derive_round_census(const std::vector<RoundMark>& marks) {
 /// off it as leaves); `wedged` — anything else: a live node that never
 /// terminated, a live subtree stranded behind a crashed parent, no or two
 /// live roots, inconsistent frozen structure, or the time cap hit.
-void evaluate_adverse_run(const Sim& simulation, const graph::Graph& g,
+template <typename SimT>
+void evaluate_adverse_run(const SimT& simulation, const graph::Graph& g,
                           bool time_capped, RunResult& result) {
   result.outcome = sim::RunOutcome::kWedged;
   result.final_degree = -1;
@@ -225,7 +233,7 @@ void evaluate_adverse_run(const Sim& simulation, const graph::Graph& g,
   sim::NodeId root = sim::kNoNode;
   for (std::size_t v = 0; v < n; ++v) {
     if (crashed[v] != 0) continue;
-    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
     if (!node.done()) return;
     const sim::NodeId parent = node.parent();
     if (parent == sim::kNoNode) {
@@ -261,6 +269,70 @@ void evaluate_adverse_run(const Sim& simulation, const graph::Graph& g,
       any_crashed ? sim::RunOutcome::kReRooted : sim::RunOutcome::kOk;
 }
 
+/// Everything after the event loop: outcome evaluation / tree extraction,
+/// node-state aggregation, and mark materialization. One body for both
+/// engines — the determinism suites compare its outputs field by field
+/// across classic, devirtualized, and sharded runs.
+template <typename SimT>
+RunResult finish_run(const SimT& simulation, const graph::Graph& g,
+                     const graph::RootedTree& initial, const Options& options,
+                     bool adversity, bool time_capped) {
+  RunResult result;
+  result.metrics = simulation.metrics();
+  result.initial_degree = static_cast<int>(initial.max_degree());
+  result.fault_stats = simulation.fault_stats();
+  if (adversity) {
+    evaluate_adverse_run(simulation, g, time_capped, result);
+  } else {
+    result.tree = extract_tree(simulation);
+    result.final_degree = static_cast<int>(result.tree.max_degree());
+    MDST_ASSERT(result.tree.spans(g), "final structure must span g");
+  }
+
+  std::uint32_t rounds = 0;
+  std::uint64_t improvements = 0;
+  for (std::size_t v = 0; v < simulation.node_count(); ++v) {
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    rounds = std::max(rounds, node.rounds_started());
+    improvements += node.improvements_applied();
+    if (node.stop_reason() != StopReason::kNotStopped) {
+      if (!adversity) {
+        MDST_ASSERT(result.stop_reason == StopReason::kNotStopped,
+                    "two nodes claim to have stopped the run");
+      }
+      if (result.stop_reason == StopReason::kNotStopped) {
+        result.stop_reason = node.stop_reason();
+      }
+    }
+  }
+  // A wedged run legitimately has no stop reason (and may overshoot a
+  // round budget before the watchdog cuts it); the termination contracts
+  // hold only for runs the fault plan left whole.
+  if (!adversity) {
+    MDST_ASSERT(result.stop_reason != StopReason::kNotStopped,
+                "no stop reason recorded");
+  }
+  result.rounds = rounds;
+  result.improvements = improvements;
+  if (options.max_rounds != 0 && !adversity) {
+    MDST_ASSERT(result.rounds <= options.max_rounds,
+                "round budget exceeded");
+  }
+
+  // Read-time formatting: the protocol recorded structured tags (no string
+  // was built during the run); the seed-style label text materializes here,
+  // once per mark, alongside the structured fields.
+  result.marks.reserve(result.metrics.annotations().size());
+  for (const sim::Annotation& a : result.metrics.annotations()) {
+    result.marks.push_back({a.time, a.total_messages, a.max_causal_depth,
+                            annotation_text(a), a.tag, a.tagged});
+  }
+  auto census = derive_round_census(result.marks);
+  result.round_stats = std::move(census.first);
+  result.round_mark_index = std::move(census.second);
+  return result;
+}
+
 }  // namespace
 
 std::span<const RoundMark> RunResult::marks_of_round(
@@ -289,6 +361,39 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
   // (candidates.hpp): every slot allocated by a BfsBack sender must be
   // released by exactly one handle_bfs_back. A completed run is balanced.
   const std::size_t boxed_before = CandidatePool::local().in_use();
+
+  const bool sharded = sim_config.shards > 0;
+  if (sharded) {
+    // Intra-trial sharded engine (runtime/sharded_sim.hpp). Its watchdog is
+    // internal — the time cap is checked against the agreed window base, so
+    // the stepping loop below never sees a sharded run. Mid-run validation
+    // has no meaning across lanes, so check_each_round keeps the classic
+    // engine.
+    MDST_REQUIRE(!options.check_each_round,
+                 "check_each_round needs the classic engine "
+                 "(SimConfig::shards = 0)");
+    const bool adversity = sim_config.faults.active();
+    ShardedSim simulation(
+        g,
+        [&](const sim::NodeEnv& env) {
+          const graph::VertexId v = env.id;
+          const graph::VertexId parent = initial.parent(v);
+          return ShardProtocol::Node(env, parent, initial.children(v),
+                                     options);
+        },
+        sim_config);
+    const bool time_capped =
+        adversity ? simulation.run_capped(sim_config.faults.max_time)
+                  : (simulation.run(), false);
+    MDST_ASSERT(simulation.pools_balanced(),
+                "boxed-candidate pool imbalance on a shard worker: a BfsBack "
+                "box leaked or was double-released");
+    MDST_ASSERT(CandidatePool::local().in_use() == boxed_before,
+                "boxed-candidate pool imbalance: a BfsBack box leaked or was "
+                "double-released");
+    return finish_run(simulation, g, initial, options, adversity,
+                      time_capped);
+  }
 
   Sim simulation(
       g,
@@ -337,60 +442,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
               "boxed-candidate pool imbalance: a BfsBack box leaked or was "
               "double-released");
 
-  RunResult result;
-  result.metrics = simulation.metrics();
-  result.initial_degree = static_cast<int>(initial.max_degree());
-  result.fault_stats = simulation.fault_stats();
-  if (adversity) {
-    evaluate_adverse_run(simulation, g, time_capped, result);
-  } else {
-    result.tree = extract_tree(simulation);
-    result.final_degree = static_cast<int>(result.tree.max_degree());
-    MDST_ASSERT(result.tree.spans(g), "final structure must span g");
-  }
-
-  std::uint32_t rounds = 0;
-  std::uint64_t improvements = 0;
-  for (std::size_t v = 0; v < simulation.node_count(); ++v) {
-    const SimNode& node = simulation.node(static_cast<sim::NodeId>(v));
-    rounds = std::max(rounds, node.rounds_started());
-    improvements += node.improvements_applied();
-    if (node.stop_reason() != StopReason::kNotStopped) {
-      if (!adversity) {
-        MDST_ASSERT(result.stop_reason == StopReason::kNotStopped,
-                    "two nodes claim to have stopped the run");
-      }
-      if (result.stop_reason == StopReason::kNotStopped) {
-        result.stop_reason = node.stop_reason();
-      }
-    }
-  }
-  // A wedged run legitimately has no stop reason (and may overshoot a
-  // round budget before the watchdog cuts it); the termination contracts
-  // hold only for runs the fault plan left whole.
-  if (!adversity) {
-    MDST_ASSERT(result.stop_reason != StopReason::kNotStopped,
-                "no stop reason recorded");
-  }
-  result.rounds = rounds;
-  result.improvements = improvements;
-  if (options.max_rounds != 0 && !adversity) {
-    MDST_ASSERT(result.rounds <= options.max_rounds,
-                "round budget exceeded");
-  }
-
-  // Read-time formatting: the protocol recorded structured tags (no string
-  // was built during the run); the seed-style label text materializes here,
-  // once per mark, alongside the structured fields.
-  result.marks.reserve(result.metrics.annotations().size());
-  for (const sim::Annotation& a : result.metrics.annotations()) {
-    result.marks.push_back({a.time, a.total_messages, a.max_causal_depth,
-                            annotation_text(a), a.tag, a.tagged});
-  }
-  auto census = derive_round_census(result.marks);
-  result.round_stats = std::move(census.first);
-  result.round_mark_index = std::move(census.second);
-  return result;
+  return finish_run(simulation, g, initial, options, adversity, time_capped);
 }
 
 }  // namespace mdst::core

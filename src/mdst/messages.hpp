@@ -48,6 +48,7 @@
 
 #include "graph/types.hpp"
 #include "mdst/candidates.hpp"
+#include "runtime/shard_traits.hpp"
 #include "runtime/variant_util.hpp"
 
 namespace mdst::core {
@@ -278,3 +279,51 @@ static_assert(detail::kDescriptors[static_cast<std::size_t>(
                   MessageType::kSearchReply)].static_ids == 3);
 
 }  // namespace mdst::core
+
+// ---------------------------------------------------------------------------
+// Cross-shard traits: re-homing BfsBack's pooled candidate boxes.
+//
+// BoxedCandidate handles index the *owning thread's* CandidatePool, so an
+// event crossing a shard boundary must not carry them as-is. detach (on the
+// sender's thread) copies the boxed values into the luggage and releases the
+// sender-side slots; attach (on the receiver's thread) re-boxes them, so the
+// receiving handler releases receiver-local slots exactly as it would in the
+// single-threaded engine. The specialization lives here, next to the message
+// set, so every translation unit that can name core::Message sees it.
+// ---------------------------------------------------------------------------
+
+namespace mdst::sim {
+
+template <>
+struct CrossShardTraits<mdst::core::Message> {
+  struct Luggage {
+    mdst::core::Candidate top;
+    mdst::core::Candidate sub;
+  };
+
+  static void detach(mdst::core::Message& message, Luggage& luggage) {
+    if (auto* back = std::get_if<mdst::core::BfsBack>(&message)) {
+      if (back->best_top.valid()) luggage.top = back->best_top.get();
+      if (back->best_sub.valid()) luggage.sub = back->best_sub.get();
+      back->best_top.release();
+      back->best_sub.release();
+    }
+  }
+
+  static void attach(mdst::core::Message& message, const Luggage& luggage) {
+    if (auto* back = std::get_if<mdst::core::BfsBack>(&message)) {
+      // An invalid Candidate re-boxes to the empty box (no pool slot), so
+      // one-sided BfsBacks survive the crossing with ids_carried intact.
+      back->best_top = mdst::core::BoxedCandidate(luggage.top);
+      back->best_sub = mdst::core::BoxedCandidate(luggage.sub);
+    }
+  }
+
+  /// Per-worker pool-balance probe for the sharded engine's end-of-run
+  /// leak check (the sharded counterpart of run_mdst's main-thread check).
+  static std::size_t pooled_in_use() {
+    return mdst::core::CandidatePool::local().in_use();
+  }
+};
+
+}  // namespace mdst::sim

@@ -5,6 +5,7 @@
 
 #include "mdst/annotations.hpp"
 #include "runtime/sim_core.hpp"
+#include "runtime/sharded_sim.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -890,5 +891,6 @@ void BasicNode<Context>::handle_terminate(Context& ctx, sim::NodeId from) {
 
 template class BasicNode<sim::IContext<Message>>;
 template class BasicNode<sim::SimContext<Message>>;
+template class BasicNode<sim::ShardContext<Message>>;
 
 }  // namespace mdst::core

@@ -54,6 +54,8 @@
 namespace mdst::sim {
 template <typename Message>
 class SimContext;  // defined in runtime/sim_core.hpp
+template <typename Message>
+class ShardContext;  // defined in runtime/sharded_sim.hpp
 }  // namespace mdst::sim
 
 namespace mdst::core {
@@ -327,10 +329,14 @@ using Node = BasicNode<sim::IContext<Message>>;
 /// Concrete-context binding: what the simulator runs. send()/now() resolve
 /// statically and inline into the dispatch switch.
 using SimNode = BasicNode<sim::SimContext<Message>>;
+/// Sharded-context binding: the same devirtualized fast path against the
+/// intra-trial parallel engine's per-lane context.
+using ShardNode = BasicNode<sim::ShardContext<Message>>;
 
-// Both instantiations are compiled once, in node.cpp.
+// All instantiations are compiled once, in node.cpp.
 extern template class BasicNode<sim::IContext<Message>>;
 extern template class BasicNode<sim::SimContext<Message>>;
+extern template class BasicNode<sim::ShardContext<Message>>;
 
 /// Simulator protocol binding (the devirtualized fast path).
 struct Protocol {
@@ -349,6 +355,15 @@ struct Protocol {
       back->best_sub.release();
     }
   }
+};
+
+/// Sharded-simulator protocol binding: same message set and dispose
+/// contract, nodes bound to the per-lane shard context. Cross-shard
+/// candidate re-homing rides on CrossShardTraits<Message> (messages.hpp).
+struct ShardProtocol {
+  using Message = core::Message;
+  using Node = core::ShardNode;
+  static void dispose(const Message& message) { Protocol::dispose(message); }
 };
 
 }  // namespace mdst::core

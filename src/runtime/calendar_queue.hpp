@@ -80,6 +80,17 @@ class CalendarQueue {
   /// Lower bound on all contained event times (== time of the last pop).
   Time now() const { return now_; }
 
+  /// Exact time of the earliest contained event, without popping it. The
+  /// sharded engine's window coordinator uses this to agree on the next
+  /// conservative window base before any lane commits to a pop.
+  /// Precondition: !empty(). Whenever the wheel is non-empty its minimum is
+  /// within [now, now + W) while every overflow time is >= now + W, so the
+  /// wheel scan answers; otherwise the overflow heap's front does.
+  Time min_time() const {
+    MDST_REQUIRE(count_ > 0, "calendar queue: min_time on empty");
+    return wheel_count_ > 0 ? next_wheel_time() : overflow_.front().time;
+  }
+
   /// Schedule a payload at time `t` and return it for the caller to fill
   /// (the slab node may be recycled, so assign every field you rely on).
   /// Precondition: t >= now().

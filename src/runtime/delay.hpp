@@ -37,6 +37,19 @@ class DelayModel {
   /// skip the per-send floor bookkeeping entirely.
   bool is_unit() const { return kind_ == Kind::kUnit; }
 
+  /// Smallest delay any sample can return — the sharded engine's lookahead:
+  /// a message sent at t can never deliver before t + min_delay(), and the
+  /// fault transform and FIFO floors only push deliveries later, so a
+  /// conservative window of this width is closed under in-window sends.
+  Time min_delay() const {
+    switch (kind_) {
+      case Kind::kUnit: return 1;
+      case Kind::kUniform: return lo_;
+      case Kind::kHeavyTail: return 1;
+    }
+    MDST_UNREACHABLE("bad delay kind");
+  }
+
   const char* name() const;
 
  private:

@@ -100,4 +100,29 @@ Time FaultEngine::transform_delivery(std::size_t slot, Time now,
   return deliver_at + offset;
 }
 
+Time FaultEngine::transform_delivery_keyed(std::size_t slot, std::uint32_t seq,
+                                           Time now, Time deliver_at,
+                                           FaultStats& stats) const {
+  const bool lossy = plan_.loss > 0.0;
+  const bool churny = plan_.churn_down > 0;
+  if (!lossy && !churny) return deliver_at;
+  const std::uint32_t edge = slot_edge_[slot];
+  // Same collapsed ARQ as transform_delivery, with the draws keyed by the
+  // message's (slot, seq) identity: the stream constant keeps the keyed
+  // draws disjoint from every other derived stream of the plan seed.
+  support::Rng keyed(
+      support::derive_seed(plan_.seed ^ 0x10555a6e, slot, seq));
+  constexpr std::uint64_t kAttemptCap = 100'000;
+  Time offset = 0;
+  std::uint64_t failed = 0;
+  while (failed < kAttemptCap) {
+    const bool up = !churny || link_up(edge, now + offset);
+    if (up && !(lossy && keyed.next_bool(plan_.loss))) break;
+    ++failed;
+    offset += plan_.retransmit_timeout;
+  }
+  stats.retransmits += failed;
+  return deliver_at + offset;
+}
+
 }  // namespace mdst::sim

@@ -118,6 +118,16 @@ class FaultEngine {
   /// `deliver_at`, so FIFO floors still apply downstream.
   Time transform_delivery(std::size_t slot, Time now, Time deliver_at);
 
+  /// Keyed (counter-based) variant for the sharded engine: the same
+  /// collapsed stop-and-wait loop, but every loss draw comes from a fresh
+  /// stream derived from (plan seed, slot, seq) instead of the engine's
+  /// sequential member rng — so the attempt fates of the seq-th message on
+  /// a directed link are a pure function of the plan, identical for any
+  /// shard count and any interleaving. Const: retransmits meter into the
+  /// caller's (per-shard) stats, and the member rng is never touched.
+  Time transform_delivery_keyed(std::size_t slot, std::uint32_t seq, Time now,
+                                Time deliver_at, FaultStats& stats) const;
+
   /// True when `slot`'s edge is exempt from FIFO floors under the plan.
   bool fifo_exempt(std::size_t slot) const {
     return !non_fifo_.empty() && non_fifo_[slot_edge_[slot]] != 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/assert.hpp"
+
 namespace mdst::sim {
 
 // The read side derives every total from the flat per-type arrays the
@@ -69,6 +71,23 @@ void Metrics::absorb_sequential(const Metrics& later) {
   for (std::size_t i = 0; i < later.counters_.size(); ++i) {
     counters_[i].count += later.counters_[i].count;
   }
+}
+
+void Metrics::absorb_parallel(const Metrics& other) {
+  MDST_REQUIRE(!folded_ && !other.folded_,
+               "absorb_parallel: both sides must be unfolded live meters");
+  MDST_REQUIRE(counters_.size() == other.counters_.size() &&
+                   id_bits_ == other.id_bits_,
+               "absorb_parallel: shards of one run must share a type table");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i].count += other.counters_[i].count;
+    counters_[i].ids_sum += other.counters_[i].ids_sum;
+    counters_[i].ids_max = std::max(counters_[i].ids_max,
+                                    other.counters_[i].ids_max);
+  }
+  max_causal_depth_ = std::max(max_causal_depth_, other.max_causal_depth_);
+  last_delivery_time_ =
+      std::max(last_delivery_time_, other.last_delivery_time_);
 }
 
 std::size_t id_bits_for(std::size_t n) {

@@ -170,6 +170,22 @@ class Metrics {
   /// plain totals; per-type counts merge index-wise.
   void absorb_sequential(const Metrics& later);
 
+  /// Merge counts from a *concurrent* partition of the same run (the
+  /// sharded engine's per-shard meters): both sides share one type table
+  /// and id width, counts and ids sums add index-wise, and the watermarks
+  /// (ids max, causal depth, last delivery time) take the max — the shards
+  /// partition one delivery stream, they do not follow each other in time.
+  /// Annotations are not merged here; the sharded engine reconstructs them
+  /// in canonical order and appends via append_annotation.
+  void absorb_parallel(const Metrics& other);
+
+  /// Append one reconstructed annotation (sharded merge path). The caller
+  /// owns the ordering contract: annotations must arrive in canonical run
+  /// order.
+  void append_annotation(Annotation annotation) {
+    annotations_.push_back(std::move(annotation));
+  }
+
   static constexpr std::uint64_t kTagBits = 4;  // <= 16 message types/protocol
 
  private:

@@ -1,0 +1,46 @@
+// Cross-shard payload traits for the sharded simulator.
+//
+// The sharded engine (runtime/sharded_sim.hpp) moves events between shard
+// workers by value. That is safe for self-contained trivially-copyable
+// payloads — but a message may carry handles into *thread-local* state
+// (mdst's BoxedCandidate handles into the sender thread's CandidatePool),
+// and those must not cross a thread boundary as bare handles. This traits
+// template is the message set's hook for re-homing such state:
+//
+//   * detach(message, luggage) runs on the *sending* shard's thread when an
+//     event is placed in a cross-shard outbox: copy any thread-local values
+//     out of the message into the luggage and release the sender-side
+//     slots. The handles left in the message are dead until attach.
+//   * attach(message, luggage) runs on the *receiving* shard's thread when
+//     the event is drained from the inbox: re-box the carried values into
+//     the receiver thread's pool and write the fresh handles back.
+//   * pooled_in_use() (optional, probed by `requires`) reports the calling
+//     thread's live pooled-slot count, so the sharded simulator can check
+//     per-worker pool balance the way run_mdst checks the main thread's.
+//
+// The primary template is the identity: plain message sets (the spanning
+// baselines' flood/dfs variants) carry no thread-local state, so detach and
+// attach are no-ops and the luggage is empty. Message sets with pooled
+// payloads specialize it next to their message definitions (see
+// mdst/messages.hpp) so every translation unit that sees the message type
+// also sees the same specialization.
+#pragma once
+
+namespace mdst::sim {
+
+template <typename Message>
+struct CrossShardTraits {
+  /// Per-event sidecar for values extracted by detach. Empty by default.
+  struct Luggage {};
+
+  static void detach(Message& message, Luggage& luggage) {
+    (void)message;
+    (void)luggage;
+  }
+  static void attach(Message& message, const Luggage& luggage) {
+    (void)message;
+    (void)luggage;
+  }
+};
+
+}  // namespace mdst::sim

@@ -1,0 +1,1041 @@
+// Sharded (intra-trial parallel) discrete-event simulator.
+//
+// The classic Simulator (simulator.hpp) drains one global calendar queue on
+// one thread. This engine partitions the node set into K contiguous shards,
+// each owned by one worker lane with a *private* CalendarQueue over its own
+// nodes, and advances the simulation in conservative time windows:
+//
+//   window base T   = min event time over all lanes (agreed at a barrier);
+//   lookahead L     = DelayModel::min_delay() — a message sent at t can
+//                     never deliver before t + L, the fault transform only
+//                     adds a non-negative ARQ offset, and FIFO floors only
+//                     push later, so every send made while processing
+//                     [T, T+L) lands at >= T + L: windows are event-closed
+//                     and lanes can process a whole window without ever
+//                     seeing a cross-shard straggler. Under unit delay every
+//                     tick is a natural barrier (L = 1).
+//
+// Cross-shard sends go to per-destination outboxes, drained into the
+// receiving lane's queue at the next window boundary (fixed source order;
+// see below for why drain order cannot matter). docs/architecture.md
+// carries the full design note.
+//
+// Determinism contract — the reason this file looks the way it does: every
+// observable output (traces, metrics, annotations, fault stats, final node
+// state) is BYTE-IDENTICAL for 1 and K shards, any K, across delay models,
+// engine modes, and fault plans. Three mechanisms combine to give that:
+//
+//   1. Canonical delivery order. Within a window, every lane processes its
+//      events sorted by the intrinsic key (deliver_time, send_time, slot,
+//      seq), where `slot` is the sender's directed-CSR slot (uniquely
+//      naming the link and the sender's neighbor-row position) and `seq`
+//      counts messages on that slot. The key is unique per event and a
+//      pure function of the protocol's behaviour, so the per-lane sorted
+//      orders are exactly the restriction of one global order — mailbox
+//      arrival order, thread scheduling, and K itself drop out.
+//   2. Keyed randomness. Delay draws and fault (loss/churn ARQ) draws for
+//      the seq-th message on a slot come from a fresh stream derived from
+//      (seed, slot, seq) instead of a shared sequential RNG, so a draw
+//      depends only on the message's identity, not on which lane drew
+//      first. Construction-time draws (crash set, churn phases, FIFO
+//      exemptions, start times) happen once, on one thread, before lanes
+//      exist.
+//   3. Owner-partitioned state. depth_, fifo_floor_ and link_seq_ are
+//      global flat arrays, but entry i is written only while the owning
+//      lane processes the owning node (a node's sends happen only on its
+//      owner's lane), so there are no data races and no ordering
+//      ambiguity; the barriers publish everything else.
+//
+// Fault plans stay on the coordinator clock: crash-stop is evaluated at
+// each event's delivery time (a pure function of the plan), and the wedge
+// watchdog's time cap is checked against the agreed window base T — never
+// against any lane's private progress — so fault behaviour cannot depend
+// on shard count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/calendar_queue.hpp"
+#include "runtime/context.hpp"
+#include "runtime/delay.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/node_env.hpp"
+#include "runtime/shard_traits.hpp"
+#include "runtime/sim_core.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
+#include "support/compiler.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+
+/// Reusable generation-counted spin barrier. Poisonable: a lane that hits a
+/// protocol error sets the abort flag before unwinding, and every lane
+/// parked at the barrier observes it and returns false instead of spinning
+/// forever on a rendezvous that can no longer complete.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+  /// Returns false when the run was aborted (the caller must unwind).
+  bool arrive_and_wait(const std::atomic<bool>& abort) {
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(generation + 1, std::memory_order_release);
+      return !abort.load(std::memory_order_acquire);
+    }
+    // Yield while spinning: shard counts above the core count (the K=7
+    // oversubscription case in the determinism suite) must not livelock.
+    while (generation_.load(std::memory_order_acquire) == generation) {
+      if (abort.load(std::memory_order_acquire)) return false;
+      std::this_thread::yield();
+    }
+    return !abort.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Queue payload of the sharded engine: the classic event plus the two
+/// canonical-key coordinates stamped at send time. For the MDST message set
+/// this lands exactly on 64 bytes.
+template <typename Message>
+struct ShardEvent {
+  Event<Message> base;
+  /// Sender's directed-CSR slot (canonical link identity); start events use
+  /// kStartSlotBit | node id, which sorts after every real slot.
+  std::uint32_t slot = 0;
+  /// Index of this message in its slot's send sequence.
+  std::uint32_t seq = 0;
+};
+
+/// Protocol-independent core of the sharded engine: the shared network
+/// (CSR, envs, fault engine), the per-lane queues/meters/mailboxes, the
+/// keyed send path, and the window-coordination state. ShardedSimulator<P>
+/// composes this with the node array and the window loop.
+template <typename Message>
+class ShardedSimCore {
+ public:
+  using EventT = ShardEvent<Message>;
+  using Queue = CalendarQueue<EventT>;
+  using Traits = CrossShardTraits<Message>;
+
+  static constexpr std::uint32_t kStartSlotBit = 0x8000'0000u;
+
+  /// Canonical event key (see the file header). `ss` packs (slot, seq).
+  struct EventKey {
+    Time deliver = 0;
+    Time send = 0;
+    std::uint64_t ss = 0;
+  };
+
+  /// One extracted window event: its key plus the slab ref holding the
+  /// payload (consumed in place, classic-engine style — no event copy).
+  struct WindowEntry {
+    Time deliver = 0;
+    Time send = 0;
+    std::uint64_t ss = 0;
+    std::uint32_t ref = 0;
+  };
+
+  /// Running per-window prefix over the sorted entries: how many were
+  /// actually delivered (starts and crash-drops excluded) and the max
+  /// delivered causal depth — the inputs for reconstructing annotation
+  /// snapshots in canonical order.
+  struct WindowPrefix {
+    std::uint64_t delivered = 0;
+    std::uint64_t causal_depth = 0;
+  };
+
+  /// An annotation emitted by a handler this window, waiting for the
+  /// cross-lane snapshot reconstruction at the next window boundary.
+  struct PendingAnnotation {
+    EventKey key;
+    std::uint32_t emission = 0;  // per-lane monotone: orders same-event tags
+    Time time = 0;
+    std::string label;
+    AnnotationTag tag;
+    bool tagged = false;
+  };
+
+  struct FinalizedAnnotation {
+    EventKey key;
+    std::uint32_t emission = 0;
+    Annotation annotation;
+  };
+
+  /// One cross-shard event in flight between two windows. `luggage` carries
+  /// any thread-local payload state detached by the sender (shard_traits).
+  struct OutboundEvent {
+    Time deliver = 0;
+    EventT ev{};
+    typename Traits::Luggage luggage{};
+  };
+
+  /// Per-window published coordination slot, double-buffered by window
+  /// parity so a lane finalizing last window's annotations can still read
+  /// last window's bases while others publish this window's.
+  struct alignas(64) Published {
+    Time min_time = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t causal_depth = 0;
+  };
+
+  struct alignas(64) Lane {
+    Lane(std::uint32_t index_, std::size_t shard_count,
+         std::vector<MessageDescriptor> types, std::size_t id_bits)
+        : index(index_),
+          metrics(std::move(types), id_bits),
+          outbox(shard_count) {}
+
+    std::uint32_t index;
+    Queue queue;
+    Metrics metrics;
+    Time now = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;  // cumulative accounted deliveries
+    FaultStats fault_stats;
+    // Current window (valid from extraction until the next extraction —
+    // annotation finalization on *other* lanes reads them in between).
+    std::vector<WindowEntry> win_entries;
+    std::vector<WindowPrefix> win_prefix;
+    // Annotation bookkeeping.
+    EventKey current_key;  // key of the event whose handler is running
+    std::uint32_t emission = 0;
+    std::vector<PendingAnnotation> pending;
+    std::vector<FinalizedAnnotation> finalized;
+    // Per-lane trace (rows in lane-canonical order, capped at the global
+    // cap; merged by key after the run).
+    std::vector<TraceRow> trace_rows;
+    std::vector<EventKey> trace_keys;
+    std::uint64_t trace_attempted = 0;
+    // Cross-shard mailboxes: outbox[dst] is written by this lane while
+    // processing a window and drained by lane dst at the next boundary.
+    std::vector<std::vector<OutboundEvent>> outbox;
+    // Worker-thread pool balance (shard_traits pooled_in_use hook).
+    std::size_t pool_before = 0;
+    std::size_t pool_after = 0;
+  };
+
+  struct Decision {
+    Time window_base = 0;
+    std::uint64_t total_sent = 0;
+    bool done = false;
+  };
+
+  ShardedSimCore(const graph::Graph& graph, const SimConfig& config)
+      : config_(config),
+        trace_cap_(config.trace_cap),
+        merged_metrics_(type_infos(), id_bits_for(graph.vertex_count())),
+        merged_trace_(config.trace_cap) {
+    const std::size_t n = graph.vertex_count();
+    MDST_REQUIRE(n > 0, "simulator: empty graph");
+    MDST_REQUIRE(config_.shards >= 1,
+                 "sharded engine: SimConfig::shards must be >= 1");
+    // More lanes than nodes would leave empty shards idling at every
+    // barrier; clamp (the canonical order makes the outputs identical for
+    // any lane count anyway).
+    shard_count_ = std::min<std::size_t>(config_.shards, n);
+    barrier_ = std::make_unique<SpinBarrier>(shard_count_);
+
+    envs_.reserve(n);
+    depth_.assign(n, 0);
+    adj_off_.assign(n + 1, 0);
+    // Same single-sweep CSR build as SimCore (sim_core.hpp has the full
+    // commentary): flat NeighborInfo pool, directed links with paired
+    // reverse indices, and — only under an active plan — the slot → edge
+    // map for the fault engine.
+    const std::size_t slots = 2 * graph.edge_count();
+    MDST_REQUIRE(slots < kStartSlotBit,
+                 "sharded engine: graph too large for 31-bit slot keys");
+    neighbor_pool_.reserve(slots);
+    links_.reserve(slots);
+    faults_active_ = config_.faults.active();
+    std::vector<std::uint32_t> slot_edge;
+    if (faults_active_) slot_edge.reserve(slots);
+    std::vector<std::uint32_t> pos(graph.edge_count(), kNoNeighborIndex);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint32_t j = 0;
+      for (const graph::Incidence& inc :
+           graph.neighbors(static_cast<NodeId>(v))) {
+        const NodeId u = inc.neighbor;
+        const std::size_t e = static_cast<std::size_t>(inc.edge);
+        if (faults_active_) {
+          slot_edge.push_back(static_cast<std::uint32_t>(e));
+        }
+        neighbor_pool_.push_back({u, graph.name(u)});
+        if (pos[e] == kNoNeighborIndex) {
+          pos[e] = j;
+          links_.push_back({u, kNoNeighborIndex});  // patched on 2nd visit
+        } else {
+          links_.push_back({u, pos[e]});
+          links_[adj_off_[static_cast<std::size_t>(u)] + pos[e]]
+              .reverse_index = j;
+        }
+        ++j;
+      }
+      adj_off_[v + 1] = adj_off_[v] + j;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      NodeEnv env;
+      env.id = static_cast<NodeId>(v);
+      env.name = graph.name(static_cast<NodeId>(v));
+      env.neighbors = std::span<const NeighborInfo>(
+          neighbor_pool_.data() + adj_off_[v], adj_off_[v + 1] - adj_off_[v]);
+      envs_.push_back(env);
+    }
+    fifo_floors_active_ = config_.fifo_links && !config_.delay.is_unit();
+    unit_delay_ = config_.delay.is_unit();
+    lookahead_ = config_.delay.min_delay();
+    fast_keys_ = unit_delay_ && !faults_active_;
+    if (fifo_floors_active_) fifo_floor_.assign(links_.size(), 0);
+    link_seq_.assign(links_.size(), 0);
+    if (faults_active_) {
+      fault_ = std::make_unique<FaultEngine>(config_.faults, n,
+                                             graph.edge_count(),
+                                             std::move(slot_edge));
+    }
+
+    // Contiguous block partition: lane k owns nodes [offset_k, offset_k+1).
+    owner_.resize(n);
+    const std::size_t block = n / shard_count_;
+    const std::size_t extra = n % shard_count_;
+    std::size_t next = 0;
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      const std::size_t count = block + (k < extra ? 1 : 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        owner_[next++] = static_cast<std::uint32_t>(k);
+      }
+    }
+    MDST_ASSERT(next == n, "sharded engine: partition must cover every node");
+
+    lanes_.reserve(shard_count_);
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      lanes_.push_back(std::make_unique<Lane>(static_cast<std::uint32_t>(k),
+                                              shard_count_, type_infos(),
+                                              id_bits_for(n)));
+    }
+    pub_[0].resize(shard_count_);
+    pub_[1].resize(shard_count_);
+
+    // Spontaneous starts, drawn centrally in node order from the schedule
+    // seed — the same first-draw sequence as the classic engine — then
+    // seeded straight into the owning lane's queue (pre-run, one thread).
+    support::Rng start_rng(config_.seed);
+    for (std::size_t v = 0; v < n; ++v) {
+      const Time at = config_.start_spread == 0
+                          ? 0
+                          : start_rng.next_below(config_.start_spread + 1);
+      Lane& lane = *lanes_[owner_[v]];
+      EventT& ev = lane.queue.emplace(at);
+      ev.base.kind = EventKind::kStart;
+      ev.base.ids = 0;
+      ev.base.to = static_cast<NodeId>(v);
+      ev.base.from = kNoNode;
+      ev.base.from_index = kNoNeighborIndex;
+      ev.base.causal_depth = 0;
+      ev.base.send_time = at;
+      ev.slot = kStartSlotBit | static_cast<std::uint32_t>(v);
+      ev.seq = 0;
+    }
+  }
+
+  std::size_t shard_count() const { return shard_count_; }
+  const SimConfig& config() const { return config_; }
+  const std::vector<NodeEnv>& envs() const { return envs_; }
+  std::size_t node_count() const { return envs_.size(); }
+  bool faults_active() const { return faults_active_; }
+  bool trace_enabled() const { return trace_cap_ > 0; }
+  Lane& lane(std::size_t k) { return *lanes_[k]; }
+
+  bool crashed_at(NodeId v, Time t) const { return fault_->crashed_at(v, t); }
+
+  // --- merged post-run views (valid after merge_lanes) ---------------------
+  const Metrics& metrics() const { return merged_metrics_; }
+  const Trace& trace() const { return merged_trace_; }
+  Time now() const { return final_now_; }
+  FaultStats fault_stats() const { return merged_fault_stats_; }
+
+  // --- the keyed send path -------------------------------------------------
+
+  template <typename Alt>
+  void shard_send(Lane& lane, NodeId from, NodeId to, Alt&& message) {
+    const std::size_t slot = find_directed_slot(from, to);
+    MDST_REQUIRE(slot != kNoSlot,
+                 "send: target is not a neighbor (point-to-point model)");
+    send_on_slot(lane, from, to, slot, std::forward<Alt>(message));
+  }
+
+  template <typename Alt>
+  void shard_send_at_neighbor_index(Lane& lane, NodeId from, NodeId to,
+                                    std::uint32_t index, Alt&& message) {
+    const std::size_t slot = adj_off_[static_cast<std::size_t>(from)] + index;
+    MDST_ASSERT(slot < adj_off_[static_cast<std::size_t>(from) + 1] &&
+                    links_[slot].peer == to,
+                "send_at_neighbor_index: index does not address the target");
+    send_on_slot(lane, from, to, slot, std::forward<Alt>(message));
+  }
+
+  void shard_annotate(Lane& lane, std::string label) {
+    lane.pending.push_back({lane.current_key, lane.emission++, lane.now,
+                            std::move(label), AnnotationTag{}, false});
+  }
+  void shard_annotate_tag(Lane& lane, const AnnotationTag& tag) {
+    lane.pending.push_back(
+        {lane.current_key, lane.emission++, lane.now, std::string{}, tag,
+         true});
+  }
+
+  // --- window coordination (called by the lane loop) -----------------------
+
+  bool barrier_wait(const std::atomic<bool>& abort) {
+    return barrier_->arrive_and_wait(abort);
+  }
+
+  /// Move every inbound cross-shard event (all source lanes, fixed order)
+  /// into this lane's queue, re-homing thread-local payload state. Drain
+  /// order cannot affect anything observable — the queue orders by time and
+  /// the window sort orders within a window by the intrinsic key — but a
+  /// fixed order keeps the walk itself deterministic.
+  void drain_inboxes(Lane& lane) {
+    for (std::size_t src = 0; src < shard_count_; ++src) {
+      if (src == lane.index) continue;
+      std::vector<OutboundEvent>& inbox = lanes_[src]->outbox[lane.index];
+      for (OutboundEvent& in : inbox) {
+        Traits::attach(in.ev.base.payload, in.luggage);
+        lane.queue.emplace(in.deliver) = in.ev;
+      }
+      inbox.clear();
+    }
+  }
+
+  /// Reconstruct the canonical metric snapshots for every annotation this
+  /// lane emitted in the window just processed. Bases come from the
+  /// opposite-parity published slots (the state before that window); the
+  /// within-window portion comes from every lane's sorted window entries
+  /// and delivered-prefix arrays, which stay intact until the next
+  /// extraction.
+  void finalize_pending(Lane& lane, std::size_t prev_parity) {
+    if (lane.pending.empty()) return;
+    std::uint64_t base_delivered = 0;
+    std::uint64_t base_depth = 0;
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      base_delivered += pub_[prev_parity][k].delivered;
+      base_depth = std::max(base_depth, pub_[prev_parity][k].causal_depth);
+    }
+    for (PendingAnnotation& p : lane.pending) {
+      std::uint64_t total = base_delivered;
+      std::uint64_t depth = base_depth;
+      for (std::size_t k = 0; k < shard_count_; ++k) {
+        const Lane& other = *lanes_[k];
+        const std::size_t at = upper_bound_key(other.win_entries, p.key);
+        if (at > 0) {
+          total += other.win_prefix[at - 1].delivered;
+          depth = std::max(depth, other.win_prefix[at - 1].causal_depth);
+        }
+      }
+      lane.finalized.push_back(
+          {p.key, p.emission,
+           Annotation{p.time, total, depth, std::move(p.label), p.tag,
+                      p.tagged}});
+    }
+    lane.pending.clear();
+  }
+
+  void publish(Lane& lane, std::size_t parity) {
+    Published& slot = pub_[parity][lane.index];
+    slot.min_time = lane.queue.empty() ? kInfTime : lane.queue.min_time();
+    slot.sent = lane.sent;
+    slot.delivered = lane.delivered;
+    slot.causal_depth = lane.metrics.max_causal_depth();
+  }
+
+  /// Every lane computes the identical decision from the published slots.
+  Decision decide(std::size_t parity) const {
+    Decision d;
+    Time min_time = kInfTime;
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      min_time = std::min(min_time, pub_[parity][k].min_time);
+      d.total_sent += pub_[parity][k].sent;
+    }
+    d.window_base = min_time;
+    d.done = min_time == kInfTime;
+    return d;
+  }
+
+  [[noreturn]] MDST_NOINLINE void fail_message_cap() const {
+    MDST_REQUIRE(false,
+                 "message cap exceeded (SimConfig::max_messages = " +
+                     std::to_string(config_.max_messages) +
+                     ") — livelock? Healthy large-n runs need a raised cap; "
+                     "see SimConfig::large_n_sweep()");
+    std::abort();  // unreachable; REQUIRE above always throws
+  }
+
+  /// Pop everything in [T, T+L) into the window buffer and sort it into
+  /// canonical order. Payloads stay in the queue slab (consumed in place,
+  /// released after processing).
+  void extract_window(Lane& lane, Time window_base) {
+    lane.win_entries.clear();
+    lane.win_prefix.clear();
+    const Time horizon = window_base + lookahead_;
+    Queue& queue = lane.queue;
+    while (!queue.empty() && queue.min_time() < horizon) {
+      const auto popped = queue.pop();
+      const EventT& ev = *popped.payload;
+      lane.win_entries.push_back(
+          {popped.time, ev.base.send_time,
+           (static_cast<std::uint64_t>(ev.slot) << 32) | ev.seq, popped.ref});
+    }
+    if (fast_keys_) {
+      // Unit delay without faults: within a window every message shares
+      // (deliver, send) = (T, T-1) and starts sort last via the slot high
+      // bit, so the packed (slot, seq) word alone is the canonical order.
+      std::sort(lane.win_entries.begin(), lane.win_entries.end(),
+                [](const WindowEntry& a, const WindowEntry& b) {
+                  return a.ss < b.ss;
+                });
+    } else {
+      std::sort(lane.win_entries.begin(), lane.win_entries.end(),
+                [](const WindowEntry& a, const WindowEntry& b) {
+                  if (a.deliver != b.deliver) return a.deliver < b.deliver;
+                  if (a.send != b.send) return a.send < b.send;
+                  return a.ss < b.ss;
+                });
+    }
+  }
+
+  /// Meter and trace one delivery on this lane (classic account_delivery,
+  /// metering into the lane's private instruments).
+  template <bool TraceOn>
+  void account_delivery(Lane& lane, const EventT& ev, const WindowEntry& at) {
+    auto& d = depth_[static_cast<std::size_t>(ev.base.to)];
+    if (ev.base.causal_depth > d) {
+      d = ev.base.causal_depth;
+      lane.metrics.note_causal_depth(ev.base.causal_depth);
+    }
+    const std::size_t type_index = ev.base.payload.index();
+    const MessageDescriptor& desc = kMessageDescriptors<Message>[type_index];
+    if (desc.dynamic_ids) {
+      lane.metrics.count_delivery_dynamic(type_index, ev.base.ids, at.deliver);
+    } else {
+      lane.metrics.count_delivery(type_index, at.deliver);
+    }
+    ++lane.delivered;
+    if constexpr (TraceOn) {
+      ++lane.trace_attempted;
+      if (lane.trace_rows.size() < trace_cap_) {
+        lane.trace_rows.push_back({ev.base.send_time, at.deliver, ev.base.from,
+                                   ev.base.to, type_index, desc.name,
+                                   ev.base.causal_depth});
+        lane.trace_keys.push_back({at.deliver, at.send, at.ss});
+      }
+    }
+  }
+
+  EventT& lane_event(Lane& lane, std::uint32_t ref) {
+    return lane.queue.payload(ref);
+  }
+
+  /// Return a consumed event's slab node, restoring the resting
+  /// kind == kMessage tag (the same recycle contract as SimCore::release).
+  void release_event(Lane& lane, std::uint32_t ref) {
+    lane.queue.payload(ref).base.kind = EventKind::kMessage;
+    lane.queue.release(ref);
+  }
+
+  /// Merge the per-lane instruments into the final single-run view. Runs on
+  /// the coordinating thread after every lane joined. Canonical order of
+  /// merged sequences is total order on the event keys, so the result is
+  /// identical for any shard count.
+  void merge_lanes() {
+    merged_metrics_ = std::move(lanes_[0]->metrics);
+    for (std::size_t k = 1; k < shard_count_; ++k) {
+      merged_metrics_.absorb_parallel(lanes_[k]->metrics);
+    }
+    // Annotations: per-lane lists are already key-sorted; one global sort
+    // over the concatenation is simplest (annotations are per-round rare).
+    std::vector<FinalizedAnnotation> annotations;
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      for (FinalizedAnnotation& a : lanes_[k]->finalized) {
+        annotations.push_back(std::move(a));
+      }
+      lanes_[k]->finalized.clear();
+    }
+    std::sort(annotations.begin(), annotations.end(),
+              [](const FinalizedAnnotation& a, const FinalizedAnnotation& b) {
+                if (a.key.deliver != b.key.deliver) {
+                  return a.key.deliver < b.key.deliver;
+                }
+                if (a.key.send != b.key.send) return a.key.send < b.key.send;
+                if (a.key.ss != b.key.ss) return a.key.ss < b.key.ss;
+                return a.emission < b.emission;
+              });
+    for (FinalizedAnnotation& a : annotations) {
+      merged_metrics_.append_annotation(std::move(a.annotation));
+    }
+    // Trace: merge the per-lane (capped) row lists by key; the global first
+    // cap rows are a subset of the per-lane first cap rows, so the merge
+    // reproduces the canonical prefix exactly. The truncation flag must
+    // reflect globally-attempted rows, which can exceed the cap even when
+    // every lane stayed under it.
+    if (trace_cap_ > 0) {
+      std::vector<std::pair<EventKey, TraceRow>> rows;
+      std::uint64_t attempted = 0;
+      for (std::size_t k = 0; k < shard_count_; ++k) {
+        Lane& lane = *lanes_[k];
+        attempted += lane.trace_attempted;
+        for (std::size_t i = 0; i < lane.trace_rows.size(); ++i) {
+          rows.emplace_back(lane.trace_keys[i], lane.trace_rows[i]);
+        }
+        lane.trace_rows.clear();
+        lane.trace_keys.clear();
+      }
+      std::sort(rows.begin(), rows.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first.deliver != b.first.deliver) {
+                    return a.first.deliver < b.first.deliver;
+                  }
+                  if (a.first.send != b.first.send) {
+                    return a.first.send < b.first.send;
+                  }
+                  return a.first.ss < b.first.ss;
+                });
+      for (const auto& [key, row] : rows) merged_trace_.record(row);
+      if (attempted > trace_cap_) merged_trace_.mark_truncated();
+    }
+    merged_fault_stats_ = fault_ ? fault_->stats() : FaultStats{};
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      const FaultStats& s = lanes_[k]->fault_stats;
+      merged_fault_stats_.retransmits += s.retransmits;
+      merged_fault_stats_.dropped_deliveries += s.dropped_deliveries;
+      merged_fault_stats_.discarded_events += s.discarded_events;
+      final_now_ = std::max(final_now_, lanes_[k]->now);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr Time kInfTime = static_cast<Time>(-1);
+  /// Stream constant separating keyed delay draws from every other derived
+  /// stream of the schedule seed.
+  static constexpr std::uint64_t kDelayStream = 0x5ade1a9;
+
+  static std::vector<MessageDescriptor> type_infos() {
+    return {kMessageDescriptors<Message>.begin(),
+            kMessageDescriptors<Message>.end()};
+  }
+
+  std::size_t find_directed_slot(NodeId from, NodeId to) const {
+    const auto u = static_cast<std::size_t>(from);
+    if (from < 0 || u + 1 >= adj_off_.size()) return kNoSlot;
+    const std::uint32_t hi = adj_off_[u + 1];
+    for (std::uint32_t s = adj_off_[u]; s < hi; ++s) {
+      if (links_[s].peer == to) return s;
+    }
+    return kNoSlot;
+  }
+
+  Time bump_fifo_floor(std::size_t slot, Time deliver_at) {
+    Time& last = fifo_floor_[slot];
+    if (deliver_at < last) deliver_at = last;
+    last = deliver_at;
+    return deliver_at;
+  }
+
+  /// Keyed delay draw: the delay of the seq-th message on a slot is a pure
+  /// function of (seed, slot, seq) — identical for every shard count. The
+  /// unit model draws nothing, exactly like the classic fast path.
+  Time keyed_delay(std::size_t slot, std::uint32_t seq) const {
+    if (unit_delay_) return 1;
+    support::Rng rng(
+        support::derive_seed(config_.seed ^ kDelayStream, slot, seq));
+    return config_.delay.sample(rng);
+  }
+
+  /// upper_bound over a lane's sorted window entries, using the same
+  /// comparator the window sort used.
+  std::size_t upper_bound_key(const std::vector<WindowEntry>& entries,
+                              const EventKey& key) const {
+    const auto less = [this](const EventKey& k, const WindowEntry& e) {
+      if (fast_keys_) return k.ss < e.ss;
+      if (k.deliver != e.deliver) return k.deliver < e.deliver;
+      if (k.send != e.send) return k.send < e.send;
+      return k.ss < e.ss;
+    };
+    return static_cast<std::size_t>(
+        std::upper_bound(entries.begin(), entries.end(), key, less) -
+        entries.begin());
+  }
+
+  template <typename Alt>
+  void send_on_slot(Lane& lane, NodeId from, NodeId to, std::size_t slot,
+                    Alt&& message) {
+    // Lane-local runaway guard; the authoritative (deterministic) cap check
+    // sums every lane's count at the next window barrier.
+    if (lane.sent >= config_.max_messages) [[unlikely]] fail_message_cap();
+    ++lane.sent;
+    std::uint16_t ids;
+    if constexpr (std::is_same_v<std::decay_t<Alt>, Message>) {
+      ids = static_cast<std::uint16_t>(switch_visit(
+          message, [](const auto& m) { return m.ids_carried(); }));
+    } else {
+      ids = static_cast<std::uint16_t>(message.ids_carried());
+    }
+    const std::uint32_t seq = link_seq_[slot]++;
+    Time deliver_at = lane.now + keyed_delay(slot, seq);
+    if (faults_active_) [[unlikely]] {
+      deliver_at = fault_->transform_delivery_keyed(slot, seq, lane.now,
+                                                    deliver_at,
+                                                    lane.fault_stats);
+      if (fifo_floors_active_ && !fault_->fifo_exempt(slot)) {
+        deliver_at = bump_fifo_floor(slot, deliver_at);
+      }
+    } else if (fifo_floors_active_) {
+      deliver_at = bump_fifo_floor(slot, deliver_at);
+    }
+    const std::uint32_t dst = owner_[static_cast<std::size_t>(to)];
+    if (dst == lane.index) [[likely]] {
+      EventT& ev = lane.queue.emplace(deliver_at);
+      // base.kind is already kMessage (fresh default / release_event).
+      fill_event(ev, from, to, slot, seq, ids, lane.now,
+                 std::forward<Alt>(message));
+    } else {
+      lane.outbox[dst].emplace_back();
+      OutboundEvent& out = lane.outbox[dst].back();
+      out.deliver = deliver_at;
+      out.ev.base.kind = EventKind::kMessage;
+      fill_event(out.ev, from, to, slot, seq, ids, lane.now,
+                 std::forward<Alt>(message));
+      Traits::detach(out.ev.base.payload, out.luggage);
+    }
+  }
+
+  template <typename Alt>
+  void fill_event(EventT& ev, NodeId from, NodeId to, std::size_t slot,
+                  std::uint32_t seq, std::uint16_t ids, Time now,
+                  Alt&& message) {
+    ev.base.ids = ids;
+    ev.base.to = to;
+    ev.base.from = from;
+    ev.base.from_index = links_[slot].reverse_index;
+    if constexpr (std::is_same_v<std::decay_t<Alt>, Message>) {
+      ev.base.payload = std::forward<Alt>(message);
+    } else {
+      ev.base.payload.template emplace<std::decay_t<Alt>>(
+          std::forward<Alt>(message));
+    }
+    ev.base.causal_depth = depth_[static_cast<std::size_t>(from)] + 1;
+    ev.base.send_time = now;
+    ev.slot = static_cast<std::uint32_t>(slot);
+    ev.seq = seq;
+  }
+
+  SimConfig config_;
+  std::size_t trace_cap_;
+  std::size_t shard_count_ = 1;
+  std::vector<NeighborInfo> neighbor_pool_;
+  std::vector<NodeEnv> envs_;
+  /// Owner-partitioned global state (see the file header): entry i is only
+  /// ever touched by the lane owning the relevant node.
+  std::vector<std::uint64_t> depth_;
+  struct DirectedLink {
+    NodeId peer = kNoNode;
+    std::uint32_t reverse_index = kNoNeighborIndex;
+  };
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<DirectedLink> links_;
+  std::vector<Time> fifo_floor_;
+  /// Per-slot send counters: the seq half of every message's canonical key.
+  std::vector<std::uint32_t> link_seq_;
+  std::vector<std::uint32_t> owner_;
+  std::unique_ptr<FaultEngine> fault_;
+  bool faults_active_ = false;
+  bool fifo_floors_active_ = false;
+  bool unit_delay_ = false;
+  bool fast_keys_ = false;
+  Time lookahead_ = 1;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<Published> pub_[2];
+  std::unique_ptr<SpinBarrier> barrier_;
+  // Merged post-run views.
+  Metrics merged_metrics_;
+  Trace merged_trace_;
+  FaultStats merged_fault_stats_;
+  Time final_now_ = 0;
+};
+
+/// Concrete context bound to one lane of a ShardedSimCore. Derives from
+/// IContext so virtual-interface protocols (the spanning baselines) bind
+/// unchanged; `final` with header-visible bodies so nodes templated on it
+/// directly (mdst::core::ShardProtocol's node) devirtualize the send path,
+/// exactly like SimContext.
+template <typename Message>
+class ShardContext final : public IContext<Message> {
+ public:
+  using Core = ShardedSimCore<Message>;
+
+  ShardContext(Core* core, typename Core::Lane* lane, NodeId self,
+               std::uint32_t from_index = kNoNeighborIndex)
+      : core_(core), lane_(lane), self_(self), from_index_(from_index) {}
+
+  void send(NodeId to, Message message) final {
+    core_->shard_send(*lane_, self_, to, std::move(message));
+  }
+  /// Typed fast path (not part of IContext); see SimContext::send.
+  template <typename Alt>
+    requires(!std::is_same_v<std::decay_t<Alt>, Message>)
+  void send(NodeId to, Alt&& message) {
+    core_->shard_send(*lane_, self_, to, std::forward<Alt>(message));
+  }
+  /// Slot-addressed fast path; see SimContext::send_at_index.
+  template <typename Alt>
+  void send_at_index(NodeId to, std::uint32_t index, Alt&& message) {
+    core_->shard_send_at_neighbor_index(*lane_, self_, to, index,
+                                        std::forward<Alt>(message));
+  }
+  NodeId self() const final { return self_; }
+  Time now() const final { return lane_->now; }
+  void annotate(const std::string& label) final {
+    core_->shard_annotate(*lane_, label);
+  }
+  /// Tagged fast path; see SimContext::annotate_tag.
+  void annotate_tag(const AnnotationTag& tag) {
+    core_->shard_annotate_tag(*lane_, tag);
+  }
+  /// Reverse-CSR delivery hint; see SimContext::from_index.
+  std::uint32_t from_index() const { return from_index_; }
+
+ private:
+  Core* core_;
+  typename Core::Lane* lane_;
+  NodeId self_;
+  std::uint32_t from_index_ = kNoNeighborIndex;
+};
+
+/// The sharded counterpart of Simulator<P>: node array + the SPMD window
+/// loop. The protocol contract is the same (see simulator.hpp); Ctx is
+/// ShardContext<Message>, which IContext-typed handlers bind to through the
+/// base class.
+template <typename P>
+class ShardedSimulator {
+ public:
+  using Message = typename P::Message;
+  using Node = typename P::Node;
+  using NodeFactory = std::function<Node(const NodeEnv&)>;
+  using Core = ShardedSimCore<Message>;
+  using Ctx = ShardContext<Message>;
+  using Lane = typename Core::Lane;
+  using EventT = typename Core::EventT;
+
+  ShardedSimulator(const graph::Graph& graph, const NodeFactory& factory,
+                   SimConfig config = {})
+      : core_(graph, config) {
+    nodes_.reserve(core_.node_count());
+    for (const NodeEnv& env : core_.envs()) nodes_.push_back(factory(env));
+  }
+
+  /// Run to completion (no time cap).
+  void run() { run_windows(0); }
+
+  /// Run with the wedge watchdog's time cap: stop — discarding every event
+  /// still queued — as soon as the agreed window base reaches `deadline`
+  /// (0 = uncapped). Returns true when the cap cut the run short.
+  bool run_capped(Time deadline) { return run_windows(deadline); }
+
+  Time now() const { return core_.now(); }
+  const Metrics& metrics() const { return core_.metrics(); }
+  const Trace& trace() const { return core_.trace(); }
+  Node& node(NodeId id) {
+    MDST_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                 "simulator: bad node id");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const Node& node(NodeId id) const {
+    return const_cast<ShardedSimulator*>(this)->node(id);
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  const NodeEnv& env(NodeId id) const {
+    return core_.envs().at(static_cast<std::size_t>(id));
+  }
+  std::size_t shard_count() const { return core_.shard_count(); }
+
+  bool crashed(NodeId v) const {
+    return core_.faults_active() && core_.crashed_at(v, core_.now());
+  }
+  FaultStats fault_stats() const { return core_.fault_stats(); }
+
+  /// True when every worker lane's thread-local payload pool (shard_traits
+  /// pooled_in_use hook) returned to its thread-start occupancy. Trivially
+  /// true for message sets without pooled payloads.
+  bool pools_balanced() const { return pools_balanced_; }
+
+ private:
+  using Traits = typename Core::Traits;
+
+  void dispose_payload(Event<Message>& ev) {
+    if constexpr (requires(const Message& m) { P::dispose(m); }) {
+      if (ev.kind == EventKind::kMessage) P::dispose(ev.payload);
+    }
+  }
+
+  bool run_windows(Time deadline) {
+    const std::size_t shards = core_.shard_count();
+    std::atomic<bool> abort{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    bool time_capped = false;
+    const bool trace_on = core_.trace_enabled();
+
+    auto worker = [&](std::uint32_t lane_index) {
+      Lane& lane = core_.lane(lane_index);
+      if constexpr (requires { Traits::pooled_in_use(); }) {
+        lane.pool_before = Traits::pooled_in_use();
+      }
+      try {
+        const bool capped = trace_on
+                                ? lane_loop<true>(lane, deadline, abort)
+                                : lane_loop<false>(lane, deadline, abort);
+        if (lane_index == 0) time_capped = capped;
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+      }
+      if constexpr (requires { Traits::pooled_in_use(); }) {
+        lane.pool_after = Traits::pooled_in_use();
+      }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(shards - 1);
+    for (std::size_t k = 1; k < shards; ++k) {
+      workers.emplace_back(worker, static_cast<std::uint32_t>(k));
+    }
+    worker(0);  // the calling thread is lane 0
+    for (std::thread& t : workers) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+
+    pools_balanced_ = true;
+    for (std::size_t k = 0; k < shards; ++k) {
+      const Lane& lane = core_.lane(k);
+      pools_balanced_ &= lane.pool_after == lane.pool_before;
+    }
+    core_.merge_lanes();
+    return time_capped;
+  }
+
+  /// One lane's SPMD window loop. Two barriers per window:
+  ///
+  ///   drain inboxes, finalize last window's annotations, publish
+  ///     --- barrier A ---                      (everything published)
+  ///   decide T / termination / caps (identically on every lane),
+  ///   extract + sort own window, process it in canonical order
+  ///     --- barrier B ---                      (all outboxes complete)
+  ///
+  /// Published slots are double-buffered by window parity so the finalize
+  /// step can read last window's bases while this window's are written.
+  /// Every exit path is a decision all lanes compute identically from the
+  /// same published data, so no lane is ever left waiting at a barrier
+  /// (exceptions poison the barrier through the abort flag instead).
+  template <bool TraceOn>
+  bool lane_loop(Lane& lane, Time deadline, std::atomic<bool>& abort) {
+    std::uint64_t window = 0;
+    for (;;) {
+      const std::size_t parity = window & 1;
+      core_.drain_inboxes(lane);
+      core_.finalize_pending(lane, 1 - parity);
+      core_.publish(lane, parity);
+      if (!core_.barrier_wait(abort)) return false;  // barrier A
+      const typename Core::Decision decision = core_.decide(parity);
+      if (decision.total_sent >= core_.config().max_messages) [[unlikely]] {
+        core_.fail_message_cap();
+      }
+      if (decision.done) return false;
+      if (deadline != 0 && decision.window_base >= deadline) [[unlikely]] {
+        discard_lane(lane);
+        return true;
+      }
+      core_.extract_window(lane, decision.window_base);
+      process_window<TraceOn>(lane);
+      if (!core_.barrier_wait(abort)) return false;  // barrier B
+      ++window;
+    }
+  }
+
+  template <bool TraceOn>
+  void process_window(Lane& lane) {
+    for (const typename Core::WindowEntry& entry : lane.win_entries) {
+      EventT& ev = core_.lane_event(lane, entry.ref);
+      lane.now = entry.deliver;
+      const typename Core::WindowPrefix previous =
+          lane.win_prefix.empty() ? typename Core::WindowPrefix{}
+                                  : lane.win_prefix.back();
+      if (core_.faults_active() &&
+          core_.crashed_at(ev.base.to, entry.deliver)) [[unlikely]] {
+        lane.win_prefix.push_back(previous);
+        ++lane.fault_stats.dropped_deliveries;
+        dispose_payload(ev.base);
+        Node& casualty = nodes_[static_cast<std::size_t>(ev.base.to)];
+        if constexpr (requires { casualty.crash(); }) casualty.crash();
+        core_.release_event(lane, entry.ref);
+        continue;
+      }
+      lane.current_key = {entry.deliver, entry.send, entry.ss};
+      Ctx ctx(&core_, &lane, ev.base.to, ev.base.from_index);
+      Node& node = nodes_[static_cast<std::size_t>(ev.base.to)];
+      if (ev.base.kind == EventKind::kStart) {
+        lane.win_prefix.push_back(previous);
+        node.on_start(ctx);
+      } else {
+        core_.template account_delivery<TraceOn>(lane, ev, entry);
+        lane.win_prefix.push_back(
+            {previous.delivered + 1,
+             std::max(previous.causal_depth, ev.base.causal_depth)});
+        node.on_message(ctx, ev.base.from, ev.base.payload);
+      }
+      core_.release_event(lane, entry.ref);
+    }
+  }
+
+  /// Time-cap teardown: drop this lane's still-queued events undelivered,
+  /// reclaiming pooled payload state into this lane's own pool (inbound
+  /// events were re-homed at drain time, so the pool stays balanced).
+  void discard_lane(Lane& lane) {
+    while (!lane.queue.empty()) {
+      const auto popped = lane.queue.pop();
+      dispose_payload(popped.payload->base);
+      ++lane.fault_stats.discarded_events;
+      core_.release_event(lane, popped.ref);
+    }
+  }
+
+  Core core_;
+  std::vector<Node> nodes_;
+  bool pools_balanced_ = true;
+};
+
+}  // namespace mdst::sim

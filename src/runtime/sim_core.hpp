@@ -61,6 +61,14 @@ struct SimConfig {
   std::uint64_t max_messages = 50'000'000;
   /// Retain at most this many trace rows (0 disables tracing).
   std::size_t trace_cap = 0;
+  /// Intra-trial shard workers: 0 selects the classic single-threaded
+  /// engine (Simulator); K >= 1 selects the sharded engine
+  /// (ShardedSimulator, runtime/sharded_sim.hpp) with K lanes. The sharded
+  /// engine's outputs are byte-identical for any K >= 1 but differ from
+  /// the classic engine's (its randomness is keyed per link-message rather
+  /// than drawn sequentially), so 0 vs 1 is an engine choice, not a thread
+  /// count.
+  std::uint32_t shards = 0;
   /// Adversity plan (runtime/fault.hpp). Inactive by default: the channel
   /// model stays the paper's reliable-FIFO one and the fault paths cost a
   /// single cached-bool branch.

@@ -47,6 +47,12 @@ class Trace {
 
   const std::vector<TraceRow>& rows() const { return rows_; }
 
+  /// Force the truncation flag. The sharded engine merges per-shard traces
+  /// that are each capped at the global cap; when the *global* attempted row
+  /// count exceeded the cap but every per-shard recorder stayed under it,
+  /// the merged trace must still read as truncated.
+  void mark_truncated() { truncated_ = true; }
+
  private:
   std::size_t cap_;
   bool truncated_ = false;

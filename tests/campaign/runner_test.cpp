@@ -63,6 +63,44 @@ TEST(CampaignRunnerTest, OutputBytesIndependentOfThreadCount) {
   }
 }
 
+// The sharded engine's campaign-level contract: `shards` is an execution
+// knob, so the same spec run with 1 and K intra-trial shard workers emits
+// byte-identical CSV/JSONL — across delay models and fault-plan classes.
+// (shards = 0, the classic engine, is a *different* engine with different
+// keyed randomness; the identity holds among shards >= 1.)
+TEST(CampaignRunnerTest, OutputBytesIndependentOfIntraTrialShardCount) {
+  const ParseResult parsed = parse_spec(
+      "name = shard_knob_test\n"
+      "families = gnp_sparse\n"
+      "sizes = 24\n"
+      "delays = unit, uniform(1,4)\n"
+      "faults = none, crash(30,2), loss(0.05)\n"
+      "reps = 2\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  auto run_with_shards = [&](std::uint32_t shards) {
+    CampaignSpec spec = parsed.spec;
+    spec.shards = shards;
+    std::ostringstream csv;
+    std::ostringstream jsonl;
+    CsvSink csv_sink(csv);
+    JsonlSink jsonl_sink(jsonl);
+    RunnerConfig config;
+    config.threads = 1;
+    run_campaign(spec, config, {&csv_sink, &jsonl_sink});
+    return std::make_pair(csv.str(), jsonl.str());
+  };
+
+  const auto one = run_with_shards(1);
+  ASSERT_FALSE(one.first.empty());
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const auto many = run_with_shards(shards);
+    EXPECT_EQ(one.first, many.first) << "CSV differs at shards=" << shards;
+    EXPECT_EQ(one.second, many.second)
+        << "JSONL differs at shards=" << shards;
+  }
+}
+
 TEST(CampaignRunnerTest, OutcomesCommitInGridOrder) {
   const CampaignBytes run = run_with_threads(3);
   const std::vector<Trial> trials = expand(small_grid());

@@ -65,6 +65,7 @@ sizes     = 32
 faults    = none, crash(8,1), loss(0.05), churn(6,2)
 fifo_links = false
 start_spread = 16
+shards    = 4
 reps      = 2
 )");
   ASSERT_TRUE(result.ok) << result.error;
@@ -82,6 +83,10 @@ reps      = 2
   EXPECT_EQ(spec.faults[3].plan.churn_down, 2u);
   EXPECT_FALSE(spec.fifo_links);
   EXPECT_EQ(spec.start_spread, 16u);
+  // `shards` is an engine knob, not a grid axis: it must not multiply the
+  // trial count (and, by the sharded engine's determinism contract, must
+  // not change a single output byte — runner_test pins that end to end).
+  EXPECT_EQ(spec.shards, 4u);
   EXPECT_EQ(spec.trial_count(), 4u * 2);
 }
 
@@ -186,7 +191,11 @@ INSTANTIATE_TEST_SUITE_P(
         RejectionCase{"families = grid\nsizes = 16\nfifo_links = maybe\n",
                       "line 3:", "bad fifo_links"},
         RejectionCase{"families = grid\nsizes = 16\nstart_spread = -4\n",
-                      "line 3:", "bad start_spread"}));
+                      "line 3:", "bad start_spread"},
+        RejectionCase{"families = grid\nsizes = 16\nshards = 65\n",
+                      "line 3:", "bad shards"},
+        RejectionCase{"families = grid\nsizes = 16\nshards = fast\n",
+                      "line 3:", "bad shards"}));
 
 TEST(CampaignSpecTest, ExpandOrderIsNestedLoopAndIndexed) {
   ParseResult result = parse_spec(

@@ -1,0 +1,147 @@
+// Property sweep for shard-count invariance on random graphs: random
+// G(n, p) instances must reach the identical final tree, final degree, and
+// adversity outcome under every shard count — including fault plans that
+// crash nodes mid-run, lose messages, and churn links. Wedged runs must
+// wedge identically (same outcome class, same drop/discard counters), not
+// just "also fail".
+//
+// This complements tests/runtime/shard_determinism_test.cpp: that suite
+// pins full trace bytes on a few fixed instances; this one trades depth for
+// breadth — many random instances, every fault class, coarser (but still
+// exact) equality on everything a campaign row would record.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/fault.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+struct FaultCase {
+  const char* name;
+  sim::FaultPlan plan;
+};
+
+std::vector<FaultCase> make_fault_cases() {
+  std::vector<FaultCase> cases;
+  cases.push_back({"none", sim::FaultPlan{}});
+  {
+    sim::FaultPlan plan;
+    plan.crash_count = 2;
+    plan.crash_time = 40;
+    plan.max_time = 200'000;
+    cases.push_back({"crash", plan});
+  }
+  {
+    sim::FaultPlan plan;
+    plan.loss = 0.05;
+    plan.retransmit_timeout = 3;
+    cases.push_back({"loss", plan});
+  }
+  {
+    sim::FaultPlan plan;
+    plan.churn_up = 12;
+    plan.churn_down = 3;
+    cases.push_back({"churn", plan});
+  }
+  {
+    sim::FaultPlan plan;
+    plan.crash_count = 3;
+    plan.crash_time = 25;
+    plan.loss = 0.03;
+    plan.churn_up = 10;
+    plan.churn_down = 2;
+    plan.max_time = 200'000;
+    cases.push_back({"combined", plan});
+  }
+  return cases;
+}
+
+class ShardSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardSweepTest, RandomGraphsReachIdenticalResultsUnderAllShardCounts) {
+  const std::size_t instance = GetParam();
+  support::Rng meta(support::derive_seed(0x5eed, instance));
+  const std::size_t n = 24 + meta.next_below(40);  // 24..63
+  const double p = 0.08 + 0.004 * static_cast<double>(meta.next_below(30));
+  support::Rng graph_rng(meta.next());
+  const graph::Graph g = graph::make_gnp_connected(n, p, graph_rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const core::Options options;
+
+  for (const FaultCase& fc : make_fault_cases()) {
+    sim::SimConfig config;
+    config.seed = 0x90 + instance;
+    config.faults = fc.plan;
+    config.faults.seed = 0xfa110 + instance;
+
+    config.shards = 1;
+    const core::RunResult base = core::run_mdst(g, start, options, config);
+    for (const std::uint32_t shards : {2u, 4u, 7u}) {
+      config.shards = shards;
+      const core::RunResult run = core::run_mdst(g, start, options, config);
+      const std::string where =
+          std::string(fc.name) + " K=" + std::to_string(shards);
+
+      // Outcome classification (ok / re_rooted / wedged) must be identical
+      // — a run that wedges at K=1 must wedge the same way at K=4.
+      EXPECT_EQ(base.outcome, run.outcome) << where;
+      EXPECT_EQ(base.final_degree, run.final_degree) << where;
+      EXPECT_EQ(base.rounds, run.rounds) << where;
+      EXPECT_EQ(base.improvements, run.improvements) << where;
+      EXPECT_EQ(base.stop_reason, run.stop_reason) << where;
+      EXPECT_EQ(base.metrics.total_messages(), run.metrics.total_messages())
+          << where;
+      EXPECT_EQ(base.metrics.per_type(), run.metrics.per_type()) << where;
+      EXPECT_EQ(base.metrics.total_bits(), run.metrics.total_bits()) << where;
+      EXPECT_EQ(base.metrics.max_causal_depth(),
+                run.metrics.max_causal_depth())
+          << where;
+
+      // Fault accounting: same retransmissions, drops, discards, crash set.
+      EXPECT_EQ(base.fault_stats.retransmits, run.fault_stats.retransmits)
+          << where;
+      EXPECT_EQ(base.fault_stats.dropped_deliveries,
+                run.fault_stats.dropped_deliveries)
+          << where;
+      EXPECT_EQ(base.fault_stats.discarded_events,
+                run.fault_stats.discarded_events)
+          << where;
+      EXPECT_EQ(base.fault_stats.crash_set_size,
+                run.fault_stats.crash_set_size)
+          << where;
+
+      // Identical final structure whenever one survives. (Both empty when
+      // wedged — vertex_count 0 on both sides.)
+      ASSERT_EQ(base.tree.vertex_count(), run.tree.vertex_count()) << where;
+      for (std::size_t v = 0; v < base.tree.vertex_count(); ++v) {
+        EXPECT_EQ(base.tree.parent(static_cast<graph::VertexId>(v)),
+                  run.tree.parent(static_cast<graph::VertexId>(v)))
+            << where << " node " << v;
+      }
+      ASSERT_EQ(base.marks.size(), run.marks.size()) << where;
+      for (std::size_t i = 0; i < base.marks.size(); ++i) {
+        EXPECT_EQ(base.marks[i].total_messages, run.marks[i].total_messages)
+            << where << " mark " << i;
+        EXPECT_EQ(base.marks[i].time, run.marks[i].time)
+            << where << " mark " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ShardSweepTest,
+                         ::testing::Range<std::size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "instance" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace mdst

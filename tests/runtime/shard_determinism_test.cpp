@@ -1,0 +1,258 @@
+// Shard-count invariance: the sharded engine's hard guarantee is that its
+// observable outputs — metrics, traces, annotations, final node state — are
+// IDENTICAL for 1 and K shard workers, for any K. This suite pins that
+// contract row-for-row and field-for-field, the way devirtualization_test
+// pins the virtual/concrete context equivalence:
+//
+//   * K ∈ {1, 2, 4, 7} — including a shard count above this host's core
+//     count (oversubscription must change nothing) and a count that does
+//     not divide n (uneven block partition);
+//   * unit and uniform delays (uniform activates the FIFO floors and the
+//     keyed delay draws);
+//   * single-improvement and concurrent engine modes (concurrent exercises
+//     the BfsBack candidate boxes, i.e. the cross-shard luggage re-homing);
+//   * the MDST protocol and the flood spanning baseline (a virtual-context
+//     protocol with no pooled payloads — the traits primary template).
+//
+// Note what is NOT claimed: sharded runs are not byte-identical to the
+// classic sequential engine — keyed per-(slot, seq) randomness replaces the
+// classic engine's sequential draws, so `shards = 0` vs `shards >= 1` is an
+// engine choice. Shard *count* is what must never matter.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "mdst/node.hpp"
+#include "runtime/sharded_sim.hpp"
+#include "spanning/flood_st.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 7};
+
+template <typename P>
+sim::ShardedSimulator<P> run_mdst_sharded(const graph::Graph& g,
+                                          const graph::RootedTree& start,
+                                          const core::Options& options,
+                                          sim::SimConfig config,
+                                          std::size_t shards) {
+  config.shards = static_cast<std::uint32_t>(shards);
+  sim::ShardedSimulator<P> simulation(
+      g,
+      [&](const sim::NodeEnv& env) {
+        return typename P::Node(env, start.parent(env.id),
+                                start.children(env.id), options);
+      },
+      config);
+  simulation.run();
+  return simulation;
+}
+
+/// Full observable-state comparison between a baseline (1-shard) run and a
+/// K-shard run of the same protocol instance.
+template <typename SimT>
+void expect_identical_runs(const SimT& base, const SimT& other,
+                           std::size_t shards) {
+  ASSERT_EQ(base.metrics().total_messages(), other.metrics().total_messages())
+      << "K=" << shards;
+  EXPECT_EQ(base.metrics().per_type(), other.metrics().per_type())
+      << "K=" << shards;
+  EXPECT_EQ(base.metrics().total_bits(), other.metrics().total_bits())
+      << "K=" << shards;
+  EXPECT_EQ(base.metrics().max_causal_depth(),
+            other.metrics().max_causal_depth())
+      << "K=" << shards;
+  EXPECT_EQ(base.now(), other.now()) << "K=" << shards;
+
+  // Annotations: same sequence, field for field.
+  const auto& ba = base.metrics().annotations();
+  const auto& oa = other.metrics().annotations();
+  ASSERT_EQ(ba.size(), oa.size()) << "K=" << shards;
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].time, oa[i].time) << "K=" << shards << " mark " << i;
+    EXPECT_EQ(ba[i].total_messages, oa[i].total_messages)
+        << "K=" << shards << " mark " << i;
+    EXPECT_EQ(ba[i].max_causal_depth, oa[i].max_causal_depth)
+        << "K=" << shards << " mark " << i;
+    EXPECT_EQ(ba[i].label, oa[i].label) << "K=" << shards << " mark " << i;
+    EXPECT_EQ(ba[i].tag, oa[i].tag) << "K=" << shards << " mark " << i;
+    EXPECT_EQ(ba[i].tagged, oa[i].tagged) << "K=" << shards << " mark " << i;
+  }
+
+  // Trace: identical rows in identical order.
+  const auto& br = base.trace().rows();
+  const auto& orr = other.trace().rows();
+  EXPECT_EQ(base.trace().truncated(), other.trace().truncated())
+      << "K=" << shards;
+  ASSERT_EQ(br.size(), orr.size()) << "K=" << shards;
+  for (std::size_t i = 0; i < br.size(); ++i) {
+    EXPECT_EQ(br[i].send_time, orr[i].send_time)
+        << "K=" << shards << " row " << i;
+    EXPECT_EQ(br[i].deliver_time, orr[i].deliver_time)
+        << "K=" << shards << " row " << i;
+    EXPECT_EQ(br[i].from, orr[i].from) << "K=" << shards << " row " << i;
+    EXPECT_EQ(br[i].to, orr[i].to) << "K=" << shards << " row " << i;
+    EXPECT_EQ(br[i].type_index, orr[i].type_index)
+        << "K=" << shards << " row " << i;
+    EXPECT_EQ(br[i].causal_depth, orr[i].causal_depth)
+        << "K=" << shards << " row " << i;
+  }
+}
+
+void expect_identical_mdst_state(
+    const sim::ShardedSimulator<core::ShardProtocol>& base,
+    const sim::ShardedSimulator<core::ShardProtocol>& other,
+    std::size_t shards) {
+  ASSERT_EQ(base.node_count(), other.node_count());
+  for (std::size_t v = 0; v < base.node_count(); ++v) {
+    const auto id = static_cast<sim::NodeId>(v);
+    EXPECT_EQ(base.node(id).parent(), other.node(id).parent())
+        << "K=" << shards << " node " << v;
+    EXPECT_EQ(base.node(id).children(), other.node(id).children())
+        << "K=" << shards << " node " << v;
+    EXPECT_EQ(base.node(id).done(), other.node(id).done())
+        << "K=" << shards << " node " << v;
+    EXPECT_EQ(base.node(id).tree_degree(), other.node(id).tree_degree())
+        << "K=" << shards << " node " << v;
+  }
+}
+
+struct ShardCase {
+  const char* name;
+  sim::DelayModel delay;
+  core::EngineMode mode;
+};
+
+class ShardDeterminismTest : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardDeterminismTest, MdstRunsAreIdenticalForOneAndKShards) {
+  const ShardCase& param = GetParam();
+  support::Rng rng(17);
+  const graph::Graph g = graph::make_gnp_connected(64, 0.12, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  core::Options options;
+  options.mode = param.mode;
+  sim::SimConfig config;
+  config.delay = param.delay;
+  config.seed = 33;
+  config.trace_cap = 1'000'000;
+
+  const auto base = run_mdst_sharded<core::ShardProtocol>(g, start, options,
+                                                          config, 1);
+  EXPECT_TRUE(base.pools_balanced());
+  for (const std::size_t shards : kShardCounts) {
+    if (shards == 1) continue;
+    const auto run = run_mdst_sharded<core::ShardProtocol>(g, start, options,
+                                                           config, shards);
+    EXPECT_TRUE(run.pools_balanced()) << "K=" << shards;
+    expect_identical_runs(base, run, shards);
+    expect_identical_mdst_state(base, run, shards);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DelaysAndModes, ShardDeterminismTest,
+    ::testing::Values(
+        ShardCase{"unit_single", sim::DelayModel::unit(),
+                  core::EngineMode::kSingleImprovement},
+        ShardCase{"unit_concurrent", sim::DelayModel::unit(),
+                  core::EngineMode::kConcurrent},
+        ShardCase{"uniform_single", sim::DelayModel::uniform(1, 9),
+                  core::EngineMode::kSingleImprovement},
+        ShardCase{"uniform_concurrent", sim::DelayModel::uniform(1, 9),
+                  core::EngineMode::kConcurrent}),
+    [](const ::testing::TestParamInfo<ShardCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ShardDeterminismFloodTest, FloodRunsAreIdenticalForOneAndKShards) {
+  // The flood baseline drives the sharded engine through the virtual
+  // IContext surface (its handlers take IContext&) and uses the traits
+  // primary template — no luggage, no pools.
+  support::Rng rng(23);
+  const graph::Graph g = graph::make_gnp_connected(80, 0.1, rng);
+  for (const sim::DelayModel delay :
+       {sim::DelayModel::unit(), sim::DelayModel::uniform(2, 7)}) {
+    sim::SimConfig config;
+    config.delay = delay;
+    config.seed = 7;
+    config.trace_cap = 1'000'000;
+    config.shards = 1;
+    auto make = [](const sim::NodeEnv& env) {
+      return spanning::flood::Node(env, env.id == 0);
+    };
+    sim::ShardedSimulator<spanning::flood::Protocol> base(g, make, config);
+    base.run();
+    for (const std::size_t shards : kShardCounts) {
+      if (shards == 1) continue;
+      config.shards = static_cast<std::uint32_t>(shards);
+      sim::ShardedSimulator<spanning::flood::Protocol> run(g, make, config);
+      run.run();
+      expect_identical_runs(base, run, shards);
+      for (std::size_t v = 0; v < base.node_count(); ++v) {
+        const auto id = static_cast<sim::NodeId>(v);
+        EXPECT_EQ(base.node(id).parent(), run.node(id).parent())
+            << "K=" << shards << " node " << v;
+        EXPECT_EQ(base.node(id).children(), run.node(id).children())
+            << "K=" << shards << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminismRunMdstTest, RunResultsAreIdenticalForOneAndKShards) {
+  // End-to-end through run_mdst: the RunResult a campaign trial sees —
+  // census, marks, improvement counts — must not depend on the shard
+  // count either.
+  support::Rng rng(41);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  const core::Options options;
+  sim::SimConfig config;
+  config.seed = 9;
+
+  config.shards = 1;
+  const core::RunResult base = core::run_mdst(g, start, options, config);
+  for (const std::size_t shards : {2, 4}) {
+    config.shards = static_cast<std::uint32_t>(shards);
+    const core::RunResult run = core::run_mdst(g, start, options, config);
+    EXPECT_EQ(base.final_degree, run.final_degree) << "K=" << shards;
+    EXPECT_EQ(base.rounds, run.rounds) << "K=" << shards;
+    EXPECT_EQ(base.improvements, run.improvements) << "K=" << shards;
+    EXPECT_EQ(base.stop_reason, run.stop_reason) << "K=" << shards;
+    EXPECT_EQ(base.metrics.total_messages(), run.metrics.total_messages())
+        << "K=" << shards;
+    EXPECT_EQ(base.metrics.per_type(), run.metrics.per_type())
+        << "K=" << shards;
+    ASSERT_EQ(base.marks.size(), run.marks.size()) << "K=" << shards;
+    for (std::size_t i = 0; i < base.marks.size(); ++i) {
+      EXPECT_EQ(base.marks[i].label, run.marks[i].label)
+          << "K=" << shards << " mark " << i;
+      EXPECT_EQ(base.marks[i].total_messages, run.marks[i].total_messages)
+          << "K=" << shards << " mark " << i;
+    }
+    ASSERT_EQ(base.round_stats.size(), run.round_stats.size())
+        << "K=" << shards;
+    for (std::size_t i = 0; i < base.round_stats.size(); ++i) {
+      EXPECT_EQ(base.round_stats[i].search_msgs, run.round_stats[i].search_msgs)
+          << "K=" << shards << " round " << i;
+      EXPECT_EQ(base.round_stats[i].wave_msgs, run.round_stats[i].wave_msgs)
+          << "K=" << shards << " round " << i;
+    }
+    ASSERT_EQ(base.tree.vertex_count(), run.tree.vertex_count());
+    for (std::size_t v = 0; v < base.tree.vertex_count(); ++v) {
+      EXPECT_EQ(base.tree.parent(static_cast<graph::VertexId>(v)),
+                run.tree.parent(static_cast<graph::VertexId>(v)))
+          << "K=" << shards << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdst
