@@ -34,6 +34,7 @@ int usage(std::ostream& out, int exit_code) {
          "                --csv, --jsonl, --progress, --no-summary,\n"
          "                --shard=i/k for fleet-splitting across machines,\n"
          "                --shards=K for intra-trial sharded simulation,\n"
+         "                --perf-columns for wall/RSS/rate row columns,\n"
          "                --allow-wedged to exit 0 despite wedged trials)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
          "  reproduce     re-run one grid cell       (--spec, --cell)\n"
@@ -85,8 +86,8 @@ int cmd_expand(int argc, char** argv) {
   campaign::CampaignSpec spec;
   if (!load_or_complain(spec_path, spec)) return 1;
 
-  support::Table table(
-      {"index", "family", "n", "delay", "startup", "mode", "faults", "rep"});
+  support::Table table({"index", "family", "n", "delay", "startup",
+                        "initial_tree", "mode", "faults", "rep"});
   for (const campaign::Trial& trial : campaign::expand(spec)) {
     table.start_row();
     table.cell(static_cast<std::uint64_t>(trial.index));
@@ -94,6 +95,7 @@ int cmd_expand(int argc, char** argv) {
     table.cell(static_cast<std::uint64_t>(trial.n));
     table.cell(trial.delay.label);
     table.cell(analysis::to_string(trial.startup));
+    table.cell(trial.initial_tree);
     table.cell(core::to_string(trial.mode));
     table.cell(trial.fault.label);
     table.cell(trial.repetition);
@@ -141,6 +143,7 @@ int cmd_run(int argc, char** argv) {
   std::uint64_t progress = 0;
   bool summary = true;
   bool allow_wedged = false;
+  bool perf_columns = false;
   support::CliParser cli("mdst_lab run — execute a campaign spec");
   cli.add_string("spec", &spec_path, "campaign spec file");
   cli.add_string("csv", &csv_path, "write per-trial rows as CSV");
@@ -160,6 +163,10 @@ int cmd_run(int argc, char** argv) {
   cli.add_bool("allow-wedged", &allow_wedged,
                "exit 0 even when trials wedge (adversity sweeps where "
                "wedging is the measured phenomenon)");
+  cli.add_bool("perf-columns", &perf_columns,
+               "append wall_ns / peak_rss_bytes / msgs_per_sec to CSV and "
+               "JSONL rows (nondeterministic values — off by default so the "
+               "output stays byte-reproducible)");
   const auto parsed = cli.parse(argc, argv);
   if (parsed.help_requested) {
     std::cout << cli.help_text();
@@ -194,7 +201,7 @@ int cmd_run(int argc, char** argv) {
   campaign::ProgressSink progress_sink(std::cerr,
                                        static_cast<std::size_t>(progress));
   std::vector<campaign::Sink*> sinks{&aggregator, &progress_sink};
-  campaign::CsvSink csv_sink(csv_file);
+  campaign::CsvSink csv_sink(csv_file, perf_columns);
   if (!csv_path.empty()) {
     csv_file.open(csv_path, std::ios::binary);
     if (!csv_file) {
@@ -203,7 +210,7 @@ int cmd_run(int argc, char** argv) {
     }
     sinks.push_back(&csv_sink);
   }
-  campaign::JsonlSink jsonl_sink(jsonl_file);
+  campaign::JsonlSink jsonl_sink(jsonl_file, perf_columns);
   if (!jsonl_path.empty()) {
     jsonl_file.open(jsonl_path, std::ios::binary);
     if (!jsonl_file) {

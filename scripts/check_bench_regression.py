@@ -24,13 +24,28 @@ acceptance number and reports it by name, on top of (or instead of) the
 whole-suite sweep. A --table run that matches nothing is an error, not a
 pass: a typo must not silently disable the gate.
 
+`--rss-table NAME=CSV` gates peak memory instead of (or alongside) speed:
+the fresh campaign CSV (written by `mdst_lab run --perf-columns`, so it
+carries a peak_rss_bytes column) is compared per (family, n) against the
+same-named table embedded in the history records by
+append_bench_history.py. The per-key fresh value is the max over reps,
+the baseline is the median of the per-record maxima over the last
+--window records, and growth beyond --rss-threshold (default 0.10 = 10%)
+fails the job. Mirroring --table's rename detector, a *present* history
+in which no record carries the named table is an error — the nightly
+skips the very first night explicitly and arms the gate once the append
+step has recorded a baseline. A fresh (family, n) key with no baseline
+yet (a new ladder rung) passes with a notice: tonight's append records
+it and the gate covers it tomorrow.
+
 Usage:
-    check_bench_regression.py --micro BENCH_micro.json \
+    check_bench_regression.py [--micro BENCH_micro.json] \
         --history BENCH_history.jsonl [--threshold 0.10] [--window 5] \
-        [--table GLOB ...]
+        [--table GLOB ...] [--rss-table NAME=CSV] [--rss-threshold 0.10]
 """
 
 import argparse
+import csv
 import fnmatch
 import json
 import os
@@ -38,6 +53,7 @@ import statistics
 import sys
 
 RATE_KEY = "msgs/s"
+RSS_KEY = "peak_rss_bytes"
 
 
 def load_micro(path: str) -> dict:
@@ -89,9 +105,107 @@ def baseline_micro(path: str, window: int) -> tuple:
     return baseline, len(records)
 
 
+def rss_by_key(rows: list) -> dict:
+    """Campaign rows -> {(family, n) label -> max peak_rss_bytes}.
+
+    Max over reps: peak RSS is a process-wide high-water mark, so within a
+    (family, n) cell the largest rep value is the cell's ceiling.
+    """
+    peaks = {}
+    for row in rows:
+        value = row.get(RSS_KEY)
+        if value in (None, ""):
+            continue
+        key = f"{row.get('family', '?')}/n={row.get('n', '?')}"
+        peaks[key] = max(peaks.get(key, 0), int(float(value)))
+    return peaks
+
+
+def baseline_rss(path: str, table: str, window: int) -> tuple:
+    """Median per (family, n) of the per-record maxima over the last
+    `window` history records that carry the named table.
+
+    Returns (baseline, records_with_table). Mirrors baseline_micro: short
+    history still gates; records without the table are filtered *before*
+    slicing so a few nights with a failed campaign step cannot shrink the
+    baseline while older valid records exist.
+    """
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    records = [json.loads(line).get("tables", {}).get(table, [])
+               for line in lines]
+    per_record = [rss_by_key(rows) for rows in records]
+    per_record = [peaks for peaks in per_record if peaks][-window:]
+    samples = {}
+    for peaks in per_record:
+        for key, value in peaks.items():
+            samples.setdefault(key, []).append(value)
+    baseline = {key: statistics.median(vals)
+                for key, vals in samples.items()}
+    return baseline, len(per_record)
+
+
+def gate_rss(args) -> int:
+    name, _, path = args.rss_table.partition("=")
+    if not path:
+        print(f"--rss-table expects NAME=CSV, got {args.rss_table!r}")
+        return 1
+    if not os.path.exists(args.history):
+        print(f"no history at {args.history}; nothing to compare — pass")
+        return 0
+    with open(path, encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or RSS_KEY not in reader.fieldnames:
+            print(f"{path} has no {RSS_KEY} column — run mdst_lab with "
+                  "--perf-columns; refusing to pass silently")
+            return 1
+        current = rss_by_key(list(reader))
+    if not current:
+        print(f"{path} has no rows with {RSS_KEY} — refusing to pass "
+              "silently")
+        return 1
+    previous, used_records = baseline_rss(args.history, name, args.window)
+    if not previous:
+        # Same contract as --table: a *present* history without the named
+        # table means a rename or a broken append, not a pass. The nightly
+        # skips the genuine first night explicitly before calling us.
+        print(f"history has no '{name}' table — refusing to pass silently")
+        return 1
+    if used_records < args.window:
+        print(f"short history: {used_records} of {args.window} records — "
+              f"baseline is the median of those {used_records} "
+              "(still gating, not passing)")
+
+    regressions = []
+    for key in sorted(current):
+        if key not in previous:
+            # A new ladder rung: tonight's append records its baseline and
+            # the gate covers it tomorrow.
+            print(f"{key:50s} {RSS_KEY:14s}    new — no baseline yet, "
+                  "gates tomorrow")
+            continue
+        growth = current[key] / previous[key] - 1.0
+        marker = ""
+        if growth > args.rss_threshold:
+            regressions.append(key)
+            marker = "  << REGRESSION"
+        print(f"{key:50s} {RSS_KEY:14s} {growth:+7.1%}{marker}")
+
+    if regressions:
+        print(f"\n{len(regressions)} cell(s) grew peak RSS more than "
+              f"{args.rss_threshold:.0%} vs the history baseline:")
+        for key in regressions:
+            print(f"  {key}")
+        return 1
+    compared = sum(1 for key in current if key in previous)
+    print(f"\nall {compared} compared cells within "
+          f"{args.rss_threshold:.0%} of the history RSS baseline")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--micro", required=True,
+    parser.add_argument("--micro",
                         help="fresh BENCH_micro.json")
     parser.add_argument("--history", required=True,
                         help="BENCH_history.jsonl to compare against")
@@ -106,15 +220,28 @@ def main() -> int:
                         help="only compare benches whose name matches this "
                              "fnmatch pattern (repeatable); matching "
                              "nothing in the fresh run is an error")
+    parser.add_argument("--rss-table", metavar="NAME=CSV",
+                        help="gate peak_rss_bytes of a campaign CSV "
+                             "(--perf-columns output) against the "
+                             "same-named table in the history records")
+    parser.add_argument("--rss-threshold", type=float, default=0.10,
+                        help="fractional peak-RSS growth that fails the "
+                             "job (default 0.10 = 10%%)")
     args = parser.parse_args()
+
+    if not args.micro and not args.rss_table:
+        parser.error("nothing to compare: pass --micro and/or --rss-table")
+    rss_code = gate_rss(args) if args.rss_table else 0
+    if not args.micro:
+        return rss_code
 
     if not os.path.exists(args.history):
         print(f"no history at {args.history}; nothing to compare — pass")
-        return 0
+        return rss_code
     previous, used_records = baseline_micro(args.history, args.window)
     if not previous:
         print("history has no micro record; nothing to compare — pass")
-        return 0
+        return rss_code
     if used_records < args.window:
         print(f"short history: {used_records} of {args.window} records — "
               f"baseline is the median of those {used_records} "
@@ -162,7 +289,7 @@ def main() -> int:
         return 1
     if not compared:
         print("no comparable benches between run and history — pass")
-        return 0
+        return rss_code
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
               f"{args.threshold:.0%} vs the history baseline:")
@@ -171,7 +298,7 @@ def main() -> int:
         return 1
     print(f"\nall {compared} compared benches within {args.threshold:.0%} "
           "of the history baseline")
-    return 0
+    return rss_code
 
 
 if __name__ == "__main__":

@@ -211,5 +211,152 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertIn("BM_SimulatorFloodSt/64", out)
 
 
+def campaign_csv(rows):
+    """A minimal --perf-columns campaign CSV (family, n, peak_rss_bytes)."""
+    lines = ["family,n,rep,peak_rss_bytes"]
+    for family, n, rep, rss in rows:
+        lines.append(f"{family},{n},{rep},{rss}")
+    return "\n".join(lines) + "\n"
+
+
+def history_rss_line(peaks, table="large_n"):
+    """One history record embedding a campaign table, as the append script
+    writes it (rows are dicts of strings)."""
+    rows = [{"family": family, "n": str(n), "peak_rss_bytes": str(rss)}
+            for family, n, rss in peaks]
+    return json.dumps({"timestamp": "t", "commit": "c",
+                       "tables": {table: rows}})
+
+
+class RssGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        return path
+
+    def run_rss(self, csv_text, history_lines, extra_args=(),
+                micro_report=None):
+        fresh = self.write("campaign_large_n.csv", csv_text)
+        history = os.path.join(self.tmp.name, "BENCH_history.jsonl")
+        if history_lines is not None:
+            with open(history, "w", encoding="utf-8") as fh:
+                for line in history_lines:
+                    fh.write(line + "\n")
+        cmd = [sys.executable, SCRIPT, "--history", history,
+               "--rss-table", f"large_n={fresh}", *extra_args]
+        if micro_report is not None:
+            cmd += ["--micro",
+                    self.write("BENCH_micro.json", json.dumps(micro_report))]
+        result = subprocess.run(cmd, capture_output=True, text=True,
+                                check=False)
+        return result.returncode, result.stdout + result.stderr
+
+    def test_rss_growth_beyond_threshold_fails(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 120_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("streamed_sparse/n=4096", out)
+
+    def test_rss_within_threshold_passes(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 105_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 0, out)
+        self.assertIn("within 10%", out)
+
+    def test_rss_shrinking_is_fine(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 50_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 0, out)
+
+    def test_rss_missing_history_file_passes(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 100_000_000)]), None)
+        self.assertEqual(code, 0, out)
+        self.assertIn("nothing to compare", out)
+
+    def test_rss_history_without_the_table_fails(self):
+        # Rename / broken-append detector, mirroring --table: the workflow
+        # grep-skips the genuine first night before invoking the gate.
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 100_000_000)]),
+            [json.dumps({"timestamp": "t", "commit": "c"})])
+        self.assertEqual(code, 1, out)
+        self.assertIn("refusing to pass silently", out)
+
+    def test_rss_new_ladder_rung_passes_with_notice(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 100_000_000),
+                          ("streamed_sparse", 8192, 0, 900_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 0, out)
+        self.assertIn("no baseline yet", out)
+        self.assertIn("streamed_sparse/n=8192", out)
+
+    def test_rss_csv_without_the_column_fails(self):
+        code, out = self.run_rss(
+            "family,n,rep\nstreamed_sparse,4096,0\n",
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 1, out)
+        self.assertIn("no peak_rss_bytes column", out)
+
+    def test_rss_baseline_is_median_over_window(self):
+        # Median of [100, 100, 400] MB is 100 MB: one swollen night must
+        # not raise the baseline enough to mask a real regression.
+        lines = [history_rss_line([("streamed_sparse", 4096, 100_000_000)]),
+                 history_rss_line([("streamed_sparse", 4096, 100_000_000)]),
+                 history_rss_line([("streamed_sparse", 4096, 400_000_000)])]
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 120_000_000)]), lines)
+        self.assertEqual(code, 1, out)
+        self.assertIn("short history", out)
+
+    def test_rss_max_over_reps_governs(self):
+        # Two reps of the same cell: the larger (later) high-water mark is
+        # the cell's value on both sides of the comparison.
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 90_000_000),
+                          ("streamed_sparse", 4096, 1, 130_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])])
+        self.assertEqual(code, 1, out)
+
+    def test_rss_failure_survives_a_green_micro_gate(self):
+        # Combined invocation: the micro suite is fine but RSS grew 50% —
+        # the job must still fail.
+        history = json.loads(history_rss_line(
+            [("streamed_sparse", 4096, 100_000_000)]))
+        history["micro"] = {"BM_DistributedMdst/128":
+                            {"real_time_ns": 100.0, "msgs/s": 30e6}}
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 150_000_000)]),
+            [json.dumps(history)],
+            micro_report=micro_json(rate=30e6))
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_rss_custom_threshold(self):
+        code, out = self.run_rss(
+            campaign_csv([("streamed_sparse", 4096, 0, 115_000_000)]),
+            [history_rss_line([("streamed_sparse", 4096, 100_000_000)])],
+            extra_args=("--rss-threshold", "0.20"))
+        self.assertEqual(code, 0, out)
+
+    def test_neither_micro_nor_rss_is_an_error(self):
+        history = self.write("BENCH_history.jsonl", "")
+        result = subprocess.run(
+            [sys.executable, SCRIPT, "--history", history],
+            capture_output=True, text=True, check=False)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("nothing to compare", result.stdout + result.stderr)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -19,7 +19,8 @@ void Aggregator::add(const TrialOutcome& outcome) {
   for (CellAggregate& candidate : cells_) {
     if (candidate.family == t.family && candidate.n == t.n &&
         candidate.delay == t.delay.label && candidate.startup == startup &&
-        candidate.mode == mode && candidate.faults == t.fault.label) {
+        candidate.initial_tree == t.initial_tree && candidate.mode == mode &&
+        candidate.faults == t.fault.label) {
       cell = &candidate;
       break;
     }
@@ -30,6 +31,7 @@ void Aggregator::add(const TrialOutcome& outcome) {
     fresh.n = t.n;
     fresh.delay = t.delay.label;
     fresh.startup = startup;
+    fresh.initial_tree = t.initial_tree;
     fresh.mode = mode;
     fresh.faults = t.fault.label;
     cells_.push_back(std::move(fresh));
@@ -58,10 +60,11 @@ void Aggregator::add(const TrialOutcome& outcome) {
 }
 
 support::Table Aggregator::summary_table() const {
-  support::Table table({"family", "n", "delay", "startup", "mode", "faults",
-                        "trials", "wedged", "k_final", "gap mean", "gap max",
-                        "msgs mean", "msgs ±ci95", "msgs p90", "time mean",
-                        "time p90", "rounds mean", "retx mean"});
+  support::Table table({"family", "n", "delay", "startup", "initial_tree",
+                        "mode", "faults", "trials", "wedged", "k_final",
+                        "gap mean", "gap max", "msgs mean", "msgs ±ci95",
+                        "msgs p90", "time mean", "time p90", "rounds mean",
+                        "retx mean"});
   for (const CellAggregate& cell : cells_) {
     const bool any_tree = cell.gap.accumulator.count() != 0;
     table.start_row();
@@ -69,6 +72,7 @@ support::Table Aggregator::summary_table() const {
     table.cell(static_cast<std::uint64_t>(cell.n));
     table.cell(cell.delay);
     table.cell(cell.startup);
+    table.cell(cell.initial_tree);
     table.cell(cell.mode);
     table.cell(cell.faults);
     table.cell(static_cast<std::uint64_t>(cell.trials));

@@ -1,7 +1,8 @@
 // Streaming per-cell aggregation of campaign outcomes.
 //
 // A *cell* is one point of the sweep grid without the repetition axis:
-// (family, n, delay, startup, mode, faults). Repetitions land in the same
+// (family, n, delay, startup, initial_tree, mode, faults). Repetitions land
+// in the same
 // cell, so the summary reports mean / 95% CI / percentiles over reps — the
 // numbers the paper-style tables quote. The aggregator is itself a Sink, so
 // it rides the runner's deterministic commit order and its table row order
@@ -41,6 +42,7 @@ struct CellAggregate {
   std::size_t n = 0;
   std::string delay;
   std::string startup;
+  std::string initial_tree;
   std::string mode;
   std::string faults;
   // Aggregated metrics over repetitions.

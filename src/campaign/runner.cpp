@@ -10,13 +10,33 @@
 
 #include "analysis/experiment.hpp"
 #include "campaign/sink.hpp"
+#include "graph/spanning_builders.hpp"
 #include "mdst/bounds.hpp"
 #include "support/assert.hpp"
+#include "support/resource.hpp"
 #include "support/rng.hpp"
 
 namespace mdst::campaign {
 
+namespace {
+
+graph::InitialTreeKind initial_tree_kind(const std::string& token) {
+  using graph::InitialTreeKind;
+  for (const InitialTreeKind kind :
+       {InitialTreeKind::kBfs, InitialTreeKind::kDfs, InitialTreeKind::kRandom,
+        InitialTreeKind::kMst, InitialTreeKind::kStarBiased}) {
+    if (token == graph::to_string(kind)) return kind;
+  }
+  MDST_REQUIRE(false, "runner: unknown initial_tree token '" + token +
+                          "' (the spec parser admits only startup | bfs | "
+                          "dfs | random | mst | star)");
+  MDST_UNREACHABLE("unknown initial_tree token");
+}
+
+}  // namespace
+
 TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
+  const std::uint64_t wall_start = support::monotonic_ns();
   analysis::TrialSpec instance_spec;
   instance_spec.family = trial.family;
   instance_spec.n = trial.n;
@@ -34,6 +54,7 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
   sim_config.seed = support::derive_seed(spec.base_seed ^ 0x51u, trial.n,
                                          trial.repetition);
   if (spec.max_messages != 0) sim_config.max_messages = spec.max_messages;
+  sim_config.annotation_cap = spec.annotation_cap;
   sim_config.fifo_links = spec.fifo_links;
   sim_config.start_spread = spec.start_spread;
   // Execution detail, not a grid coordinate: the MDegST phase dispatches to
@@ -50,26 +71,50 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
                                                   trial.n, trial.repetition);
   }
 
-  const analysis::PipelineResult run =
-      analysis::run_pipeline(g, trial.startup, options, sim_config);
-
   TrialOutcome out;
   out.trial = trial;
   out.n_actual = g.vertex_count();
   out.m = g.edge_count();
-  out.k_init = run.mdst.initial_degree;
-  out.k_final = run.mdst.final_degree;
   out.lower_bound = core::degree_lower_bound(g);
-  out.rounds = run.mdst.rounds;
-  out.improvements = run.mdst.improvements;
-  out.stop_reason = run.mdst.stop_reason;
-  out.startup_messages = run.startup_messages;
-  out.mdst_messages = run.mdst.metrics.total_messages();
-  out.startup_time = run.startup_causal_time;
-  out.mdst_time = run.mdst.metrics.max_causal_depth();
-  out.outcome = run.mdst.outcome;
-  out.retransmits = run.mdst.fault_stats.retransmits;
-  out.dropped_deliveries = run.mdst.fault_stats.dropped_deliveries;
+
+  const auto finish = [&](const core::RunResult& mdst) {
+    out.k_init = mdst.initial_degree;
+    out.k_final = mdst.final_degree;
+    out.rounds = mdst.rounds;
+    out.improvements = mdst.improvements;
+    out.stop_reason = mdst.stop_reason;
+    out.mdst_messages = mdst.metrics.total_messages();
+    out.mdst_time = mdst.metrics.max_causal_depth();
+    out.outcome = mdst.outcome;
+    out.retransmits = mdst.fault_stats.retransmits;
+    out.dropped_deliveries = mdst.fault_stats.dropped_deliveries;
+  };
+
+  if (trial.initial_tree == "startup") {
+    // Two-phase pipeline: the startup protocol's tree seeds MDegST and its
+    // messages/causal time are metered into the startup_* columns.
+    const analysis::PipelineResult run =
+        analysis::run_pipeline(g, trial.startup, options, sim_config);
+    finish(run.mdst);
+    out.startup_messages = run.startup_messages;
+    out.startup_time = run.startup_causal_time;
+  } else {
+    // Initial-tree ablation cell (the E8 axis): a centrally built tree
+    // replaces the startup phase. The tree draws from its own stream
+    // (base_seed ^ 0xabcdef — the bench-harness derivation), so this axis
+    // never shifts the instance, schedule, or fault randomness, and
+    // startup costs are metered as zero (the tree is free by fiat, as in
+    // the bench's ablation).
+    support::Rng tree_rng(support::derive_seed(
+        spec.base_seed ^ 0xabcdef, std::hash<std::string>{}(trial.family),
+        trial.n, trial.repetition));
+    const graph::RootedTree initial =
+        graph::build_initial_tree(g, initial_tree_kind(trial.initial_tree),
+                                  tree_rng);
+    finish(core::run_mdst(g, initial, options, sim_config));
+  }
+  out.wall_ns = support::monotonic_ns() - wall_start;
+  out.peak_rss_bytes = support::peak_rss_bytes();
   return out;
 }
 
@@ -79,6 +124,7 @@ std::string describe(const Trial& trial) {
   return "trial " + std::to_string(trial.index) + " (" + trial.family +
          " n=" + std::to_string(trial.n) + " delay=" + trial.delay.label +
          " startup=" + analysis::to_string(trial.startup) +
+         " initial_tree=" + trial.initial_tree +
          " mode=" + core::to_string(trial.mode) +
          " faults=" + trial.fault.label +
          " rep=" + std::to_string(trial.repetition) + ")";

@@ -54,6 +54,15 @@ struct TrialOutcome {
   std::uint64_t retransmits = 0;
   std::uint64_t dropped_deliveries = 0;
   bool wedged() const { return outcome == sim::RunOutcome::kWedged; }
+  // Perf probes (support/resource.hpp): wall time of this trial and the
+  // process peak RSS sampled at trial end. Both are inherently
+  // nondeterministic, so they are excluded from outcome_fields (the
+  // byte-deterministic row contract) and surface only through the opt-in
+  // outcome_perf_fields columns (`mdst_lab run --perf-columns`). peak RSS
+  // is monotone over the process — meaningful for the large_n doubling
+  // ladder where each row's trial is the largest so far.
+  std::uint64_t wall_ns = 0;
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Run the single trial `trial` of `spec` (used by workers and by

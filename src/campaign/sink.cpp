@@ -57,6 +57,7 @@ std::vector<std::pair<std::string, std::string>> outcome_fields(
       {"n", u64(o.trial.n)},
       {"delay", o.trial.delay.label},
       {"startup", analysis::to_string(o.trial.startup)},
+      {"initial_tree", o.trial.initial_tree},
       {"mode", core::to_string(o.trial.mode)},
       {"faults", o.trial.fault.label},
       {"rep", u64(o.trial.repetition)},
@@ -81,12 +82,45 @@ std::vector<std::pair<std::string, std::string>> outcome_fields(
   };
 }
 
+std::vector<std::pair<std::string, std::string>> outcome_perf_fields(
+    const TrialOutcome& o) {
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  // Messages per wall second, rounded down; 0 when the clock saw no time
+  // (sub-nanosecond trials exist only in unit tests with prototype rows).
+  const std::uint64_t rate =
+      o.wall_ns == 0
+          ? 0
+          : static_cast<std::uint64_t>(
+                static_cast<double>(o.total_messages()) * 1e9 /
+                static_cast<double>(o.wall_ns));
+  return {
+      {"wall_ns", u64(o.wall_ns)},
+      {"peak_rss_bytes", u64(o.peak_rss_bytes)},
+      {"msgs_per_sec", u64(rate)},
+  };
+}
+
+namespace {
+
+std::vector<std::pair<std::string, std::string>> row_fields(
+    const TrialOutcome& outcome, bool perf_columns) {
+  auto fields = outcome_fields(outcome);
+  if (perf_columns) {
+    for (auto& field : outcome_perf_fields(outcome)) {
+      fields.push_back(std::move(field));
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
 void CsvSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
   (void)spec;
   (void)trial_count;
   const TrialOutcome prototype{};
   bool first = true;
-  for (const auto& [name, value] : outcome_fields(prototype)) {
+  for (const auto& [name, value] : row_fields(prototype, perf_columns_)) {
     (void)value;
     if (!first) out_ << ',';
     out_ << csv_escape(name);
@@ -97,7 +131,7 @@ void CsvSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
 
 void CsvSink::add(const TrialOutcome& outcome) {
   bool first = true;
-  for (const auto& [name, value] : outcome_fields(outcome)) {
+  for (const auto& [name, value] : row_fields(outcome, perf_columns_)) {
     (void)name;
     if (!first) out_ << ',';
     out_ << csv_escape(value);
@@ -109,7 +143,7 @@ void CsvSink::add(const TrialOutcome& outcome) {
 void JsonlSink::add(const TrialOutcome& outcome) {
   out_ << '{';
   bool first = true;
-  for (const auto& [name, value] : outcome_fields(outcome)) {
+  for (const auto& [name, value] : row_fields(outcome, perf_columns_)) {
     if (!first) out_ << ',';
     out_ << '"' << json_escape(name) << "\":";
     if (is_numeric_field(value)) {

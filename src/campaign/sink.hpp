@@ -32,29 +32,44 @@ class Sink {
 
 /// The flat per-trial column set shared by the CSV and JSONL sinks (and the
 /// `reproduce` report): name/value pairs in a fixed order, values already
-/// rendered as canonical strings.
+/// rendered as canonical strings. Every field is a pure function of the
+/// spec, so the emitted bytes are byte-deterministic.
 std::vector<std::pair<std::string, std::string>> outcome_fields(
     const TrialOutcome& outcome);
 
-/// RFC-4180-ish CSV: header row, then one row per trial.
+/// The opt-in perf columns (`mdst_lab run --perf-columns`): wall_ns,
+/// peak_rss_bytes and the derived msgs_per_sec. Deliberately separate from
+/// outcome_fields — these values vary run to run (allocator, kernel, load),
+/// so the default sink output stays byte-deterministic and the nightly
+/// large_n table opts in explicitly.
+std::vector<std::pair<std::string, std::string>> outcome_perf_fields(
+    const TrialOutcome& outcome);
+
+/// RFC-4180-ish CSV: header row, then one row per trial. With
+/// `perf_columns`, the nondeterministic perf fields append after the
+/// deterministic ones.
 class CsvSink final : public Sink {
  public:
-  explicit CsvSink(std::ostream& out) : out_(out) {}
+  explicit CsvSink(std::ostream& out, bool perf_columns = false)
+      : out_(out), perf_columns_(perf_columns) {}
   void begin(const CampaignSpec& spec, std::size_t trial_count) override;
   void add(const TrialOutcome& outcome) override;
 
  private:
   std::ostream& out_;
+  bool perf_columns_;
 };
 
 /// One JSON object per line, fixed key order; string values escaped.
 class JsonlSink final : public Sink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  explicit JsonlSink(std::ostream& out, bool perf_columns = false)
+      : out_(out), perf_columns_(perf_columns) {}
   void add(const TrialOutcome& outcome) override;
 
  private:
   std::ostream& out_;
+  bool perf_columns_;
 };
 
 /// Console progress: a one-line note every `stride` trials (stderr), for

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
 
@@ -84,6 +85,18 @@ bool parse_startup(std::string_view token, analysis::StartupProtocol& out) {
   return false;
 }
 
+/// Initial-tree axis tokens: "startup" plus the InitialTreeKind names.
+bool valid_initial_tree(std::string_view token) {
+  if (token == "startup") return true;
+  using graph::InitialTreeKind;
+  for (const InitialTreeKind kind :
+       {InitialTreeKind::kBfs, InitialTreeKind::kDfs, InitialTreeKind::kRandom,
+        InitialTreeKind::kMst, InitialTreeKind::kStarBiased}) {
+    if (token == graph::to_string(kind)) return true;
+  }
+  return false;
+}
+
 bool parse_mode(std::string_view token, core::EngineMode& out) {
   using core::EngineMode;
   for (const EngineMode mode :
@@ -119,8 +132,9 @@ bool parse_sizes(std::string_view token, std::vector<std::size_t>& out,
     error = "size " + std::to_string(lo) + " too small (minimum 4)";
     return false;
   }
-  if (hi > 1'000'000) {
-    error = "size " + std::to_string(hi) + " too large (maximum 1000000)";
+  if (hi > 1'048'576) {
+    // 2^20 — the large_n memory campaigns' ceiling (docs/perf.md).
+    error = "size " + std::to_string(hi) + " too large (maximum 1048576)";
     return false;
   }
   for (std::uint64_t n = lo; n <= hi; n *= 2) {
@@ -377,6 +391,17 @@ ParseResult parse_spec(std::string_view text) {
         }
         spec.startups.push_back(protocol);
       }
+    } else if (key == "initial_trees") {
+      spec.initial_trees.clear();
+      for (const std::string& token : support::split(value, ',')) {
+        const std::string tree{support::trim(token)};
+        if (!valid_initial_tree(tree)) {
+          at.fail("unknown initial_tree '" + tree +
+                  "' (startup | bfs | dfs | random | mst | star)");
+          break;
+        }
+        spec.initial_trees.push_back(tree);
+      }
     } else if (key == "modes") {
       for (const std::string& token : support::split(value, ',')) {
         core::EngineMode mode;
@@ -411,6 +436,14 @@ ParseResult parse_spec(std::string_view text) {
         at.fail("bad max_messages '" + std::string(value) + "'");
         break;
       }
+    } else if (key == "annotation_cap") {
+      std::uint64_t cap = 0;
+      if (!parse_u64(value, cap)) {
+        at.fail("bad annotation_cap '" + std::string(value) +
+                "' (want an entry count; 0 = unbounded)");
+        break;
+      }
+      spec.annotation_cap = static_cast<std::size_t>(cap);
     } else if (key == "fifo_links") {
       if (value == "true") {
         spec.fifo_links = true;
@@ -437,9 +470,9 @@ ParseResult parse_spec(std::string_view text) {
       spec.shards = static_cast<std::uint32_t>(shards);
     } else {
       at.fail("unknown key '" + key +
-              "' (name base_seed families sizes delays startups modes faults "
-              "reps max_rounds target_degree max_messages fifo_links "
-              "start_spread shards)");
+              "' (name base_seed families sizes delays startups initial_trees "
+              "modes faults reps max_rounds target_degree max_messages "
+              "annotation_cap fifo_links start_spread shards)");
       break;
     }
     if (!at.error.empty()) break;
@@ -490,11 +523,13 @@ std::vector<Trial> expand(const CampaignSpec& spec) {
     for (const std::size_t n : spec.sizes) {
       for (const DelaySpec& delay : spec.delays) {
         for (const analysis::StartupProtocol startup : spec.startups) {
-          for (const core::EngineMode mode : spec.modes) {
-            for (const FaultSpec& fault : spec.faults) {
-              for (std::uint64_t rep = 0; rep < spec.reps; ++rep) {
-                trials.push_back(Trial{index++, family, n, delay, startup,
-                                       mode, fault, rep});
+          for (const std::string& initial_tree : spec.initial_trees) {
+            for (const core::EngineMode mode : spec.modes) {
+              for (const FaultSpec& fault : spec.faults) {
+                for (std::uint64_t rep = 0; rep < spec.reps; ++rep) {
+                  trials.push_back(Trial{index++, family, n, delay, startup,
+                                         initial_tree, mode, fault, rep});
+                }
               }
             }
           }
@@ -522,6 +557,7 @@ Trial trial_at(const CampaignSpec& spec, std::size_t index) {
   trial.repetition = take(static_cast<std::size_t>(spec.reps));
   trial.fault = spec.faults[take(spec.faults.size())];
   trial.mode = spec.modes[take(spec.modes.size())];
+  trial.initial_tree = spec.initial_trees[take(spec.initial_trees.size())];
   trial.startup = spec.startups[take(spec.startups.size())];
   trial.delay = spec.delays[take(spec.delays.size())];
   trial.n = spec.sizes[take(spec.sizes.size())];

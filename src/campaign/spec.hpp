@@ -14,8 +14,8 @@
 //     reps      = 5
 //
 // The spec expands into a flat list of Trials in a fixed nested-loop order
-// (family → n → delay → startup → mode → faults → rep), so a trial's
-// `index` is a stable coordinate: `mdst_lab reproduce --cell=<index>`
+// (family → n → delay → startup → initial_tree → mode → faults → rep), so a
+// trial's `index` is a stable coordinate: `mdst_lab reproduce --cell=<index>`
 // re-runs exactly that trial. Randomness follows the experiment-harness
 // contract: the instance derives from (base_seed, family, n, repetition),
 // the schedule from (base_seed ^ 0x51, n, repetition), and fault draws from
@@ -67,6 +67,16 @@ struct CampaignSpec {
   std::vector<std::size_t> sizes;             // required, non-empty
   std::vector<DelaySpec> delays;              // default {unit}
   std::vector<analysis::StartupProtocol> startups;  // default {flood_st}
+  /// Initial-tree axis (`initial_trees = startup, star, dfs, ...`): how the
+  /// MDegST phase's starting tree is built. The default token "startup"
+  /// keeps the two-phase pipeline (the startup protocol's tree seeds the
+  /// improvement phase and its messages are metered). Every other token is
+  /// a graph::InitialTreeKind name — bfs | dfs | random | mst | star — and
+  /// replaces the startup phase with a centrally built tree drawn from the
+  /// dedicated tree stream (base_seed ^ 0xabcdef, same derivation as the
+  /// bench harness), with startup costs metered as zero. This is the E8
+  /// initial-tree ablation as a campaign axis.
+  std::vector<std::string> initial_trees{"startup"};
   std::vector<core::EngineMode> modes;        // default {single}
   std::vector<FaultSpec> faults{FaultSpec{}};  // default {none}
   std::uint64_t reps = 5;
@@ -74,6 +84,12 @@ struct CampaignSpec {
   std::size_t max_rounds = 0;
   int target_degree = 0;
   std::uint64_t max_messages = 0;  // 0 = simulator default cap
+  /// Bounded-metrics mode (`annotation_cap = N`): cap the per-run
+  /// annotation ring at N entries (0 = unbounded, the default). Campaign
+  /// rows consume nothing from annotations, so capping never changes row
+  /// bytes — it bounds the metrics subsystem's memory for large_n sweeps
+  /// (docs/perf.md "Memory model").
+  std::size_t annotation_cap = 0;
   /// Per-link FIFO ordering (`fifo_links = true|false`); off for
   /// reordering-robustness sweeps.
   bool fifo_links = true;
@@ -89,7 +105,8 @@ struct CampaignSpec {
 
   std::size_t trial_count() const {
     return families.size() * sizes.size() * delays.size() * startups.size() *
-           modes.size() * faults.size() * static_cast<std::size_t>(reps);
+           initial_trees.size() * modes.size() * faults.size() *
+           static_cast<std::size_t>(reps);
   }
 };
 
@@ -100,6 +117,8 @@ struct Trial {
   std::size_t n = 0;
   DelaySpec delay;
   analysis::StartupProtocol startup = analysis::StartupProtocol::kFloodSt;
+  /// "startup" (two-phase pipeline) or a graph::InitialTreeKind name.
+  std::string initial_tree = "startup";
   core::EngineMode mode = core::EngineMode::kSingleImprovement;
   FaultSpec fault;
   std::uint64_t repetition = 0;

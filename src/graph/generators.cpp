@@ -6,6 +6,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/dsu.hpp"
+#include "graph/limits.hpp"
 #include "support/assert.hpp"
 
 namespace mdst::graph {
@@ -175,11 +176,22 @@ Graph make_gnp_connected(std::size_t n, double p, support::Rng& rng) {
   // remaining pairs. Slight upward bias in edge count vs pure G(n,p), which
   // is irrelevant for our sweeps (documented here for honesty).
   Graph g = make_random_tree(n, rng);
-  // Expected m = (n-1) + p * C(n,2); pad ~10% to keep rehashes rare.
-  const double expected =
-      static_cast<double>(n - 1) +
-      p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
-  g.reserve_edges(static_cast<std::size_t>(expected * 1.1) + 16);
+  // Exact reservation: replay the coin sequence on a copy of the generator
+  // state (xoshiro state is trivially copyable) against the still-tree-only
+  // graph to count accepted edges, then reserve precisely — no padded
+  // heuristic, capacity == size after construction. The replay is faithful
+  // because the real pass visits each unordered pair once, so its has_edge
+  // gate only ever fires on tree edges — exactly what the probe sees.
+  support::Rng probe = rng;
+  std::size_t extra = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto a = static_cast<VertexId>(i);
+      const auto b = static_cast<VertexId>(j);
+      if (!g.has_edge(a, b) && probe.next_bool(p)) ++extra;
+    }
+  }
+  g.reserve_edges(g.edge_count() + extra);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const auto a = static_cast<VertexId>(i);
@@ -187,6 +199,61 @@ Graph make_gnp_connected(std::size_t n, double p, support::Rng& rng) {
       if (!g.has_edge(a, b) && rng.next_bool(p)) g.add_edge(a, b);
     }
   }
+  return g;
+}
+
+Graph make_gnp_connected_streamed(std::size_t n, double p,
+                                  support::Rng& rng) {
+  MDST_REQUIRE(n >= 1, "gnp_connected_streamed: n >= 1");
+  MDST_REQUIRE(p >= 0.0 && p < 1.0, "gnp_connected_streamed: p in [0,1)");
+  Graph g(n);
+  g.disable_dedup();
+  if (n == 1) return g;
+  // Random recursive tree skeleton: parent[v] uniform over [0, v). O(n)
+  // with one flat array, and tree membership of a candidate pair {w, v}
+  // (w < v) is the O(1) check parent[v] == w — no hash set anywhere.
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  for (std::size_t v = 1; v < n; ++v) {
+    parent[v] = static_cast<VertexId>(rng.next_below(v));
+  }
+  // Batagelj–Brandes geometric skipping over the pairs {w, v}, w < v, in
+  // column order: each accepted pair is reached by jumping
+  // 1 + floor(log(u) / log(1-p)) positions, so work is O(n + m), not
+  // O(n^2). Pairs that collide with a tree edge are dropped (the slight
+  // density dip mirrors make_gnp_connected's upward bias — documented, not
+  // corrected).
+  const double log_q = std::log(1.0 - p);
+  const std::int64_t sn = static_cast<std::int64_t>(n);
+  const auto sweep = [&](support::Rng& r, auto&& emit) {
+    if (p <= 0.0) return;
+    std::int64_t v = 1;
+    std::int64_t w = -1;
+    while (v < sn) {
+      const double u = 1.0 - r.next_double();  // (0, 1]: log(u) is finite
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log(u) / log_q));
+      while (v < sn && w >= v) {
+        w -= v;
+        ++v;
+      }
+      if (v < sn &&
+          parent[static_cast<std::size_t>(v)] != static_cast<VertexId>(w)) {
+        emit(static_cast<VertexId>(w), static_cast<VertexId>(v));
+      }
+    }
+  };
+  // Dry pass on a copy of the generator state counts the accepted edges so
+  // the one reservation is exact (capacity == size, pinned by tests); the
+  // real pass then replays the identical draw sequence into the edge array.
+  support::Rng probe = rng;
+  std::size_t extra = 0;
+  sweep(probe, [&](VertexId, VertexId) { ++extra; });
+  detail::check_edge_budget(static_cast<std::uint64_t>(n - 1) +
+                            static_cast<std::uint64_t>(extra));
+  g.reserve_edges((n - 1) + extra);
+  for (std::size_t v = 1; v < n; ++v) {
+    g.add_edge_unchecked(static_cast<VertexId>(v), parent[v]);
+  }
+  sweep(rng, [&](VertexId a, VertexId b) { g.add_edge_unchecked(a, b); });
   return g;
 }
 
@@ -420,6 +487,15 @@ Graph family_gnp_sparse(std::size_t n, support::Rng& rng) {
   return make_gnp_connected(n, p, rng);
 }
 
+Graph family_streamed_sparse(std::size_t n, support::Rng& rng) {
+  // Tree (~n edges) + G(n,p) at expected extra degree ~4 gives m ~ 3n —
+  // the sparse density of the large_n memory campaigns. O(n + m) time and
+  // memory (no dedup set), so this is the only family that reaches 2^20.
+  const double p = std::min(
+      0.999, 4.0 / static_cast<double>(std::max<std::size_t>(n, 2) - 1));
+  return make_gnp_connected_streamed(n, p, rng);
+}
+
 Graph family_gnp_dense(std::size_t n, support::Rng& rng) {
   return make_gnp_connected(n, 0.3, rng);
 }
@@ -468,6 +544,7 @@ const std::vector<FamilySpec> kFamilies = {
     {"barabasi_albert", family_barabasi},
     {"small_world", family_smallworld}, {"hypercube", family_hypercube},
     {"grid", family_grid},             {"complete", family_complete},
+    {"streamed_sparse", family_streamed_sparse},
 };
 
 }  // namespace

@@ -67,6 +67,16 @@ Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
 /// Uniformly random tree via Prüfer sequence decoding.
 Graph make_random_tree(std::size_t n, support::Rng& rng);
 
+/// Connected sparse G(n, p) built for the large-n memory envelope: a random
+/// recursive tree skeleton (parent[v] uniform over [0, v)) plus
+/// Batagelj–Brandes geometric edge skipping, streamed straight into the
+/// graph's edge array in dedup-disabled bulk mode (no hash set, no
+/// intermediate edge vector, exact reservation so capacity == size). A
+/// distinct family from make_gnp_connected — the tree distribution and the
+/// RNG draw sequence both differ; existing seeds reproduce existing graphs
+/// only through the original generators. Precondition: p in [0, 1).
+Graph make_gnp_connected_streamed(std::size_t n, double p, support::Rng& rng);
+
 // --- Naming -------------------------------------------------------------
 
 /// Replace node names with a random permutation of [0, n); exercises the

@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/limits.hpp"
 #include "support/assert.hpp"
 
 namespace mdst::graph {
 
-Graph::Graph(std::size_t n) : degree_(n, 0), names_(n) {
+namespace {
+// Guard before the member initializers run: an over-limit n must throw
+// ContractViolation, not attempt a multi-gigabyte allocation first.
+std::size_t checked_vertex_count(std::size_t n) {
+  detail::check_vertex_count_limit(n);
+  return n;
+}
+}  // namespace
+
+Graph::Graph(std::size_t n) : degree_(checked_vertex_count(n), 0), names_(n) {
   for (std::size_t i = 0; i < n; ++i) names_[i] = static_cast<NodeName>(i);
 }
 
 VertexId Graph::add_vertex() {
   MDST_REQUIRE(!frozen_, "add_vertex: graph is frozen");
+  detail::check_vertex_count_limit(degree_.size() + 1);
   degree_.push_back(0);
   names_.push_back(static_cast<NodeName>(degree_.size() - 1));
   csr_valid_ = false;
@@ -21,8 +32,12 @@ VertexId Graph::add_vertex() {
 
 EdgeId Graph::add_edge(VertexId a, VertexId b) {
   MDST_REQUIRE(!frozen_, "add_edge: graph is frozen");
+  MDST_REQUIRE(!dedup_disabled_,
+               "add_edge: graph is in dedup-disabled bulk mode; use "
+               "add_edge_unchecked");
   MDST_REQUIRE(valid_vertex(a) && valid_vertex(b), "add_edge: bad endpoint");
   MDST_REQUIRE(a != b, "add_edge: self-loop rejected");
+  detail::check_edge_count_limit(edges_.size() + 1);
   const Edge e = normalized(a, b);
   MDST_REQUIRE(edge_set_.emplace(e.u, e.v).second,
                "add_edge: parallel edge rejected");
@@ -34,13 +49,50 @@ EdgeId Graph::add_edge(VertexId a, VertexId b) {
   return id;
 }
 
+void Graph::disable_dedup() {
+  MDST_REQUIRE(!frozen_, "disable_dedup: graph is frozen");
+  MDST_REQUIRE(edges_.empty(),
+               "disable_dedup: must be chosen before the first edge");
+  dedup_disabled_ = true;
+}
+
+EdgeId Graph::add_edge_unchecked(VertexId a, VertexId b) {
+  MDST_REQUIRE(!frozen_, "add_edge_unchecked: graph is frozen");
+  MDST_REQUIRE(dedup_disabled_,
+               "add_edge_unchecked: call disable_dedup() first (otherwise "
+               "use add_edge)");
+  MDST_REQUIRE(valid_vertex(a) && valid_vertex(b),
+               "add_edge_unchecked: bad endpoint");
+  MDST_REQUIRE(a != b, "add_edge_unchecked: self-loop rejected");
+  detail::check_edge_count_limit(edges_.size() + 1);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(normalized(a, b));
+  ++degree_[static_cast<std::size_t>(a)];
+  ++degree_[static_cast<std::size_t>(b)];
+  csr_valid_ = false;
+  return id;
+}
+
 void Graph::reserve_edges(std::size_t m) {
+  detail::check_edge_count_limit(m);
   edges_.reserve(m);
-  edge_set_.reserve(m);
+  if (!dedup_disabled_) edge_set_.reserve(m);
 }
 
 bool Graph::has_edge(VertexId a, VertexId b) const {
   if (!valid_vertex(a) || !valid_vertex(b) || a == b) return false;
+  if (dedup_disabled_) {
+    // Bulk mode dropped the hash set; answer from the CSR adjacency
+    // instead. O(min degree) — acceptable for the validators
+    // (RootedTree::spans) that ask after construction, and generators in
+    // bulk mode guarantee simplicity without ever querying.
+    const VertexId probe = degree(a) <= degree(b) ? a : b;
+    const VertexId want = probe == a ? b : a;
+    for (const Incidence& inc : neighbors(probe)) {
+      if (inc.neighbor == want) return true;
+    }
+    return false;
+  }
   const Edge e = normalized(a, b);
   return edge_set_.count({e.u, e.v}) > 0;
 }

@@ -49,11 +49,33 @@ class Graph {
   /// Add undirected edge {a,b}. Precondition: a != b, both valid, edge absent.
   EdgeId add_edge(VertexId a, VertexId b);
 
+  /// Bulk-load mode for generators that guarantee simplicity by
+  /// construction (the streamed large-n families): drops the dedup hash
+  /// set — by far the largest builder-phase allocation at m ~ 3n — and
+  /// routes edges through add_edge_unchecked. has_edge stays available but
+  /// answers from the CSR adjacency in O(min degree) instead of O(1), which
+  /// suits post-construction validators (RootedTree::spans) and would not
+  /// suit a generator querying per candidate edge — bulk-mode generators
+  /// must guarantee simplicity without asking. Precondition: no edges
+  /// added yet.
+  void disable_dedup();
+  bool dedup_disabled() const { return dedup_disabled_; }
+
+  /// add_edge without the parallel-edge hash check. Preconditions: dedup
+  /// disabled, a != b, both valid, and the caller guarantees {a,b} was
+  /// never added before (checked only by generator-side tests).
+  EdgeId add_edge_unchecked(VertexId a, VertexId b);
+
   /// Pre-size the edge list and dedup set for ~m edges; cuts rehash/realloc
   /// churn in generators that add edges in a tight loop.
   void reserve_edges(std::size_t m);
 
-  /// True iff {a,b} is an edge (order-insensitive).
+  /// Capacity of the edge array; generators that reserve from exact
+  /// streamed counts pin capacity == size in tests via this accessor.
+  std::size_t edge_capacity() const { return edges_.capacity(); }
+
+  /// True iff {a,b} is an edge (order-insensitive). O(1) average; in
+  /// dedup-disabled bulk mode, O(min degree) via the CSR adjacency.
   bool has_edge(VertexId a, VertexId b) const;
 
   /// Edge id of {a,b} or kInvalidEdge.
@@ -98,6 +120,7 @@ class Graph {
   std::vector<Edge> edges_;
   std::vector<NodeName> names_;
   bool frozen_ = false;
+  bool dedup_disabled_ = false;
 
   // CSR adjacency cache, rebuilt from edges_ when stale. Mutable because it
   // is a representation detail: logically-const accessors materialise it.

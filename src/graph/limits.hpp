@@ -1,0 +1,59 @@
+// Representation limits of the graph layer, checked explicitly.
+//
+// VertexId/EdgeId/NodeName are int32_t (types.hpp) and the CSR offset
+// array is uint32_t, so the layer has hard ceilings: n < 2^31 vertices,
+// m < 2^31 edges, and 2m <= 2^32 - 1 incidence entries. The large-n work
+// (docs/perf.md "Memory model") pushes sizes to 2^20 and beyond, close
+// enough that a silent wrap would otherwise be the failure mode; these
+// helpers turn each ceiling into an MDST_REQUIRE that names the offending
+// count and the limit. They are free functions (not buried in Graph
+// internals) so tests can provoke each guard with a huge count without
+// allocating anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace mdst::graph::detail {
+
+/// Largest vertex count representable: VertexId is int32_t.
+inline constexpr std::size_t kMaxVertexCount =
+    static_cast<std::size_t>(INT32_MAX);
+/// Largest edge count representable: EdgeId is int32_t, and the CSR
+/// incidence array holds 2m uint32_t-indexed entries (2m <= 2^32 - 1 is
+/// implied by m <= 2^31 - 1).
+inline constexpr std::size_t kMaxEdgeCount =
+    static_cast<std::size_t>(INT32_MAX);
+
+/// Precondition guard: `n` vertices fit in VertexId. Call before sizing a
+/// graph from an untrusted or computed count.
+inline void check_vertex_count_limit(std::size_t n) {
+  MDST_REQUIRE(n <= kMaxVertexCount,
+               "graph: vertex count n = " + std::to_string(n) +
+                   " exceeds the int32 VertexId limit (" +
+                   std::to_string(kMaxVertexCount) + ")");
+}
+
+/// Precondition guard: `m` edges fit in EdgeId (and 2m in the uint32 CSR
+/// offsets). Call before reserving or appending edge `m`.
+inline void check_edge_count_limit(std::size_t m) {
+  MDST_REQUIRE(m <= kMaxEdgeCount,
+               "graph: edge count m = " + std::to_string(m) +
+                   " exceeds the int32 EdgeId limit (" +
+                   std::to_string(kMaxEdgeCount) + ")");
+}
+
+/// Precondition guard for degree products: generators that compute an
+/// expected edge count as n * avg_degree (or n * (n-1) / 2) must check the
+/// product before casting it into a reservation size.
+inline void check_edge_budget(std::uint64_t product) {
+  MDST_REQUIRE(product <= static_cast<std::uint64_t>(kMaxEdgeCount),
+               "graph: requested edge budget " + std::to_string(product) +
+                   " exceeds the int32 EdgeId limit (" +
+                   std::to_string(kMaxEdgeCount) + ")");
+}
+
+}  // namespace mdst::graph::detail

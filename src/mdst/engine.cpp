@@ -40,7 +40,8 @@ graph::RootedTree extract_tree(const SimT& simulation) {
       graph::RootedTree::from_parents(root, std::move(parents));
   for (std::size_t v = 0; v < n; ++v) {
     const auto& node = simulation.node(static_cast<sim::NodeId>(v));
-    auto kids = node.children();
+    std::vector<graph::VertexId> kids(node.children().begin(),
+                                      node.children().end());
     std::sort(kids.begin(), kids.end());
     auto expected = tree.children(static_cast<sim::NodeId>(v));
     std::sort(expected.begin(), expected.end());
@@ -276,11 +277,14 @@ void evaluate_adverse_run(const SimT& simulation, const graph::Graph& g,
 template <typename SimT>
 RunResult finish_run(const SimT& simulation, const graph::Graph& g,
                      const graph::RootedTree& initial, const Options& options,
-                     bool adversity, bool time_capped) {
+                     bool adversity, bool time_capped,
+                     std::uint64_t node_arena_bytes) {
   RunResult result;
   result.metrics = simulation.metrics();
   result.initial_degree = static_cast<int>(initial.max_degree());
   result.fault_stats = simulation.fault_stats();
+  result.memory = simulation.memory_report();
+  result.memory.node_bytes += node_arena_bytes;
   if (adversity) {
     evaluate_adverse_run(simulation, g, time_capped, result);
   } else {
@@ -373,13 +377,19 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                  "check_each_round needs the classic engine "
                  "(SimConfig::shards = 0)");
     const bool adversity = sim_config.faults.active();
+    // Degree-scaled node state lives in shared arenas (mdst/node_arena.hpp):
+    // declared before the simulator so every node's slice outlives it. Both
+    // engines build all nodes on this thread before workers start, so one
+    // shared arena is race-free.
+    NodeArenas arenas(g);
     ShardedSim simulation(
         g,
         [&](const sim::NodeEnv& env) {
           const graph::VertexId v = env.id;
           const graph::VertexId parent = initial.parent(v);
-          return ShardProtocol::Node(env, parent, initial.children(v),
-                                     options);
+          return ShardProtocol::Node(
+              env, parent, std::span<const sim::NodeId>(initial.children(v)),
+              arenas.slice(v), options);
         },
         sim_config);
     const bool time_capped =
@@ -391,16 +401,19 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
     MDST_ASSERT(CandidatePool::local().in_use() == boxed_before,
                 "boxed-candidate pool imbalance: a BfsBack box leaked or was "
                 "double-released");
-    return finish_run(simulation, g, initial, options, adversity,
-                      time_capped);
+    return finish_run(simulation, g, initial, options, adversity, time_capped,
+                      arenas.bytes());
   }
 
+  NodeArenas arenas(g);
   Sim simulation(
       g,
       [&](const sim::NodeEnv& env) {
         const graph::VertexId v = env.id;
         const graph::VertexId parent = initial.parent(v);
-        return SimNode(env, parent, initial.children(v), options);
+        return SimNode(env, parent,
+                       std::span<const sim::NodeId>(initial.children(v)),
+                       arenas.slice(v), options);
       },
       sim_config);
 
@@ -442,7 +455,8 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
               "boxed-candidate pool imbalance: a BfsBack box leaked or was "
               "double-released");
 
-  return finish_run(simulation, g, initial, options, adversity, time_capped);
+  return finish_run(simulation, g, initial, options, adversity, time_capped,
+                    arenas.bytes());
 }
 
 }  // namespace mdst::core

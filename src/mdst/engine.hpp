@@ -19,6 +19,7 @@
 #include "mdst/node.hpp"
 #include "mdst/options.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/memory_report.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/simulator.hpp"
 
@@ -76,6 +77,10 @@ struct RunResult {
   /// Adversity counters (retransmits, dropped deliveries); zeroes without
   /// an active plan.
   sim::FaultStats fault_stats;
+  /// Per-subsystem byte accounting captured at run end (node arenas, event
+  /// queue slabs, FIFO floors, metrics, network CSR). See
+  /// runtime/memory_report.hpp for what each bucket counts.
+  sim::MemoryReport memory;
   std::vector<RoundMark> marks;
   std::vector<RoundStats> round_stats;
   /// Round → marks index, built once by run_mdst in the same pass that

@@ -35,26 +35,67 @@ template <typename Context>
 BasicNode<Context>::BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
                               std::vector<sim::NodeId> children,
                               Options options)
-    : parent_(parent), children_(std::move(children)), env_(env),
-      opts_(options) {
+    : env_(env), opts_(options) {
+  // Self-allocating binding: carve all five degree-scaled arrays out of one
+  // private block (layout: the three u32-wide arrays and the NodeId array
+  // first, the byte flags last, so every element is naturally aligned).
+  const std::size_t deg = env_.neighbors.size();
+  if (deg > 0) {
+    owned_ = std::make_unique<std::byte[]>(deg * (4 * sizeof(std::uint32_t) +
+                                                  sizeof(std::uint8_t)));
+    std::byte* p = owned_.get();
+    children_.bind(reinterpret_cast<sim::NodeId*>(p),
+                   static_cast<std::uint32_t>(deg));
+    p += deg * sizeof(sim::NodeId);
+    child_indices_.bind(reinterpret_cast<std::uint32_t*>(p),
+                        static_cast<std::uint32_t>(deg));
+    p += deg * sizeof(std::uint32_t);
+    wave_child_epoch_ = reinterpret_cast<std::uint32_t*>(p);
+    p += deg * sizeof(std::uint32_t);
+    cross_closed_epoch_ = reinterpret_cast<std::uint32_t*>(p);
+    p += deg * sizeof(std::uint32_t);
+    child_at_ = reinterpret_cast<std::uint8_t*>(p);
+  }
+  init(parent, std::span<const sim::NodeId>(children));
+}
+
+template <typename Context>
+BasicNode<Context>::BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
+                              std::span<const sim::NodeId> children,
+                              const NodeSlice& slice, Options options)
+    : env_(env), opts_(options) {
+  MDST_REQUIRE(slice.degree == env_.neighbors.size(),
+               "node arena slice does not match the node's degree");
+  children_.bind(slice.children, slice.degree);
+  child_indices_.bind(slice.child_indices, slice.degree);
+  child_at_ = slice.child_at;
+  wave_child_epoch_ = slice.wave_child_epoch;
+  cross_closed_epoch_ = slice.cross_closed_epoch;
+  init(parent, children);
+}
+
+template <typename Context>
+void BasicNode<Context>::init(sim::NodeId parent,
+                              std::span<const sim::NodeId> children) {
+  parent_ = parent;
   MDST_REQUIRE(parent_ == sim::kNoNode || env_.is_neighbor(parent_),
                "initial parent must be a neighbor");
-  for (const sim::NodeId child : children_) {
-    MDST_REQUIRE(env_.is_neighbor(child), "initial child must be a neighbor");
-  }
   if (parent_ != sim::kNoNode) {
     parent_index_ = static_cast<std::uint32_t>(neighbor_index(parent_));
   }
-  child_indices_.reserve(children_.size());
-  for (const sim::NodeId child : children_) {
-    child_indices_.push_back(
-        static_cast<std::uint32_t>(neighbor_index(child)));
+  // Flat per-neighbor-slot bookkeeping: zeroed once here, never cleared
+  // again (the epoch stamps are invalidated by epoch bumps).
+  const std::size_t deg = env_.neighbors.size();
+  std::fill_n(child_at_, deg, std::uint8_t{0});
+  std::fill_n(wave_child_epoch_, deg, std::uint32_t{0});
+  std::fill_n(cross_closed_epoch_, deg, std::uint32_t{0});
+  for (const sim::NodeId child : children) {
+    MDST_REQUIRE(env_.is_neighbor(child), "initial child must be a neighbor");
+    const auto slot = static_cast<std::uint32_t>(neighbor_index(child));
+    children_.push_back(child);
+    child_indices_.push_back(slot);
+    child_at_[slot] = 1;
   }
-  // Flat per-neighbor-slot bookkeeping: sized once here, never reallocated.
-  child_at_.assign(env_.neighbors.size(), 0);
-  for (const std::uint32_t slot : child_indices_) child_at_[slot] = 1;
-  wave_child_epoch_.assign(env_.neighbors.size(), 0);
-  cross_closed_epoch_.assign(env_.neighbors.size(), 0);
   concurrent_ = opts_.mode == EngineMode::kConcurrent;
 }
 
@@ -89,12 +130,12 @@ void BasicNode<Context>::add_child(sim::NodeId node, std::uint32_t idx_hint) {
 
 template <typename Context>
 void BasicNode<Context>::remove_child(sim::NodeId node) {
-  const auto it = std::find(children_.begin(), children_.end(), node);
+  const sim::NodeId* it = std::find(children_.begin(), children_.end(), node);
   MDST_ASSERT(it != children_.end(), "remove_child: not a child");
-  const auto pos = it - children_.begin();
-  child_at_[child_indices_[static_cast<std::size_t>(pos)]] = 0;
-  child_indices_.erase(child_indices_.begin() + pos);
-  children_.erase(it);
+  const auto pos = static_cast<std::size_t>(it - children_.begin());
+  child_at_[child_indices_[pos]] = 0;
+  child_indices_.erase_at(pos);
+  children_.erase_at(pos);
 }
 
 template <typename Context>

@@ -39,14 +39,19 @@
 // tooling. Both instantiations are compiled once in node.cpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/fixed_vec.hpp"
 
 #include "mdst/messages.hpp"
+#include "mdst/node_arena.hpp"
 #include "mdst/options.hpp"
 #include "runtime/context.hpp"
 #include "runtime/node_env.hpp"
@@ -76,9 +81,19 @@ class alignas(64) BasicNode {
   using Ctx = Context;
 
   /// `parent` is kNoNode exactly for the initial root; `children` are the
-  /// node ids of the initial tree children.
+  /// node ids of the initial tree children. This overload self-allocates
+  /// one private block for the degree-scaled state — the binding for
+  /// hand-built unit-test nodes and small ad-hoc runs.
   BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
             std::vector<sim::NodeId> children, Options options);
+
+  /// Arena binding: the degree-scaled state lives in `slice` (a view into
+  /// NodeArenas, which must outlive this node). run_mdst uses this for both
+  /// engines — one allocation per subsystem for the whole trial instead of
+  /// five per node (docs/perf.md "Memory model").
+  BasicNode(const sim::NodeEnv& env, sim::NodeId parent,
+            std::span<const sim::NodeId> children, const NodeSlice& slice,
+            Options options);
 
   void on_start(Ctx& ctx);
   void on_message(Ctx& ctx, sim::NodeId from, const Message& message);
@@ -86,7 +101,9 @@ class alignas(64) BasicNode {
   // --- final / inspection state -------------------------------------------
   bool done() const { return done_; }
   sim::NodeId parent() const { return parent_; }
-  const std::vector<sim::NodeId>& children() const { return children_; }
+  std::span<const sim::NodeId> children() const {
+    return {children_.data(), children_.size()};
+  }
   int tree_degree() const {
     return static_cast<int>(children_.size()) +
            (parent_ != sim::kNoNode ? 1 : 0);
@@ -228,6 +245,11 @@ class alignas(64) BasicNode {
 
   void reset_round_state();
 
+  /// Shared tail of both constructors: binds/validates parent and children
+  /// against the already-bound degree-scaled storage and zeroes the
+  /// per-slot stamps (one code path whether the storage is arena or owned).
+  void init(sim::NodeId parent, std::span<const sim::NodeId> children);
+
   static void static_layout_check();  // compile-time asserts (node.cpp)
 
   // ==== hot per-message state =============================================
@@ -267,12 +289,15 @@ class alignas(64) BasicNode {
   // ==== warm wave state (second/third cache line) =========================
   int search_deg_all_ = -1;
   std::uint32_t wave_epoch_ = 0;  // bumped by begin_wave(); stamps below
-  std::vector<sim::NodeId> children_;
-  std::vector<std::uint32_t> child_indices_;  // parallel to children_
+  /// Degree-scaled state: fixed-capacity views into storage the node does
+  /// not own (a NodeArenas slice, or the private owned_ block below). All
+  /// five blocks hold exactly env_.neighbors.size() slots, bound once at
+  /// construction and never rebound.
+  support::FixedVec<sim::NodeId> children_;
+  support::FixedVec<std::uint32_t> child_indices_;  // parallel to children_
   Candidate best_top_;
   Candidate best_sub_;
-  /// Per-neighbor-slot flags/stamps, all sized to env_.neighbors.size()
-  /// once at construction and never reallocated:
+  /// Per-neighbor-slot flags/stamps:
   ///   child_at_[s]          — slot s is currently a tree child (byte flag:
   ///                           O(1) membership for the cross-probe scan,
   ///                           where has_child()'s O(children) scan per
@@ -280,9 +305,9 @@ class alignas(64) BasicNode {
   ///   wave_child_epoch_[s]  — slot s was a child when the current wave
   ///                           (epoch wave_epoch_) started;
   ///   cross_closed_epoch_[s]— slot s's cross edge closed this wave.
-  std::vector<std::uint8_t> child_at_;
-  std::vector<std::uint32_t> wave_child_epoch_;
-  std::vector<std::uint32_t> cross_closed_epoch_;
+  std::uint8_t* child_at_ = nullptr;
+  std::uint32_t* wave_child_epoch_ = nullptr;
+  std::uint32_t* cross_closed_epoch_ = nullptr;
   // ==== cold state: construction-time, per-round-once, root-only ==========
   sim::NodeEnv env_;
   Options opts_;
@@ -321,6 +346,12 @@ class alignas(64) BasicNode {
   /// Crash-stop flag (cold: only fault-plan runs ever set it; the guard
   /// reads are one byte load per event).
   bool crashed_ = false;
+  /// Backing block for the legacy (non-arena) constructor: one allocation
+  /// holding all five degree-scaled arrays. Null when arena-backed. Cold —
+  /// touched only at construction; the hot path goes through the bound
+  /// pointers above, which stay valid across moves (the block address never
+  /// changes). Makes the node move-only, which both simulators satisfy.
+  std::unique_ptr<std::byte[]> owned_;
 };
 
 /// Virtual-context binding: unit tests drive handlers through mock

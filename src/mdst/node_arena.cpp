@@ -1,0 +1,32 @@
+#include "mdst/node_arena.hpp"
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::core {
+
+NodeArenas::NodeArenas(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  offsets_.resize(n + 1);
+  std::uint64_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v] = static_cast<std::uint32_t>(total);
+    total += g.degree(static_cast<graph::VertexId>(v));
+  }
+  // 2m must fit the u32 CSR offsets (same limit the graph's own incidence
+  // arrays live under; graph construction guards it first, this is the
+  // arena-local restatement).
+  MDST_REQUIRE(total <= UINT32_MAX,
+               "NodeArenas: degree sum 2m exceeds the 32-bit CSR offset "
+               "limit (2^32 - 1)");
+  offsets_[n] = static_cast<std::uint32_t>(total);
+  children_.resize(total);
+  child_indices_.resize(total);
+  child_at_.resize(total);
+  wave_child_epoch_.resize(total);
+  cross_closed_epoch_.resize(total);
+}
+
+}  // namespace mdst::core

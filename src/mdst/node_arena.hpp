@@ -1,0 +1,80 @@
+// Shared CSR-indexed arenas for the degree-scaled state of BasicNode.
+//
+// Before the large-n memory overhaul every node owned five heap-allocated
+// vectors sized to its degree (child list, child slot indices, the child_at_
+// byte flags and two epoch-stamp arrays). At n = 2^20 on a sparse graph that
+// is five million tiny allocations plus per-vector header overhead — the
+// dominant per-node cost after the cache-line-packed hot state. NodeArenas
+// replaces them with five flat arrays over the whole graph, laid out in CSR
+// order (offset prefix sums over exact degree counts, one allocation each),
+// and hands each node a NodeSlice of raw pointers into them. Constructed
+// once per trial by run_mdst before the simulator builds its nodes; the
+// arenas must outlive the simulator (all slices point into them).
+//
+// Thread-safety: both engines construct every node on the coordinating
+// thread before any worker thread starts, and a slice is touched only by
+// its own node afterwards, so one shared NodeArenas serves the sharded
+// engine without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace mdst::graph {
+class Graph;
+}  // namespace mdst::graph
+
+namespace mdst::core {
+
+/// One node's view into the arenas: five blocks of exactly `degree`
+/// elements each. Plain pointers — the node binds them at construction and
+/// never rebinds (a node's degree is fixed by the static network).
+struct NodeSlice {
+  sim::NodeId* children = nullptr;
+  std::uint32_t* child_indices = nullptr;
+  std::uint8_t* child_at = nullptr;
+  std::uint32_t* wave_child_epoch = nullptr;
+  std::uint32_t* cross_closed_epoch = nullptr;
+  std::uint32_t degree = 0;
+};
+
+class NodeArenas {
+ public:
+  /// Sizes every arena from the graph's exact degree counts (Σ deg = 2m).
+  /// The graph need not be frozen; only degree(v) is read.
+  explicit NodeArenas(const graph::Graph& g);
+
+  NodeSlice slice(sim::NodeId v) {
+    const std::uint32_t base = offsets_[static_cast<std::size_t>(v)];
+    const std::uint32_t deg =
+        offsets_[static_cast<std::size_t>(v) + 1] - base;
+    return NodeSlice{children_.data() + base,
+                     child_indices_.data() + base,
+                     child_at_.data() + base,
+                     wave_child_epoch_.data() + base,
+                     cross_closed_epoch_.data() + base,
+                     deg};
+  }
+
+  /// Total heap footprint of the arenas, for sim::MemoryReport.
+  std::size_t bytes() const {
+    return offsets_.capacity() * sizeof(std::uint32_t) +
+           children_.capacity() * sizeof(sim::NodeId) +
+           child_indices_.capacity() * sizeof(std::uint32_t) +
+           child_at_.capacity() * sizeof(std::uint8_t) +
+           wave_child_epoch_.capacity() * sizeof(std::uint32_t) +
+           cross_closed_epoch_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // n + 1 prefix sums over degrees
+  std::vector<sim::NodeId> children_;
+  std::vector<std::uint32_t> child_indices_;
+  std::vector<std::uint8_t> child_at_;
+  std::vector<std::uint32_t> wave_child_epoch_;
+  std::vector<std::uint32_t> cross_closed_epoch_;
+};
+
+}  // namespace mdst::core

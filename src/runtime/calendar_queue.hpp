@@ -143,6 +143,18 @@ class CalendarQueue {
     free_head_ = ref;
   }
 
+  /// Approximate heap footprint (sim::MemoryReport): the slab blocks —
+  /// which track the *peak* in-flight event population, since freed nodes
+  /// recycle instead of shrinking — plus the wheel, bitmap, and overflow
+  /// heap.
+  std::size_t approx_bytes() const {
+    return blocks_.size() * kBlockSize * sizeof(Node) +
+           blocks_.capacity() * sizeof(blocks_[0]) +
+           wheel_.capacity() * sizeof(Slot) +
+           occupied_.capacity() * sizeof(std::uint64_t) +
+           overflow_.capacity() * sizeof(OvRef);
+  }
+
  private:
   static constexpr std::size_t kBlockBits = 9;  // 512 nodes per slab block
   static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;

@@ -1,0 +1,39 @@
+// Per-subsystem memory accounting for a simulation run.
+//
+// The million-node engineering target (ROADMAP, docs/perf.md "Memory
+// model") needs the answer to "where do the bytes go?" to be measured, not
+// estimated: MemoryReport is captured at run end from each subsystem's own
+// approx_bytes() accounting (container capacities, slab block counts), so
+// the bytes/node table in docs/perf.md regenerates from the same code that
+// allocates. Figures are approximate by design — they count the dominant
+// flat arrays and slabs, not allocator headers or small per-run scratch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdst::sim {
+
+struct MemoryReport {
+  /// Node state: the BasicNode array itself plus the shared degree-scaled
+  /// arenas (mdst/node_arena.hpp).
+  std::uint64_t node_bytes = 0;
+  /// Event queue slabs + wheel (peak in-flight population; calendar-queue
+  /// slabs recycle and never shrink).
+  std::uint64_t queue_bytes = 0;
+  /// Per-directed-link FIFO floors (zero under unit delays, where the
+  /// floors provably never bind and are not allocated).
+  std::uint64_t floor_bytes = 0;
+  /// Metrics: per-type counter arrays plus annotation storage (bounded in
+  /// annotation_cap mode).
+  std::uint64_t metrics_bytes = 0;
+  /// Network: the neighbor pool, CSR offsets, directed links, and envs.
+  std::uint64_t graph_bytes = 0;
+
+  std::uint64_t total() const {
+    return node_bytes + queue_bytes + floor_bytes + metrics_bytes +
+           graph_bytes;
+  }
+};
+
+}  // namespace mdst::sim

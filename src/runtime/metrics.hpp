@@ -28,12 +28,14 @@
 // pins the two paths field-for-field equal).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "runtime/types.hpp"
 #include "runtime/variant_util.hpp"
+#include "support/assert.hpp"
 
 namespace mdst::sim {
 
@@ -135,16 +137,33 @@ class Metrics {
   }
 
   void annotate(Time now, std::string label) {
-    annotations_.push_back({now, total_messages(), max_causal_depth_,
-                            std::move(label), AnnotationTag{}, false});
+    push_annotation({now, total_messages(), max_causal_depth_,
+                     std::move(label), AnnotationTag{}, false});
   }
 
   /// Tagged checkpoint: no string is built or copied — the only cost is
   /// the (amortized) vector push and the ≤16-term total_messages() sum.
   void annotate_tag(Time now, const AnnotationTag& tag) {
-    annotations_.push_back({now, total_messages(), max_causal_depth_,
-                            std::string{}, tag, true});
+    push_annotation({now, total_messages(), max_causal_depth_,
+                     std::string{}, tag, true});
   }
+
+  /// Bounded mode (SimConfig::annotation_cap): keep only the most recent
+  /// `cap` annotations in a fixed-capacity ring instead of the full
+  /// history. 0 = unbounded (the default; every existing consumer sees
+  /// byte-identical output). Per-type counters, bit totals, and watermarks
+  /// are exact in both modes — only the annotation *history* is windowed.
+  /// Must be set before the first annotation is recorded.
+  void set_annotation_cap(std::size_t cap) {
+    MDST_REQUIRE(annotations_.empty(),
+                 "set_annotation_cap after annotations were recorded");
+    annotation_cap_ = cap;
+    if (cap != 0) annotations_.reserve(cap);
+  }
+  std::size_t annotation_cap() const { return annotation_cap_; }
+  /// Total annotations ever recorded (>= annotations().size() when the
+  /// bounded ring dropped old entries).
+  std::uint64_t annotations_recorded() const { return annotations_recorded_; }
 
   // --- read side (derived; cold) -------------------------------------------
 
@@ -161,7 +180,29 @@ class Metrics {
   std::uint64_t max_causal_depth() const { return max_causal_depth_; }
   Time last_delivery_time() const { return last_delivery_time_; }
   std::size_t id_bits() const { return id_bits_; }
-  const std::vector<Annotation>& annotations() const { return annotations_; }
+  /// The recorded annotations, oldest first. In bounded mode the ring is
+  /// rotated into chronological order on first read (lazily, so the hot
+  /// recording path stays a single slot store).
+  const std::vector<Annotation>& annotations() const {
+    if (annotation_head_ != 0) {
+      std::rotate(annotations_.begin(),
+                  annotations_.begin() +
+                      static_cast<std::ptrdiff_t>(annotation_head_),
+                  annotations_.end());
+      annotation_head_ = 0;
+    }
+    return annotations_;
+  }
+
+  /// Approximate heap footprint of the meter (sim::MemoryReport): the
+  /// counter/descriptor arrays plus the annotation storage. Label strings
+  /// are counted at header size only — tagged annotations (the simulator
+  /// path) carry no label at all.
+  std::size_t approx_bytes() const {
+    return types_.capacity() * sizeof(MessageDescriptor) +
+           counters_.capacity() * sizeof(PerTypeCounters) +
+           annotations_.capacity() * sizeof(Annotation);
+  }
 
   /// Merge counts from another run (e.g. spanning-tree phase + MDegST phase
   /// for end-to-end totals). Causal depths take the max, times add. The two
@@ -181,14 +222,28 @@ class Metrics {
 
   /// Append one reconstructed annotation (sharded merge path). The caller
   /// owns the ordering contract: annotations must arrive in canonical run
-  /// order.
+  /// order. Honors the bounded ring like every other recording path.
   void append_annotation(Annotation annotation) {
-    annotations_.push_back(std::move(annotation));
+    push_annotation(std::move(annotation));
   }
 
   static constexpr std::uint64_t kTagBits = 4;  // <= 16 message types/protocol
 
  private:
+  /// Single recording path for all annotation flavours. Unbounded: plain
+  /// push_back. Bounded: fill to cap, then overwrite the oldest slot
+  /// (annotation_head_ chases the logical start of the ring; annotations()
+  /// rotates it back to index 0 before any reader sees the vector).
+  void push_annotation(Annotation annotation) {
+    ++annotations_recorded_;
+    if (annotation_cap_ == 0 || annotations_.size() < annotation_cap_) {
+      annotations_.push_back(std::move(annotation));
+      return;
+    }
+    annotations_[annotation_head_] = std::move(annotation);
+    annotation_head_ = (annotation_head_ + 1) % annotation_cap_;
+  }
+
   /// Total identity fields delivered for one type: measured for dynamic
   /// types, count x constant for static ones.
   std::uint64_t ids_of_type(std::size_t t) const {
@@ -206,7 +261,15 @@ class Metrics {
   std::uint64_t max_causal_depth_ = 0;
   Time last_delivery_time_ = 0;
   std::size_t id_bits_;
-  std::vector<Annotation> annotations_;
+  /// Annotation storage. Unbounded mode: append-only, chronological.
+  /// Bounded mode: a ring of annotation_cap_ slots; annotation_head_ is the
+  /// index of the *oldest* entry once the ring has wrapped. Both are
+  /// mutable so the const read side can lazily rotate the ring into
+  /// chronological order without changing the container's identity.
+  mutable std::vector<Annotation> annotations_;
+  mutable std::size_t annotation_head_ = 0;
+  std::size_t annotation_cap_ = 0;  // 0 = unbounded
+  std::uint64_t annotations_recorded_ = 0;
   /// absorb_sequential folds both sides' derived totals into these
   /// snapshots (the two runs may disagree on type tables / id widths, so
   /// the merged totals are no longer derivable from the arrays above).

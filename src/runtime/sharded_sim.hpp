@@ -377,6 +377,27 @@ class ShardedSimCore {
   Time now() const { return final_now_; }
   FaultStats fault_stats() const { return merged_fault_stats_; }
 
+  /// Per-subsystem byte accounting across all lanes (node_bytes filled in
+  /// by the owning ShardedSimulator, which holds the node array).
+  MemoryReport memory_report() const {
+    MemoryReport report;
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      const Lane& lane = *lanes_[k];
+      report.queue_bytes += lane.queue.approx_bytes();
+      report.metrics_bytes += lane.metrics.approx_bytes();
+    }
+    report.metrics_bytes += merged_metrics_.approx_bytes();
+    report.floor_bytes = fifo_floor_.capacity() * sizeof(Time) +
+                         link_seq_.capacity() * sizeof(std::uint32_t);
+    report.graph_bytes = neighbor_pool_.capacity() * sizeof(NeighborInfo) +
+                         envs_.capacity() * sizeof(NodeEnv) +
+                         depth_.capacity() * sizeof(std::uint64_t) +
+                         adj_off_.capacity() * sizeof(std::uint32_t) +
+                         links_.capacity() * sizeof(DirectedLink) +
+                         owner_.capacity() * sizeof(std::uint32_t);
+    return report;
+  }
+
   // --- the keyed send path -------------------------------------------------
 
   template <typename Alt>
@@ -573,6 +594,14 @@ class ShardedSimCore {
     merged_metrics_ = std::move(lanes_[0]->metrics);
     for (std::size_t k = 1; k < shard_count_; ++k) {
       merged_metrics_.absorb_parallel(lanes_[k]->metrics);
+    }
+    // Bounded-metrics mode: lane meters never hold annotations (they flow
+    // through the pending/finalized side channel), so the cap can be
+    // applied here — after the move wiped any earlier setting and before
+    // the canonical-order appends below, which then ring exactly like the
+    // classic engine's.
+    if (config_.annotation_cap != 0) {
+      merged_metrics_.set_annotation_cap(config_.annotation_cap);
     }
     // Annotations: per-lane lists are already key-sorted; one global sort
     // over the concatenation is simplest (annotations are per-round rare).
@@ -890,6 +919,15 @@ class ShardedSimulator {
   /// pooled_in_use hook) returned to its thread-start occupancy. Trivially
   /// true for message sets without pooled payloads.
   bool pools_balanced() const { return pools_balanced_; }
+
+  /// Per-subsystem byte accounting at this instant (read at run end for
+  /// RunResult::memory). Core structures plus the node array; the caller
+  /// adds externally owned node state (the shared NodeArenas).
+  MemoryReport memory_report() const {
+    MemoryReport report = core_.memory_report();
+    report.node_bytes += nodes_.capacity() * sizeof(Node);
+    return report;
+  }
 
  private:
   using Traits = typename Core::Traits;

@@ -38,6 +38,7 @@
 #include "runtime/context.hpp"
 #include "runtime/delay.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/memory_report.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/node_env.hpp"
 #include "runtime/trace.hpp"
@@ -61,6 +62,12 @@ struct SimConfig {
   std::uint64_t max_messages = 50'000'000;
   /// Retain at most this many trace rows (0 disables tracing).
   std::size_t trace_cap = 0;
+  /// Bounded-metrics mode: retain at most this many annotations (a ring of
+  /// the most recent ones; Metrics::set_annotation_cap). 0 = full history.
+  /// Counters, bit totals, and watermarks stay exact either way — only the
+  /// per-round annotation *history* is windowed, so million-node runs stop
+  /// accruing O(rounds) annotation memory (docs/perf.md "Memory model").
+  std::size_t annotation_cap = 0;
   /// Intra-trial shard workers: 0 selects the classic single-threaded
   /// engine (Simulator); K >= 1 selects the sharded engine
   /// (ShardedSimulator, runtime/sharded_sim.hpp) with K lanes. The sharded
@@ -75,13 +82,17 @@ struct SimConfig {
   FaultPlan faults;
 
   /// Config for large-n sweeps: MDegST message complexity grows
-  /// superlinearly (n=1024 → ~5.7M messages, n=4096 → ~80M), so runs past
-  /// n≈2048 trip the default 50M livelock cap on healthy executions. This
-  /// raises the cap far above the n=4096 requirement while still bounding a
-  /// genuine livelock. See docs/perf.md ("Large-n sweeps").
+  /// superlinearly (n=1024 → ~5.7M messages, n=4096 → ~80M, and the
+  /// measured msgs ≈ 2.5·rounds·m law reaches ~10^12 at n = 10^6 from a
+  /// star start), so the default 50M livelock cap trips on healthy large
+  /// runs. The accounting path is u64 end-to-end, so the cap is set to a
+  /// real 10^12-capable budget, and annotations are bounded (the counters
+  /// every campaign row reads stay exact) so memory stays O(n + m), not
+  /// O(rounds). See docs/perf.md ("Large-n sweeps", "Memory model").
   static SimConfig large_n_sweep() {
     SimConfig config;
-    config.max_messages = 250'000'000;
+    config.max_messages = 1'000'000'000'000;
+    config.annotation_cap = 4096;
     return config;
   }
 };
@@ -125,6 +136,9 @@ class SimCore {
         trace_(config.trace_cap) {
     const std::size_t n = graph.vertex_count();
     MDST_REQUIRE(n > 0, "simulator: empty graph");
+    if (config_.annotation_cap != 0) {
+      metrics_.set_annotation_cap(config_.annotation_cap);
+    }
     envs_.reserve(n);
     depth_.assign(n, 0);
     adj_off_.assign(n + 1, 0);
@@ -214,6 +228,21 @@ class SimCore {
   const std::vector<NodeEnv>& envs() const { return envs_; }
   std::size_t node_count() const { return envs_.size(); }
   const SimConfig& config() const { return config_; }
+
+  /// Per-subsystem byte accounting of the core's own structures (node_bytes
+  /// is filled in by the owning Simulator, which holds the node array).
+  MemoryReport memory_report() const {
+    MemoryReport report;
+    report.queue_bytes = queue_.approx_bytes();
+    report.floor_bytes = fifo_floor_.capacity() * sizeof(Time);
+    report.metrics_bytes = metrics_.approx_bytes();
+    report.graph_bytes = neighbor_pool_.capacity() * sizeof(NeighborInfo) +
+                         envs_.capacity() * sizeof(NodeEnv) +
+                         depth_.capacity() * sizeof(std::uint64_t) +
+                         adj_off_.capacity() * sizeof(std::uint32_t) +
+                         links_.capacity() * sizeof(DirectedLink);
+    return report;
+  }
 
   /// The hot send path: validate the directed link, meter the cap, draw the
   /// delay, apply the FIFO floor, enqueue. Called by SimContext::send —

@@ -107,6 +107,15 @@ class Simulator {
   /// Adversity counters (zeroes without an active plan).
   FaultStats fault_stats() const { return core_.fault_stats(); }
 
+  /// Per-subsystem byte accounting at this instant (read at run end for
+  /// RunResult::memory). Core structures plus the node array; the caller
+  /// adds externally owned node state (the shared NodeArenas).
+  MemoryReport memory_report() const {
+    MemoryReport report = core_.memory_report();
+    report.node_bytes += nodes_.capacity() * sizeof(Node);
+    return report;
+  }
+
   /// Watchdog support: drop every still-queued event without running a
   /// handler — used when a time cap cuts a run short, so pooled payload
   /// state (P::dispose) is still reclaimed. Returns the discard count.

@@ -1,0 +1,77 @@
+// Fixed-capacity vector over externally owned storage.
+//
+// The million-node memory audit (docs/perf.md "Memory model") replaces the
+// degree-scaled std::vector members of BasicNode with views into shared
+// CSR-indexed arenas: one allocation per subsystem for the whole trial
+// instead of five small heap blocks per node. FixedVec is the view type —
+// a (pointer, size, capacity) triple with the push/erase subset of the
+// vector API that the protocol code actually uses. It never allocates and
+// never owns: bind() points it at a caller-provided block whose capacity is
+// fixed for the container's lifetime (a node's degree never changes, so the
+// exact bound is known at construction).
+//
+// Overflow is a contract violation, not a growth trigger: push_back past
+// capacity() means the caller's degree accounting is wrong, and the check
+// rides the tiered MDST_ASSERT so the fast tier pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "support/assert.hpp"
+
+namespace mdst::support {
+
+template <typename T>
+class FixedVec {
+ public:
+  FixedVec() = default;
+
+  /// Point this container at `data[0..capacity)`; size resets to zero. The
+  /// storage must stay valid (and fixed) for as long as the binding lives.
+  void bind(T* data, std::uint32_t capacity) {
+    data_ = data;
+    size_ = 0;
+    cap_ = capacity;
+  }
+
+  void push_back(T value) {
+    MDST_ASSERT(size_ < cap_, "FixedVec: push past fixed capacity");
+    data_[size_++] = value;
+  }
+
+  /// Remove the element at `pos`, shifting the tail left (keeps order, like
+  /// std::vector::erase — the child lists rely on insertion order for
+  /// deterministic iteration).
+  void erase_at(std::size_t pos) {
+    MDST_ASSERT(pos < size_, "FixedVec: erase out of range");
+    for (std::size_t i = pos + 1; i < size_; ++i) data_[i - 1] = data_[i];
+    --size_;
+  }
+
+  T& operator[](std::size_t i) {
+    MDST_ASSERT(i < size_, "FixedVec: index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    MDST_ASSERT(i < size_, "FixedVec: index out of range");
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+};
+
+}  // namespace mdst::support

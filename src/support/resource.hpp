@@ -1,0 +1,21 @@
+// Process-level resource probes for the perf-column instrumentation.
+#pragma once
+
+#include <cstdint>
+
+namespace mdst::support {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// or 0 where the probe is unavailable. Monotone over the process lifetime
+/// — a per-trial reading reflects the largest trial so far, which is what
+/// the large_n campaign's doubling ladder wants (each row's peak is its
+/// own, since sizes only grow). Inherently nondeterministic (allocator and
+/// kernel dependent), so it is exposed only through the opt-in perf
+/// columns, never the byte-deterministic default sink output.
+std::uint64_t peak_rss_bytes();
+
+/// Monotonic wall-clock nanoseconds (steady clock), for msgs/s rates in
+/// the perf columns. Same nondeterminism caveat as peak_rss_bytes().
+std::uint64_t monotonic_ns();
+
+}  // namespace mdst::support

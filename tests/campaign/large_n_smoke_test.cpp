@@ -1,0 +1,127 @@
+// The checked-in large-n specs are the CI face of the memory overhaul:
+// bench/specs/large_n_smoke.campaign runs for real on every ctest
+// invocation (streamed_sparse family, bounded metrics, bfs initial-tree
+// ablation path, 64-bit message budget, perf columns), so the large-n
+// execution path can never rot between nightlies. The nightly spec
+// (bench/specs/large_n.campaign) and the t6 initial-tree port are
+// parse-checked here so a spec typo fails per-commit CI, not the 03:17
+// nightly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+const char* kSmokeSpec = MDST_SOURCE_DIR "/bench/specs/large_n_smoke.campaign";
+const char* kNightlySpec = MDST_SOURCE_DIR "/bench/specs/large_n.campaign";
+const char* kT6Spec = MDST_SOURCE_DIR "/bench/specs/t6_initial_tree.campaign";
+
+TEST(LargeNCampaignTest, SmokeSpecParsesWithLargeNConfiguration) {
+  const ParseResult parsed = load_spec(kSmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "large_n_smoke");
+  ASSERT_EQ(parsed.spec.families.size(), 1u);
+  EXPECT_EQ(parsed.spec.families[0], "streamed_sparse");
+  // The three pillars of the large-n configuration: bounded metrics, a
+  // 64-bit message budget, and the low-degree initial-tree ablation path.
+  EXPECT_EQ(parsed.spec.annotation_cap, 64u);
+  EXPECT_EQ(parsed.spec.max_messages, 1'000'000'000'000ull);
+  ASSERT_EQ(parsed.spec.initial_trees.size(), 1u);
+  EXPECT_EQ(parsed.spec.initial_trees[0], "bfs");
+  EXPECT_LE(parsed.spec.trial_count(), 8u);  // CI affordability cap
+}
+
+TEST(LargeNCampaignTest, NightlySpecIsADoublingLadder) {
+  const ParseResult parsed = load_spec(kNightlySpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "large_n");
+  ASSERT_GE(parsed.spec.sizes.size(), 2u);
+  for (std::size_t i = 1; i < parsed.spec.sizes.size(); ++i) {
+    EXPECT_EQ(parsed.spec.sizes[i], 2 * parsed.spec.sizes[i - 1])
+        << "rung " << i;
+  }
+  EXPECT_EQ(parsed.spec.sizes.back(), 131072u);  // 2^17 nightly ceiling
+  EXPECT_EQ(parsed.spec.annotation_cap, 4096u);
+  EXPECT_EQ(parsed.spec.max_messages, 1'000'000'000'000ull);
+  ASSERT_EQ(parsed.spec.initial_trees.size(), 1u);
+  EXPECT_EQ(parsed.spec.initial_trees[0], "bfs");
+  // The work bound that keeps the ladder affordable: full convergence is
+  // Θ(n) rounds / Θ(n²) messages, so rungs stop at degree 12.
+  EXPECT_EQ(parsed.spec.target_degree, 12);
+}
+
+TEST(LargeNCampaignTest, T6SpecCoversAllFiveInitialTrees) {
+  const ParseResult parsed = load_spec(kT6Spec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "t6_initial_tree");
+  ASSERT_EQ(parsed.spec.initial_trees.size(), 5u);
+  EXPECT_EQ(parsed.spec.initial_trees[0], "star");
+  EXPECT_EQ(parsed.spec.initial_trees[1], "random");
+  EXPECT_EQ(parsed.spec.initial_trees[2], "dfs");
+  EXPECT_EQ(parsed.spec.initial_trees[3], "bfs");
+  EXPECT_EQ(parsed.spec.initial_trees[4], "mst");
+  // Nightly budget: 4 families x 5 trees x 5 reps.
+  EXPECT_LE(parsed.spec.trial_count(), 128u);
+}
+
+TEST(LargeNCampaignTest, SmokeRunsEndToEndWithPerfColumns) {
+  const ParseResult parsed = load_spec(kSmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Aggregator aggregator;
+  std::ostringstream csv;
+  CsvSink sink(csv, /*perf_columns=*/true);
+  RunnerConfig config;
+  config.threads = 2;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(parsed.spec, config, {&aggregator, &sink});
+  ASSERT_EQ(outcomes.size(), parsed.spec.trial_count());
+  for (const TrialOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.outcome, sim::RunOutcome::kOk);
+    EXPECT_NE(outcome.stop_reason, core::StopReason::kNotStopped);
+    EXPECT_GE(outcome.k_final, outcome.lower_bound);
+    // Ablation path: the centrally built bfs tree replaces the startup
+    // phase, so startup costs are zero by fiat and all messages are MDST.
+    EXPECT_EQ(outcome.trial.initial_tree, "bfs");
+    EXPECT_EQ(outcome.startup_messages, 0u);
+    EXPECT_GT(outcome.mdst_messages, 0u);
+    // Perf columns are live: a real run takes nonzero wall time, and on
+    // the platforms CI runs (Linux/macOS) getrusage reports a high-water
+    // mark for any process that got this far.
+    EXPECT_GT(outcome.wall_ns, 0u);
+    EXPECT_GT(outcome.peak_rss_bytes, 0u);
+    const auto perf = outcome_perf_fields(outcome);
+    ASSERT_EQ(perf.size(), 3u);
+    EXPECT_EQ(perf[0].first, "wall_ns");
+    EXPECT_EQ(perf[1].first, "peak_rss_bytes");
+    EXPECT_EQ(perf[2].first, "msgs_per_sec");
+  }
+  // The CSV header carries the perf columns only in --perf-columns mode.
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  EXPECT_NE(header.find("wall_ns"), std::string::npos) << header;
+  EXPECT_NE(header.find("peak_rss_bytes"), std::string::npos) << header;
+  EXPECT_NE(header.find("msgs_per_sec"), std::string::npos) << header;
+}
+
+TEST(LargeNCampaignTest, PerfColumnsStayOutOfDefaultRows) {
+  // Byte-determinism of the default sink output is a repo-wide contract:
+  // wall time and RSS are nondeterministic, so they must never leak into
+  // a sink constructed without perf_columns.
+  const ParseResult parsed = load_spec(kSmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  std::ostringstream csv;
+  CsvSink sink(csv);
+  RunnerConfig config;
+  config.threads = 1;
+  run_campaign(parsed.spec, config, {&sink});
+  EXPECT_EQ(csv.str().find("wall_ns"), std::string::npos);
+  EXPECT_EQ(csv.str().find("peak_rss_bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdst::campaign

@@ -195,7 +195,16 @@ INSTANTIATE_TEST_SUITE_P(
         RejectionCase{"families = grid\nsizes = 16\nshards = 65\n",
                       "line 3:", "bad shards"},
         RejectionCase{"families = grid\nsizes = 16\nshards = fast\n",
-                      "line 3:", "bad shards"}));
+                      "line 3:", "bad shards"},
+        RejectionCase{"families = grid\nsizes = 16\ninitial_trees = flood\n",
+                      "line 3:", "unknown initial_tree 'flood'"},
+        RejectionCase{
+            "families = grid\nsizes = 16\ninitial_trees = bfs, prufer\n",
+            "line 3:", "unknown initial_tree 'prufer'"},
+        RejectionCase{"families = grid\nsizes = 2097152\n", "line 2:",
+                      "too large (maximum 1048576)"},
+        RejectionCase{"families = grid\nsizes = 16\nannotation_cap = lots\n",
+                      "line 3:", "bad annotation_cap"}));
 
 TEST(CampaignSpecTest, ExpandOrderIsNestedLoopAndIndexed) {
   ParseResult result = parse_spec(
@@ -275,6 +284,58 @@ TEST(CampaignSpecTest, CommentsAndBlankLinesIgnored) {
       "16\n");
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_EQ(result.spec.families, (std::vector<std::string>{"grid"}));
+}
+
+TEST(CampaignSpecTest, ParsesInitialTreeAxisAndAnnotationCap) {
+  const ParseResult result = parse_spec(
+      "families = grid\nsizes = 16\n"
+      "initial_trees = startup, star, random, dfs, bfs, mst\n"
+      "annotation_cap = 128\nreps = 2\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.initial_trees,
+            (std::vector<std::string>{"startup", "star", "random", "dfs",
+                                      "bfs", "mst"}));
+  EXPECT_EQ(result.spec.annotation_cap, 128u);
+  // The axis multiplies the grid like every other coordinate.
+  EXPECT_EQ(result.spec.trial_count(), 6u * 2u);
+}
+
+TEST(CampaignSpecTest, InitialTreeAxisDefaultsToStartupOnly) {
+  // Extent-1 default: specs without the axis keep their trial indices (and
+  // hence their derived seeds) exactly as before the axis existed.
+  const ParseResult result = parse_spec("families = grid\nsizes = 16\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.initial_trees, (std::vector<std::string>{"startup"}));
+  EXPECT_EQ(result.spec.annotation_cap, 0u);
+  EXPECT_EQ(result.spec.trial_count(), 5u);
+  for (const Trial& trial : expand(result.spec)) {
+    EXPECT_EQ(trial.initial_tree, "startup");
+  }
+}
+
+TEST(CampaignSpecTest, InitialTreeAxisExpandOrderAndTrialAt) {
+  const ParseResult result = parse_spec(
+      "families = grid\nsizes = 16\nstartups = flood_st, dfs_st\n"
+      "initial_trees = startup, bfs\nmodes = single, concurrent\n"
+      "reps = 2\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::vector<Trial> trials = expand(result.spec);
+  ASSERT_EQ(trials.size(), result.spec.trial_count());
+  // Nesting: startup is outside initial_tree, which is outside mode.
+  EXPECT_EQ(trials[0].initial_tree, "startup");
+  EXPECT_EQ(trials[0].mode, core::EngineMode::kSingleImprovement);
+  EXPECT_EQ(trials[2].mode, core::EngineMode::kConcurrent);
+  EXPECT_EQ(trials[2].initial_tree, "startup");
+  EXPECT_EQ(trials[4].initial_tree, "bfs");
+  EXPECT_EQ(trials[4].startup, analysis::StartupProtocol::kFloodSt);
+  EXPECT_EQ(trials[8].startup, analysis::StartupProtocol::kDfsSt);
+  for (const Trial& expected : trials) {
+    const Trial got = trial_at(result.spec, expected.index);
+    EXPECT_EQ(got.initial_tree, expected.initial_tree);
+    EXPECT_EQ(got.startup, expected.startup);
+    EXPECT_EQ(got.mode, expected.mode);
+    EXPECT_EQ(got.repetition, expected.repetition);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// Overflow-guard provocation: the graph layer's int32 representation
+// ceilings (graph/limits.hpp) must reject over-limit counts with a
+// ContractViolation whose message names both the offending count and the
+// limit — a silent wrap at n ≈ 2^31 is the failure mode the large-n work
+// (docs/perf.md "Memory model") guards against. The helpers are free
+// functions precisely so this test can provoke each guard with a huge
+// count without allocating terabytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/limits.hpp"
+#include "support/assert.hpp"
+
+namespace mdst::graph {
+namespace {
+
+using detail::check_edge_budget;
+using detail::check_edge_count_limit;
+using detail::check_vertex_count_limit;
+using detail::kMaxEdgeCount;
+using detail::kMaxVertexCount;
+
+std::string violation_message(const std::function<void()>& provoke) {
+  try {
+    provoke();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(GraphLimitsTest, AtTheLimitPasses) {
+  check_vertex_count_limit(kMaxVertexCount);
+  check_edge_count_limit(kMaxEdgeCount);
+  check_edge_budget(static_cast<std::uint64_t>(kMaxEdgeCount));
+  check_vertex_count_limit(0);
+  check_edge_count_limit(0);
+  check_edge_budget(0);
+}
+
+TEST(GraphLimitsTest, OverLimitVertexCountThrowsNamingCountAndLimit) {
+  const std::size_t n = kMaxVertexCount + 1;
+  EXPECT_THROW(check_vertex_count_limit(n), ContractViolation);
+  const std::string msg =
+      violation_message([&] { check_vertex_count_limit(n); });
+  EXPECT_NE(msg.find(std::to_string(n)), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::to_string(kMaxVertexCount)), std::string::npos)
+      << msg;
+}
+
+TEST(GraphLimitsTest, OverLimitEdgeCountThrowsNamingCountAndLimit) {
+  const std::size_t m = kMaxEdgeCount + 1;
+  EXPECT_THROW(check_edge_count_limit(m), ContractViolation);
+  const std::string msg = violation_message([&] { check_edge_count_limit(m); });
+  EXPECT_NE(msg.find(std::to_string(m)), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::to_string(kMaxEdgeCount)), std::string::npos) << msg;
+}
+
+TEST(GraphLimitsTest, EdgeBudgetGuardCatchesDegreeProducts) {
+  // The shape that would wrap without the guard: n * avg_degree computed
+  // in 64 bits for a hypothetical n = 2^33 sparse instance.
+  const std::uint64_t product = (std::uint64_t{1} << 33) * 3;
+  EXPECT_THROW(check_edge_budget(product), ContractViolation);
+  const std::string msg = violation_message([&] { check_edge_budget(product); });
+  EXPECT_NE(msg.find(std::to_string(product)), std::string::npos) << msg;
+  check_edge_budget((std::uint64_t{1} << 20) * 3);  // 2^20 sparse: fine
+}
+
+TEST(GraphLimitsTest, GraphConstructorIsGuarded) {
+  // The ctor path routes through check_vertex_count_limit; provoking it
+  // must throw before any allocation is attempted.
+  EXPECT_THROW(Graph g(kMaxVertexCount + 1), ContractViolation);
+}
+
+TEST(GraphLimitsTest, ReserveEdgesIsGuarded) {
+  Graph g(4);
+  EXPECT_THROW(g.reserve_edges(kMaxEdgeCount + 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mdst::graph

@@ -1,0 +1,110 @@
+// The streamed G(n,p) generator (make_gnp_connected_streamed): random
+// recursive tree + Batagelj–Brandes geometric skipping, built straight
+// into a dedup-disabled Graph with an exact edge reservation. The large-n
+// path (docs/perf.md "Memory model") depends on three properties pinned
+// here: the output is a simple connected graph on exactly n vertices, the
+// edge vector's capacity equals its size (no reservation slack — for
+// n = 2^20 the slack of a 2x growth policy would be tens of megabytes),
+// and the draw sequence is deterministic per seed. The classic
+// make_gnp_connected's exact-reservation fix rides the same capacity
+// assertion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::graph {
+namespace {
+
+std::set<std::pair<VertexId, VertexId>> normalized_edges(const Graph& g) {
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const Edge& e : g.edges()) {
+    pairs.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  return pairs;
+}
+
+TEST(StreamedGeneratorTest, ProducesSimpleConnectedGraphOnExactlyN) {
+  for (const std::size_t n : {1u, 2u, 33u, 1024u}) {
+    support::Rng rng(0x5eedu);
+    const double p = n > 1 ? std::min(0.999, 4.0 / static_cast<double>(n - 1))
+                           : 0.0;
+    const Graph g = make_gnp_connected_streamed(n, p, rng);
+    EXPECT_EQ(g.vertex_count(), n);
+    EXPECT_TRUE(g.dedup_disabled());
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.edge_count() + 1, n);  // at least the spanning tree
+    // Simple graph: no self-loops, no duplicate edges. The generator's
+    // collision skip (parent[v] == w) is the only thing standing between
+    // the B-B sweep and a duplicate of a tree edge — count the distinct
+    // normalized pairs.
+    const auto pairs = normalized_edges(g);
+    EXPECT_EQ(pairs.size(), g.edge_count());
+    for (const auto& [a, b] : pairs) EXPECT_NE(a, b);
+  }
+}
+
+TEST(StreamedGeneratorTest, ExactReservationNoSlack) {
+  // capacity == size: the dry probe pass must predict the real pass
+  // exactly, for both the streamed generator and the classic one.
+  support::Rng rng_a(0xabcu);
+  const Graph streamed = make_gnp_connected_streamed(4096, 4.0 / 4095, rng_a);
+  EXPECT_EQ(streamed.edge_capacity(), streamed.edge_count());
+  support::Rng rng_b(0xabcu);
+  const Graph classic = make_gnp_connected(512, 0.02, rng_b);
+  EXPECT_EQ(classic.edge_capacity(), classic.edge_count());
+}
+
+TEST(StreamedGeneratorTest, DeterministicPerSeed) {
+  support::Rng rng_a(0x1234u);
+  support::Rng rng_b(0x1234u);
+  support::Rng rng_c(0x9999u);
+  const Graph a = make_gnp_connected_streamed(600, 0.01, rng_a);
+  const Graph b = make_gnp_connected_streamed(600, 0.01, rng_b);
+  const Graph c = make_gnp_connected_streamed(600, 0.01, rng_c);
+  EXPECT_EQ(normalized_edges(a), normalized_edges(b));
+  EXPECT_NE(normalized_edges(a), normalized_edges(c));
+}
+
+TEST(StreamedGeneratorTest, BulkModeHasEdgeAnswersFromCsr) {
+  // RootedTree::spans and the checker call has_edge on the finished
+  // graph; in dedup-disabled mode it must answer from the CSR adjacency.
+  support::Rng rng(0x77u);
+  const Graph g = make_gnp_connected_streamed(128, 0.03, rng);
+  const Edge& first = g.edges().front();
+  EXPECT_TRUE(g.has_edge(first.u, first.v));
+  EXPECT_TRUE(g.has_edge(first.v, first.u));
+  const auto pairs = normalized_edges(g);
+  bool found_absent = false;
+  for (VertexId a = 0; a < 8 && !found_absent; ++a) {
+    for (VertexId b = a + 1; b < 128; ++b) {
+      if (!pairs.count({a, b})) {
+        EXPECT_FALSE(g.has_edge(a, b));
+        found_absent = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_absent);
+}
+
+TEST(StreamedGeneratorTest, RegisteredAsStreamedSparseFamily) {
+  const FamilySpec& family = family_by_name("streamed_sparse");
+  support::Rng rng(0x5eedu);
+  const Graph g = family.make(256, rng);
+  EXPECT_EQ(g.vertex_count(), 256u);
+  EXPECT_TRUE(is_connected(g));
+  // m ~ 3n for the p = 4/(n-1) sparse dial (tree + ~2n sweep edges);
+  // loose band so the test is seed-robust.
+  EXPECT_GT(g.edge_count(), 256u);
+  EXPECT_LT(g.edge_count(), 5u * 256u);
+}
+
+}  // namespace
+}  // namespace mdst::graph

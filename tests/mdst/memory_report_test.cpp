@@ -1,0 +1,69 @@
+// RunResult::memory plumbing: run_mdst must return a populated
+// MemoryReport on both engines (classic and sharded), the shared NodeArenas
+// bytes must land in node_bytes, and the bounded-metrics mode must shrink
+// metrics_bytes relative to the full-annotation run — the measurement the
+// docs/perf.md "Memory model" table is regenerated from.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/memory_report.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::core {
+namespace {
+
+RunResult run(const graph::Graph& g, std::uint32_t shards,
+              std::size_t annotation_cap) {
+  support::Rng tree_rng(0x7eedu);
+  const graph::RootedTree initial =
+      graph::build_initial_tree(g, graph::InitialTreeKind::kBfs, tree_rng);
+  Options options;
+  sim::SimConfig config;
+  config.seed = 0x5eedu;
+  config.shards = shards;
+  config.annotation_cap = annotation_cap;
+  return run_mdst(g, initial, options, config);
+}
+
+TEST(MemoryReportTest, BucketsPopulatedOnBothEngines) {
+  support::Rng graph_rng(0x5eedu);
+  const graph::Graph g = graph::make_gnp_connected(96, 0.08, graph_rng);
+  for (const std::uint32_t shards : {0u, 4u}) {
+    const RunResult result = run(g, shards, 0);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    // Node state includes the shared degree-scaled arenas, which are
+    // nonempty for any graph with edges.
+    EXPECT_GT(result.memory.node_bytes, 0u);
+    EXPECT_GT(result.memory.queue_bytes, 0u);
+    EXPECT_GT(result.memory.metrics_bytes, 0u);
+    EXPECT_GT(result.memory.graph_bytes, 0u);
+    // Unit delays: FIFO floors provably never bind and are not allocated.
+    // The sharded engine's floor bucket also counts its per-link sequence
+    // array (always allocated for ARQ ordering), so the zero claim is
+    // classic-engine only.
+    if (shards == 0) EXPECT_EQ(result.memory.floor_bytes, 0u);
+    EXPECT_EQ(result.memory.total(),
+              result.memory.node_bytes + result.memory.queue_bytes +
+                  result.memory.floor_bytes + result.memory.metrics_bytes +
+                  result.memory.graph_bytes);
+  }
+}
+
+TEST(MemoryReportTest, BoundedMetricsShrinkMetricsBytes) {
+  support::Rng graph_rng(0x5eedu);
+  const graph::Graph g = graph::make_gnp_connected(128, 0.06, graph_rng);
+  const RunResult full = run(g, 0, 0);
+  const RunResult capped = run(g, 0, 4);
+  // A real MDegST run at this size annotates once per round — far more
+  // than 4 — so the bounded ring must retain measurably fewer bytes.
+  ASSERT_GT(full.metrics.annotations_recorded(), 4u);
+  EXPECT_LT(capped.memory.metrics_bytes, full.memory.metrics_bytes);
+  // Everything the cap does not touch is identical.
+  EXPECT_EQ(full.memory.node_bytes, capped.memory.node_bytes);
+  EXPECT_EQ(full.memory.graph_bytes, capped.memory.graph_bytes);
+}
+
+}  // namespace
+}  // namespace mdst::core

@@ -1,0 +1,137 @@
+// Streaming (bounded) vs full metrics equivalence: selecting an
+// annotation cap (SimConfig::annotation_cap) must change *only* how many
+// annotations are retained — every scalar the campaign tables and the
+// stop logic consume (message totals, per-type counts, bit complexity,
+// causal depth, delivery times, rounds, improvements, stop reason, final
+// degree) must be bit-identical to the unbounded run, and the retained
+// ring must be exactly the newest-`cap` suffix of the full annotation
+// list. Covered for the MDegST engine (classic and sharded K ∈ {1, 4})
+// and the flood-ST baseline, under unit and uniform delays.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/metrics.hpp"
+#include "spanning/flood_st.hpp"
+#include "support/rng.hpp"
+
+namespace mdst::sim {
+namespace {
+
+/// Every comparable scalar of the two meters, plus the suffix property of
+/// the bounded ring against the full run's annotation list.
+void expect_equivalent(const Metrics& full, const Metrics& capped,
+                       std::size_t cap) {
+  EXPECT_EQ(full.total_messages(), capped.total_messages());
+  EXPECT_EQ(full.per_type(), capped.per_type());
+  EXPECT_EQ(full.total_bits(), capped.total_bits());
+  EXPECT_EQ(full.max_message_bits(), capped.max_message_bits());
+  EXPECT_EQ(full.max_ids_carried(), capped.max_ids_carried());
+  EXPECT_EQ(full.max_causal_depth(), capped.max_causal_depth());
+  EXPECT_EQ(full.last_delivery_time(), capped.last_delivery_time());
+  // Both meters saw every annotation; only retention differs.
+  EXPECT_EQ(full.annotations_recorded(), capped.annotations_recorded());
+  EXPECT_EQ(full.annotations_recorded(), full.annotations().size());
+  const std::vector<Annotation>& all = full.annotations();
+  const std::vector<Annotation>& kept = capped.annotations();
+  ASSERT_EQ(kept.size(), std::min<std::size_t>(cap, all.size()));
+  const std::size_t offset = all.size() - kept.size();
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const Annotation& want = all[offset + i];
+    const Annotation& got = kept[i];
+    EXPECT_EQ(got.time, want.time) << "annotation " << i;
+    EXPECT_EQ(got.total_messages, want.total_messages) << "annotation " << i;
+    EXPECT_EQ(got.max_causal_depth, want.max_causal_depth)
+        << "annotation " << i;
+    EXPECT_EQ(got.tagged, want.tagged) << "annotation " << i;
+    EXPECT_TRUE(got.tag == want.tag) << "annotation " << i;
+    EXPECT_EQ(got.label, want.label) << "annotation " << i;
+  }
+}
+
+TEST(BoundedMetricsEquivalenceTest, MdstMatchesFullRunEverywhere) {
+  constexpr std::size_t kCap = 8;
+  support::Rng graph_rng(0xb0a7u);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.12, graph_rng);
+  for (const DelayModel& delay :
+       {DelayModel::unit(), DelayModel::uniform(1, 4)}) {
+    for (const std::uint32_t shards : {0u, 1u, 4u}) {
+      support::Rng full_tree_rng(0x7eedu);
+      support::Rng capped_tree_rng(0x7eedu);
+      const graph::RootedTree initial_full = graph::build_initial_tree(
+          g, graph::InitialTreeKind::kBfs, full_tree_rng);
+      const graph::RootedTree initial_capped = graph::build_initial_tree(
+          g, graph::InitialTreeKind::kBfs, capped_tree_rng);
+      core::Options options;
+      SimConfig config;
+      config.delay = delay;
+      config.seed = 0x5eedu;
+      config.shards = shards;
+      config.annotation_cap = 0;
+      const core::RunResult full =
+          core::run_mdst(g, initial_full, options, config);
+      config.annotation_cap = kCap;
+      const core::RunResult capped =
+          core::run_mdst(g, initial_capped, options, config);
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      EXPECT_EQ(full.stop_reason, capped.stop_reason);
+      EXPECT_EQ(full.rounds, capped.rounds);
+      EXPECT_EQ(full.improvements, capped.improvements);
+      EXPECT_EQ(full.initial_degree, capped.initial_degree);
+      EXPECT_EQ(full.final_degree, capped.final_degree);
+      // A real MDegST run annotates once per round: the cap must bind.
+      EXPECT_GT(full.metrics.annotations_recorded(), kCap);
+      expect_equivalent(full.metrics, capped.metrics, kCap);
+    }
+  }
+}
+
+TEST(BoundedMetricsEquivalenceTest, FloodStMatchesFullRun) {
+  constexpr std::size_t kCap = 4;
+  support::Rng graph_rng(0xf100du);
+  const graph::Graph g = graph::make_gnp_connected(64, 0.1, graph_rng);
+  for (const DelayModel& delay :
+       {DelayModel::unit(), DelayModel::uniform(1, 4)}) {
+    SimConfig config;
+    config.delay = delay;
+    config.seed = 0x5eedu;
+    config.annotation_cap = 0;
+    const spanning::SpanningRun full = spanning::run_flood_st(g, 0, config);
+    config.annotation_cap = kCap;
+    const spanning::SpanningRun capped = spanning::run_flood_st(g, 0, config);
+    ASSERT_EQ(full.tree.vertex_count(), capped.tree.vertex_count());
+    EXPECT_EQ(full.tree.root(), capped.tree.root());
+    const auto n = static_cast<graph::VertexId>(g.vertex_count());
+    for (graph::VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(full.tree.parent(v), capped.tree.parent(v)) << "vertex " << v;
+    }
+    expect_equivalent(full.metrics, capped.metrics, kCap);
+  }
+}
+
+TEST(BoundedMetricsEquivalenceTest, CapLargerThanRunKeepsEverything) {
+  support::Rng graph_rng(0xcafeu);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, graph_rng);
+  support::Rng full_rng(0x7eedu);
+  support::Rng capped_rng(0x7eedu);
+  const graph::RootedTree initial_full =
+      graph::build_initial_tree(g, graph::InitialTreeKind::kBfs, full_rng);
+  const graph::RootedTree initial_capped =
+      graph::build_initial_tree(g, graph::InitialTreeKind::kBfs, capped_rng);
+  core::Options options;
+  SimConfig config;
+  config.seed = 0x5eedu;
+  const core::RunResult full =
+      core::run_mdst(g, initial_full, options, config);
+  config.annotation_cap = 1 << 20;  // far above any run this size
+  const core::RunResult capped =
+      core::run_mdst(g, initial_capped, options, config);
+  expect_equivalent(full.metrics, capped.metrics, 1 << 20);
+}
+
+}  // namespace
+}  // namespace mdst::sim

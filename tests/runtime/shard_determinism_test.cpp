@@ -114,8 +114,13 @@ void expect_identical_mdst_state(
     const auto id = static_cast<sim::NodeId>(v);
     EXPECT_EQ(base.node(id).parent(), other.node(id).parent())
         << "K=" << shards << " node " << v;
-    EXPECT_EQ(base.node(id).children(), other.node(id).children())
-        << "K=" << shards << " node " << v;
+    // children() is a span view over the node arenas; materialize for the
+    // element-wise comparison.
+    const std::vector<sim::NodeId> base_kids(base.node(id).children().begin(),
+                                             base.node(id).children().end());
+    const std::vector<sim::NodeId> other_kids(
+        other.node(id).children().begin(), other.node(id).children().end());
+    EXPECT_EQ(base_kids, other_kids) << "K=" << shards << " node " << v;
     EXPECT_EQ(base.node(id).done(), other.node(id).done())
         << "K=" << shards << " node " << v;
     EXPECT_EQ(base.node(id).tree_degree(), other.node(id).tree_degree())
