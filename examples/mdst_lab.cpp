@@ -18,6 +18,9 @@
 #include "campaign/runner.hpp"
 #include "campaign/sink.hpp"
 #include "graph/generators.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/profile.hpp"
+#include "runtime/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -35,9 +38,18 @@ int usage(std::ostream& out, int exit_code) {
          "                --shard=i/k for fleet-splitting across machines,\n"
          "                --shards=K for intra-trial sharded simulation,\n"
          "                --perf-columns for wall/RSS/rate row columns,\n"
+         "                --wedge-dump=DIR for per-wedged-trial forensics,\n"
+         "                --profile for the section-timer table,\n"
          "                --allow-wedged to exit 0 despite wedged trials)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
-         "  reproduce     re-run one grid cell       (--spec, --cell)\n"
+         "  reproduce     re-run one grid cell       (--spec, --cell,\n"
+         "                --trace-cap for trace/memory diagnostics rows)\n"
+         "  trace-export  replay one cell with tracing and export a timeline\n"
+         "                (--spec, --cell, --format=chrome|csv, --out,\n"
+         "                --trace-cap; chrome output loads in chrome://tracing\n"
+         "                and Perfetto)\n"
+         "  rounds        replay one cell and export its per-round telemetry\n"
+         "                ring (--spec, --cell, --csv, --jsonl)\n"
          "  list-families show the graph families usable in specs\n"
          "\n"
          "`mdst_lab <subcommand> --help` lists the subcommand's flags.\n";
@@ -132,11 +144,45 @@ bool parse_shard(const std::string& token, unsigned& index, unsigned& count,
   }
 }
 
+/// Validate --cell against the spec's grid and fetch the trial.
+bool cell_or_complain(const campaign::CampaignSpec& spec, std::int64_t cell,
+                      campaign::Trial& trial) {
+  if (cell < 0 || static_cast<std::size_t>(cell) >= spec.trial_count()) {
+    std::cerr << "--cell must be in [0, " << spec.trial_count()
+              << ") for this spec\n";
+    return false;
+  }
+  trial = campaign::trial_at(spec, static_cast<std::size_t>(cell));
+  return true;
+}
+
+/// `mdst_lab run --profile` / section-timer table. No-op builds print a
+/// pointer to the CMake switch instead of an empty table.
+void print_profile_table(std::ostream& out) {
+  if (!sim::profile_enabled()) {
+    out << "profiling compiled out — configure with -DMDST_PROFILE=ON to "
+           "collect section timers\n";
+    return;
+  }
+  const auto snapshot = sim::profile_snapshot();
+  support::Table table({"section", "calls", "total_ms", "ns/call"});
+  for (std::size_t i = 0; i < sim::kSectionCount; ++i) {
+    const sim::SectionStats& stats = snapshot[i];
+    table.start_row();
+    table.cell(sim::section_name(static_cast<sim::Section>(i)));
+    table.cell(stats.calls);
+    table.cell(support::format_double(static_cast<double>(stats.ns) / 1e6, 2));
+    table.cell(stats.calls == 0 ? 0 : stats.ns / stats.calls);
+  }
+  table.print(out, "profile sections (process-wide wall time)");
+}
+
 int cmd_run(int argc, char** argv) {
   std::string spec_path;
   std::string csv_path;
   std::string jsonl_path;
   std::string shard;
+  std::string wedge_dump;
   std::uint64_t threads = 0;
   // ~0 = "flag absent, keep the spec's shards knob".
   std::uint64_t shards = ~std::uint64_t{0};
@@ -144,6 +190,7 @@ int cmd_run(int argc, char** argv) {
   bool summary = true;
   bool allow_wedged = false;
   bool perf_columns = false;
+  bool profile = false;
   support::CliParser cli("mdst_lab run — execute a campaign spec");
   cli.add_string("spec", &spec_path, "campaign spec file");
   cli.add_string("csv", &csv_path, "write per-trial rows as CSV");
@@ -167,6 +214,12 @@ int cmd_run(int argc, char** argv) {
                "append wall_ns / peak_rss_bytes / msgs_per_sec to CSV and "
                "JSONL rows (nondeterministic values — off by default so the "
                "output stays byte-reproducible)");
+  cli.add_string("wedge-dump", &wedge_dump,
+                 "directory for per-wedged-trial forensics JSON "
+                 "(wedge-<index>.json; non-wedged trials write nothing)");
+  cli.add_bool("profile", &profile,
+               "print the section-timer table after the run (needs a build "
+               "configured with -DMDST_PROFILE=ON)");
   const auto parsed = cli.parse(argc, argv);
   if (parsed.help_requested) {
     std::cout << cli.help_text();
@@ -219,6 +272,8 @@ int cmd_run(int argc, char** argv) {
     }
     sinks.push_back(&jsonl_sink);
   }
+  campaign::WedgeDumpSink wedge_sink(wedge_dump);
+  if (!wedge_dump.empty()) sinks.push_back(&wedge_sink);
 
   campaign::RunnerConfig runner;
   runner.threads = static_cast<unsigned>(threads);
@@ -254,12 +309,18 @@ int cmd_run(int argc, char** argv) {
             << " s";
   if (!csv_path.empty()) std::cout << "; csv -> " << csv_path;
   if (!jsonl_path.empty()) std::cout << "; jsonl -> " << jsonl_path;
+  if (!wedge_dump.empty()) {
+    std::cout << "; wedge dumps -> " << wedge_dump << " ("
+              << wedge_sink.dumped() << " file"
+              << (wedge_sink.dumped() == 1 ? "" : "s") << ")";
+  }
   std::size_t wedged = 0;
   for (const campaign::TrialOutcome& outcome : outcomes) {
     if (outcome.wedged()) ++wedged;
   }
   if (wedged != 0) std::cout << "; " << wedged << " wedged";
   std::cout << "\n";
+  if (profile) print_profile_table(std::cout);
   if (wedged != 0 && !allow_wedged) {
     std::cerr << wedged << " trial(s) wedged — the protocol failed to "
                  "terminate cleanly under the fault plan (re-run with "
@@ -272,10 +333,14 @@ int cmd_run(int argc, char** argv) {
 int cmd_reproduce(int argc, char** argv) {
   std::string spec_path;
   std::int64_t cell = -1;
+  std::uint64_t trace_cap = 0;
   support::CliParser cli(
       "mdst_lab reproduce — re-run one grid cell from its index");
   cli.add_string("spec", &spec_path, "campaign spec file");
   cli.add_int("cell", &cell, "trial index (the `index` column of run output)");
+  cli.add_uint("trace-cap", &trace_cap,
+               "record up to N trace rows during the replay (0 = tracing "
+               "off; tracing never perturbs the schedule)");
   const auto parsed = cli.parse(argc, argv);
   if (parsed.help_requested) {
     std::cout << cli.help_text();
@@ -287,25 +352,180 @@ int cmd_reproduce(int argc, char** argv) {
   }
   campaign::CampaignSpec spec;
   if (!load_or_complain(spec_path, spec)) return 1;
-  if (cell < 0 ||
-      static_cast<std::size_t>(cell) >= spec.trial_count()) {
-    std::cerr << "--cell must be in [0, " << spec.trial_count()
-              << ") for this spec\n";
-    return 1;
-  }
+  campaign::Trial trial;
+  if (!cell_or_complain(spec, cell, trial)) return 1;
 
-  const campaign::Trial trial =
-      campaign::trial_at(spec, static_cast<std::size_t>(cell));
+  campaign::TrialInstruments instruments;
+  instruments.trace_cap = static_cast<std::size_t>(trace_cap);
+  core::RunResult mdst;
   const campaign::TrialOutcome outcome =
-      campaign::run_campaign_trial(spec, trial);
+      campaign::run_campaign_trial(spec, trial, instruments, &mdst);
   support::Table table({"field", "value"});
   for (const auto& [name, value] : campaign::outcome_fields(outcome)) {
     table.start_row();
     table.cell(name);
     table.cell(value);
   }
+  // Diagnostics beyond the row contract: the engine's memory buckets, the
+  // telemetry ring size, and (under --trace-cap) the recorder state.
+  const auto row = [&](const char* name, std::uint64_t value) {
+    table.start_row();
+    table.cell(name);
+    table.cell(value);
+  };
+  row("telemetry_rounds", mdst.round_telemetry.size());
+  row("memory_node_bytes", mdst.memory.node_bytes);
+  row("memory_queue_bytes", mdst.memory.queue_bytes);
+  row("memory_floor_bytes", mdst.memory.floor_bytes);
+  row("memory_metrics_bytes", mdst.memory.metrics_bytes);
+  row("memory_graph_bytes", mdst.memory.graph_bytes);
+  row("memory_total_bytes", mdst.memory.total());
+  row("trace_rows", mdst.trace.rows().size());
+  table.start_row();
+  table.cell("trace_truncated");
+  table.cell(mdst.trace.truncated() ? "yes" : "no");
+  if (mdst.wedge.captured) {
+    table.start_row();
+    table.cell("wedge_last_phase");
+    table.cell(mdst.wedge.last_phase);
+    row("wedge_live_undone", mdst.wedge.live_undone);
+  }
   table.print(std::cout, "campaign '" + spec.name + "' — cell " +
                              std::to_string(cell));
+  return 0;
+}
+
+int cmd_trace_export(int argc, char** argv) {
+  std::string spec_path;
+  std::string format = "chrome";
+  std::string out_path;
+  std::int64_t cell = -1;
+  std::uint64_t trace_cap = 1u << 20;
+  support::CliParser cli(
+      "mdst_lab trace-export — replay one grid cell with the trace recorder "
+      "on and export its timeline");
+  cli.add_string("spec", &spec_path, "campaign spec file");
+  cli.add_int("cell", &cell, "trial index (the `index` column of run output)");
+  cli.add_string("format", &format,
+                 "chrome (trace-event JSON for chrome://tracing / Perfetto) "
+                 "or csv (flat trace rows)");
+  cli.add_string("out", &out_path, "output file (default: stdout)");
+  cli.add_uint("trace-cap", &trace_cap,
+               "maximum trace rows retained during the replay");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+  if (format != "chrome" && format != "csv") {
+    std::cerr << "--format must be chrome or csv, got '" << format << "'\n";
+    return 1;
+  }
+  if (trace_cap == 0) {
+    std::cerr << "--trace-cap must be > 0 (a timeline needs trace rows)\n";
+    return 1;
+  }
+  campaign::CampaignSpec spec;
+  if (!load_or_complain(spec_path, spec)) return 1;
+  campaign::Trial trial;
+  if (!cell_or_complain(spec, cell, trial)) return 1;
+
+  campaign::TrialInstruments instruments;
+  instruments.trace_cap = static_cast<std::size_t>(trace_cap);
+  core::RunResult mdst;
+  const campaign::TrialOutcome outcome =
+      campaign::run_campaign_trial(spec, trial, instruments, &mdst);
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot open --out path " << out_path << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+  if (format == "chrome") {
+    sim::ChromeTraceOptions options;
+    options.shards = spec.shards;
+    options.node_count = outcome.n_actual;
+    options.lookahead = trial.delay.model.min_delay();
+    sim::write_chrome_trace(*out, mdst.trace, core::round_phases(mdst),
+                            options);
+  } else {
+    sim::write_trace_csv(*out, mdst.trace);
+  }
+  std::cerr << "cell " << cell << ": " << mdst.trace.rows().size()
+            << " trace rows"
+            << (mdst.trace.truncated()
+                    ? " (TRUNCATED at --trace-cap — raise it for the full "
+                      "timeline)"
+                    : "");
+  if (!out_path.empty()) std::cerr << " -> " << out_path;
+  std::cerr << "\n";
+  return 0;
+}
+
+int cmd_rounds(int argc, char** argv) {
+  std::string spec_path;
+  std::string csv_path;
+  std::string jsonl_path;
+  std::int64_t cell = -1;
+  support::CliParser cli(
+      "mdst_lab rounds — replay one grid cell and export its per-round "
+      "telemetry ring");
+  cli.add_string("spec", &spec_path, "campaign spec file");
+  cli.add_int("cell", &cell, "trial index (the `index` column of run output)");
+  cli.add_string("csv", &csv_path, "write the ring as CSV");
+  cli.add_string("jsonl", &jsonl_path,
+                 "write the ring as JSON lines (scripts/plot_rounds.py "
+                 "input)");
+  const auto parsed = cli.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::cerr << parsed.error << '\n';
+    return 1;
+  }
+  campaign::CampaignSpec spec;
+  if (!load_or_complain(spec_path, spec)) return 1;
+  campaign::Trial trial;
+  if (!cell_or_complain(spec, cell, trial)) return 1;
+
+  core::RunResult mdst;
+  campaign::run_campaign_trial(spec, trial, campaign::TrialInstruments{},
+                               &mdst);
+  const auto open_and_write = [&](const std::string& path, auto writer) {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot open path " << path << "\n";
+      return false;
+    }
+    writer(file, mdst.round_telemetry);
+    return true;
+  };
+  if (!csv_path.empty() &&
+      !open_and_write(csv_path, [](std::ostream& o, const auto& r) {
+        sim::write_rounds_csv(o, r);
+      })) {
+    return 1;
+  }
+  if (!jsonl_path.empty() &&
+      !open_and_write(jsonl_path, [](std::ostream& o, const auto& r) {
+        sim::write_rounds_jsonl(o, r);
+      })) {
+    return 1;
+  }
+  if (csv_path.empty() && jsonl_path.empty()) {
+    sim::write_rounds_csv(std::cout, mdst.round_telemetry);
+  }
   return 0;
 }
 
@@ -319,6 +539,8 @@ int main(int argc, char** argv) {
   if (subcommand == "run") return cmd_run(argc - 1, argv + 1);
   if (subcommand == "expand") return cmd_expand(argc - 1, argv + 1);
   if (subcommand == "reproduce") return cmd_reproduce(argc - 1, argv + 1);
+  if (subcommand == "trace-export") return cmd_trace_export(argc - 1, argv + 1);
+  if (subcommand == "rounds") return cmd_rounds(argc - 1, argv + 1);
   if (subcommand == "list-families") return cmd_list_families();
   if (subcommand == "--help" || subcommand == "help" || subcommand == "-h") {
     return usage(std::cout, 0);

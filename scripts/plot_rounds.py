@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Plot per-round flight-recorder telemetry: convergence curves of one run.
+
+Input is the round-telemetry JSONL written by `mdst_lab rounds --jsonl=...`
+(one object per round, fixed key order; docs/observability.md has the
+schema). The script draws one figure with three stacked panels over the
+round number:
+
+    k (decided max degree) and fragments     per round
+    messages and bits delivered              per round (log y)
+    causal-depth watermark / in-flight peak  per round
+
+so "is it converging, and what does each round cost" is read off a single
+figure. The PNG is written next to the output prefix; nothing is ever
+displayed (matplotlib's Agg backend), so the script is CI-safe.
+
+`--check-only` parses, prints the per-round summary, and exits without
+importing matplotlib at all — the mode the ctest smoke test runs, keeping
+tier-1 independent of matplotlib being installed.
+
+Usage:
+    plot_rounds.py rounds.jsonl --out plots/rounds
+    plot_rounds.py rounds.jsonl --check-only
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = (
+    "round", "k", "fragments", "waves", "improved",
+    "messages", "bits", "causal_depth", "in_flight_peak",
+    "time_start", "time_end",
+)
+
+
+def load_rounds(path):
+    """Parse the JSONL file; every malformed line is a hard error naming
+    its line number (the file is machine-written — silence would hide a
+    truncated export)."""
+    rounds = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON: {error}")
+            missing = [f for f in REQUIRED_FIELDS if f not in row]
+            if missing:
+                raise SystemExit(
+                    f"{path}:{lineno}: missing field(s) {', '.join(missing)}"
+                    " — is this `mdst_lab rounds --jsonl` output?")
+            rounds.append(row)
+    if not rounds:
+        raise SystemExit(f"{path}: no telemetry rows")
+    return rounds
+
+
+def describe(rounds, out=sys.stdout):
+    improved = sum(1 for r in rounds if r["improved"])
+    total_messages = sum(r["messages"] for r in rounds)
+    ks = [r["k"] for r in rounds if r["k"] >= 0]
+    headline = (f"{len(rounds)} round(s), {improved} improved, "
+                f"{total_messages} messages")
+    if ks:
+        headline += f", k {ks[0]} -> {ks[-1]}"
+    print(headline, file=out)
+    for r in rounds:
+        print(f"  round {r['round']:>4}: k={r['k']:>3} "
+              f"fragments={r['fragments']:>5} waves={r['waves']} "
+              f"improved={int(r['improved'])} msgs={r['messages']:>8} "
+              f"bits={r['bits']:>10} depth={r['causal_depth']:>8} "
+              f"inflight<={r['in_flight_peak']}", file=out)
+
+
+def plot(rounds, out_prefix):
+    import matplotlib
+    matplotlib.use("Agg")  # never require a display
+    import matplotlib.pyplot as plt
+
+    xs = [r["round"] for r in rounds]
+    fig, (ax_k, ax_cost, ax_depth) = plt.subplots(
+        3, 1, figsize=(7, 10), sharex=True)
+
+    ax_k.step(xs, [r["k"] for r in rounds], where="post", marker="o",
+              label="k (decided degree)")
+    ax_k.plot(xs, [r["fragments"] for r in rounds], marker=".",
+              alpha=0.6, label="fragments")
+    ax_k.set_ylabel("degree / fragments")
+    ax_k.legend()
+
+    ax_cost.plot(xs, [r["messages"] for r in rounds], marker="o",
+                 label="messages")
+    ax_cost.plot(xs, [r["bits"] for r in rounds], marker=".",
+                 alpha=0.6, label="bits")
+    ax_cost.set_yscale("log")
+    ax_cost.set_ylabel("per-round cost")
+    ax_cost.legend()
+
+    ax_depth.plot(xs, [r["causal_depth"] for r in rounds], marker="o",
+                  label="causal-depth watermark")
+    ax_depth.plot(xs, [r["in_flight_peak"] for r in rounds], marker=".",
+                  alpha=0.6, label="in-flight peak")
+    ax_depth.set_ylabel("depth / in-flight")
+    ax_depth.set_xlabel("round")
+    ax_depth.legend()
+
+    for axis in (ax_k, ax_cost, ax_depth):
+        axis.grid(True, alpha=0.3)
+    fig.suptitle("per-round telemetry")
+    fig.tight_layout()
+    name = f"{out_prefix}.png"
+    fig.savefig(name, dpi=120)
+    plt.close(fig)
+    return name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="`mdst_lab rounds --jsonl` output file")
+    parser.add_argument("--out", default="rounds",
+                        help="output prefix for the PNG (default: rounds)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="parse and print the per-round summary; no "
+                             "matplotlib import, nothing written")
+    args = parser.parse_args()
+
+    rounds = load_rounds(args.jsonl)
+    if args.check_only:
+        describe(rounds)
+        print(f"ok: {len(rounds)} round(s)")
+        return 0
+    print(f"wrote {plot(rounds, args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

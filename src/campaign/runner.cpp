@@ -12,6 +12,7 @@
 #include "campaign/sink.hpp"
 #include "graph/spanning_builders.hpp"
 #include "mdst/bounds.hpp"
+#include "runtime/profile.hpp"
 #include "support/assert.hpp"
 #include "support/resource.hpp"
 #include "support/rng.hpp"
@@ -36,13 +37,22 @@ graph::InitialTreeKind initial_tree_kind(const std::string& token) {
 }  // namespace
 
 TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
+  return run_campaign_trial(spec, trial, TrialInstruments{}, nullptr);
+}
+
+TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial,
+                                const TrialInstruments& instruments,
+                                core::RunResult* mdst_out) {
   const std::uint64_t wall_start = support::monotonic_ns();
   analysis::TrialSpec instance_spec;
   instance_spec.family = trial.family;
   instance_spec.n = trial.n;
   instance_spec.base_seed = spec.base_seed;
   instance_spec.repetition = trial.repetition;
-  const graph::Graph g = analysis::build_instance(instance_spec);
+  const graph::Graph g = [&] {
+    MDST_PROFILE_SCOPE(sim::Section::kTrialSetup);
+    return analysis::build_instance(instance_spec);
+  }();
 
   core::Options options;
   options.mode = trial.mode;
@@ -62,6 +72,10 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
   // classic simulator. Row bytes are shard-count-invariant by contract
   // (tests/campaign/spec_test.cpp pins 1-vs-K sink output).
   sim_config.shards = spec.shards;
+  // Replay instruments (trace-export/rounds/reproduce): tracing records the
+  // schedule without perturbing it, so instrumented replays still reproduce
+  // the campaign row bytes exactly.
+  sim_config.trace_cap = instruments.trace_cap;
   if (trial.fault.active()) {
     sim_config.faults = trial.fault.plan;
     // Dedicated fault stream: never shares draws with the instance or the
@@ -88,16 +102,19 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
     out.outcome = mdst.outcome;
     out.retransmits = mdst.fault_stats.retransmits;
     out.dropped_deliveries = mdst.fault_stats.dropped_deliveries;
+    out.wedge = mdst.wedge;
   };
 
+  MDST_PROFILE_SCOPE(sim::Section::kTrialRun);
   if (trial.initial_tree == "startup") {
     // Two-phase pipeline: the startup protocol's tree seeds MDegST and its
     // messages/causal time are metered into the startup_* columns.
-    const analysis::PipelineResult run =
+    analysis::PipelineResult run =
         analysis::run_pipeline(g, trial.startup, options, sim_config);
     finish(run.mdst);
     out.startup_messages = run.startup_messages;
     out.startup_time = run.startup_causal_time;
+    if (mdst_out != nullptr) *mdst_out = std::move(run.mdst);
   } else {
     // Initial-tree ablation cell (the E8 axis): a centrally built tree
     // replaces the startup phase. The tree draws from its own stream
@@ -111,7 +128,9 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial) {
     const graph::RootedTree initial =
         graph::build_initial_tree(g, initial_tree_kind(trial.initial_tree),
                                   tree_rng);
-    finish(core::run_mdst(g, initial, options, sim_config));
+    core::RunResult result = core::run_mdst(g, initial, options, sim_config);
+    finish(result);
+    if (mdst_out != nullptr) *mdst_out = std::move(result);
   }
   out.wall_ns = support::monotonic_ns() - wall_start;
   out.peak_rss_bytes = support::peak_rss_bytes();

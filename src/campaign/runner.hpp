@@ -17,6 +17,11 @@
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace mdst::core {
+struct RunResult;
+}  // namespace mdst::core
 
 namespace mdst::campaign {
 
@@ -63,11 +68,31 @@ struct TrialOutcome {
   // ladder where each row's trial is the largest so far.
   std::uint64_t wall_ns = 0;
   std::uint64_t peak_rss_bytes = 0;
+  /// Wedge forensics snapshot of the MDegST phase (wedge.captured is true
+  /// iff the trial wedged). Not part of outcome_fields — the wedge-dump
+  /// sink writes it as a standalone JSON file per wedged trial.
+  sim::WedgeReport wedge;
 };
 
 /// Run the single trial `trial` of `spec` (used by workers and by
 /// `mdst_lab reproduce --cell`).
 TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial);
+
+/// Replay-side instruments for the observability subcommands: knobs that are
+/// deliberately NOT campaign-spec coordinates (they change nothing about the
+/// simulated schedule; tracing only records what already happens).
+struct TrialInstruments {
+  /// SimConfig::trace_cap for the MDegST phase (0 = tracing off).
+  std::size_t trace_cap = 0;
+};
+
+/// Instrumented single-trial replay (`mdst_lab trace-export` / `rounds` /
+/// `reproduce`): same schedule as the plain overload, plus optional tracing
+/// and, when `mdst_out` is non-null, the full engine RunResult of the MDegST
+/// phase (telemetry ring, wedge report, trace, memory buckets).
+TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial,
+                                const TrialInstruments& instruments,
+                                core::RunResult* mdst_out);
 
 struct RunnerConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().

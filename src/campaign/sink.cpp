@@ -1,8 +1,13 @@
 #include "campaign/sink.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <utility>
 #include <vector>
+
+#include "runtime/telemetry.hpp"
+#include "support/assert.hpp"
 
 namespace mdst::campaign {
 namespace {
@@ -158,6 +163,7 @@ void JsonlSink::add(const TrialOutcome& outcome) {
 
 void ProgressSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
   total_ = trial_count;
+  timer_.reset();
   if (stride_ != 0) {
     out_ << "campaign '" << spec.name << "': " << trial_count << " trials\n";
   }
@@ -165,12 +171,41 @@ void ProgressSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
 
 void ProgressSink::add(const TrialOutcome& outcome) {
   ++seen_;
+  messages_ += outcome.total_messages();
   if (outcome.wedged()) ++wedged_;
   if (stride_ != 0 && (seen_ % stride_ == 0 || seen_ == total_)) {
     out_ << "  " << seen_ << "/" << total_ << " trials done";
+    const double elapsed = timer_.seconds();
+    if (elapsed > 0.0) {
+      // Coarse running throughput; integer msgs/s, decideci trials/s.
+      const auto msgs_rate = static_cast<std::uint64_t>(
+          static_cast<double>(messages_) / elapsed);
+      const auto trials_rate_x10 = static_cast<std::uint64_t>(
+          static_cast<double>(seen_) * 10.0 / elapsed);
+      out_ << " [" << msgs_rate << " msgs/s, " << trials_rate_x10 / 10 << '.'
+           << trials_rate_x10 % 10 << " trials/s]";
+    }
     if (wedged_ != 0) out_ << " (" << wedged_ << " wedged)";
     out_ << '\n';
   }
+}
+
+void WedgeDumpSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
+  (void)spec;
+  (void)trial_count;
+  std::filesystem::create_directories(dir_);
+}
+
+void WedgeDumpSink::add(const TrialOutcome& outcome) {
+  if (!outcome.wedged() || !outcome.wedge.captured) return;
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) /
+      ("wedge-" + std::to_string(outcome.trial.index) + ".json");
+  std::ofstream out(path);
+  MDST_REQUIRE(out.good(),
+               "wedge-dump: cannot open '" + path.string() + "' for writing");
+  sim::write_wedge_report_json(out, outcome.wedge);
+  ++dumped_;
 }
 
 }  // namespace mdst::campaign

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/runner.hpp"
+#include "support/timer.hpp"
 
 namespace mdst::campaign {
 
@@ -74,7 +75,10 @@ class JsonlSink final : public Sink {
 
 /// Console progress: a one-line note every `stride` trials (stderr), for
 /// long campaigns run interactively. Quiet when stride == 0. Adversity
-/// campaigns show a running wedge counter once any trial wedges.
+/// campaigns show a running wedge counter once any trial wedges. Each note
+/// carries running throughput (delivered msgs/s and trials/s since begin) —
+/// wall-clock derived, so progress lines are NOT byte-deterministic; they
+/// go to the console, never into a data sink.
 class ProgressSink final : public Sink {
  public:
   ProgressSink(std::ostream& out, std::size_t stride)
@@ -89,6 +93,23 @@ class ProgressSink final : public Sink {
   std::size_t seen_ = 0;
   std::size_t total_ = 0;
   std::size_t wedged_ = 0;
+  std::uint64_t messages_ = 0;
+  support::Timer timer_;
+};
+
+/// Wedge forensics dumps (`mdst_lab run --wedge-dump=DIR`): one JSON file
+/// per wedged trial, named wedge-<grid index>.json, holding the engine's
+/// WedgeReport (runtime/telemetry.hpp). Non-wedged trials write nothing.
+class WedgeDumpSink final : public Sink {
+ public:
+  explicit WedgeDumpSink(std::string dir) : dir_(std::move(dir)) {}
+  void begin(const CampaignSpec& spec, std::size_t trial_count) override;
+  void add(const TrialOutcome& outcome) override;
+  std::size_t dumped() const { return dumped_; }
+
+ private:
+  std::string dir_;
+  std::size_t dumped_ = 0;
 };
 
 }  // namespace mdst::campaign

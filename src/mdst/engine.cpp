@@ -1,6 +1,7 @@
 #include "mdst/engine.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <utility>
 
 #include "graph/algorithms.hpp"
@@ -77,8 +78,9 @@ void validate_midrun(const Sim& simulation, const graph::Graph& g) {
 /// parsed from the seed-style label (legacy string annotations).
 struct MarkView {
   RoundNote kind = RoundNote::kRoundStart;
-  std::uint32_t round = 0;  // meaningful for kRoundStart
+  std::uint32_t round = 0;  // meaningful for kRoundStart (tagged: all kinds)
   int k_all = -1;           // meaningful for kDecide
+  std::int64_t a = 0;       // the tag's first field (kCut: the cut k)
   bool recognized = false;
 };
 
@@ -87,6 +89,7 @@ MarkView classify(const RoundMark& mark) {
   if (mark.tagged) {
     view.kind = static_cast<RoundNote>(mark.tag.kind);
     view.round = mark.tag.round;
+    view.a = mark.tag.a;
     if (view.kind == RoundNote::kDecide) {
       view.k_all = static_cast<int>(mark.tag.a);
     }
@@ -109,6 +112,11 @@ MarkView classify(const RoundMark& mark) {
     view.recognized = true;
   } else if (fields[0] == "cut") {
     view.kind = RoundNote::kCut;
+    for (const std::string& field : fields) {
+      if (support::starts_with(field, "k=")) {
+        view.a = std::stoi(field.substr(2));
+      }
+    }
     view.recognized = true;
   } else if (fields[0] == "wave_done") {
     view.kind = RoundNote::kWaveDone;
@@ -202,6 +210,155 @@ derive_round_census(const std::vector<RoundMark>& marks) {
   return {std::move(rounds), std::move(index)};
 }
 
+/// Flight-recorder ring: one convergence row per round, diffed off the
+/// cumulative meters the marks carry. A round closes at the next round's
+/// start mark or the terminate mark; a round left open (wedged run, or the
+/// annotation ring evicting the closer) closes at its last surviving mark.
+std::vector<sim::RoundTelemetry> derive_round_telemetry(
+    const std::vector<RoundMark>& marks) {
+  std::vector<sim::RoundTelemetry> rounds;
+  sim::RoundTelemetry current;
+  std::uint64_t msg_base = 0;
+  std::uint64_t bits_base = 0;
+  bool in_round = false;
+  auto close = [&](const RoundMark& mark) {
+    if (!in_round) return;
+    current.messages = mark.total_messages - msg_base;
+    current.bits = mark.total_bits - bits_base;
+    current.causal_depth = mark.max_causal_depth;
+    current.in_flight_peak = std::max(current.in_flight_peak, mark.in_flight);
+    current.time_end = mark.time;
+    rounds.push_back(current);
+    in_round = false;
+  };
+  const RoundMark* last_seen = nullptr;
+  for (const RoundMark& mark : marks) {
+    const MarkView view = classify(mark);
+    if (!view.recognized) continue;
+    if (view.kind == RoundNote::kRoundStart) {
+      close(mark);
+      current = sim::RoundTelemetry{};
+      current.round = view.round;
+      current.time_start = mark.time;
+      current.in_flight_peak = mark.in_flight;
+      msg_base = mark.total_messages;
+      bits_base = mark.total_bits;
+      in_round = true;
+      last_seen = &mark;
+      continue;
+    }
+    last_seen = &mark;
+    if (!in_round) continue;  // ring evicted this round's start mark
+    current.in_flight_peak = std::max(current.in_flight_peak, mark.in_flight);
+    switch (view.kind) {
+      case RoundNote::kDecide:
+        current.k = view.k_all;
+        break;
+      case RoundNote::kCut:
+        // Cutting the k tree edges of the target leaves k neighbor
+        // fragments plus the target itself.
+        current.fragments = view.a + 1;
+        break;
+      case RoundNote::kWaveDone:
+      case RoundNote::kSubImprove:
+        ++current.waves;
+        if (view.kind == RoundNote::kSubImprove) current.improved = true;
+        break;
+      case RoundNote::kImprove:
+        current.improved = true;
+        break;
+      case RoundNote::kTerminate:
+        close(mark);
+        break;
+      case RoundNote::kRoundStart:
+        break;  // handled above
+    }
+  }
+  if (in_round && last_seen != nullptr) close(*last_seen);
+  return rounds;
+}
+
+/// Phase in progress after a given checkpoint kind — the wedge report's
+/// "where progress stopped" label.
+const char* phase_after(RoundNote kind) {
+  switch (kind) {
+    case RoundNote::kRoundStart: return "search";
+    case RoundNote::kDecide: return "move";
+    case RoundNote::kCut: return "wave";
+    case RoundNote::kWaveDone: return "choose";
+    case RoundNote::kImprove:
+    case RoundNote::kSubImprove: return "improve";
+    case RoundNote::kTerminate: return "terminated";
+  }
+  return "none";
+}
+
+/// Wedge forensics: snapshot the settled post-run state (queue drained or
+/// discarded) into result.wedge. Assert-free for the same reason
+/// evaluate_adverse_run is — forensics must not depend on check level.
+template <typename SimT>
+void build_wedge_report(const SimT& simulation, bool time_capped,
+                        RunResult& result) {
+  sim::WedgeReport& report = result.wedge;
+  report.captured = true;
+  report.time_capped = time_capped;
+  const std::size_t n = simulation.node_count();
+  report.nodes = n;
+  std::uint64_t roles[4] = {0, 0, 0, 0};  // idle, root, sub_root, member
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    if (simulation.crashed(static_cast<sim::NodeId>(v)) || node.crashed()) {
+      ++report.crashed;
+      continue;
+    }
+    if (node.parent() == sim::kNoNode) {
+      ++report.live_root_count;
+      if (report.live_roots.size() < sim::WedgeReport::kMaxLiveRoots) {
+        report.live_roots.push_back(static_cast<sim::NodeId>(v));
+      }
+    }
+    if (node.done()) {
+      ++report.done;
+      continue;
+    }
+    ++report.live_undone;
+    const std::string_view role = node.role_name();
+    if (role == "idle") ++roles[0];
+    else if (role == "root") ++roles[1];
+    else if (role == "sub_root") ++roles[2];
+    else ++roles[3];
+  }
+  auto put = [&](const char* label, std::uint64_t count) {
+    if (count != 0) report.state_census.emplace_back(label, count);
+  };
+  put("crashed", report.crashed);
+  put("done", report.done);
+  put("idle", roles[0]);
+  put("root", roles[1]);
+  put("sub_root", roles[2]);
+  put("member", roles[3]);
+  // In-flight population at teardown: the watchdog's per-type discard
+  // census (empty when the queue drained on its own — nothing was in
+  // flight when progress stopped).
+  using Message = typename SimT::Message;
+  const std::vector<std::uint64_t>& census = simulation.discard_census();
+  for (std::size_t t = 0; t < census.size(); ++t) {
+    if (census[t] == 0) continue;
+    report.in_flight_by_type.emplace_back(
+        std::string(sim::kMessageDescriptors<Message>[t].name), census[t]);
+  }
+  report.last_delivery_time = result.metrics.last_delivery_time();
+  for (auto it = result.marks.rbegin(); it != result.marks.rend(); ++it) {
+    const MarkView view = classify(*it);
+    if (!view.recognized) continue;
+    report.last_round = view.round;
+    report.last_phase = phase_after(view.kind);
+    break;
+  }
+  report.discarded_events = result.fault_stats.discarded_events;
+  report.dropped_deliveries = result.fault_stats.dropped_deliveries;
+}
+
 /// Wedge-watchdog outcome evaluation for runs under an active fault plan:
 /// classify what the drained (or time-capped) network left behind instead
 /// of asserting global termination. Deliberately assert-free — the
@@ -275,12 +432,13 @@ void evaluate_adverse_run(const SimT& simulation, const graph::Graph& g,
 /// engines — the determinism suites compare its outputs field by field
 /// across classic, devirtualized, and sharded runs.
 template <typename SimT>
-RunResult finish_run(const SimT& simulation, const graph::Graph& g,
+RunResult finish_run(SimT& simulation, const graph::Graph& g,
                      const graph::RootedTree& initial, const Options& options,
                      bool adversity, bool time_capped,
                      std::uint64_t node_arena_bytes) {
   RunResult result;
   result.metrics = simulation.metrics();
+  result.trace = simulation.take_trace();
   result.initial_degree = static_cast<int>(initial.max_degree());
   result.fault_stats = simulation.fault_stats();
   result.memory = simulation.memory_report();
@@ -329,11 +487,16 @@ RunResult finish_run(const SimT& simulation, const graph::Graph& g,
   result.marks.reserve(result.metrics.annotations().size());
   for (const sim::Annotation& a : result.metrics.annotations()) {
     result.marks.push_back({a.time, a.total_messages, a.max_causal_depth,
-                            annotation_text(a), a.tag, a.tagged});
+                            annotation_text(a), a.tag, a.tagged, a.total_bits,
+                            a.in_flight});
   }
   auto census = derive_round_census(result.marks);
   result.round_stats = std::move(census.first);
   result.round_mark_index = std::move(census.second);
+  result.round_telemetry = derive_round_telemetry(result.marks);
+  if (result.outcome == sim::RunOutcome::kWedged) {
+    build_wedge_report(simulation, time_capped, result);
+  }
   return result;
 }
 
@@ -355,6 +518,36 @@ const RoundStats* RunResult::stats_of_round(std::uint32_t round) const {
       [](const RoundStats& s, std::uint32_t r) { return s.round < r; });
   if (it == round_stats.end() || it->round != round) return nullptr;
   return &*it;
+}
+
+std::vector<sim::TimelinePhase> round_phases(const RunResult& result) {
+  std::vector<sim::TimelinePhase> phases;
+  const char* open_name = nullptr;
+  sim::Time open_at = 0;
+  auto advance = [&](const char* name, const RoundMark& mark) {
+    if (open_name != nullptr) phases.push_back({open_name, open_at, mark.time});
+    open_name = name;
+    open_at = mark.time;
+  };
+  for (const RoundMark& mark : result.marks) {
+    const MarkView view = classify(mark);
+    if (!view.recognized) continue;
+    switch (view.kind) {
+      case RoundNote::kRoundStart: advance("search", mark); break;
+      case RoundNote::kDecide: advance("move", mark); break;
+      case RoundNote::kCut: advance("wave", mark); break;
+      case RoundNote::kWaveDone: advance("choose", mark); break;
+      case RoundNote::kImprove:
+      case RoundNote::kSubImprove:
+        break;  // detail inside the wave/choose spans
+      case RoundNote::kTerminate: advance(nullptr, mark); break;
+    }
+  }
+  // A phase left open (wedged run) ends where the mark stream does.
+  if (open_name != nullptr && !result.marks.empty()) {
+    phases.push_back({open_name, open_at, result.marks.back().time});
+  }
+  return phases;
 }
 
 RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,

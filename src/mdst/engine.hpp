@@ -22,6 +22,8 @@
 #include "runtime/memory_report.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/simulator.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/trace.hpp"
 
 namespace mdst::core {
 
@@ -37,6 +39,10 @@ struct RoundMark {
   std::string label;
   sim::AnnotationTag tag;
   bool tagged = false;
+  /// Cumulative bit meter and queue occupancy at the checkpoint (carried
+  /// through from sim::Annotation; inputs of the per-round telemetry ring).
+  std::uint64_t total_bits = 0;
+  std::uint64_t in_flight = 0;
 };
 
 /// Per-round phase message census derived from the annotations; used by the
@@ -88,6 +94,18 @@ struct RunResult {
   /// is one contiguous block). Consumers that used to rescan `marks` per
   /// round look a round up here instead.
   std::vector<RoundMarkSpan> round_mark_index;
+  /// Flight-recorder ring: one convergence row per round (k, fragments,
+  /// waves, message/bit deltas, causal-depth and in-flight watermarks),
+  /// derived from `marks` in the same post-run pass. Bounded exactly like
+  /// the annotation ring: under SimConfig::annotation_cap only the most
+  /// recent rounds survive.
+  std::vector<sim::RoundTelemetry> round_telemetry;
+  /// Wedge forensics snapshot; `wedge.captured` is true iff
+  /// outcome == kWedged (docs/observability.md has the anatomy).
+  sim::WedgeReport wedge;
+  /// The recorded message trace, moved out of the simulator at run end
+  /// (empty unless SimConfig::trace_cap > 0). Input of the timeline export.
+  sim::Trace trace;
 
   /// The contiguous block of marks belonging to `round` (empty span when
   /// the round emitted none / does not exist). O(log rounds).
@@ -102,5 +120,11 @@ struct RunResult {
 RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                    const Options& options = {},
                    const sim::SimConfig& sim_config = {});
+
+/// Protocol phase spans for the timeline export, derived from the round
+/// marks: search = [round start, decide], move = [decide, cut],
+/// wave = [cut, wave_done], choose = [wave_done, round end]. Phases whose
+/// closing mark never arrived (wedged runs) end at the last mark seen.
+std::vector<sim::TimelinePhase> round_phases(const RunResult& result);
 
 }  // namespace mdst::core

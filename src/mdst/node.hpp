@@ -122,6 +122,18 @@ class alignas(64) BasicNode {
   void crash() { crashed_ = true; }
   bool crashed() const { return crashed_; }
 
+  /// Human label for the node's current round role — wedge forensics input
+  /// (the per-node protocol-state census in sim::WedgeReport).
+  const char* role_name() const {
+    switch (role_) {
+      case Role::kIdle: return "idle";
+      case Role::kRoot: return "root";
+      case Role::kSubRoot: return "sub_root";
+      case Role::kMember: return "member";
+    }
+    return "idle";
+  }
+
  private:
   // ---- identity of this node's role within the current round.
   enum class Role : std::uint8_t { kIdle, kRoot, kSubRoot, kMember };

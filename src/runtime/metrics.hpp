@@ -68,6 +68,13 @@ struct Annotation {
   std::string label;
   AnnotationTag tag;
   bool tagged = false;
+  /// Flight-recorder fields (runtime/telemetry.hpp): the cumulative bit
+  /// total at this checkpoint and the queue occupancy (messages sent but
+  /// not yet delivered or dropped) the engine observed when recording it.
+  /// Both are computed at annotate time — per round, not per delivery — so
+  /// they cost the hot path nothing; legacy recording paths leave them 0.
+  std::uint64_t total_bits = 0;
+  std::uint64_t in_flight = 0;
 };
 
 class Metrics {
@@ -136,16 +143,22 @@ class Metrics {
     note_causal_depth(causal_depth);
   }
 
-  void annotate(Time now, std::string label) {
+  /// `in_flight` is the engine's queue-occupancy reading at the checkpoint
+  /// (sent − delivered − dropped); callers without one (mocks, the legacy
+  /// reference simulator) record 0.
+  void annotate(Time now, std::string label, std::uint64_t in_flight = 0) {
     push_annotation({now, total_messages(), max_causal_depth_,
-                     std::move(label), AnnotationTag{}, false});
+                     std::move(label), AnnotationTag{}, false, total_bits(),
+                     in_flight});
   }
 
   /// Tagged checkpoint: no string is built or copied — the only cost is
-  /// the (amortized) vector push and the ≤16-term total_messages() sum.
-  void annotate_tag(Time now, const AnnotationTag& tag) {
+  /// the (amortized) vector push and the ≤16-term total_messages() /
+  /// total_bits() sums.
+  void annotate_tag(Time now, const AnnotationTag& tag,
+                    std::uint64_t in_flight = 0) {
     push_annotation({now, total_messages(), max_causal_depth_,
-                     std::string{}, tag, true});
+                     std::string{}, tag, true, total_bits(), in_flight});
   }
 
   /// Bounded mode (SimConfig::annotation_cap): keep only the most recent

@@ -1,0 +1,139 @@
+// Compile-time-gated section profiler for the simulator and campaign hot
+// paths.
+//
+// Default builds compile every probe to nothing: MDST_PROFILE_SCOPE expands
+// to ((void)0), the Section enum stays for API stability, and the report
+// helpers return empty data — so the delivery loop, the lane loop, and the
+// trial runner carry zero instrumentation cost and their output stays
+// byte-identical (the observability PR's hard contract). Configuring with
+// -DMDST_PROFILE=ON defines MDST_PROFILE=1 for the whole build and turns
+// each probe into a steady_clock scope accumulating (calls, ns) into a
+// per-section relaxed atomic pair — cheap enough to leave on for a whole
+// campaign, honest enough for "where does the wall-clock go" tables
+// (docs/observability.md "Profile sections").
+//
+// Sections are global, not per-simulator: the campaign runner's workers and
+// the sharded engine's lanes all fold into the same totals, which is what
+// the `mdst_lab run --profile` table wants — aggregate time per section
+// across the whole invocation. Counters are process-wide and monotone;
+// profile_reset() rebaselines between phases when needed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#if defined(MDST_PROFILE) && MDST_PROFILE
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace mdst::sim {
+
+/// The instrumented sections. Keep in sync with section_name().
+enum class Section : std::size_t {
+  kQueuePop = 0,   // classic engine: calendar-queue pop + clock advance
+  kDispatch,       // classic engine: protocol handler execution
+  kMetering,       // classic engine: account_delivery (metrics + trace)
+  kLaneBusy,       // sharded engine: processing one window's events
+  kBarrierWait,    // sharded engine: parked at window barriers
+  kTrialSetup,     // campaign runner: instance + tree construction
+  kTrialRun,       // campaign runner: the simulation itself
+  kCount,
+};
+
+constexpr std::size_t kSectionCount = static_cast<std::size_t>(Section::kCount);
+
+inline const char* section_name(Section s) {
+  switch (s) {
+    case Section::kQueuePop: return "queue_pop";
+    case Section::kDispatch: return "dispatch";
+    case Section::kMetering: return "metering";
+    case Section::kLaneBusy: return "lane_busy";
+    case Section::kBarrierWait: return "barrier_wait";
+    case Section::kTrialSetup: return "trial_setup";
+    case Section::kTrialRun: return "trial_run";
+    case Section::kCount: break;
+  }
+  return "?";
+}
+
+/// One section's accumulated totals, as read by profile_snapshot().
+struct SectionStats {
+  std::uint64_t calls = 0;
+  std::uint64_t ns = 0;
+};
+
+#if defined(MDST_PROFILE) && MDST_PROFILE
+
+inline constexpr bool profile_enabled() { return true; }
+
+namespace profile_detail {
+struct SectionCell {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> ns{0};
+};
+inline std::array<SectionCell, kSectionCount>& cells() {
+  static std::array<SectionCell, kSectionCount> storage;
+  return storage;
+}
+}  // namespace profile_detail
+
+inline void profile_reset() {
+  for (auto& cell : profile_detail::cells()) {
+    cell.calls.store(0, std::memory_order_relaxed);
+    cell.ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+inline std::array<SectionStats, kSectionCount> profile_snapshot() {
+  std::array<SectionStats, kSectionCount> out;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    out[i].calls =
+        profile_detail::cells()[i].calls.load(std::memory_order_relaxed);
+    out[i].ns = profile_detail::cells()[i].ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+/// RAII probe: accumulates the scope's wall time into its section.
+class ScopedSection {
+ public:
+  explicit ScopedSection(Section section)
+      : section_(static_cast<std::size_t>(section)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedSection() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    auto& cell = profile_detail::cells()[section_];
+    cell.calls.fetch_add(1, std::memory_order_relaxed);
+    cell.ns.fetch_add(static_cast<std::uint64_t>(ns),
+                      std::memory_order_relaxed);
+  }
+  ScopedSection(const ScopedSection&) = delete;
+  ScopedSection& operator=(const ScopedSection&) = delete;
+
+ private:
+  std::size_t section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define MDST_PROFILE_CAT2(a, b) a##b
+#define MDST_PROFILE_CAT(a, b) MDST_PROFILE_CAT2(a, b)
+#define MDST_PROFILE_SCOPE(section)                     \
+  ::mdst::sim::ScopedSection MDST_PROFILE_CAT(          \
+      mdst_profile_scope_, __COUNTER__) { section }
+
+#else  // profiling compiled out
+
+inline constexpr bool profile_enabled() { return false; }
+inline void profile_reset() {}
+inline std::array<SectionStats, kSectionCount> profile_snapshot() {
+  return {};
+}
+
+#define MDST_PROFILE_SCOPE(section) ((void)0)
+
+#endif
+
+}  // namespace mdst::sim

@@ -74,6 +74,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/node_env.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/shard_traits.hpp"
 #include "runtime/sim_core.hpp"
 #include "runtime/trace.hpp"
@@ -159,12 +160,22 @@ class ShardedSimCore {
   };
 
   /// Running per-window prefix over the sorted entries: how many were
-  /// actually delivered (starts and crash-drops excluded) and the max
-  /// delivered causal depth — the inputs for reconstructing annotation
-  /// snapshots in canonical order.
+  /// actually delivered (starts and crash-drops excluded), the bits those
+  /// deliveries carried, how many were dropped on a crashed destination,
+  /// and the max delivered causal depth — the inputs for reconstructing
+  /// annotation snapshots (message, bit, and in-flight meters) in canonical
+  /// order. `delivered` is window-relative (added to the published base);
+  /// bits/dropped/sent are the lane's ABSOLUTE cumulative counters, with
+  /// `sent` taken after this entry's handler returned (handlers send
+  /// mid-window, so a within-window send prefix cannot be assembled before
+  /// processing — the emitting lane substitutes its own mid-handler value,
+  /// see PendingAnnotation::lane_sent_at_emit).
   struct WindowPrefix {
     std::uint64_t delivered = 0;
     std::uint64_t causal_depth = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t sent = 0;
   };
 
   /// An annotation emitted by a handler this window, waiting for the
@@ -176,6 +187,9 @@ class ShardedSimCore {
     std::string label;
     AnnotationTag tag;
     bool tagged = false;
+    /// This lane's absolute send counter at the emit instant — mid-handler
+    /// exact, where the prefix array only knows post-handler totals.
+    std::uint64_t lane_sent_at_emit = 0;
   };
 
   struct FinalizedAnnotation {
@@ -200,6 +214,8 @@ class ShardedSimCore {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t causal_depth = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t dropped = 0;
   };
 
   struct alignas(64) Lane {
@@ -215,7 +231,11 @@ class ShardedSimCore {
     Time now = 0;
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;  // cumulative accounted deliveries
+    std::uint64_t bits = 0;       // cumulative delivered bits (meter formula)
     FaultStats fault_stats;
+    // Per-type census of events dropped at time-cap teardown (variant
+    // order; empty unless discard_lane ran) — wedge forensics input.
+    std::vector<std::uint64_t> discard_census;
     // Current window (valid from extraction until the next extraction —
     // annotation finalization on *other* lanes reads them in between).
     std::vector<WindowEntry> win_entries;
@@ -420,12 +440,13 @@ class ShardedSimCore {
 
   void shard_annotate(Lane& lane, std::string label) {
     lane.pending.push_back({lane.current_key, lane.emission++, lane.now,
-                            std::move(label), AnnotationTag{}, false});
+                            std::move(label), AnnotationTag{}, false,
+                            lane.sent});
   }
   void shard_annotate_tag(Lane& lane, const AnnotationTag& tag) {
     lane.pending.push_back(
         {lane.current_key, lane.emission++, lane.now, std::string{}, tag,
-         true});
+         true, lane.sent});
   }
 
   // --- window coordination (called by the lane loop) -----------------------
@@ -468,18 +489,36 @@ class ShardedSimCore {
     for (PendingAnnotation& p : lane.pending) {
       std::uint64_t total = base_delivered;
       std::uint64_t depth = base_depth;
+      std::uint64_t bits = 0;
+      std::uint64_t sent = 0;
+      std::uint64_t dropped = 0;
       for (std::size_t k = 0; k < shard_count_; ++k) {
         const Lane& other = *lanes_[k];
         const std::size_t at = upper_bound_key(other.win_entries, p.key);
         if (at > 0) {
-          total += other.win_prefix[at - 1].delivered;
-          depth = std::max(depth, other.win_prefix[at - 1].causal_depth);
+          const WindowPrefix& pf = other.win_prefix[at - 1];
+          total += pf.delivered;
+          depth = std::max(depth, pf.causal_depth);
+          bits += pf.bits;
+          dropped += pf.dropped;
+          // The emitting lane's prefix holds the post-handler send count;
+          // the mid-handler value captured at the emit instant is exact.
+          sent += k == lane.index ? p.lane_sent_at_emit : pf.sent;
+        } else {
+          const Published& prev = pub_[prev_parity][k];
+          bits += prev.bits;
+          dropped += prev.dropped;
+          sent += k == lane.index ? p.lane_sent_at_emit : prev.sent;
         }
       }
+      // Same clamp as SimCore::in_flight(): dropped counts suppressed start
+      // events too, which are not sends.
+      const std::uint64_t gone = total + dropped;
+      const std::uint64_t in_flight = sent > gone ? sent - gone : 0;
       lane.finalized.push_back(
           {p.key, p.emission,
            Annotation{p.time, total, depth, std::move(p.label), p.tag,
-                      p.tagged}});
+                      p.tagged, bits, in_flight}});
     }
     lane.pending.clear();
   }
@@ -490,6 +529,8 @@ class ShardedSimCore {
     slot.sent = lane.sent;
     slot.delivered = lane.delivered;
     slot.causal_depth = lane.metrics.max_causal_depth();
+    slot.bits = lane.bits;
+    slot.dropped = lane.fault_stats.dropped_deliveries;
   }
 
   /// Every lane computes the identical decision from the published slots.
@@ -564,6 +605,10 @@ class ShardedSimCore {
       lane.metrics.count_delivery(type_index, at.deliver);
     }
     ++lane.delivered;
+    // Running bit meter, matching Metrics::total_bits() per delivery (for
+    // static-id types ev.ids was stamped from ids_carried(), which equals
+    // the descriptor constant, so the formula is uniform).
+    lane.bits += Metrics::kTagBits + ev.base.ids * lane.metrics.id_bits();
     if constexpr (TraceOn) {
       ++lane.trace_attempted;
       if (lane.trace_rows.size() < trace_cap_) {
@@ -661,8 +706,29 @@ class ShardedSimCore {
       merged_fault_stats_.dropped_deliveries += s.dropped_deliveries;
       merged_fault_stats_.discarded_events += s.discarded_events;
       final_now_ = std::max(final_now_, lanes_[k]->now);
+      // Time-cap discard census (wedge forensics): sum the per-lane
+      // per-type counts; stays empty when no lane discarded anything.
+      if (!lanes_[k]->discard_census.empty()) {
+        if (discard_census_.empty()) {
+          discard_census_.assign(lanes_[k]->discard_census.size(), 0);
+        }
+        for (std::size_t t = 0; t < discard_census_.size(); ++t) {
+          discard_census_[t] += lanes_[k]->discard_census[t];
+        }
+      }
     }
   }
+
+  /// Per-message-type census of events discarded at time-cap teardown
+  /// (variant order; empty when the run was not capped). Valid after
+  /// merge_lanes, like the other merged views.
+  const std::vector<std::uint64_t>& discard_census() const {
+    return discard_census_;
+  }
+
+  /// Move the merged trace out (run end only; same contract as
+  /// SimCore::take_trace).
+  Trace take_trace() { return std::move(merged_trace_); }
 
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
@@ -812,6 +878,7 @@ class ShardedSimCore {
   Metrics merged_metrics_;
   Trace merged_trace_;
   FaultStats merged_fault_stats_;
+  std::vector<std::uint64_t> discard_census_;
   Time final_now_ = 0;
 };
 
@@ -915,6 +982,15 @@ class ShardedSimulator {
   }
   FaultStats fault_stats() const { return core_.fault_stats(); }
 
+  /// Per-message-type census of events discarded by the time cap (variant
+  /// order; empty when the run completed normally).
+  const std::vector<std::uint64_t>& discard_census() const {
+    return core_.discard_census();
+  }
+
+  /// Move the merged trace out (run end only).
+  sim::Trace take_trace() { return core_.take_trace(); }
+
   /// True when every worker lane's thread-local payload pool (shard_traits
   /// pooled_in_use hook) returned to its thread-start occupancy. Trivially
   /// true for message sets without pooled payloads.
@@ -936,6 +1012,17 @@ class ShardedSimulator {
     if constexpr (requires(const Message& m) { P::dispose(m); }) {
       if (ev.kind == EventKind::kMessage) P::dispose(ev.payload);
     }
+  }
+
+  /// Stamp the just-pushed prefix entry with the lane's absolute counters.
+  /// bits and dropped are settled before the handler runs (handlers send,
+  /// they never deliver or drop); sent is read after the handler returned,
+  /// per the WindowPrefix contract.
+  void seal_prefix(Lane& lane) {
+    typename Core::WindowPrefix& prefix = lane.win_prefix.back();
+    prefix.bits = lane.bits;
+    prefix.dropped = lane.fault_stats.dropped_deliveries;
+    prefix.sent = lane.sent;
   }
 
   bool run_windows(Time deadline) {
@@ -1007,7 +1094,10 @@ class ShardedSimulator {
       core_.drain_inboxes(lane);
       core_.finalize_pending(lane, 1 - parity);
       core_.publish(lane, parity);
-      if (!core_.barrier_wait(abort)) return false;  // barrier A
+      {
+        MDST_PROFILE_SCOPE(Section::kBarrierWait);
+        if (!core_.barrier_wait(abort)) return false;  // barrier A
+      }
       const typename Core::Decision decision = core_.decide(parity);
       if (decision.total_sent >= core_.config().max_messages) [[unlikely]] {
         core_.fail_message_cap();
@@ -1017,9 +1107,15 @@ class ShardedSimulator {
         discard_lane(lane);
         return true;
       }
-      core_.extract_window(lane, decision.window_base);
-      process_window<TraceOn>(lane);
-      if (!core_.barrier_wait(abort)) return false;  // barrier B
+      {
+        MDST_PROFILE_SCOPE(Section::kLaneBusy);
+        core_.extract_window(lane, decision.window_base);
+        process_window<TraceOn>(lane);
+      }
+      {
+        MDST_PROFILE_SCOPE(Section::kBarrierWait);
+        if (!core_.barrier_wait(abort)) return false;  // barrier B
+      }
       ++window;
     }
   }
@@ -1036,6 +1132,7 @@ class ShardedSimulator {
           core_.crashed_at(ev.base.to, entry.deliver)) [[unlikely]] {
         lane.win_prefix.push_back(previous);
         ++lane.fault_stats.dropped_deliveries;
+        seal_prefix(lane);
         dispose_payload(ev.base);
         Node& casualty = nodes_[static_cast<std::size_t>(ev.base.to)];
         if constexpr (requires { casualty.crash(); }) casualty.crash();
@@ -1055,6 +1152,7 @@ class ShardedSimulator {
              std::max(previous.causal_depth, ev.base.causal_depth)});
         node.on_message(ctx, ev.base.from, ev.base.payload);
       }
+      seal_prefix(lane);
       core_.release_event(lane, entry.ref);
     }
   }
@@ -1063,8 +1161,12 @@ class ShardedSimulator {
   /// reclaiming pooled payload state into this lane's own pool (inbound
   /// events were re-homed at drain time, so the pool stays balanced).
   void discard_lane(Lane& lane) {
+    lane.discard_census.assign(std::variant_size_v<Message>, 0);
     while (!lane.queue.empty()) {
       const auto popped = lane.queue.pop();
+      if (popped.payload->base.kind == EventKind::kMessage) {
+        ++lane.discard_census[popped.payload->base.payload.index()];
+      }
       dispose_payload(popped.payload->base);
       ++lane.fault_stats.discarded_events;
       core_.release_event(lane, popped.ref);

@@ -318,9 +318,22 @@ class SimCore {
     ev.send_time = now_;
   }
 
-  void annotate(const std::string& label) { metrics_.annotate(now_, label); }
+  void annotate(const std::string& label) {
+    metrics_.annotate(now_, label, in_flight());
+  }
   void annotate_tag(const AnnotationTag& tag) {
-    metrics_.annotate_tag(now_, tag);
+    metrics_.annotate_tag(now_, tag, in_flight());
+  }
+
+  /// Queue occupancy at this instant: messages sent but not yet delivered
+  /// or dropped. Computed only at annotation checkpoints (cold), from
+  /// counters the hot path maintains anyway. Start events live outside the
+  /// send/deliver meters, so they cancel out of the difference.
+  std::uint64_t in_flight() const {
+    const std::uint64_t gone =
+        metrics_.total_messages() +
+        (fault_ ? fault_->stats().dropped_deliveries : 0);
+    return sent_ > gone ? sent_ - gone : 0;
   }
 
   // --- delivery-loop support (used by Simulator<P>::step) -----------------
@@ -388,6 +401,11 @@ class SimCore {
   }
 
   bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Move the recorded trace out (run end only — engine-level consumers
+  /// hand it to RunResult so the timeline exporter can replay it without
+  /// keeping the whole simulator alive).
+  Trace take_trace() { return std::move(trace_); }
 
   // --- adversity support (runtime/fault.hpp) ------------------------------
 

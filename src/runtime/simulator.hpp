@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/sim_core.hpp"
 #include "support/assert.hpp"
 
@@ -119,10 +120,16 @@ class Simulator {
   /// Watchdog support: drop every still-queued event without running a
   /// handler — used when a time cap cuts a run short, so pooled payload
   /// state (P::dispose) is still reclaimed. Returns the discard count.
+  /// Discarded message payloads are counted by type into the forensics
+  /// census (wedge reports name the in-flight population at teardown).
   std::uint64_t discard_pending() {
+    discard_census_.assign(std::variant_size_v<Message>, 0);
     std::uint64_t discarded = 0;
     while (!core_.idle()) {
       const auto delivery = core_.pop_event();
+      if (delivery.event->kind == EventKind::kMessage) {
+        ++discard_census_[delivery.event->payload.index()];
+      }
       dispose_payload(*delivery.event);
       core_.note_discarded_event();
       core_.release(delivery.ref);
@@ -130,6 +137,15 @@ class Simulator {
     }
     return discarded;
   }
+
+  /// Per-message-type census of events discarded by discard_pending()
+  /// (variant order; empty when no discard happened).
+  const std::vector<std::uint64_t>& discard_census() const {
+    return discard_census_;
+  }
+
+  /// Move the recorded trace out (run end only; see SimCore::take_trace).
+  Trace take_trace() { return core_.take_trace(); }
 
  private:
   /// Reclaim pooled payload state for an event dropped instead of
@@ -144,7 +160,10 @@ class Simulator {
   template <bool TraceOn>
   bool step_impl() {
     if (core_.idle()) return false;
-    const auto delivery = core_.pop_event();
+    const auto delivery = [&] {
+      MDST_PROFILE_SCOPE(Section::kQueuePop);
+      return core_.pop_event();
+    }();
     Event<Message>& ev = *delivery.event;
     // The delivery-side plan-active branch: events addressed to a crashed
     // node are dropped (crash-stop semantics — a crashed node neither
@@ -161,9 +180,14 @@ class Simulator {
     Ctx ctx(&core_, ev.to, ev.from_index);
     Node& node = nodes_[static_cast<std::size_t>(ev.to)];
     if (ev.kind == EventKind::kStart) {
+      MDST_PROFILE_SCOPE(Section::kDispatch);
       node.on_start(ctx);
     } else {
-      core_.template account_delivery<TraceOn>(ev);
+      {
+        MDST_PROFILE_SCOPE(Section::kMetering);
+        core_.template account_delivery<TraceOn>(ev);
+      }
+      MDST_PROFILE_SCOPE(Section::kDispatch);
       node.on_message(ctx, ev.from, ev.payload);
     }
     core_.release(delivery.ref);
@@ -172,6 +196,7 @@ class Simulator {
 
   SimCore<Message> core_;
   std::vector<Node> nodes_;
+  std::vector<std::uint64_t> discard_census_;
 };
 
 }  // namespace mdst::sim

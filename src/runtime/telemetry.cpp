@@ -1,0 +1,236 @@
+#include "runtime/telemetry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdst::sim {
+namespace {
+
+std::string json_escape(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+/// One census list as a JSON object, insertion order preserved (the
+/// producers emit labels in a fixed protocol-defined order).
+void write_census(std::ostream& out, const char* indent,
+                  const std::vector<std::pair<std::string, std::uint64_t>>&
+                      census) {
+  out << "{";
+  bool first = true;
+  for (const auto& [label, count] : census) {
+    if (!first) out << ",";
+    out << "\n" << indent << "  \"" << json_escape(label) << "\": " << count;
+    first = false;
+  }
+  if (!first) out << "\n" << indent;
+  out << "}";
+}
+
+}  // namespace
+
+void write_wedge_report_json(std::ostream& out, const WedgeReport& report) {
+  const auto b = [](bool v) { return v ? "true" : "false"; };
+  out << "{\n";
+  out << "  \"captured\": " << b(report.captured) << ",\n";
+  out << "  \"time_capped\": " << b(report.time_capped) << ",\n";
+  out << "  \"nodes\": " << report.nodes << ",\n";
+  out << "  \"done\": " << report.done << ",\n";
+  out << "  \"crashed\": " << report.crashed << ",\n";
+  out << "  \"live_undone\": " << report.live_undone << ",\n";
+  out << "  \"live_root_count\": " << report.live_root_count << ",\n";
+  out << "  \"live_roots\": [";
+  for (std::size_t i = 0; i < report.live_roots.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << report.live_roots[i];
+  }
+  out << "],\n";
+  out << "  \"last_delivery_time\": " << report.last_delivery_time << ",\n";
+  out << "  \"last_round\": " << report.last_round << ",\n";
+  out << "  \"last_phase\": \"" << json_escape(report.last_phase) << "\",\n";
+  out << "  \"discarded_events\": " << report.discarded_events << ",\n";
+  out << "  \"dropped_deliveries\": " << report.dropped_deliveries << ",\n";
+  out << "  \"state_census\": ";
+  write_census(out, "  ", report.state_census);
+  out << ",\n";
+  out << "  \"in_flight_by_type\": ";
+  write_census(out, "  ", report.in_flight_by_type);
+  out << "\n}\n";
+}
+
+void write_rounds_csv(std::ostream& out,
+                      const std::vector<RoundTelemetry>& rounds) {
+  out << "round,k,fragments,waves,improved,messages,bits,causal_depth,"
+         "in_flight_peak,time_start,time_end\n";
+  for (const RoundTelemetry& r : rounds) {
+    out << r.round << ',' << r.k << ',' << r.fragments << ',' << r.waves
+        << ',' << (r.improved ? 1 : 0) << ',' << r.messages << ',' << r.bits
+        << ',' << r.causal_depth << ',' << r.in_flight_peak << ','
+        << r.time_start << ',' << r.time_end << '\n';
+  }
+}
+
+void write_rounds_jsonl(std::ostream& out,
+                        const std::vector<RoundTelemetry>& rounds) {
+  for (const RoundTelemetry& r : rounds) {
+    out << "{\"round\":" << r.round << ",\"k\":" << r.k
+        << ",\"fragments\":" << r.fragments << ",\"waves\":" << r.waves
+        << ",\"improved\":" << (r.improved ? "true" : "false")
+        << ",\"messages\":" << r.messages << ",\"bits\":" << r.bits
+        << ",\"causal_depth\":" << r.causal_depth
+        << ",\"in_flight_peak\":" << r.in_flight_peak
+        << ",\"time_start\":" << r.time_start
+        << ",\"time_end\":" << r.time_end << "}\n";
+  }
+}
+
+namespace {
+
+/// One trace event, streamed without building a DOM. `args` is pre-rendered
+/// JSON (or empty).
+void write_event(std::ostream& out, bool& first, std::string_view name,
+                 char ph, std::uint64_t pid, std::uint64_t tid, Time ts,
+                 Time dur, const std::string& args) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"" << json_escape(name) << "\", \"ph\": \"" << ph
+      << "\", \"pid\": " << pid << ", \"tid\": " << tid << ", \"ts\": " << ts;
+  if (ph == 'X') out << ", \"dur\": " << dur;
+  if (!args.empty()) out << ", \"args\": " << args;
+  out << "}";
+}
+
+void write_name_meta(std::ostream& out, bool& first, const char* what,
+                     std::uint64_t pid, std::uint64_t tid,
+                     const std::string& name) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\": \"" << what << "\", \"ph\": \"M\", \"pid\": " << pid
+      << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+      << json_escape(name) << "\"}}";
+}
+
+constexpr std::uint64_t kPhasePid = 0;
+constexpr std::uint64_t kNetworkPid = 1;
+constexpr std::uint64_t kLanePid = 2;
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const std::vector<TimelinePhase>& phases,
+                        const ChromeTraceOptions& options) {
+  const std::vector<TraceRow>& rows = trace.rows();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+
+  // Track naming. Only node tracks that actually appear get a label row —
+  // a million-node trial must not emit a million metadata events.
+  write_name_meta(out, first, "process_name", kPhasePid, 0, "protocol phases");
+  write_name_meta(out, first, "process_name", kNetworkPid, 0, "network");
+  std::vector<NodeId> seen_nodes;
+  for (const TraceRow& row : rows) seen_nodes.push_back(row.to);
+  std::sort(seen_nodes.begin(), seen_nodes.end());
+  seen_nodes.erase(std::unique(seen_nodes.begin(), seen_nodes.end()),
+                   seen_nodes.end());
+  for (const NodeId v : seen_nodes) {
+    write_name_meta(out, first, "thread_name", kNetworkPid,
+                    static_cast<std::uint64_t>(v),
+                    "node " + std::to_string(v));
+  }
+
+  // Protocol phase track (engine-derived round phases).
+  for (const TimelinePhase& phase : phases) {
+    if (phase.end < phase.begin) continue;
+    write_event(out, first, phase.name, 'X', kPhasePid, 0, phase.begin,
+                phase.end - phase.begin, "");
+  }
+
+  // Message deliveries: one complete event per traced row, on the
+  // receiver's track, spanning [send, deliver].
+  for (const TraceRow& row : rows) {
+    const Time dur =
+        row.deliver_time > row.send_time ? row.deliver_time - row.send_time
+                                         : 1;
+    std::string args = "{\"from\": " + std::to_string(row.from) +
+                       ", \"to\": " + std::to_string(row.to) +
+                       ", \"causal_depth\": " +
+                       std::to_string(row.causal_depth) + "}";
+    write_event(out, first, row.type_name, 'X', kNetworkPid,
+                static_cast<std::uint64_t>(row.to), row.send_time, dur, args);
+  }
+
+  // Shard-lane window tracks: reconstruct the conservative window sequence
+  // from the metered deliveries (window base = first delivery at or past
+  // the previous horizon — exact whenever every window delivered at least
+  // one traced message) and show, per lane, which windows it was busy in.
+  if (options.shards > 0 && options.node_count > 0 && !rows.empty()) {
+    const std::size_t lanes =
+        std::min<std::size_t>(options.shards, options.node_count);
+    write_name_meta(out, first, "process_name", kLanePid, 0, "shard lanes");
+    for (std::size_t k = 0; k < lanes; ++k) {
+      write_name_meta(out, first, "thread_name", kLanePid, k,
+                      "lane " + std::to_string(k));
+    }
+    // The engine's contiguous block partition (sharded_sim.hpp).
+    const std::size_t block = options.node_count / lanes;
+    const std::size_t extra = options.node_count % lanes;
+    std::vector<std::size_t> lane_begin(lanes + 1, 0);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      lane_begin[k + 1] = lane_begin[k] + block + (k < extra ? 1 : 0);
+    }
+    const auto owner = [&](NodeId v) {
+      const std::size_t u = static_cast<std::size_t>(v);
+      for (std::size_t k = 0; k < lanes; ++k) {
+        if (u < lane_begin[k + 1]) return k;
+      }
+      return lanes - 1;
+    };
+    std::vector<Time> delivers;
+    delivers.reserve(rows.size());
+    for (const TraceRow& row : rows) delivers.push_back(row.deliver_time);
+    std::sort(delivers.begin(), delivers.end());
+    const Time lookahead = options.lookahead == 0 ? 1 : options.lookahead;
+    std::size_t at = 0;
+    while (at < delivers.size()) {
+      const Time base = delivers[at];
+      const Time horizon = base + lookahead;
+      std::vector<std::uint64_t> per_lane(lanes, 0);
+      for (const TraceRow& row : rows) {
+        if (row.deliver_time >= base && row.deliver_time < horizon) {
+          ++per_lane[owner(row.to)];
+        }
+      }
+      for (std::size_t k = 0; k < lanes; ++k) {
+        if (per_lane[k] == 0) continue;
+        write_event(out, first, "window", 'X', kLanePid, k, base, lookahead,
+                    "{\"deliveries\": " + std::to_string(per_lane[k]) + "}");
+      }
+      while (at < delivers.size() && delivers[at] < horizon) ++at;
+    }
+  }
+
+  out << "\n]}\n";
+}
+
+void write_trace_csv(std::ostream& out, const Trace& trace) {
+  out << "send_time,deliver_time,from,to,type,causal_depth\n";
+  for (const TraceRow& row : trace.rows()) {
+    out << row.send_time << ',' << row.deliver_time << ',' << row.from << ','
+        << row.to << ',' << row.type_name << ',' << row.causal_depth << '\n';
+  }
+}
+
+}  // namespace mdst::sim

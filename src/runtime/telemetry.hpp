@@ -1,0 +1,138 @@
+// Flight-recorder data model: per-round convergence telemetry, timeline
+// (Chrome trace-event) export, and wedge forensics snapshots.
+//
+// This layer is protocol-agnostic and purely post-run: everything here is
+// derived from instruments the engines already keep — the annotation ring
+// (now carrying cumulative bit totals and an in-flight watermark per
+// checkpoint), the capped TraceRow recorder, the fault counters, and the
+// discard census the watchdog teardown paths count. Nothing in this header
+// touches the delivery hot path; recording costs stay where they were
+// (docs/observability.md has the full schema write-up).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "runtime/types.hpp"
+
+namespace mdst::sim {
+
+/// One row of the per-round convergence ring, derived from a round's
+/// contiguous block of annotation checkpoints (the protocol's AnnotationTag
+/// stream). Bounded the same way the annotations are: under
+/// SimConfig::annotation_cap only the most recent rounds survive.
+struct RoundTelemetry {
+  std::uint32_t round = 0;
+  /// Max tree degree the round's root decided on (-1: no decide mark seen).
+  int k = -1;
+  /// Fragments the improvement wave ran over: cutting every tree edge of a
+  /// degree-k target splits the tree into k neighbor fragments plus the
+  /// target itself. 0 for rounds that never cut (terminal rounds).
+  std::int64_t fragments = 0;
+  /// BFS waves launched this round (wave_done + subimprove marks).
+  std::uint32_t waves = 0;
+  bool improved = false;
+  /// Messages delivered during this round (difference of the cumulative
+  /// counter between the round's first and last checkpoint).
+  std::uint64_t messages = 0;
+  /// Bits delivered during this round (same diff over the bit meter).
+  std::uint64_t bits = 0;
+  /// Longest-causal-chain watermark at round end (cumulative, not a diff —
+  /// depth is a max, not a sum).
+  std::uint64_t causal_depth = 0;
+  /// Max queue occupancy observed at this round's checkpoints (messages
+  /// sent but not yet delivered or dropped). Checkpoint-sampled: peaks
+  /// between two checkpoints are not seen.
+  std::uint64_t in_flight_peak = 0;
+  Time time_start = 0;
+  Time time_end = 0;
+
+  friend bool operator==(const RoundTelemetry&,
+                         const RoundTelemetry&) = default;
+};
+
+/// One protocol phase span on the timeline (e.g. round 3's "wave" between
+/// the cut and wave_done checkpoints), engine-derived and handed to the
+/// Chrome exporter as its phase track.
+struct TimelinePhase {
+  std::string name;
+  Time begin = 0;
+  Time end = 0;
+};
+
+/// Wedge forensics snapshot: what the network looked like when the watchdog
+/// classified a run as wedged. Captured by the engine at run end (the event
+/// queue is already drained or discarded, so every field is settled state).
+struct WedgeReport {
+  bool captured = false;
+  bool time_capped = false;
+  std::uint64_t nodes = 0;
+  std::uint64_t done = 0;
+  std::uint64_t crashed = 0;
+  /// Live nodes that never terminated — the wedged population.
+  std::uint64_t live_undone = 0;
+  /// Per-node protocol-state census: (state label, count), label order
+  /// fixed by the protocol (crashed / done / role names).
+  std::vector<std::pair<std::string, std::uint64_t>> state_census;
+  /// Census of events discarded undelivered (the in-flight population at
+  /// teardown), by message type name. Empty when the queue drained.
+  std::vector<std::pair<std::string, std::uint64_t>> in_flight_by_type;
+  /// Live nodes whose parent pointer is null — the competing root set.
+  std::vector<NodeId> live_roots;  // first kMaxLiveRoots only
+  std::uint64_t live_root_count = 0;
+  static constexpr std::size_t kMaxLiveRoots = 16;
+  /// Last metered delivery and the last round/phase checkpoint reached —
+  /// "where progress stopped".
+  Time last_delivery_time = 0;
+  std::uint32_t last_round = 0;
+  /// Phase of the last recognized checkpoint: search / move / wave /
+  /// choose / improve / terminated / none.
+  std::string last_phase = "none";
+  std::uint64_t discarded_events = 0;
+  std::uint64_t dropped_deliveries = 0;
+};
+
+/// JSON object dump of a wedge report (stable key order; used by the
+/// campaign wedge-dump sink and pinned by a golden test).
+void write_wedge_report_json(std::ostream& out, const WedgeReport& report);
+
+// --- per-round ring export ------------------------------------------------
+
+/// CSV: fixed header then one row per round.
+void write_rounds_csv(std::ostream& out,
+                      const std::vector<RoundTelemetry>& rounds);
+/// JSON lines, fixed key order, one object per round (the input format of
+/// scripts/plot_rounds.py).
+void write_rounds_jsonl(std::ostream& out,
+                        const std::vector<RoundTelemetry>& rounds);
+
+// --- timeline export ------------------------------------------------------
+
+struct ChromeTraceOptions {
+  /// Shard-lane count the trial ran with (0 = classic engine). When > 0 the
+  /// exporter adds one track per lane showing its conservative windows.
+  std::uint32_t shards = 0;
+  /// Node count (for the lane block partition; required when shards > 0).
+  std::size_t node_count = 0;
+  /// Window lookahead L = DelayModel::min_delay() (unit delay: 1).
+  Time lookahead = 1;
+};
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}, loadable in
+/// chrome://tracing and Perfetto): every traced message delivery as a
+/// complete event on its receiver's track, protocol phases as a dedicated
+/// track, and — under sharding — per-lane window occupancy tracks.
+/// Timestamps are simulated ticks, so the output is fully deterministic.
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const std::vector<TimelinePhase>& phases,
+                        const ChromeTraceOptions& options);
+
+/// Flat CSV of the raw trace rows (send_time, deliver_time, from, to, type,
+/// causal_depth) — the spreadsheet-friendly sibling of the Chrome export.
+void write_trace_csv(std::ostream& out, const Trace& trace);
+
+}  // namespace mdst::sim

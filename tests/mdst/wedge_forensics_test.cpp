@@ -1,0 +1,166 @@
+// Wedge forensics: when the watchdog classifies a run as wedged, the engine
+// must attach a diagnostic snapshot (RunResult::wedge) that says *where*
+// progress stopped — per-node protocol-state census, the in-flight message
+// census, the live-root set, and the last round/phase checkpoint reached
+// (docs/observability.md "Wedge-dump anatomy"). The JSON dump format is
+// pinned by a golden; to regenerate after an intended change:
+//
+//   MDST_BLESS=1 ./build/mdst_tests --gtest_filter='WedgeForensicsTest.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "runtime/telemetry.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+using core::EngineMode;
+using core::Options;
+using core::RunResult;
+
+const char* kGoldenDir = MDST_SOURCE_DIR "/tests/mdst/golden";
+
+graph::Graph path_graph(std::size_t n) {
+  graph::Graph g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    g.add_edge(static_cast<graph::VertexId>(v),
+               static_cast<graph::VertexId>(v + 1));
+  }
+  return g;
+}
+
+Options plain_options() {
+  Options o;
+  o.mode = EngineMode::kSingleImprovement;
+  o.max_rounds = 10'000;
+  return o;
+}
+
+/// The deterministic mid-run wedge from the watchdog suite: crash internal
+/// path node 4 at t=3, stranding its subtree behind a crashed parent.
+RunResult wedged_run(std::uint32_t shards = 0) {
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.crash_time = 3;
+  cfg.faults.crash_nodes = {4};
+  cfg.shards = shards;
+  return core::run_mdst(g, tree, plain_options(), cfg);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void compare_or_bless(const std::string& actual, const std::string& name) {
+  const std::string path = std::string(kGoldenDir) + "/" + name;
+  if (std::getenv("MDST_BLESS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "blessed " << path;
+  }
+  EXPECT_EQ(actual, read_file(path)) << "golden drift in " << name
+                                     << " — if intended, re-bless "
+                                        "(MDST_BLESS=1) and commit";
+}
+
+TEST(WedgeForensicsTest, MidRunCrashCapturesSnapshot) {
+  const RunResult run = wedged_run();
+  ASSERT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  const sim::WedgeReport& wedge = run.wedge;
+  ASSERT_TRUE(wedge.captured);
+  EXPECT_FALSE(wedge.time_capped);
+  EXPECT_EQ(wedge.nodes, 8u);
+  EXPECT_EQ(wedge.crashed, 1u);
+  EXPECT_GT(wedge.live_undone, 0u);
+  EXPECT_EQ(wedge.nodes, wedge.done + wedge.crashed + wedge.live_undone);
+  // The census partitions the nodes and its counts sum to n.
+  ASSERT_FALSE(wedge.state_census.empty());
+  std::uint64_t census_total = 0;
+  for (const auto& [state, count] : wedge.state_census) {
+    EXPECT_GT(count, 0u) << state;
+    census_total += count;
+  }
+  EXPECT_EQ(census_total, wedge.nodes);
+  EXPECT_GE(run.fault_stats.dropped_deliveries, wedge.dropped_deliveries);
+  EXPECT_GT(wedge.last_delivery_time, 0u);
+}
+
+TEST(WedgeForensicsTest, SnapshotNamesTheStuckPhase) {
+  // The crash lands at t=3, while round 1's search wave is still sweeping
+  // the path: the forensics must name that phase, not just "it wedged".
+  const RunResult run = wedged_run();
+  ASSERT_TRUE(run.wedge.captured);
+  EXPECT_EQ(run.wedge.last_round, 1u);
+  EXPECT_EQ(run.wedge.last_phase, "search");
+}
+
+TEST(WedgeForensicsTest, CleanRunsCaptureNothing) {
+  const graph::Graph g = path_graph(8);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  const RunResult run = core::run_mdst(g, tree, plain_options());
+  EXPECT_EQ(run.outcome, sim::RunOutcome::kOk);
+  EXPECT_FALSE(run.wedge.captured);
+  EXPECT_EQ(run.wedge.state_census.size(), 0u);
+}
+
+TEST(WedgeForensicsTest, TimeCappedWedgeIsFlagged) {
+  support::Rng rng(79);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, rng);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.faults.max_time = 3;
+  const RunResult run = core::run_mdst(g, tree, plain_options(), cfg);
+  ASSERT_EQ(run.outcome, sim::RunOutcome::kWedged);
+  ASSERT_TRUE(run.wedge.captured);
+  EXPECT_TRUE(run.wedge.time_capped);
+  // The chopped queue is the in-flight population: the census must name it.
+  EXPECT_GT(run.wedge.discarded_events, 0u);
+  std::uint64_t in_flight_total = 0;
+  for (const auto& [type, count] : run.wedge.in_flight_by_type) {
+    EXPECT_GT(count, 0u) << type;
+    in_flight_total += count;
+  }
+  EXPECT_EQ(in_flight_total, run.wedge.discarded_events);
+}
+
+TEST(WedgeForensicsTest, ShardedSnapshotMatchesClassicUnderUnitDelay) {
+  // Crash-only plans draw no randomness under unit delay, so the sharded
+  // engine wedges identically — including the forensics snapshot.
+  const RunResult classic = wedged_run(0);
+  ASSERT_TRUE(classic.wedge.captured);
+  for (const std::uint32_t shards : {1u, 3u}) {
+    const RunResult sharded = wedged_run(shards);
+    ASSERT_TRUE(sharded.wedge.captured) << "shards=" << shards;
+    EXPECT_EQ(sharded.wedge.state_census, classic.wedge.state_census);
+    EXPECT_EQ(sharded.wedge.in_flight_by_type, classic.wedge.in_flight_by_type);
+    EXPECT_EQ(sharded.wedge.live_roots, classic.wedge.live_roots);
+    EXPECT_EQ(sharded.wedge.last_round, classic.wedge.last_round);
+    EXPECT_EQ(sharded.wedge.last_phase, classic.wedge.last_phase);
+    EXPECT_EQ(sharded.wedge.last_delivery_time,
+              classic.wedge.last_delivery_time);
+    EXPECT_EQ(sharded.wedge.live_undone, classic.wedge.live_undone);
+  }
+}
+
+TEST(WedgeForensicsTest, JsonDumpMatchesGolden) {
+  const RunResult run = wedged_run();
+  ASSERT_TRUE(run.wedge.captured);
+  std::ostringstream out;
+  sim::write_wedge_report_json(out, run.wedge);
+  compare_or_bless(out.str(), "wedge_midrun.json");
+}
+
+}  // namespace
+}  // namespace mdst

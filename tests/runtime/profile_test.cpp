@@ -1,0 +1,68 @@
+// Section-profiler API surface (runtime/profile.hpp).
+//
+// The suite runs in both build modes: default builds must keep every probe a
+// no-op (snapshot stays all-zero no matter what runs), and -DMDST_PROFILE=ON
+// builds must actually accumulate (calls, ns). Tier-1 CI exercises only the
+// no-op side; the nightly profile job builds the other.
+#include "runtime/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+TEST(ProfileTest, SectionNamesAreStable) {
+  for (std::size_t i = 0; i < sim::kSectionCount; ++i) {
+    const char* name = sim::section_name(static_cast<sim::Section>(i));
+    EXPECT_STRNE(name, "?") << "section " << i << " has no name";
+  }
+  EXPECT_STREQ(sim::section_name(sim::Section::kDispatch), "dispatch");
+  EXPECT_STREQ(sim::section_name(sim::Section::kBarrierWait), "barrier_wait");
+}
+
+TEST(ProfileTest, ScopeMacroHonorsCompiledState) {
+  sim::profile_reset();
+  {
+    MDST_PROFILE_SCOPE(sim::Section::kDispatch);
+  }
+  const auto snapshot = sim::profile_snapshot();
+  const auto& dispatch =
+      snapshot[static_cast<std::size_t>(sim::Section::kDispatch)];
+  if (sim::profile_enabled()) {
+    EXPECT_EQ(dispatch.calls, 1u);
+  } else {
+    EXPECT_EQ(dispatch.calls, 0u);
+    EXPECT_EQ(dispatch.ns, 0u);
+  }
+}
+
+TEST(ProfileTest, SimulationRunFeedsTheEngineSections) {
+  sim::profile_reset();
+  support::Rng rng(11);
+  const graph::Graph g = graph::make_gnp_connected(16, 0.3, rng);
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  core::Options options;
+  options.mode = core::EngineMode::kSingleImprovement;
+  const core::RunResult run = core::run_mdst(g, tree, options);
+  EXPECT_GT(run.metrics.total_messages(), 0u);
+  const auto snapshot = sim::profile_snapshot();
+  const auto& dispatch =
+      snapshot[static_cast<std::size_t>(sim::Section::kDispatch)];
+  if (sim::profile_enabled()) {
+    // Every delivered message passes through the dispatch probe.
+    EXPECT_GE(dispatch.calls, run.metrics.total_messages());
+  } else {
+    for (const sim::SectionStats& stats : snapshot) {
+      EXPECT_EQ(stats.calls, 0u);
+      EXPECT_EQ(stats.ns, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdst

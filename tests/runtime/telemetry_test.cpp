@@ -1,0 +1,255 @@
+// Flight-recorder contracts (docs/observability.md):
+//
+//   1. Recording is free: turning the trace recorder on must not perturb the
+//      schedule — metrics, marks, and the telemetry ring are identical with
+//      tracing on and off.
+//   2. The ring is engine-invariant: the sharded engine reconstructs the
+//      same per-round telemetry for every K >= 1, and matches the classic
+//      engine under unit delay (where neither engine draws randomness).
+//   3. Export formats are pinned by goldens (CSV, JSONL, Chrome trace JSON).
+//      To regenerate after an intended format change:
+//
+//        MDST_BLESS=1 ./build/mdst_tests --gtest_filter='TelemetryTest.*'
+#include "runtime/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_builders.hpp"
+#include "mdst/engine.hpp"
+#include "support/rng.hpp"
+
+namespace mdst {
+namespace {
+
+using core::EngineMode;
+using core::Options;
+using core::RunResult;
+
+const char* kGoldenDir = MDST_SOURCE_DIR "/tests/runtime/golden";
+
+Options run_options() {
+  Options o;
+  o.mode = EngineMode::kSingleImprovement;
+  o.max_rounds = 10'000;
+  return o;
+}
+
+graph::Graph test_graph() {
+  support::Rng rng(4242);
+  return graph::make_gnp_connected(24, 0.25, rng);
+}
+
+RunResult run_with(const graph::Graph& g, std::uint32_t shards,
+                   sim::DelayModel delay = sim::DelayModel::unit(),
+                   std::size_t trace_cap = 0) {
+  const graph::RootedTree tree = graph::bfs_tree(g, 0);
+  sim::SimConfig cfg;
+  cfg.delay = delay;
+  cfg.seed = 99;
+  cfg.shards = shards;
+  cfg.trace_cap = trace_cap;
+  return core::run_mdst(g, tree, run_options(), cfg);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void compare_or_bless(const std::string& actual, const std::string& name) {
+  const std::string path = std::string(kGoldenDir) + "/" + name;
+  if (std::getenv("MDST_BLESS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "blessed " << path;
+  }
+  EXPECT_EQ(actual, read_file(path)) << "golden drift in " << name
+                                     << " — if intended, re-bless "
+                                        "(MDST_BLESS=1) and commit";
+}
+
+TEST(TelemetryTest, RingDescribesEveryRound) {
+  const graph::Graph g = test_graph();
+  const RunResult run = run_with(g, 0);
+  ASSERT_FALSE(run.round_telemetry.empty());
+  EXPECT_EQ(run.round_telemetry.size(), run.rounds);
+  std::uint64_t messages = 0;
+  std::uint32_t improved = 0;
+  for (std::size_t i = 0; i < run.round_telemetry.size(); ++i) {
+    const sim::RoundTelemetry& row = run.round_telemetry[i];
+    EXPECT_EQ(row.round, i + 1);
+    EXPECT_LE(row.time_start, row.time_end);
+    messages += row.messages;
+    improved += row.improved ? 1 : 0;
+    if (row.improved) {
+      // An improving round decided a target of degree k and cut its k tree
+      // edges: k neighbor fragments plus the target itself.
+      EXPECT_EQ(row.fragments, row.k + 1);
+      EXPECT_GE(row.waves, 1u);
+    }
+  }
+  EXPECT_EQ(improved, run.improvements);
+  // Rounds cover [first round start, terminate decision]; the termination
+  // broadcast delivered after the terminate mark belongs to no round, so the
+  // ring accounts for almost-all-but-not-quite the run total.
+  EXPECT_LE(messages, run.metrics.total_messages());
+  EXPECT_GT(messages, run.metrics.total_messages() * 9 / 10);
+  EXPECT_LE(run.round_telemetry.back().causal_depth,
+            run.metrics.max_causal_depth());
+}
+
+TEST(TelemetryTest, TraceRecordingDoesNotPerturbTheRun) {
+  const graph::Graph g = test_graph();
+  const RunResult off = run_with(g, 0, sim::DelayModel::uniform(2, 5));
+  const RunResult on =
+      run_with(g, 0, sim::DelayModel::uniform(2, 5), 1 << 20);
+  EXPECT_TRUE(off.trace.rows().empty());
+  ASSERT_FALSE(on.trace.rows().empty());
+  EXPECT_FALSE(on.trace.truncated());
+  EXPECT_EQ(on.trace.rows().size(), on.metrics.total_messages());
+  // Identical schedule: every meter, mark, and derived telemetry row agrees.
+  EXPECT_EQ(on.metrics.total_messages(), off.metrics.total_messages());
+  EXPECT_EQ(on.metrics.total_bits(), off.metrics.total_bits());
+  EXPECT_EQ(on.metrics.max_causal_depth(), off.metrics.max_causal_depth());
+  EXPECT_EQ(on.round_telemetry, off.round_telemetry);
+  EXPECT_EQ(on.final_degree, off.final_degree);
+}
+
+TEST(TelemetryTest, RingIsShardCountInvariant) {
+  const graph::Graph g = test_graph();
+  // Real asynchrony: the sharded engine's keyed randomness must reconstruct
+  // identical rings for every lane count.
+  const RunResult one = run_with(g, 1, sim::DelayModel::uniform(2, 5));
+  ASSERT_FALSE(one.round_telemetry.empty());
+  for (const std::uint32_t shards : {2u, 4u, 7u}) {
+    const RunResult many =
+        run_with(g, shards, sim::DelayModel::uniform(2, 5));
+    EXPECT_EQ(many.round_telemetry, one.round_telemetry)
+        << "ring drift at shards=" << shards;
+  }
+}
+
+TEST(TelemetryTest, ShardedRingMatchesClassicUnderUnitDelay) {
+  // Under unit delay neither engine draws randomness, so the classic and
+  // sharded schedules coincide — including the reconstructed bit totals and
+  // in-flight watermarks the annotations now carry.
+  const graph::Graph g = test_graph();
+  const RunResult classic = run_with(g, 0);
+  ASSERT_FALSE(classic.round_telemetry.empty());
+  for (const std::uint32_t shards : {1u, 3u}) {
+    const RunResult sharded = run_with(g, shards);
+    EXPECT_EQ(sharded.round_telemetry, classic.round_telemetry)
+        << "classic/sharded ring divergence at shards=" << shards;
+  }
+}
+
+TEST(TelemetryTest, ShardedTraceIsShardCountInvariant) {
+  // The merged trace is emitted in the canonical (deliver, send, slot, seq)
+  // order, so its bytes are a pure function of the schedule — identical for
+  // every lane count. (It is NOT row-for-row equal to the classic engine's
+  // trace: the classic recorder logs queue pop order, which interleaves
+  // same-tick deliveries differently.)
+  const graph::Graph g = test_graph();
+  const RunResult one =
+      run_with(g, 1, sim::DelayModel::uniform(2, 5), 1 << 20);
+  ASSERT_FALSE(one.trace.rows().empty());
+  for (const std::uint32_t shards : {3u, 7u}) {
+    const RunResult many =
+        run_with(g, shards, sim::DelayModel::uniform(2, 5), 1 << 20);
+    ASSERT_EQ(many.trace.rows().size(), one.trace.rows().size())
+        << "shards=" << shards;
+    for (std::size_t i = 0; i < one.trace.rows().size(); ++i) {
+      const sim::TraceRow& a = one.trace.rows()[i];
+      const sim::TraceRow& b = many.trace.rows()[i];
+      ASSERT_TRUE(a.send_time == b.send_time &&
+                  a.deliver_time == b.deliver_time && a.from == b.from &&
+                  a.to == b.to && a.type_index == b.type_index &&
+                  a.causal_depth == b.causal_depth)
+          << "trace divergence at row " << i << ", shards=" << shards;
+    }
+  }
+}
+
+TEST(TelemetryTest, RoundPhasesTileTheRun) {
+  const graph::Graph g = test_graph();
+  const RunResult run = run_with(g, 0);
+  const std::vector<sim::TimelinePhase> phases = core::round_phases(run);
+  ASSERT_FALSE(phases.empty());
+  for (const sim::TimelinePhase& phase : phases) {
+    EXPECT_LE(phase.begin, phase.end) << phase.name;
+    EXPECT_TRUE(phase.name == "search" || phase.name == "move" ||
+                phase.name == "wave" || phase.name == "choose")
+        << "unknown phase '" << phase.name << "'";
+  }
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_LE(phases[i - 1].end, phases[i].begin) << "overlap at " << i;
+  }
+}
+
+// --- golden exports --------------------------------------------------------
+
+/// The fixed small run every export golden derives from.
+RunResult golden_run(std::size_t trace_cap = 0) {
+  support::Rng rng(7);
+  const graph::Graph g = graph::make_gnp_connected(12, 0.3, rng);
+  return run_with(g, 0, sim::DelayModel::unit(), trace_cap);
+}
+
+TEST(TelemetryTest, RoundsCsvMatchesGolden) {
+  std::ostringstream out;
+  sim::write_rounds_csv(out, golden_run().round_telemetry);
+  compare_or_bless(out.str(), "rounds_small.csv");
+}
+
+TEST(TelemetryTest, RoundsJsonlMatchesGolden) {
+  std::ostringstream out;
+  sim::write_rounds_jsonl(out, golden_run().round_telemetry);
+  compare_or_bless(out.str(), "rounds_small.jsonl");
+}
+
+TEST(TelemetryTest, ChromeTraceMatchesGolden) {
+  RunResult run = golden_run(1 << 16);
+  std::ostringstream out;
+  sim::ChromeTraceOptions options;
+  options.shards = 0;
+  options.node_count = 12;
+  sim::write_chrome_trace(out, run.trace, core::round_phases(run), options);
+  compare_or_bless(out.str(), "chrome_small.json");
+}
+
+TEST(TelemetryTest, ShardedChromeTraceMatchesGolden) {
+  support::Rng rng(7);
+  const graph::Graph g = graph::make_gnp_connected(12, 0.3, rng);
+  RunResult run = run_with(g, 3, sim::DelayModel::unit(), 1 << 16);
+  std::ostringstream out;
+  sim::ChromeTraceOptions options;
+  options.shards = 3;
+  options.node_count = 12;
+  options.lookahead = 1;
+  sim::write_chrome_trace(out, run.trace, core::round_phases(run), options);
+  compare_or_bless(out.str(), "chrome_sharded.json");
+}
+
+TEST(TelemetryTest, TraceCsvHasOneRowPerDelivery) {
+  RunResult run = golden_run(1 << 16);
+  std::ostringstream out;
+  sim::write_trace_csv(out, run.trace);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, run.trace.rows().size() + 1);  // header + rows
+  EXPECT_EQ(csv.rfind("send_time,deliver_time,from,to,type,causal_depth\n",
+                      0),
+            0u);
+}
+
+}  // namespace
+}  // namespace mdst
