@@ -10,11 +10,15 @@
 // Output streams commit in grid order regardless of --threads, so the CSV
 // and JSONL bytes are identical for 1 and N workers; `reproduce --cell`
 // re-runs any single row to identical metrics (see docs/campaign.md).
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
+#include <system_error>
 
 #include "campaign/aggregate.hpp"
+#include "campaign/checkpoint.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sink.hpp"
 #include "graph/generators.hpp"
@@ -39,6 +43,7 @@ int usage(std::ostream& out, int exit_code) {
          "                --shards=K for intra-trial sharded simulation,\n"
          "                --perf-columns for wall/RSS/rate row columns,\n"
          "                --wedge-dump=DIR for per-wedged-trial forensics,\n"
+         "                --checkpoint=FILE for a resumable commit journal,\n"
          "                --profile for the section-timer table,\n"
          "                --allow-wedged to exit 0 despite wedged trials)\n"
          "  expand        print the trial grid of a spec (--spec)\n"
@@ -183,6 +188,7 @@ int cmd_run(int argc, char** argv) {
   std::string jsonl_path;
   std::string shard;
   std::string wedge_dump;
+  std::string checkpoint_path;
   std::uint64_t threads = 0;
   // ~0 = "flag absent, keep the spec's shards knob".
   std::uint64_t shards = ~std::uint64_t{0};
@@ -217,6 +223,13 @@ int cmd_run(int argc, char** argv) {
   cli.add_string("wedge-dump", &wedge_dump,
                  "directory for per-wedged-trial forensics JSON "
                  "(wedge-<index>.json; non-wedged trials write nothing)");
+  cli.add_string("checkpoint", &checkpoint_path,
+                 "commit journal for resumable campaigns: a killed run "
+                 "re-invoked with the same spec and flags resumes after the "
+                 "last committed trial, and the final --csv/--jsonl bytes "
+                 "are identical to an uninterrupted run (implies "
+                 "--no-summary: the aggregate would only cover the resumed "
+                 "tail)");
   cli.add_bool("profile", &profile,
                "print the section-timer table after the run (needs a build "
                "configured with -DMDST_PROFILE=ON)");
@@ -248,26 +261,59 @@ int cmd_run(int argc, char** argv) {
     spec.shards = static_cast<std::uint32_t>(shards);
   }
 
+  campaign::CheckpointState checkpoint;
+  if (!checkpoint_path.empty()) {
+    std::string checkpoint_error;
+    if (!campaign::load_checkpoint(checkpoint_path, spec, checkpoint,
+                                   checkpoint_error)) {
+      std::cerr << checkpoint_error << '\n';
+      return 1;
+    }
+    // A resumed invocation only runs the surviving tail, so an in-process
+    // aggregate would silently cover a fraction of the campaign.
+    summary = false;
+  }
+  // Resume-aware output opening: truncate the file back to the journal's
+  // byte offset (amputating any row the kill tore mid-write), then append.
+  const auto open_output = [&](std::ofstream& file, const std::string& path,
+                               std::uint64_t resume_bytes,
+                               const char* flag) -> bool {
+    if (checkpoint.resuming && std::filesystem::exists(path)) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, resume_bytes, ec);
+      if (ec) {
+        std::cerr << "cannot truncate " << flag << " path " << path
+                  << " to its checkpoint offset: " << ec.message() << "\n";
+        return false;
+      }
+      file.open(path, std::ios::binary | std::ios::app);
+    } else {
+      file.open(path, std::ios::binary);
+    }
+    if (!file) {
+      std::cerr << "cannot open " << flag << " path " << path << "\n";
+      return false;
+    }
+    return true;
+  };
+
   std::ofstream csv_file;
   std::ofstream jsonl_file;
   campaign::Aggregator aggregator;
   campaign::ProgressSink progress_sink(std::cerr,
                                        static_cast<std::size_t>(progress));
   std::vector<campaign::Sink*> sinks{&aggregator, &progress_sink};
-  campaign::CsvSink csv_sink(csv_file, perf_columns);
+  campaign::CsvSink csv_sink(csv_file, perf_columns, checkpoint.resuming);
   if (!csv_path.empty()) {
-    csv_file.open(csv_path, std::ios::binary);
-    if (!csv_file) {
-      std::cerr << "cannot open --csv path " << csv_path << "\n";
+    if (!open_output(csv_file, csv_path, checkpoint.csv_bytes, "--csv")) {
       return 1;
     }
     sinks.push_back(&csv_sink);
   }
   campaign::JsonlSink jsonl_sink(jsonl_file, perf_columns);
   if (!jsonl_path.empty()) {
-    jsonl_file.open(jsonl_path, std::ios::binary);
-    if (!jsonl_file) {
-      std::cerr << "cannot open --jsonl path " << jsonl_path << "\n";
+    if (!open_output(jsonl_file, jsonl_path, checkpoint.jsonl_bytes,
+                     "--jsonl")) {
       return 1;
     }
     sinks.push_back(&jsonl_sink);
@@ -279,6 +325,29 @@ int cmd_run(int argc, char** argv) {
   runner.threads = static_cast<unsigned>(threads);
   runner.shard_index = shard_index;
   runner.shard_count = shard_count;
+  runner.resume = checkpoint.resuming;
+  runner.resume_after = checkpoint.last_index;
+  std::optional<campaign::CheckpointWriter> journal;
+  if (!checkpoint_path.empty()) {
+    journal.emplace(checkpoint_path, spec, /*fresh=*/!checkpoint.resuming);
+    // Journal only after the output bytes are durable: flush first, then
+    // record the file sizes. A kill between commit and journal append
+    // re-runs that trial on resume, and the truncation step discards its
+    // half-written row — never the other way around.
+    runner.on_commit = [&](std::size_t index) {
+      std::uint64_t csv_bytes = 0;
+      std::uint64_t jsonl_bytes = 0;
+      if (!csv_path.empty()) {
+        csv_file.flush();
+        csv_bytes = std::filesystem::file_size(csv_path);
+      }
+      if (!jsonl_path.empty()) {
+        jsonl_file.flush();
+        jsonl_bytes = std::filesystem::file_size(jsonl_path);
+      }
+      journal->record(index, csv_bytes, jsonl_bytes);
+    };
+  }
   support::Timer timer;
   std::vector<campaign::TrialOutcome> outcomes;
   try {
@@ -301,6 +370,9 @@ int cmd_run(int argc, char** argv) {
     aggregator.summary_table().print(std::cout, title);
   }
   std::cout << outcomes.size() << " trials";
+  if (checkpoint.resuming) {
+    std::cout << " (resumed after trial " << checkpoint.last_index << ")";
+  }
   if (shard_count > 1) {
     std::cout << " (shard " << shard_index << "/" << shard_count << " of "
               << spec.trial_count() << ")";

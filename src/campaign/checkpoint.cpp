@@ -1,0 +1,128 @@
+#include "campaign/checkpoint.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ios>
+#include <sstream>
+#include <string_view>
+
+#include "support/assert.hpp"
+
+namespace mdst::campaign {
+
+namespace {
+
+// FNV-1a over a canonical identity string; stable across platforms, which
+// is all a compatibility check needs (this is not a content hash).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::string_view kHeaderMagic = "mdst-checkpoint v1 ";
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// Parse one commit line "<index> <csv_bytes> <jsonl_bytes>". False on any
+/// deviation — which the loader treats as a torn tail, not corruption.
+bool parse_commit_line(const std::string& line, CheckpointState& state) {
+  std::istringstream fields{line};
+  std::string index_tok, csv_tok, jsonl_tok, extra;
+  if (!(fields >> index_tok >> csv_tok >> jsonl_tok)) return false;
+  if (fields >> extra) return false;
+  std::uint64_t index = 0;
+  if (!parse_u64(index_tok, index) || !parse_u64(csv_tok, state.csv_bytes) ||
+      !parse_u64(jsonl_tok, state.jsonl_bytes)) {
+    return false;
+  }
+  state.last_index = static_cast<std::size_t>(index);
+  return true;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v, 16);
+  MDST_ASSERT(ec == std::errc{}, "hex render cannot fail");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_fingerprint(const CampaignSpec& spec) {
+  // Name + base seed + expanded trial count pin the grid shape; per-trial
+  // seeds derive from these, so a matching fingerprint means the surviving
+  // trials will reproduce the journaled run's bytes.
+  std::string identity = spec.name;
+  identity += '|';
+  identity += std::to_string(spec.base_seed);
+  identity += '|';
+  identity += std::to_string(spec.trial_count());
+  return fnv1a(identity);
+}
+
+bool load_checkpoint(const std::string& path, const CampaignSpec& spec,
+                     CheckpointState& out, std::string& error) {
+  out = CheckpointState{};
+  std::ifstream in(path);
+  if (!in.is_open()) return true;  // no journal yet: fresh run
+  std::string line;
+  if (!std::getline(in, line)) return true;  // empty file: fresh run
+  if (line.rfind(kHeaderMagic, 0) != 0) {
+    error = "checkpoint '" + path + "': not a checkpoint journal";
+    return false;
+  }
+  std::uint64_t recorded = 0;
+  {
+    std::istringstream fp{line.substr(kHeaderMagic.size())};
+    std::string tok;
+    fp >> tok;
+    recorded = std::strtoull(tok.c_str(), nullptr, 16);
+  }
+  if (recorded != checkpoint_fingerprint(spec)) {
+    error = "checkpoint '" + path +
+            "': journal belongs to a different campaign spec (name, "
+            "base_seed, or grid shape changed since the interrupted run)";
+    return false;
+  }
+  // Keep the last intact commit line; a torn tail is expected after a kill.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    CheckpointState candidate = out;
+    if (parse_commit_line(line, candidate)) {
+      candidate.resuming = true;
+      out = candidate;
+    } else {
+      break;
+    }
+  }
+  return true;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CampaignSpec& spec, bool fresh) {
+  out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+  MDST_REQUIRE(out_.is_open(),
+               "checkpoint: cannot open '" + path + "' for writing");
+  if (fresh) {
+    out_ << kHeaderMagic << hex(checkpoint_fingerprint(spec)) << '\n';
+    out_.flush();
+  }
+}
+
+void CheckpointWriter::record(std::size_t index, std::uint64_t csv_bytes,
+                              std::uint64_t jsonl_bytes) {
+  out_ << index << ' ' << csv_bytes << ' ' << jsonl_bytes << '\n';
+  out_.flush();
+  MDST_REQUIRE(out_.good(), "checkpoint: journal write failed");
+}
+
+}  // namespace mdst::campaign

@@ -1,0 +1,75 @@
+// Resumable campaigns (`mdst_lab run --checkpoint=FILE`).
+//
+// The journal records, after each sink commit, the trial's global grid
+// index together with the byte sizes of the CSV/JSONL output files at that
+// moment. A killed run resumes by (1) reading the last intact journal line,
+// (2) truncating the output files back to the recorded sizes — amputating
+// any partially written row — and (3) skipping every trial at or before the
+// recorded index. Per-trial seeds are pure functions of the trial's grid
+// coordinates (campaign/spec.hpp), so the surviving trials reproduce their
+// exact bytes and the concatenated output is byte-identical to an
+// uninterrupted run (tests/campaign/runner_test.cpp pins this).
+//
+// Journal format, line-oriented and append-only:
+//
+//     mdst-checkpoint v1 <fingerprint-hex>
+//     <index> <csv_bytes> <jsonl_bytes>
+//     ...
+//
+// The fingerprint hashes the spec identity (name, base_seed, trial count),
+// so resuming against a different spec fails loudly instead of silently
+// interleaving incompatible rows. A torn final line (the kill landed
+// mid-append) is ignored: the line before it is the true last commit, and
+// the truncation step discards the younger bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "campaign/spec.hpp"
+
+namespace mdst::campaign {
+
+/// Stable identity hash of a spec for checkpoint compatibility checks.
+std::uint64_t checkpoint_fingerprint(const CampaignSpec& spec);
+
+/// Parsed state of a checkpoint journal.
+struct CheckpointState {
+  /// True iff the journal exists and holds at least one intact commit line.
+  bool resuming = false;
+  /// Last committed global grid index (meaningful iff `resuming`).
+  std::size_t last_index = 0;
+  /// Output-file sizes at that commit; resume truncates the files to these.
+  std::uint64_t csv_bytes = 0;
+  std::uint64_t jsonl_bytes = 0;
+};
+
+/// Read `path` (a missing or empty journal means a fresh run). On a
+/// fingerprint mismatch or malformed header, returns false and sets
+/// `error`; a torn trailing line is tolerated, not an error.
+bool load_checkpoint(const std::string& path, const CampaignSpec& spec,
+                     CheckpointState& out, std::string& error);
+
+/// Appends one journal line per committed trial, flushing after each so the
+/// journal never runs ahead of un-synced knowledge by more than the commit
+/// in flight. Fresh runs truncate and write the header; resumed runs append
+/// below the surviving lines.
+class CheckpointWriter {
+ public:
+  /// Open `path` for journaling. `fresh` truncates and writes the header;
+  /// otherwise appends. Requires the file to be writable.
+  CheckpointWriter(const std::string& path, const CampaignSpec& spec,
+                   bool fresh);
+
+  /// Record a commit: `index` plus current output-file byte sizes (0 for
+  /// absent outputs). Call only after the output streams were flushed.
+  void record(std::size_t index, std::uint64_t csv_bytes,
+              std::uint64_t jsonl_bytes);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace mdst::campaign

@@ -58,6 +58,9 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial,
   options.mode = trial.mode;
   options.max_rounds = spec.max_rounds;
   options.target_degree = spec.target_degree;
+  // Engine knob, not a grid coordinate: with `recovery = off` (the default)
+  // every cell is byte-identical to a spec without the key.
+  options.recovery.enabled = spec.recovery;
 
   sim::SimConfig sim_config;
   sim_config.delay = trial.delay.model;
@@ -83,6 +86,9 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial,
     // untouched (docs/faults.md).
     sim_config.faults.seed = support::derive_seed(spec.base_seed ^ 0xf417u,
                                                   trial.n, trial.repetition);
+    // ARQ retransmit schedule; kFixed (the default) keeps existing fault
+    // cells byte-identical.
+    sim_config.faults.arq_backoff = spec.arq_backoff;
   }
 
   TrialOutcome out;
@@ -102,6 +108,8 @@ TrialOutcome run_campaign_trial(const CampaignSpec& spec, const Trial& trial,
     out.outcome = mdst.outcome;
     out.retransmits = mdst.fault_stats.retransmits;
     out.dropped_deliveries = mdst.fault_stats.dropped_deliveries;
+    out.re_elections = mdst.recovery.re_elections;
+    out.recovery_msgs = mdst.recovery.recovery_messages;
     out.wedge = mdst.wedge;
   };
 
@@ -174,6 +182,20 @@ std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
     }
     trials = std::move(stripe);
   }
+  if (config.resume) {
+    // Checkpoint resume: trials at or before the journal's last committed
+    // index already have their bytes in the truncated output files; the
+    // survivors re-run with unchanged per-trial seeds, so the concatenated
+    // output is byte-identical to an uninterrupted run.
+    std::vector<Trial> remaining;
+    remaining.reserve(trials.size());
+    for (Trial& trial : trials) {
+      if (trial.index > config.resume_after) {
+        remaining.push_back(std::move(trial));
+      }
+    }
+    trials = std::move(remaining);
+  }
   for (Sink* sink : sinks) sink->begin(spec, trials.size());
   std::vector<TrialOutcome> outcomes;
   outcomes.reserve(trials.size());
@@ -192,6 +214,7 @@ std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
                                  describe(trial) + ": " + e.what());
       }
       commit(outcomes.back(), sinks);
+      if (config.on_commit) config.on_commit(trial.index);
     }
     for (Sink* sink : sinks) sink->finish();
     return outcomes;
@@ -259,6 +282,7 @@ std::vector<TrialOutcome> run_campaign(const CampaignSpec& spec,
       slots[i].reset();
       lock.unlock();
       commit(outcome, sinks);
+      if (config.on_commit) config.on_commit(outcome.trial.index);
       outcomes.push_back(std::move(outcome));
       lock.lock();
     }

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "campaign/spec.hpp"
@@ -58,6 +59,11 @@ struct TrialOutcome {
   sim::RunOutcome outcome = sim::RunOutcome::kOk;
   std::uint64_t retransmits = 0;
   std::uint64_t dropped_deliveries = 0;
+  // Self-healing layer (docs/faults.md): re-election floods started and the
+  // total recovery-plane traffic (Ping/Pong/Recover/RecoverAck). Zero — and
+  // byte-stable — whenever `recovery = off`.
+  std::uint64_t re_elections = 0;
+  std::uint64_t recovery_msgs = 0;
   bool wedged() const { return outcome == sim::RunOutcome::kWedged; }
   // Perf probes (support/resource.hpp): wall time of this trial and the
   // process peak RSS sampled at trial end. Both are inherently
@@ -107,6 +113,18 @@ struct RunnerConfig {
   /// (tests/campaign/runner_test.cpp pins the union).
   unsigned shard_index = 0;
   unsigned shard_count = 1;
+  /// Resumable campaigns (`mdst_lab run --checkpoint=FILE`,
+  /// campaign/checkpoint.hpp): when `resume` is set, every trial with
+  /// global grid index <= `resume_after` is dropped before execution — it
+  /// was committed by the interrupted run and its bytes already live in the
+  /// (truncated-to-checkpoint) output files.
+  bool resume = false;
+  std::size_t resume_after = 0;
+  /// Called after an outcome has been committed to every sink, with the
+  /// trial's global grid index. Commits happen strictly in grid order, so
+  /// indices arrive strictly increasing; the checkpoint journal appends a
+  /// record per call. Exceptions propagate and abort the run.
+  std::function<void(std::size_t index)> on_commit;
 };
 
 /// Execute the grid (or this invocation's shard stripe of it). Outcomes

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,8 @@ std::vector<std::pair<std::string, std::string>> outcome_fields(
       {"outcome", sim::to_string(o.outcome)},
       {"retransmits", u64(o.retransmits)},
       {"dropped", u64(o.dropped_deliveries)},
+      {"re_elections", u64(o.re_elections)},
+      {"recovery_msgs", u64(o.recovery_msgs)},
   };
 }
 
@@ -123,6 +126,9 @@ std::vector<std::pair<std::string, std::string>> row_fields(
 void CsvSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
   (void)spec;
   (void)trial_count;
+  // Checkpoint resume appends to a file whose header (and committed rows)
+  // already exist; re-emitting it would corrupt the byte-identity contract.
+  if (resume_) return;
   const TrialOutcome prototype{};
   bool first = true;
   for (const auto& [name, value] : row_fields(prototype, perf_columns_)) {
@@ -193,7 +199,14 @@ void ProgressSink::add(const TrialOutcome& outcome) {
 void WedgeDumpSink::begin(const CampaignSpec& spec, std::size_t trial_count) {
   (void)spec;
   (void)trial_count;
-  std::filesystem::create_directories(dir_);
+  // error_code overload: a failure here (permission, DIR is a regular file)
+  // must surface as a named campaign diagnostic, not a raw filesystem_error
+  // whose message doesn't say which flag caused it.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  MDST_REQUIRE(!ec && std::filesystem::is_directory(dir_),
+               "wedge-dump: cannot create directory '" + dir_ + "'" +
+                   (ec ? ": " + ec.message() : " (exists as a non-directory)"));
 }
 
 void WedgeDumpSink::add(const TrialOutcome& outcome) {

@@ -48,17 +48,20 @@ std::vector<std::pair<std::string, std::string>> outcome_perf_fields(
 
 /// RFC-4180-ish CSV: header row, then one row per trial. With
 /// `perf_columns`, the nondeterministic perf fields append after the
-/// deterministic ones.
+/// deterministic ones. With `resume` (checkpoint resume appending to a
+/// truncated file) the header is suppressed — it is already on disk.
 class CsvSink final : public Sink {
  public:
-  explicit CsvSink(std::ostream& out, bool perf_columns = false)
-      : out_(out), perf_columns_(perf_columns) {}
+  explicit CsvSink(std::ostream& out, bool perf_columns = false,
+                   bool resume = false)
+      : out_(out), perf_columns_(perf_columns), resume_(resume) {}
   void begin(const CampaignSpec& spec, std::size_t trial_count) override;
   void add(const TrialOutcome& outcome) override;
 
  private:
   std::ostream& out_;
   bool perf_columns_;
+  bool resume_;
 };
 
 /// One JSON object per line, fixed key order; string values escaped.

@@ -265,6 +265,22 @@ bool parse_fault(std::string_view token, FaultSpec& out, std::string& error) {
     out.label = "loss(" + format_probability(p) + ")";
     return true;
   }
+  if (callee == "corrupt") {
+    const std::vector<std::string> parts = support::split(arguments, ',');
+    std::uint64_t time = 0;
+    std::uint64_t count = 0;
+    if (parts.size() != 2 || !parse_u64(parts[0], time) ||
+        !parse_u64(parts[1], count) || count < 1) {
+      error = "bad fault '" + std::string(token) +
+              "' (want corrupt(r,k) with k >= 1 nodes scrambled at time r)";
+      return false;
+    }
+    out.plan.corrupt_time = static_cast<sim::Time>(time);
+    out.plan.corrupt_count = static_cast<std::uint32_t>(count);
+    out.label =
+        "corrupt(" + std::to_string(time) + "," + std::to_string(count) + ")";
+    return true;
+  }
   if (callee == "churn") {
     const std::vector<std::string> parts = support::split(arguments, ',');
     std::uint64_t up = 0;
@@ -281,7 +297,7 @@ bool parse_fault(std::string_view token, FaultSpec& out, std::string& error) {
     return true;
   }
   error = "unknown fault '" + std::string(callee) +
-          "' (none | crash(r,k) | loss(p) | churn(up,down))";
+          "' (none | crash(r,k) | loss(p) | churn(up,down) | corrupt(r,k))";
   return false;
 }
 
@@ -468,11 +484,31 @@ ParseResult parse_spec(std::string_view text) {
         break;
       }
       spec.shards = static_cast<std::uint32_t>(shards);
+    } else if (key == "recovery") {
+      if (value == "on") {
+        spec.recovery = true;
+      } else if (value == "off") {
+        spec.recovery = false;
+      } else {
+        at.fail("bad recovery '" + std::string(value) + "' (on | off)");
+        break;
+      }
+    } else if (key == "arq_backoff") {
+      if (value == "fixed") {
+        spec.arq_backoff = sim::ArqBackoff::kFixed;
+      } else if (value == "exp") {
+        spec.arq_backoff = sim::ArqBackoff::kExp;
+      } else {
+        at.fail("bad arq_backoff '" + std::string(value) +
+                "' (fixed | exp)");
+        break;
+      }
     } else {
       at.fail("unknown key '" + key +
               "' (name base_seed families sizes delays startups initial_trees "
               "modes faults reps max_rounds target_degree max_messages "
-              "annotation_cap fifo_links start_spread shards)");
+              "annotation_cap fifo_links start_spread shards recovery "
+              "arq_backoff)");
       break;
     }
     if (!at.error.empty()) break;

@@ -102,6 +102,16 @@ struct CampaignSpec {
   /// shard count is an execution detail of the trial, never a row
   /// coordinate — campaign CSV/JSONL bytes must not depend on it.
   std::uint32_t shards = 0;
+  /// Self-healing layer (`recovery = on|off`, default off): heartbeat
+  /// failure detection + re-election recovery in the MDegST phase
+  /// (mdst/recovery.hpp). Off keeps every cell byte-identical to a spec
+  /// without the key.
+  bool recovery = false;
+  /// ARQ retransmit schedule under loss/churn plans (`arq_backoff =
+  /// fixed|exp`, default fixed): kExp doubles the retransmit gap with
+  /// jitter (runtime/fault.hpp). Fixed keeps existing fault cells
+  /// byte-identical.
+  sim::ArqBackoff arq_backoff = sim::ArqBackoff::kFixed;
 
   std::size_t trial_count() const {
     return families.size() * sizes.size() * delays.size() * startups.size() *

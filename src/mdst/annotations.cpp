@@ -26,6 +26,13 @@ std::string format_round_note(const sim::AnnotationTag& tag) {
       return "terminate round=" + round +
              " reason=" + to_string(static_cast<StopReason>(tag.a)) +
              " k_all=" + std::to_string(tag.b);
+    case RoundNote::kRecoverStart:
+      return "recover gen=" + round + " initiator=" + std::to_string(tag.a) +
+             " cause=" + std::to_string(tag.b);
+    case RoundNote::kRecoverInstall:
+      return "recover_install gen=" + round +
+             " root=" + std::to_string(tag.a) +
+             " children=" + std::to_string(tag.b);
   }
   MDST_UNREACHABLE("format_round_note: unknown RoundNote kind");
 }

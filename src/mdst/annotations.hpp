@@ -29,6 +29,8 @@ enum class RoundNote : std::uint8_t {
   kImprove,         // "improve round=R k=<a>"
   kSubImprove,      // "subimprove round=R k=<a>"
   kTerminate,       // "terminate round=R reason=<StopReason a> k_all=<b>"
+  kRecoverStart,    // "recover gen=R initiator=<a> cause=<b>"
+  kRecoverInstall,  // "recover_install gen=R root=<a> children=<b>"
 };
 
 inline sim::AnnotationTag note_round_start(std::uint32_t round) {
@@ -57,6 +59,20 @@ inline sim::AnnotationTag note_terminate(std::uint32_t round,
                                          StopReason reason, int k_all) {
   return {static_cast<std::uint8_t>(RoundNote::kTerminate), round,
           static_cast<std::int64_t>(reason), k_all, 0};
+}
+/// `cause`: 0 = dead parent (missed Pong), 1 = denied tree edge
+/// (Pong{ok=false}), 2 = stalled wave (stall counter).
+inline sim::AnnotationTag note_recover_start(std::uint32_t gen,
+                                             graph::NodeName initiator,
+                                             int cause) {
+  return {static_cast<std::uint8_t>(RoundNote::kRecoverStart), gen, initiator,
+          cause, 0};
+}
+inline sim::AnnotationTag note_recover_install(std::uint32_t gen,
+                                               graph::NodeName root,
+                                               std::uint32_t children) {
+  return {static_cast<std::uint8_t>(RoundNote::kRecoverInstall), gen, root,
+          children, 0};
 }
 
 /// Seed-style text of one tagged round note (byte-identical to the strings

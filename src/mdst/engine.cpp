@@ -202,6 +202,11 @@ derive_round_census(const std::vector<RoundMark>& marks) {
       case RoundNote::kTerminate:
         flush(mark.total_messages);
         break;
+      case RoundNote::kRecoverStart:
+      case RoundNote::kRecoverInstall:
+        // Recovery interventions sit between rounds; the phase census rows
+        // describe only the normal improvement waves.
+        break;
       case RoundNote::kRoundStart:
         break;  // handled above
     }
@@ -270,6 +275,13 @@ std::vector<sim::RoundTelemetry> derive_round_telemetry(
       case RoundNote::kTerminate:
         close(mark);
         break;
+      case RoundNote::kRecoverStart:
+        // A detection mid-round ends that round's telemetry row where the
+        // run actually stopped making wave progress.
+        close(mark);
+        break;
+      case RoundNote::kRecoverInstall:
+        break;  // the re-started round opens its own row
       case RoundNote::kRoundStart:
         break;  // handled above
     }
@@ -289,6 +301,8 @@ const char* phase_after(RoundNote kind) {
     case RoundNote::kImprove:
     case RoundNote::kSubImprove: return "improve";
     case RoundNote::kTerminate: return "terminated";
+    case RoundNote::kRecoverStart: return "recovering";
+    case RoundNote::kRecoverInstall: return "search";  // begin_round follows
   }
   return "none";
 }
@@ -427,6 +441,118 @@ void evaluate_adverse_run(const SimT& simulation, const graph::Graph& g,
       any_crashed ? sim::RunOutcome::kReRooted : sim::RunOutcome::kOk;
 }
 
+/// Outcome evaluation with the self-healing layer on. Recovery changes the
+/// survivable shapes: a crashed *inner* node no longer strands its subtree
+/// (the orphans re-elect and re-attach), so the contract is a spanning tree
+/// of the *live induced subgraph*, not of g. Crashed nodes are excluded
+/// entirely: every live node must have terminated, exactly one live root,
+/// every live non-root's parent must be a live g-neighbor (corruption can
+/// forge pointers, so the edge is checked against g), and the live parent
+/// edges must connect all live nodes acyclically. `recovered` when the
+/// re-election flood actually fired (any Recover message was delivered —
+/// counter-based, so annotation-ring eviction cannot hide it), `re_rooted`
+/// when crashes fired but recovery never had to, `ok` otherwise; `wedged`
+/// on the time cap or any structural failure (e.g. a partitioned live
+/// subgraph, whose components each terminate under their own root).
+/// Assert-free for the same reason as evaluate_adverse_run.
+template <typename SimT>
+void evaluate_recovered_run(const SimT& simulation, const graph::Graph& g,
+                            bool time_capped, RunResult& result) {
+  result.outcome = sim::RunOutcome::kWedged;
+  result.final_degree = -1;
+  if (time_capped) return;
+  const std::size_t n = simulation.node_count();
+  std::vector<char> crashed(n, 0);
+  bool any_crashed = false;
+  for (std::size_t v = 0; v < n; ++v) {
+    crashed[v] = simulation.crashed(static_cast<sim::NodeId>(v)) ? 1 : 0;
+    any_crashed |= crashed[v] != 0;
+  }
+  sim::NodeId root = sim::kNoNode;
+  std::size_t live = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (crashed[v] != 0) continue;
+    ++live;
+    const auto& node = simulation.node(static_cast<sim::NodeId>(v));
+    if (!node.done()) return;
+    const sim::NodeId parent = node.parent();
+    if (parent == sim::kNoNode) {
+      if (root != sim::kNoNode) return;  // two live roots
+      root = static_cast<sim::NodeId>(v);
+      continue;
+    }
+    if (parent >= static_cast<sim::NodeId>(n) ||
+        crashed[static_cast<std::size_t>(parent)] != 0) {
+      return;
+    }
+    if (!g.has_edge(static_cast<graph::VertexId>(v),
+                    static_cast<graph::VertexId>(parent))) {
+      return;  // forged pointer: not an edge of g
+    }
+  }
+  if (root == sim::kNoNode) return;
+  // Acyclicity + connectivity over the live parent edges: walk each live
+  // node's parent chain, memoizing rooted prefixes (each node is walked
+  // through at most twice overall); revisiting the current pass's path is
+  // a cycle, and a cycle never reaches the root, so rooted[] covering all
+  // live nodes certifies one tree.
+  std::vector<std::uint32_t> pass_mark(n, 0);
+  std::vector<char> rooted(n, 0);
+  rooted[static_cast<std::size_t>(root)] = 1;
+  std::vector<sim::NodeId> path;
+  std::uint32_t pass = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (crashed[v] != 0 || rooted[v] != 0) continue;
+    ++pass;
+    path.clear();
+    sim::NodeId u = static_cast<sim::NodeId>(v);
+    while (rooted[static_cast<std::size_t>(u)] == 0) {
+      if (pass_mark[static_cast<std::size_t>(u)] == pass) return;  // cycle
+      pass_mark[static_cast<std::size_t>(u)] = pass;
+      path.push_back(u);
+      u = simulation.node(u).parent();
+    }
+    for (const sim::NodeId w : path) rooted[static_cast<std::size_t>(w)] = 1;
+  }
+  // Max degree of the live tree; each parent edge counts at both ends.
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (crashed[v] != 0 || static_cast<sim::NodeId>(v) == root) continue;
+    const sim::NodeId parent =
+        simulation.node(static_cast<sim::NodeId>(v)).parent();
+    ++degree[v];
+    ++degree[static_cast<std::size_t>(parent)];
+  }
+  std::uint32_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  result.final_degree = static_cast<int>(max_degree);
+  // With every node live the structure spans g — export it as a RootedTree
+  // like the crash-free paths do. With crashes the live tree cannot span g,
+  // so result.tree stays empty and final_degree carries the answer.
+  if (live == n) {
+    std::vector<graph::VertexId> parents(n, graph::kInvalidVertex);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<sim::NodeId>(v) == root) continue;
+      parents[v] = simulation.node(static_cast<sim::NodeId>(v)).parent();
+    }
+    try {
+      graph::RootedTree tree =
+          graph::RootedTree::from_parents(root, std::move(parents));
+      if (!tree.spans(g)) return;
+      result.tree = std::move(tree);
+    } catch (const ContractViolation&) {
+      return;
+    }
+  }
+  const std::uint64_t recover_msgs = result.metrics.messages_of_type(
+      static_cast<std::size_t>(MessageType::kRecover));
+  result.outcome = recover_msgs != 0 ? sim::RunOutcome::kRecovered
+                   : any_crashed     ? sim::RunOutcome::kReRooted
+                                     : sim::RunOutcome::kOk;
+}
+
 /// Everything after the event loop: outcome evaluation / tree extraction,
 /// node-state aggregation, and mark materialization. One body for both
 /// engines — the determinism suites compare its outputs field by field
@@ -444,7 +570,11 @@ RunResult finish_run(SimT& simulation, const graph::Graph& g,
   result.memory = simulation.memory_report();
   result.memory.node_bytes += node_arena_bytes;
   if (adversity) {
-    evaluate_adverse_run(simulation, g, time_capped, result);
+    if (options.recovery.enabled) {
+      evaluate_recovered_run(simulation, g, time_capped, result);
+    } else {
+      evaluate_adverse_run(simulation, g, time_capped, result);
+    }
   } else {
     result.tree = extract_tree(simulation);
     result.final_degree = static_cast<int>(result.tree.max_degree());
@@ -494,6 +624,29 @@ RunResult finish_run(SimT& simulation, const graph::Graph& g,
   result.round_stats = std::move(census.first);
   result.round_mark_index = std::move(census.second);
   result.round_telemetry = derive_round_telemetry(result.marks);
+  // Stabilization metrics: flood/install counts from the tagged marks
+  // (ring-bounded — under a tight annotation_cap only the most recent
+  // recoveries survive, like every other mark consumer), message overhead
+  // from the unbounded per-type counters.
+  result.recovery.enabled = options.recovery.enabled;
+  if (options.recovery.enabled) {
+    for (const RoundMark& mark : result.marks) {
+      if (!mark.tagged) continue;
+      const auto kind = static_cast<RoundNote>(mark.tag.kind);
+      if (kind == RoundNote::kRecoverStart) {
+        ++result.recovery.re_elections;
+        if (result.recovery.first_detection_time == 0) {
+          result.recovery.first_detection_time = mark.time;
+        }
+      } else if (kind == RoundNote::kRecoverInstall) {
+        ++result.recovery.installs;
+      }
+    }
+    for (std::size_t t = kFirstRecoveryType;
+         t < std::variant_size_v<Message>; ++t) {
+      result.recovery.recovery_messages += result.metrics.messages_of_type(t);
+    }
+  }
   if (result.outcome == sim::RunOutcome::kWedged) {
     build_wedge_report(simulation, time_capped, result);
   }
@@ -540,6 +693,9 @@ std::vector<sim::TimelinePhase> round_phases(const RunResult& result) {
       case RoundNote::kImprove:
       case RoundNote::kSubImprove:
         break;  // detail inside the wave/choose spans
+      case RoundNote::kRecoverStart: advance("recover", mark); break;
+      case RoundNote::kRecoverInstall:
+        break;  // the restarted round's start mark opens "search"
       case RoundNote::kTerminate: advance(nullptr, mark); break;
     }
   }
@@ -554,6 +710,27 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
                    const Options& options, const sim::SimConfig& sim_config) {
   MDST_REQUIRE(initial.spans(g), "initial tree must span g");
   MDST_REQUIRE(graph::is_connected(g), "graph must be connected");
+  // Corruption faults scramble protocol state into shapes the handler
+  // contracts never anticipated. Defensive mode turns those contract
+  // violations into dropped messages, so a corrupted run wedges measurably
+  // (or recovers, when the self-healing layer is on) instead of dying on a
+  // tiered assert whose firing depends on the build's check level.
+  Options opts = options;
+  if (sim_config.faults.corrupts()) opts.recovery.defensive = true;
+  // Stall-detection calibration: RecoveryOptions::stall_ticks is specified
+  // in unit-delay heartbeat fires, but an honest wave's quiet stretch grows
+  // linearly with the per-hop delay — under uniform(1,4) a healthy
+  // convergecast routinely outlasts the unit-delay tolerance and every such
+  // false stall costs a full re-election. Scale the tolerance by the delay
+  // model's per-hop bound so "quiet for this long" means the same amount of
+  // protocol progress under every model (the per-node doubling guard still
+  // absorbs heavy-tail outliers).
+  if (opts.recovery.enabled) {
+    opts.recovery.stall_ticks = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(opts.recovery.stall_ticks *
+                                    sim_config.delay.timeout_scale(),
+                                1u << 20));
+  }
   // Safety net for the trivially-copyable BoxedCandidate convention
   // (candidates.hpp): every slot allocated by a BfsBack sender must be
   // released by exactly one handle_bfs_back. A completed run is balanced.
@@ -566,9 +743,16 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
     // the stepping loop below never sees a sharded run. Mid-run validation
     // has no meaning across lanes, so check_each_round keeps the classic
     // engine.
-    MDST_REQUIRE(!options.check_each_round,
+    MDST_REQUIRE(!opts.check_each_round,
                  "check_each_round needs the classic engine "
                  "(SimConfig::shards = 0)");
+    // Window-closure requirement (runtime/sharded_sim.hpp): a timer with
+    // delay below the lookahead would land inside an already-agreed window.
+    MDST_REQUIRE(!opts.recovery.enabled ||
+                     opts.recovery.heartbeat_period >=
+                         sim_config.delay.min_delay(),
+                 "recovery heartbeat_period must be >= the delay model's "
+                 "min delay under the sharded engine");
     const bool adversity = sim_config.faults.active();
     // Degree-scaled node state lives in shared arenas (mdst/node_arena.hpp):
     // declared before the simulator so every node's slice outlives it. Both
@@ -582,7 +766,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
           const graph::VertexId parent = initial.parent(v);
           return ShardProtocol::Node(
               env, parent, std::span<const sim::NodeId>(initial.children(v)),
-              arenas.slice(v), options);
+              arenas.slice(v), opts);
         },
         sim_config);
     const bool time_capped =
@@ -594,7 +778,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
     MDST_ASSERT(CandidatePool::local().in_use() == boxed_before,
                 "boxed-candidate pool imbalance: a BfsBack box leaked or was "
                 "double-released");
-    return finish_run(simulation, g, initial, options, adversity, time_capped,
+    return finish_run(simulation, g, initial, opts, adversity, time_capped,
                       arenas.bytes());
   }
 
@@ -606,7 +790,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
         const graph::VertexId parent = initial.parent(v);
         return SimNode(env, parent,
                        std::span<const sim::NodeId>(initial.children(v)),
-                       arenas.slice(v), options);
+                       arenas.slice(v), opts);
       },
       sim_config);
 
@@ -628,7 +812,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
       }
     }
     if (time_capped) simulation.discard_pending();
-  } else if (options.check_each_round) {
+  } else if (opts.check_each_round) {
     const std::size_t detach_index =
         static_cast<std::size_t>(MessageType::kDetach);
     std::uint64_t detaches_seen = 0;
@@ -648,7 +832,7 @@ RunResult run_mdst(const graph::Graph& g, const graph::RootedTree& initial,
               "boxed-candidate pool imbalance: a BfsBack box leaked or was "
               "double-released");
 
-  return finish_run(simulation, g, initial, options, adversity, time_capped,
+  return finish_run(simulation, g, initial, opts, adversity, time_capped,
                     arenas.bytes());
 }
 

@@ -65,7 +65,10 @@ struct RoundMarkSpan {
 };
 
 struct RunResult {
-  graph::RootedTree tree;  // final spanning tree (empty when wedged)
+  /// Final spanning tree. Empty when wedged, and for recovered runs with
+  /// crashed nodes (the live tree cannot span g; final_degree still carries
+  /// the live tree's max degree).
+  graph::RootedTree tree;
   sim::Metrics metrics{static_cast<std::size_t>(
                            std::variant_size_v<core::Message>),
                        1};
@@ -78,11 +81,16 @@ struct RunResult {
   int final_degree = 0;
   /// Adversity outcome (runtime/fault.hpp): always kOk for fault-free
   /// runs; under an active plan the wedge watchdog classifies the run as
-  /// ok / re_rooted / wedged instead of asserting global termination.
+  /// ok / re_rooted / recovered / wedged instead of asserting global
+  /// termination.
   sim::RunOutcome outcome = sim::RunOutcome::kOk;
   /// Adversity counters (retransmits, dropped deliveries); zeroes without
   /// an active plan.
   sim::FaultStats fault_stats;
+  /// Self-healing stabilization metrics (mdst/recovery.hpp): detection
+  /// latency, re-election/install counts, recovery message overhead.
+  /// Defaulted (enabled = false) when the layer is off.
+  RecoveryStats recovery;
   /// Per-subsystem byte accounting captured at run end (node arenas, event
   /// queue slabs, FIFO floors, metrics, network CSR). See
   /// runtime/memory_report.hpp for what each bucket counts.

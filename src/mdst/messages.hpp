@@ -196,10 +196,55 @@ struct Terminate {
   std::size_t ids_carried() const { return kIdsCarried; }
 };
 
+// --- Recovery layer (mdst/recovery.hpp; off unless Options::recovery) -------
+
+/// Child -> parent heartbeat probe over the tree edge.
+struct Ping {
+  static constexpr const char* kName = "Ping";
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
+};
+
+/// Parent -> child heartbeat answer; `ok = false` means "you are not my
+/// child" — the child's view of the tree edge is corrupt and it must
+/// trigger recovery.
+struct Pong {
+  static constexpr const char* kName = "Pong";
+  bool ok = true;
+  static constexpr std::size_t kIdsCarried = 0;
+  std::size_t ids_carried() const { return kIdsCarried; }
+};
+
+/// Recovery flood: rebuild the spanning structure from scratch around the
+/// initiator. Keys (gen, root) order lexicographically; a node adopts the
+/// highest key it has seen, forwards the flood, and resets its protocol
+/// state — so concurrent initiators collapse to one winner.
+struct Recover {
+  static constexpr const char* kName = "Recover";
+  std::uint32_t gen = 0;
+  NodeName root = kNoName;
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
+};
+
+/// Convergecast answer to a Recover flood: `accepted = true` means "I am
+/// your child in the rebuilt tree and my whole subtree has reset";
+/// `accepted = false` is an immediate rejection (the receiver already sits
+/// in an equal-or-higher flood through another edge).
+struct RecoverAck {
+  static constexpr const char* kName = "RecoverAck";
+  std::uint32_t gen = 0;
+  NodeName root = kNoName;
+  bool accepted = false;
+  static constexpr std::size_t kIdsCarried = 1;
+  std::size_t ids_carried() const { return kIdsCarried; }
+};
+
 using Message =
     std::variant<StartRound, SearchReply, MoveRoot, Cut, Bfs, CousinReply,
                  BfsBack, Update, ChildRequest, ChildAccept, ChildReject,
-                 Reverse, Detach, Abort, Terminate>;
+                 Reverse, Detach, Abort, Terminate, Ping, Pong, Recover,
+                 RecoverAck>;
 
 // Two load-bearing layout properties (see candidates.hpp and docs/perf.md):
 // trivial copyability keeps every queue payload move a memcpy, and the
@@ -225,7 +270,16 @@ enum class MessageType : std::size_t {
   kDetach,
   kAbort,
   kTerminate,
+  kPing,
+  kPong,
+  kRecover,
+  kRecoverAck,
 };
+
+/// First recovery-layer alternative; [kFirstRecoveryType, variant_size)
+/// is exactly the recovery message band (metrics overhead accounting).
+inline constexpr std::size_t kFirstRecoveryType =
+    static_cast<std::size_t>(MessageType::kPing);
 
 // Node::on_message dispatches by switch on Message::index() through this
 // enum; pin every alternative so a reordering cannot silently misroute.
@@ -234,7 +288,7 @@ template <MessageType E, typename T>
 inline constexpr bool kPinned = std::is_same_v<
     std::variant_alternative_t<static_cast<std::size_t>(E), Message>, T>;
 }  // namespace detail
-static_assert(std::variant_size_v<Message> == 15);
+static_assert(std::variant_size_v<Message> == 19);
 static_assert(detail::kPinned<MessageType::kStartRound, StartRound>);
 static_assert(detail::kPinned<MessageType::kSearchReply, SearchReply>);
 static_assert(detail::kPinned<MessageType::kMoveRoot, MoveRoot>);
@@ -250,6 +304,10 @@ static_assert(detail::kPinned<MessageType::kReverse, Reverse>);
 static_assert(detail::kPinned<MessageType::kDetach, Detach>);
 static_assert(detail::kPinned<MessageType::kAbort, Abort>);
 static_assert(detail::kPinned<MessageType::kTerminate, Terminate>);
+static_assert(detail::kPinned<MessageType::kPing, Ping>);
+static_assert(detail::kPinned<MessageType::kPong, Pong>);
+static_assert(detail::kPinned<MessageType::kRecover, Recover>);
+static_assert(detail::kPinned<MessageType::kRecoverAck, RecoverAck>);
 
 // The metering descriptor table must see exactly the four payload-dependent
 // types as dynamic; a new alternative that forgets kIdsCarried silently
@@ -274,7 +332,11 @@ static_assert(!detail::kDynamicIds<MessageType::kStartRound> &&
               !detail::kDynamicIds<MessageType::kReverse> &&
               !detail::kDynamicIds<MessageType::kDetach> &&
               !detail::kDynamicIds<MessageType::kAbort> &&
-              !detail::kDynamicIds<MessageType::kTerminate>);
+              !detail::kDynamicIds<MessageType::kTerminate> &&
+              !detail::kDynamicIds<MessageType::kPing> &&
+              !detail::kDynamicIds<MessageType::kPong> &&
+              !detail::kDynamicIds<MessageType::kRecover> &&
+              !detail::kDynamicIds<MessageType::kRecoverAck>);
 static_assert(detail::kDescriptors[static_cast<std::size_t>(
                   MessageType::kSearchReply)].static_ids == 3);
 

@@ -8,6 +8,7 @@
 #include "runtime/sharded_sim.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 
 namespace mdst::core {
 
@@ -97,6 +98,13 @@ void BasicNode<Context>::init(sim::NodeId parent,
     child_at_[slot] = 1;
   }
   concurrent_ = opts_.mode == EngineMode::kConcurrent;
+  recovery_on_ = opts_.recovery.enabled;
+  defensive_ = opts_.recovery.defensive || recovery_on_;
+  if (recovery_on_) {
+    stall_limit_ = std::max<std::uint32_t>(1, opts_.recovery.stall_ticks);
+    ack_limit_ = std::max<std::uint32_t>(1, opts_.recovery.ack_timeout_ticks);
+    if (deg > 0) rec_nb_ = std::make_unique<std::uint8_t[]>(deg);
+  }
 }
 
 // Compile-time guard for the hot-line packing promised in node.hpp: the
@@ -208,6 +216,7 @@ void BasicNode<Context>::reset_round_state() {
 template <typename Context>
 void BasicNode<Context>::on_start(Context& ctx) {
   if (crashed_) return;
+  arm_heartbeat(ctx);  // no-op unless the recovery layer is enabled
   if (parent_ != sim::kNoNode || done_) return;
   begin_round(ctx);
 }
@@ -247,6 +256,7 @@ void BasicNode<Context>::root_decide_after_search(Context& ctx) {
     terminate(ctx, StopReason::kAllMaxStuck);
     return;
   }
+  if (defensive_ && search_best_deg_ != k_all) [[unlikely]] return;
   MDST_ASSERT(search_best_deg_ == k_all,
               "non-stuck maximum must equal the overall maximum here");
   k_ = k_all;
@@ -255,6 +265,8 @@ void BasicNode<Context>::root_decide_after_search(Context& ctx) {
     return;
   }
   // MoveRoot: hand the root role to the child that reported the target.
+  if (defensive_ && (via_ == sim::kNoNode || !has_child(via_))) [[unlikely]]
+    return;
   MDST_ASSERT(via_ != sim::kNoNode, "target elsewhere but via is self");
   const sim::NodeId next = via_;
   const std::uint32_t next_idx = child_index_of(next);
@@ -266,6 +278,9 @@ void BasicNode<Context>::root_decide_after_search(Context& ctx) {
 
 template <typename Context>
 void BasicNode<Context>::begin_cut(Context& ctx) {
+  if (defensive_ && (parent_ != sim::kNoNode || tree_degree() != k_))
+      [[unlikely]]
+    return;
   MDST_ASSERT(parent_ == sim::kNoNode, "begin_cut on non-root");
   MDST_ASSERT(tree_degree() == k_, "round root must have degree k");
   role_ = Role::kRoot;
@@ -369,6 +384,10 @@ void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
   // Protocol::dispose); this guard makes the semantics driver-independent,
   // so mock-context tests exercising crash() see the same dead silence.
   if (crashed_) [[unlikely]] return;
+  // Stall detector feed: any *protocol* message proves the run is moving;
+  // recovery-band traffic (Ping and up) deliberately does not count, so a
+  // wedged wave cannot be masked by healthy heartbeats.
+  if (recovery_on_ && message.index() < kFirstRecoveryType) stall_fires_ = 0;
   // Dispatch by switch on the variant index (MessageType mirrors the
   // alternative order; static_asserts in messages.hpp pin that) — a direct
   // jump table the handlers can inline into, instead of std::visit's
@@ -416,6 +435,14 @@ void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
       return handle_abort(ctx, from);
     case MessageType::kTerminate:
       return handle_terminate(ctx, from);
+    case MessageType::kPing:
+      return handle_ping(ctx, from);
+    case MessageType::kPong:
+      return handle_pong(ctx, from, *std::get_if<Pong>(&message));
+    case MessageType::kRecover:
+      return handle_recover(ctx, from, *std::get_if<Recover>(&message));
+    case MessageType::kRecoverAck:
+      return handle_recover_ack(ctx, from, *std::get_if<RecoverAck>(&message));
   }
   MDST_UNREACHABLE("on_message: unknown message type");
 }
@@ -427,6 +454,7 @@ void BasicNode<Context>::on_message(Context& ctx, sim::NodeId from,
 template <typename Context>
 void BasicNode<Context>::handle_start_round(Context& ctx, sim::NodeId from,
                                             const StartRound& msg) {
+  if (defensive_ && (from != parent_ || done_)) [[unlikely]] return;
   MDST_ASSERT(from == parent_, "StartRound from non-parent");
   MDST_ASSERT(!done_, "StartRound after Terminate");
   round_ = msg.round;
@@ -441,6 +469,7 @@ void BasicNode<Context>::handle_start_round(Context& ctx, sim::NodeId from,
 
 template <typename Context>
 void BasicNode<Context>::send_search_reply_up(Context& ctx) {
+  if (defensive_ && parent_ == sim::kNoNode) [[unlikely]] return;
   MDST_ASSERT(parent_ != sim::kNoNode, "reply up from root");
   send_indexed(ctx, parent_, parent_index_,
                SearchReply{search_best_deg_, search_best_who_,
@@ -450,6 +479,8 @@ void BasicNode<Context>::send_search_reply_up(Context& ctx) {
 template <typename Context>
 void BasicNode<Context>::handle_search_reply(Context& ctx, sim::NodeId from,
                                              const SearchReply& msg) {
+  if (defensive_ && (!has_child(from) || search_waiting_ == 0)) [[unlikely]]
+    return;
   MDST_ASSERT(has_child(from), "SearchReply from non-child");
   MDST_ASSERT(search_waiting_ > 0, "unexpected SearchReply");
   if (msg.degree > search_best_deg_ ||
@@ -476,6 +507,7 @@ void BasicNode<Context>::handle_search_reply(Context& ctx, sim::NodeId from,
 template <typename Context>
 void BasicNode<Context>::handle_move_root(Context& ctx, sim::NodeId from,
                                           const MoveRoot& msg) {
+  if (defensive_ && from != parent_) [[unlikely]] return;
   MDST_ASSERT(from == parent_, "MoveRoot from non-parent");
   // Path reversal: the sender already made us its parent.
   const std::uint32_t from_idx = parent_index_;
@@ -484,11 +516,14 @@ void BasicNode<Context>::handle_move_root(Context& ctx, sim::NodeId from,
   add_child(from, from_idx);
   k_ = msg.k;
   if (env_.name == msg.target) {
-    MDST_ASSERT(tree_degree() == msg.k, "MoveRoot target degree mismatch");
+    MDST_ASSERT(defensive_ || tree_degree() == msg.k,
+                "MoveRoot target degree mismatch");
     round_root_duty_ = true;
-    begin_cut(ctx);
+    begin_cut(ctx);  // defensively bails on a degree mismatch
     return;
   }
+  if (defensive_ && (via_ == sim::kNoNode || !has_child(via_))) [[unlikely]]
+    return;
   MDST_ASSERT(via_ != sim::kNoNode, "MoveRoot: no via toward target");
   const sim::NodeId next = via_;
   const std::uint32_t next_idx = child_index_of(next);
@@ -506,6 +541,7 @@ template <typename Context>
 template <bool Concurrent>
 void BasicNode<Context>::handle_cut(Context& ctx, sim::NodeId from,
                                     const Cut& msg) {
+  if (defensive_ && from != parent_) [[unlikely]] return;
   MDST_ASSERT(from == parent_, "Cut from non-parent");
   if (!msg.encl_top.valid()) {
     // Main cut: I am a fragment root; my fragment is (p, my name).
@@ -545,6 +581,7 @@ void BasicNode<Context>::handle_bfs(Context& ctx, sim::NodeId from,
 template <typename Context>
 void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
                                        const FragTag& sub, int k) {
+  if (defensive_ && role_ != Role::kIdle) [[unlikely]] return;
   MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
   role_ = Role::kMember;
   k_ = k;
@@ -566,6 +603,10 @@ void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
   const std::span<const sim::NeighborInfo> neighbors = env_.neighbors;
   for (std::size_t i = 0; i < neighbors.size(); ++i) {
     if (i == parent_index_ || child_at_[i]) continue;
+    // Neighbors the recovery layer declared dead answer no probe; counting
+    // them would wedge the closure forever (rec_nb_ is null = one pointer
+    // test when the layer is off).
+    if (nb_dead(i)) [[unlikely]] continue;
     ++cross;
     send_indexed(ctx, neighbors[i].id, static_cast<std::uint32_t>(i),
                  Bfs{k_, top_, sub_});  // cousin probe
@@ -586,6 +627,8 @@ void BasicNode<Context>::become_member(Context& ctx, const FragTag& top,
 template <typename Context>
 void BasicNode<Context>::become_sub_root(Context& ctx, const FragTag& encl_top,
                                          int k) {
+  if (defensive_ && (role_ != Role::kIdle || children_.empty())) [[unlikely]]
+    return;
   MDST_ASSERT(role_ == Role::kIdle, "wave reached a node twice");
   role_ = Role::kSubRoot;
   k_ = k;
@@ -642,6 +685,10 @@ void BasicNode<Context>::on_cross_probe(Context& ctx, sim::NodeId from,
 
 template <typename Context>
 void BasicNode<Context>::close_cross_edge_at(Context& ctx, std::size_t idx) {
+  if (defensive_ &&
+      (cross_closed_epoch_[idx] == wave_epoch_ || wave_waiting_ == 0))
+      [[unlikely]]
+    return;
   MDST_ASSERT(cross_closed_epoch_[idx] != wave_epoch_,
               "cross edge closed twice");
   cross_closed_epoch_[idx] = wave_epoch_;
@@ -653,6 +700,7 @@ void BasicNode<Context>::close_cross_edge_at(Context& ctx, std::size_t idx) {
 template <typename Context>
 void BasicNode<Context>::handle_cousin_reply(Context& ctx, sim::NodeId from,
                                              const CousinReply& msg) {
+  if (defensive_ && role_ != Role::kMember) [[unlikely]] return;
   MDST_ASSERT(role_ == Role::kMember, "CousinReply at a non-member");
   const int my_deg = tree_degree();
   const int end_deg = std::max(my_deg, msg.degree);
@@ -683,6 +731,9 @@ void BasicNode<Context>::handle_cousin_reply(Context& ctx, sim::NodeId from,
 template <typename Context>
 void BasicNode<Context>::member_maybe_report(Context& ctx) {
   if (role_ != Role::kMember || reported_up_ || wave_waiting_ != 0) return;
+  // A corrupted member whose parent link was severed has nowhere to report;
+  // the wave above it wedges, which the stall detector turns into recovery.
+  if (defensive_ && parent_ == sim::kNoNode) [[unlikely]] return;
   reported_up_ = true;
   const Candidate sub_cand = (sub_ != top_) ? best_sub_ : Candidate{};
   // BfsBack boxes its candidates: the implicit Candidate -> BoxedCandidate
@@ -695,9 +746,19 @@ void BasicNode<Context>::member_maybe_report(Context& ctx) {
 template <typename Context>
 void BasicNode<Context>::handle_bfs_back(Context& ctx, sim::NodeId from,
                                          const BfsBack& msg) {
-  MDST_ASSERT(is_wave_child_slot(
-                  neighbor_index_hinted(from, delivery_from_index(ctx))),
-              "BfsBack from non-wave-child");
+  const std::size_t from_idx =
+      neighbor_index_hinted(from, delivery_from_index(ctx));
+  if (defensive_ && (!is_wave_child_slot(from_idx) || wave_waiting_ == 0 ||
+                     role_ == Role::kIdle)) [[unlikely]] {
+    // Stale-epoch report (the recovery reset bumped the wave epoch, so
+    // pre-reset traffic fails the membership test). Dropping it still
+    // consumes the boxed candidates — this handler stays their single
+    // consumer either way.
+    if (msg.best_top.valid()) msg.best_top.release();
+    if (msg.best_sub.valid()) msg.best_sub.release();
+    return;
+  }
+  MDST_ASSERT(is_wave_child_slot(from_idx), "BfsBack from non-wave-child");
   // This handler is the boxed candidates' single consumer (candidates.hpp):
   // read, then release each valid box exactly once.
   if (msg.best_top.valid()) {
@@ -748,6 +809,8 @@ void BasicNode<Context>::subroot_maybe_resolve(Context& ctx) {
 
 template <typename Context>
 void BasicNode<Context>::subroot_report_up(Context& ctx) {
+  if (defensive_ && (parent_ == sim::kNoNode || reported_up_)) [[unlikely]]
+    return;
   MDST_ASSERT(role_ == Role::kSubRoot, "report_up outside sub-root");
   MDST_ASSERT(!reported_up_, "sub-root reported twice");
   reported_up_ = true;
@@ -777,6 +840,12 @@ void BasicNode<Context>::handle_update(Context& ctx, sim::NodeId from,
       scope = Scope::kSub;
       MDST_ASSERT(prov_sub_ == sim::kNoNode, "owner must have formed the candidate");
     } else {
+      if (defensive_) {
+        // The candidate no longer matches (reset or corrupted state):
+        // abandon the commit so the round aborts instead of wedging here.
+        ctx.send(update_from_, Abort{});
+        return;
+      }
       MDST_UNREACHABLE("Update for a candidate I did not form");
     }
     if (tree_degree() > msg.k - 2) {
@@ -803,6 +872,10 @@ void BasicNode<Context>::handle_update(Context& ctx, sim::NodeId from,
     ctx.send(prov_sub_, msg);
     return;
   }
+  if (defensive_) {
+    ctx.send(update_from_, Abort{});
+    return;
+  }
   MDST_UNREACHABLE("Update does not match any recorded candidate");
 }
 
@@ -812,7 +885,11 @@ void BasicNode<Context>::handle_child_request(Context& ctx, sim::NodeId from,
   // I am the far endpoint w. Accept iff my degree cap still holds and the
   // requester is (still) in a different fragment of the round root.
   const std::uint32_t from_idx = delivery_from_index(ctx);
-  const bool ok = have_tags_ && tree_degree() <= msg.k - 2 && top_ != msg.u_top;
+  // The two structural terms (requester is not already tree-adjacent) hold
+  // trivially on a sane commit — a cross edge is neither parent nor child —
+  // and turn a corrupted double-commit into a clean reject.
+  const bool ok = have_tags_ && tree_degree() <= msg.k - 2 &&
+                  top_ != msg.u_top && from != parent_ && !has_child(from);
   if (!ok) {
     send_indexed(ctx, from, from_idx, ChildReject{});
     return;
@@ -823,6 +900,7 @@ void BasicNode<Context>::handle_child_request(Context& ctx, sim::NodeId from,
 
 template <typename Context>
 void BasicNode<Context>::handle_child_accept(Context& ctx, sim::NodeId from) {
+  if (defensive_ && from != pending_new_parent_) [[unlikely]] return;
   MDST_ASSERT(from == pending_new_parent_, "ChildAccept from unexpected node");
   const graph::NodeName stop_at =
       (pending_scope_ == Scope::kTop) ? top_.root : sub_.root;
@@ -831,6 +909,7 @@ void BasicNode<Context>::handle_child_accept(Context& ctx, sim::NodeId from) {
 
 template <typename Context>
 void BasicNode<Context>::handle_child_reject(Context& ctx, sim::NodeId from) {
+  if (defensive_ && from != pending_new_parent_) [[unlikely]] return;
   MDST_ASSERT(from == pending_new_parent_, "ChildReject from unexpected node");
   pending_new_parent_ = sim::kNoNode;
   ctx.send(update_from_, Abort{});
@@ -840,6 +919,7 @@ template <typename Context>
 void BasicNode<Context>::begin_reversal(Context& ctx, graph::NodeName stop_at,
                                         sim::NodeId new_parent) {
   // Re-root my old fragment path at me and hang myself below new_parent.
+  if (defensive_ && parent_ == sim::kNoNode) [[unlikely]] return;
   MDST_ASSERT(parent_ != sim::kNoNode, "edge owner cannot be the round root");
   const sim::NodeId old_parent = parent_;
   const std::uint32_t old_idx = parent_index_;
@@ -856,6 +936,8 @@ void BasicNode<Context>::begin_reversal(Context& ctx, graph::NodeName stop_at,
 template <typename Context>
 void BasicNode<Context>::handle_reverse(Context& ctx, sim::NodeId from,
                                         const Reverse& msg) {
+  if (defensive_ && (!has_child(from) || parent_ == sim::kNoNode)) [[unlikely]]
+    return;
   MDST_ASSERT(has_child(from), "Reverse from non-child");
   remove_child(from);
   MDST_ASSERT(parent_ != sim::kNoNode, "Reverse reached the round root");
@@ -874,6 +956,10 @@ void BasicNode<Context>::handle_reverse(Context& ctx, sim::NodeId from,
 
 template <typename Context>
 void BasicNode<Context>::handle_detach(Context& ctx, sim::NodeId from) {
+  if (defensive_ &&
+      (!has_child(from) || !improving_ ||
+       (role_ != Role::kRoot && role_ != Role::kSubRoot))) [[unlikely]]
+    return;
   MDST_ASSERT(has_child(from), "Detach from non-child");
   remove_child(from);
   MDST_ASSERT(improving_, "Detach while not improving");
@@ -908,6 +994,7 @@ void BasicNode<Context>::handle_abort(Context& ctx, sim::NodeId from) {
     return;
   }
   // Forwarding member: pass the abort back toward the (sub-)root.
+  if (defensive_ && update_from_ == sim::kNoNode) [[unlikely]] return;
   MDST_ASSERT(update_from_ != sim::kNoNode, "Abort with no pending update");
   ctx.send(update_from_, Abort{});
 }
@@ -918,12 +1005,319 @@ void BasicNode<Context>::handle_abort(Context& ctx, sim::NodeId from) {
 
 template <typename Context>
 void BasicNode<Context>::handle_terminate(Context& ctx, sim::NodeId from) {
+  if (defensive_ && (from != parent_ || done_)) [[unlikely]] return;
   MDST_ASSERT(from == parent_, "Terminate from non-parent");
   MDST_ASSERT(!done_, "Terminate twice");
   done_ = true;
   for (std::size_t i = 0; i < children_.size(); ++i) {
     send_indexed(ctx, children_[i], child_indices_[i], Terminate{});
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing layer: heartbeat detection + keyed re-election floods.
+// The protocol design lives in mdst/recovery.hpp; the simulator-side timer
+// contract in runtime/sim_core.hpp (schedule_timer).
+// ---------------------------------------------------------------------------
+
+template <typename Context>
+void BasicNode<Context>::arm_heartbeat(Context& ctx) {
+  if (!recovery_on_ || timer_armed_ || done_ || crashed_) return;
+  // Capability probe: virtual mock contexts have no timer facility; there
+  // the layer stays message-driven only (tests call on_timer directly).
+  if (sim::schedule_timer(ctx, opts_.recovery.heartbeat_period)) {
+    timer_armed_ = true;
+  }
+}
+
+template <typename Context>
+void BasicNode<Context>::on_timer(Context& ctx) {
+  timer_armed_ = false;
+  if (crashed_ || done_ || !recovery_on_) return;  // the timer chain drains
+  if (recovering_) {
+    if (rec_waiting_ > 0 && ++ack_fires_ >= ack_limit_) {
+      // Flood neighbors that answered nothing within the timeout are
+      // declared dead and dropped from the wait. The limit doubles per use
+      // so a slow-but-alive network cannot be starved by repeated false
+      // timeouts — each retry tolerates twice the quiet time.
+      ack_fires_ = 0;
+      ack_limit_ *= 2;
+      const std::size_t deg = env_.neighbors.size();
+      for (std::size_t i = 0; i < deg; ++i) {
+        if ((rec_nb_[i] & kNbAwait) == 0) continue;
+        rec_nb_[i] = static_cast<std::uint8_t>((rec_nb_[i] & ~kNbAwait) |
+                                               kNbDead);
+        MDST_ASSERT(rec_waiting_ > 0, "flood ack accounting underflow");
+        --rec_waiting_;
+      }
+      if (rec_waiting_ == 0) finish_flood(ctx);
+    }
+    arm_heartbeat(ctx);
+    return;
+  }
+  if (awaiting_pong_) {
+    if (++pong_fires_ >= pong_limit_) {
+      pong_fires_ = 0;
+      pong_limit_ *= 2;  // tolerance doubles against ARQ-delayed replies
+      awaiting_pong_ = false;
+      start_recovery(ctx, /*cause=*/0);  // dead parent
+      arm_heartbeat(ctx);
+      return;
+    }
+  } else if (parent_ != sim::kNoNode && !nb_dead(parent_index_)) {
+    send_indexed(ctx, parent_, parent_index_, Ping{});
+    awaiting_pong_ = true;
+  }
+  // Stall detection (cause 2) counts quiet heartbeats only while this node
+  // holds an outstanding obligation — a wave or search it is collecting, or
+  // a parent hand-off in flight. That is the one detector that catches a
+  // *leaf* dying (nobody heartbeats toward a leaf; only its parent's
+  // never-completing wave betrays it) and a corrupted coordinator silently
+  // dropping a wave. A node with no obligation may idle forever without
+  // being suspicious, so its quiet ticks never count; the waiting side of a
+  // healthy-but-slow subtree is protected by the doubling limit below.
+  const bool mid_protocol = wave_waiting_ > 0 || search_waiting_ > 0 ||
+                            pending_new_parent_ != sim::kNoNode;
+  if (!mid_protocol) {
+    stall_fires_ = 0;
+  } else if (++stall_fires_ >= stall_limit_) {
+    stall_fires_ = 0;
+    stall_limit_ *= 2;  // false-positive guard: see recovery.hpp
+    start_recovery(ctx, /*cause=*/2);  // stalled wave
+  }
+  arm_heartbeat(ctx);
+}
+
+template <typename Context>
+void BasicNode<Context>::handle_ping(Context& ctx, sim::NodeId from) {
+  if (!recovery_on_) return;
+  const auto idx = static_cast<std::uint32_t>(
+      neighbor_index_hinted(from, delivery_from_index(ctx)));
+  rec_nb_[idx] &= static_cast<std::uint8_t>(~kNbDead);  // it spoke: alive
+  // Truthful edge check: a parent whose state no longer counts the pinger
+  // among its children answers ok=false — the pinger reads that as "the
+  // tree edge is gone on one side" and starts recovery.
+  send_indexed(ctx, from, idx, Pong{child_at_[idx] != 0});
+}
+
+template <typename Context>
+void BasicNode<Context>::handle_pong(Context& ctx, sim::NodeId from,
+                                     const Pong& msg) {
+  if (!recovery_on_ || !awaiting_pong_) return;
+  if (from != parent_) {
+    // Stale reply: the heartbeat went to a node that stopped being this
+    // node's parent while the Pong was in flight (improvement hand-offs
+    // re-parent constantly). The wait must still clear — leaving
+    // awaiting_pong_ stuck would starve the new parent of pings and read
+    // as a dead parent two quiet fires later.
+    awaiting_pong_ = false;
+    pong_fires_ = 0;
+    deny_count_ = 0;
+    return;
+  }
+  awaiting_pong_ = false;
+  pong_fires_ = 0;
+  // Denied-edge tolerance: a single denial is routinely benign — during an
+  // improvement hand-off the parent drops the child from its table a few
+  // ticks before (or after) the child re-points, and a heartbeat landing in
+  // that window reads as "not my child". Only *consecutive* denials mark a
+  // genuinely inconsistent edge (a corrupted child table denies forever),
+  // and the limit doubles per fire so repeated recoveries back off
+  // geometrically instead of livelocking on post-install windows.
+  if (msg.ok) {
+    deny_count_ = 0;
+    return;
+  }
+  if (++deny_count_ >= deny_limit_) {
+    deny_count_ = 0;
+    deny_limit_ *= 2;
+    start_recovery(ctx, /*cause=*/1);  // persistently denied tree edge
+  }
+}
+
+template <typename Context>
+void BasicNode<Context>::start_recovery(Context& ctx, int cause) {
+  if (!recovery_on_ || recovering_ || crashed_) return;
+  const std::uint32_t gen = rec_gen_ + 1;
+  sim::annotate_tagged(ctx, note_recover_start(gen, env_.name, cause),
+                       format_round_note);
+  begin_flood(gen, env_.name, sim::kNoNode, sim::kNoNeighborIndex);
+  forward_flood(ctx);
+  if (rec_waiting_ == 0) finish_flood(ctx);  // fully isolated node
+}
+
+template <typename Context>
+void BasicNode<Context>::begin_flood(std::uint32_t gen, graph::NodeName root,
+                                     sim::NodeId from,
+                                     std::uint32_t from_index) {
+  rec_gen_ = gen;
+  rec_root_ = root;
+  rec_parent_ = from;
+  rec_parent_index_ = from_index;
+  recovering_ = true;
+  awaiting_pong_ = false;
+  pong_fires_ = 0;
+  stall_fires_ = 0;
+  ack_fires_ = 0;
+  recovery_reset_protocol();
+}
+
+template <typename Context>
+void BasicNode<Context>::recovery_reset_protocol() {
+  // The re-election rebuilds the tree from scratch: every link dissolves
+  // here and reforms from accepted RecoverAcks (children) and the winning
+  // flood edge (parent, installed in finish_flood). Done nodes wake.
+  parent_ = sim::kNoNode;
+  parent_index_ = sim::kNoNeighborIndex;
+  children_.clear();
+  child_indices_.clear();
+  std::fill_n(child_at_, env_.neighbors.size(), std::uint8_t{0});
+  done_ = false;
+  stop_reason_ = StopReason::kNotStopped;
+  round_root_duty_ = false;
+  stuck_ = false;
+  clear_stuck_next_ = false;
+  role_ = Role::kIdle;
+  have_tags_ = false;
+  top_ = FragTag{};
+  sub_ = FragTag{};
+  wave_waiting_ = 0;
+  search_waiting_ = 0;
+  reported_up_ = false;
+  best_top_ = Candidate{};
+  best_sub_ = Candidate{};
+  prov_top_ = sim::kNoNode;
+  prov_sub_ = sim::kNoNode;
+  via_ = sim::kNoNode;
+  subtree_stuck_ = false;
+  subtree_improved_ = false;
+  improving_ = false;
+  round_aborted_ = false;
+  update_from_ = sim::kNoNode;
+  pending_candidate_ = Candidate{};
+  pending_new_parent_ = sim::kNoNode;
+  sub_internal_done_ = false;
+  sub_stuck_ = false;
+  sub_improved_ = false;
+  queued_probes_.clear();
+  // Invalidate every wave-membership stamp: stale pre-reset BfsBack and
+  // closure traffic now fails the epoch test and is defensively dropped.
+  begin_wave();
+}
+
+template <typename Context>
+void BasicNode<Context>::forward_flood(Context& ctx) {
+  rec_waiting_ = 0;
+  const std::span<const sim::NeighborInfo> neighbors = env_.neighbors;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    // Stale await bits from an abandoned (outvoted) flood must not survive
+    // into this one's accounting.
+    rec_nb_[i] &= static_cast<std::uint8_t>(~kNbAwait);
+    if (static_cast<std::uint32_t>(i) == rec_parent_index_) continue;
+    if ((rec_nb_[i] & kNbDead) != 0) continue;
+    rec_nb_[i] |= kNbAwait;
+    ++rec_waiting_;
+    send_indexed(ctx, neighbors[i].id, static_cast<std::uint32_t>(i),
+                 Recover{rec_gen_, rec_root_});
+  }
+}
+
+template <typename Context>
+void BasicNode<Context>::handle_recover(Context& ctx, sim::NodeId from,
+                                        const Recover& msg) {
+  if (!recovery_on_) return;
+  const auto idx = static_cast<std::uint32_t>(
+      neighbor_index_hinted(from, delivery_from_index(ctx)));
+  rec_nb_[idx] &= static_cast<std::uint8_t>(~kNbDead);
+  const bool higher =
+      msg.gen > rec_gen_ || (msg.gen == rec_gen_ && msg.root > rec_root_);
+  if (!higher) {
+    // Already carrying an equal-or-better key (possibly via another path):
+    // reject so the sender's ack count closes without adopting me.
+    send_indexed(ctx, from, idx, RecoverAck{msg.gen, msg.root, false});
+    return;
+  }
+  // Losing a flood race mid-flood: release the old flood parent from its
+  // wait before switching allegiance (echoing the old key).
+  if (recovering_ && rec_parent_ != sim::kNoNode) {
+    send_indexed(ctx, rec_parent_, rec_parent_index_,
+                 RecoverAck{rec_gen_, rec_root_, false});
+  }
+  begin_flood(msg.gen, msg.root, from, idx);
+  arm_heartbeat(ctx);  // woken done nodes resume heartbeating
+  forward_flood(ctx);
+  if (rec_waiting_ == 0) finish_flood(ctx);
+}
+
+template <typename Context>
+void BasicNode<Context>::handle_recover_ack(Context& ctx, sim::NodeId from,
+                                            const RecoverAck& msg) {
+  if (!recovery_on_) return;
+  if (!recovering_ || msg.gen != rec_gen_ || msg.root != rec_root_) return;
+  const auto idx = static_cast<std::uint32_t>(
+      neighbor_index_hinted(from, delivery_from_index(ctx)));
+  rec_nb_[idx] &= static_cast<std::uint8_t>(~kNbDead);
+  if ((rec_nb_[idx] & kNbAwait) == 0) return;  // late answer after a timeout
+  rec_nb_[idx] &= static_cast<std::uint8_t>(~kNbAwait);
+  if (msg.accepted) add_child(from, idx);
+  MDST_ASSERT(rec_waiting_ > 0, "RecoverAck accounting underflow");
+  --rec_waiting_;
+  if (rec_waiting_ == 0) finish_flood(ctx);
+}
+
+template <typename Context>
+void BasicNode<Context>::finish_flood(Context& ctx) {
+  recovering_ = false;
+  ack_fires_ = 0;
+  if (rec_parent_ == sim::kNoNode) {
+    // This node initiated the winning flood: every accepted subtree has
+    // reset and re-attached below it. Install as root and hand control
+    // back to the normal improvement rounds.
+    sim::annotate_tagged(
+        ctx,
+        note_recover_install(rec_gen_, env_.name,
+                             static_cast<std::uint32_t>(children_.size())),
+        format_round_note);
+    begin_round(ctx);
+    return;
+  }
+  parent_ = rec_parent_;
+  parent_index_ = rec_parent_index_;
+  send_indexed(ctx, parent_, parent_index_,
+               RecoverAck{rec_gen_, rec_root_, true});
+}
+
+// ---------------------------------------------------------------------------
+// State corruption (runtime/fault.hpp corrupt(r,k))
+// ---------------------------------------------------------------------------
+
+template <typename Context>
+bool BasicNode<Context>::corrupt(support::Rng& rng) {
+  if (crashed_) return false;  // crash-stop wins; nothing left to scramble
+  switch (rng.next_below(3)) {
+    case 0:
+      if (parent_ != sim::kNoNode) {
+        // Sever the parent link: this node silently turns into a fake root
+        // while its parent still counts it as a child.
+        parent_ = sim::kNoNode;
+        parent_index_ = sim::kNoNeighborIndex;
+        break;
+      }
+      [[fallthrough]];  // the real root has no parent link to sever
+    case 1:
+      // Forge the fragment identity: cousin probes now compare against a
+      // tag no wave ever issued, and wave closures misroute.
+      top_ = FragTag{env_.name, kNoName};
+      sub_ = top_;
+      have_tags_ = true;
+      break;
+    default:
+      // Inflate the wave closure counter: the node waits for reports that
+      // can never arrive, wedging the convergecast above it.
+      wave_waiting_ += 1 + static_cast<std::uint32_t>(rng.next_below(3));
+      break;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

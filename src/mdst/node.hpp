@@ -63,6 +63,10 @@ template <typename Message>
 class ShardContext;  // defined in runtime/sharded_sim.hpp
 }  // namespace mdst::sim
 
+namespace mdst::support {
+class Rng;  // defined in support/rng.hpp (the corrupt() scramble stream)
+}  // namespace mdst::support
+
 namespace mdst::core {
 
 /// Why the algorithm stopped (recorded by the final round root).
@@ -97,6 +101,19 @@ class alignas(64) BasicNode {
 
   void on_start(Ctx& ctx);
   void on_message(Ctx& ctx, sim::NodeId from, const Message& message);
+
+  /// Heartbeat fire of the self-healing layer (recovery.hpp). Only ever
+  /// delivered when Options::recovery.enabled armed a timer; a fire on a
+  /// done or crashed node simply does not re-arm, so the timer chain — and
+  /// with it the event queue — drains at termination.
+  void on_timer(Ctx& ctx);
+
+  /// State-corruption fault hook (runtime/fault.hpp corrupt(r,k)): scramble
+  /// one facet of the protocol state — sever the parent link, forge the
+  /// fragment tag, or inflate the wave closure counter — drawing from the
+  /// per-node stream the simulator derives. Returns true when state
+  /// changed (false on an already-crashed node: crash-stop wins).
+  bool corrupt(support::Rng& rng);
 
   // --- final / inspection state -------------------------------------------
   bool done() const { return done_; }
@@ -161,6 +178,39 @@ class alignas(64) BasicNode {
   void handle_detach(Ctx& ctx, sim::NodeId from);
   void handle_abort(Ctx& ctx, sim::NodeId from);
   void handle_terminate(Ctx& ctx, sim::NodeId from);
+
+  // ---- self-healing layer (mdst/recovery.hpp has the protocol design).
+  void handle_ping(Ctx& ctx, sim::NodeId from);
+  void handle_pong(Ctx& ctx, sim::NodeId from, const Pong& msg);
+  void handle_recover(Ctx& ctx, sim::NodeId from, const Recover& msg);
+  void handle_recover_ack(Ctx& ctx, sim::NodeId from, const RecoverAck& msg);
+  /// (Re-)arm the multiplexed heartbeat timer, if the context supports
+  /// timers and none is in flight. Done/crashed nodes never re-arm.
+  void arm_heartbeat(Ctx& ctx);
+  /// Detection fired (`cause`: 0 dead parent, 1 denied tree edge, 2 stalled
+  /// wave): initiate a re-election flood keyed (rec_gen_ + 1, own name).
+  void start_recovery(Ctx& ctx, int cause);
+  /// Adopt flood key (gen, root) learned from `from` (kNoNode when this
+  /// node initiates) and hard-reset the protocol state.
+  void begin_flood(std::uint32_t gen, graph::NodeName root, sim::NodeId from,
+                   std::uint32_t from_index);
+  /// Forward the adopted flood to every live non-parent neighbor and start
+  /// the ack count.
+  void forward_flood(Ctx& ctx);
+  /// All acks in: initiators install themselves as root and restart the
+  /// rounds; everyone else re-attaches below the flood parent and acks up.
+  void finish_flood(Ctx& ctx);
+  /// The hard reset behind begin_flood: dissolve every tree link and all
+  /// round/improvement state; done nodes wake. The wave epoch bump makes
+  /// stale pre-reset wave traffic fail the membership checks (defensively
+  /// dropped).
+  void recovery_reset_protocol();
+  bool nb_dead(std::size_t slot) const {
+    return rec_nb_ != nullptr && (rec_nb_[slot] & kNbDead) != 0;
+  }
+  // Per-neighbor liveness bits (rec_nb_):
+  static constexpr std::uint8_t kNbDead = 1;   // timed out; excluded from waves
+  static constexpr std::uint8_t kNbAwait = 2;  // flood forwarded, ack pending
 
   // ---- round orchestration (executed by whichever node is currently root).
   void begin_round(Ctx& ctx);
@@ -301,6 +351,13 @@ class alignas(64) BasicNode {
   // ==== warm wave state (second/third cache line) =========================
   int search_deg_all_ = -1;
   std::uint32_t wave_epoch_ = 0;  // bumped by begin_wave(); stamps below
+  /// Tolerant-dispatch flag (opts_.recovery.defensive, or implied by the
+  /// recovery layer): handler-entry invariant violations drop the message
+  /// instead of asserting, so corrupted or stale-epoch traffic wedges
+  /// measurably (and recoverably) instead of dying. Cached in the warm
+  /// block — it gates every handler entry.
+  bool defensive_ = false;
+  bool recovery_on_ = false;  // opts_.recovery.enabled, cached beside it
   /// Degree-scaled state: fixed-capacity views into storage the node does
   /// not own (a NodeArenas slice, or the private owned_ block below). All
   /// five blocks hold exactly env_.neighbors.size() slots, bound once at
@@ -358,6 +415,29 @@ class alignas(64) BasicNode {
   /// Crash-stop flag (cold: only fault-plan runs ever set it; the guard
   /// reads are one byte load per event).
   bool crashed_ = false;
+  // ==== self-healing layer state (cold: recovery-off runs never touch it,
+  // beyond the never-set recovery_on_/defensive_ flags cached above) ======
+  bool timer_armed_ = false;    // one heartbeat timer event is in flight
+  bool awaiting_pong_ = false;  // pinged parent_, reply still outstanding
+  bool recovering_ = false;     // flood adopted/initiated, acks pending
+  std::uint32_t pong_fires_ = 0;   // heartbeat fires spent waiting for Pong
+  std::uint32_t pong_limit_ = 2;   // doubles per miss (ARQ-delay tolerance)
+  std::uint32_t stall_fires_ = 0;  // fires since the last protocol message
+  std::uint32_t stall_limit_ = 0;  // from RecoveryOptions; doubles per use
+  std::uint32_t ack_fires_ = 0;    // fires spent waiting for RecoverAcks
+  std::uint32_t ack_limit_ = 0;    // from RecoveryOptions; doubles per use
+  std::uint32_t deny_count_ = 0;   // consecutive denied Pongs from parent
+  std::uint32_t deny_limit_ = 2;   // doubles per fire (hand-off tolerance)
+  /// Highest flood key seen, lexicographic (gen, root name). Survives the
+  /// flood so stale same-key Recover arrivals are rejected, not re-adopted.
+  std::uint32_t rec_gen_ = 0;
+  graph::NodeName rec_root_ = kNoName;
+  sim::NodeId rec_parent_ = sim::kNoNode;  // flood parent = next tree parent
+  std::uint32_t rec_parent_index_ = sim::kNoNeighborIndex;
+  std::uint32_t rec_waiting_ = 0;  // forwarded floods awaiting a RecoverAck
+  /// Per-neighbor-slot liveness bits (kNbDead/kNbAwait). Allocated only
+  /// when the recovery layer is enabled; null (and never read) otherwise.
+  std::unique_ptr<std::uint8_t[]> rec_nb_;
   /// Backing block for the legacy (non-arena) constructor: one allocation
   /// holding all five degree-scaled arrays. Null when arena-backed. Cold —
   /// touched only at construction; the hot path goes through the bound

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "mdst/recovery.hpp"
+
 namespace mdst::core {
 
 /// How rounds treat multiple maximum-degree nodes (paper §3.2.6; DESIGN D2).
@@ -36,6 +38,9 @@ struct Options {
   /// stop as soon as the tree's maximum degree is <= target_degree.
   /// 0 disables the target; values < 2 behave like 2.
   int target_degree = 0;
+  /// Self-healing layer (mdst/recovery.hpp): heartbeat failure detection +
+  /// re-election floods. Off by default — and then byte-inert.
+  RecoveryOptions recovery;
 };
 
 }  // namespace mdst::core

@@ -1,0 +1,85 @@
+// Self-healing layer of the distributed MDegST protocol: heartbeat/timeout
+// failure detection over tree edges and a keyed re-election flood that
+// rebuilds a spanning structure over the live nodes, then hands control
+// back to the normal improvement waves.
+//
+// The layer is OFF by default (RecoveryOptions::enabled == false) and, when
+// off, contributes no timers, no messages, and no state transitions — runs
+// are byte-identical to a build without it (tests/mdst/recovery_test.cpp
+// pins this). When on:
+//
+//   * every live, unterminated node runs one multiplexed heartbeat timer
+//     (sim::schedule_timer through the CalendarQueue — ARQ-compatible,
+//     shard-deterministic): each fire (a) pings the parent and flags a
+//     missed Pong, (b) advances a stall counter reset by every *protocol*
+//     message (Ping/Pong do not count), and (c) while recovering, advances
+//     the ack-timeout counter;
+//   * three detection paths trigger a RECOVER flood: a missed Pong (dead
+//     parent), Pong{ok=false} (the parent denies the tree edge — corrupted
+//     state), and the stall counter crossing its limit (a wedged wave, e.g.
+//     a corrupted fake root that everyone else is waiting on);
+//   * the flood (messages.hpp Recover/RecoverAck) is a keyed re-election:
+//     keys (gen, initiator name) order lexicographically, every node adopts
+//     the highest key it has seen, fully resets its protocol state (done
+//     nodes wake), and forwards; RecoverAck{accepted} convergecasts "my
+//     subtree has reset" back up, and the winning initiator installs
+//     itself as root and begins a fresh improvement round;
+//   * neighbors that answer neither the flood nor heartbeats within the
+//     timeout are marked dead locally and excluded from future waves, so
+//     crashed nodes stop wedging the BFS wave.
+//
+// False-positive safety: the stall and ack limits double after each use
+// (per node), so spurious recoveries — long quiet phases on big graphs,
+// ARQ-delayed acks — cannot livelock; each retry tolerates twice the
+// quiet time until the limits exceed every honest delay. docs/faults.md
+// has the full taxonomy (ok / re_rooted / recovered / wedged).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/types.hpp"
+
+namespace mdst::core {
+
+/// Knobs of the self-healing layer (Options::recovery). All periods are in
+/// simulated ticks; the counters count heartbeat fires.
+struct RecoveryOptions {
+  /// Master switch. Off = no timers, no recovery messages, byte-identical
+  /// runs.
+  bool enabled = false;
+  /// Heartbeat timer period. Must be >= the delay model's min delay when
+  /// the sharded engine runs (window-closure requirement; run_mdst
+  /// enforces it).
+  sim::Time heartbeat_period = 8;
+  /// Heartbeat fires to wait for RecoverAcks before declaring unanswered
+  /// neighbors dead (doubles per use).
+  std::uint32_t ack_timeout_ticks = 6;
+  /// Heartbeat fires without any protocol message before suspecting a
+  /// wedged wave (doubles per use).
+  std::uint32_t stall_ticks = 8;
+  /// Tolerate protocol-contract violations by dropping the offending
+  /// message instead of asserting. Implied by `enabled`; also switched on
+  /// by the engine whenever the fault plan corrupts state, so corrupted
+  /// runs wedge measurably instead of dying on an assert.
+  bool defensive = false;
+};
+
+/// Per-run stabilization metrics (RunResult::recovery), derived at run end
+/// from the annotation marks and the per-type message counters.
+struct RecoveryStats {
+  /// True when the layer was enabled for the run.
+  bool enabled = false;
+  /// Simulated time of the first recovery flood (detection latency from
+  /// t=0); 0 when no recovery fired.
+  sim::Time first_detection_time = 0;
+  /// Re-election floods initiated (kRecoverStart marks).
+  std::uint64_t re_elections = 0;
+  /// Completed installs — floods that rebuilt a tree and restarted the
+  /// improvement waves (kRecoverInstall marks).
+  std::uint64_t installs = 0;
+  /// Delivered recovery-band messages (Ping/Pong/Recover/RecoverAck) — the
+  /// layer's message overhead.
+  std::uint64_t recovery_messages = 0;
+};
+
+}  // namespace mdst::core

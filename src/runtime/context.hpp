@@ -78,6 +78,21 @@ void send_indexed(Ctx& ctx, NodeId to, std::uint32_t idx, M&& m) {
   ctx.send(to, std::forward<M>(m));
 }
 
+/// Local-timer helper: contexts bound to a simulator (SimContext,
+/// ShardContext) schedule a real timer event that fires the node's
+/// on_timer(ctx) after `delay` ticks; virtual contexts (mocks, replay)
+/// silently no-op — timer-driven features like the recovery heartbeat
+/// simply stay inert there. Returns whether a timer was actually armed.
+template <typename Ctx>
+bool schedule_timer(Ctx& ctx, Time delay) {
+  if constexpr (requires { ctx.schedule_timer(delay); }) {
+    ctx.schedule_timer(delay);
+    return true;
+  } else {
+    return false;
+  }
+}
+
 struct AnnotationTag;  // runtime/metrics.hpp
 
 /// Structured-annotation helper: contexts that support the tagged path

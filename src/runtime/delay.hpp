@@ -50,6 +50,20 @@ class DelayModel {
     MDST_UNREACHABLE("bad delay kind");
   }
 
+  /// Per-hop scale for calibrating protocol timeouts (the self-healing
+  /// stall detector multiplies its quiet tolerance by this, mdst/engine.cpp):
+  /// the max delay for the bounded models, mean-ish for heavy_tail — its
+  /// rare huge outliers are absorbed by the detector's doubling guard, not
+  /// priced into every run's tolerance.
+  Time timeout_scale() const {
+    switch (kind_) {
+      case Kind::kUnit: return 1;
+      case Kind::kUniform: return hi_;
+      case Kind::kHeavyTail: return 1 + static_cast<Time>(1.0 / p_);
+    }
+    MDST_UNREACHABLE("bad delay kind");
+  }
+
   const char* name() const;
 
  private:

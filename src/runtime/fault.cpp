@@ -10,6 +10,7 @@ const char* to_string(RunOutcome outcome) {
   switch (outcome) {
     case RunOutcome::kOk: return "ok";
     case RunOutcome::kReRooted: return "re_rooted";
+    case RunOutcome::kRecovered: return "recovered";
     case RunOutcome::kWedged: return "wedged";
   }
   return "?";
@@ -19,8 +20,8 @@ FaultEngine::FaultEngine(const FaultPlan& plan, std::size_t node_count,
                          std::size_t edge_count,
                          std::vector<std::uint32_t> slot_edge)
     : plan_(plan), rng_(plan.seed), slot_edge_(std::move(slot_edge)) {
-  MDST_REQUIRE(plan_.loss >= 0.0 && plan_.loss < 1.0,
-               "fault plan: loss probability must be in [0,1)");
+  MDST_REQUIRE(plan_.loss >= 0.0 && plan_.loss <= 1.0,
+               "fault plan: loss probability must be in [0,1]");
   MDST_REQUIRE(plan_.churn_down == 0 || plan_.churn_up >= 1,
                "fault plan: churn_up must be >= 1 when churn is on");
   MDST_REQUIRE(plan_.non_fifo_fraction >= 0.0 && plan_.non_fifo_fraction <= 1.0,
@@ -28,6 +29,8 @@ FaultEngine::FaultEngine(const FaultPlan& plan, std::size_t node_count,
   MDST_REQUIRE((plan_.loss == 0.0 && plan_.churn_down == 0) ||
                    plan_.retransmit_timeout >= 1,
                "fault plan: retransmit_timeout must be >= 1");
+  MDST_REQUIRE(plan_.arq_attempt_cap >= 1,
+               "fault plan: arq_attempt_cap must be >= 1");
   // Draw order is part of the determinism contract (docs/faults.md): crash
   // set, then churn phases, then FIFO exemptions — so adding one fault kind
   // to a plan never reshuffles another kind's draws across runs of the
@@ -73,7 +76,75 @@ FaultEngine::FaultEngine(const FaultPlan& plan, std::size_t node_count,
       flag = rng_.next_bool(plan_.non_fifo_fraction) ? 1 : 0;
     }
   }
+  if (plan_.corrupts()) {
+    // Corruption targets come from their own derived stream — never the
+    // member rng_ above — so adding `corrupt(r,k)` to an existing plan
+    // leaves the crash set, churn phases, and FIFO flags byte-identical.
+    support::Rng corrupt_rng(plan_.seed ^ 0xc0de);
+    std::vector<std::uint8_t> mask(node_count, 0);
+    for (const NodeId v : plan_.corrupt_nodes) {
+      MDST_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < node_count,
+                   "fault plan: corrupt node out of range");
+      mask[static_cast<std::size_t>(v)] = 1;
+    }
+    if (plan_.corrupt_count > 0) {
+      const auto want = static_cast<std::uint32_t>(
+          std::min<std::size_t>(plan_.corrupt_count, node_count));
+      std::vector<NodeId> order(node_count);
+      for (std::size_t v = 0; v < node_count; ++v) {
+        order[v] = static_cast<NodeId>(v);
+      }
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(
+                                      corrupt_rng.next_below(node_count - i));
+        std::swap(order[i], order[j]);
+        mask[static_cast<std::size_t>(order[i])] = 1;
+      }
+    }
+    for (std::size_t v = 0; v < node_count; ++v) {
+      if (mask[v] != 0) corrupt_targets_.push_back(static_cast<NodeId>(v));
+    }
+  }
 }
+
+namespace {
+
+/// Collapsed stop-and-wait ARQ shared by the sequential and keyed variants:
+/// attempt i goes out at now + gap(i) past the previous one and fails if
+/// the link is down or the loss draw bites; the message arrives with the
+/// first surviving attempt. Loss < 1 and churn_up >= 1 make success
+/// certain; the attempt cap bounds the astronomically unlikely tail (and
+/// deliberate loss = 1.0 plans) — a capped message still delivers, late,
+/// rather than silently vanishing. Under kExp the retry gap doubles per
+/// failure (capped at 64x the base timer) with jitter in [0, gap) drawn
+/// from the same stream; the jitter draw happens only on the kExp path, so
+/// kFixed plans replay the exact historical draw sequence.
+template <typename LinkUp, typename Rand>
+Time collapsed_arq(const FaultPlan& plan, std::uint32_t edge, Time now,
+                   Time deliver_at, FaultStats& stats, LinkUp&& link_up,
+                   Rand& rng) {
+  const bool lossy = plan.loss > 0.0;
+  const bool churny = plan.churn_down > 0;
+  Time offset = 0;
+  Time gap = plan.retransmit_timeout;
+  std::uint64_t failed = 0;
+  while (failed < plan.arq_attempt_cap) {
+    const bool up = !churny || link_up(edge, now + offset);
+    if (up && !(lossy && rng.next_bool(plan.loss))) break;
+    ++failed;
+    if (plan.arq_backoff == ArqBackoff::kExp) {
+      offset += gap + static_cast<Time>(rng.next_below(gap));
+      const Time cap = plan.retransmit_timeout * 64;
+      gap = std::min<Time>(gap * 2, cap);
+    } else {
+      offset += gap;
+    }
+  }
+  stats.retransmits += failed;
+  return deliver_at + offset;
+}
+
+}  // namespace
 
 Time FaultEngine::transform_delivery(std::size_t slot, Time now,
                                      Time deliver_at) {
@@ -81,23 +152,9 @@ Time FaultEngine::transform_delivery(std::size_t slot, Time now,
   const bool churny = plan_.churn_down > 0;
   if (!lossy && !churny) return deliver_at;
   const std::uint32_t edge = slot_edge_[slot];
-  // Stop-and-wait ARQ, collapsed: attempt i goes out at now + i*rto and
-  // fails if the link is down or the loss draw bites; the message arrives
-  // with the first surviving attempt. Loss < 1 and churn_up >= 1 make
-  // success certain; the attempt cap only bounds the astronomically
-  // unlikely tail (and a pathological hand-built plan) — a capped message
-  // still delivers, late, rather than silently vanishing.
-  constexpr std::uint64_t kAttemptCap = 100'000;
-  Time offset = 0;
-  std::uint64_t failed = 0;
-  while (failed < kAttemptCap) {
-    const bool up = !churny || link_up(edge, now + offset);
-    if (up && !(lossy && rng_.next_bool(plan_.loss))) break;
-    ++failed;
-    offset += plan_.retransmit_timeout;
-  }
-  stats_.retransmits += failed;
-  return deliver_at + offset;
+  return collapsed_arq(
+      plan_, edge, now, deliver_at, stats_,
+      [this](std::uint32_t e, Time at) { return link_up(e, at); }, rng_);
 }
 
 Time FaultEngine::transform_delivery_keyed(std::size_t slot, std::uint32_t seq,
@@ -112,17 +169,9 @@ Time FaultEngine::transform_delivery_keyed(std::size_t slot, std::uint32_t seq,
   // draws disjoint from every other derived stream of the plan seed.
   support::Rng keyed(
       support::derive_seed(plan_.seed ^ 0x10555a6e, slot, seq));
-  constexpr std::uint64_t kAttemptCap = 100'000;
-  Time offset = 0;
-  std::uint64_t failed = 0;
-  while (failed < kAttemptCap) {
-    const bool up = !churny || link_up(edge, now + offset);
-    if (up && !(lossy && keyed.next_bool(plan_.loss))) break;
-    ++failed;
-    offset += plan_.retransmit_timeout;
-  }
-  stats.retransmits += failed;
-  return deliver_at + offset;
+  return collapsed_arq(
+      plan_, edge, now, deliver_at, stats,
+      [this](std::uint32_t e, Time at) { return link_up(e, at); }, keyed);
 }
 
 }  // namespace mdst::sim

@@ -46,6 +46,12 @@
 
 namespace mdst::sim {
 
+/// ARQ retransmit-timer policy (`arq_backoff` spec knob): `kFixed` retries
+/// every retransmit_timeout ticks (the PR 6 behavior, and the default so
+/// existing fault cells never shift); `kExp` doubles the gap per failed
+/// attempt (capped) and adds jitter drawn from the same per-message stream.
+enum class ArqBackoff : std::uint8_t { kFixed, kExp };
+
 /// Declarative adversity plan; inert (and cost-free) unless active().
 struct FaultPlan {
   /// Crash-stop `crash_count` nodes (drawn from the fault stream) — or the
@@ -53,7 +59,19 @@ struct FaultPlan {
   Time crash_time = 0;
   std::uint32_t crash_count = 0;
   std::vector<NodeId> crash_nodes;
-  /// Per-attempt link-loss probability in [0, 1).
+  /// State-corruption faults (`corrupt(r,k)`): at time `corrupt_time`,
+  /// `corrupt_count` drawn nodes — or the explicit `corrupt_nodes` set —
+  /// have their protocol state scrambled through the node's corrupt()
+  /// hook. Targets draw from their own stream (seed ^ 0xc0de), appended
+  /// after every existing draw, so adding corruption to a plan never
+  /// shifts the crash set, churn phases, or FIFO exemptions. Corrupting a
+  /// crashed node is a no-op (the hook never runs on casualties).
+  Time corrupt_time = 0;
+  std::uint32_t corrupt_count = 0;
+  std::vector<NodeId> corrupt_nodes;
+  /// Per-attempt link-loss probability in [0, 1]. p = 1.0 means every
+  /// attempt fails until the attempt cap forces the last one through —
+  /// ARQ survivability degenerates to one very late delivery.
   double loss = 0.0;
   /// Link churn windows; churn is active iff churn_down > 0 (and then
   /// churn_up must be >= 1 so every link is periodically usable).
@@ -63,15 +81,27 @@ struct FaultPlan {
   double non_fifo_fraction = 0.0;
   /// ARQ timer: a failed attempt retries this many ticks later.
   Time retransmit_timeout = 4;
+  /// Retransmit-timer policy; kFixed keeps the historical draw sequence.
+  ArqBackoff arq_backoff = ArqBackoff::kFixed;
+  /// Collapsed stop-and-wait attempt budget: after this many failed
+  /// attempts the next one is delivered unconditionally (loss = 1.0 and
+  /// long churn outages stay survivable, just slow). The default matches
+  /// the historical hard-coded cap.
+  std::uint64_t arq_attempt_cap = 100'000;
   /// Wedge-watchdog wall-clock cap (0 = none): run_mdst stops stepping and
   /// reports `wedged` when simulated time passes this.
   Time max_time = 0;
   /// Seed of the dedicated fault RNG stream.
   std::uint64_t seed = 0x0fa1;
 
+  bool corrupts() const {
+    return corrupt_count > 0 || !corrupt_nodes.empty();
+  }
+
   bool active() const {
-    return crash_count > 0 || !crash_nodes.empty() || loss > 0.0 ||
-           churn_down > 0 || non_fifo_fraction > 0.0 || max_time > 0;
+    return crash_count > 0 || !crash_nodes.empty() || corrupts() ||
+           loss > 0.0 || churn_down > 0 || non_fifo_fraction > 0.0 ||
+           max_time > 0;
   }
 };
 
@@ -87,16 +117,22 @@ struct FaultStats {
   std::uint64_t discarded_events = 0;
   /// Size of the crash set (whether or not the crash time was reached).
   std::uint32_t crash_set_size = 0;
+  /// Nodes whose corrupt() hook actually ran (crashed targets are no-ops
+  /// and do not count).
+  std::uint32_t corrupted_nodes = 0;
 };
 
 /// How an adverse run ended (engine-level outcome taxonomy; docs/faults.md).
 enum class RunOutcome : std::uint8_t {
-  kOk,        ///< terminated normally; no crash fired
-  kReRooted,  ///< terminated around crashed nodes: all live nodes done and
-              ///< their parent pointers still form a spanning tree
-  kWedged,    ///< queue drained with live unterminated nodes, a live
-              ///< subtree stranded behind a crashed parent, or the time
-              ///< cap hit
+  kOk,         ///< terminated normally; no crash fired
+  kReRooted,   ///< terminated around crashed nodes: all live nodes done and
+               ///< their parent pointers still form a spanning tree
+  kRecovered,  ///< the self-healing layer intervened (re-election floods
+               ///< fired) and the run still converged to a valid spanning
+               ///< tree over the live nodes
+  kWedged,     ///< queue drained with live unterminated nodes, a live
+               ///< subtree stranded behind a crashed parent, or the time
+               ///< cap hit
 };
 const char* to_string(RunOutcome outcome);
 
@@ -140,6 +176,16 @@ class FaultEngine {
            crash_mask_[static_cast<std::size_t>(v)] != 0;
   }
 
+  /// The drawn corruption target set, in ascending node order (empty when
+  /// the plan corrupts nobody). The engine applies Node::corrupt to each
+  /// live target once simulated time reaches plan().corrupt_time, with a
+  /// per-node scramble stream derive_seed(seed ^ 0xc0de, node, 1) — so the
+  /// scramble is a pure per-node function of the plan, independent of
+  /// application order and shard count.
+  const std::vector<NodeId>& corrupt_targets() const {
+    return corrupt_targets_;
+  }
+
   const FaultPlan& plan() const { return plan_; }
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
@@ -159,6 +205,9 @@ class FaultEngine {
   /// Per-edge FIFO-exemption flags (empty when non_fifo_fraction == 0).
   std::vector<std::uint8_t> non_fifo_;
   std::vector<std::uint32_t> slot_edge_;
+  /// Drawn corruption targets, ascending (empty when the plan corrupts
+  /// nobody).
+  std::vector<NodeId> corrupt_targets_;
   FaultStats stats_;
 };
 

@@ -256,6 +256,9 @@ class ShardedSimCore {
     // Worker-thread pool balance (shard_traits pooled_in_use hook).
     std::size_t pool_before = 0;
     std::size_t pool_after = 0;
+    // Per-lane one-shot latch for the plan's corruption scramble (each lane
+    // applies it to its owned targets only; see corrupt_pending).
+    bool corrupt_applied = false;
   };
 
   struct Decision {
@@ -331,6 +334,7 @@ class ShardedSimCore {
     fast_keys_ = unit_delay_ && !faults_active_;
     if (fifo_floors_active_) fifo_floor_.assign(links_.size(), 0);
     link_seq_.assign(links_.size(), 0);
+    timer_seq_.assign(n, 1);  // seq 0 on the start slot is the start event
     if (faults_active_) {
       fault_ = std::make_unique<FaultEngine>(config_.faults, n,
                                              graph.edge_count(),
@@ -408,7 +412,8 @@ class ShardedSimCore {
     }
     report.metrics_bytes += merged_metrics_.approx_bytes();
     report.floor_bytes = fifo_floor_.capacity() * sizeof(Time) +
-                         link_seq_.capacity() * sizeof(std::uint32_t);
+                         link_seq_.capacity() * sizeof(std::uint32_t) +
+                         timer_seq_.capacity() * sizeof(std::uint32_t);
     report.graph_bytes = neighbor_pool_.capacity() * sizeof(NeighborInfo) +
                          envs_.capacity() * sizeof(NodeEnv) +
                          depth_.capacity() * sizeof(std::uint64_t) +
@@ -447,6 +452,53 @@ class ShardedSimCore {
     lane.pending.push_back(
         {lane.current_key, lane.emission++, lane.now, std::string{}, tag,
          true, lane.sent});
+  }
+
+  /// Schedule a lane-local timer for `self` at now + delay (kind kTimer;
+  /// same accounting-free contract as SimCore::schedule_timer). A node only
+  /// schedules its own timers, so the event stays in the owner lane's queue
+  /// — never a cross-shard send. The canonical key reuses the node's start
+  /// slot (kStartSlotBit | self) with a per-node sequence starting at 1
+  /// (the start event holds seq 0): unique, and a pure function of the
+  /// protocol's behaviour, exactly like message keys. Window closure needs
+  /// delay >= lookahead — the timer is created while its owner processes
+  /// [T, T+L) at now >= T, so it lands at >= T + L, never inside the agreed
+  /// window (run_mdst pre-checks the heartbeat period so this REQUIRE only
+  /// trips on protocol bugs).
+  void shard_schedule_timer(Lane& lane, NodeId self, Time delay) {
+    MDST_REQUIRE(delay >= lookahead_,
+                 "schedule_timer: delay must be >= the delay model's min "
+                 "delay (sharded window closure)");
+    EventT& ev = lane.queue.emplace(lane.now + delay);
+    ev.base.kind = EventKind::kTimer;
+    ev.base.ids = 0;
+    ev.base.to = self;
+    ev.base.from = kNoNode;
+    ev.base.from_index = kNoNeighborIndex;
+    ev.base.causal_depth = 0;
+    ev.base.send_time = lane.now;
+    ev.slot = kStartSlotBit | static_cast<std::uint32_t>(self);
+    ev.seq = timer_seq_[static_cast<std::size_t>(self)]++;
+  }
+
+  // --- state-corruption faults (lane-partitioned application) --------------
+
+  /// True while the plan schedules a corruption scramble this lane has not
+  /// applied yet. The latch is per-lane: each lane scrambles only the
+  /// targets it owns, at the first agreed window base >= corrupt_time — a
+  /// pure function of the plan and the (K-invariant) window sequence.
+  bool corrupt_pending(const Lane& lane) const {
+    return faults_active_ && !lane.corrupt_applied &&
+           fault_->plan().corrupts();
+  }
+  Time corrupt_time() const { return fault_->plan().corrupt_time; }
+  /// Drawn corruption targets, ascending (FaultEngine::corrupt_targets;
+  /// drawn centrally at construction, before lanes exist).
+  const std::vector<NodeId>& corrupt_targets() const {
+    return fault_->corrupt_targets();
+  }
+  bool lane_owns(const Lane& lane, NodeId v) const {
+    return owner_[static_cast<std::size_t>(v)] == lane.index;
   }
 
   // --- window coordination (called by the lane loop) -----------------------
@@ -705,6 +757,7 @@ class ShardedSimCore {
       merged_fault_stats_.retransmits += s.retransmits;
       merged_fault_stats_.dropped_deliveries += s.dropped_deliveries;
       merged_fault_stats_.discarded_events += s.discarded_events;
+      merged_fault_stats_.corrupted_nodes += s.corrupted_nodes;
       final_now_ = std::max(final_now_, lanes_[k]->now);
       // Time-cap discard census (wedge forensics): sum the per-lane
       // per-type counts; stays empty when no lane discarded anything.
@@ -864,6 +917,9 @@ class ShardedSimCore {
   std::vector<Time> fifo_floor_;
   /// Per-slot send counters: the seq half of every message's canonical key.
   std::vector<std::uint32_t> link_seq_;
+  /// Per-node timer sequence counters (owner-partitioned like link_seq_;
+  /// the seq half of timer keys on the node's start slot).
+  std::vector<std::uint32_t> timer_seq_;
   std::vector<std::uint32_t> owner_;
   std::unique_ptr<FaultEngine> fault_;
   bool faults_active_ = false;
@@ -922,6 +978,11 @@ class ShardContext final : public IContext<Message> {
   }
   /// Reverse-CSR delivery hint; see SimContext::from_index.
   std::uint32_t from_index() const { return from_index_; }
+  /// Lane-local timer for the running node; see SimContext::schedule_timer
+  /// and ShardedSimCore::shard_schedule_timer for the key/closure contract.
+  void schedule_timer(Time delay) {
+    core_->shard_schedule_timer(*lane_, self_, delay);
+  }
 
  private:
   Core* core_;
@@ -1014,6 +1075,29 @@ class ShardedSimulator {
     }
   }
 
+  /// One-shot corruption scramble, lane-partitioned: this lane runs the
+  /// corrupt() hook of every target it owns, each with its own derived
+  /// stream derive_seed(fault seed ^ 0xc0de, node, 1) — the same per-node
+  /// derivation as the classic engine, so the scramble is a pure function
+  /// of the plan regardless of lane count or application order. Targets
+  /// crashed by `window_base` (the K-invariant agreed time) are no-ops.
+  void apply_corruption(Lane& lane, Time window_base) {
+    std::uint32_t corrupted = 0;
+    for (const NodeId v : core_.corrupt_targets()) {
+      if (!core_.lane_owns(lane, v)) continue;
+      if (core_.crashed_at(v, window_base)) continue;
+      Node& victim = nodes_[static_cast<std::size_t>(v)];
+      if constexpr (requires(support::Rng& r) { victim.corrupt(r); }) {
+        support::Rng scramble(support::derive_seed(
+            core_.config().faults.seed ^ 0xc0de,
+            static_cast<std::uint64_t>(v), 1));
+        if (victim.corrupt(scramble)) ++corrupted;
+      }
+    }
+    lane.fault_stats.corrupted_nodes += corrupted;
+    lane.corrupt_applied = true;
+  }
+
   /// Stamp the just-pushed prefix entry with the lane's absolute counters.
   /// bits and dropped are settled before the handler runs (handlers send,
   /// they never deliver or drop); sent is read after the handler returned,
@@ -1103,6 +1187,15 @@ class ShardedSimulator {
         core_.fail_message_cap();
       }
       if (decision.done) return false;
+      // State corruption fires once, at the first agreed window whose base
+      // reaches the plan's corrupt_time — before the window is processed,
+      // so the scramble is visible from that window on (mirrors the classic
+      // engine's before-the-event application; checked before the deadline
+      // so a cap landing on the corrupt tick still observes the scramble).
+      if (core_.corrupt_pending(lane) &&
+          decision.window_base >= core_.corrupt_time()) [[unlikely]] {
+        apply_corruption(lane, decision.window_base);
+      }
       if (deadline != 0 && decision.window_base >= deadline) [[unlikely]] {
         discard_lane(lane);
         return true;
@@ -1131,9 +1224,13 @@ class ShardedSimulator {
       if (core_.faults_active() &&
           core_.crashed_at(ev.base.to, entry.deliver)) [[unlikely]] {
         lane.win_prefix.push_back(previous);
-        ++lane.fault_stats.dropped_deliveries;
+        // Timer events die silently with their node — they were never part
+        // of the send/deliver meters (classic step_impl does the same).
+        if (ev.base.kind != EventKind::kTimer) {
+          ++lane.fault_stats.dropped_deliveries;
+          dispose_payload(ev.base);
+        }
         seal_prefix(lane);
-        dispose_payload(ev.base);
         Node& casualty = nodes_[static_cast<std::size_t>(ev.base.to)];
         if constexpr (requires { casualty.crash(); }) casualty.crash();
         core_.release_event(lane, entry.ref);
@@ -1145,6 +1242,13 @@ class ShardedSimulator {
       if (ev.base.kind == EventKind::kStart) {
         lane.win_prefix.push_back(previous);
         node.on_start(ctx);
+      } else if (ev.base.kind == EventKind::kTimer) [[unlikely]] {
+        // Accounting-free like starts: timers are neither metered nor
+        // traced (SimCore::schedule_timer has the contract).
+        lane.win_prefix.push_back(previous);
+        if constexpr (requires { node.on_timer(ctx); }) {
+          node.on_timer(ctx);
+        }
       } else {
         core_.template account_delivery<TraceOn>(lane, ev, entry);
         lane.win_prefix.push_back(
@@ -1164,6 +1268,12 @@ class ShardedSimulator {
     lane.discard_census.assign(std::variant_size_v<Message>, 0);
     while (!lane.queue.empty()) {
       const auto popped = lane.queue.pop();
+      if (popped.payload->base.kind == EventKind::kTimer) {
+        // Timers sit outside the message accounting end to end — neither
+        // censused nor counted as discarded events.
+        core_.release_event(lane, popped.ref);
+        continue;
+      }
       if (popped.payload->base.kind == EventKind::kMessage) {
         ++lane.discard_census[popped.payload->base.payload.index()];
       }

@@ -97,7 +97,7 @@ struct SimConfig {
   }
 };
 
-enum class EventKind : std::uint8_t { kStart, kMessage };
+enum class EventKind : std::uint8_t { kStart, kMessage, kTimer };
 
 /// Queue payload; delivery time and send order live in the CalendarQueue
 /// slab node, not here.
@@ -318,6 +318,25 @@ class SimCore {
     ev.send_time = now_;
   }
 
+  /// Schedule a local timer event for `self` at now + delay. Timers are the
+  /// recovery layer's clock source (heartbeats, ack timeouts) and sit
+  /// entirely outside the message accounting: they are not sends (no cap,
+  /// no sent_ increment, no FIFO floor, no fault transform), carry no
+  /// payload identity, and are never metered or traced at delivery — so a
+  /// protocol that schedules no timers has byte-identical metrics with or
+  /// without this path, and timers never perturb in_flight().
+  void schedule_timer(NodeId self, Time delay) {
+    MDST_REQUIRE(delay >= 1, "schedule_timer: delay must be >= 1");
+    EventT& ev = queue_.emplace(now_ + delay);
+    ev.kind = EventKind::kTimer;
+    ev.ids = 0;
+    ev.to = self;
+    ev.from = kNoNode;
+    ev.from_index = kNoNeighborIndex;
+    ev.causal_depth = 0;
+    ev.send_time = now_;
+  }
+
   void annotate(const std::string& label) {
     metrics_.annotate(now_, label, in_flight());
   }
@@ -422,6 +441,24 @@ class SimCore {
   /// Adversity counters (zeroes when no plan is active).
   FaultStats fault_stats() const {
     return fault_ ? fault_->stats() : FaultStats{};
+  }
+
+  /// True when the plan schedules state corruption that has not fired yet
+  /// (the delivery loop checks this once per step behind the plan-active
+  /// branch). Precondition for the other corrupt_* accessors.
+  bool corrupt_pending() const {
+    return faults_active_ && !corrupt_applied_ &&
+           fault_->plan().corrupts();
+  }
+  Time corrupt_time() const { return fault_->plan().corrupt_time; }
+  /// Drawn corruption targets, ascending. See FaultEngine::corrupt_targets.
+  const std::vector<NodeId>& corrupt_targets() const {
+    return fault_->corrupt_targets();
+  }
+  /// Mark corruption as fired and meter how many hooks actually ran.
+  void note_corruption_applied(std::uint32_t corrupted) {
+    corrupt_applied_ = true;
+    fault_->stats().corrupted_nodes += corrupted;
   }
 
   /// Return a delivered event's slab node to the queue, restoring the
@@ -557,6 +594,8 @@ class SimCore {
   /// Realized fault plan; null exactly when faults_active_ is false.
   std::unique_ptr<FaultEngine> fault_;
   bool faults_active_ = false;
+  /// One-shot latch: set once the plan's corruption scramble has run.
+  bool corrupt_applied_ = false;
   bool fifo_floors_active_ = false;
   bool unit_delay_ = false;
   Queue queue_;
@@ -613,6 +652,11 @@ class SimContext final : public IContext<Message> {
   /// shortcut for handlers that would otherwise rescan their row; valid
   /// only for the delivery this context was created for.
   std::uint32_t from_index() const { return from_index_; }
+
+  /// Local timer (not part of IContext): fires this node's on_timer after
+  /// `delay` ticks. Nodes reach it through sim::schedule_timer
+  /// (context.hpp), which no-ops on virtual contexts.
+  void schedule_timer(Time delay) { core_->schedule_timer(self_, delay); }
 
  private:
   SimCore<Message>* core_;

@@ -127,6 +127,12 @@ class Simulator {
     std::uint64_t discarded = 0;
     while (!core_.idle()) {
       const auto delivery = core_.pop_event();
+      if (delivery.event->kind == EventKind::kTimer) {
+        // Timers sit outside the message accounting end to end — they are
+        // neither censused nor counted as discarded events.
+        core_.release(delivery.ref);
+        continue;
+      }
       if (delivery.event->kind == EventKind::kMessage) {
         ++discard_census_[delivery.event->payload.index()];
       }
@@ -157,6 +163,26 @@ class Simulator {
     }
   }
 
+  /// One-shot corruption scramble (FaultPlan corrupt(r,k)): run each live
+  /// target's corrupt() hook with its own derived stream
+  /// derive_seed(fault seed ^ 0xc0de, node, 1), so the scramble is a pure
+  /// per-node function of the plan. Crashed targets are no-ops. Protocols
+  /// without a corrupt hook (capability probe) are untouched.
+  void apply_corruption() {
+    std::uint32_t corrupted = 0;
+    for (const NodeId v : core_.corrupt_targets()) {
+      if (core_.crashed_now(v)) continue;
+      Node& victim = nodes_[static_cast<std::size_t>(v)];
+      if constexpr (requires(support::Rng& r) { victim.corrupt(r); }) {
+        support::Rng scramble(support::derive_seed(
+            core_.config().faults.seed ^ 0xc0de,
+            static_cast<std::uint64_t>(v), 1));
+        if (victim.corrupt(scramble)) ++corrupted;
+      }
+    }
+    core_.note_corruption_applied(corrupted);
+  }
+
   template <bool TraceOn>
   bool step_impl() {
     if (core_.idle()) return false;
@@ -165,15 +191,27 @@ class Simulator {
       return core_.pop_event();
     }();
     Event<Message>& ev = *delivery.event;
+    // State corruption fires once, at the first event whose delivery time
+    // reaches the plan's corrupt_time — before that event is handled, so
+    // the scramble is visible to every handler from that tick on.
+    if (core_.corrupt_pending() && core_.now() >= core_.corrupt_time())
+        [[unlikely]] {
+      apply_corruption();
+    }
     // The delivery-side plan-active branch: events addressed to a crashed
     // node are dropped (crash-stop semantics — a crashed node neither
     // handles nor sends), with the node marked so protocol-level state
     // queries can exclude it.
     if (core_.faults_active() && core_.crashed_now(ev.to)) [[unlikely]] {
-      core_.note_dropped_delivery();
-      dispose_payload(ev);
       Node& casualty = nodes_[static_cast<std::size_t>(ev.to)];
       if constexpr (requires { casualty.crash(); }) casualty.crash();
+      if (ev.kind != EventKind::kTimer) {
+        // Timer events die silently with their node: they were never part
+        // of the send/deliver meters, so dropping one is not a metered
+        // dropped delivery.
+        core_.note_dropped_delivery();
+        dispose_payload(ev);
+      }
       core_.release(delivery.ref);
       return true;
     }
@@ -182,6 +220,13 @@ class Simulator {
     if (ev.kind == EventKind::kStart) {
       MDST_PROFILE_SCOPE(Section::kDispatch);
       node.on_start(ctx);
+    } else if (ev.kind == EventKind::kTimer) [[unlikely]] {
+      // Cold path by construction: only timer-scheduling protocols (the
+      // recovery layer) ever enqueue these.
+      if constexpr (requires { node.on_timer(ctx); }) {
+        MDST_PROFILE_SCOPE(Section::kDispatch);
+        node.on_timer(ctx);
+      }
     } else {
       {
         MDST_PROFILE_SCOPE(Section::kMetering);

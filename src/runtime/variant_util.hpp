@@ -26,7 +26,7 @@ template <typename Variant, typename F>
 decltype(auto) switch_visit(Variant&& v, F&& f) {
   constexpr std::size_t n =
       std::variant_size_v<std::remove_cvref_t<Variant>>;
-  static_assert(n <= 16, "switch_visit: grow the switch");
+  static_assert(n <= 24, "switch_visit: grow the switch");
 #define MDST_SWITCH_VISIT_CASE(I)                \
   case I:                                        \
     if constexpr (I < n) {                       \
@@ -51,6 +51,14 @@ decltype(auto) switch_visit(Variant&& v, F&& f) {
     MDST_SWITCH_VISIT_CASE(13)
     MDST_SWITCH_VISIT_CASE(14)
     MDST_SWITCH_VISIT_CASE(15)
+    MDST_SWITCH_VISIT_CASE(16)
+    MDST_SWITCH_VISIT_CASE(17)
+    MDST_SWITCH_VISIT_CASE(18)
+    MDST_SWITCH_VISIT_CASE(19)
+    MDST_SWITCH_VISIT_CASE(20)
+    MDST_SWITCH_VISIT_CASE(21)
+    MDST_SWITCH_VISIT_CASE(22)
+    MDST_SWITCH_VISIT_CASE(23)
     default:
       break;
   }

@@ -40,6 +40,9 @@ class FixedVec {
     data_[size_++] = value;
   }
 
+  /// Drop every element; capacity and binding are unchanged.
+  void clear() { size_ = 0; }
+
   /// Remove the element at `pos`, shifting the tail left (keeps order, like
   /// std::vector::erase — the child lists rely on insertion order for
   /// deterministic iteration).

@@ -1,0 +1,83 @@
+// The checked-in self-healing spec (bench/specs/recovery_smoke.campaign) is
+// the CI face of the recovery layer: heartbeats + re-election run for real
+// against the crash and corruption cells on every ctest invocation, so the
+// recovery grammar (`recovery = on`, corrupt(r,k), arq_backoff = exp), the
+// runner plumbing, and the recovered-outcome taxonomy can never rot. The
+// nightly bench runs the same spec via mdst_lab and appends its `recovery`
+// table to BENCH_history.jsonl.
+#include <gtest/gtest.h>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+
+namespace mdst::campaign {
+namespace {
+
+const char* kRecoverySmokeSpec =
+    MDST_SOURCE_DIR "/bench/specs/recovery_smoke.campaign";
+
+TEST(RecoverySmokeCampaignTest, SpecParsesAndArmsTheRecoveryLayer) {
+  const ParseResult parsed = load_spec(kRecoverySmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.name, "recovery_smoke");
+  EXPECT_TRUE(parsed.spec.recovery);
+  EXPECT_EQ(parsed.spec.arq_backoff, sim::ArqBackoff::kExp);
+  // The control cell plus the two fault classes recovery exists to repair.
+  ASSERT_EQ(parsed.spec.faults.size(), 3u);
+  EXPECT_EQ(parsed.spec.faults[0].label, "none");
+  EXPECT_GT(parsed.spec.faults[1].plan.crash_count, 0u);
+  EXPECT_GT(parsed.spec.faults[2].plan.corrupt_count, 0u);
+  EXPECT_LE(parsed.spec.trial_count(), 128u);  // CI affordability cap
+}
+
+TEST(RecoverySmokeCampaignTest, RunsEndToEndAndRecovers) {
+  const ParseResult parsed = load_spec(kRecoverySmokeSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Aggregator aggregator;
+  RunnerConfig config;
+  config.threads = 2;
+  const std::vector<TrialOutcome> outcomes =
+      run_campaign(parsed.spec, config, {&aggregator});
+  ASSERT_EQ(outcomes.size(), parsed.spec.trial_count());
+  std::size_t crash_recoveries = 0;
+  std::size_t corrupt_wedges = 0;
+  for (const TrialOutcome& outcome : outcomes) {
+    // The heartbeat plane is live in every cell; its traffic is metered.
+    EXPECT_GT(outcome.recovery_msgs, 0u) << outcome.trial.fault.label;
+    if (!outcome.trial.fault.active()) {
+      // Healthy cells: heartbeats never fire a re-election, the run is a
+      // plain clean convergence.
+      EXPECT_EQ(outcome.outcome, sim::RunOutcome::kOk);
+      EXPECT_EQ(outcome.re_elections, 0u);
+    }
+    if (outcome.trial.fault.plan.crash_count > 0) {
+      // A crash cell that ends `recovered` must have re-elected; count them
+      // — the spec is tuned so the class as a whole exercises re-election.
+      if (outcome.outcome == sim::RunOutcome::kRecovered) {
+        EXPECT_GT(outcome.re_elections, 0u) << outcome.trial.fault.label;
+        ++crash_recoveries;
+      }
+    }
+    if (outcome.trial.fault.plan.corrupt_count > 0) {
+      // Corruption leaves every node alive: the healed tree must span the
+      // whole graph, so a wedge here is a recovery-layer regression.
+      corrupt_wedges += outcome.wedged() ? 1u : 0u;
+    }
+    if (outcome.wedged()) {
+      EXPECT_EQ(outcome.k_final, -1);
+    } else {
+      EXPECT_GE(outcome.k_final, outcome.lower_bound);
+    }
+  }
+  EXPECT_GT(crash_recoveries, 0u);
+  EXPECT_EQ(corrupt_wedges, 0u);
+  // Per-cell wedge accounting reaches the summary table.
+  EXPECT_FALSE(aggregator.cells().empty());
+  for (const CellAggregate& cell : aggregator.cells()) {
+    EXPECT_LE(cell.wedged, cell.trials);
+  }
+}
+
+}  // namespace
+}  // namespace mdst::campaign

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "campaign/aggregate.hpp"
+#include "campaign/checkpoint.hpp"
 #include "campaign/sink.hpp"
 #include "support/assert.hpp"
 
@@ -394,6 +398,90 @@ TEST(CampaignRunnerTest, FaultOutcomesAreClassified) {
     EXPECT_EQ(cell.messages.accumulator.count(), cell.trials);
     EXPECT_EQ(cell.gap.accumulator.count(), cell.trials - cell.wedged);
   }
+}
+
+// The resumable-campaign contract (campaign/checkpoint.hpp): a run killed
+// after a mid-grid commit, then resumed from the journal's last intact line
+// (truncating outputs to the recorded sizes, skipping trials <= last_index,
+// suppressing the duplicate CSV header), reproduces the uninterrupted run's
+// bytes exactly — even when the journal's tail line is torn.
+TEST(CampaignRunnerTest, KilledAndResumedRunIsByteIdentical) {
+  const CampaignSpec spec = small_grid();
+  const std::filesystem::path journal_path =
+      std::filesystem::temp_directory_path() / "mdst_runner_test.ckpt";
+  std::filesystem::remove(journal_path);
+
+  // Uninterrupted reference run, journaling every commit so we know the
+  // exact (index, csv_bytes, jsonl_bytes) state at each kill candidate.
+  struct Commit {
+    std::size_t index;
+    std::uint64_t csv_bytes;
+    std::uint64_t jsonl_bytes;
+  };
+  std::vector<Commit> commits;
+  std::ostringstream csv;
+  std::ostringstream jsonl;
+  CsvSink csv_sink(csv);
+  JsonlSink jsonl_sink(jsonl);
+  RunnerConfig config;
+  config.threads = 1;  // serial => on_commit fires in grid order
+  config.on_commit = [&](std::size_t index) {
+    commits.push_back({index, csv.str().size(), jsonl.str().size()});
+  };
+  run_campaign(spec, config, {&csv_sink, &jsonl_sink});
+  const std::string full_csv = csv.str();
+  const std::string full_jsonl = jsonl.str();
+  ASSERT_EQ(commits.size(), spec.trial_count());
+
+  // Simulate the kill: the journal survived through commit #5, plus a torn
+  // line the kill interrupted mid-append. The torn tail must be ignored.
+  const std::size_t cut = 5;
+  {
+    CheckpointWriter writer(journal_path.string(), spec, /*fresh=*/true);
+    for (std::size_t i = 0; i <= cut; ++i) {
+      writer.record(commits[i].index, commits[i].csv_bytes,
+                    commits[i].jsonl_bytes);
+    }
+  }
+  {
+    std::ofstream torn(journal_path, std::ios::app);
+    torn << commits[cut + 1].index << ' ' << "12";  // no newline, no jsonl
+  }
+  CheckpointState state;
+  std::string error;
+  ASSERT_TRUE(load_checkpoint(journal_path.string(), spec, state, error))
+      << error;
+  ASSERT_TRUE(state.resuming);
+  EXPECT_EQ(state.last_index, commits[cut].index);
+  EXPECT_EQ(state.csv_bytes, commits[cut].csv_bytes);
+  EXPECT_EQ(state.jsonl_bytes, commits[cut].jsonl_bytes);
+
+  // Resume: outputs truncated to the recorded sizes (what mdst_lab does to
+  // the files on disk), header suppressed, committed trials skipped.
+  std::ostringstream csv2;
+  std::ostringstream jsonl2;
+  csv2 << full_csv.substr(0, state.csv_bytes);
+  jsonl2 << full_jsonl.substr(0, state.jsonl_bytes);
+  CsvSink resumed_csv(csv2, /*perf_columns=*/false, /*resume=*/true);
+  JsonlSink resumed_jsonl(jsonl2);
+  RunnerConfig resume_config;
+  resume_config.threads = 2;  // resume filtering composes with threading
+  resume_config.resume = true;
+  resume_config.resume_after = state.last_index;
+  const std::vector<TrialOutcome> rest =
+      run_campaign(spec, resume_config, {&resumed_csv, &resumed_jsonl});
+  EXPECT_EQ(rest.size(), spec.trial_count() - (cut + 1));
+  EXPECT_EQ(csv2.str(), full_csv);
+  EXPECT_EQ(jsonl2.str(), full_jsonl);
+
+  // Resuming against a different spec must fail loudly, not interleave.
+  CampaignSpec other = spec;
+  other.base_seed ^= 1;
+  CheckpointState bad;
+  std::string mismatch;
+  EXPECT_FALSE(load_checkpoint(journal_path.string(), other, bad, mismatch));
+  EXPECT_NE(mismatch.find("checkpoint"), std::string::npos) << mismatch;
+  std::filesystem::remove(journal_path);
 }
 
 TEST(CampaignRunnerTest, MoreThreadsThanTrialsIsFine) {

@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "campaign/runner.hpp"
+#include "support/assert.hpp"
 
 namespace mdst::campaign {
 namespace {
@@ -96,6 +98,40 @@ TEST(CampaignSinkTest, JsonlRowsParseAsFlatObjects) {
     EXPECT_EQ(line.find("\"total_messages\":\""), std::string::npos);
   }
   EXPECT_EQ(rows, golden_spec().trial_count());
+}
+
+// --wedge-dump=DIR creates the directory (parents included) instead of
+// failing after the campaign already ran, and a path that collides with a
+// regular file fails up front with a named diagnostic — not a silent
+// zero-dump run.
+TEST(CampaignSinkTest, WedgeDumpCreatesNestedDirectories) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                    "mdst_sink_test" / "nested" / "wedges";
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+  WedgeDumpSink sink(dir.string());
+  const CampaignSpec spec = golden_spec();
+  sink.begin(spec, spec.trial_count());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  EXPECT_EQ(sink.dumped(), 0u);
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+}
+
+TEST(CampaignSinkTest, WedgeDumpRejectsFileCollision) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "mdst_sink_test_collision";
+  std::filesystem::remove_all(path);
+  { std::ofstream file(path); file << "not a directory\n"; }
+  WedgeDumpSink sink(path.string());
+  const CampaignSpec spec = golden_spec();
+  try {
+    sink.begin(spec, spec.trial_count());
+    FAIL() << "begin() accepted a regular file as the dump directory";
+  } catch (const mdst::ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("wedge-dump:"),
+              std::string::npos)
+        << violation.what();
+  }
+  std::filesystem::remove_all(path);
 }
 
 }  // namespace

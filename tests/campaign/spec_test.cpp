@@ -93,7 +93,7 @@ reps      = 2
 TEST(CampaignSpecTest, FaultLabelsRoundTripExactly) {
   for (const char* token :
        {"none", "crash(8,1)", "loss(0.05)", "loss(0.123456789)",
-        "churn(6,2)"}) {
+        "churn(6,2)", "corrupt(12,2)"}) {
     FaultSpec first;
     std::string error;
     ASSERT_TRUE(parse_fault(token, first, error)) << error;
@@ -105,7 +105,38 @@ TEST(CampaignSpecTest, FaultLabelsRoundTripExactly) {
     EXPECT_EQ(first.plan.crash_count, second.plan.crash_count);
     EXPECT_EQ(first.plan.churn_up, second.plan.churn_up);
     EXPECT_EQ(first.plan.churn_down, second.plan.churn_down);
+    EXPECT_EQ(first.plan.corrupt_time, second.plan.corrupt_time);
+    EXPECT_EQ(first.plan.corrupt_count, second.plan.corrupt_count);
   }
+}
+
+TEST(CampaignSpecTest, ParsesCorruptionAndRecoveryKnobs) {
+  const ParseResult result = parse_spec(R"(
+families   = gnp_sparse
+sizes      = 24
+faults     = none, corrupt(12,2)
+recovery   = on
+arq_backoff = exp
+reps       = 2
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  const CampaignSpec& spec = result.spec;
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults[1].label, "corrupt(12,2)");
+  EXPECT_TRUE(spec.faults[1].active());
+  EXPECT_EQ(spec.faults[1].plan.corrupt_time, 12u);
+  EXPECT_EQ(spec.faults[1].plan.corrupt_count, 2u);
+  EXPECT_TRUE(spec.recovery);
+  EXPECT_EQ(spec.arq_backoff, sim::ArqBackoff::kExp);
+  // Engine knobs, not grid axes: the trial count stays 2 faults x 2 reps.
+  EXPECT_EQ(spec.trial_count(), 2u * 2);
+}
+
+TEST(CampaignSpecTest, RecoveryAndBackoffDefaultOff) {
+  const ParseResult result = parse_spec("families = grid\nsizes = 16\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.spec.recovery);
+  EXPECT_EQ(result.spec.arq_backoff, sim::ArqBackoff::kFixed);
 }
 
 TEST(CampaignSpecTest, MinimalSpecGetsDefaults) {
@@ -184,6 +215,14 @@ INSTANTIATE_TEST_SUITE_P(
                       "line 3:", "p in (0,1)"},
         RejectionCase{"families = grid\nsizes = 16\nfaults = loss(0)\n",
                       "line 3:", "p in (0,1)"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = corrupt(8)\n",
+                      "line 3:", "want corrupt(r,k)"},
+        RejectionCase{"families = grid\nsizes = 16\nfaults = corrupt(8,0)\n",
+                      "line 3:", "k >= 1 nodes scrambled"},
+        RejectionCase{"families = grid\nsizes = 16\nrecovery = maybe\n",
+                      "line 3:", "bad recovery"},
+        RejectionCase{"families = grid\nsizes = 16\narq_backoff = cubic\n",
+                      "line 3:", "bad arq_backoff"},
         RejectionCase{"families = grid\nsizes = 16\nfaults = churn(0,2)\n",
                       "line 3:", "up >= 1"},
         RejectionCase{"families = grid\nsizes = 16\nfaults = churn(6,0)\n",

@@ -137,6 +137,77 @@ TEST_P(ShardSweepTest, RandomGraphsReachIdenticalResultsUnderAllShardCounts) {
   }
 }
 
+// The recovery-plane extension: with the self-healing layer armed, every
+// fault class — plus corruption, the class the layer exists for — must
+// still be shard-count-invariant on everything a campaign row records,
+// now including the recovery telemetry itself (re-elections, installs,
+// detection latency, recovery message overhead).
+TEST_P(ShardSweepTest, RecoveryOnPlansStayShardCountInvariant) {
+  const std::size_t instance = GetParam();
+  support::Rng meta(support::derive_seed(0x5eed, instance));
+  const std::size_t n = 24 + meta.next_below(40);  // 24..63
+  const double p = 0.08 + 0.004 * static_cast<double>(meta.next_below(30));
+  support::Rng graph_rng(meta.next());
+  const graph::Graph g = graph::make_gnp_connected(n, p, graph_rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+  core::Options options;
+  options.recovery.enabled = true;
+
+  std::vector<FaultCase> cases = make_fault_cases();
+  {
+    sim::FaultPlan plan;
+    plan.corrupt_time = 30;
+    plan.corrupt_count = 2;
+    plan.max_time = 200'000;
+    cases.push_back({"corrupt", plan});
+  }
+  for (const FaultCase& fc : cases) {
+    sim::SimConfig config;
+    config.seed = 0x90 + instance;
+    config.faults = fc.plan;
+    config.faults.seed = 0xfa110 + instance;
+
+    config.shards = 1;
+    const core::RunResult base = core::run_mdst(g, start, options, config);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      config.shards = shards;
+      const core::RunResult run = core::run_mdst(g, start, options, config);
+      const std::string where =
+          std::string(fc.name) + " recovery K=" + std::to_string(shards);
+
+      EXPECT_EQ(base.outcome, run.outcome) << where;
+      EXPECT_EQ(base.final_degree, run.final_degree) << where;
+      EXPECT_EQ(base.stop_reason, run.stop_reason) << where;
+      EXPECT_EQ(base.metrics.total_messages(), run.metrics.total_messages())
+          << where;
+      EXPECT_EQ(base.metrics.per_type(), run.metrics.per_type()) << where;
+      EXPECT_EQ(base.metrics.last_delivery_time(),
+                run.metrics.last_delivery_time())
+          << where;
+
+      EXPECT_EQ(base.recovery.re_elections, run.recovery.re_elections)
+          << where;
+      EXPECT_EQ(base.recovery.installs, run.recovery.installs) << where;
+      EXPECT_EQ(base.recovery.first_detection_time,
+                run.recovery.first_detection_time)
+          << where;
+      EXPECT_EQ(base.recovery.recovery_messages,
+                run.recovery.recovery_messages)
+          << where;
+      EXPECT_EQ(base.fault_stats.corrupted_nodes,
+                run.fault_stats.corrupted_nodes)
+          << where;
+
+      ASSERT_EQ(base.tree.vertex_count(), run.tree.vertex_count()) << where;
+      for (std::size_t v = 0; v < base.tree.vertex_count(); ++v) {
+        EXPECT_EQ(base.tree.parent(static_cast<graph::VertexId>(v)),
+                  run.tree.parent(static_cast<graph::VertexId>(v)))
+            << where << " node " << v;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomInstances, ShardSweepTest,
                          ::testing::Range<std::size_t>(0, 6),
                          [](const ::testing::TestParamInfo<std::size_t>& i) {

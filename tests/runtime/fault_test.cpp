@@ -48,10 +48,19 @@ struct FloodProto {
       }
     }
     int received() const { return received_; }
+    /// Corruption hook (docs/faults.md): scramble the only protocol state
+    /// this node has. Returns true so the engine meters the scramble.
+    bool corrupt(support::Rng& rng) {
+      received_ = static_cast<int>(rng.next_below(1'000'000));
+      was_corrupted_ = true;
+      return true;
+    }
+    bool was_corrupted() const { return was_corrupted_; }
 
    private:
     NodeEnv env_;
     int received_ = 0;
+    bool was_corrupted_ = false;
   };
 };
 
@@ -295,9 +304,16 @@ TEST(FaultTest, BadPlansAreRejected) {
     Sim sim = make_sim(g, cfg);
     (void)sim;
   };
-  FaultPlan certain_loss;
-  certain_loss.loss = 1.0;
-  EXPECT_THROW(build(certain_loss), ContractViolation);
+  // loss = 1.0 is legal — the ARQ layer still delivers through the attempt
+  // cap (CertainLossStillDeliversThroughArqCap below); beyond-probability
+  // values are not.
+  FaultPlan over_loss;
+  over_loss.loss = 1.5;
+  EXPECT_THROW(build(over_loss), ContractViolation);
+  FaultPlan no_attempts;
+  no_attempts.loss = 0.5;
+  no_attempts.arq_attempt_cap = 0;
+  EXPECT_THROW(build(no_attempts), ContractViolation);
   FaultPlan never_up;
   never_up.churn_up = 0;
   never_up.churn_down = 3;
@@ -312,6 +328,119 @@ TEST(FaultTest, BadPlansAreRejected) {
   FaultPlan ghost;
   ghost.crash_nodes = {static_cast<NodeId>(g.vertex_count())};
   EXPECT_THROW(build(ghost), ContractViolation);
+  FaultPlan ghost_corrupt;
+  ghost_corrupt.corrupt_time = 1;
+  ghost_corrupt.corrupt_nodes = {static_cast<NodeId>(g.vertex_count())};
+  EXPECT_THROW(build(ghost_corrupt), ContractViolation);
+}
+
+TEST(FaultTest, CrashAtExactlyTheLastDeliveryTick) {
+  // Edge case: the crash fires on the very tick the run would otherwise
+  // finish on. The run must still terminate cleanly (no wedge in a plain
+  // flood — there is nothing to wait for), with the crash set drawn and
+  // any same-tick deliveries to the casualties suppressed, and the whole
+  // thing must be deterministic per seed.
+  const graph::Graph g = test_graph();
+  Sim plain = make_sim(g, traced_config());
+  plain.run();
+  SimConfig cfg = traced_config();
+  cfg.faults.crash_time = plain.metrics().last_delivery_time();
+  cfg.faults.crash_count = 2;
+  Sim a = make_sim(g, cfg);
+  Sim b = make_sim(g, cfg);
+  a.run();
+  b.run();
+  expect_traces_equal(a.trace(), b.trace(), "terminate-tick crash");
+  EXPECT_EQ(a.fault_stats().crash_set_size, 2u);
+  // The prefix strictly before the crash tick matches the plain run.
+  const std::size_t scan =
+      std::min(plain.trace().rows().size(), a.trace().rows().size());
+  for (std::size_t i = 0; i < scan; ++i) {
+    const TraceRow& rp = plain.trace().rows()[i];
+    if (rp.deliver_time >= cfg.faults.crash_time) break;
+    const TraceRow& ra = a.trace().rows()[i];
+    ASSERT_EQ(rp.deliver_time, ra.deliver_time) << "row " << i;
+    ASSERT_EQ(rp.to, ra.to) << "row " << i;
+  }
+}
+
+TEST(FaultTest, CorruptOnCrashedNodeIsANoOp) {
+  // A target that is already crashed when the corruption tick arrives must
+  // not have its hook run: crash-stop nodes hold no live state to scramble,
+  // and the corrupted_nodes meter counts only hooks that actually fired.
+  const graph::Graph g = test_graph();
+  SimConfig cfg = traced_config();
+  cfg.faults.crash_time = 0;
+  cfg.faults.crash_nodes = {5};
+  cfg.faults.corrupt_time = 10;
+  cfg.faults.corrupt_nodes = {5};
+  Sim sim = make_sim(g, cfg);
+  sim.run();
+  EXPECT_TRUE(sim.crashed(5));
+  EXPECT_EQ(sim.fault_stats().corrupted_nodes, 0u);
+  EXPECT_FALSE(sim.node(5).was_corrupted());
+  // The same target, not crashed, is scrambled exactly once.
+  SimConfig live_cfg = traced_config();
+  live_cfg.faults.corrupt_time = 10;
+  live_cfg.faults.corrupt_nodes = {5};
+  Sim live = make_sim(g, live_cfg);
+  live.run();
+  EXPECT_EQ(live.fault_stats().corrupted_nodes, 1u);
+  EXPECT_TRUE(live.node(5).was_corrupted());
+}
+
+TEST(FaultTest, CertainLossStillDeliversThroughArqCap) {
+  // loss = 1.0: every attempt draw fails, so every message rides the ARQ
+  // ladder to the attempt cap and then delivers anyway (the cap bounds the
+  // worst-case added latency; it never silently drops — docs/faults.md).
+  const graph::Graph g = test_graph();
+  Sim plain = make_sim(g, traced_config());
+  plain.run();
+  SimConfig cfg = traced_config();
+  cfg.faults.loss = 1.0;
+  cfg.faults.retransmit_timeout = 3;
+  cfg.faults.arq_attempt_cap = 4;
+  Sim lossy = make_sim(g, cfg);
+  lossy.run();
+  // Same deliveries, every one of them capped-late.
+  ASSERT_EQ(plain.trace().rows().size(), lossy.trace().rows().size());
+  EXPECT_EQ(lossy.fault_stats().dropped_deliveries, 0u);
+  // Each delivery burned exactly arq_attempt_cap failed attempts.
+  EXPECT_EQ(lossy.fault_stats().retransmits,
+            4u * lossy.trace().rows().size());
+  for (const TraceRow& row : lossy.trace().rows()) {
+    EXPECT_GE(row.deliver_time - row.send_time, 4u * 3u) << "uncapped row";
+  }
+}
+
+TEST(FaultTest, ExponentialBackoffDoublesTheArqLadder) {
+  // arq_backoff = exp under certain loss: the k-th retry gap is drawn from
+  // [2^k T, 2^(k+1) T), so a capped message lands strictly later than the
+  // fixed ladder's cap * T. Same delivery count, same determinism.
+  const graph::Graph g = test_graph();
+  SimConfig fixed_cfg = traced_config();
+  fixed_cfg.faults.loss = 1.0;
+  fixed_cfg.faults.retransmit_timeout = 3;
+  fixed_cfg.faults.arq_attempt_cap = 4;
+  SimConfig exp_cfg = fixed_cfg;
+  exp_cfg.faults.arq_backoff = ArqBackoff::kExp;
+  Sim fixed_sim = make_sim(g, fixed_cfg);
+  Sim exp_a = make_sim(g, exp_cfg);
+  Sim exp_b = make_sim(g, exp_cfg);
+  fixed_sim.run();
+  exp_a.run();
+  exp_b.run();
+  expect_traces_equal(exp_a.trace(), exp_b.trace(), "exp backoff determinism");
+  ASSERT_EQ(fixed_sim.trace().rows().size(), exp_a.trace().rows().size());
+  std::uint64_t fixed_latency = 0;
+  std::uint64_t exp_latency = 0;
+  for (const TraceRow& row : fixed_sim.trace().rows()) {
+    fixed_latency += row.deliver_time - row.send_time;
+  }
+  for (const TraceRow& row : exp_a.trace().rows()) {
+    exp_latency += row.deliver_time - row.send_time;
+  }
+  EXPECT_GT(exp_latency, fixed_latency);
 }
 
 }  // namespace

@@ -211,6 +211,63 @@ TEST(ShardDeterminismFloodTest, FloodRunsAreIdenticalForOneAndKShards) {
   }
 }
 
+TEST(ShardDeterminismRecoveryTest, RecoveryRunsAreTraceIdenticalForOneAndKShards) {
+  // The self-healing layer's timers, heartbeats, and keyed re-election
+  // floods ride the same canonical (deliver, send, slot, seq) event keys as
+  // the base protocol, so a run that detects a crash, re-elects, and
+  // re-attaches must stay trace-identical — row for row — across shard
+  // counts. This is the byte-level pin behind the coarser campaign-row
+  // equality in tests/property/shard_sweep_test.cpp and
+  // tests/mdst/recovery_test.cpp.
+  support::Rng rng(29);
+  const graph::Graph g = graph::make_gnp_connected(40, 0.15, rng);
+  const graph::RootedTree start = graph::star_biased_tree(g);
+
+  struct RecoveryCase {
+    const char* name;
+    sim::DelayModel delay;
+    sim::Time crash_time;
+    std::uint32_t crash_count;
+    sim::Time corrupt_time;
+    std::uint32_t corrupt_count;
+  };
+  const RecoveryCase cases[] = {
+      {"crash_unit", sim::DelayModel::unit(), 5, 1, 0, 0},
+      {"crash_uniform", sim::DelayModel::uniform(1, 4), 5, 1, 0, 0},
+      {"corrupt_unit", sim::DelayModel::unit(), 0, 0, 20, 2},
+  };
+  for (const RecoveryCase& rc : cases) {
+    core::Options options;
+    options.recovery.enabled = true;
+    // run_mdst arms defensive mode for corrupting plans (mdst/engine.cpp);
+    // this direct-engine test mirrors that so the scrambled state surfaces
+    // through the stall detector instead of riding to the fault watchdog.
+    options.recovery.defensive = rc.corrupt_count > 0;
+    sim::SimConfig config;
+    config.delay = rc.delay;
+    config.seed = 61;
+    config.trace_cap = 1'000'000;
+    config.faults.crash_time = rc.crash_time;
+    config.faults.crash_count = rc.crash_count;
+    config.faults.corrupt_time = rc.corrupt_time;
+    config.faults.corrupt_count = rc.corrupt_count;
+    config.faults.seed = 0xfa11;
+    config.faults.max_time = 500'000;
+
+    const auto base = run_mdst_sharded<core::ShardProtocol>(g, start, options,
+                                                            config, 1);
+    for (const std::size_t shards : kShardCounts) {
+      if (shards == 1) continue;
+      SCOPED_TRACE(rc.name);
+      const auto run = run_mdst_sharded<core::ShardProtocol>(g, start, options,
+                                                             config, shards);
+      EXPECT_TRUE(run.pools_balanced()) << "K=" << shards;
+      expect_identical_runs(base, run, shards);
+      expect_identical_mdst_state(base, run, shards);
+    }
+  }
+}
+
 TEST(ShardDeterminismRunMdstTest, RunResultsAreIdenticalForOneAndKShards) {
   // End-to-end through run_mdst: the RunResult a campaign trial sees —
   // census, marks, improvement counts — must not depend on the shard
